@@ -1,0 +1,441 @@
+// Benchmarks regenerating the paper's evaluation (§V), one benchmark family
+// per table/experiment, plus ablations for the §II-A execution
+// optimizations. Sizes here are scaled down so `go test -bench=.` finishes
+// quickly; cmd/ripple-bench runs the same experiments at paper scale and
+// prints paper-style rows.
+package ripple
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ripple/internal/ebsp"
+	"ripple/internal/gridstore"
+	"ripple/internal/matrix"
+	"ripple/internal/memstore"
+	"ripple/internal/pagerank"
+	"ripple/internal/sssp"
+	"ripple/internal/summa"
+	"ripple/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Table I — PageRank: direct variant vs MapReduce variant.
+// Paper graphs: (132k, 4.34M), (132k, 8.68M), (262k, 8.68M); 1/20 scale here.
+
+var table1Shapes = []struct {
+	vertices, edges int
+}{
+	{6600, 217000},
+	{6600, 434000},
+	{13100, 434000},
+}
+
+const table1Iterations = 5
+
+func table1Graph(b *testing.B, vertices, edges int) *workload.DirectedGraph {
+	b.Helper()
+	g, err := workload.PowerLawDirected(rand.New(rand.NewSource(7)), vertices, edges, 1.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkTable1PageRankDirect(b *testing.B) {
+	for _, shape := range table1Shapes {
+		b.Run(fmt.Sprintf("v%d_e%d", shape.vertices, shape.edges), func(b *testing.B) {
+			g := table1Graph(b, shape.vertices, shape.edges)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store := memstore.New(memstore.WithParts(6))
+				engine := NewEngine(store)
+				if _, err := pagerank.LoadGraph(store, "g", g, 6); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := pagerank.RunDirect(engine, pagerank.Config{
+					GraphTable: "g", Iterations: table1Iterations,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				_ = store.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+func BenchmarkTable1PageRankMapReduce(b *testing.B) {
+	for _, shape := range table1Shapes {
+		b.Run(fmt.Sprintf("v%d_e%d", shape.vertices, shape.edges), func(b *testing.B) {
+			g := table1Graph(b, shape.vertices, shape.edges)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				store := memstore.New(memstore.WithParts(6))
+				engine := NewEngine(store)
+				tab, err := pagerank.LoadGraph(store, "g", g, 6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := pagerank.SeedRanks(tab); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := pagerank.RunMapReduce(engine, pagerank.Config{
+					GraphTable: "g", Iterations: table1Iterations,
+				}); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				_ = store.Close()
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II — block multiplications per step of BSPified 3×3 SUMMA.
+// The schedule itself is exercised (and asserted) in internal/summa tests;
+// this measures regenerating it from a live synchronized run.
+
+func BenchmarkTable2SummaSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	a := matrix.Random(rng, 60, 60)
+	m2 := matrix.Random(rng, 60, 60)
+	want := []int{1, 3, 6, 3, 6, 3, 5}
+	for i := 0; i < b.N; i++ {
+		store := memstore.New(memstore.WithParts(9))
+		out, err := summa.Multiply(store, summa.Config{Grid: 3, Synchronized: true}, a, m2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := range want {
+			if out.MultsPerStep[s] != want[s] {
+				b.Fatalf("Table II mismatch: %v", out.MultsPerStep)
+			}
+		}
+		_ = store.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Experiment V-B — SUMMA runtime with vs without synchronization
+// (paper: 90 s vs 51 s on WXS with 10 containers).
+
+func benchSumma(b *testing.B, synchronized bool) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(13))
+	const n = 300
+	const latency = 2 * time.Millisecond
+	a := matrix.Random(rng, n, n)
+	m2 := matrix.Random(rng, n, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := gridstore.New(gridstore.WithParts(10), gridstore.WithLatency(latency))
+		b.StartTimer()
+		if _, err := summa.Multiply(store, summa.Config{
+			Grid: 3, Synchronized: synchronized, Latency: latency,
+		}, a, m2); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = store.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkSummaSync(b *testing.B)   { benchSumma(b, true) }
+func BenchmarkSummaNoSync(b *testing.B) { benchSumma(b, false) }
+
+// ---------------------------------------------------------------------------
+// Experiment V-C — incremental SSSP: selective enablement vs full scanning
+// (paper: 0.21 s vs 78 s for ten batches of 1000 changes on 100k vertices).
+
+const (
+	ssspVertices  = 3000
+	ssspEdges     = 54000
+	ssspBatchSize = 100
+)
+
+func ssspBatches(n int) [][]workload.Change {
+	rng := rand.New(rand.NewSource(17))
+	out := make([][]workload.Change, n)
+	for i := range out {
+		out[i] = workload.ChangeBatch(rng, ssspVertices, ssspBatchSize, 1.3, 0.5)
+	}
+	return out
+}
+
+func BenchmarkSSSPSelective(b *testing.B) {
+	g, err := workload.PowerLawUndirected(rand.New(rand.NewSource(19)), ssspVertices, ssspEdges, 1.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := memstore.New(memstore.WithParts(6))
+	defer func() { _ = store.Close() }()
+	drv := sssp.NewSelective(NewEngine(store), "sel", 0, 6)
+	if err := drv.Init(g); err != nil {
+		b.Fatal(err)
+	}
+	batches := ssspBatches(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drv.ApplyBatch(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSSSPFullScan(b *testing.B) {
+	g, err := workload.PowerLawUndirected(rand.New(rand.NewSource(19)), ssspVertices, ssspEdges, 1.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := memstore.New(memstore.WithParts(6))
+	defer func() { _ = store.Close() }()
+	drv := sssp.NewFullScan(NewEngine(store), "fs", 0, 6)
+	if err := drv.Init(g); err != nil {
+		b.Fatal(err)
+	}
+	batches := ssspBatches(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := drv.ApplyBatch(batches[i%len(batches)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations for the §II-A optimization areas.
+
+// Ablation: message combiner on/off (PageRank direct variant).
+func benchCombiner(b *testing.B, disable bool) {
+	b.Helper()
+	g := table1Graph(b, 3000, 60000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := memstore.New(memstore.WithParts(6))
+		engine := NewEngine(store)
+		if _, err := pagerank.LoadGraph(store, "g", g, 6); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := pagerank.RunDirect(engine, pagerank.Config{
+			GraphTable: "g", Iterations: 3, DisableCombiner: disable,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = store.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationCombinerOn(b *testing.B)  { benchCombiner(b, false) }
+func BenchmarkAblationCombinerOff(b *testing.B) { benchCombiner(b, true) }
+
+// scatterJob fans messages over many keys; used by the sort/collect/steal
+// ablations.
+func scatterJob(name string, props ebsp.Properties, keys, rounds int) *ebsp.Job {
+	seeds := make([]ebsp.InitialMessage, keys)
+	for i := range seeds {
+		seeds[i] = ebsp.InitialMessage{Key: i, Message: 0}
+	}
+	return &ebsp.Job{
+		Name:        name,
+		StateTables: []string{name + "_state"},
+		Properties:  props,
+		Compute: ebsp.ComputeFunc(func(ctx *ebsp.Context) bool {
+			for _, m := range ctx.InputMessages() {
+				n := m.(int)
+				ctx.WriteState(0, n)
+				if n < rounds {
+					ctx.Send((ctx.Key().(int)*31+n+1)%keys, n+1)
+				}
+			}
+			return false
+		}),
+		Loaders: []ebsp.Loader{&ebsp.MessageLoader{Messages: seeds}},
+	}
+}
+
+func benchStrategy(b *testing.B, props ebsp.Properties, override func(ebsp.Strategy) ebsp.Strategy) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := memstore.New(memstore.WithParts(6))
+		opts := []ebsp.Option{}
+		if override != nil {
+			opts = append(opts, ebsp.WithStrategyOverride(override))
+		}
+		engine := NewEngine(store, opts...)
+		b.StartTimer()
+		if _, err := engine.Run(scatterJob("ablate", props, 5000, 4)); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = store.Close()
+		b.StartTimer()
+	}
+}
+
+// Ablation: ¬needs-order ⇒ no-sort.
+func BenchmarkAblationSortOff(b *testing.B) {
+	benchStrategy(b, ebsp.Properties{}, nil)
+}
+
+func BenchmarkAblationSortOn(b *testing.B) {
+	benchStrategy(b, ebsp.Properties{NeedsOrder: true}, nil)
+}
+
+// Ablation: one-msg ∧ no-continue ⇒ no-collect. The scatter job sends at
+// most one message per key and never continues, so no-collect is sound.
+func BenchmarkAblationCollectOff(b *testing.B) {
+	benchStrategy(b, ebsp.Properties{OneMsg: true, NoContinue: true}, nil)
+}
+
+func BenchmarkAblationCollectOn(b *testing.B) {
+	benchStrategy(b, ebsp.Properties{OneMsg: true, NoContinue: true},
+		func(s ebsp.Strategy) ebsp.Strategy { s.Collect = true; return s })
+}
+
+// Ablation: no-collect ∧ rare-state ⇒ run-anywhere (work stealing). The
+// workload is skewed: almost all messages land in one part, so pinned
+// execution serializes while stealing balances.
+func benchRunAnywhere(b *testing.B, steal bool) {
+	b.Helper()
+	const keys = 512
+	// All traffic goes to keys owned by part 0 of 6.
+	store0 := memstore.New(memstore.WithParts(6))
+	tab, err := store0.CreateTable("probe")
+	if err != nil {
+		b.Fatal(err)
+	}
+	hot := make([]int, 0, keys)
+	for k := 0; len(hot) < keys; k++ {
+		if tab.PartOf(k) == 0 {
+			hot = append(hot, k)
+		}
+	}
+	_ = store0.Close()
+
+	var sink atomic.Int64
+	job := func() *ebsp.Job {
+		seeds := make([]ebsp.InitialMessage, keys)
+		for i, k := range hot {
+			seeds[i] = ebsp.InitialMessage{Key: k, Message: 2500}
+		}
+		return &ebsp.Job{
+			Name:        "steal",
+			StateTables: []string{"steal_state"},
+			Properties:  ebsp.Properties{OneMsg: true, NoContinue: true, RareState: true},
+			Compute: ebsp.ComputeFunc(func(ctx *ebsp.Context) bool {
+				// CPU-heavy, state-light work.
+				n := ctx.InputMessages()[0].(int)
+				acc := 0
+				for i := 0; i < n*100; i++ {
+					acc += i * i
+				}
+				sink.Add(int64(acc))
+				return false
+			}),
+			Loaders: []ebsp.Loader{&ebsp.MessageLoader{Messages: seeds}},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := memstore.New(memstore.WithParts(6))
+		opts := []ebsp.Option{}
+		if !steal {
+			opts = append(opts, ebsp.WithStrategyOverride(func(s ebsp.Strategy) ebsp.Strategy {
+				s.RunAnywhere = false
+				return s
+			}))
+		}
+		engine := NewEngine(store, opts...)
+		b.StartTimer()
+		if _, err := engine.Run(job()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = store.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationRunAnywhereOn(b *testing.B)  { benchRunAnywhere(b, true) }
+func BenchmarkAblationRunAnywhereOff(b *testing.B) { benchRunAnywhere(b, false) }
+
+// Ablation: deterministic ⇒ fast recovery — the overhead of transactional
+// step commits on a store that supports them.
+func benchRecovery(b *testing.B, recovery bool) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		store := gridstore.New(gridstore.WithParts(6), gridstore.WithReplicas(2))
+		opts := []ebsp.Option{}
+		if !recovery {
+			opts = append(opts, ebsp.WithStrategyOverride(func(s ebsp.Strategy) ebsp.Strategy {
+				s.FastRecovery = false
+				return s
+			}))
+		}
+		engine := NewEngine(store, opts...)
+		b.StartTimer()
+		job := scatterJob("rec", ebsp.Properties{Deterministic: true}, 2000, 4)
+		if _, err := engine.Run(job); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = store.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationRecoveryOn(b *testing.B)  { benchRecovery(b, true) }
+func BenchmarkAblationRecoveryOff(b *testing.B) { benchRecovery(b, false) }
+
+// Ablation: cross-partition marshalling cost (the emulated network).
+func benchMarshalling(b *testing.B, marshal bool) {
+	b.Helper()
+	g := table1Graph(b, 3000, 60000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		opts := []memstore.Option{memstore.WithParts(6)}
+		if !marshal {
+			opts = append(opts, memstore.WithoutMarshalling())
+		}
+		store := memstore.New(opts...)
+		engine := NewEngine(store)
+		if _, err := pagerank.LoadGraph(store, "g", g, 6); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := pagerank.RunDirect(engine, pagerank.Config{
+			GraphTable: "g", Iterations: 3,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = store.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAblationMarshallingOn(b *testing.B)  { benchMarshalling(b, true) }
+func BenchmarkAblationMarshallingOff(b *testing.B) { benchMarshalling(b, false) }

@@ -1,0 +1,185 @@
+// Command ripple-inspect examines a Ripple disk store directory: it lists
+// the stored tables with their part counts, sizes, and on-disk footprint,
+// dumps table contents, and optionally compacts logs.
+//
+// Usage:
+//
+//	ripple-inspect -dir ./data                      # list tables
+//	ripple-inspect -dir ./data -table users         # dump one table
+//	ripple-inspect -dir ./data -table users -stats  # per-part statistics
+//	ripple-inspect -dir ./data -table users -compact
+//
+// The store directory is opened read-write (compaction rewrites logs); table
+// part counts are inferred from the log file names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"ripple/internal/codec"
+	"ripple/internal/diskstore"
+	"ripple/internal/kvstore"
+)
+
+var logName = regexp.MustCompile(`^(.+)\.(\d+)\.log$`)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "disk store directory (required)")
+		table   = flag.String("table", "", "table to inspect (default: list all)")
+		stats   = flag.Bool("stats", false, "per-part statistics instead of a dump")
+		compact = flag.Bool("compact", false, "compact the table's logs")
+		limit   = flag.Int("limit", 50, "maximum pairs to dump (0 = all)")
+	)
+	flag.Parse()
+	if *dir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tables, err := discoverTables(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(tables) == 0 {
+		fmt.Println("no table logs found")
+		return
+	}
+
+	if *table == "" {
+		listTables(*dir, tables)
+		return
+	}
+	parts, ok := tables[*table]
+	if !ok {
+		log.Fatalf("no logs for table %q under %s", *table, *dir)
+	}
+	store, err := diskstore.New(*dir, diskstore.WithParts(parts))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = store.Close() }()
+	tab, err := store.CreateTable(*table, kvstore.WithParts(parts))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *compact:
+		before, _ := store.LogSize(*table)
+		if err := store.Compact(*table); err != nil {
+			log.Fatal(err)
+		}
+		after, _ := store.LogSize(*table)
+		fmt.Printf("compacted %q: %d -> %d bytes (%.0f%% reclaimed)\n",
+			*table, before, after, 100*float64(before-after)/float64(max64(before, 1)))
+	case *stats:
+		printStats(store, tab, parts)
+	default:
+		dump(tab, *limit)
+	}
+}
+
+// discoverTables maps table names to their part counts from log file names.
+func discoverTables(dir string) (map[string]int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", dir, err)
+	}
+	tables := map[string]int{}
+	for _, e := range entries {
+		m := logName.FindStringSubmatch(filepath.Base(e.Name()))
+		if m == nil {
+			continue
+		}
+		part, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		if part+1 > tables[m[1]] {
+			tables[m[1]] = part + 1
+		}
+	}
+	return tables, nil
+}
+
+func listTables(dir string, tables map[string]int) {
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-32s %6s %10s %12s\n", "TABLE", "PARTS", "PAIRS", "LOG BYTES")
+	for _, name := range names {
+		parts := tables[name]
+		store, err := diskstore.New(dir, diskstore.WithParts(parts))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tab, err := store.CreateTable(name, kvstore.WithParts(parts))
+		if err != nil {
+			fmt.Printf("%-32s %6d %10s %12s  (unreadable: %v)\n", name, parts, "?", "?", err)
+			_ = store.Close()
+			continue
+		}
+		n, _ := tab.Size()
+		bytes, _ := store.LogSize(name)
+		fmt.Printf("%-32s %6d %10d %12d\n", name, parts, n, bytes)
+		_ = store.Close()
+	}
+}
+
+func printStats(store *diskstore.Store, tab kvstore.Table, parts int) {
+	fmt.Printf("%-6s %10s\n", "PART", "PAIRS")
+	total := 0
+	for p := 0; p < parts; p++ {
+		res, err := store.RunAgent(tab.Name(), p, func(sv kvstore.ShardView) (any, error) {
+			view, err := sv.View(tab.Name())
+			if err != nil {
+				return nil, err
+			}
+			return view.Len()
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6d %10d\n", p, res.(int))
+		total += res.(int)
+	}
+	bytes, _ := store.LogSize(tab.Name())
+	fmt.Printf("total  %10d pairs, %d log bytes\n", total, bytes)
+}
+
+func dump(tab kvstore.Table, limit int) {
+	type pair struct{ k, v any }
+	var pairs []pair
+	err := kvstore.EnumerateAll(tab, func(k, v any) (bool, error) {
+		pairs = append(pairs, pair{k, v})
+		return false, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(pairs, func(i, j int) bool { return codec.CompareKeys(pairs[i].k, pairs[j].k) < 0 })
+	for i, p := range pairs {
+		if limit > 0 && i >= limit {
+			fmt.Printf("... and %d more (use -limit 0 for all)\n", len(pairs)-limit)
+			return
+		}
+		fmt.Printf("%v\t%v\n", p.k, p.v)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

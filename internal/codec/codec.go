@@ -1,0 +1,288 @@
+// Package codec provides the serialization, deep-copy, and key-hashing
+// machinery shared by every Ripple store implementation.
+//
+// Ripple's data model follows the paper's Java heritage: keys and values are
+// general objects ("a key and its associated value are general objects",
+// §III-A). Stores that emulate distributed partitions marshal values when
+// they cross a partition boundary and pass references locally; this package
+// supplies that marshalling via encoding/gob, together with the default key
+// hash that assigns keys to parts.
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+)
+
+// registry guards gob type registration, which panics on double-register.
+var registry sync.Map // map[string]struct{}
+
+func init() {
+	// Composite built-ins commonly used as Ripple keys and values. Scalar
+	// types (int, string, float64, …) have built-in gob support already.
+	Register([2]int{})
+	Register([3]int{})
+	Register([]int{})
+	Register([]float64{})
+	Register([]string{})
+	Register([]any{})
+	Register(map[string]any{})
+}
+
+// Register makes a concrete type known to the codec so values of that type
+// can cross partition boundaries. It is safe to call repeatedly and from
+// multiple goroutines; duplicate registrations are ignored.
+func Register(v any) {
+	name := fmt.Sprintf("%T", v)
+	if _, loaded := registry.LoadOrStore(name, struct{}{}); loaded {
+		return
+	}
+	gob.Register(v)
+}
+
+// Encode marshals v into a fresh byte slice.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	// Encode through an interface wrapper so the concrete type travels with
+	// the payload and Decode can reconstruct it without advance knowledge.
+	if err := enc.Encode(&wrapper{V: v}); err != nil {
+		return nil, fmt.Errorf("codec: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode unmarshals a byte slice produced by Encode.
+func Decode(data []byte) (any, error) {
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	var w wrapper
+	if err := dec.Decode(&w); err != nil {
+		return nil, fmt.Errorf("codec: decode: %w", err)
+	}
+	return w.V, nil
+}
+
+// wrapper lets gob carry the dynamic type of an arbitrary value.
+type wrapper struct {
+	V any
+}
+
+// DeepCopy produces a value that shares no mutable memory with v by passing
+// it through the codec. Stores use it to emulate the isolation a real
+// distributed store provides: a caller mutating a returned value must not
+// corrupt the stored copy.
+func DeepCopy(v any) (any, error) {
+	if v == nil {
+		return nil, nil
+	}
+	data, err := Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// EncodedSize reports the marshalled size of v in bytes, or 0 if v cannot be
+// encoded. It exists for metrics, not correctness.
+func EncodedSize(v any) int {
+	data, err := Encode(v)
+	if err != nil {
+		return 0
+	}
+	return len(data)
+}
+
+// Hasher maps a key to a non-negative hash. Table clients control the
+// assignment of keys to parts by controlling the hash values of their keys
+// (§III-A), either by implementing KeyHash on the key type or by installing a
+// custom Hasher on the table.
+type Hasher interface {
+	Hash(key any) uint64
+}
+
+// KeyHasher is implemented by key types that want to control their placement.
+type KeyHasher interface {
+	KeyHash() uint64
+}
+
+// DefaultHasher hashes the common key types directly and falls back to
+// hashing the gob encoding for everything else.
+type DefaultHasher struct{}
+
+var _ Hasher = DefaultHasher{}
+
+// Hash implements Hasher.
+func (DefaultHasher) Hash(key any) uint64 {
+	switch k := key.(type) {
+	case KeyHasher:
+		return k.KeyHash()
+	case int:
+		return hashUint64(uint64(k))
+	case int8:
+		return hashUint64(uint64(k))
+	case int16:
+		return hashUint64(uint64(k))
+	case int32:
+		return hashUint64(uint64(k))
+	case int64:
+		return hashUint64(uint64(k))
+	case uint:
+		return hashUint64(uint64(k))
+	case uint8:
+		return hashUint64(uint64(k))
+	case uint16:
+		return hashUint64(uint64(k))
+	case uint32:
+		return hashUint64(uint64(k))
+	case uint64:
+		return hashUint64(k)
+	case float64:
+		return hashUint64(math.Float64bits(k))
+	case string:
+		return hashString(k)
+	case [2]int:
+		return hashUint64(uint64(k[0])*0x9e3779b97f4a7c15 + uint64(k[1]))
+	case [3]int:
+		h := uint64(k[0])*0x9e3779b97f4a7c15 + uint64(k[1])
+		return hashUint64(h*0x9e3779b97f4a7c15 + uint64(k[2]))
+	default:
+		data, err := Encode(key)
+		if err != nil {
+			// An unhashable, unencodable key degrades to a single part
+			// rather than failing the whole job; placement is a
+			// performance concern, not a correctness one.
+			return 0
+		}
+		h := fnv.New64a()
+		_, _ = h.Write(data)
+		return h.Sum64()
+	}
+}
+
+func hashUint64(x uint64) uint64 {
+	// SplitMix64 finalizer: cheap, well distributed, deterministic across
+	// runs (unlike Go's map hash).
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// PartOf maps a key to one of n parts using h. n must be positive.
+func PartOf(h Hasher, key any, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(h.Hash(key) % uint64(n))
+}
+
+// OrderedKey is implemented by key types that define their own sort order for
+// needs-order jobs. Keys without it are ordered by CompareKeys' built-in
+// rules.
+type OrderedKey interface {
+	CompareKey(other any) int
+}
+
+// CompareKeys imposes a total order over keys of the common built-in types
+// (and OrderedKey implementors). Numeric types order numerically, strings
+// lexicographically, and mixed/unknown types order by their encoded bytes so
+// the order is still deterministic.
+func CompareKeys(a, b any) int {
+	if oa, ok := a.(OrderedKey); ok {
+		return oa.CompareKey(b)
+	}
+	if na, oka := numericKey(a); oka {
+		if nb, okb := numericKey(b); okb {
+			switch {
+			case na < nb:
+				return -1
+			case na > nb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	if sa, ok := a.(string); ok {
+		if sb, ok := b.(string); ok {
+			switch {
+			case sa < sb:
+				return -1
+			case sa > sb:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	if pa, ok := a.([2]int); ok {
+		if pb, ok := b.([2]int); ok {
+			if pa[0] != pb[0] {
+				if pa[0] < pb[0] {
+					return -1
+				}
+				return 1
+			}
+			if pa[1] != pb[1] {
+				if pa[1] < pb[1] {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		}
+	}
+	return bytes.Compare(encodeForCompare(a), encodeForCompare(b))
+}
+
+func numericKey(v any) (float64, bool) {
+	switch n := v.(type) {
+	case int:
+		return float64(n), true
+	case int8:
+		return float64(n), true
+	case int16:
+		return float64(n), true
+	case int32:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case uint:
+		return float64(n), true
+	case uint8:
+		return float64(n), true
+	case uint16:
+		return float64(n), true
+	case uint32:
+		return float64(n), true
+	case uint64:
+		return float64(n), true
+	case float32:
+		return float64(n), true
+	case float64:
+		return n, true
+	default:
+		return 0, false
+	}
+}
+
+func encodeForCompare(v any) []byte {
+	data, err := Encode(v)
+	if err != nil {
+		var buf [8]byte
+		binary.BigEndian.PutUint64(buf[:], DefaultHasher{}.Hash(v))
+		return buf[:]
+	}
+	return data
+}

@@ -1,0 +1,506 @@
+// Package diskstore implements the Ripple KVStore SPI on local disk: one
+// append-only log file per table part, with an in-memory key → offset index
+// rebuilt by replaying the log on open.
+//
+// It stands in for the paper's HBase adapter (§IV-B): a store with a very
+// different cost profile (every read is a disk read, every write an append)
+// behind the same narrow SPI, demonstrating the store portability the paper
+// argues for. It intentionally offers no replication or transactions — the
+// EBSP engine must work against the minimum SPI surface.
+package diskstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+)
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithParts sets the default part count for new tables (default 4).
+func WithParts(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.defaultParts = n
+		}
+	}
+}
+
+// WithMetrics attaches a metrics collector.
+func WithMetrics(m *metrics.Collector) Option {
+	return func(s *Store) { s.metrics = m }
+}
+
+// Store is the disk-backed store. All data live under its base directory.
+type Store struct {
+	dir          string
+	defaultParts int
+	metrics      *metrics.Collector
+
+	mu     sync.Mutex
+	closed bool
+	tables map[string]*table
+	order  []string
+	nextID int
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+type group struct {
+	id     string
+	parts  int
+	hasher codec.Hasher
+	shards []*shard
+}
+
+// shard owns the log files (one per member table) for one part.
+type shard struct {
+	part int
+	mu   sync.Mutex
+	logs map[string]*partLog // table name -> log
+}
+
+// partLog is one table-part: an append-only log plus its index.
+type partLog struct {
+	file   *os.File
+	size   int64
+	index  map[any]entry // key -> location of live value
+	writer *bufio.Writer
+}
+
+type entry struct {
+	off  int64
+	vlen int32
+}
+
+// New creates (or reopens) a Store rooted at dir. Existing table logs under
+// dir are NOT auto-discovered; CreateTable with a name whose logs exist
+// replays them.
+func New(dir string, opts ...Option) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskstore: mkdir %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:          dir,
+		defaultParts: 4,
+		tables:       make(map[string]*table),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return "diskstore" }
+
+// DefaultParts implements kvstore.Store.
+func (s *Store) DefaultParts() int { return s.defaultParts }
+
+// CreateTable implements kvstore.Store. If log files for the table already
+// exist under the store directory they are replayed, making the previous
+// contents visible again.
+func (s *Store) CreateTable(name string, opts ...kvstore.TableOption) (kvstore.Table, error) {
+	cfg := kvstore.ApplyOptions(s.defaultParts, opts)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, kvstore.ErrClosed
+	}
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrTableExists, name)
+	}
+	var g *group
+	if cfg.ConsistentWith != "" {
+		base, ok := s.tables[cfg.ConsistentWith]
+		if !ok {
+			return nil, fmt.Errorf("%w: consistent-with %q", kvstore.ErrNoTable, cfg.ConsistentWith)
+		}
+		g = base.group
+	} else {
+		s.nextID++
+		g = &group{id: fmt.Sprintf("g%d", s.nextID), parts: cfg.Parts, hasher: cfg.Hasher}
+		for p := 0; p < cfg.Parts; p++ {
+			g.shards = append(g.shards, &shard{part: p, logs: make(map[string]*partLog)})
+		}
+	}
+	t := &table{store: s, name: name, group: g, ubiquitous: cfg.Ubiquitous}
+	parts := g.parts
+	if cfg.Ubiquitous {
+		parts = 1
+	}
+	for p := 0; p < parts; p++ {
+		pl, err := s.openPartLog(name, p)
+		if err != nil {
+			return nil, err
+		}
+		sh := g.shards[p]
+		sh.mu.Lock()
+		sh.logs[name] = pl
+		sh.mu.Unlock()
+	}
+	s.tables[name] = t
+	s.order = append(s.order, name)
+	return t, nil
+}
+
+func (s *Store) logPath(table string, part int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%s.%d.log", table, part))
+}
+
+func (s *Store) openPartLog(table string, part int) (*partLog, error) {
+	path := s.logPath(table, part)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: open %s: %w", path, err)
+	}
+	pl := &partLog{file: f, index: make(map[any]entry)}
+	if err := pl.replay(); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("diskstore: replay %s: %w", path, err)
+	}
+	pl.writer = bufio.NewWriter(f)
+	return pl, nil
+}
+
+// Log record layout: [1B op][4B klen][4B vlen][key bytes][value bytes]
+// op 1 = put, 2 = delete (vlen = 0).
+const (
+	opPut    = 1
+	opDelete = 2
+)
+
+func (pl *partLog) replay() error {
+	if _, err := pl.file.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReader(pl.file)
+	var off int64
+	var hdr [9]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				break // truncated tail: drop the partial record
+			}
+			return err
+		}
+		op := hdr[0]
+		klen := int32(binary.BigEndian.Uint32(hdr[1:5]))
+		vlen := int32(binary.BigEndian.Uint32(hdr[5:9]))
+		kbuf := make([]byte, klen)
+		if _, err := io.ReadFull(r, kbuf); err != nil {
+			break
+		}
+		key, err := codec.Decode(kbuf)
+		if err != nil {
+			return err
+		}
+		voff := off + 9 + int64(klen)
+		if vlen > 0 {
+			if _, err := r.Discard(int(vlen)); err != nil {
+				break
+			}
+		}
+		switch op {
+		case opPut:
+			pl.index[key] = entry{off: voff, vlen: vlen}
+		case opDelete:
+			delete(pl.index, key)
+		default:
+			return fmt.Errorf("bad op byte %d at offset %d", op, off)
+		}
+		off = voff + int64(vlen)
+	}
+	pl.size = off
+	// Truncate any partial tail so appends start at a clean boundary.
+	if err := pl.file.Truncate(off); err != nil {
+		return err
+	}
+	_, err := pl.file.Seek(off, io.SeekStart)
+	return err
+}
+
+// appendRecord writes one record and updates the index. Caller holds the
+// shard lock.
+func (pl *partLog) appendRecord(op byte, key any, value any) error {
+	kbuf, err := codec.Encode(key)
+	if err != nil {
+		return err
+	}
+	var vbuf []byte
+	if op == opPut {
+		vbuf, err = codec.Encode(value)
+		if err != nil {
+			return err
+		}
+	}
+	var hdr [9]byte
+	hdr[0] = op
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(kbuf)))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(vbuf)))
+	if _, err := pl.writer.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := pl.writer.Write(kbuf); err != nil {
+		return err
+	}
+	if _, err := pl.writer.Write(vbuf); err != nil {
+		return err
+	}
+	voff := pl.size + 9 + int64(len(kbuf))
+	switch op {
+	case opPut:
+		pl.index[key] = entry{off: voff, vlen: int32(len(vbuf))}
+	case opDelete:
+		delete(pl.index, key)
+	}
+	pl.size = voff + int64(len(vbuf))
+	return nil
+}
+
+// readValue fetches and decodes the value at e. Caller holds the shard lock.
+func (pl *partLog) readValue(e entry) (any, error) {
+	if err := pl.writer.Flush(); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, e.vlen)
+	if _, err := pl.file.ReadAt(buf, e.off); err != nil {
+		return nil, err
+	}
+	return codec.Decode(buf)
+}
+
+// LookupTable implements kvstore.Store.
+func (s *Store) LookupTable(name string) (kvstore.Table, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+// DropTable implements kvstore.Store: the table's log files are removed.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", kvstore.ErrNoTable, name)
+	}
+	delete(s.tables, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	parts := t.group.parts
+	if t.ubiquitous {
+		parts = 1
+	}
+	for p := 0; p < parts; p++ {
+		sh := t.group.shards[p]
+		sh.mu.Lock()
+		if pl := sh.logs[name]; pl != nil {
+			_ = pl.writer.Flush()
+			_ = pl.file.Close()
+			delete(sh.logs, name)
+		}
+		sh.mu.Unlock()
+		_ = os.Remove(s.logPath(name, p))
+	}
+	return nil
+}
+
+// Tables implements kvstore.Store.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// RunAgent implements kvstore.Store.
+func (s *Store) RunAgent(tableName string, part int, agent kvstore.Agent) (any, error) {
+	s.mu.Lock()
+	t, ok := s.tables[tableName]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, kvstore.ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, tableName)
+	}
+	parts := t.Parts()
+	if err := kvstore.CheckPart(part, parts); err != nil {
+		return nil, err
+	}
+	sv := &shardView{store: s, group: t.group, shard: t.group.shards[part]}
+	return agent(sv)
+}
+
+// Close implements kvstore.Store: flushes and closes every log.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var firstErr error
+	for _, t := range s.tables {
+		parts := t.group.parts
+		if t.ubiquitous {
+			parts = 1
+		}
+		for p := 0; p < parts; p++ {
+			sh := t.group.shards[p]
+			sh.mu.Lock()
+			if pl := sh.logs[t.name]; pl != nil {
+				if err := pl.writer.Flush(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err := pl.file.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+				delete(sh.logs, t.name)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return firstErr
+}
+
+func sortKeysStable(keys []any) {
+	sort.Slice(keys, func(i, j int) bool { return codec.CompareKeys(keys[i], keys[j]) < 0 })
+}
+
+// openAppend opens path for appending; split out for tests that need to
+// corrupt a log.
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// Compact rewrites every part log of the named table, dropping overwritten
+// and deleted records. It reclaims space after churn; contents are
+// unchanged.
+func (s *Store) Compact(tableName string) error {
+	s.mu.Lock()
+	t, ok := s.tables[tableName]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return kvstore.ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", kvstore.ErrNoTable, tableName)
+	}
+	parts := t.group.parts
+	if t.ubiquitous {
+		parts = 1
+	}
+	for p := 0; p < parts; p++ {
+		if err := s.compactPart(t, p); err != nil {
+			return fmt.Errorf("diskstore: compact %s part %d: %w", tableName, p, err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) compactPart(t *table, part int) error {
+	sh := t.group.shards[part]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pl := sh.logs[t.name]
+	if pl == nil {
+		return fmt.Errorf("%w: %q", kvstore.ErrNoTable, t.name)
+	}
+	if err := pl.writer.Flush(); err != nil {
+		return err
+	}
+
+	tmpPath := s.logPath(t.name, part) + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	fresh := &partLog{file: tmp, index: make(map[any]entry), writer: bufio.NewWriter(tmp)}
+	keys := make([]any, 0, len(pl.index))
+	for k := range pl.index {
+		keys = append(keys, k)
+	}
+	sortKeysStable(keys)
+	for _, k := range keys {
+		v, err := pl.readValue(pl.index[k])
+		if err != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmpPath)
+			return err
+		}
+		if err := fresh.appendRecord(opPut, k, v); err != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmpPath)
+			return err
+		}
+	}
+	if err := fresh.writer.Flush(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return err
+	}
+	// Swap the compacted log into place.
+	livePath := s.logPath(t.name, part)
+	if err := pl.file.Close(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpPath)
+		return err
+	}
+	if err := os.Rename(tmpPath, livePath); err != nil {
+		return err
+	}
+	*pl = *fresh
+	return nil
+}
+
+// LogSize reports the on-disk byte size of the named table's logs.
+func (s *Store) LogSize(tableName string) (int64, error) {
+	s.mu.Lock()
+	t, ok := s.tables[tableName]
+	s.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", kvstore.ErrNoTable, tableName)
+	}
+	parts := t.group.parts
+	if t.ubiquitous {
+		parts = 1
+	}
+	var total int64
+	for p := 0; p < parts; p++ {
+		sh := t.group.shards[p]
+		sh.mu.Lock()
+		if pl := sh.logs[t.name]; pl != nil {
+			_ = pl.writer.Flush()
+			total += pl.size
+		}
+		sh.mu.Unlock()
+	}
+	return total, nil
+}

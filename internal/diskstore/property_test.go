@@ -1,0 +1,77 @@
+package diskstore
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/kvstore"
+)
+
+// TestPersistenceProperty: a random sequence of puts/deletes/overwrites,
+// optionally compacted, then reopened, exposes exactly the final contents.
+func TestPersistenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ops := 30 + rng.Intn(300)
+		compact := rng.Intn(2) == 0
+
+		dir := t.TempDir()
+		s, err := New(dir, WithParts(1+rng.Intn(3)))
+		if err != nil {
+			return false
+		}
+		parts := s.DefaultParts()
+		tab, err := s.CreateTable("t")
+		if err != nil {
+			return false
+		}
+		expect := map[int]int{}
+		for i := 0; i < ops; i++ {
+			k := rng.Intn(30)
+			if rng.Intn(4) == 0 {
+				if err := tab.Delete(k); err != nil {
+					return false
+				}
+				delete(expect, k)
+			} else {
+				v := rng.Int()
+				if err := tab.Put(k, v); err != nil {
+					return false
+				}
+				expect[k] = v
+			}
+		}
+		if compact {
+			if err := s.Compact("t"); err != nil {
+				return false
+			}
+		}
+		if err := s.Close(); err != nil {
+			return false
+		}
+
+		s2, err := New(dir, WithParts(parts))
+		if err != nil {
+			return false
+		}
+		defer func() { _ = s2.Close() }()
+		tab2, err := s2.CreateTable("t", kvstore.WithParts(parts))
+		if err != nil {
+			return false
+		}
+		if n, err := tab2.Size(); err != nil || n != len(expect) {
+			return false
+		}
+		for k, v := range expect {
+			got, ok, err := tab2.Get(k)
+			if err != nil || !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

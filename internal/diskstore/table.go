@@ -1,0 +1,339 @@
+package diskstore
+
+import (
+	"fmt"
+	"sync"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+)
+
+// table is a diskstore table handle. A ubiquitous diskstore table is simply a
+// single-part table (every read hits the same log); the "replicated
+// everywhere" contract degrades gracefully in a single-node store.
+type table struct {
+	store      *Store
+	name       string
+	group      *group
+	ubiquitous bool
+}
+
+var _ kvstore.Table = (*table)(nil)
+
+// Name implements kvstore.Table.
+func (t *table) Name() string { return t.name }
+
+// Parts implements kvstore.Table.
+func (t *table) Parts() int {
+	if t.ubiquitous {
+		return 1
+	}
+	return t.group.parts
+}
+
+// Ubiquitous implements kvstore.Table.
+func (t *table) Ubiquitous() bool { return t.ubiquitous }
+
+// PartOf implements kvstore.Table.
+func (t *table) PartOf(key any) int {
+	if t.ubiquitous {
+		return 0
+	}
+	return codec.PartOf(t.group.hasher, key, t.group.parts)
+}
+
+func (t *table) log(part int) (*shard, *partLog, error) {
+	sh := t.group.shards[part]
+	sh.mu.Lock()
+	pl := sh.logs[t.name]
+	if pl == nil {
+		sh.mu.Unlock()
+		return nil, nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, t.name)
+	}
+	return sh, pl, nil // caller must sh.mu.Unlock()
+}
+
+// Get implements kvstore.Table.
+func (t *table) Get(key any) (any, bool, error) {
+	t.store.metrics.AddStoreGets(1)
+	sh, pl, err := t.log(t.PartOf(key))
+	if err != nil {
+		return nil, false, err
+	}
+	defer sh.mu.Unlock()
+	e, ok := pl.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := pl.readValue(e)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Put implements kvstore.Table.
+func (t *table) Put(key, value any) error {
+	t.store.metrics.AddStorePuts(1)
+	sh, pl, err := t.log(t.PartOf(key))
+	if err != nil {
+		return err
+	}
+	defer sh.mu.Unlock()
+	return pl.appendRecord(opPut, key, value)
+}
+
+// Delete implements kvstore.Table.
+func (t *table) Delete(key any) error {
+	t.store.metrics.AddStoreDeletes(1)
+	sh, pl, err := t.log(t.PartOf(key))
+	if err != nil {
+		return err
+	}
+	defer sh.mu.Unlock()
+	if _, ok := pl.index[key]; !ok {
+		return nil
+	}
+	return pl.appendRecord(opDelete, key, nil)
+}
+
+// Size implements kvstore.Table.
+func (t *table) Size() (int, error) {
+	total := 0
+	for p := 0; p < t.Parts(); p++ {
+		sh, pl, err := t.log(p)
+		if err != nil {
+			return 0, err
+		}
+		total += len(pl.index)
+		sh.mu.Unlock()
+	}
+	return total, nil
+}
+
+// EnumerateParts implements kvstore.Table.
+func (t *table) EnumerateParts(pc kvstore.PartConsumer) (any, error) {
+	parts := t.Parts()
+	results := make([]any, parts)
+	errs := make([]error, parts)
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sv := &shardView{store: t.store, group: t.group, shard: t.group.shards[p]}
+			results[p], errs[p] = pc.ProcessPart(sv)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	combined := results[0]
+	var err error
+	for p := 1; p < parts; p++ {
+		combined, err = pc.Combine(combined, results[p])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
+}
+
+// EnumeratePairs implements kvstore.Table.
+func (t *table) EnumeratePairs(pc kvstore.PairConsumer) (any, error) {
+	return t.EnumerateParts(pairConsumerAdapter{t: t, pc: pc})
+}
+
+type pairConsumerAdapter struct {
+	t  *table
+	pc kvstore.PairConsumer
+}
+
+var _ kvstore.PartConsumer = pairConsumerAdapter{}
+
+func (a pairConsumerAdapter) ProcessPart(sv kvstore.ShardView) (any, error) {
+	view, err := sv.View(a.t.name)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.pc.SetupPart(sv.Part()); err != nil {
+		return nil, err
+	}
+	if err := view.Enumerate(func(k, v any) (bool, error) {
+		return a.pc.ConsumePair(k, v)
+	}); err != nil {
+		return nil, err
+	}
+	return a.pc.FinishPart(sv.Part())
+}
+
+func (a pairConsumerAdapter) Combine(x, y any) (any, error) { return a.pc.Combine(x, y) }
+
+// shardView is the agent window for diskstore.
+type shardView struct {
+	store *Store
+	group *group
+	shard *shard
+}
+
+var _ kvstore.ShardView = (*shardView)(nil)
+
+// Part implements kvstore.ShardView.
+func (sv *shardView) Part() int { return sv.shard.part }
+
+// View implements kvstore.ShardView.
+func (sv *shardView) View(tableName string) (kvstore.PartView, error) {
+	sv.store.mu.Lock()
+	t, ok := sv.store.tables[tableName]
+	sv.store.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, tableName)
+	}
+	if t.ubiquitous {
+		return &partView{store: sv.store, table: t, shard: t.group.shards[0]}, nil
+	}
+	if !coPlaced(t.group, sv.group) {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNotCoPlaced, tableName)
+	}
+	return &partView{store: sv.store, table: t, shard: t.group.shards[sv.shard.part]}, nil
+}
+
+func coPlaced(a, b *group) bool {
+	if a == b {
+		return true
+	}
+	if a.parts != b.parts {
+		return false
+	}
+	_, da := a.hasher.(codec.DefaultHasher)
+	_, db := b.hasher.(codec.DefaultHasher)
+	return da && db
+}
+
+// partView is local access to one disk part.
+type partView struct {
+	store *Store
+	table *table
+	shard *shard
+}
+
+var _ kvstore.PartView = (*partView)(nil)
+
+// Table implements kvstore.PartView.
+func (pv *partView) Table() string { return pv.table.name }
+
+// Part implements kvstore.PartView.
+func (pv *partView) Part() int { return pv.shard.part }
+
+func (pv *partView) log() (*partLog, error) {
+	pl := pv.shard.logs[pv.table.name]
+	if pl == nil {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, pv.table.name)
+	}
+	return pl, nil
+}
+
+// Get implements kvstore.PartView.
+func (pv *partView) Get(key any) (any, bool, error) {
+	pv.store.metrics.AddStoreGets(1)
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pl, err := pv.log()
+	if err != nil {
+		return nil, false, err
+	}
+	e, ok := pl.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	v, err := pl.readValue(e)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// Put implements kvstore.PartView.
+func (pv *partView) Put(key, value any) error {
+	pv.store.metrics.AddStorePuts(1)
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pl, err := pv.log()
+	if err != nil {
+		return err
+	}
+	return pl.appendRecord(opPut, key, value)
+}
+
+// Delete implements kvstore.PartView.
+func (pv *partView) Delete(key any) error {
+	pv.store.metrics.AddStoreDeletes(1)
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pl, err := pv.log()
+	if err != nil {
+		return err
+	}
+	if _, ok := pl.index[key]; !ok {
+		return nil
+	}
+	return pl.appendRecord(opDelete, key, nil)
+}
+
+// Len implements kvstore.PartView.
+func (pv *partView) Len() (int, error) {
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pl, err := pv.log()
+	if err != nil {
+		return 0, err
+	}
+	return len(pl.index), nil
+}
+
+// Enumerate implements kvstore.PartView.
+func (pv *partView) Enumerate(fn kvstore.PairFunc) error {
+	return pv.enumerate(fn, false)
+}
+
+// EnumerateOrdered implements kvstore.PartView.
+func (pv *partView) EnumerateOrdered(fn kvstore.PairFunc) error {
+	return pv.enumerate(fn, true)
+}
+
+func (pv *partView) enumerate(fn kvstore.PairFunc, ordered bool) error {
+	pv.shard.mu.Lock()
+	pl, err := pv.log()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return err
+	}
+	keys := make([]any, 0, len(pl.index))
+	for k := range pl.index {
+		keys = append(keys, k)
+	}
+	pv.shard.mu.Unlock()
+	if ordered {
+		sortKeysStable(keys)
+	}
+	for _, k := range keys {
+		v, ok, err := pv.Get(k)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		stop, err := fn(k, v)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

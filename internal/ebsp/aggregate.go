@@ -1,0 +1,115 @@
+package ebsp
+
+import "math"
+
+// Built-in aggregators for the common aggregation techniques. All are
+// stateless values; a single instance can serve many jobs.
+
+// IntSum sums int inputs.
+type IntSum struct{}
+
+var _ Aggregator = IntSum{}
+
+// Zero implements Aggregator.
+func (IntSum) Zero() any { return 0 }
+
+// Combine implements Aggregator.
+func (IntSum) Combine(a, b any) any { return a.(int) + b.(int) }
+
+// Int64Sum sums int64 inputs.
+type Int64Sum struct{}
+
+var _ Aggregator = Int64Sum{}
+
+// Zero implements Aggregator.
+func (Int64Sum) Zero() any { return int64(0) }
+
+// Combine implements Aggregator.
+func (Int64Sum) Combine(a, b any) any { return a.(int64) + b.(int64) }
+
+// Float64Sum sums float64 inputs.
+type Float64Sum struct{}
+
+var _ Aggregator = Float64Sum{}
+
+// Zero implements Aggregator.
+func (Float64Sum) Zero() any { return float64(0) }
+
+// Combine implements Aggregator.
+func (Float64Sum) Combine(a, b any) any { return a.(float64) + b.(float64) }
+
+// IntMax keeps the maximum int input.
+type IntMax struct{}
+
+var _ Aggregator = IntMax{}
+
+// Zero implements Aggregator.
+func (IntMax) Zero() any { return int(minInt) }
+
+// Combine implements Aggregator.
+func (IntMax) Combine(a, b any) any { return max(a.(int), b.(int)) }
+
+// IntMin keeps the minimum int input.
+type IntMin struct{}
+
+var _ Aggregator = IntMin{}
+
+// Zero implements Aggregator.
+func (IntMin) Zero() any { return int(maxInt) }
+
+// Combine implements Aggregator.
+func (IntMin) Combine(a, b any) any { return min(a.(int), b.(int)) }
+
+// Float64Max keeps the maximum float64 input.
+type Float64Max struct{}
+
+var _ Aggregator = Float64Max{}
+
+// Zero implements Aggregator.
+func (Float64Max) Zero() any { return negInf }
+
+// Combine implements Aggregator.
+func (Float64Max) Combine(a, b any) any { return max(a.(float64), b.(float64)) }
+
+// Float64Min keeps the minimum float64 input.
+type Float64Min struct{}
+
+var _ Aggregator = Float64Min{}
+
+// Zero implements Aggregator.
+func (Float64Min) Zero() any { return posInf }
+
+// Combine implements Aggregator.
+func (Float64Min) Combine(a, b any) any { return min(a.(float64), b.(float64)) }
+
+// BoolOr ORs bool inputs.
+type BoolOr struct{}
+
+var _ Aggregator = BoolOr{}
+
+// Zero implements Aggregator.
+func (BoolOr) Zero() any { return false }
+
+// Combine implements Aggregator.
+func (BoolOr) Combine(a, b any) any { return a.(bool) || b.(bool) }
+
+// BoolAnd ANDs bool inputs.
+type BoolAnd struct{}
+
+var _ Aggregator = BoolAnd{}
+
+// Zero implements Aggregator.
+func (BoolAnd) Zero() any { return true }
+
+// Combine implements Aggregator.
+func (BoolAnd) Combine(a, b any) any { return a.(bool) && b.(bool) }
+
+const (
+	maxInt = int(^uint(0) >> 1)
+	minInt = -maxInt - 1
+)
+
+var (
+	posInf = math.Inf(1)
+	negInf = math.Inf(-1)
+)

@@ -1,0 +1,73 @@
+package ebsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinAggregators(t *testing.T) {
+	cases := []struct {
+		name string
+		agg  Aggregator
+		a, b any
+		want any
+	}{
+		{"IntSum", IntSum{}, 3, 4, 7},
+		{"Int64Sum", Int64Sum{}, int64(3), int64(4), int64(7)},
+		{"Float64Sum", Float64Sum{}, 1.5, 2.25, 3.75},
+		{"IntMax", IntMax{}, 3, 9, 9},
+		{"IntMin", IntMin{}, 3, 9, 3},
+		{"Float64Max", Float64Max{}, 1.5, -2.0, 1.5},
+		{"Float64Min", Float64Min{}, 1.5, -2.0, -2.0},
+		{"BoolOr", BoolOr{}, false, true, true},
+		{"BoolAnd", BoolAnd{}, true, false, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.agg.Combine(c.a, c.b); got != c.want {
+				t.Errorf("Combine(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+			// The zero must be an identity for the aggregation.
+			if got := c.agg.Combine(c.agg.Zero(), c.a); got != c.a {
+				t.Errorf("Combine(Zero, %v) = %v, want identity", c.a, got)
+			}
+			if got := c.agg.Combine(c.a, c.agg.Zero()); got != c.a {
+				t.Errorf("Combine(%v, Zero) = %v, want identity", c.a, got)
+			}
+		})
+	}
+}
+
+func TestFloatAggregatorZeroIdentities(t *testing.T) {
+	if z := (Float64Max{}).Zero().(float64); !math.IsInf(z, -1) {
+		t.Errorf("Float64Max zero = %v", z)
+	}
+	if z := (Float64Min{}).Zero().(float64); !math.IsInf(z, 1) {
+		t.Errorf("Float64Min zero = %v", z)
+	}
+}
+
+func TestIntSumAssociativityProperty(t *testing.T) {
+	f := func(a, b, c int32) bool {
+		agg := IntSum{}
+		l := agg.Combine(agg.Combine(int(a), int(b)), int(c))
+		r := agg.Combine(int(a), agg.Combine(int(b), int(c)))
+		return l == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxCommutativityProperty(t *testing.T) {
+	f := func(a, b int) bool {
+		mx := IntMax{}
+		mn := IntMin{}
+		return mx.Combine(a, b) == mx.Combine(b, a) &&
+			mn.Combine(a, b) == mn.Combine(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

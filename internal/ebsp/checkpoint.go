@@ -1,0 +1,252 @@
+package ebsp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+)
+
+// Checkpointing extends the paper's fault-tolerance outline (§IV-A) from
+// replay of deterministic jobs to restartability of arbitrary synchronized
+// jobs: at configurable barrier intervals the engine snapshots everything a
+// barrier defines — the state tables, the undelivered spills, the aggregate
+// results, and the step number — into checkpoint tables in the same store.
+// A later Resume with an equivalent job specification restores the snapshot
+// and continues from the step after the checkpoint.
+//
+// Checkpoints survive engine crashes because they live in the store; on a
+// durable store (diskstore) they survive process restarts too.
+
+// ErrNoCheckpoint is returned by Resume when no checkpoint exists for the
+// job.
+var ErrNoCheckpoint = errors.New("ebsp: no checkpoint for job")
+
+// WithCheckpoints makes synchronized jobs snapshot their barrier state every
+// `every` steps. 0 disables checkpointing (the default). No-sync jobs have
+// no barriers and ignore the option.
+func WithCheckpoints(every int) Option {
+	return func(e *Engine) {
+		if every >= 0 {
+			e.checkpointEvery = every
+		}
+	}
+}
+
+// checkpointMeta is the snapshot's root record.
+type checkpointMeta struct {
+	Step       int
+	Pending    int64
+	Aggregates map[string]any
+	Tables     []string
+}
+
+func init() {
+	codec.Register(checkpointMeta{})
+}
+
+// checkpointPrefix names a job's checkpoint tables; stable across runs so
+// Resume can find them.
+func checkpointPrefix(jobName string) string {
+	return fmt.Sprintf("__ckpt.%s", jobName)
+}
+
+func ckptMetaTable(jobName string) string  { return checkpointPrefix(jobName) + ".meta" }
+func ckptSpillTable(jobName string) string { return checkpointPrefix(jobName) + ".spills" }
+func ckptStateTable(jobName string, tab int) string {
+	return fmt.Sprintf("%s.state.%d", checkpointPrefix(jobName), tab)
+}
+
+// checkpoint snapshots the barrier state after step `step`.
+func (run *jobRun) checkpoint(step int, pending int64) error {
+	store := run.engine.store
+	jobName := run.job.Name
+
+	// State tables.
+	for i, t := range run.stateTables {
+		name := ckptStateTable(jobName, i)
+		if err := recreateTable(store, name, run.placement.Name()); err != nil {
+			return err
+		}
+		ckpt, _ := store.LookupTable(name)
+		if err := copyTable(t, ckpt); err != nil {
+			return fmt.Errorf("ebsp: checkpoint state table %q: %w", t.Name(), err)
+		}
+	}
+
+	// Undelivered spills (the messages crossing the checkpointed barrier).
+	spillName := ckptSpillTable(jobName)
+	if err := recreateTable(store, spillName, run.placement.Name()); err != nil {
+		return err
+	}
+	ckptSpills, _ := store.LookupTable(spillName)
+	if err := copyTable(run.transport, ckptSpills); err != nil {
+		return fmt.Errorf("ebsp: checkpoint spills: %w", err)
+	}
+
+	// Meta record last, so a complete meta implies a complete snapshot.
+	metaName := ckptMetaTable(jobName)
+	if err := recreateTable(store, metaName, run.placement.Name()); err != nil {
+		return err
+	}
+	meta, _ := store.LookupTable(metaName)
+	aggs := make(map[string]any, len(run.aggPrev))
+	for k, v := range run.aggPrev {
+		aggs[k] = v
+	}
+	return meta.Put("meta", checkpointMeta{
+		Step:       step,
+		Pending:    pending,
+		Aggregates: aggs,
+		Tables:     run.stateNames,
+	})
+}
+
+// dropCheckpoint removes a job's checkpoint tables (after successful
+// completion).
+func (run *jobRun) dropCheckpoint() {
+	store := run.engine.store
+	jobName := run.job.Name
+	_ = store.DropTable(ckptMetaTable(jobName))
+	_ = store.DropTable(ckptSpillTable(jobName))
+	for i := range run.stateTables {
+		_ = store.DropTable(ckptStateTable(jobName, i))
+	}
+}
+
+// Resume restarts a synchronized job from its most recent checkpoint: the
+// state tables and undelivered messages are restored to the snapshot and
+// execution continues from the following step. The job specification must be
+// equivalent to the one originally run (same name, state tables, compute).
+func (e *Engine) Resume(job *Job) (*Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	metaTab, ok := e.store.LookupTable(ckptMetaTable(job.Name))
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoCheckpoint, job.Name)
+	}
+	rawMeta, ok, err := metaTab.Get("meta")
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (incomplete snapshot)", ErrNoCheckpoint, job.Name)
+	}
+	meta := rawMeta.(checkpointMeta)
+	if len(meta.Tables) != len(job.StateTables) {
+		return nil, fmt.Errorf("%w: checkpoint has %d state tables, job has %d",
+			ErrBadJob, len(meta.Tables), len(job.StateTables))
+	}
+	for i, name := range meta.Tables {
+		if job.StateTables[i] != name {
+			return nil, fmt.Errorf("%w: checkpoint state table %d is %q, job has %q",
+				ErrBadJob, i, name, job.StateTables[i])
+		}
+	}
+
+	derived := planFor(job)
+	strategy := derived
+	if e.override != nil {
+		strategy = e.override(derived).Clamp(derived)
+	}
+	strategy.Sync = true // checkpoints only exist for synchronized execution
+	if strategy.FastRecovery {
+		if _, ok := e.store.(kvstore.Transactional); !ok {
+			strategy.FastRecovery = false
+		}
+	}
+	run := &jobRun{
+		engine:   e,
+		job:      job,
+		ctx:      context.Background(),
+		strategy: strategy,
+		aggPrev:  make(map[string]any),
+	}
+	defer run.cleanup()
+	if err := run.setupTables(); err != nil {
+		return nil, err
+	}
+
+	// Restore state tables.
+	for i, t := range run.stateTables {
+		ckpt, ok := e.store.LookupTable(ckptStateTable(job.Name, i))
+		if !ok {
+			return nil, fmt.Errorf("%w: missing state snapshot %d", ErrNoCheckpoint, i)
+		}
+		if err := clearTable(t); err != nil {
+			return nil, err
+		}
+		if err := copyTable(ckpt, t); err != nil {
+			return nil, fmt.Errorf("ebsp: restore state table %q: %w", t.Name(), err)
+		}
+	}
+	// Restore undelivered spills into the fresh transport table.
+	ckptSpills, ok := e.store.LookupTable(ckptSpillTable(job.Name))
+	if !ok {
+		return nil, fmt.Errorf("%w: missing spill snapshot", ErrNoCheckpoint)
+	}
+	if err := copyTable(ckptSpills, run.transport); err != nil {
+		return nil, fmt.Errorf("ebsp: restore spills: %w", err)
+	}
+	for k, v := range meta.Aggregates {
+		run.aggPrev[k] = v
+	}
+
+	if err := run.setupAggTables(); err != nil {
+		return nil, err
+	}
+	res, err := run.syncLoop(meta.Step, meta.Pending)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = strategy
+	res.Recoveries = int(run.recoveries.Load())
+	if err := run.export(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// recreateTable drops and recreates a table consistently partitioned with
+// the placement table.
+func recreateTable(store kvstore.Store, name, consistentWith string) error {
+	if _, ok := store.LookupTable(name); ok {
+		if err := store.DropTable(name); err != nil {
+			return err
+		}
+	}
+	_, err := store.CreateTable(name, kvstore.ConsistentWith(consistentWith))
+	if err != nil {
+		return fmt.Errorf("ebsp: create checkpoint table %q: %w", name, err)
+	}
+	return nil
+}
+
+// copyTable copies every pair from src to dst, part-locally where possible.
+func copyTable(src, dst kvstore.Table) error {
+	return kvstore.EnumerateAll(src, func(k, v any) (bool, error) {
+		return false, dst.Put(k, v)
+	})
+}
+
+// clearTable deletes every pair of a table.
+func clearTable(t kvstore.Table) error {
+	keys := make([]any, 0)
+	if err := kvstore.EnumerateAll(t, func(k, _ any) (bool, error) {
+		keys = append(keys, k)
+		return false, nil
+	}); err != nil {
+		return err
+	}
+	sort.Slice(keys, func(i, j int) bool { return codec.CompareKeys(keys[i], keys[j]) < 0 })
+	for _, k := range keys {
+		if err := t.Delete(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,423 @@
+package ebsp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+)
+
+// stateAccess abstracts where a compute invocation's state lives: local part
+// views (the normal, collocated case) or remote table handles (run-anywhere
+// work stealing, where the invocation may execute away from its state).
+type stateAccess interface {
+	get(tab int, key any) (any, bool, error)
+	put(tab int, key, value any) error
+	delete(tab int, key any) error
+}
+
+// localState reads and writes through collocated part views.
+type localState struct {
+	views []kvstore.PartView
+}
+
+func (ls *localState) get(tab int, key any) (any, bool, error) {
+	return ls.views[tab].Get(key)
+}
+
+func (ls *localState) put(tab int, key, value any) error {
+	return ls.views[tab].Put(key, value)
+}
+
+func (ls *localState) delete(tab int, key any) error {
+	return ls.views[tab].Delete(key)
+}
+
+// remoteState reads and writes through whole-table handles (crossing
+// partition boundaries); used only under run-anywhere, where the job declared
+// rare-state.
+type remoteState struct {
+	tables []kvstore.Table
+}
+
+func (rs *remoteState) get(tab int, key any) (any, bool, error) {
+	return rs.tables[tab].Get(key)
+}
+
+func (rs *remoteState) put(tab int, key, value any) error {
+	return rs.tables[tab].Put(key, value)
+}
+
+func (rs *remoteState) delete(tab int, key any) error {
+	return rs.tables[tab].Delete(key)
+}
+
+// Context is the ComputeContext of paper Listing 3: a compute invocation's
+// window onto its step number, key, state, input messages, outputs,
+// aggregators, and broadcast data.
+//
+// A Context is valid only for the duration of the Compute invocation that
+// received it. State-accessing methods report errors through the invocation
+// (the step fails); message and aggregation methods cannot fail.
+type Context struct {
+	run  *jobRun
+	step int
+	key  any
+
+	msgs      []any
+	continued bool // enabled via continue signal (not only messages)
+
+	state     stateAccess
+	writeback map[int]any // ReadWriteState registrations
+
+	out       outSink
+	aggPrev   map[string]any
+	aggLocal  map[string]any // this part's partial aggregations
+	broadcast kvstore.PartView
+
+	err error // first state-access error, surfaced after the invocation
+}
+
+// StepNum reports the current step number. Steps are numbered from 1; under
+// no-sync execution there are no steps and StepNum reports 0.
+func (c *Context) StepNum() int { return c.step }
+
+// Key identifies the component being invoked.
+func (c *Context) Key() any { return c.key }
+
+// InputMessages returns the messages sent to this component in the previous
+// step (possibly combined by the job's message combiner), in deterministic
+// (sender, send-order) order. The returned slice is owned by the platform;
+// do not retain it past the invocation.
+func (c *Context) InputMessages() []any { return c.msgs }
+
+// ReadState returns this component's value in the tab-th state table.
+func (c *Context) ReadState(tab int) (any, bool) {
+	v, ok, err := c.state.get(tab, c.key)
+	c.fail(err)
+	return v, ok
+}
+
+// WriteState sets this component's value in the tab-th state table.
+func (c *Context) WriteState(tab int, s any) {
+	c.fail(c.state.put(tab, c.key, s))
+	delete(c.writeback, tab)
+}
+
+// ReadWriteState reads this component's value and registers it to be written
+// back when the invocation finishes, so in-place mutations of a mutable state
+// object persist (paper Listing 3: readWriteState). A later WriteState or
+// DeleteState for the same table supersedes the registration.
+func (c *Context) ReadWriteState(tab int) (any, bool) {
+	v, ok := c.ReadState(tab)
+	if ok {
+		if c.writeback == nil {
+			c.writeback = make(map[int]any)
+		}
+		c.writeback[tab] = v
+	}
+	return v, ok
+}
+
+// DeleteState removes this component's value from the tab-th state table.
+func (c *Context) DeleteState(tab int) {
+	c.fail(c.state.delete(tab, c.key))
+	delete(c.writeback, tab)
+}
+
+// CreateState requests creation of another component's state: the entry
+// appears in the tab-th state table at the synchronization barrier.
+// Conflicting creations are merged by the job's state combiner.
+func (c *Context) CreateState(tab int, key, state any) {
+	c.out.add(envelope{
+		Dst:  key,
+		Kind: kindCreate,
+		Val:  createPayload{Tab: tab, State: state},
+	}, c.run)
+}
+
+// Send delivers a message to the component identified by key in the
+// following step (enabling it).
+func (c *Context) Send(key, msg any) {
+	c.out.add(envelope{Dst: key, Kind: kindData, Val: msg}, c.run)
+}
+
+// AggregateValue feeds a value to the named aggregator; the combined result
+// across all components is readable next step via AggregateResult.
+// Unknown aggregator names are ignored (matching the platform's freedom to
+// drop aggregations the job did not declare).
+func (c *Context) AggregateValue(name string, value any) {
+	agg, ok := c.run.job.Aggregators[name]
+	if !ok {
+		return
+	}
+	cur, ok := c.aggLocal[name]
+	if !ok {
+		cur = agg.Zero()
+	}
+	c.aggLocal[name] = agg.Combine(cur, value)
+}
+
+// AggregateResult reads the named aggregator's result from the previous step
+// (nil before any input reached it).
+func (c *Context) AggregateResult(name string) any { return c.aggPrev[name] }
+
+// Broadcast reads a value from the job's reference table of immutable
+// broadcast data (paper: getBroadcastDatum).
+func (c *Context) Broadcast(key any) (any, bool) {
+	if c.broadcast == nil {
+		return nil, false
+	}
+	v, ok, err := c.broadcast.Get(key)
+	c.fail(err)
+	return v, ok
+}
+
+// DirectOutput emits one direct-job-output pair, handled by the job's
+// DirectOutput exporter.
+func (c *Context) DirectOutput(key, value any) {
+	c.out.addDirect(key, value)
+}
+
+// fail records the first state-access error; the engine surfaces it when the
+// invocation returns.
+func (c *Context) fail(err error) {
+	if err != nil && c.err == nil {
+		c.err = err
+	}
+}
+
+// finish applies pending ReadWriteState write-backs.
+func (c *Context) finish() error {
+	if c.err != nil {
+		return c.err
+	}
+	if len(c.writeback) == 0 {
+		return nil
+	}
+	tabs := make([]int, 0, len(c.writeback))
+	for tab := range c.writeback {
+		tabs = append(tabs, tab)
+	}
+	sort.Ints(tabs)
+	for _, tab := range tabs {
+		if err := c.state.put(tab, c.key, c.writeback[tab]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// outSink receives a compute invocation's outputs. The sync path buffers
+// them into spills (outBuffer); the no-sync path sends them straight to the
+// destination queues (queueSink).
+type outSink interface {
+	add(env envelope, run *jobRun)
+	addDirect(key, value any)
+}
+
+// outBuffer accumulates one execution slot's outgoing envelopes, batched per
+// destination part, plus its direct output. It also performs sender-side
+// pairwise combining when the job has a message combiner.
+type outBuffer struct {
+	srcPart  int
+	parts    int
+	partOf   func(key any) int
+	combiner MessageCombiner
+
+	batches   map[int][]envelope
+	dataIdx   map[int]map[any]int // dstPart -> key -> index of data envelope
+	seq       int
+	count     int64 // envelopes added (post-combining)
+	combined  int64 // messages eliminated by sender-side combining
+	direct    []kvPair
+	createSet int64
+}
+
+type kvPair struct {
+	key, value any
+}
+
+func newOutBuffer(srcPart, parts int, partOf func(any) int, combiner MessageCombiner) *outBuffer {
+	return &outBuffer{
+		srcPart:  srcPart,
+		parts:    parts,
+		partOf:   partOf,
+		combiner: combiner,
+		batches:  make(map[int][]envelope),
+		dataIdx:  make(map[int]map[any]int),
+	}
+}
+
+func (b *outBuffer) add(env envelope, run *jobRun) {
+	dst := b.partOf(env.Dst)
+	env.Src = b.srcPart
+	if env.Kind == kindData && b.combiner != nil && keyComparable(env.Dst) {
+		idx := b.dataIdx[dst]
+		if idx == nil {
+			idx = make(map[any]int)
+			b.dataIdx[dst] = idx
+		}
+		if i, ok := idx[env.Dst]; ok {
+			prev := &b.batches[dst][i]
+			prev.Val = b.combiner.CombineMessages(env.Dst, prev.Val, env.Val)
+			b.combined++
+			return
+		}
+		env.Seq = b.seq
+		b.seq++
+		b.batches[dst] = append(b.batches[dst], env)
+		idx[env.Dst] = len(b.batches[dst]) - 1
+		b.count++
+		return
+	}
+	env.Seq = b.seq
+	b.seq++
+	b.batches[dst] = append(b.batches[dst], env)
+	b.count++
+	if env.Kind == kindCreate {
+		b.createSet++
+	}
+}
+
+func (b *outBuffer) addDirect(key, value any) {
+	b.direct = append(b.direct, kvPair{key: key, value: value})
+}
+
+// keyComparable reports whether a key can index a Go map (slices, maps, and
+// functions cannot). Uncombinable keys simply skip sender-side combining.
+func keyComparable(k any) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	_ = map[any]struct{}{k: {}}
+	return true
+}
+
+// flushSpills writes the buffered batches to the transport table for
+// delivery at step. Same-part batches are written through the local view
+// (no partition crossing); cross-part batches go through the table handle,
+// in parallel — remote writes overlap, the way a real BSP implementation
+// overlaps its end-of-step sends.
+func (b *outBuffer) flushSpills(step int, transport kvstore.Table, local kvstore.PartView, m *metrics.Collector) error {
+	dsts := make([]int, 0, len(b.batches))
+	for dst := range b.batches {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	var wg sync.WaitGroup
+	errs := make([]error, len(dsts))
+	for i, dst := range dsts {
+		batch := b.batches[dst]
+		if len(batch) == 0 {
+			continue
+		}
+		key := spillKey{Step: step, Dst: dst, Src: b.srcPart}
+		if local != nil && dst == b.srcPart {
+			if err := local.Put(key, batch); err != nil {
+				return fmt.Errorf("ebsp: write spill %+v: %w", key, err)
+			}
+			m.AddSpills(1)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, key spillKey, batch []envelope) {
+			defer wg.Done()
+			errs[i] = transport.Put(key, batch)
+		}(i, key, batch)
+		m.AddSpills(1)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ebsp: write spill to part %d: %w", dsts[i], err)
+		}
+	}
+	m.AddMessagesSent(b.count)
+	m.AddMessagesCombined(b.combined)
+	return nil
+}
+
+// exportDirect hands buffered direct output to the job's exporter,
+// serialized by the run's mutex.
+func (b *outBuffer) exportDirect(run *jobRun) error {
+	if len(b.direct) == 0 || run.job.DirectOutput == nil {
+		return nil
+	}
+	run.directMu.Lock()
+	defer run.directMu.Unlock()
+	for _, p := range b.direct {
+		if err := run.job.DirectOutput.Export(p.key, p.value); err != nil {
+			return fmt.Errorf("ebsp: direct output: %w", err)
+		}
+	}
+	b.direct = b.direct[:0]
+	return nil
+}
+
+// LoadContext is what Loaders use to establish a job's initial condition:
+// initial messages, initial component states, additional enabled components,
+// and initial aggregator inputs (paper §II).
+type LoadContext struct {
+	run *jobRun
+
+	mu       sync.Mutex
+	envs     []envelope
+	seq      int
+	aggs     map[string]any
+	puts     []statePut
+	enabled  int64
+	messages int64
+}
+
+type statePut struct {
+	tab        int
+	key, value any
+}
+
+// SendMessage queues an initial message, delivered (and enabling its
+// receiver) in the job's first step.
+func (lc *LoadContext) SendMessage(key, msg any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.envs = append(lc.envs, envelope{Dst: key, Kind: kindData, Val: msg, Src: -1, Seq: lc.seq})
+	lc.seq++
+	lc.messages++
+}
+
+// Enable marks the component enabled for the first step even without
+// messages.
+func (lc *LoadContext) Enable(key any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.envs = append(lc.envs, envelope{Dst: key, Kind: kindContinue, Src: -1, Seq: lc.seq})
+	lc.seq++
+	lc.enabled++
+}
+
+// PutState writes an initial component state into the tab-th state table.
+func (lc *LoadContext) PutState(tab int, key, state any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.puts = append(lc.puts, statePut{tab: tab, key: key, value: state})
+}
+
+// AggregateValue supplies an initial input to the named aggregator; the
+// result is readable in the first step.
+func (lc *LoadContext) AggregateValue(name string, value any) {
+	agg, ok := lc.run.job.Aggregators[name]
+	if !ok {
+		return
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	cur, ok := lc.aggs[name]
+	if !ok {
+		cur = agg.Zero()
+	}
+	lc.aggs[name] = agg.Combine(cur, value)
+}

@@ -1,0 +1,110 @@
+package ebsp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRunContextCancelledBeforeStart(t *testing.T) {
+	e := newEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.RunContext(ctx, &Job{
+		Name:        "pre-cancel",
+		StateTables: []string{"pc_state"},
+		Compute:     ComputeFunc(func(*Context) bool { return false }),
+		Loaders:     []Loader{&EnableLoader{Keys: []any{1}}},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextCancelMidJobSync(t *testing.T) {
+	e := newEngine(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	job := &Job{
+		Name:        "mid-cancel",
+		StateTables: []string{"mc_state"},
+		Compute: ComputeFunc(func(c *Context) bool {
+			if c.StepNum() == 3 {
+				cancel() // external cancellation arrives during step 3
+			}
+			return true // would run forever otherwise
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	_, err := e.RunContext(ctx, job)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextDeadlineNoSync(t *testing.T) {
+	e := newEngine(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// An endless no-sync ping-pong between two components.
+	job := &Job{
+		Name:        "ns-cancel",
+		StateTables: []string{"nsc2_state"},
+		Properties:  Properties{Incremental: true},
+		Compute: ComputeFunc(func(c *Context) bool {
+			for _, m := range c.InputMessages() {
+				other := 1 - c.Key().(int)
+				c.Send(other, m)
+			}
+			return false
+		}),
+		Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: "ball"}}}},
+	}
+	start := time.Now()
+	_, err := e.RunContext(ctx, job)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation took far too long")
+	}
+}
+
+func TestRunContextNilContext(t *testing.T) {
+	e := newEngine(t)
+	res, err := e.RunContext(nil, &Job{ //nolint:staticcheck // explicit nil-tolerance check
+		Name:        "nil-ctx",
+		StateTables: []string{"nc2_state"},
+		Compute:     ComputeFunc(func(*Context) bool { return false }),
+		Loaders:     []Loader{&EnableLoader{Keys: []any{1}}},
+	})
+	if err != nil || res.Steps != 1 {
+		t.Errorf("res=%+v err=%v", res, err)
+	}
+}
+
+func TestCancelledJobResumableWithCheckpoints(t *testing.T) {
+	e := newEngine(t, WithCheckpoints(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	job := func() *Job {
+		return checkpointChainJob("cancel-resume", 12, nil)
+	}
+	j := job()
+	inner := j.Compute
+	j.Compute = ComputeFunc(func(c *Context) bool {
+		if c.StepNum() == 6 {
+			cancel()
+		}
+		return inner.Compute(c)
+	})
+	if _, err := e.RunContext(ctx, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	res, err := e.Resume(job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 12 {
+		t.Errorf("resumed Steps = %d, want 12", res.Steps)
+	}
+}

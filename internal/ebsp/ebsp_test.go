@@ -1,0 +1,834 @@
+package ebsp
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+)
+
+func newEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	return NewEngine(store, opts...)
+}
+
+// chainCompute passes a counter along a chain of components 0..limit.
+type chainCompute struct {
+	limit int
+}
+
+func (c *chainCompute) Compute(ctx *Context) bool {
+	for _, m := range ctx.InputMessages() {
+		n := m.(int)
+		ctx.WriteState(0, n)
+		if n < c.limit {
+			ctx.Send(ctx.Key().(int)+1, n+1)
+		}
+	}
+	return false
+}
+
+func TestChainJobRunsToCompletion(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:        "chain",
+		StateTables: []string{"chain_state"},
+		Compute:     &chainCompute{limit: 10},
+		Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 11 {
+		t.Errorf("Steps = %d, want 11", res.Steps)
+	}
+	tab, _ := e.Store().LookupTable("chain_state")
+	for i := 0; i <= 10; i++ {
+		v, ok, _ := tab.Get(i)
+		if !ok || v != i {
+			t.Errorf("state[%d] = %v, %v", i, v, ok)
+		}
+	}
+	if n, _ := tab.Size(); n != 11 {
+		t.Errorf("state table size = %d, want 11", n)
+	}
+}
+
+func TestEmptyJobTakesNoSteps(t *testing.T) {
+	e := newEngine(t)
+	res, err := e.Run(&Job{
+		Name:    "empty",
+		Compute: ComputeFunc(func(ctx *Context) bool { return false }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 {
+		t.Errorf("Steps = %d, want 0", res.Steps)
+	}
+}
+
+func TestSelectiveEnablement(t *testing.T) {
+	// Only components that received messages (or continued) run in a step.
+	var invoked sync.Map
+	e := newEngine(t)
+	job := &Job{
+		Name:        "selective",
+		StateTables: []string{"sel_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			key := ctx.Key().(int)
+			n, _ := invoked.LoadOrStore(key, new(atomic.Int64))
+			n.(*atomic.Int64).Add(1)
+			return false
+		}),
+		Loaders: []Loader{
+			&StateLoader{Tab: 0, States: map[any]any{0: "a", 1: "b", 2: "c", 3: "d"}},
+			&MessageLoader{Messages: []InitialMessage{{Key: 2, Message: "hit"}}},
+		},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("Steps = %d, want 1", res.Steps)
+	}
+	count := 0
+	invoked.Range(func(k, v any) bool {
+		count++
+		if k != 2 {
+			t.Errorf("component %v invoked despite no message", k)
+		}
+		return true
+	})
+	if count != 1 {
+		t.Errorf("%d components invoked, want 1", count)
+	}
+}
+
+func TestContinueSignalEnablesNextStep(t *testing.T) {
+	// A component that returns true runs again with no input messages.
+	type obs struct {
+		step int
+		msgs int
+	}
+	var mu sync.Mutex
+	var seen []obs
+	e := newEngine(t)
+	job := &Job{
+		Name:        "continue",
+		StateTables: []string{"cont_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			mu.Lock()
+			seen = append(seen, obs{step: ctx.StepNum(), msgs: len(ctx.InputMessages())})
+			mu.Unlock()
+			return ctx.StepNum() < 3
+		}),
+		Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 7, Message: "go"}}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 3 {
+		t.Fatalf("Steps = %d, want 3", res.Steps)
+	}
+	want := []obs{{1, 1}, {2, 0}, {3, 0}}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("invocation %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestEnableLoaderInvokesWithoutMessages(t *testing.T) {
+	var gotMsgs atomic.Int64
+	var calls atomic.Int64
+	e := newEngine(t)
+	job := &Job{
+		Name:        "enable",
+		StateTables: []string{"en_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			calls.Add(1)
+			gotMsgs.Add(int64(len(ctx.InputMessages())))
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2, 3}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 || calls.Load() != 3 || gotMsgs.Load() != 0 {
+		t.Errorf("steps=%d calls=%d msgs=%d", res.Steps, calls.Load(), gotMsgs.Load())
+	}
+}
+
+// fanCompute fans messages out to many destinations, which each count them.
+type fanCompute struct {
+	fanout int
+	counts *sync.Map
+}
+
+func (f *fanCompute) Compute(ctx *Context) bool {
+	key := ctx.Key().(int)
+	if key == 0 && ctx.StepNum() == 1 {
+		for i := 1; i <= f.fanout; i++ {
+			ctx.Send(i, 1)
+		}
+		return false
+	}
+	total := 0
+	for _, m := range ctx.InputMessages() {
+		total += m.(int)
+	}
+	n, _ := f.counts.LoadOrStore(key, new(atomic.Int64))
+	n.(*atomic.Int64).Add(int64(total))
+	return false
+}
+
+func TestMessageConservation(t *testing.T) {
+	counts := &sync.Map{}
+	e := newEngine(t)
+	job := &Job{
+		Name:        "fan",
+		StateTables: []string{"fan_state"},
+		Compute:     &fanCompute{fanout: 100, counts: counts},
+		Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	counts.Range(func(k, v any) bool {
+		total += v.(*atomic.Int64).Load()
+		return true
+	})
+	if total != 100 {
+		t.Errorf("received %d, sent 100", total)
+	}
+}
+
+// sumCombiner sums int messages pairwise.
+type sumCombiner struct{}
+
+func (sumCombiner) CombineMessages(key, m1, m2 any) any { return m1.(int) + m2.(int) }
+
+func TestCombinerReducesDeliveries(t *testing.T) {
+	var delivered atomic.Int64
+	var sum atomic.Int64
+	m := &metrics.Collector{}
+	e := newEngine(t, WithMetrics(m))
+	job := &Job{
+		Name:        "combine",
+		StateTables: []string{"cmb_state"},
+		Combiner:    sumCombiner{},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			if ctx.StepNum() == 1 {
+				// Every seed component sends 10 messages to component 999.
+				for i := 0; i < 10; i++ {
+					ctx.Send(999, 1)
+				}
+				return false
+			}
+			for _, msg := range ctx.InputMessages() {
+				delivered.Add(1)
+				sum.Add(int64(msg.(int)))
+			}
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2, 3, 4, 5, 6, 7, 8}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 80 {
+		t.Errorf("combined sum = %d, want 80", sum.Load())
+	}
+	// 8 senders × 10 msgs: sender-side combining collapses each sender's 10
+	// into 1; receiver-side collapses the rest into a single delivery.
+	if delivered.Load() != 1 {
+		t.Errorf("deliveries = %d, want 1", delivered.Load())
+	}
+	if m.Snapshot().MessagesCombined != 79 {
+		t.Errorf("combined metric = %d, want 79", m.Snapshot().MessagesCombined)
+	}
+}
+
+func TestAggregatorsSmallPath(t *testing.T) {
+	testAggregators(t, 16)
+}
+
+func TestAggregatorsLargeTablePath(t *testing.T) {
+	// Threshold 0 forces the auxiliary-table aggregation path (§IV-A).
+	testAggregators(t, 0)
+}
+
+func testAggregators(t *testing.T, threshold int) {
+	t.Helper()
+	m := &metrics.Collector{}
+	e := newEngine(t, WithAggTableThreshold(threshold), WithMetrics(m))
+	var mu sync.Mutex
+	read := map[int]any{} // step -> aggregate result visible that step
+	job := &Job{
+		Name:        "agg",
+		StateTables: []string{"agg_state"},
+		Aggregators: map[string]Aggregator{"total": IntSum{}, "peak": IntMax{}},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			mu.Lock()
+			if _, ok := read[ctx.StepNum()]; !ok {
+				read[ctx.StepNum()] = ctx.AggregateResult("total")
+			}
+			mu.Unlock()
+			ctx.AggregateValue("total", ctx.Key().(int))
+			ctx.AggregateValue("peak", ctx.Key().(int))
+			return ctx.StepNum() < 2
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2, 3, 4, 5}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 2 {
+		t.Fatalf("Steps = %d", res.Steps)
+	}
+	if res.Aggregates["total"] != 15 {
+		t.Errorf("final total = %v, want 15", res.Aggregates["total"])
+	}
+	if res.Aggregates["peak"] != 5 {
+		t.Errorf("final peak = %v, want 5", res.Aggregates["peak"])
+	}
+	// Step 1 sees no prior result; step 2 sees step 1's total.
+	if read[1] != nil {
+		t.Errorf("step 1 read %v, want nil", read[1])
+	}
+	if read[2] != 15 {
+		t.Errorf("step 2 read %v, want 15", read[2])
+	}
+	if threshold == 0 && m.Snapshot().AggregationRounds == 0 {
+		t.Error("table-based aggregation path not exercised")
+	}
+}
+
+func TestLoaderAggregatorInputsVisibleInFirstStep(t *testing.T) {
+	e := newEngine(t)
+	var got atomic.Value
+	job := &Job{
+		Name:        "aggseed",
+		StateTables: []string{"aggseed_state"},
+		Aggregators: map[string]Aggregator{"seed": IntSum{}},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			got.Store(ctx.AggregateResult("seed"))
+			return false
+		}),
+		Loaders: []Loader{
+			&EnableLoader{Keys: []any{1}},
+			LoaderFunc(func(lc *LoadContext) error {
+				lc.AggregateValue("seed", 42)
+				return nil
+			}),
+		},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 42 {
+		t.Errorf("step-1 aggregate = %v, want 42", got.Load())
+	}
+}
+
+func TestBroadcastData(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	ref, err := store.CreateTable("ref", kvstore.Ubiquitous())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ref.Put("factor", 3)
+	e := NewEngine(store)
+	var got atomic.Value
+	job := &Job{
+		Name:           "bcast",
+		StateTables:    []string{"bc_state"},
+		ReferenceTable: "ref",
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			v, ok := ctx.Broadcast("factor")
+			if !ok {
+				t.Error("broadcast datum missing")
+			}
+			got.Store(v)
+			if _, ok := ctx.Broadcast("absent"); ok {
+				t.Error("phantom broadcast datum")
+			}
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{5}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 3 {
+		t.Errorf("broadcast = %v, want 3", got.Load())
+	}
+}
+
+func TestMissingReferenceTableFails(t *testing.T) {
+	e := newEngine(t)
+	_, err := e.Run(&Job{
+		Name:           "badref",
+		ReferenceTable: "missing",
+		Compute:        ComputeFunc(func(*Context) bool { return false }),
+	})
+	if !errors.Is(err, ErrBadJob) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestDirectOutput(t *testing.T) {
+	e := newEngine(t)
+	out := &CollectExporter{}
+	job := &Job{
+		Name:         "direct",
+		StateTables:  []string{"dj_state"},
+		DirectOutput: out,
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			ctx.DirectOutput(ctx.Key(), ctx.StepNum())
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2, 3}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	pairs := out.Pairs()
+	if len(pairs) != 3 {
+		t.Fatalf("direct output = %v", pairs)
+	}
+	for _, k := range []any{1, 2, 3} {
+		if pairs[k] != 1 {
+			t.Errorf("pair %v = %v", k, pairs[k])
+		}
+	}
+}
+
+func TestStateExporters(t *testing.T) {
+	e := newEngine(t)
+	exp := &CollectExporter{}
+	job := &Job{
+		Name:        "export",
+		StateTables: []string{"ex_state"},
+		Exporters:   map[string]Exporter{"ex_state": exp},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			ctx.WriteState(0, ctx.Key().(int)*10)
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	pairs := exp.Pairs()
+	if len(pairs) != 2 || pairs[1] != 10 || pairs[2] != 20 {
+		t.Errorf("exported = %v", pairs)
+	}
+}
+
+func TestCreateAndDeleteState(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:        "createdel",
+		StateTables: []string{"cd_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			switch ctx.StepNum() {
+			case 1:
+				// Create a sibling component's state; message it to verify.
+				ctx.CreateState(0, 100, "created")
+				ctx.Send(100, "check")
+			case 2:
+				v, ok := ctx.ReadState(0)
+				if !ok || v != "created" {
+					t.Errorf("created state = %v, %v", v, ok)
+				}
+				ctx.DeleteState(0)
+			}
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.Store().LookupTable("cd_state")
+	if _, ok, _ := tab.Get(100); ok {
+		t.Error("state survived DeleteState")
+	}
+}
+
+// keepLarger resolves created-state conflicts by keeping the larger int.
+type keepLarger struct{}
+
+func (keepLarger) CombineStates(key, s1, s2 any) any {
+	if s1.(int) >= s2.(int) {
+		return s1
+	}
+	return s2
+}
+
+func TestCreateStateConflictCombined(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:          "conflict",
+		StateTables:   []string{"cf_state"},
+		StateCombiner: keepLarger{},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			if ctx.StepNum() == 1 {
+				ctx.CreateState(0, 500, ctx.Key().(int))
+			}
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{3, 9, 6}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := e.Store().LookupTable("cf_state")
+	v, ok, _ := tab.Get(500)
+	if !ok || v != 9 {
+		t.Errorf("combined created state = %v, %v, want 9", v, ok)
+	}
+}
+
+func TestReadWriteStateMutatesInPlace(t *testing.T) {
+	codec.Register(&boxed{})
+	e := newEngine(t)
+	job := &Job{
+		Name:        "rws",
+		StateTables: []string{"rws_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			switch ctx.StepNum() {
+			case 1:
+				v, ok := ctx.ReadWriteState(0)
+				if !ok {
+					t.Error("state missing")
+					return false
+				}
+				v.(*boxed).N = 99 // mutate; ReadWriteState persists it
+				return true
+			default:
+				v, _ := ctx.ReadState(0)
+				if v.(*boxed).N != 99 {
+					t.Errorf("mutation not persisted: %v", v)
+				}
+				return false
+			}
+		}),
+		Loaders: []Loader{
+			&StateLoader{Tab: 0, States: map[any]any{1: &boxed{N: 1}}},
+			&EnableLoader{Keys: []any{1}},
+		},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type boxed struct{ N int }
+
+func TestAborterStopsJob(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:        "abort",
+		StateTables: []string{"ab_state"},
+		Aggregators: map[string]Aggregator{"n": IntSum{}},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			ctx.AggregateValue("n", 1)
+			return true // would run forever
+		}),
+		Aborter: AborterFunc(func(step int, aggs map[string]any) bool {
+			return step >= 4
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Error("not aborted")
+	}
+	if res.Steps != 4 {
+		t.Errorf("Steps = %d, want 4", res.Steps)
+	}
+}
+
+func TestMaxStepsBounds(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:        "maxsteps",
+		StateTables: []string{"ms_state"},
+		MaxSteps:    5,
+		Compute:     ComputeFunc(func(ctx *Context) bool { return true }),
+		Loaders:     []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 5 {
+		t.Errorf("Steps = %d, want 5", res.Steps)
+	}
+	if res.Aborted {
+		t.Error("MaxSteps must not report Aborted")
+	}
+}
+
+func TestNeedsOrderInvocationOrder(t *testing.T) {
+	// With needs-order, collocated invocations are sorted by key. Track
+	// per-part invocation order and verify monotonicity.
+	store := memstore.New(memstore.WithParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store)
+	var mu sync.Mutex
+	perPart := map[int][]int{}
+	tabName := "ord_state"
+	job := &Job{
+		Name:        "ordered",
+		StateTables: []string{tabName},
+		Properties:  Properties{NeedsOrder: true},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			tab, _ := store.LookupTable(tabName)
+			part := tab.PartOf(ctx.Key())
+			mu.Lock()
+			perPart[part] = append(perPart[part], ctx.Key().(int))
+			mu.Unlock()
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{9, 3, 7, 1, 8, 2, 6, 0, 5, 4}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	for part, keys := range perPart {
+		for i := 1; i < len(keys); i++ {
+			if keys[i] < keys[i-1] {
+				t.Errorf("part %d invoked out of order: %v", part, keys)
+				break
+			}
+		}
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e := newEngine(t)
+	cases := []struct {
+		name string
+		job  *Job
+		want error
+	}{
+		{"no compute", &Job{}, ErrNoCompute},
+		{"dup state table", &Job{
+			Compute:     ComputeFunc(func(*Context) bool { return false }),
+			StateTables: []string{"a", "a"},
+		}, ErrBadJob},
+		{"empty state table name", &Job{
+			Compute:     ComputeFunc(func(*Context) bool { return false }),
+			StateTables: []string{""},
+		}, ErrBadJob},
+		{"exporter for unknown table", &Job{
+			Compute:   ComputeFunc(func(*Context) bool { return false }),
+			Exporters: map[string]Exporter{"zzz": &CollectExporter{}},
+		}, ErrBadJob},
+		{"negative max steps", &Job{
+			Compute:  ComputeFunc(func(*Context) bool { return false }),
+			MaxSteps: -1,
+		}, ErrBadJob},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := e.Run(c.job); !errors.Is(err, c.want) {
+				t.Errorf("err = %v, want %v", err, c.want)
+			}
+		})
+	}
+}
+
+func TestPropertyViolationNoContinue(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:        "violate",
+		StateTables: []string{"v_state"},
+		Properties:  Properties{NoContinue: true},
+		Compute:     ComputeFunc(func(ctx *Context) bool { return true }),
+		Loaders:     []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	if _, err := e.Run(job); !errors.Is(err, ErrPropertyViolated) {
+		t.Errorf("err = %v, want ErrPropertyViolated", err)
+	}
+}
+
+func TestPropertyViolationOneMsg(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:        "violate2",
+		StateTables: []string{"v2_state"},
+		Properties:  Properties{OneMsg: true, NoContinue: true},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			if ctx.StepNum() == 1 {
+				ctx.Send(42, "a")
+				ctx.Send(42, "b") // two messages, same key, same step
+			}
+			return false
+		}),
+		Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 1, Message: "go"}}}},
+	}
+	if _, err := e.Run(job); !errors.Is(err, ErrPropertyViolated) {
+		t.Errorf("err = %v, want ErrPropertyViolated", err)
+	}
+}
+
+func TestComputePanicBecomesError(t *testing.T) {
+	e := newEngine(t)
+	job := &Job{
+		Name:        "panic",
+		StateTables: []string{"p_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			panic("boom")
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	if _, err := e.Run(job); err == nil {
+		t.Error("panicking compute returned nil error")
+	}
+}
+
+func TestPureMessageJobWithPartsHint(t *testing.T) {
+	e := newEngine(t)
+	var calls atomic.Int64
+	job := &Job{
+		Name:      "pure",
+		PartsHint: 3,
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			calls.Add(1)
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2, 3, 4, 5}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 || calls.Load() != 5 {
+		t.Errorf("steps=%d calls=%d", res.Steps, calls.Load())
+	}
+	// The private placement table is cleaned up.
+	for _, name := range e.Store().Tables() {
+		if name != "" && len(name) >= 6 && name[:6] == "__ebsp" {
+			t.Errorf("private table %q leaked", name)
+		}
+	}
+}
+
+func TestStepNumbersAreSequential(t *testing.T) {
+	var mu sync.Mutex
+	var steps []int
+	e := newEngine(t)
+	job := &Job{
+		Name:        "steps",
+		StateTables: []string{"sn_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			mu.Lock()
+			steps = append(steps, ctx.StepNum())
+			mu.Unlock()
+			return ctx.StepNum() < 4
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3, 4}
+	if len(steps) != 4 {
+		t.Fatalf("steps = %v", steps)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Errorf("steps = %v, want %v", steps, want)
+			break
+		}
+	}
+}
+
+func TestTableLoader(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	src, _ := store.CreateTable("src")
+	for i := 0; i < 10; i++ {
+		_ = src.Put(i, i*i)
+	}
+	e := NewEngine(store)
+	var sum atomic.Int64
+	job := &Job{
+		Name:        "tabload",
+		StateTables: []string{"tl_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			for _, m := range ctx.InputMessages() {
+				sum.Add(int64(m.(int)))
+			}
+			return false
+		}),
+		Loaders: []Loader{&TableLoader{
+			Table: "src",
+			Store: store,
+			Each: func(k, v any, lc *LoadContext) error {
+				lc.SendMessage(k, v)
+				return nil
+			},
+		}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for i := 0; i < 10; i++ {
+		want += int64(i * i)
+	}
+	if sum.Load() != want {
+		t.Errorf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestMetricsAccounting(t *testing.T) {
+	m := &metrics.Collector{}
+	e := newEngine(t, WithMetrics(m))
+	job := &Job{
+		Name:        "metrics",
+		StateTables: []string{"m_state"},
+		Compute:     &chainCompute{limit: 5},
+		Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Steps != 6 || snap.Barriers != 6 {
+		t.Errorf("steps/barriers = %d/%d", snap.Steps, snap.Barriers)
+	}
+	if snap.ComputeInvocations != 6 {
+		t.Errorf("invocations = %d", snap.ComputeInvocations)
+	}
+	if snap.MessagesSent != 6 { // 1 initial + 5 forwarded
+		t.Errorf("messages = %d", snap.MessagesSent)
+	}
+}

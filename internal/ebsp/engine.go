@@ -1,0 +1,371 @@
+package ebsp
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+	"ripple/internal/mq"
+)
+
+// Engine executes K/V EBSP jobs against one store (paper §IV-A). An Engine
+// is safe for concurrent use; each Run is independent.
+type Engine struct {
+	store           kvstore.Store
+	mqsys           *mq.System
+	metrics         *metrics.Collector
+	override        func(Strategy) Strategy
+	observer        StepObserver
+	aggTabTh        int // aggregator count above which the table-based path is used
+	retries         int // per-part step retries under fast recovery
+	checkpointEvery int // barrier interval between checkpoints; 0 disables
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMetrics attaches a metrics collector.
+func WithMetrics(m *metrics.Collector) Option {
+	return func(e *Engine) { e.metrics = m }
+}
+
+// WithMQ supplies the message-queuing system used for no-sync execution.
+// Without one, the engine creates a private mq.System on demand.
+func WithMQ(sys *mq.System) Option {
+	return func(e *Engine) { e.mqsys = sys }
+}
+
+// WithStrategyOverride installs a hook that may adjust the derived execution
+// strategy. Adjustments are clamped to the conservative direction (an
+// override can disable an optimization, never force an unsafe one), so it is
+// primarily useful for ablation experiments: forcing barriers onto a no-sync-
+// eligible job, forcing collection, disabling work stealing, and so on.
+func WithStrategyOverride(f func(Strategy) Strategy) Option {
+	return func(e *Engine) { e.override = f }
+}
+
+// WithAggTableThreshold sets the number of individual aggregators above which
+// aggregation goes through auxiliary tables and another round of enumeration
+// instead of being merged client-side (paper §IV-A). Default 16.
+func WithAggTableThreshold(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.aggTabTh = n
+		}
+	}
+}
+
+// WithRecoveryRetries bounds how many times a part's step is replayed after
+// a shard failure under fast recovery. Default 3.
+func WithRecoveryRetries(n int) Option {
+	return func(e *Engine) {
+		if n >= 0 {
+			e.retries = n
+		}
+	}
+}
+
+// NewEngine creates an Engine bound to a store.
+func NewEngine(store kvstore.Store, opts ...Option) *Engine {
+	e := &Engine{store: store, aggTabTh: 16, retries: 3}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Store returns the engine's store.
+func (e *Engine) Store() kvstore.Store { return e.store }
+
+// Metrics returns the engine's collector (possibly nil).
+func (e *Engine) Metrics() *metrics.Collector { return e.metrics }
+
+// jobRun is the per-execution state shared by the sync and no-sync paths.
+type jobRun struct {
+	engine   *Engine
+	job      *Job
+	ctx      context.Context
+	strategy Strategy
+
+	placement   kvstore.Table // drives partitioning and agent dispatch
+	parts       int
+	stateTables []kvstore.Table
+	stateNames  []string
+	transport   kvstore.Table // sync path: spill transport
+	refTable    kvstore.Table // broadcast data, may be nil
+	metaTable   kvstore.Table // fast recovery: part -> completed step
+	aggPartials kvstore.Table // large-aggregator-set path: per-part partials
+	aggResults  kvstore.Table // large-aggregator-set path: ubiquitous results
+
+	aggPrev map[string]any // results of previous step's aggregation
+
+	directMu   sync.Mutex
+	recoveries atomic.Int64
+
+	ownsPlacement bool
+	privateTables []string
+}
+
+// Run executes a job to completion and returns its results (final aggregator
+// values and step count; final states are in the store / the exporters).
+func (e *Engine) Run(job *Job) (*Result, error) {
+	return e.RunContext(context.Background(), job)
+}
+
+// RunContext is Run with cancellation: synchronized jobs stop at the next
+// barrier once ctx is done, no-sync jobs stop as their workers notice; the
+// context error is returned (wrapped). Work already committed to the store
+// stays; combine with WithCheckpoints to make a cancelled job resumable.
+func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	derived := planFor(job)
+	strategy := derived
+	if e.override != nil {
+		strategy = e.override(derived).Clamp(derived)
+	}
+	if strategy.FastRecovery {
+		// Fast recovery needs per-shard transactions; without them fall back
+		// to plain execution.
+		if _, ok := e.store.(kvstore.Transactional); !ok {
+			strategy.FastRecovery = false
+		}
+	}
+
+	run := &jobRun{
+		engine:   e,
+		job:      job,
+		ctx:      ctx,
+		strategy: strategy,
+		aggPrev:  make(map[string]any),
+	}
+	defer run.cleanup()
+	if err := run.setupTables(); err != nil {
+		return nil, err
+	}
+	lc, err := run.load()
+	if err != nil {
+		return nil, err
+	}
+
+	var res *Result
+	if strategy.Sync {
+		res, err = run.runSync(lc)
+	} else {
+		res, err = run.runNoSync(lc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = strategy
+	res.Recoveries = int(run.recoveries.Load())
+	if err := run.export(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// setupTables resolves the placement table, opens/creates state tables, and
+// creates the run's private tables.
+func (run *jobRun) setupTables() error {
+	e := run.engine
+	job := run.job
+	prefix := fmt.Sprintf("__ebsp.%s.%d", job.Name, runSeq.Add(1))
+
+	// Resolve placement.
+	placementName := job.Placement
+	if placementName == "" && len(job.StateTables) > 0 {
+		for _, name := range job.StateTables {
+			if _, ok := e.store.LookupTable(name); ok {
+				placementName = name
+				break
+			}
+		}
+		if placementName == "" {
+			placementName = job.StateTables[0]
+		}
+	}
+	if placementName == "" {
+		// Pure-message job: private placement table.
+		name := prefix + ".placement"
+		opts := []kvstore.TableOption{}
+		if job.PartsHint > 0 {
+			opts = append(opts, kvstore.WithParts(job.PartsHint))
+		}
+		t, err := e.store.CreateTable(name, opts...)
+		if err != nil {
+			return fmt.Errorf("ebsp: create placement table: %w", err)
+		}
+		run.placement = t
+		run.ownsPlacement = true
+		run.privateTables = append(run.privateTables, name)
+	} else {
+		t, ok := e.store.LookupTable(placementName)
+		if !ok {
+			// The placement (or first state) table does not exist yet:
+			// create it, honoring PartsHint.
+			opts := []kvstore.TableOption{}
+			if job.PartsHint > 0 {
+				opts = append(opts, kvstore.WithParts(job.PartsHint))
+			}
+			var err error
+			t, err = e.store.CreateTable(placementName, opts...)
+			if err != nil {
+				return fmt.Errorf("ebsp: create table %q: %w", placementName, err)
+			}
+		}
+		run.placement = t
+	}
+	run.parts = run.placement.Parts()
+
+	// Open or create the state tables, consistently partitioned with the
+	// placement table.
+	run.stateNames = job.StateTables
+	for _, name := range job.StateTables {
+		t, ok := e.store.LookupTable(name)
+		if !ok {
+			var err error
+			t, err = e.store.CreateTable(name, kvstore.ConsistentWith(run.placement.Name()))
+			if err != nil {
+				return fmt.Errorf("ebsp: create state table %q: %w", name, err)
+			}
+		}
+		if err := requireCoPlaced(run.placement, t); err != nil {
+			return err
+		}
+		run.stateTables = append(run.stateTables, t)
+	}
+
+	// Broadcast reference table.
+	if job.ReferenceTable != "" {
+		t, ok := e.store.LookupTable(job.ReferenceTable)
+		if !ok {
+			return fmt.Errorf("%w: reference table %q does not exist", ErrBadJob, job.ReferenceTable)
+		}
+		run.refTable = t
+	}
+
+	// Private transport table (sync path only, but cheap to create).
+	if run.strategy.Sync {
+		name := prefix + ".transport"
+		t, err := e.store.CreateTable(name, kvstore.ConsistentWith(run.placement.Name()))
+		if err != nil {
+			return fmt.Errorf("ebsp: create transport table: %w", err)
+		}
+		run.transport = t
+		run.privateTables = append(run.privateTables, name)
+	}
+
+	// Completed-step table for fast recovery.
+	if run.strategy.FastRecovery {
+		name := prefix + ".meta"
+		t, err := e.store.CreateTable(name, kvstore.ConsistentWith(run.placement.Name()))
+		if err != nil {
+			return fmt.Errorf("ebsp: create meta table: %w", err)
+		}
+		run.metaTable = t
+		run.privateTables = append(run.privateTables, name)
+	}
+	return nil
+}
+
+// load runs the job's loaders and returns the collected initial condition.
+func (run *jobRun) load() (*LoadContext, error) {
+	lc := &LoadContext{run: run, aggs: make(map[string]any)}
+	for _, l := range run.job.Loaders {
+		if err := l.Load(lc); err != nil {
+			return nil, fmt.Errorf("ebsp: loader: %w", err)
+		}
+	}
+	// Apply initial states, overlapping the cross-partition writes.
+	for _, p := range lc.puts {
+		if p.tab < 0 || p.tab >= len(run.stateTables) {
+			return nil, fmt.Errorf("%w: loader PutState table index %d of %d",
+				ErrBadJob, p.tab, len(run.stateTables))
+		}
+	}
+	sem := make(chan struct{}, 32)
+	errs := make([]error, len(lc.puts))
+	var wg sync.WaitGroup
+	for i, p := range lc.puts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p statePut) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = run.stateTables[p.tab].Put(p.key, p.value)
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ebsp: loader state put: %w", err)
+		}
+	}
+	// Initial aggregator inputs are the step-1 readable results.
+	for name, v := range lc.aggs {
+		run.aggPrev[name] = v
+	}
+	return lc, nil
+}
+
+// export streams final state tables and cleans up.
+func (run *jobRun) export() error {
+	for name, exp := range run.job.Exporters {
+		t, ok := run.engine.store.LookupTable(name)
+		if !ok {
+			return fmt.Errorf("%w: exporting missing table %q", ErrBadJob, name)
+		}
+		exp := exp
+		if err := kvstore.EnumerateAll(t, func(k, v any) (bool, error) {
+			return false, exp.Export(k, v)
+		}); err != nil {
+			return fmt.Errorf("ebsp: export %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// cleanup drops the run's private tables.
+func (run *jobRun) cleanup() {
+	for _, name := range run.privateTables {
+		_ = run.engine.store.DropTable(name)
+	}
+}
+
+// partViews opens the per-part views of the state tables for an agent.
+func (run *jobRun) partViews(sv kvstore.ShardView) (*localState, error) {
+	ls := &localState{views: make([]kvstore.PartView, len(run.stateTables))}
+	for i, t := range run.stateTables {
+		view, err := sv.View(t.Name())
+		if err != nil {
+			return nil, err
+		}
+		ls.views[i] = view
+	}
+	return ls, nil
+}
+
+// broadcastView opens the reference table locally for an agent (nil when the
+// job has no reference table).
+func (run *jobRun) broadcastView(sv kvstore.ShardView) (kvstore.PartView, error) {
+	if run.refTable == nil {
+		return nil, nil
+	}
+	return sv.View(run.refTable.Name())
+}
+
+// mqSystem returns the engine's mq system, creating a private one on demand.
+func (e *Engine) mqSystem() *mq.System {
+	if e.mqsys == nil {
+		e.mqsys = mq.NewSystem(mq.WithMetrics(e.metrics))
+	}
+	return e.mqsys
+}

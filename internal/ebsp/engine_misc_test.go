@@ -1,0 +1,199 @@
+package ebsp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ripple/internal/gridstore"
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/mq"
+)
+
+func TestEngineAccessors(t *testing.T) {
+	store := memstore.New()
+	t.Cleanup(func() { _ = store.Close() })
+	m := &metrics.Collector{}
+	e := NewEngine(store, WithMetrics(m))
+	if e.Store() != store {
+		t.Error("Store() mismatch")
+	}
+	if e.Metrics() != m {
+		t.Error("Metrics() mismatch")
+	}
+}
+
+func TestSharedMQSystemAcrossEngines(t *testing.T) {
+	// Two engines sharing one queuing system (the paper's "larger system"
+	// sharing of the messaging substrate).
+	sys := mq.NewSystem()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			store := memstore.New(memstore.WithParts(2))
+			defer func() { _ = store.Close() }()
+			e := NewEngine(store, WithMQ(sys))
+			_, errs[i] = e.Run(&Job{
+				Name:        "shared-mq",
+				StateTables: []string{"smq_state"},
+				Properties:  Properties{Incremental: true},
+				Compute:     &incrementalChain{hops: 5},
+				Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("engine %d: %v", i, err)
+		}
+	}
+}
+
+func TestRecoveryRetriesExhausted(t *testing.T) {
+	// With no surviving replica, replay cannot succeed; the engine must give
+	// up after its bounded retries rather than loop forever.
+	store := gridstore.New(gridstore.WithParts(2)) // replicas = 1
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store, WithRecoveryRetries(2))
+	job := &Job{
+		Name:        "doomed",
+		StateTables: []string{"dm_state"},
+		Properties:  Properties{Deterministic: true},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			if ctx.StepNum() == 2 {
+				tab, _ := store.LookupTable("dm_state")
+				// Killing a single-replica primary leaves nothing to
+				// promote.
+				_ = store.FailPrimary("dm_state", tab.PartOf(ctx.Key()))
+			}
+			for _, m := range ctx.InputMessages() {
+				n := m.(int)
+				ctx.WriteState(0, n)
+				if n < 5 {
+					ctx.Send(ctx.Key().(int)+1, n+1)
+				}
+			}
+			return false
+		}),
+		Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	if _, err := e.Run(job); !errors.Is(err, kvstore.ErrShardFailed) {
+		t.Errorf("err = %v, want ErrShardFailed after exhausted retries", err)
+	}
+}
+
+func TestStateTableCoPlacementValidated(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	// Two pre-existing tables with different part counts cannot share a job.
+	if _, err := store.CreateTable("cp_a", kvstore.WithParts(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CreateTable("cp_b", kvstore.WithParts(5)); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(store)
+	_, err := e.Run(&Job{
+		Name:        "misplaced",
+		StateTables: []string{"cp_a", "cp_b"},
+		Compute:     ComputeFunc(func(*Context) bool { return false }),
+		Loaders:     []Loader{&EnableLoader{Keys: []any{1}}},
+	})
+	if !errors.Is(err, ErrBadJob) {
+		t.Errorf("err = %v, want ErrBadJob for non-co-placed state tables", err)
+	}
+}
+
+func TestPlacementTableOverride(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	if _, err := store.CreateTable("drive", kvstore.WithParts(7)); err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(store)
+	res, err := e.Run(&Job{
+		Name:        "placed",
+		Placement:   "drive",
+		StateTables: []string{"drive"},
+		Compute:     ComputeFunc(func(*Context) bool { return false }),
+		Loaders:     []Loader{&EnableLoader{Keys: []any{1, 2, 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("Steps = %d", res.Steps)
+	}
+}
+
+func TestDropCheckpointOnlyAfterSuccess(t *testing.T) {
+	// An aborted checkpointed job keeps its snapshot; a completed one drops
+	// it (covered elsewhere); an aborted one twice in a row keeps the newest.
+	store := memstore.New(memstore.WithParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store, WithCheckpoints(2))
+	job := func() *Job { return checkpointChainJob("keepck", 10, crashAfter(5)) }
+	if _, err := e.Run(job()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.LookupTable(ckptMetaTable("keepck")); !ok {
+		t.Fatal("aborted job dropped its checkpoint")
+	}
+	// Resume to completion: snapshot is dropped.
+	if _, err := e.Resume(checkpointChainJob("keepck", 10, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.LookupTable(ckptMetaTable("keepck")); ok {
+		t.Error("completed job kept its checkpoint")
+	}
+}
+
+// TestSameJobNameTwoEnginesOneStore: private table names must not collide
+// when two engines run the same-named job against one store concurrently.
+func TestSameJobNameTwoEnginesOneStore(t *testing.T) {
+	store := memstore.New(memstore.WithParts(3))
+	t.Cleanup(func() { _ = store.Close() })
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := NewEngine(store)
+			tab := "samename_state" // shared state table, disjoint keys
+			_, errs[i] = e.Run(&Job{
+				Name:        "samename",
+				StateTables: []string{tab},
+				Compute: ComputeFunc(func(ctx *Context) bool {
+					for _, m := range ctx.InputMessages() {
+						n := m.(int)
+						ctx.WriteState(0, n)
+						if n < 20 {
+							ctx.Send(ctx.Key().(int)+2, n+1)
+						}
+					}
+					return false
+				}),
+				Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{
+					{Key: i, Message: 0}, // engine 0 walks evens, engine 1 odds
+				}}},
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("engine %d: %v", i, err)
+		}
+	}
+	tab, _ := store.LookupTable("samename_state")
+	if n, _ := tab.Size(); n != 42 {
+		t.Errorf("state size = %d, want 42 (both walks complete)", n)
+	}
+}

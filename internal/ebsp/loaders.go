@@ -1,0 +1,150 @@
+package ebsp
+
+import (
+	"fmt"
+	"sync"
+
+	"ripple/internal/kvstore"
+)
+
+// Built-in loaders and exporters (paper §II: "A client can implement its own
+// Loader or use one provided in the Ripple library").
+
+// TableLoader turns the contents of an existing key/value table into the
+// job's initial condition: for each pair, Each is called with the pair and
+// the LoadContext to send messages, enable components, seed states, or feed
+// aggregators.
+type TableLoader struct {
+	// Table names the source table.
+	Table string
+	// Store resolves the table. If nil, the engine cannot resolve it and the
+	// loader fails; wire the store in when constructing the job.
+	Store kvstore.Store
+	// Each processes one source pair.
+	Each func(key, value any, lc *LoadContext) error
+}
+
+var _ Loader = (*TableLoader)(nil)
+
+// Load implements Loader.
+func (t *TableLoader) Load(lc *LoadContext) error {
+	if t.Store == nil {
+		return fmt.Errorf("%w: TableLoader %q has no store", ErrBadJob, t.Table)
+	}
+	if t.Each == nil {
+		return fmt.Errorf("%w: TableLoader %q has no Each", ErrBadJob, t.Table)
+	}
+	tab, ok := t.Store.LookupTable(t.Table)
+	if !ok {
+		return fmt.Errorf("%w: TableLoader source %q", kvstore.ErrNoTable, t.Table)
+	}
+	return kvstore.EnumerateAll(tab, func(k, v any) (bool, error) {
+		return false, t.Each(k, v, lc)
+	})
+}
+
+// MessageLoader seeds an explicit list of initial messages.
+type MessageLoader struct {
+	// Messages maps destination component keys to their initial messages.
+	Messages []InitialMessage
+}
+
+// InitialMessage is one (destination, payload) pair.
+type InitialMessage struct {
+	Key     any
+	Message any
+}
+
+var _ Loader = (*MessageLoader)(nil)
+
+// Load implements Loader.
+func (m *MessageLoader) Load(lc *LoadContext) error {
+	for _, im := range m.Messages {
+		lc.SendMessage(im.Key, im.Message)
+	}
+	return nil
+}
+
+// EnableLoader enables an explicit set of components for the first step.
+type EnableLoader struct {
+	Keys []any
+}
+
+var _ Loader = (*EnableLoader)(nil)
+
+// Load implements Loader.
+func (e *EnableLoader) Load(lc *LoadContext) error {
+	for _, k := range e.Keys {
+		lc.Enable(k)
+	}
+	return nil
+}
+
+// StateLoader seeds explicit initial component states.
+type StateLoader struct {
+	// Tab is the state table index the states go to.
+	Tab int
+	// States maps component keys to initial states.
+	States map[any]any
+}
+
+var _ Loader = (*StateLoader)(nil)
+
+// Load implements Loader.
+func (s *StateLoader) Load(lc *LoadContext) error {
+	for k, v := range s.States {
+		lc.PutState(s.Tab, k, v)
+	}
+	return nil
+}
+
+// CollectExporter accumulates exported pairs into a map for inspection —
+// convenient in examples and tests. Safe for concurrent export.
+type CollectExporter struct {
+	mu    sync.Mutex
+	pairs map[any]any
+}
+
+var _ Exporter = (*CollectExporter)(nil)
+
+// Export implements Exporter.
+func (c *CollectExporter) Export(key, value any) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pairs == nil {
+		c.pairs = make(map[any]any)
+	}
+	c.pairs[key] = value
+	return nil
+}
+
+// Pairs returns a copy of everything exported so far.
+func (c *CollectExporter) Pairs() map[any]any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[any]any, len(c.pairs))
+	for k, v := range c.pairs {
+		out[k] = v
+	}
+	return out
+}
+
+// Len reports how many pairs were exported.
+func (c *CollectExporter) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pairs)
+}
+
+// TableExporter copies exported pairs into a destination table (possibly in
+// a different store — the portability story of §III).
+type TableExporter struct {
+	Table kvstore.Table
+}
+
+var _ Exporter = (*TableExporter)(nil)
+
+// Export implements Exporter.
+func (t *TableExporter) Export(key, value any) error {
+	return t.Table.Put(key, value)
+}

@@ -1,0 +1,234 @@
+package ebsp
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+)
+
+// TestStateFactoredOverMultipleTables exercises the paper's state-factoring
+// feature (§II): a job with a read-only input table and a separate results
+// table — "running a new analysis need not involve changing existing data,
+// it could use new tables".
+func TestStateFactoredOverMultipleTables(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store)
+
+	// Pre-existing dataset, owned by "someone else".
+	data, _ := store.CreateTable("dataset")
+	for i := 0; i < 50; i++ {
+		_ = data.Put(i, i*i)
+	}
+	before, _ := kvstore.Dump(data)
+
+	job := &Job{
+		Name:        "analysis",
+		StateTables: []string{"dataset", "analysis_results"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			// Table 0 is only read; table 1 is written.
+			v, ok := ctx.ReadState(0)
+			if !ok {
+				return false
+			}
+			ctx.WriteState(1, v.(int)+1)
+			return false
+		}),
+		Loaders: []Loader{&TableLoader{
+			Table: "dataset",
+			Store: store,
+			Each: func(k, _ any, lc *LoadContext) error {
+				lc.Enable(k)
+				return nil
+			},
+		}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+
+	// The input table is untouched.
+	after, _ := kvstore.Dump(data)
+	if len(after) != len(before) {
+		t.Fatalf("dataset size changed: %d -> %d", len(before), len(after))
+	}
+	for k, v := range before {
+		if after[k] != v {
+			t.Errorf("dataset[%v] changed: %v -> %v", k, v, after[k])
+		}
+	}
+	// The results table has the analysis output.
+	results, _ := store.LookupTable("analysis_results")
+	for i := 0; i < 50; i++ {
+		v, ok, _ := results.Get(i)
+		if !ok || v != i*i+1 {
+			t.Errorf("results[%d] = %v, %v", i, v, ok)
+		}
+	}
+}
+
+// TestComponentExistenceAcrossTables checks the paper's §II point that a
+// component need not have an entry in every (or any) state table: it exists
+// when it has state entries or input messages.
+func TestComponentExistenceAcrossTables(t *testing.T) {
+	store := memstore.New(memstore.WithParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store)
+	var mu sync.Mutex
+	seen := map[int][2]bool{} // key -> (has tab0, has tab1)
+	job := &Job{
+		Name:        "partial",
+		StateTables: []string{"pt_a", "pt_b"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			_, okA := ctx.ReadState(0)
+			_, okB := ctx.ReadState(1)
+			mu.Lock()
+			seen[ctx.Key().(int)] = [2]bool{okA, okB}
+			mu.Unlock()
+			return false
+		}),
+		Loaders: []Loader{
+			&StateLoader{Tab: 0, States: map[any]any{1: "a-only"}},
+			&StateLoader{Tab: 1, States: map[any]any{2: "b-only"}},
+			&EnableLoader{Keys: []any{1, 2, 3}}, // 3 has no state at all
+		},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][2]bool{1: {true, false}, 2: {false, true}, 3: {false, false}}
+	for k, w := range want {
+		if seen[k] != w {
+			t.Errorf("component %d state presence = %v, want %v", k, seen[k], w)
+		}
+	}
+}
+
+// TestConcurrentJobsOnOneStore runs several independent jobs simultaneously
+// against one store — the "managing multiple analytics jobs concurrently"
+// scenario the paper names as the architecture's target (§II, §VII).
+func TestConcurrentJobsOnOneStore(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+
+	const jobs = 6
+	var wg sync.WaitGroup
+	errs := make([]error, jobs)
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			e := NewEngine(store)
+			name := fmt.Sprintf("cj%d", j)
+			job := &Job{
+				Name:        name,
+				StateTables: []string{name + "_state"},
+				Compute:     &chainCompute{limit: 10 + j},
+				Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+			}
+			_, errs[j] = e.Run(job)
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", j, err)
+		}
+	}
+	for j := 0; j < jobs; j++ {
+		tab, _ := store.LookupTable(fmt.Sprintf("cj%d_state", j))
+		if n, _ := tab.Size(); n != 10+j+1 {
+			t.Errorf("job %d state size = %d, want %d", j, n, 10+j+1)
+		}
+	}
+}
+
+// TestConcurrentJobsShareOneEngine checks Engine's documented concurrency
+// safety.
+func TestConcurrentJobsShareOneEngine(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for j := 0; j < 4; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			name := fmt.Sprintf("se%d", j)
+			_, errs[j] = e.Run(&Job{
+				Name:        name,
+				StateTables: []string{name + "_state"},
+				Compute:     &chainCompute{limit: 8},
+				Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+			})
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", j, err)
+		}
+	}
+}
+
+// TestReadOnlySharedTableAcrossConcurrentJobs has several concurrent jobs
+// reading one shared reference dataset while writing their own outputs.
+func TestReadOnlySharedTableAcrossConcurrentJobs(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	shared, _ := store.CreateTable("shared")
+	for i := 0; i < 30; i++ {
+		_ = shared.Put(i, i)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	for j := 0; j < 3; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			e := NewEngine(store)
+			name := fmt.Sprintf("ro%d", j)
+			factor := j + 2
+			errs[j] = func() error {
+				_, err := e.Run(&Job{
+					Name:        name,
+					StateTables: []string{"shared", name + "_out"},
+					Compute: ComputeFunc(func(ctx *Context) bool {
+						v, ok := ctx.ReadState(0)
+						if ok {
+							ctx.WriteState(1, v.(int)*factor)
+						}
+						return false
+					}),
+					Loaders: []Loader{&TableLoader{
+						Table: "shared",
+						Store: store,
+						Each: func(k, _ any, lc *LoadContext) error {
+							lc.Enable(k)
+							return nil
+						},
+					}},
+				})
+				return err
+			}()
+		}(j)
+	}
+	wg.Wait()
+	for j, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", j, err)
+		}
+	}
+	for j := 0; j < 3; j++ {
+		out, _ := store.LookupTable(fmt.Sprintf("ro%d_out", j))
+		for i := 0; i < 30; i++ {
+			if v, _, _ := out.Get(i); v != i*(j+2) {
+				t.Errorf("job %d out[%d] = %v", j, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package ebsp
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/mq"
+	"ripple/internal/termination"
+)
+
+// noSyncPoll is how long an idle worker waits for a message before checking
+// for distributed termination.
+const noSyncPoll = 2 * time.Millisecond
+
+// runSeq makes private table and queue-set names unique process-wide, so
+// engines sharing one store or one mq.System never collide.
+var runSeq atomic.Int64
+
+// runNoSync executes a job with no synchronization barriers (paper §IV-A):
+// one dispatch of EBSP implementation code to a queue set, whose instances
+// invoke components and exchange messages until there is no more work to do.
+// Distributed termination is detected by weight throwing (Huang's algorithm).
+//
+// Eligibility was established by planFor: the job has no aggregators and no
+// aborter, and either tolerates arbitrary message grouping (incremental) or
+// is no-collect with no step-order requirement. Per-(sender,receiver) message
+// order is preserved by the FIFO queues. There are no steps, so StepNum
+// reports 0 and the continue signal is meaningless (ignored).
+func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
+	sys := run.engine.mqSystem()
+	qsName := fmt.Sprintf("__ebsp.%s.q%d", run.job.Name, runSeq.Add(1))
+	qs, err := sys.CreateQueueSet(qsName, run.placement)
+	if err != nil {
+		return nil, fmt.Errorf("ebsp: create queue set: %w", err)
+	}
+	defer func() { _ = sys.DeleteQueueSet(qsName) }()
+
+	det := termination.New()
+
+	// Seed the initial messages, each carrying fresh weight.
+	for _, env := range lc.envs {
+		w := det.Issue(termination.DefaultIssue)
+		dst := run.placement.PartOf(env.Dst)
+		if err := qs.Put(dst, queueMsg{Env: env, Weight: uint64(w)}); err != nil {
+			return nil, fmt.Errorf("ebsp: seed message: %w", err)
+		}
+		run.engine.metrics.AddMessagesSent(1)
+	}
+
+	var failed atomic.Bool
+	err = qs.Run(func(r *mq.Reader) error {
+		_, aerr := run.engine.store.RunAgent(run.placement.Name(), r.Queue(), func(sv kvstore.ShardView) (any, error) {
+			return nil, run.noSyncWorker(sv, r, qs, det, &failed)
+		})
+		return aerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if derr := det.Err(); derr != nil {
+		return nil, fmt.Errorf("ebsp: termination detection: %w", derr)
+	}
+	return &Result{Steps: 0, Aggregates: run.aggPrev}, nil
+}
+
+// noSyncWorker is the mobile EBSP code running collocated with one part: it
+// drains the part's queue, invoking a component per message, until the whole
+// computation quiesces (or another worker fails).
+func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.QueueSet,
+	det *termination.Detector, failed *atomic.Bool) (err error) {
+
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("ebsp: no-sync worker part %d: compute panicked: %v", sv.Part(), rec)
+		}
+		if err != nil {
+			failed.Store(true)
+		}
+	}()
+
+	state, err := run.partViews(sv)
+	if err != nil {
+		return err
+	}
+	bview, err := run.broadcastView(sv)
+	if err != nil {
+		return err
+	}
+	sink := &queueSink{
+		run:     run,
+		qs:      qs,
+		det:     det,
+		partOf:  run.placement.PartOf,
+		srcPart: sv.Part(),
+	}
+
+	for {
+		if failed.Load() {
+			return nil
+		}
+		if cerr := run.ctx.Err(); cerr != nil {
+			failed.Store(true)
+			return fmt.Errorf("ebsp: job %q cancelled: %w", run.job.Name, cerr)
+		}
+		raw, ok := r.Read(noSyncPoll)
+		if !ok {
+			if det.Quiescent() {
+				return nil
+			}
+			continue
+		}
+		qm := raw.(queueMsg)
+		sink.held = termination.Weight(qm.Weight)
+		if perr := run.processNoSyncMessage(qm.Env, state, bview, sink); perr != nil {
+			_ = det.Return(sink.held)
+			return perr
+		}
+		if sink.err != nil {
+			perr := sink.err
+			_ = det.Return(sink.held)
+			return perr
+		}
+		if perr := sink.flushDirect(); perr != nil {
+			_ = det.Return(sink.held)
+			return perr
+		}
+		if rerr := det.Return(sink.held); rerr != nil {
+			return rerr
+		}
+		sink.held = 0
+	}
+}
+
+// processNoSyncMessage handles one delivered envelope: a state-creation
+// request is applied directly; a data message or enablement marker becomes a
+// compute invocation.
+func (run *jobRun) processNoSyncMessage(env envelope, state *localState,
+	bview kvstore.PartView, sink *queueSink) error {
+
+	switch env.Kind {
+	case kindCreate:
+		return run.applyCreates([]envelope{env}, state)
+	case kindContinue:
+		ctx := &Context{
+			run:       run,
+			step:      0,
+			key:       env.Dst,
+			continued: true,
+			state:     state,
+			out:       sink,
+			aggPrev:   run.aggPrev,
+			broadcast: bview,
+		}
+		return run.invokeNoSync(ctx, sink)
+	default:
+		ctx := &Context{
+			run:       run,
+			step:      0,
+			key:       env.Dst,
+			msgs:      []any{env.Val},
+			state:     state,
+			out:       sink,
+			aggPrev:   run.aggPrev,
+			broadcast: bview,
+		}
+		return run.invokeNoSync(ctx, sink)
+	}
+}
+
+// invokeNoSync runs one invocation; the continue signal has no meaning
+// without steps and is ignored (unless the job declared no-continue, in
+// which case returning true is a property violation).
+func (run *jobRun) invokeNoSync(ctx *Context, sink *queueSink) error {
+	run.engine.metrics.AddComputeInvocations(1)
+	cont := run.job.Compute.Compute(ctx)
+	if err := ctx.finish(); err != nil {
+		return fmt.Errorf("ebsp: component %v: %w", ctx.key, err)
+	}
+	if cont && run.job.Properties.NoContinue {
+		return fmt.Errorf("%w: no-continue job returned the positive continue signal (key %v)",
+			ErrPropertyViolated, ctx.key)
+	}
+	return nil
+}
+
+// queueSink delivers a compute invocation's sends straight to the destination
+// queues, splitting the held termination weight onto each outgoing message.
+type queueSink struct {
+	run     *jobRun
+	qs      *mq.QueueSet
+	det     *termination.Detector
+	partOf  func(any) int
+	srcPart int
+	seq     int
+	held    termination.Weight
+	direct  []kvPair
+	err     error
+}
+
+var _ outSink = (*queueSink)(nil)
+
+func (s *queueSink) add(env envelope, run *jobRun) {
+	if env.Kind == kindContinue {
+		return // meaningless without steps
+	}
+	env.Src = s.srcPart
+	env.Seq = s.seq
+	s.seq++
+	var give termination.Weight
+	s.held, give = s.det.SplitOrBorrow(s.held)
+	dst := s.partOf(env.Dst)
+	qm := queueMsg{Env: env, Weight: uint64(give)}
+	var err error
+	if dst == s.srcPart {
+		err = s.qs.PutLocal(dst, qm)
+	} else {
+		err = s.qs.Put(dst, qm)
+	}
+	if err != nil {
+		if s.err == nil {
+			s.err = fmt.Errorf("ebsp: no-sync send: %w", err)
+		}
+		_ = s.det.Return(give)
+		return
+	}
+	run.engine.metrics.AddMessagesSent(1)
+}
+
+func (s *queueSink) addDirect(key, value any) {
+	s.direct = append(s.direct, kvPair{key: key, value: value})
+}
+
+// flushDirect hands buffered direct output to the job's exporter.
+func (s *queueSink) flushDirect() error {
+	if len(s.direct) == 0 || s.run.job.DirectOutput == nil {
+		s.direct = s.direct[:0]
+		return nil
+	}
+	s.run.directMu.Lock()
+	defer s.run.directMu.Unlock()
+	for _, p := range s.direct {
+		if err := s.run.job.DirectOutput.Export(p.key, p.value); err != nil {
+			return fmt.Errorf("ebsp: direct output: %w", err)
+		}
+	}
+	s.direct = s.direct[:0]
+	return nil
+}

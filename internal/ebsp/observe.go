@@ -1,0 +1,38 @@
+package ebsp
+
+import "time"
+
+// StepObserver receives a notification after every synchronized step — for
+// progress reporting, tracing, and experiment harnesses. Observers run on
+// the engine's coordinating goroutine between barrier and next step; keep
+// them fast.
+type StepObserver interface {
+	StepCompleted(info StepInfo)
+}
+
+// StepObserverFunc adapts a function to StepObserver.
+type StepObserverFunc func(info StepInfo)
+
+// StepCompleted implements StepObserver.
+func (f StepObserverFunc) StepCompleted(info StepInfo) { f(info) }
+
+// StepInfo describes one completed step.
+type StepInfo struct {
+	// Job is the job's name.
+	Job string
+	// Step is the completed step number (from 1).
+	Step int
+	// Emitted is the number of envelopes produced for the following step;
+	// zero means the job is about to finish.
+	Emitted int64
+	// Aggregates are the step's merged aggregation results.
+	Aggregates map[string]any
+	// Duration is the step's wall-clock time, barrier included.
+	Duration time.Duration
+}
+
+// WithObserver installs a step observer on the engine. No-sync execution has
+// no steps and produces no notifications.
+func WithObserver(o StepObserver) Option {
+	return func(e *Engine) { e.observer = o }
+}

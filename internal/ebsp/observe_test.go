@@ -1,0 +1,72 @@
+package ebsp
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestObserverSeesEveryStep(t *testing.T) {
+	var mu sync.Mutex
+	var infos []StepInfo
+	e := newEngine(t, WithObserver(StepObserverFunc(func(info StepInfo) {
+		mu.Lock()
+		infos = append(infos, info)
+		mu.Unlock()
+	})))
+	job := &Job{
+		Name:        "observed",
+		StateTables: []string{"obs_state"},
+		Aggregators: map[string]Aggregator{"n": IntSum{}},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			ctx.AggregateValue("n", 1)
+			return ctx.StepNum() < 4
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != res.Steps {
+		t.Fatalf("observer saw %d steps, job took %d", len(infos), res.Steps)
+	}
+	for i, info := range infos {
+		if info.Step != i+1 {
+			t.Errorf("info %d step = %d", i, info.Step)
+		}
+		if info.Job != "observed" {
+			t.Errorf("info job = %q", info.Job)
+		}
+		if info.Aggregates["n"] != 1 {
+			t.Errorf("step %d aggregate = %v", info.Step, info.Aggregates["n"])
+		}
+		if info.Duration <= 0 {
+			t.Errorf("step %d duration = %v", info.Step, info.Duration)
+		}
+	}
+	if last := infos[len(infos)-1]; last.Emitted != 0 {
+		t.Errorf("final step emitted %d, want 0", last.Emitted)
+	}
+}
+
+func TestObserverNotCalledForNoSync(t *testing.T) {
+	called := false
+	e := newEngine(t, WithObserver(StepObserverFunc(func(StepInfo) { called = true })))
+	job := &Job{
+		Name:        "ns-observed",
+		StateTables: []string{"nso_state"},
+		Properties:  Properties{Incremental: true},
+		Compute:     &incrementalChain{hops: 3},
+		Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy.Sync {
+		t.Fatal("expected no-sync")
+	}
+	if called {
+		t.Error("observer invoked for a no-sync job")
+	}
+}

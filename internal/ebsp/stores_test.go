@@ -1,0 +1,263 @@
+package ebsp
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/diskstore"
+	"ripple/internal/gridstore"
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+)
+
+// storeFactories builds one instance of each store implementation, proving
+// the engine is store-portable (the paper's §III openness claim).
+func storeFactories(t *testing.T) map[string]func() kvstore.Store {
+	t.Helper()
+	return map[string]func() kvstore.Store{
+		"memstore": func() kvstore.Store {
+			s := memstore.New(memstore.WithParts(4))
+			t.Cleanup(func() { _ = s.Close() })
+			return s
+		},
+		"gridstore": func() kvstore.Store {
+			s := gridstore.New(gridstore.WithParts(4))
+			t.Cleanup(func() { _ = s.Close() })
+			return s
+		},
+		"gridstore-replicated": func() kvstore.Store {
+			s := gridstore.New(gridstore.WithParts(4), gridstore.WithReplicas(2))
+			t.Cleanup(func() { _ = s.Close() })
+			return s
+		},
+		"diskstore": func() kvstore.Store {
+			s, err := diskstore.New(t.TempDir(), diskstore.WithParts(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = s.Close() })
+			return s
+		},
+	}
+}
+
+// runOnStore runs a small but representative job — messages, state,
+// aggregator, combiner, continue signal — and returns the final state plus
+// the result.
+func runOnStore(t *testing.T, store kvstore.Store) (map[any]any, *Result) {
+	t.Helper()
+	engine := NewEngine(store)
+	job := &Job{
+		Name:        "conformance",
+		StateTables: []string{"conf_state"},
+		Aggregators: map[string]Aggregator{"sum": IntSum{}},
+		Combiner:    sumCombiner{},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			total := 0
+			for _, m := range ctx.InputMessages() {
+				total += m.(int)
+			}
+			cur := 0
+			if v, ok := ctx.ReadState(0); ok {
+				cur = v.(int)
+			}
+			ctx.WriteState(0, cur+total)
+			ctx.AggregateValue("sum", total)
+			if total > 1 {
+				k := ctx.Key().(int)
+				ctx.Send(2*k+1, total/2)
+				ctx.Send(2*k+2, total-total/2)
+			}
+			return false
+		}),
+		Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 32}}}},
+	}
+	res, err := engine.Run(job)
+	if err != nil {
+		t.Fatalf("%s: %v", store.Name(), err)
+	}
+	tab, _ := store.LookupTable("conf_state")
+	dump, err := kvstore.Dump(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dump, res
+}
+
+func TestEngineIsStorePortable(t *testing.T) {
+	var reference map[any]any
+	var refSteps int
+	for name, factory := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			dump, res := runOnStore(t, factory())
+			if reference == nil {
+				reference = dump
+				refSteps = res.Steps
+				return
+			}
+			if res.Steps != refSteps {
+				t.Errorf("steps = %d, reference %d", res.Steps, refSteps)
+			}
+			if len(dump) != len(reference) {
+				t.Fatalf("state size = %d, reference %d", len(dump), len(reference))
+			}
+			for k, v := range reference {
+				if dump[k] != v {
+					t.Errorf("state[%v] = %v, reference %v", k, dump[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestNoSyncOnEveryStore(t *testing.T) {
+	for name, factory := range storeFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			store := factory()
+			engine := NewEngine(store)
+			job := &Job{
+				Name:        "ns-portable",
+				StateTables: []string{"nsp_state"},
+				Properties:  Properties{Incremental: true},
+				Compute:     &incrementalChain{hops: 12},
+				Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+			}
+			res, err := engine.Run(job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Strategy.Sync {
+				t.Fatal("no-sync not selected")
+			}
+			tab, _ := store.LookupTable("nsp_state")
+			for i := 0; i <= 12; i++ {
+				if v, ok, _ := tab.Get(i); !ok || v != i {
+					t.Errorf("state[%d] = %v, %v", i, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestMessageConservationProperty fans a random tree of messages through the
+// engine and checks receipt count equals send count, for randomized shapes.
+func TestMessageConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fanout := 1 + rng.Intn(4)
+		depth := 1 + rng.Intn(4)
+		keys := 1 + rng.Intn(50)
+
+		store := memstore.New(memstore.WithParts(3))
+		defer func() { _ = store.Close() }()
+		engine := NewEngine(store)
+
+		var sentN, recvN int64
+		var mu sync.Mutex
+
+		job := &Job{
+			Name:        fmt.Sprintf("prop%d", seed),
+			StateTables: []string{"prop_state"},
+			Compute: ComputeFunc(func(ctx *Context) bool {
+				mu.Lock()
+				recvN += int64(len(ctx.InputMessages()))
+				mu.Unlock()
+				for _, m := range ctx.InputMessages() {
+					lvl := m.(int)
+					if lvl >= depth {
+						continue
+					}
+					for f := 0; f < fanout; f++ {
+						dst := (ctx.Key().(int)*fanout + f + 1) % keys
+						ctx.Send(dst, lvl+1)
+						mu.Lock()
+						sentN++
+						mu.Unlock()
+					}
+				}
+				return false
+			}),
+			Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+		}
+		if _, err := engine.Run(job); err != nil {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return recvN == sentN+1 // +1 for the loader's seed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSyncNoSyncEquivalenceProperty randomizes an incremental splitting job
+// and checks the two execution modes produce identical state.
+func TestSyncNoSyncEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		initial := 8 + rng.Intn(120)
+
+		build := func() *Job {
+			return &Job{
+				Name:        "eqp",
+				StateTables: []string{"eqp_state"},
+				Properties:  Properties{Incremental: true},
+				Compute: ComputeFunc(func(ctx *Context) bool {
+					for _, m := range ctx.InputMessages() {
+						n := m.(int)
+						cur := 0
+						if v, ok := ctx.ReadState(0); ok {
+							cur = v.(int)
+						}
+						ctx.WriteState(0, cur+n)
+						if n > 1 {
+							k := ctx.Key().(int)
+							ctx.Send(3*k+1, n/2)
+							ctx.Send(3*k+2, n-n/2)
+						}
+					}
+					return false
+				}),
+				Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: initial}}}},
+			}
+		}
+
+		run := func(forceSync bool) map[any]any {
+			store := memstore.New(memstore.WithParts(3))
+			defer func() { _ = store.Close() }()
+			opts := []Option{}
+			if forceSync {
+				opts = append(opts, WithStrategyOverride(func(s Strategy) Strategy {
+					s.Sync = true
+					return s
+				}))
+			}
+			engine := NewEngine(store, opts...)
+			if _, err := engine.Run(build()); err != nil {
+				return nil
+			}
+			tab, _ := store.LookupTable("eqp_state")
+			dump, _ := kvstore.Dump(tab)
+			return dump
+		}
+
+		a := run(true)
+		b := run(false)
+		if a == nil || b == nil || len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

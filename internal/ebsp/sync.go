@@ -1,0 +1,793 @@
+package ebsp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+)
+
+// partMetaKey addresses the completed-step record of one part in the
+// recovery meta table; it is pinned to its part.
+type partMetaKey struct{ Part int }
+
+// KeyHash implements codec.KeyHasher.
+func (k partMetaKey) KeyHash() uint64 { return uint64(k.Part) }
+
+// aggPartialKey addresses one part's partial aggregations for one step in
+// the auxiliary aggregation table (large-aggregator-set path).
+type aggPartialKey struct {
+	Step int
+	Part int
+}
+
+// KeyHash implements codec.KeyHasher.
+func (k aggPartialKey) KeyHash() uint64 { return uint64(k.Part) }
+
+func init() {
+	codec.Register(partMetaKey{})
+	codec.Register(aggPartialKey{})
+	codec.Register(map[string]any{})
+}
+
+// runSync executes the job with synchronization barriers between steps
+// (paper §IV-A): spills through the transport table, barrier, deliver,
+// compute, repeat until no components are enabled.
+func (run *jobRun) runSync(lc *LoadContext) (*Result, error) {
+	if err := run.writeInitialSpills(lc); err != nil {
+		return nil, err
+	}
+	if err := run.setupAggTables(); err != nil {
+		return nil, err
+	}
+	return run.syncLoop(0, int64(len(lc.envs)))
+}
+
+// setupAggTables creates the "couple of auxiliary tables" (§IV-A) when the
+// job has more aggregators than the client-side threshold: per-part
+// partials, and a ubiquitous results table every part can read locally next
+// step.
+func (run *jobRun) setupAggTables() error {
+	if len(run.job.Aggregators) <= run.engine.aggTabTh {
+		return nil
+	}
+	partialsName := run.transport.Name() + ".aggpartials"
+	t, err := run.engine.store.CreateTable(partialsName, kvstore.ConsistentWith(run.placement.Name()))
+	if err != nil {
+		return fmt.Errorf("ebsp: create aggregation table: %w", err)
+	}
+	run.privateTables = append(run.privateTables, partialsName)
+	run.aggPartials = t
+
+	resultsName := run.transport.Name() + ".aggresults"
+	aggResults, err := run.engine.store.CreateTable(resultsName, kvstore.Ubiquitous())
+	if err != nil {
+		return fmt.Errorf("ebsp: create aggregation results table: %w", err)
+	}
+	run.privateTables = append(run.privateTables, resultsName)
+	run.aggResults = aggResults
+	for name, v := range run.aggPrev {
+		if err := aggResults.Put(name, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// syncLoop drives the step/barrier loop from a completed step with `pending`
+// undelivered envelopes; it also services checkpointing.
+func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
+	steps := completedStep
+	aborted := false
+	for pending > 0 {
+		if err := run.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ebsp: job %q cancelled after step %d: %w", run.job.Name, steps, err)
+		}
+		if run.job.MaxSteps > 0 && steps >= run.job.MaxSteps {
+			break
+		}
+		step := steps + 1
+		stepStart := time.Now()
+		emitted, aggs, err := run.execStep(step)
+		if err != nil {
+			return nil, err
+		}
+		steps = step
+		run.engine.metrics.AddSteps(1)
+		run.engine.metrics.AddBarriers(1)
+		run.aggPrev = aggs
+		if run.engine.observer != nil {
+			run.engine.observer.StepCompleted(StepInfo{
+				Job:        run.job.Name,
+				Step:       step,
+				Emitted:    emitted,
+				Aggregates: aggs,
+				Duration:   time.Since(stepStart),
+			})
+		}
+		if run.aggResults != nil {
+			run.engine.metrics.AddAggregationRounds(1)
+			for name, v := range aggs {
+				if err := run.aggResults.Put(name, v); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// Checkpoint before consulting the aborter, so an aborted job can
+		// still be resumed from this barrier.
+		if run.engine.checkpointEvery > 0 && emitted > 0 && step%run.engine.checkpointEvery == 0 {
+			if err := run.checkpoint(step, emitted); err != nil {
+				return nil, err
+			}
+		}
+		if run.job.Aborter != nil && run.job.Aborter.ShouldAbort(step, aggs) {
+			aborted = true
+			break
+		}
+		pending = emitted
+	}
+	if run.engine.checkpointEvery > 0 && !aborted {
+		run.dropCheckpoint()
+	}
+	return &Result{Steps: steps, Aggregates: run.aggPrev, Aborted: aborted}, nil
+}
+
+// writeInitialSpills turns the loaders' initial messages and enablements into
+// step-1 spills in the transport table.
+func (run *jobRun) writeInitialSpills(lc *LoadContext) error {
+	if len(lc.envs) == 0 {
+		return nil
+	}
+	byDst := make(map[int][]envelope)
+	for _, env := range lc.envs {
+		dst := run.placement.PartOf(env.Dst)
+		byDst[dst] = append(byDst[dst], env)
+	}
+	dsts := make([]int, 0, len(byDst))
+	for dst := range byDst {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	errs := make([]error, len(dsts))
+	var wg sync.WaitGroup
+	for i, dst := range dsts {
+		wg.Add(1)
+		go func(i, dst int) {
+			defer wg.Done()
+			errs[i] = run.transport.Put(spillKey{Step: 1, Dst: dst, Src: -1}, byDst[dst])
+		}(i, dst)
+		run.engine.metrics.AddSpills(1)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ebsp: initial spill: %w", err)
+		}
+	}
+	run.engine.metrics.AddMessagesSent(int64(len(lc.envs)))
+	return nil
+}
+
+// partStepResult is what one part's step execution reports back.
+type partStepResult struct {
+	emitted int64
+	aggs    map[string]any
+	envs    []envelope // run-anywhere: drained data envelopes for the pool
+}
+
+// execStep runs one step across all parts and merges the aggregations.
+// It returns the number of envelopes emitted for the next step.
+func (run *jobRun) execStep(step int) (int64, map[string]any, error) {
+	if run.strategy.RunAnywhere {
+		return run.execStepRunAnywhere(step)
+	}
+	results := make([]*partStepResult, run.parts)
+	errs := make([]error, run.parts)
+	var wg sync.WaitGroup
+	for p := 0; p < run.parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			results[p], errs[p] = run.execPartStep(step, p)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+	var emitted int64
+	for _, r := range results {
+		emitted += r.emitted
+	}
+	aggs, err := run.mergeAggregations(step, results)
+	if err != nil {
+		return 0, nil, err
+	}
+	return emitted, aggs, nil
+}
+
+// execPartStep runs one part's share of a step, with replay-based recovery
+// when the strategy calls for it.
+func (run *jobRun) execPartStep(step, part int) (*partStepResult, error) {
+	if !run.strategy.FastRecovery {
+		res, err := run.engine.store.RunAgent(run.placement.Name(), part, run.stepAgent(step, part))
+		if err != nil {
+			return nil, err
+		}
+		return res.(*partStepResult), nil
+	}
+	tx := run.engine.store.(kvstore.Transactional)
+	var lastErr error
+	for attempt := 0; attempt <= run.engine.retries; attempt++ {
+		res, err := tx.RunTransaction(run.placement.Name(), part, run.recoveryAgent(step, part))
+		if err == nil {
+			return res.(*partStepResult), nil
+		}
+		if !errors.Is(err, kvstore.ErrShardFailed) {
+			return nil, err
+		}
+		// The shard's primary failed: the transaction rolled back (its local
+		// writes and spill deletions are undone), and spills it wrote to
+		// other parts are idempotent (keyed by step/src/dst), so — because
+		// the job is deterministic — simply replaying the part's step is
+		// correct (paper §IV-A fault-tolerance outline).
+		lastErr = err
+		run.recoveries.Add(1)
+		run.engine.metrics.AddRecoveries(1)
+	}
+	return nil, fmt.Errorf("ebsp: part %d step %d unrecovered after %d replays: %w",
+		part, step, run.engine.retries, lastErr)
+}
+
+// recoveryAgent wraps the step agent to also record the part's completed
+// step in the meta table, inside the same transaction.
+func (run *jobRun) recoveryAgent(step, part int) kvstore.Agent {
+	inner := run.stepAgent(step, part)
+	return func(sv kvstore.ShardView) (any, error) {
+		res, err := inner(sv)
+		if err != nil {
+			return nil, err
+		}
+		meta, err := sv.View(run.metaTable.Name())
+		if err != nil {
+			return nil, err
+		}
+		if err := meta.Put(partMetaKey{Part: part}, step); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+}
+
+// stepAgent is the mobile code for one part's step: drain spills, deliver,
+// invoke computes, flush outgoing spills.
+func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
+	return func(sv kvstore.ShardView) (res any, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("ebsp: part %d step %d: compute panicked: %v", part, step, r)
+			}
+		}()
+		transport, err := sv.View(run.transport.Name())
+		if err != nil {
+			return nil, err
+		}
+		envs, err := drainSpills(transport, step)
+		if err != nil {
+			return nil, err
+		}
+		state, err := run.partViews(sv)
+		if err != nil {
+			return nil, err
+		}
+		bview, err := run.broadcastView(sv)
+		if err != nil {
+			return nil, err
+		}
+		aggPrev, err := run.readAggPrev(sv)
+		if err != nil {
+			return nil, err
+		}
+
+		if err := run.applyCreates(envs, state); err != nil {
+			return nil, err
+		}
+
+		out := newOutBuffer(part, run.parts, run.placement.PartOf, run.job.combiner())
+		aggLocal := make(map[string]any)
+		invoke := func(key any, msgs []any, continued bool) error {
+			return run.invokeCompute(&Context{
+				run:       run,
+				step:      step,
+				key:       key,
+				msgs:      msgs,
+				continued: continued,
+				state:     state,
+				out:       out,
+				aggPrev:   aggPrev,
+				aggLocal:  aggLocal,
+				broadcast: bview,
+			}, out)
+		}
+
+		if run.strategy.Collect {
+			err = deliverCollected(envs, run.strategy.Sort, run.job.combiner(), run.engine.metrics.AddMessagesCombined, invoke)
+		} else {
+			err = deliverUncollected(envs, run.strategy.Sort, run.job.Properties.OneMsg, invoke)
+		}
+		if err != nil {
+			return nil, err
+		}
+
+		if err := out.flushSpills(step+1, run.transport, transport, run.engine.metrics); err != nil {
+			return nil, err
+		}
+		if err := out.exportDirect(run); err != nil {
+			return nil, err
+		}
+		result := &partStepResult{emitted: out.count, aggs: aggLocal}
+		if run.aggPartials != nil {
+			partials, err := sv.View(run.aggPartials.Name())
+			if err != nil {
+				return nil, err
+			}
+			if err := partials.Put(aggPartialKey{Step: step, Part: part}, aggLocal); err != nil {
+				return nil, err
+			}
+			result.aggs = nil // merged through the table path instead
+		}
+		return result, nil
+	}
+}
+
+// invokeCompute runs one component invocation: compute, continue-signal
+// handling, and write-back finalization.
+func (run *jobRun) invokeCompute(ctx *Context, out outSink) error {
+	run.engine.metrics.AddComputeInvocations(1)
+	cont := run.job.Compute.Compute(ctx)
+	if err := ctx.finish(); err != nil {
+		return fmt.Errorf("ebsp: component %v step %d: %w", ctx.key, ctx.step, err)
+	}
+	if cont {
+		if run.job.Properties.NoContinue {
+			return fmt.Errorf("%w: no-continue job returned the positive continue signal (key %v)",
+				ErrPropertyViolated, ctx.key)
+		}
+		// The continue signal is a special kind of BSP message to self
+		// (§IV-A): the basic mechanism is driven purely by messages.
+		out.add(envelope{Dst: ctx.key, Kind: kindContinue}, run)
+	}
+	return nil
+}
+
+// drainSpills reads and deletes this part's spills for the given step,
+// returning the envelopes in deterministic (source, sequence) order.
+func drainSpills(transport kvstore.PartView, step int) ([]envelope, error) {
+	type batch struct {
+		key  spillKey
+		envs []envelope
+	}
+	var batches []batch
+	err := transport.Enumerate(func(k, v any) (bool, error) {
+		sk, ok := k.(spillKey)
+		if !ok || sk.Step != step {
+			// Spills for the following step may already be arriving from
+			// parts that are ahead; leave them.
+			return false, nil
+		}
+		batches = append(batches, batch{key: sk, envs: v.([]envelope)})
+		return false, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ebsp: drain spills: %w", err)
+	}
+	sort.Slice(batches, func(i, j int) bool { return batches[i].key.Src < batches[j].key.Src })
+	var envs []envelope
+	for _, b := range batches {
+		envs = append(envs, b.envs...)
+		if err := transport.Delete(b.key); err != nil {
+			return nil, fmt.Errorf("ebsp: delete spill: %w", err)
+		}
+	}
+	return envs, nil
+}
+
+// applyCreates applies the CreateState requests among the envelopes,
+// combining conflicts with the job's state combiner (last-writer-wins in
+// deterministic order without one).
+func (run *jobRun) applyCreates(envs []envelope, state stateAccess) error {
+	sc := run.job.stateCombiner()
+	for _, env := range envs {
+		if env.Kind != kindCreate {
+			continue
+		}
+		cp := env.Val.(createPayload)
+		if cp.Tab < 0 || cp.Tab >= len(run.stateTables) {
+			return fmt.Errorf("%w: CreateState table index %d of %d", ErrBadJob, cp.Tab, len(run.stateTables))
+		}
+		newState := cp.State
+		if existing, ok, err := state.get(cp.Tab, env.Dst); err != nil {
+			return err
+		} else if ok && sc != nil {
+			newState = sc.CombineStates(env.Dst, existing, newState)
+		}
+		if err := state.put(cp.Tab, env.Dst, newState); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// inbox collects one component's delivery for a step.
+type inbox struct {
+	key     any
+	msgs    []any
+	enabled bool // saw a continue marker
+}
+
+// deliverCollected groups envelopes into per-component value lists (the
+// "(key, value list) pairs ... in an appropriate local table", §IV-A) and
+// invokes each enabled component once.
+func deliverCollected(envs []envelope, ordered bool, combiner MessageCombiner,
+	countCombined func(int64), invoke func(key any, msgs []any, continued bool) error) error {
+
+	index := make(map[any]*inbox)
+	var order []*inbox
+	lookup := func(key any) *inbox {
+		ib, ok := index[key]
+		if !ok {
+			ib = &inbox{key: key}
+			index[key] = ib
+			order = append(order, ib)
+		}
+		return ib
+	}
+	for _, env := range envs {
+		switch env.Kind {
+		case kindData:
+			ib := lookup(env.Dst)
+			if combiner != nil && len(ib.msgs) > 0 {
+				ib.msgs[len(ib.msgs)-1] = combiner.CombineMessages(env.Dst, ib.msgs[len(ib.msgs)-1], env.Val)
+				countCombined(1)
+			} else {
+				ib.msgs = append(ib.msgs, env.Val)
+			}
+		case kindContinue:
+			lookup(env.Dst).enabled = true
+		case kindCreate:
+			// already applied
+		}
+	}
+	if ordered {
+		sort.Slice(order, func(i, j int) bool {
+			return codec.CompareKeys(order[i].key, order[j].key) < 0
+		})
+	}
+	for _, ib := range order {
+		if err := invoke(ib.key, ib.msgs, ib.enabled); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverUncollected is the no-collect special case (§II-A): with at most one
+// message per destination and step and no continue signals, each envelope is
+// an invocation — no value lists are built.
+func deliverUncollected(envs []envelope, ordered, oneMsg bool,
+	invoke func(key any, msgs []any, continued bool) error) error {
+
+	data := envs[:0:0]
+	for _, env := range envs {
+		switch env.Kind {
+		case kindData, kindContinue:
+			// A loader may Enable components even in a no-collect job; a
+			// continue marker is an invocation with no messages.
+			data = append(data, env)
+		}
+	}
+	if ordered {
+		sort.SliceStable(data, func(i, j int) bool {
+			return codec.CompareKeys(data[i].Dst, data[j].Dst) < 0
+		})
+	}
+	if oneMsg {
+		seen := make(map[any]bool, len(data))
+		for _, env := range data {
+			if env.Kind == kindData && keyComparable(env.Dst) {
+				if seen[env.Dst] {
+					return fmt.Errorf("%w: one-msg job received two messages for key %v",
+						ErrPropertyViolated, env.Dst)
+				}
+				seen[env.Dst] = true
+			}
+		}
+	}
+	msgBuf := make([]any, 1)
+	for _, env := range data {
+		if env.Kind == kindContinue {
+			if err := invoke(env.Dst, nil, true); err != nil {
+				return err
+			}
+			continue
+		}
+		msgBuf[0] = env.Val
+		if err := invoke(env.Dst, msgBuf, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execStepRunAnywhere executes one step with work stealing (§II-A
+// run-anywhere): envelopes are drained per part, then processed by a global
+// worker pool that may run any component's compute anywhere, accessing its
+// (rarely used) state remotely.
+func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) {
+	// Phase A: drain each part's spills and apply creates locally.
+	drained := make([][]envelope, run.parts)
+	errs := make([]error, run.parts)
+	var wg sync.WaitGroup
+	for p := 0; p < run.parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			res, err := run.engine.store.RunAgent(run.placement.Name(), p, func(sv kvstore.ShardView) (any, error) {
+				transport, err := sv.View(run.transport.Name())
+				if err != nil {
+					return nil, err
+				}
+				envs, err := drainSpills(transport, step)
+				if err != nil {
+					return nil, err
+				}
+				state, err := run.partViews(sv)
+				if err != nil {
+					return nil, err
+				}
+				if err := run.applyCreates(envs, state); err != nil {
+					return nil, err
+				}
+				data := envs[:0:0]
+				for _, env := range envs {
+					if env.Kind == kindData {
+						data = append(data, env)
+					}
+				}
+				return data, nil
+			})
+			if err != nil {
+				errs[p] = err
+				return
+			}
+			drained[p] = res.([]envelope)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+
+	var tasks []envelope
+	for _, envs := range drained {
+		tasks = append(tasks, envs...)
+	}
+
+	// Phase B: a worker pool steals tasks without regard to placement.
+	workers := runtime.NumCPU()
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	if workers == 0 {
+		return 0, run.mergePlainAggs(nil), nil
+	}
+	remote := &remoteState{tables: run.stateTables}
+	var next atomic.Int64
+	outs := make([]*outBuffer, workers)
+	aggs := make([]map[string]any, workers)
+	werrs := make([]error, workers)
+	var wwg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					werrs[w] = fmt.Errorf("ebsp: run-anywhere worker %d: compute panicked: %v", w, r)
+				}
+			}()
+			// Pseudo-source part beyond the real parts keeps spill keys
+			// unique per writer.
+			out := newOutBuffer(run.parts+w, run.parts, run.placement.PartOf, run.job.combiner())
+			outs[w] = out
+			aggLocal := make(map[string]any)
+			aggs[w] = aggLocal
+			msgBuf := make([]any, 1)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(len(tasks)) {
+					return
+				}
+				env := tasks[i]
+				msgBuf[0] = env.Val
+				ctx := &Context{
+					run:      run,
+					step:     step,
+					key:      env.Dst,
+					msgs:     msgBuf,
+					state:    remote,
+					out:      out,
+					aggPrev:  run.aggPrev,
+					aggLocal: aggLocal,
+				}
+				if run.refTable != nil {
+					ctx.broadcast = &remoteBroadcast{table: run.refTable}
+				}
+				if err := run.invokeCompute(ctx, out); err != nil {
+					werrs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wwg.Wait()
+	for _, err := range werrs {
+		if err != nil {
+			return 0, nil, err
+		}
+	}
+
+	var emitted int64
+	for _, out := range outs {
+		if out == nil {
+			continue
+		}
+		if err := out.flushSpills(step+1, run.transport, nil, run.engine.metrics); err != nil {
+			return 0, nil, err
+		}
+		if err := out.exportDirect(run); err != nil {
+			return 0, nil, err
+		}
+		emitted += out.count
+	}
+	merged := run.mergePlainAggs(aggs)
+	return emitted, merged, nil
+}
+
+// remoteBroadcast adapts a whole-table handle to the PartView shape Context
+// uses for broadcast reads.
+type remoteBroadcast struct {
+	table kvstore.Table
+}
+
+var _ kvstore.PartView = (*remoteBroadcast)(nil)
+
+func (rb *remoteBroadcast) Table() string { return rb.table.Name() }
+func (rb *remoteBroadcast) Part() int     { return 0 }
+func (rb *remoteBroadcast) Get(key any) (any, bool, error) {
+	return rb.table.Get(key)
+}
+func (rb *remoteBroadcast) Put(key, value any) error { return rb.table.Put(key, value) }
+func (rb *remoteBroadcast) Delete(key any) error     { return rb.table.Delete(key) }
+func (rb *remoteBroadcast) Len() (int, error)        { return rb.table.Size() }
+func (rb *remoteBroadcast) Enumerate(fn kvstore.PairFunc) error {
+	return kvstore.EnumerateAll(rb.table, fn)
+}
+func (rb *remoteBroadcast) EnumerateOrdered(fn kvstore.PairFunc) error {
+	return kvstore.EnumerateAll(rb.table, fn)
+}
+
+// mergePlainAggs merges per-worker partial aggregations client-side.
+func (run *jobRun) mergePlainAggs(parts []map[string]any) map[string]any {
+	merged := make(map[string]any, len(run.job.Aggregators))
+	for name, agg := range run.job.Aggregators {
+		cur := agg.Zero()
+		saw := false
+		for _, m := range parts {
+			if m == nil {
+				continue
+			}
+			if v, ok := m[name]; ok {
+				cur = agg.Combine(cur, v)
+				saw = true
+			}
+		}
+		if saw {
+			merged[name] = cur
+		}
+	}
+	return merged
+}
+
+// mergeAggregations merges the step's partial aggregations: client-side for
+// a modest number of aggregators, through the auxiliary tables and another
+// round of enumeration for a large number (§IV-A).
+func (run *jobRun) mergeAggregations(step int, results []*partStepResult) (map[string]any, error) {
+	if run.aggPartials == nil {
+		maps := make([]map[string]any, 0, len(results))
+		for _, r := range results {
+			if r != nil {
+				maps = append(maps, r.aggs)
+			}
+		}
+		return run.mergePlainAggs(maps), nil
+	}
+	// Table path: combine partials via a round of part enumeration.
+	res, err := run.aggPartials.EnumerateParts(kvstore.PartConsumerFuncs{
+		ProcessFn: func(sv kvstore.ShardView) (any, error) {
+			view, err := sv.View(run.aggPartials.Name())
+			if err != nil {
+				return nil, err
+			}
+			local := make(map[string]any)
+			err = view.Enumerate(func(k, v any) (bool, error) {
+				ak, ok := k.(aggPartialKey)
+				if !ok || ak.Step != step {
+					return false, nil
+				}
+				partial := v.(map[string]any)
+				for name, pv := range partial {
+					agg, ok := run.job.Aggregators[name]
+					if !ok {
+						continue
+					}
+					if cur, ok := local[name]; ok {
+						local[name] = agg.Combine(cur, pv)
+					} else {
+						local[name] = pv
+					}
+				}
+				return false, view.Delete(k)
+			})
+			return local, err
+		},
+		CombineFn: func(a, b any) (any, error) {
+			am := a.(map[string]any)
+			for name, bv := range b.(map[string]any) {
+				agg, ok := run.job.Aggregators[name]
+				if !ok {
+					continue
+				}
+				if av, ok := am[name]; ok {
+					am[name] = agg.Combine(av, bv)
+				} else {
+					am[name] = bv
+				}
+			}
+			return am, nil
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ebsp: merge aggregations: %w", err)
+	}
+	return res.(map[string]any), nil
+}
+
+// readAggPrev gives an agent the previous step's aggregation results: from
+// memory on the small path, from the ubiquitous results table on the large
+// path (redistribution, §IV-A).
+func (run *jobRun) readAggPrev(sv kvstore.ShardView) (map[string]any, error) {
+	if run.aggResults == nil {
+		return run.aggPrev, nil
+	}
+	view, err := sv.View(run.aggResults.Name())
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]any)
+	err = view.Enumerate(func(k, v any) (bool, error) {
+		out[k.(string)] = v
+		return false, nil
+	})
+	return out, err
+}

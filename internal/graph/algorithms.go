@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"ripple/internal/ebsp"
+)
+
+// Ready-made vertex programs for common graph analytics, usable directly or
+// as templates. Each returns a Spec ready for Run.
+
+// MaxValue labels every vertex with the maximum int Value in its connected
+// component (the classic Pregel example).
+func MaxValue(vertexTable string) *Spec {
+	return &Spec{
+		Name:        "graph.maxvalue",
+		VertexTable: vertexTable,
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			cur, ok := ctx.Value().(int)
+			if !ok {
+				return fmt.Errorf("graph: MaxValue needs int values, got %T", ctx.Value())
+			}
+			changed := ctx.Superstep() == 1
+			for _, m := range ctx.Messages() {
+				if v := m.(int); v > cur {
+					cur = v
+					changed = true
+				}
+			}
+			if changed {
+				ctx.SetValue(cur)
+				ctx.SendToNeighbors(cur)
+			}
+			ctx.VoteToHalt()
+			return nil
+		}),
+	}
+}
+
+// connectedComponentsCombiner keeps only the smallest candidate label.
+type minIntCombiner struct{}
+
+// CombineMessages implements ebsp.MessageCombiner.
+func (minIntCombiner) CombineMessages(_, a, b any) any {
+	if a.(int) <= b.(int) {
+		return a
+	}
+	return b
+}
+
+// ConnectedComponents labels every vertex (int IDs) with the smallest vertex
+// ID in its weakly connected component, written to the vertex Value.
+func ConnectedComponents(vertexTable string) *Spec {
+	return &Spec{
+		Name:        "graph.cc",
+		VertexTable: vertexTable,
+		Combiner:    minIntCombiner{},
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			id, ok := ctx.ID().(int)
+			if !ok {
+				return fmt.Errorf("graph: ConnectedComponents needs int IDs, got %T", ctx.ID())
+			}
+			label := id
+			if ctx.Superstep() > 1 {
+				label = ctx.Value().(int)
+			}
+			changed := ctx.Superstep() == 1
+			for _, m := range ctx.Messages() {
+				if v := m.(int); v < label {
+					label = v
+					changed = true
+				}
+			}
+			if changed {
+				ctx.SetValue(label)
+				ctx.SendToNeighbors(label)
+			}
+			ctx.VoteToHalt()
+			return nil
+		}),
+	}
+}
+
+// ShortestPathsInf is the "unreachable" distance used by ShortestPaths.
+const ShortestPathsInf = int32(math.MaxInt32 / 2)
+
+// ShortestPaths computes hop distances from a source vertex; vertex Values
+// must be int32 distances initialized to ShortestPathsInf (0 at the source).
+func ShortestPaths(vertexTable string, source any) *Spec {
+	return &Spec{
+		Name:        "graph.sssp",
+		VertexTable: vertexTable,
+		Combiner:    minInt32Combiner{},
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			dist, ok := ctx.Value().(int32)
+			if !ok {
+				return fmt.Errorf("graph: ShortestPaths needs int32 values, got %T", ctx.Value())
+			}
+			improved := ctx.Superstep() == 1 && ctx.ID() == source
+			if improved && dist != 0 {
+				dist = 0
+			}
+			for _, m := range ctx.Messages() {
+				if nd := m.(int32); nd < dist {
+					dist = nd
+					improved = true
+				}
+			}
+			if improved {
+				ctx.SetValue(dist)
+				ctx.SendToNeighbors(dist + 1)
+			}
+			ctx.VoteToHalt()
+			return nil
+		}),
+	}
+}
+
+type minInt32Combiner struct{}
+
+// CombineMessages implements ebsp.MessageCombiner.
+func (minInt32Combiner) CombineMessages(_, a, b any) any {
+	if a.(int32) <= b.(int32) {
+		return a
+	}
+	return b
+}
+
+// PageRankSpec computes PageRank over the graph layer: vertex Values must be
+// float64 ranks initialized to 1/|V|. Dangling mass is redistributed through
+// an aggregator, matching the §V-A equations.
+func PageRankSpec(vertexTable string, numVertices, iterations int, damping float64) *Spec {
+	const sinkAgg = "graph.pagerank.sink"
+	n := float64(numVertices)
+	return &Spec{
+		Name:          "graph.pagerank",
+		VertexTable:   vertexTable,
+		MaxSupersteps: iterations,
+		Aggregators:   map[string]ebsp.Aggregator{sinkAgg: ebsp.Float64Sum{}},
+		Combiner:      sumFloat64Combiner{},
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			rank, ok := ctx.Value().(float64)
+			if !ok {
+				return fmt.Errorf("graph: PageRank needs float64 values, got %T", ctx.Value())
+			}
+			if ctx.Superstep() > 1 {
+				contrib := 0.0
+				for _, m := range ctx.Messages() {
+					contrib += m.(float64)
+				}
+				sink := 0.0
+				if v, ok := ctx.AggregateResult(sinkAgg).(float64); ok {
+					sink = v
+				}
+				rank = (1-damping)/n + damping*(contrib+sink)
+				ctx.SetValue(rank)
+			}
+			if ctx.Superstep() >= iterations {
+				ctx.VoteToHalt()
+				return nil
+			}
+			if deg := len(ctx.Edges()); deg == 0 {
+				ctx.AggregateValue(sinkAgg, rank/n)
+			} else {
+				ctx.SendToNeighbors(rank / float64(deg))
+			}
+			return nil
+		}),
+	}
+}
+
+type sumFloat64Combiner struct{}
+
+// CombineMessages implements ebsp.MessageCombiner.
+func (sumFloat64Combiner) CombineMessages(_, a, b any) any {
+	return a.(float64) + b.(float64)
+}

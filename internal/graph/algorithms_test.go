@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"ripple/internal/kvstore"
+)
+
+func TestMaxValueAlgorithm(t *testing.T) {
+	e := newEngine(t)
+	tab := loadGraph(t, e, "amax", []Vertex{
+		{ID: 1, Value: 4, Edges: edges(2)},
+		{ID: 2, Value: 11, Edges: edges(1, 3)},
+		{ID: 3, Value: 2, Edges: edges(2)},
+	})
+	if _, err := Run(e, MaxValue("amax")); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := kvstore.Dump(tab)
+	for _, id := range []int{1, 2, 3} {
+		if dump[id].(Vertex).Value != 11 {
+			t.Errorf("vertex %d = %v", id, dump[id].(Vertex).Value)
+		}
+	}
+}
+
+func TestMaxValueTypeError(t *testing.T) {
+	e := newEngine(t)
+	loadGraph(t, e, "abad", []Vertex{{ID: 1, Value: "nope"}})
+	if _, err := Run(e, MaxValue("abad")); err == nil {
+		t.Error("non-int values accepted")
+	}
+}
+
+func TestConnectedComponentsAlgorithm(t *testing.T) {
+	e := newEngine(t)
+	tab := loadGraph(t, e, "acc", []Vertex{
+		{ID: 4, Value: 0, Edges: edges(8)},
+		{ID: 8, Value: 0, Edges: edges(4, 6)},
+		{ID: 6, Value: 0, Edges: edges(8)},
+		{ID: 99, Value: 0},
+	})
+	if _, err := Run(e, ConnectedComponents("acc")); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := kvstore.Dump(tab)
+	want := map[int]int{4: 4, 8: 4, 6: 4, 99: 99}
+	for id, label := range want {
+		if got := dump[id].(Vertex).Value; got != label {
+			t.Errorf("cc(%d) = %v, want %d", id, got, label)
+		}
+	}
+}
+
+func TestShortestPathsAlgorithm(t *testing.T) {
+	e := newEngine(t)
+	inf := ShortestPathsInf
+	tab := loadGraph(t, e, "asp", []Vertex{
+		{ID: 0, Value: inf, Edges: edges(1)},
+		{ID: 1, Value: inf, Edges: edges(0, 2)},
+		{ID: 2, Value: inf, Edges: edges(1)},
+		{ID: 7, Value: inf}, // unreachable
+	})
+	if _, err := Run(e, ShortestPaths("asp", 0)); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := kvstore.Dump(tab)
+	want := map[int]int32{0: 0, 1: 1, 2: 2, 7: inf}
+	for id, d := range want {
+		if got := dump[id].(Vertex).Value; got != d {
+			t.Errorf("d(%d) = %v, want %d", id, got, d)
+		}
+	}
+}
+
+func TestPageRankSpecAlgorithm(t *testing.T) {
+	e := newEngine(t)
+	const n = 4
+	r0 := 1.0 / n
+	tab := loadGraph(t, e, "apr", []Vertex{
+		{ID: 0, Value: r0, Edges: edges(1)},
+		{ID: 1, Value: r0, Edges: edges(0, 2)},
+		{ID: 2, Value: r0, Edges: edges(0)},
+		{ID: 3, Value: r0}, // dangling
+	})
+	if _, err := Run(e, PageRankSpec("apr", n, 25, 0.85)); err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := kvstore.Dump(tab)
+	sum := 0.0
+	for id := 0; id < n; id++ {
+		sum += dump[id].(Vertex).Value.(float64)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %v", sum)
+	}
+	// Vertex 0 receives from 1 and 2; it must outrank the dangling vertex 3.
+	if dump[0].(Vertex).Value.(float64) <= dump[3].(Vertex).Value.(float64) {
+		t.Error("rank ordering wrong")
+	}
+}

@@ -1,0 +1,252 @@
+// Package graph layers a Pregel-style Graph EBSP programming model on top of
+// K/V EBSP (paper Fig. 2; §VI: "The functionality of Pregel can be
+// constructed atop Ripple's K/V EBSP"). A vertex program runs at each active
+// vertex every superstep; vertices exchange messages along (or regardless
+// of) edges and vote to halt; a halted vertex is reactivated by an incoming
+// message — implemented directly by EBSP selective enablement.
+package graph
+
+import (
+	"errors"
+	"fmt"
+
+	"ripple/internal/codec"
+	"ripple/internal/ebsp"
+)
+
+// ErrBadSpec is returned for invalid graph job specifications.
+var ErrBadSpec = errors.New("graph: invalid spec")
+
+// Edge is one outgoing edge of a vertex.
+type Edge struct {
+	To    any
+	Value any
+}
+
+// Vertex is the unit of graph state stored in the vertex table.
+type Vertex struct {
+	ID    any
+	Value any
+	Edges []Edge
+}
+
+func init() {
+	codec.Register(Vertex{})
+	codec.Register(Edge{})
+	codec.Register([]Edge{})
+}
+
+// Program is the vertex compute function, run at every active vertex each
+// superstep.
+type Program interface {
+	Compute(ctx *VertexContext) error
+}
+
+// ProgramFunc adapts a function to Program.
+type ProgramFunc func(ctx *VertexContext) error
+
+// Compute implements Program.
+func (f ProgramFunc) Compute(ctx *VertexContext) error { return f(ctx) }
+
+// Spec describes one graph computation.
+type Spec struct {
+	// Name labels the job.
+	Name string
+	// VertexTable names the table holding Vertex values keyed by vertex ID.
+	VertexTable string
+	// Program is the vertex program.
+	Program Program
+	// Combiner optionally combines messages per destination vertex.
+	Combiner ebsp.MessageCombiner
+	// Aggregators are readable in the following superstep.
+	Aggregators map[string]ebsp.Aggregator
+	// MaxSupersteps bounds execution; 0 means run until all vertices halt.
+	MaxSupersteps int
+}
+
+// Run executes the graph computation; all vertices are active in the first
+// superstep.
+func Run(e *ebsp.Engine, spec *Spec) (*ebsp.Result, error) {
+	if spec.Program == nil {
+		return nil, fmt.Errorf("%w: no program", ErrBadSpec)
+	}
+	if spec.VertexTable == "" {
+		return nil, fmt.Errorf("%w: no vertex table", ErrBadSpec)
+	}
+	tab, ok := e.Store().LookupTable(spec.VertexTable)
+	if !ok {
+		return nil, fmt.Errorf("graph: vertex table %q does not exist", spec.VertexTable)
+	}
+	n, err := tab.Size()
+	if err != nil {
+		return nil, fmt.Errorf("graph: size of %q: %w", spec.VertexTable, err)
+	}
+
+	job := &ebsp.Job{
+		Name:        spec.Name,
+		StateTables: []string{spec.VertexTable},
+		Compute:     &vertexCompute{spec: spec, numVertices: n},
+		Combiner:    spec.Combiner,
+		Aggregators: spec.Aggregators,
+		MaxSteps:    spec.MaxSupersteps,
+		Loaders: []ebsp.Loader{&ebsp.TableLoader{
+			Table: spec.VertexTable,
+			Store: e.Store(),
+			Each: func(k, _ any, lc *ebsp.LoadContext) error {
+				lc.Enable(k)
+				return nil
+			},
+		}},
+	}
+	return e.Run(job)
+}
+
+// VertexContext is the vertex program's window onto one superstep.
+type VertexContext struct {
+	inner       *ebsp.Context
+	vertex      *Vertex
+	present     bool
+	dirty       bool
+	removed     bool
+	halted      bool
+	numVertices int
+}
+
+// Superstep reports the current superstep, numbered from 1.
+func (c *VertexContext) Superstep() int { return c.inner.StepNum() }
+
+// ID identifies the vertex.
+func (c *VertexContext) ID() any { return c.inner.Key() }
+
+// NumVertices reports the vertex count at job start.
+func (c *VertexContext) NumVertices() int { return c.numVertices }
+
+// Exists reports whether this vertex has state (a message can reach an ID
+// with no vertex behind it).
+func (c *VertexContext) Exists() bool { return c.present && !c.removed }
+
+// Value returns the vertex value (nil for a non-existent vertex).
+func (c *VertexContext) Value() any {
+	if !c.Exists() {
+		return nil
+	}
+	return c.vertex.Value
+}
+
+// SetValue replaces the vertex value; for a non-existent vertex it creates
+// the vertex with no edges.
+func (c *VertexContext) SetValue(v any) {
+	if !c.Exists() {
+		c.vertex = &Vertex{ID: c.inner.Key()}
+		c.present = true
+		c.removed = false
+	}
+	c.vertex.Value = v
+	c.dirty = true
+}
+
+// Edges returns the vertex's outgoing edges; the slice is owned by the
+// platform — use AddEdge/RemoveEdge to mutate.
+func (c *VertexContext) Edges() []Edge {
+	if !c.Exists() {
+		return nil
+	}
+	return c.vertex.Edges
+}
+
+// AddEdge appends an outgoing edge.
+func (c *VertexContext) AddEdge(e Edge) {
+	if !c.Exists() {
+		c.vertex = &Vertex{ID: c.inner.Key()}
+		c.present = true
+		c.removed = false
+	}
+	c.vertex.Edges = append(c.vertex.Edges, e)
+	c.dirty = true
+}
+
+// RemoveEdge deletes every outgoing edge to the given destination and
+// reports whether any existed.
+func (c *VertexContext) RemoveEdge(to any) bool {
+	if !c.Exists() {
+		return false
+	}
+	kept := c.vertex.Edges[:0]
+	removed := false
+	for _, e := range c.vertex.Edges {
+		if e.To == to {
+			removed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	c.vertex.Edges = kept
+	if removed {
+		c.dirty = true
+	}
+	return removed
+}
+
+// Messages returns this superstep's incoming messages.
+func (c *VertexContext) Messages() []any { return c.inner.InputMessages() }
+
+// SendTo sends a message to any vertex by ID.
+func (c *VertexContext) SendTo(dst, msg any) { c.inner.Send(dst, msg) }
+
+// SendToNeighbors sends a message along every outgoing edge.
+func (c *VertexContext) SendToNeighbors(msg any) {
+	for _, e := range c.Edges() {
+		c.inner.Send(e.To, msg)
+	}
+}
+
+// AddVertex requests creation of another vertex at the barrier.
+func (c *VertexContext) AddVertex(v Vertex) {
+	c.inner.CreateState(0, v.ID, v)
+}
+
+// RemoveVertex deletes this vertex at the end of the invocation.
+func (c *VertexContext) RemoveVertex() {
+	c.removed = true
+	c.dirty = true
+}
+
+// VoteToHalt deactivates the vertex until a message arrives (Pregel
+// semantics; the inverse of the EBSP continue signal).
+func (c *VertexContext) VoteToHalt() { c.halted = true }
+
+// AggregateValue feeds the named aggregator.
+func (c *VertexContext) AggregateValue(name string, v any) {
+	c.inner.AggregateValue(name, v)
+}
+
+// AggregateResult reads the named aggregator's previous-superstep result.
+func (c *VertexContext) AggregateResult(name string) any {
+	return c.inner.AggregateResult(name)
+}
+
+// vertexCompute adapts a vertex Program to the EBSP Compute interface.
+type vertexCompute struct {
+	spec        *Spec
+	numVertices int
+}
+
+func (vc *vertexCompute) Compute(ctx *ebsp.Context) bool {
+	vctx := &VertexContext{inner: ctx, numVertices: vc.numVertices}
+	if raw, ok := ctx.ReadState(0); ok {
+		v := raw.(Vertex)
+		vctx.vertex = &v
+		vctx.present = true
+	}
+	if err := vc.spec.Program.Compute(vctx); err != nil {
+		panic(fmt.Sprintf("graph: vertex %v superstep %d: %v", ctx.Key(), ctx.StepNum(), err))
+	}
+	if vctx.dirty {
+		if vctx.removed {
+			ctx.DeleteState(0)
+		} else {
+			ctx.WriteState(0, *vctx.vertex)
+		}
+	}
+	return !vctx.halted && vctx.Exists()
+}

@@ -1,0 +1,350 @@
+package graph
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ripple/internal/ebsp"
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+)
+
+func newEngine(t *testing.T) *ebsp.Engine {
+	t.Helper()
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	return ebsp.NewEngine(store)
+}
+
+// loadGraph stores vertices keyed by ID.
+func loadGraph(t *testing.T, e *ebsp.Engine, name string, vertices []Vertex) kvstore.Table {
+	t.Helper()
+	tab, err := e.Store().CreateTable(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vertices {
+		if err := tab.Put(v.ID, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func edges(to ...any) []Edge {
+	out := make([]Edge, len(to))
+	for i, t := range to {
+		out[i] = Edge{To: t}
+	}
+	return out
+}
+
+// maxValueProgram is the classic Pregel example: every vertex converges to
+// the maximum value in its connected component.
+var maxValueProgram = ProgramFunc(func(ctx *VertexContext) error {
+	changed := ctx.Superstep() == 1
+	cur := ctx.Value().(int)
+	for _, m := range ctx.Messages() {
+		if v := m.(int); v > cur {
+			cur = v
+			changed = true
+		}
+	}
+	if changed {
+		ctx.SetValue(cur)
+		ctx.SendToNeighbors(cur)
+	}
+	ctx.VoteToHalt()
+	return nil
+})
+
+func TestMaxValuePropagation(t *testing.T) {
+	e := newEngine(t)
+	tab := loadGraph(t, e, "g", []Vertex{
+		{ID: 1, Value: 3, Edges: edges(2)},
+		{ID: 2, Value: 6, Edges: edges(1, 3)},
+		{ID: 3, Value: 2, Edges: edges(2, 4)},
+		{ID: 4, Value: 1, Edges: edges(3)},
+		// A second component.
+		{ID: 10, Value: 9, Edges: edges(11)},
+		{ID: 11, Value: 7, Edges: edges(10)},
+	})
+	res, err := Run(e, &Spec{Name: "maxval", VertexTable: "g", Program: maxValueProgram})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps == 0 {
+		t.Error("no supersteps ran")
+	}
+	want := map[any]int{1: 6, 2: 6, 3: 6, 4: 6, 10: 9, 11: 9}
+	dump, _ := kvstore.Dump(tab)
+	for id, wantV := range want {
+		v := dump[id].(Vertex)
+		if v.Value != wantV {
+			t.Errorf("vertex %v = %v, want %d", id, v.Value, wantV)
+		}
+	}
+}
+
+func TestVoteToHaltTerminates(t *testing.T) {
+	e := newEngine(t)
+	loadGraph(t, e, "halt", []Vertex{{ID: 1, Value: 0}})
+	res, err := Run(e, &Spec{
+		Name:        "halt",
+		VertexTable: "halt",
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			ctx.VoteToHalt()
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("Steps = %d, want 1", res.Steps)
+	}
+}
+
+func TestActiveWithoutHaltKeepsRunningUntilMax(t *testing.T) {
+	e := newEngine(t)
+	loadGraph(t, e, "live", []Vertex{{ID: 1, Value: 0}})
+	res, err := Run(e, &Spec{
+		Name:          "live",
+		VertexTable:   "live",
+		MaxSupersteps: 7,
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			ctx.SetValue(ctx.Superstep())
+			return nil // never halts
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 7 {
+		t.Errorf("Steps = %d, want 7", res.Steps)
+	}
+}
+
+func TestMessageReactivatesHaltedVertex(t *testing.T) {
+	e := newEngine(t)
+	tab := loadGraph(t, e, "react", []Vertex{
+		{ID: 1, Value: 0, Edges: edges(2)},
+		{ID: 2, Value: 0},
+	})
+	_, err := Run(e, &Spec{
+		Name:        "react",
+		VertexTable: "react",
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			if ctx.Superstep() == 1 && ctx.ID() == 1 {
+				ctx.SendToNeighbors("wake")
+			}
+			if len(ctx.Messages()) > 0 {
+				ctx.SetValue("woken")
+			}
+			ctx.VoteToHalt()
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _, _ := tab.Get(2)
+	if raw.(Vertex).Value != "woken" {
+		t.Errorf("vertex 2 = %v", raw.(Vertex).Value)
+	}
+}
+
+func TestGraphMutation(t *testing.T) {
+	e := newEngine(t)
+	tab := loadGraph(t, e, "mut", []Vertex{
+		{ID: 1, Value: "keep", Edges: edges(2)},
+		{ID: 2, Value: "kill"},
+	})
+	_, err := Run(e, &Spec{
+		Name:        "mut",
+		VertexTable: "mut",
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			defer ctx.VoteToHalt()
+			if ctx.Superstep() != 1 {
+				return nil
+			}
+			switch ctx.ID() {
+			case 1:
+				ctx.AddVertex(Vertex{ID: 3, Value: "born"})
+				ctx.RemoveEdge(2)
+				ctx.AddEdge(Edge{To: 3})
+			case 2:
+				ctx.RemoveVertex()
+			}
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := kvstore.Dump(tab)
+	if _, ok := dump[2]; ok {
+		t.Error("removed vertex still present")
+	}
+	v3, ok := dump[3]
+	if !ok || v3.(Vertex).Value != "born" {
+		t.Errorf("added vertex = %v, %v", v3, ok)
+	}
+	v1 := dump[1].(Vertex)
+	if len(v1.Edges) != 1 || v1.Edges[0].To != 3 {
+		t.Errorf("vertex 1 edges = %v", v1.Edges)
+	}
+}
+
+func TestAggregatorsAcrossSupersteps(t *testing.T) {
+	e := newEngine(t)
+	loadGraph(t, e, "agg", []Vertex{
+		{ID: 1, Value: 5}, {ID: 2, Value: 7}, {ID: 3, Value: 1},
+	})
+	var mu sync.Mutex
+	var step2Total any
+	_, err := Run(e, &Spec{
+		Name:          "agg",
+		VertexTable:   "agg",
+		MaxSupersteps: 2,
+		Aggregators:   map[string]ebsp.Aggregator{"sum": ebsp.IntSum{}},
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			if ctx.Superstep() == 1 {
+				ctx.AggregateValue("sum", ctx.Value().(int))
+				return nil // stay active for superstep 2
+			}
+			mu.Lock()
+			if step2Total == nil {
+				step2Total = ctx.AggregateResult("sum")
+			}
+			mu.Unlock()
+			ctx.VoteToHalt()
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step2Total != 13 {
+		t.Errorf("superstep-2 aggregate = %v, want 13", step2Total)
+	}
+}
+
+// TestConnectedComponents labels every vertex with the smallest ID in its
+// component.
+func TestConnectedComponents(t *testing.T) {
+	e := newEngine(t)
+	tab := loadGraph(t, e, "cc", []Vertex{
+		{ID: 5, Value: 0, Edges: edges(7)},
+		{ID: 7, Value: 0, Edges: edges(5, 9)},
+		{ID: 9, Value: 0, Edges: edges(7)},
+		{ID: 20, Value: 0, Edges: edges(21)},
+		{ID: 21, Value: 0, Edges: edges(20)},
+		{ID: 30, Value: 0}, // isolated
+	})
+	prog := ProgramFunc(func(ctx *VertexContext) error {
+		label := ctx.ID().(int)
+		if ctx.Superstep() > 1 {
+			label = ctx.Value().(int)
+		}
+		changed := ctx.Superstep() == 1
+		for _, m := range ctx.Messages() {
+			if v := m.(int); v < label {
+				label = v
+				changed = true
+			}
+		}
+		if changed {
+			ctx.SetValue(label)
+			ctx.SendToNeighbors(label)
+		}
+		ctx.VoteToHalt()
+		return nil
+	})
+	if _, err := Run(e, &Spec{Name: "cc", VertexTable: "cc", Program: prog}); err != nil {
+		t.Fatal(err)
+	}
+	want := map[any]int{5: 5, 7: 5, 9: 5, 20: 20, 21: 20, 30: 30}
+	dump, _ := kvstore.Dump(tab)
+	for id, label := range want {
+		if got := dump[id].(Vertex).Value; got != label {
+			t.Errorf("component of %v = %v, want %d", id, got, label)
+		}
+	}
+}
+
+func TestNumVertices(t *testing.T) {
+	e := newEngine(t)
+	loadGraph(t, e, "nv", []Vertex{{ID: 1}, {ID: 2}, {ID: 3}})
+	var seen atomic.Int64
+	_, err := Run(e, &Spec{
+		Name:        "nv",
+		VertexTable: "nv",
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			seen.Store(int64(ctx.NumVertices()))
+			ctx.VoteToHalt()
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() != 3 {
+		t.Errorf("NumVertices = %d, want 3", seen.Load())
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	e := newEngine(t)
+	if _, err := Run(e, &Spec{Name: "x", VertexTable: "g"}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("no program err = %v", err)
+	}
+	if _, err := Run(e, &Spec{Name: "x", Program: maxValueProgram}); !errors.Is(err, ErrBadSpec) {
+		t.Errorf("no table err = %v", err)
+	}
+	if _, err := Run(e, &Spec{Name: "x", VertexTable: "missing", Program: maxValueProgram}); err == nil {
+		t.Error("missing table not reported")
+	}
+}
+
+func TestProgramErrorSurfaces(t *testing.T) {
+	e := newEngine(t)
+	loadGraph(t, e, "err", []Vertex{{ID: 1}})
+	_, err := Run(e, &Spec{
+		Name:        "err",
+		VertexTable: "err",
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			return errors.New("vertex exploded")
+		}),
+	})
+	if err == nil {
+		t.Error("program error did not surface")
+	}
+}
+
+func TestMessageToNonexistentVertexCreatesNothing(t *testing.T) {
+	e := newEngine(t)
+	tab := loadGraph(t, e, "ghost", []Vertex{{ID: 1, Value: 0, Edges: edges(99)}})
+	_, err := Run(e, &Spec{
+		Name:        "ghost",
+		VertexTable: "ghost",
+		Program: ProgramFunc(func(ctx *VertexContext) error {
+			defer ctx.VoteToHalt()
+			if ctx.Superstep() == 1 && ctx.Exists() {
+				ctx.SendToNeighbors("hello")
+			}
+			if !ctx.Exists() && len(ctx.Messages()) == 0 {
+				t.Errorf("ghost vertex %v invoked without messages", ctx.ID())
+			}
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tab.Size(); n != 1 {
+		t.Errorf("vertex table size = %d, want 1 (no ghost materialized)", n)
+	}
+}

@@ -1,0 +1,519 @@
+// Package gridstore implements an elastic in-memory key/value store in the
+// style of IBM WebSphere eXtreme Scale (the store the paper's SUMMA
+// evaluation and fault-tolerance outline used, §IV-B, §V-B): data
+// partitioning, synchronous replication, the ability to execute mobile code
+// adjacent to the data, and an ACID transaction over all the entries in a
+// shard of co-placed replicated tables.
+//
+// The store also provides failure injection (kill a part's primary replica,
+// promoting a survivor), which the EBSP engine's fault-tolerance tests drive.
+// A transaction in flight when its shard's primary fails is rolled back and
+// reported with kvstore.ErrShardFailed, exactly the recovery point the paper
+// outlines: "recover from primary shard failure by deleting writes done by
+// the failed shard(s) and retry".
+package gridstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+)
+
+// ErrNoReplica is returned by FailPrimary when no surviving replica exists to
+// promote.
+var ErrNoReplica = errors.New("gridstore: no surviving replica")
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithParts sets the default part count for new tables (default 10, matching
+// the paper's ten data-container processes).
+func WithParts(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.defaultParts = n
+		}
+	}
+}
+
+// WithReplicas sets the replication factor (default 1, i.e. no replicas).
+func WithReplicas(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.replicas = n
+		}
+	}
+}
+
+// WithMetrics attaches a metrics collector.
+func WithMetrics(m *metrics.Collector) Option {
+	return func(s *Store) { s.metrics = m }
+}
+
+// WithoutMarshalling disables boundary marshalling (ablation only).
+func WithoutMarshalling() Option {
+	return func(s *Store) { s.marshal = false }
+}
+
+// WithLatency adds an emulated network latency to every operation that
+// crosses a partition boundary (see memstore.WithLatency).
+func WithLatency(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.latency = d
+		}
+	}
+}
+
+// Store is the WXS-like grid store.
+type Store struct {
+	defaultParts int
+	replicas     int
+	marshal      bool
+	latency      time.Duration
+	metrics      *metrics.Collector
+
+	mu     sync.Mutex
+	closed bool
+	tables map[string]*table
+	order  []string
+	nextID int
+}
+
+var (
+	_ kvstore.Store         = (*Store)(nil)
+	_ kvstore.Transactional = (*Store)(nil)
+	_ kvstore.Replicated    = (*Store)(nil)
+)
+
+// group is a set of consistently partitioned tables sharing shards.
+type group struct {
+	id     string
+	parts  int
+	hasher codec.Hasher
+	shards []*shard
+}
+
+// shard is one replicated partition of a group.
+type shard struct {
+	part int
+
+	mu       sync.Mutex
+	replicas []*replica
+	primary  int // index into replicas
+	epoch    int // bumped on every failover
+
+	txMu sync.Mutex // serializes transactions on this shard
+}
+
+// replica holds one copy of the shard's data across the group's tables.
+type replica struct {
+	alive bool
+	data  map[string]map[any]any // table -> items
+}
+
+// table is a gridstore table handle.
+type table struct {
+	store      *Store
+	name       string
+	group      *group
+	ubiquitous bool
+	ordered    bool
+	ubiq       map[any]any
+	ubiqMu     sync.RWMutex
+}
+
+// New creates a Store.
+func New(opts ...Option) *Store {
+	s := &Store{
+		defaultParts: 10,
+		replicas:     1,
+		marshal:      true,
+		tables:       make(map[string]*table),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return "gridstore" }
+
+// DefaultParts implements kvstore.Store.
+func (s *Store) DefaultParts() int { return s.defaultParts }
+
+// Replicas implements kvstore.Replicated.
+func (s *Store) Replicas() int { return s.replicas }
+
+// CreateTable implements kvstore.Store.
+func (s *Store) CreateTable(name string, opts ...kvstore.TableOption) (kvstore.Table, error) {
+	cfg := kvstore.ApplyOptions(s.defaultParts, opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, kvstore.ErrClosed
+	}
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrTableExists, name)
+	}
+	var g *group
+	if cfg.ConsistentWith != "" {
+		base, ok := s.tables[cfg.ConsistentWith]
+		if !ok {
+			return nil, fmt.Errorf("%w: consistent-with %q", kvstore.ErrNoTable, cfg.ConsistentWith)
+		}
+		g = base.group
+	} else {
+		g = s.newGroup(cfg.Parts, cfg.Hasher)
+	}
+	t := &table{
+		store:      s,
+		name:       name,
+		group:      g,
+		ubiquitous: cfg.Ubiquitous,
+		ordered:    cfg.Ordered,
+	}
+	if cfg.Ubiquitous {
+		t.ubiq = make(map[any]any)
+	} else {
+		for _, sh := range g.shards {
+			sh.mu.Lock()
+			for _, r := range sh.replicas {
+				r.data[name] = make(map[any]any)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	s.tables[name] = t
+	s.order = append(s.order, name)
+	return t, nil
+}
+
+func (s *Store) newGroup(parts int, h codec.Hasher) *group {
+	s.nextID++
+	g := &group{
+		id:     fmt.Sprintf("g%d", s.nextID),
+		parts:  parts,
+		hasher: h,
+	}
+	g.shards = make([]*shard, parts)
+	for p := 0; p < parts; p++ {
+		sh := &shard{part: p}
+		for r := 0; r < s.replicas; r++ {
+			sh.replicas = append(sh.replicas, &replica{
+				alive: true,
+				data:  make(map[string]map[any]any),
+			})
+		}
+		g.shards[p] = sh
+	}
+	return g
+}
+
+// LookupTable implements kvstore.Store.
+func (s *Store) LookupTable(name string) (kvstore.Table, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+// DropTable implements kvstore.Store.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", kvstore.ErrNoTable, name)
+	}
+	delete(s.tables, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if !t.ubiquitous {
+		for _, sh := range t.group.shards {
+			sh.mu.Lock()
+			for _, r := range sh.replicas {
+				delete(r.data, name)
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Tables implements kvstore.Store.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+func (s *Store) lookup(name string) (*table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, kvstore.ErrClosed
+	}
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, name)
+	}
+	return t, nil
+}
+
+// RunAgent implements kvstore.Store: the agent runs against the primary
+// replica of the shard, with direct (unmarshalled) local access.
+func (s *Store) RunAgent(tableName string, part int, agent kvstore.Agent) (any, error) {
+	t, err := s.lookup(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if t.ubiquitous {
+		return nil, fmt.Errorf("gridstore: RunAgent against ubiquitous table %q", tableName)
+	}
+	if err := kvstore.CheckPart(part, t.group.parts); err != nil {
+		return nil, err
+	}
+	sh := t.group.shards[part]
+	sv := &shardView{store: s, group: t.group, shard: sh, tx: nil}
+	return agent(sv)
+}
+
+// RunTransaction implements kvstore.Transactional: the agent's writes across
+// every co-placed table of the shard commit atomically, or not at all. If the
+// shard's primary fails while the transaction is open, the transaction is
+// rolled back and ErrShardFailed returned.
+func (s *Store) RunTransaction(tableName string, part int, agent kvstore.Agent) (any, error) {
+	t, err := s.lookup(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if t.ubiquitous {
+		return nil, fmt.Errorf("gridstore: RunTransaction against ubiquitous table %q", tableName)
+	}
+	if err := kvstore.CheckPart(part, t.group.parts); err != nil {
+		return nil, err
+	}
+	sh := t.group.shards[part]
+
+	sh.txMu.Lock()
+	defer sh.txMu.Unlock()
+
+	sh.mu.Lock()
+	if _, perr := sh.primaryLocked(); perr != nil {
+		sh.mu.Unlock()
+		return nil, perr
+	}
+	startEpoch := sh.epoch
+	sh.mu.Unlock()
+
+	tx := &txState{writes: make(map[string]map[any]txWrite)}
+	sv := &shardView{store: s, group: t.group, shard: sh, tx: tx}
+	res, err := agent(sv)
+	if err != nil {
+		return nil, err // write-set discarded: rollback
+	}
+
+	// Commit.
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.epoch != startEpoch {
+		return nil, fmt.Errorf("gridstore: part %d failed over during transaction: %w",
+			part, kvstore.ErrShardFailed)
+	}
+	if _, perr := sh.primaryLocked(); perr != nil {
+		return nil, perr
+	}
+	for tab, writes := range tx.writes {
+		for key, w := range writes {
+			for _, r := range sh.replicas {
+				if !r.alive {
+					continue
+				}
+				items := r.data[tab]
+				if items == nil {
+					items = make(map[any]any)
+					r.data[tab] = items
+				}
+				if w.deleted {
+					delete(items, key)
+				} else {
+					items[key] = w.value
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// FailPrimary implements kvstore.Replicated: it kills the primary replica of
+// the named table's part. Its data are discarded and a surviving replica is
+// promoted; with no survivor, ErrNoReplica is returned and the shard becomes
+// unavailable until Heal.
+func (s *Store) FailPrimary(tableName string, part int) error {
+	t, err := s.lookup(tableName)
+	if err != nil {
+		return err
+	}
+	if t.ubiquitous {
+		return fmt.Errorf("gridstore: FailPrimary on ubiquitous table %q", tableName)
+	}
+	if err := kvstore.CheckPart(part, t.group.parts); err != nil {
+		return err
+	}
+	sh := t.group.shards[part]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	prim := sh.replicas[sh.primary]
+	prim.alive = false
+	prim.data = make(map[string]map[any]any)
+	sh.epoch++
+	for i, r := range sh.replicas {
+		if r.alive {
+			sh.primary = i
+			return nil
+		}
+	}
+	return fmt.Errorf("gridstore: part %d: %w", part, ErrNoReplica)
+}
+
+// Heal restores every dead replica of every shard of the named table's group
+// by copying the current primary's data, returning the group to full
+// replication. Shards with no alive replica are reinitialized empty.
+func (s *Store) Heal(tableName string) error {
+	t, err := s.lookup(tableName)
+	if err != nil {
+		return err
+	}
+	if t.ubiquitous {
+		return nil
+	}
+	for _, sh := range t.group.shards {
+		sh.mu.Lock()
+		var src *replica
+		for _, r := range sh.replicas {
+			if r.alive {
+				src = r
+				break
+			}
+		}
+		for i, r := range sh.replicas {
+			if r.alive {
+				continue
+			}
+			r.alive = true
+			r.data = make(map[string]map[any]any)
+			if src != nil {
+				for tab, items := range src.data {
+					cp := make(map[any]any, len(items))
+					for k, v := range items {
+						cp[k] = v
+					}
+					r.data[tab] = cp
+				}
+			}
+			if src == nil {
+				sh.primary = i
+				src = r
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Close implements kvstore.Store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// primaryLocked returns the primary replica; callers hold sh.mu.
+func (sh *shard) primaryLocked() (*replica, error) {
+	r := sh.replicas[sh.primary]
+	if !r.alive {
+		return nil, fmt.Errorf("gridstore: part %d has no primary: %w", sh.part, kvstore.ErrShardFailed)
+	}
+	return r, nil
+}
+
+// roundTrip emulates moving v across a partition boundary.
+func (s *Store) roundTrip(v any) (any, error) {
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	if !s.marshal {
+		return v, nil
+	}
+	data, err := codec.Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	s.metrics.AddMarshalledBytes(int64(len(data)))
+	return codec.Decode(data)
+}
+
+func sortedKeys(items map[any]any) []any {
+	keys := make([]any, 0, len(items))
+	for k := range items {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return codec.CompareKeys(keys[i], keys[j]) < 0 })
+	return keys
+}
+
+// txState buffers a transaction's writes until commit.
+type txState struct {
+	writes map[string]map[any]txWrite // table -> key -> write
+}
+
+type txWrite struct {
+	value   any
+	deleted bool
+}
+
+func (tx *txState) set(table string, key, value any) {
+	m := tx.writes[table]
+	if m == nil {
+		m = make(map[any]txWrite)
+		tx.writes[table] = m
+	}
+	m[key] = txWrite{value: value}
+}
+
+func (tx *txState) del(table string, key any) {
+	m := tx.writes[table]
+	if m == nil {
+		m = make(map[any]txWrite)
+		tx.writes[table] = m
+	}
+	m[key] = txWrite{deleted: true}
+}
+
+func (tx *txState) get(table string, key any) (txWrite, bool) {
+	m := tx.writes[table]
+	if m == nil {
+		return txWrite{}, false
+	}
+	w, ok := m[key]
+	return w, ok
+}

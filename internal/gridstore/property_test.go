@@ -1,0 +1,120 @@
+package gridstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/kvstore"
+)
+
+// TestTransactionSerializabilityProperty: random concurrent read-modify-write
+// transactions on one shard must behave as if executed serially (the sum of
+// applied increments is exact).
+func TestTransactionSerializabilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		workers := 2 + rng.Intn(6)
+		perWorker := 10 + rng.Intn(40)
+
+		s := New(WithParts(1))
+		defer func() { _ = s.Close() }()
+		tab, err := s.CreateTable("t")
+		if err != nil {
+			return false
+		}
+		if err := tab.Put("acc", 0); err != nil {
+			return false
+		}
+		var wg sync.WaitGroup
+		failed := false
+		var mu sync.Mutex
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					_, err := s.RunTransaction("t", 0, func(sv kvstore.ShardView) (any, error) {
+						view, err := sv.View("t")
+						if err != nil {
+							return nil, err
+						}
+						v, _, err := view.Get("acc")
+						if err != nil {
+							return nil, err
+						}
+						return nil, view.Put("acc", v.(int)+1)
+					})
+					if err != nil {
+						mu.Lock()
+						failed = true
+						mu.Unlock()
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if failed {
+			return false
+		}
+		v, _, err := tab.Get("acc")
+		return err == nil && v == workers*perWorker
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReplicationConsistencyProperty: after random puts/deletes and a
+// failover on every part, the surviving replicas must expose exactly the
+// committed contents.
+func TestReplicationConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parts := 1 + rng.Intn(4)
+		ops := 50 + rng.Intn(200)
+
+		s := New(WithParts(parts), WithReplicas(2))
+		defer func() { _ = s.Close() }()
+		tab, err := s.CreateTable("t")
+		if err != nil {
+			return false
+		}
+		expect := map[int]int{}
+		for i := 0; i < ops; i++ {
+			k := rng.Intn(40)
+			if rng.Intn(4) == 0 {
+				if err := tab.Delete(k); err != nil {
+					return false
+				}
+				delete(expect, k)
+			} else {
+				v := rng.Int()
+				if err := tab.Put(k, v); err != nil {
+					return false
+				}
+				expect[k] = v
+			}
+		}
+		for p := 0; p < parts; p++ {
+			if err := s.FailPrimary("t", p); err != nil {
+				return false
+			}
+		}
+		if n, err := tab.Size(); err != nil || n != len(expect) {
+			return false
+		}
+		for k, v := range expect {
+			got, ok, err := tab.Get(k)
+			if err != nil || !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,525 @@
+package gridstore
+
+import (
+	"fmt"
+	"sync"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+)
+
+var _ kvstore.Table = (*table)(nil)
+
+// Name implements kvstore.Table.
+func (t *table) Name() string { return t.name }
+
+// Parts implements kvstore.Table.
+func (t *table) Parts() int {
+	if t.ubiquitous {
+		return 1
+	}
+	return t.group.parts
+}
+
+// Ubiquitous implements kvstore.Table.
+func (t *table) Ubiquitous() bool { return t.ubiquitous }
+
+// PartOf implements kvstore.Table.
+func (t *table) PartOf(key any) int {
+	if t.ubiquitous {
+		return 0
+	}
+	return codec.PartOf(t.group.hasher, key, t.group.parts)
+}
+
+// Get implements kvstore.Table (remote-client path: marshalled).
+func (t *table) Get(key any) (any, bool, error) {
+	t.store.metrics.AddStoreGets(1)
+	if t.ubiquitous {
+		t.ubiqMu.RLock()
+		v, ok := t.ubiq[key]
+		t.ubiqMu.RUnlock()
+		return v, ok, nil
+	}
+	sh := t.group.shards[t.PartOf(key)]
+	sh.mu.Lock()
+	prim, err := sh.primaryLocked()
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, false, err
+	}
+	v, ok := prim.data[t.name][key]
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	out, err := t.store.roundTrip(v)
+	return out, err == nil, err
+}
+
+// Put implements kvstore.Table: the write is applied synchronously to every
+// alive replica.
+func (t *table) Put(key, value any) error {
+	t.store.metrics.AddStorePuts(1)
+	v, err := t.store.roundTrip(value)
+	if err != nil {
+		return err
+	}
+	if t.ubiquitous {
+		t.ubiqMu.Lock()
+		t.ubiq[key] = v
+		t.ubiqMu.Unlock()
+		return nil
+	}
+	sh := t.group.shards[t.PartOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, err := sh.primaryLocked(); err != nil {
+		return err
+	}
+	for _, r := range sh.replicas {
+		if !r.alive {
+			continue
+		}
+		items := r.data[t.name]
+		if items == nil {
+			items = make(map[any]any)
+			r.data[t.name] = items
+		}
+		items[key] = v
+	}
+	return nil
+}
+
+// Delete implements kvstore.Table.
+func (t *table) Delete(key any) error {
+	t.store.metrics.AddStoreDeletes(1)
+	if t.ubiquitous {
+		t.ubiqMu.Lock()
+		delete(t.ubiq, key)
+		t.ubiqMu.Unlock()
+		return nil
+	}
+	sh := t.group.shards[t.PartOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, err := sh.primaryLocked(); err != nil {
+		return err
+	}
+	for _, r := range sh.replicas {
+		if r.alive {
+			delete(r.data[t.name], key)
+		}
+	}
+	return nil
+}
+
+// Size implements kvstore.Table.
+func (t *table) Size() (int, error) {
+	if t.ubiquitous {
+		t.ubiqMu.RLock()
+		defer t.ubiqMu.RUnlock()
+		return len(t.ubiq), nil
+	}
+	total := 0
+	for _, sh := range t.group.shards {
+		sh.mu.Lock()
+		prim, err := sh.primaryLocked()
+		if err != nil {
+			sh.mu.Unlock()
+			return 0, err
+		}
+		total += len(prim.data[t.name])
+		sh.mu.Unlock()
+	}
+	return total, nil
+}
+
+// EnumerateParts implements kvstore.Table.
+func (t *table) EnumerateParts(pc kvstore.PartConsumer) (any, error) {
+	if t.ubiquitous {
+		sv := &ubiqShardView{table: t}
+		return pc.ProcessPart(sv)
+	}
+	results := make([]any, t.group.parts)
+	errs := make([]error, t.group.parts)
+	var wg sync.WaitGroup
+	for p := 0; p < t.group.parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sv := &shardView{store: t.store, group: t.group, shard: t.group.shards[p]}
+			results[p], errs[p] = pc.ProcessPart(sv)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	combined := results[0]
+	var err error
+	for p := 1; p < len(results); p++ {
+		combined, err = pc.Combine(combined, results[p])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
+}
+
+// EnumeratePairs implements kvstore.Table.
+func (t *table) EnumeratePairs(pc kvstore.PairConsumer) (any, error) {
+	if t.ubiquitous {
+		if err := pc.SetupPart(0); err != nil {
+			return nil, err
+		}
+		t.ubiqMu.RLock()
+		keys := sortedKeys(t.ubiq)
+		items := make(map[any]any, len(t.ubiq))
+		for k, v := range t.ubiq {
+			items[k] = v
+		}
+		t.ubiqMu.RUnlock()
+		for _, k := range keys {
+			stop, err := pc.ConsumePair(k, items[k])
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				break
+			}
+		}
+		return pc.FinishPart(0)
+	}
+	return t.EnumerateParts(pairConsumerAdapter{t: t, pc: pc})
+}
+
+type pairConsumerAdapter struct {
+	t  *table
+	pc kvstore.PairConsumer
+}
+
+var _ kvstore.PartConsumer = pairConsumerAdapter{}
+
+func (a pairConsumerAdapter) ProcessPart(sv kvstore.ShardView) (any, error) {
+	view, err := sv.View(a.t.name)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.pc.SetupPart(sv.Part()); err != nil {
+		return nil, err
+	}
+	enumerate := view.Enumerate
+	if a.t.ordered {
+		enumerate = view.EnumerateOrdered
+	}
+	if err := enumerate(func(k, v any) (bool, error) {
+		return a.pc.ConsumePair(k, v)
+	}); err != nil {
+		return nil, err
+	}
+	return a.pc.FinishPart(sv.Part())
+}
+
+func (a pairConsumerAdapter) Combine(x, y any) (any, error) { return a.pc.Combine(x, y) }
+
+// shardView is an agent's (or transaction's) window onto one shard.
+type shardView struct {
+	store *Store
+	group *group
+	shard *shard
+	tx    *txState // nil outside transactions
+}
+
+var _ kvstore.ShardView = (*shardView)(nil)
+
+// Part implements kvstore.ShardView.
+func (sv *shardView) Part() int { return sv.shard.part }
+
+// View implements kvstore.ShardView.
+func (sv *shardView) View(tableName string) (kvstore.PartView, error) {
+	t, err := sv.store.lookup(tableName)
+	if err != nil {
+		return nil, err
+	}
+	if t.ubiquitous {
+		return &ubiqPartView{table: t, part: sv.shard.part}, nil
+	}
+	if !coPlaced(t.group, sv.group) {
+		return nil, fmt.Errorf("%w: %q is in group %s, agent runs in group %s",
+			kvstore.ErrNotCoPlaced, tableName, t.group.id, sv.group.id)
+	}
+	return &partView{store: sv.store, table: t, shard: t.group.shards[sv.shard.part], tx: sv.tx}, nil
+}
+
+func coPlaced(a, b *group) bool {
+	if a == b {
+		return true
+	}
+	if a.parts != b.parts {
+		return false
+	}
+	_, da := a.hasher.(codec.DefaultHasher)
+	_, db := b.hasher.(codec.DefaultHasher)
+	return da && db
+}
+
+// partView gives local access to one part of one table, read-through and
+// write-buffered when inside a transaction.
+type partView struct {
+	store *Store
+	table *table
+	shard *shard
+	tx    *txState
+}
+
+var _ kvstore.PartView = (*partView)(nil)
+
+// Table implements kvstore.PartView.
+func (pv *partView) Table() string { return pv.table.name }
+
+// Part implements kvstore.PartView.
+func (pv *partView) Part() int { return pv.shard.part }
+
+// Get implements kvstore.PartView.
+func (pv *partView) Get(key any) (any, bool, error) {
+	pv.store.metrics.AddStoreGets(1)
+	if pv.tx != nil {
+		if w, ok := pv.tx.get(pv.table.name, key); ok {
+			if w.deleted {
+				return nil, false, nil
+			}
+			return w.value, true, nil
+		}
+	}
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	prim, err := pv.shard.primaryLocked()
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := prim.data[pv.table.name][key]
+	return v, ok, nil
+}
+
+// Put implements kvstore.PartView.
+func (pv *partView) Put(key, value any) error {
+	pv.store.metrics.AddStorePuts(1)
+	if pv.tx != nil {
+		pv.tx.set(pv.table.name, key, value)
+		return nil
+	}
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	if _, err := pv.shard.primaryLocked(); err != nil {
+		return err
+	}
+	for _, r := range pv.shard.replicas {
+		if !r.alive {
+			continue
+		}
+		items := r.data[pv.table.name]
+		if items == nil {
+			items = make(map[any]any)
+			r.data[pv.table.name] = items
+		}
+		items[key] = value
+	}
+	return nil
+}
+
+// Delete implements kvstore.PartView.
+func (pv *partView) Delete(key any) error {
+	pv.store.metrics.AddStoreDeletes(1)
+	if pv.tx != nil {
+		pv.tx.del(pv.table.name, key)
+		return nil
+	}
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	if _, err := pv.shard.primaryLocked(); err != nil {
+		return err
+	}
+	for _, r := range pv.shard.replicas {
+		if r.alive {
+			delete(r.data[pv.table.name], key)
+		}
+	}
+	return nil
+}
+
+// Len implements kvstore.PartView. Inside a transaction it accounts for the
+// uncommitted write-set.
+func (pv *partView) Len() (int, error) {
+	pv.shard.mu.Lock()
+	prim, err := pv.shard.primaryLocked()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return 0, err
+	}
+	items := prim.data[pv.table.name]
+	n := len(items)
+	if pv.tx != nil {
+		for key, w := range pv.tx.writes[pv.table.name] {
+			_, exists := items[key]
+			switch {
+			case w.deleted && exists:
+				n--
+			case !w.deleted && !exists:
+				n++
+			}
+		}
+	}
+	pv.shard.mu.Unlock()
+	return n, nil
+}
+
+// Enumerate implements kvstore.PartView.
+func (pv *partView) Enumerate(fn kvstore.PairFunc) error {
+	keys, err := pv.snapshotKeys(false)
+	if err != nil {
+		return err
+	}
+	return pv.visit(keys, fn)
+}
+
+// EnumerateOrdered implements kvstore.PartView.
+func (pv *partView) EnumerateOrdered(fn kvstore.PairFunc) error {
+	keys, err := pv.snapshotKeys(true)
+	if err != nil {
+		return err
+	}
+	return pv.visit(keys, fn)
+}
+
+func (pv *partView) snapshotKeys(ordered bool) ([]any, error) {
+	pv.shard.mu.Lock()
+	prim, err := pv.shard.primaryLocked()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return nil, err
+	}
+	items := prim.data[pv.table.name]
+	merged := make(map[any]any, len(items))
+	for k := range items {
+		merged[k] = struct{}{}
+	}
+	pv.shard.mu.Unlock()
+	if pv.tx != nil {
+		for key, w := range pv.tx.writes[pv.table.name] {
+			if w.deleted {
+				delete(merged, key)
+			} else {
+				merged[key] = struct{}{}
+			}
+		}
+	}
+	if ordered {
+		return sortedKeys(merged), nil
+	}
+	keys := make([]any, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	return keys, nil
+}
+
+func (pv *partView) visit(keys []any, fn kvstore.PairFunc) error {
+	for _, k := range keys {
+		v, ok, err := pv.Get(k)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		stop, err := fn(k, v)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ubiqShardView adapts a ubiquitous table for EnumerateParts.
+type ubiqShardView struct {
+	table *table
+}
+
+var _ kvstore.ShardView = (*ubiqShardView)(nil)
+
+func (sv *ubiqShardView) Part() int { return 0 }
+
+func (sv *ubiqShardView) View(tableName string) (kvstore.PartView, error) {
+	if tableName != sv.table.name {
+		return nil, fmt.Errorf("%w: %q from ubiquitous agent", kvstore.ErrNotCoPlaced, tableName)
+	}
+	return &ubiqPartView{table: sv.table, part: 0}, nil
+}
+
+// ubiqPartView is the local replica view of a ubiquitous table.
+type ubiqPartView struct {
+	table *table
+	part  int
+}
+
+var _ kvstore.PartView = (*ubiqPartView)(nil)
+
+func (uv *ubiqPartView) Table() string { return uv.table.name }
+func (uv *ubiqPartView) Part() int     { return uv.part }
+
+func (uv *ubiqPartView) Get(key any) (any, bool, error) {
+	uv.table.ubiqMu.RLock()
+	defer uv.table.ubiqMu.RUnlock()
+	v, ok := uv.table.ubiq[key]
+	return v, ok, nil
+}
+
+func (uv *ubiqPartView) Put(key, value any) error {
+	uv.table.ubiqMu.Lock()
+	defer uv.table.ubiqMu.Unlock()
+	uv.table.ubiq[key] = value
+	return nil
+}
+
+func (uv *ubiqPartView) Delete(key any) error {
+	uv.table.ubiqMu.Lock()
+	defer uv.table.ubiqMu.Unlock()
+	delete(uv.table.ubiq, key)
+	return nil
+}
+
+func (uv *ubiqPartView) Len() (int, error) {
+	uv.table.ubiqMu.RLock()
+	defer uv.table.ubiqMu.RUnlock()
+	return len(uv.table.ubiq), nil
+}
+
+func (uv *ubiqPartView) Enumerate(fn kvstore.PairFunc) error {
+	return uv.EnumerateOrdered(fn)
+}
+
+func (uv *ubiqPartView) EnumerateOrdered(fn kvstore.PairFunc) error {
+	uv.table.ubiqMu.RLock()
+	keys := sortedKeys(uv.table.ubiq)
+	items := make(map[any]any, len(uv.table.ubiq))
+	for k, v := range uv.table.ubiq {
+		items[k] = v
+	}
+	uv.table.ubiqMu.RUnlock()
+	for _, k := range keys {
+		stop, err := fn(k, items[k])
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

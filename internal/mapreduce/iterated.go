@@ -1,0 +1,190 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"ripple/internal/ebsp"
+)
+
+// IteratedJob repeatedly refines one dataset with the same map-reduce
+// couplet — the workload shape (PageRank and friends) whose costs motivate
+// Ripple (paper §I): every iteration pays two synchronizations and an extra
+// round of I/O through the state table between reduce and the following map.
+type IteratedJob struct {
+	// Name labels the job.
+	Name string
+	// Table names the dataset being refined in place: map reads it, reduce
+	// writes it.
+	Table string
+	// Mapper maps each (key, state) pair of the dataset.
+	Mapper Mapper
+	// Reducer folds the shuffled values and emits the key's new state.
+	Reducer Reducer
+	// Combiner optionally combines intermediate values.
+	Combiner Combiner
+	// Aggregators are readable across iterations.
+	Aggregators map[string]ebsp.Aggregator
+	// MaxIterations bounds the iteration count (required unless Converged).
+	MaxIterations int
+	// Converged, if set, is consulted after each iteration with that
+	// iteration's aggregate results; returning true stops the job.
+	Converged func(iteration int, aggregates map[string]any) bool
+	// FreshJobPerIteration runs every iteration as its own job — paying the
+	// full job setup, load, and export cost each time, like a driver looping
+	// over Hadoop jobs. The default chains iterations inside one job (two
+	// steps per iteration).
+	FreshJobPerIteration bool
+}
+
+// Summary reports an iterated execution.
+type Summary struct {
+	// Iterations actually executed.
+	Iterations int
+	// Steps is the total number of BSP steps across all jobs.
+	Steps int
+	// Aggregates holds the last iteration's aggregate results.
+	Aggregates map[string]any
+	// Converged reports whether the Converged hook stopped the job.
+	Converged bool
+}
+
+func (j *IteratedJob) validate() error {
+	switch {
+	case j.Mapper == nil:
+		return fmt.Errorf("%w: no mapper", ErrBadJob)
+	case j.Reducer == nil:
+		return fmt.Errorf("%w: no reducer", ErrBadJob)
+	case j.Table == "":
+		return fmt.Errorf("%w: no dataset table", ErrBadJob)
+	case j.MaxIterations <= 0 && j.Converged == nil:
+		return fmt.Errorf("%w: unbounded iteration (no MaxIterations, no Converged)", ErrBadJob)
+	}
+	return nil
+}
+
+// RunIterated executes an iterated map-reduce job.
+func RunIterated(e *ebsp.Engine, job *IteratedJob) (*Summary, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := e.Store().LookupTable(job.Table); !ok {
+		return nil, fmt.Errorf("mapreduce: dataset table %q does not exist", job.Table)
+	}
+	if job.FreshJobPerIteration {
+		return runIteratedFresh(e, job)
+	}
+	return runIteratedChained(e, job)
+}
+
+// runIteratedChained runs all iterations inside one EBSP job, alternating
+// map-like and reduce-like steps (the paper's "MapReduce variant" shape:
+// state flows in messages from map to reduce, and through the K/V table from
+// reduce to the following map).
+func runIteratedChained(e *ebsp.Engine, job *IteratedJob) (*Summary, error) {
+	compute := &iterCompute{job: job}
+	spec := &ebsp.Job{
+		Name:        job.Name,
+		StateTables: []string{job.Table},
+		Compute:     compute,
+		Aggregators: job.Aggregators,
+		Loaders: []ebsp.Loader{&ebsp.TableLoader{
+			Table: job.Table,
+			Store: e.Store(),
+			Each: func(k, _ any, lc *ebsp.LoadContext) error {
+				lc.Enable(k)
+				return nil
+			},
+		}},
+	}
+	if job.MaxIterations > 0 {
+		spec.MaxSteps = 2 * job.MaxIterations
+	}
+	if job.Combiner != nil {
+		spec.Combiner = mrCombiner{c: job.Combiner}
+	}
+	if job.Converged != nil {
+		spec.Aborter = ebsp.AborterFunc(func(step int, aggs map[string]any) bool {
+			if step%2 != 0 {
+				return false // only check at iteration (reduce) boundaries
+			}
+			return job.Converged(step/2, aggs)
+		})
+	}
+	res, err := e.Run(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Summary{
+		Iterations: res.Steps / 2,
+		Steps:      res.Steps,
+		Aggregates: res.Aggregates,
+		Converged:  res.Aborted,
+	}, nil
+}
+
+// iterCompute alternates map (odd steps, dataset read from the table) and
+// reduce (even steps, dataset written back to the table).
+type iterCompute struct {
+	job *IteratedJob
+}
+
+func (m *iterCompute) Compute(ctx *ebsp.Context) bool {
+	if ctx.StepNum()%2 == 1 { // map-like step: full scan of the dataset
+		state, ok := ctx.ReadState(0)
+		if !ok {
+			return false // key vanished from the dataset
+		}
+		if err := runMap(m.job.Mapper, ctx, state, func(k, v any) {
+			ctx.Send(k, mrMsg{Val: v})
+		}); err != nil {
+			panic(fmt.Sprintf("mapreduce: map %v: %v", ctx.Key(), err))
+		}
+		return true // the reduce step follows unconditionally
+	}
+	// Reduce-like step.
+	msgs := ctx.InputMessages()
+	values := make([]any, 0, len(msgs))
+	for _, raw := range msgs {
+		values = append(values, raw.(mrMsg).Val)
+	}
+	err := runReduce(m.job.Reducer, ctx, values, func(k, v any) {
+		if k == ctx.Key() {
+			ctx.WriteState(0, v)
+		} else {
+			ctx.CreateState(0, k, v)
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: reduce %v: %v", ctx.Key(), err))
+	}
+	return true // enable the next iteration's map step
+}
+
+// runIteratedFresh launches a brand-new 2-step job per iteration, the way an
+// external driver loops over Hadoop jobs (used by the full-scan SSSP variant
+// of §V-C).
+func runIteratedFresh(e *ebsp.Engine, job *IteratedJob) (*Summary, error) {
+	sum := &Summary{}
+	for iter := 1; job.MaxIterations <= 0 || iter <= job.MaxIterations; iter++ {
+		res, err := Run(e, &Job{
+			Name:        fmt.Sprintf("%s.iter%d", job.Name, iter),
+			Input:       job.Table,
+			Output:      job.Table,
+			Mapper:      job.Mapper,
+			Reducer:     job.Reducer,
+			Combiner:    job.Combiner,
+			Aggregators: job.Aggregators,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: iteration %d: %w", iter, err)
+		}
+		sum.Iterations = iter
+		sum.Steps += res.Steps
+		sum.Aggregates = res.Aggregates
+		if job.Converged != nil && job.Converged(iter, res.Aggregates) {
+			sum.Converged = true
+			break
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,216 @@
+// Package mapreduce layers the MapReduce and iterated-MapReduce programming
+// models on top of K/V EBSP (paper Fig. 2): a MapReduce job is an EBSP job
+// with exactly two steps — one acting like a map and one like a reduce —
+// and components carry no private state between them; everything flows in
+// messages. Iterated MapReduce chains map/reduce step pairs, persisting the
+// dataset to a key/value table between a reduce and the following map (the
+// extra I/O and synchronization the paper's direct EBSP style eliminates).
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+
+	"ripple/internal/codec"
+	"ripple/internal/ebsp"
+)
+
+// ErrBadJob is returned for invalid job specifications.
+var ErrBadJob = errors.New("mapreduce: invalid job")
+
+// Emitter receives the pairs a Mapper or Reducer produces.
+type Emitter func(key, value any)
+
+// Mapper transforms one input pair into intermediate pairs.
+type Mapper interface {
+	Map(key, value any, emit Emitter) error
+}
+
+// MapperFunc adapts a function to Mapper.
+type MapperFunc func(key, value any, emit Emitter) error
+
+// Map implements Mapper.
+func (f MapperFunc) Map(key, value any, emit Emitter) error { return f(key, value, emit) }
+
+// PhaseContext exposes the underlying EBSP step context to phase functions
+// that need more than pure key/value transformation: aggregators and the
+// step number. *ebsp.Context satisfies it directly.
+type PhaseContext interface {
+	// AggregateValue feeds the named aggregator; results are readable in the
+	// following step (so a map-phase input is readable in the reduce phase).
+	AggregateValue(name string, v any)
+	// AggregateResult reads the named aggregator's previous-step result.
+	AggregateResult(name string) any
+	// StepNum is the underlying BSP step number.
+	StepNum() int
+}
+
+// ContextMapper is a Mapper that also wants the phase context. When a job's
+// Mapper implements it, MapWithContext is called instead of Map.
+type ContextMapper interface {
+	MapWithContext(pc PhaseContext, key, value any, emit Emitter) error
+}
+
+// ContextReducer is a Reducer that also wants the phase context.
+type ContextReducer interface {
+	ReduceWithContext(pc PhaseContext, key any, values []any, emit Emitter) error
+}
+
+// Reducer folds all intermediate values for one key into output pairs.
+type Reducer interface {
+	Reduce(key any, values []any, emit Emitter) error
+}
+
+// ReducerFunc adapts a function to Reducer.
+type ReducerFunc func(key any, values []any, emit Emitter) error
+
+// Reduce implements Reducer.
+func (f ReducerFunc) Reduce(key any, values []any, emit Emitter) error {
+	return f(key, values, emit)
+}
+
+// Combiner pairwise-combines intermediate values for one key before the
+// reduce, cutting shuffle volume. It must be associative and commutative.
+type Combiner func(key, v1, v2 any) any
+
+// Job is a single map-reduce couplet over key/value tables.
+type Job struct {
+	// Name labels the job.
+	Name string
+	// Input names the table scanned by the map phase.
+	Input string
+	// Output names the table the reduce phase writes (created if missing,
+	// consistently partitioned with Input).
+	Output string
+	// Mapper and Reducer are the two phase functions.
+	Mapper  Mapper
+	Reducer Reducer
+	// Combiner optionally combines intermediate values.
+	Combiner Combiner
+	// Aggregators are readable in the reduce phase and in the results.
+	Aggregators map[string]ebsp.Aggregator
+	// NeedsOrder requests key-ordered reduce invocations per part, matching
+	// Hadoop's sorted reduce input.
+	NeedsOrder bool
+}
+
+// mrMsg carries one intermediate pair from map to reduce.
+type mrMsg struct {
+	Val any
+}
+
+func init() {
+	codec.Register(mrMsg{})
+}
+
+func (j *Job) validate() error {
+	switch {
+	case j.Mapper == nil:
+		return fmt.Errorf("%w: no mapper", ErrBadJob)
+	case j.Reducer == nil:
+		return fmt.Errorf("%w: no reducer", ErrBadJob)
+	case j.Input == "":
+		return fmt.Errorf("%w: no input table", ErrBadJob)
+	case j.Output == "":
+		return fmt.Errorf("%w: no output table", ErrBadJob)
+	}
+	return nil
+}
+
+// mrCombiner adapts a Combiner to the EBSP message-combiner interface.
+type mrCombiner struct {
+	c Combiner
+}
+
+func (m mrCombiner) CombineMessages(key, m1, m2 any) any {
+	return mrMsg{Val: m.c(key, m1.(mrMsg).Val, m2.(mrMsg).Val)}
+}
+
+// Run executes one map-reduce couplet: step 1 maps every input pair (the
+// shuffle is the EBSP message flow), step 2 reduces.
+func Run(e *ebsp.Engine, job *Job) (*ebsp.Result, error) {
+	if err := job.validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := e.Store().LookupTable(job.Input); !ok {
+		return nil, fmt.Errorf("mapreduce: input table %q does not exist", job.Input)
+	}
+
+	compute := &mrCompute{job: job}
+	spec := &ebsp.Job{
+		Name:        job.Name,
+		StateTables: []string{job.Output},
+		Placement:   job.Input,
+		Compute:     compute,
+		Aggregators: job.Aggregators,
+		Properties:  ebsp.Properties{NeedsOrder: job.NeedsOrder},
+		MaxSteps:    3, // map, reduce, plus one drain step for cross-key emits
+		Loaders: []ebsp.Loader{&ebsp.TableLoader{
+			Table: job.Input,
+			Store: e.Store(),
+			Each: func(k, v any, lc *ebsp.LoadContext) error {
+				lc.SendMessage(k, mrMsg{Val: v})
+				return nil
+			},
+		}},
+	}
+	if job.Combiner != nil {
+		spec.Combiner = mrCombiner{c: job.Combiner}
+	}
+	return e.Run(spec)
+}
+
+// mrCompute is the EBSP component function emulating the two MapReduce
+// phases by step parity.
+type mrCompute struct {
+	job *Job
+}
+
+func (m *mrCompute) Compute(ctx *ebsp.Context) bool {
+	switch ctx.StepNum() {
+	case 1: // map
+		for _, raw := range ctx.InputMessages() {
+			in := raw.(mrMsg)
+			if err := runMap(m.job.Mapper, ctx, in.Val, func(k, v any) {
+				ctx.Send(k, mrMsg{Val: v})
+			}); err != nil {
+				panic(fmt.Sprintf("mapreduce: map %v: %v", ctx.Key(), err))
+			}
+		}
+	case 2: // reduce
+		msgs := ctx.InputMessages()
+		values := make([]any, 0, len(msgs))
+		for _, raw := range msgs {
+			values = append(values, raw.(mrMsg).Val)
+		}
+		err := runReduce(m.job.Reducer, ctx, values, func(k, v any) {
+			if k == ctx.Key() {
+				ctx.WriteState(0, v)
+			} else {
+				// Cross-key emits land at the barrier via state creation.
+				ctx.CreateState(0, k, v)
+			}
+		})
+		if err != nil {
+			panic(fmt.Sprintf("mapreduce: reduce %v: %v", ctx.Key(), err))
+		}
+	}
+	return false
+}
+
+// runMap dispatches to the context-aware form when the mapper supports it.
+func runMap(m Mapper, ctx *ebsp.Context, value any, emit Emitter) error {
+	if cm, ok := m.(ContextMapper); ok {
+		return cm.MapWithContext(ctx, ctx.Key(), value, emit)
+	}
+	return m.Map(ctx.Key(), value, emit)
+}
+
+// runReduce dispatches to the context-aware form when the reducer supports
+// it.
+func runReduce(r Reducer, ctx *ebsp.Context, values []any, emit Emitter) error {
+	if cr, ok := r.(ContextReducer); ok {
+		return cr.ReduceWithContext(ctx, ctx.Key(), values, emit)
+	}
+	return r.Reduce(ctx.Key(), values, emit)
+}

@@ -1,0 +1,93 @@
+package mapreduce
+
+import (
+	"sync"
+	"testing"
+
+	"ripple/internal/ebsp"
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+)
+
+func newEngineOn(t *testing.T, store kvstore.Store) *ebsp.Engine {
+	t.Helper()
+	return ebsp.NewEngine(store)
+}
+
+// TestNeedsOrderReduces checks Hadoop-style key-ordered reduce invocations
+// per part when the job requests NeedsOrder.
+func TestNeedsOrderReduces(t *testing.T) {
+	store := memstore.New(memstore.WithParts(3))
+	t.Cleanup(func() { _ = store.Close() })
+	e := newEngineOn(t, store)
+	in, _ := store.CreateTable("oin")
+	for i := 0; i < 60; i++ {
+		_ = in.Put(i, i)
+	}
+	var mu sync.Mutex
+	perPart := map[int][]int{}
+	outTab := "oout"
+	job := &Job{
+		Name:       "ordered",
+		Input:      "oin",
+		Output:     outTab,
+		NeedsOrder: true,
+		Mapper: MapperFunc(func(k, v any, emit Emitter) error {
+			emit(k, v) // identity shuffle
+			return nil
+		}),
+		Reducer: ReducerFunc(func(key any, values []any, emit Emitter) error {
+			mu.Lock()
+			p := in.PartOf(key)
+			perPart[p] = append(perPart[p], key.(int))
+			mu.Unlock()
+			emit(key, values[0])
+			return nil
+		}),
+	}
+	if _, err := Run(e, job); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for p, keys := range perPart {
+		total += len(keys)
+		for i := 1; i < len(keys); i++ {
+			if keys[i] < keys[i-1] {
+				t.Errorf("part %d reduced out of order: %v", p, keys)
+				break
+			}
+		}
+	}
+	if total != 60 {
+		t.Errorf("reduced %d keys, want 60", total)
+	}
+}
+
+// TestMapReduceOnAllStores proves layer portability over the SPI.
+func TestMapReduceOnAllStores(t *testing.T) {
+	stores := map[string]kvstore.Store{
+		"memstore": memstore.New(memstore.WithParts(3)),
+	}
+	for name, store := range stores {
+		t.Run(name, func(t *testing.T) {
+			t.Cleanup(func() { _ = store.Close() })
+			e := newEngineOn(t, store)
+			in, _ := store.CreateTable("pin")
+			_ = in.Put(1, "a b a")
+			_ = in.Put(2, "b")
+			job := *wordCountJob
+			job.Input = "pin"
+			job.Output = "pout"
+			if _, err := Run(e, &job); err != nil {
+				t.Fatal(err)
+			}
+			out, _ := store.LookupTable("pout")
+			if v, _, _ := out.Get("a"); v != 2 {
+				t.Errorf("a = %v", v)
+			}
+			if v, _, _ := out.Get("b"); v != 2 {
+				t.Errorf("b = %v", v)
+			}
+		})
+	}
+}

@@ -1,0 +1,164 @@
+// Package matrix provides the dense-matrix arithmetic and block
+// decomposition underlying the SUMMA evaluation (paper §V-B): matrices are
+// decomposed into an M×N grid of blocks; block products are computed locally
+// and accumulated into the running total for C.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ripple/internal/codec"
+)
+
+// Dense is a row-major dense matrix.
+type Dense struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func init() {
+	codec.Register(Dense{})
+}
+
+// New creates a zero matrix.
+func New(rows, cols int) Dense {
+	return Dense{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Random creates a matrix of uniform [0,1) entries.
+func Random(rng *rand.Rand, rows, cols int) Dense {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Float64()
+	}
+	return m
+}
+
+// At returns the (r, c) entry.
+func (m Dense) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the (r, c) entry.
+func (m *Dense) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// IsZero reports whether the matrix has no allocated data.
+func (m Dense) IsZero() bool { return m.Rows == 0 && m.Cols == 0 }
+
+// Clone returns a deep copy.
+func (m Dense) Clone() Dense {
+	out := Dense{Rows: m.Rows, Cols: m.Cols, Data: make([]float64, len(m.Data))}
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Mul returns m × b.
+func (m Dense) Mul(b Dense) (Dense, error) {
+	if m.Cols != b.Rows {
+		return Dense{}, fmt.Errorf("matrix: %dx%d × %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := New(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[i*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out, nil
+}
+
+// AddInPlace accumulates b into m.
+func (m *Dense) AddInPlace(b Dense) error {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return fmt.Errorf("matrix: add %dx%d + %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	for i, v := range b.Data {
+		m.Data[i] += v
+	}
+	return nil
+}
+
+// EqualWithin reports whether two matrices agree entrywise within eps.
+func (m Dense) EqualWithin(b Dense, eps float64) bool {
+	if m.Rows != b.Rows || m.Cols != b.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if math.Abs(m.Data[i]-b.Data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Grid is an M×N grid of blocks decomposing one matrix.
+type Grid struct {
+	M, N   int // grid dimensions
+	Blocks [][]Dense
+}
+
+// Partition splits m into a gridRows×gridCols grid of blocks; row and column
+// remainders go to the last blocks.
+func Partition(m Dense, gridRows, gridCols int) (*Grid, error) {
+	if gridRows <= 0 || gridCols <= 0 || gridRows > m.Rows || gridCols > m.Cols {
+		return nil, fmt.Errorf("matrix: partition %dx%d into %dx%d blocks",
+			m.Rows, m.Cols, gridRows, gridCols)
+	}
+	g := &Grid{M: gridRows, N: gridCols, Blocks: make([][]Dense, gridRows)}
+	rowStep := m.Rows / gridRows
+	colStep := m.Cols / gridCols
+	for i := 0; i < gridRows; i++ {
+		g.Blocks[i] = make([]Dense, gridCols)
+		r0 := i * rowStep
+		r1 := r0 + rowStep
+		if i == gridRows-1 {
+			r1 = m.Rows
+		}
+		for j := 0; j < gridCols; j++ {
+			c0 := j * colStep
+			c1 := c0 + colStep
+			if j == gridCols-1 {
+				c1 = m.Cols
+			}
+			blk := New(r1-r0, c1-c0)
+			for r := r0; r < r1; r++ {
+				copy(blk.Data[(r-r0)*blk.Cols:(r-r0+1)*blk.Cols], m.Data[r*m.Cols+c0:r*m.Cols+c1])
+			}
+			g.Blocks[i][j] = blk
+		}
+	}
+	return g, nil
+}
+
+// Assemble reverses Partition.
+func (g *Grid) Assemble() Dense {
+	rows, cols := 0, 0
+	for i := 0; i < g.M; i++ {
+		rows += g.Blocks[i][0].Rows
+	}
+	for j := 0; j < g.N; j++ {
+		cols += g.Blocks[0][j].Cols
+	}
+	out := New(rows, cols)
+	r0 := 0
+	for i := 0; i < g.M; i++ {
+		c0 := 0
+		for j := 0; j < g.N; j++ {
+			blk := g.Blocks[i][j]
+			for r := 0; r < blk.Rows; r++ {
+				copy(out.Data[(r0+r)*cols+c0:(r0+r)*cols+c0+blk.Cols],
+					blk.Data[r*blk.Cols:(r+1)*blk.Cols])
+			}
+			c0 += blk.Cols
+		}
+		r0 += g.Blocks[i][0].Rows
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMulSmall(t *testing.T) {
+	a := Dense{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+	b := Dense{Rows: 3, Cols: 2, Data: []float64{7, 8, 9, 10, 11, 12}}
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{58, 64, 139, 154}
+	for i, v := range want {
+		if c.Data[i] != v {
+			t.Errorf("c[%d] = %v, want %v", i, c.Data[i], v)
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := Random(rng, 5, 5)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c, err := a.Mul(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.EqualWithin(a, 1e-12) {
+		t.Error("A × I != A")
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("mismatched multiply accepted")
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	a := Dense{Rows: 1, Cols: 3, Data: []float64{1, 2, 3}}
+	b := Dense{Rows: 1, Cols: 3, Data: []float64{10, 20, 30}}
+	if err := a.AddInPlace(b); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{11, 22, 33} {
+		if a.Data[i] != want {
+			t.Errorf("a[%d] = %v", i, a.Data[i])
+		}
+	}
+	if err := a.AddInPlace(New(2, 2)); err == nil {
+		t.Error("mismatched add accepted")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := Dense{Rows: 1, Cols: 2, Data: []float64{1, 2}}
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Error("Clone shares memory")
+	}
+}
+
+func TestPartitionAssembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, dims := range [][4]int{{6, 6, 3, 3}, {7, 5, 3, 2}, {10, 10, 1, 1}, {9, 4, 2, 4}} {
+		m := Random(rng, dims[0], dims[1])
+		g, err := Partition(m, dims[2], dims[3])
+		if err != nil {
+			t.Fatalf("Partition %v: %v", dims, err)
+		}
+		back := g.Assemble()
+		if !back.EqualWithin(m, 0) {
+			t.Errorf("round trip failed for %v", dims)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	m := New(4, 4)
+	if _, err := Partition(m, 0, 2); err == nil {
+		t.Error("zero grid accepted")
+	}
+	if _, err := Partition(m, 5, 2); err == nil {
+		t.Error("grid larger than matrix accepted")
+	}
+}
+
+// TestBlockMultiplyEquivalence is the core SUMMA invariant: multiplying via
+// the block decomposition matches the direct product.
+func TestBlockMultiplyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, grid = 12, 3
+	a := Random(rng, n, n)
+	b := Random(rng, n, n)
+	direct, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, _ := Partition(a, grid, grid)
+	gb, _ := Partition(b, grid, grid)
+	gc := &Grid{M: grid, N: grid, Blocks: make([][]Dense, grid)}
+	for i := 0; i < grid; i++ {
+		gc.Blocks[i] = make([]Dense, grid)
+		for j := 0; j < grid; j++ {
+			acc := New(ga.Blocks[i][0].Rows, gb.Blocks[0][j].Cols)
+			for k := 0; k < grid; k++ {
+				prod, err := ga.Blocks[i][k].Mul(gb.Blocks[k][j])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := acc.AddInPlace(prod); err != nil {
+					t.Fatal(err)
+				}
+			}
+			gc.Blocks[i][j] = acc
+		}
+	}
+	if !gc.Assemble().EqualWithin(direct, 1e-9) {
+		t.Error("block product != direct product")
+	}
+}
+
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := Random(r, 4, 4)
+		b := Random(r, 4, 4)
+		c := Random(r, 4, 4)
+		ab, _ := a.Mul(b)
+		abc1, _ := ab.Mul(c)
+		bc, _ := b.Mul(c)
+		abc2, _ := a.Mul(bc)
+		return abc1.EqualWithin(abc2, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,364 @@
+// Package memstore implements the paper's "parallel debugging store" (§V-A):
+// an in-process approximation of a distributed key/value store.
+//
+// The store is divided into a configurable number of partitions. Each
+// partition is served by two goroutines: one handles short request-response
+// table operations (get, put, delete), while the other handles — one at a
+// time — long-running requests (enumerations and agent dispatches).
+// Communication between emulated partitions involves marshalling and
+// un-marshalling through the codec; local operations (an agent touching its
+// own part) do not. This reproduces both the isolation and the relative cost
+// structure of a real distributed store.
+package memstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+)
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithParts sets the default part count for new tables (default 6, matching
+// the paper's evaluation configuration).
+func WithParts(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.defaultParts = n
+		}
+	}
+}
+
+// WithMetrics attaches a metrics collector.
+func WithMetrics(m *metrics.Collector) Option {
+	return func(s *Store) { s.metrics = m }
+}
+
+// WithoutMarshalling disables cross-partition marshalling. This removes the
+// emulated network cost (and the isolation it provides); it exists for
+// ablation benchmarks only.
+func WithoutMarshalling() Option {
+	return func(s *Store) { s.marshal = false }
+}
+
+// WithLatency adds an emulated network latency to every operation that
+// crosses a partition boundary. On a single-core host this is what makes
+// concurrency effects (e.g. removing synchronization barriers) visible in
+// wall-clock time, standing in for the paper's multi-container testbed.
+func WithLatency(d time.Duration) Option {
+	return func(s *Store) {
+		if d > 0 {
+			s.latency = d
+		}
+	}
+}
+
+// Store is the parallel debugging store.
+type Store struct {
+	defaultParts int
+	marshal      bool
+	latency      time.Duration
+	metrics      *metrics.Collector
+
+	mu     sync.Mutex
+	closed bool
+	tables map[string]*table
+	order  []string
+	groups map[string]*group // partition groups, by group id
+	nextID int
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+// group is a set of consistently partitioned tables served by shared
+// partition goroutines.
+type group struct {
+	id     string
+	parts  int
+	hasher codec.Hasher
+	shards []*shard
+}
+
+// shard is one partition of one group: its data (across all of the group's
+// tables) and the two service goroutines.
+type shard struct {
+	part int
+
+	mu   sync.Mutex
+	data map[string]*partData // table name -> pairs
+
+	ops  chan func() // short request-response operations
+	long chan func() // long-running requests, served one at a time
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type partData struct {
+	items   map[any]any
+	ordered bool
+}
+
+// New creates a Store.
+func New(opts ...Option) *Store {
+	s := &Store{
+		defaultParts: 6,
+		marshal:      true,
+		tables:       make(map[string]*table),
+		groups:       make(map[string]*group),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements kvstore.Store.
+func (s *Store) Name() string { return "memstore" }
+
+// DefaultParts implements kvstore.Store.
+func (s *Store) DefaultParts() int { return s.defaultParts }
+
+// CreateTable implements kvstore.Store.
+func (s *Store) CreateTable(name string, opts ...kvstore.TableOption) (kvstore.Table, error) {
+	cfg := kvstore.ApplyOptions(s.defaultParts, opts)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, kvstore.ErrClosed
+	}
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrTableExists, name)
+	}
+
+	var g *group
+	if cfg.ConsistentWith != "" {
+		base, ok := s.tables[cfg.ConsistentWith]
+		if !ok {
+			return nil, fmt.Errorf("%w: consistent-with %q", kvstore.ErrNoTable, cfg.ConsistentWith)
+		}
+		g = base.group
+	} else {
+		g = s.newGroup(cfg.Parts, cfg.Hasher)
+	}
+
+	t := &table{
+		store:      s,
+		name:       name,
+		group:      g,
+		ubiquitous: cfg.Ubiquitous,
+		ordered:    cfg.Ordered,
+	}
+	if cfg.Ubiquitous {
+		t.ubiq = &ubiqData{items: make(map[any]any)}
+	} else {
+		for _, sh := range g.shards {
+			sh.mu.Lock()
+			sh.data[name] = &partData{items: make(map[any]any), ordered: cfg.Ordered}
+			sh.mu.Unlock()
+		}
+	}
+	s.tables[name] = t
+	s.order = append(s.order, name)
+	return t, nil
+}
+
+func (s *Store) newGroup(parts int, h codec.Hasher) *group {
+	s.nextID++
+	g := &group{
+		id:     fmt.Sprintf("g%d", s.nextID),
+		parts:  parts,
+		hasher: h,
+	}
+	g.shards = make([]*shard, parts)
+	for p := 0; p < parts; p++ {
+		sh := &shard{
+			part: p,
+			data: make(map[string]*partData),
+			ops:  make(chan func()),
+			long: make(chan func()),
+			done: make(chan struct{}),
+		}
+		sh.wg.Add(2)
+		go sh.serve(sh.ops)  // short request-response operations
+		go sh.serve(sh.long) // long-running requests, one at a time
+		g.shards[p] = sh
+	}
+	s.groups[g.id] = g
+	return g
+}
+
+func (sh *shard) serve(ch chan func()) {
+	defer sh.wg.Done()
+	for {
+		select {
+		case fn := <-ch:
+			fn()
+		case <-sh.done:
+			// Drain anything already queued so no caller blocks forever.
+			for {
+				select {
+				case fn := <-ch:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// dispatch runs fn on one of the shard's service goroutines and waits for it.
+func (sh *shard) dispatch(ch chan func(), fn func()) error {
+	doneC := make(chan struct{})
+	wrapped := func() {
+		defer close(doneC)
+		fn()
+	}
+	select {
+	case ch <- wrapped:
+	case <-sh.done:
+		return kvstore.ErrClosed
+	}
+	<-doneC
+	return nil
+}
+
+// LookupTable implements kvstore.Store.
+func (s *Store) LookupTable(name string) (kvstore.Table, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, false
+	}
+	return t, true
+}
+
+// DropTable implements kvstore.Store.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", kvstore.ErrNoTable, name)
+	}
+	delete(s.tables, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if !t.ubiquitous {
+		for _, sh := range t.group.shards {
+			sh.mu.Lock()
+			delete(sh.data, name)
+			sh.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// Tables implements kvstore.Store.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// RunAgent implements kvstore.Store: it executes the agent on the long-request
+// goroutine of the named table's part, with unmarshalled local access.
+func (s *Store) RunAgent(tableName string, part int, agent kvstore.Agent) (any, error) {
+	s.mu.Lock()
+	t, ok := s.tables[tableName]
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return nil, kvstore.ErrClosed
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, tableName)
+	}
+	if t.ubiquitous {
+		return nil, fmt.Errorf("memstore: RunAgent against ubiquitous table %q", tableName)
+	}
+	if err := kvstore.CheckPart(part, t.group.parts); err != nil {
+		return nil, err
+	}
+	sh := t.group.shards[part]
+	var (
+		res    any
+		runErr error
+	)
+	err := sh.dispatch(sh.long, func() {
+		sv := &shardView{store: s, group: t.group, shard: sh}
+		res, runErr = agent(sv)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, runErr
+}
+
+// Close implements kvstore.Store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	groups := make([]*group, 0, len(s.groups))
+	for _, g := range s.groups {
+		groups = append(groups, g)
+	}
+	s.mu.Unlock()
+	for _, g := range groups {
+		for _, sh := range g.shards {
+			close(sh.done)
+		}
+	}
+	for _, g := range groups {
+		for _, sh := range g.shards {
+			sh.wg.Wait()
+		}
+	}
+	return nil
+}
+
+// roundTrip emulates moving v across a partition boundary.
+func (s *Store) roundTrip(v any) (any, error) {
+	if s.latency > 0 {
+		time.Sleep(s.latency)
+	}
+	if !s.marshal {
+		return v, nil
+	}
+	data, err := codec.Encode(v)
+	if err != nil {
+		return nil, err
+	}
+	if s.metrics != nil {
+		s.metrics.AddMarshalledBytes(int64(len(data)))
+	}
+	return codec.Decode(data)
+}
+
+// sortedKeys returns the part's keys in codec.CompareKeys order.
+func sortedKeys(items map[any]any) []any {
+	keys := make([]any, 0, len(items))
+	for k := range items {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return codec.CompareKeys(keys[i], keys[j]) < 0 })
+	return keys
+}

@@ -1,0 +1,522 @@
+package memstore
+
+import (
+	"fmt"
+	"sync"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+)
+
+// table is a memstore table handle.
+type table struct {
+	store      *Store
+	name       string
+	group      *group
+	ubiquitous bool
+	ordered    bool
+	ubiq       *ubiqData // non-nil iff ubiquitous
+}
+
+var _ kvstore.Table = (*table)(nil)
+
+// ubiqData backs a ubiquitous table: a single logical part, readable locally
+// from everywhere. In-process the replica set collapses to one map guarded by
+// an RWMutex; reads do not marshal (the contract is that ubiquitous contents
+// are immutable broadcast data, quick to read).
+type ubiqData struct {
+	mu    sync.RWMutex
+	items map[any]any
+}
+
+// Name implements kvstore.Table.
+func (t *table) Name() string { return t.name }
+
+// Parts implements kvstore.Table.
+func (t *table) Parts() int {
+	if t.ubiquitous {
+		return 1
+	}
+	return t.group.parts
+}
+
+// Ubiquitous implements kvstore.Table.
+func (t *table) Ubiquitous() bool { return t.ubiquitous }
+
+// PartOf implements kvstore.Table.
+func (t *table) PartOf(key any) int {
+	if t.ubiquitous {
+		return 0
+	}
+	return codec.PartOf(t.group.hasher, key, t.group.parts)
+}
+
+// Get implements kvstore.Table. Called from outside any part, it behaves as a
+// remote client: the result crosses a partition boundary (marshalled).
+func (t *table) Get(key any) (any, bool, error) {
+	t.store.metrics.AddStoreGets(1)
+	if t.ubiquitous {
+		t.ubiq.mu.RLock()
+		v, ok := t.ubiq.items[key]
+		t.ubiq.mu.RUnlock()
+		return v, ok, nil
+	}
+	sh := t.group.shards[t.PartOf(key)]
+	var (
+		val any
+		ok  bool
+		err error
+	)
+	derr := sh.dispatch(sh.ops, func() {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		pd := sh.data[t.name]
+		if pd == nil {
+			err = fmt.Errorf("%w: %q", kvstore.ErrNoTable, t.name)
+			return
+		}
+		var v any
+		v, ok = pd.items[key]
+		if ok {
+			val, err = t.store.roundTrip(v)
+		}
+	})
+	if derr != nil {
+		return nil, false, derr
+	}
+	return val, ok, err
+}
+
+// Put implements kvstore.Table. The value crosses a partition boundary.
+func (t *table) Put(key, value any) error {
+	t.store.metrics.AddStorePuts(1)
+	if t.ubiquitous {
+		v, err := t.store.roundTrip(value)
+		if err != nil {
+			return err
+		}
+		t.ubiq.mu.Lock()
+		t.ubiq.items[key] = v
+		t.ubiq.mu.Unlock()
+		return nil
+	}
+	sh := t.group.shards[t.PartOf(key)]
+	var err error
+	derr := sh.dispatch(sh.ops, func() {
+		var v any
+		v, err = t.store.roundTrip(value)
+		if err != nil {
+			return
+		}
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		pd := sh.data[t.name]
+		if pd == nil {
+			err = fmt.Errorf("%w: %q", kvstore.ErrNoTable, t.name)
+			return
+		}
+		pd.items[key] = v
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// Delete implements kvstore.Table.
+func (t *table) Delete(key any) error {
+	t.store.metrics.AddStoreDeletes(1)
+	if t.ubiquitous {
+		t.ubiq.mu.Lock()
+		delete(t.ubiq.items, key)
+		t.ubiq.mu.Unlock()
+		return nil
+	}
+	sh := t.group.shards[t.PartOf(key)]
+	var err error
+	derr := sh.dispatch(sh.ops, func() {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		pd := sh.data[t.name]
+		if pd == nil {
+			err = fmt.Errorf("%w: %q", kvstore.ErrNoTable, t.name)
+			return
+		}
+		delete(pd.items, key)
+	})
+	if derr != nil {
+		return derr
+	}
+	return err
+}
+
+// Size implements kvstore.Table.
+func (t *table) Size() (int, error) {
+	if t.ubiquitous {
+		t.ubiq.mu.RLock()
+		defer t.ubiq.mu.RUnlock()
+		return len(t.ubiq.items), nil
+	}
+	total := 0
+	for _, sh := range t.group.shards {
+		sh.mu.Lock()
+		if pd := sh.data[t.name]; pd != nil {
+			total += len(pd.items)
+		}
+		sh.mu.Unlock()
+	}
+	return total, nil
+}
+
+// EnumerateParts implements kvstore.Table: ProcessPart runs on every part's
+// long-request goroutine in parallel; results are folded in part order so the
+// combined result is deterministic.
+func (t *table) EnumerateParts(pc kvstore.PartConsumer) (any, error) {
+	if t.ubiquitous {
+		sv := &ubiqShardView{store: t.store, table: t}
+		return pc.ProcessPart(sv)
+	}
+	results := make([]any, t.group.parts)
+	errs := make([]error, t.group.parts)
+	var wg sync.WaitGroup
+	for p := 0; p < t.group.parts; p++ {
+		sh := t.group.shards[p]
+		wg.Add(1)
+		go func(p int, sh *shard) {
+			defer wg.Done()
+			derr := sh.dispatch(sh.long, func() {
+				sv := &shardView{store: t.store, group: t.group, shard: sh}
+				results[p], errs[p] = pc.ProcessPart(sv)
+			})
+			if derr != nil {
+				errs[p] = derr
+			}
+		}(p, sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	combined := results[0]
+	var err error
+	for p := 1; p < len(results); p++ {
+		combined, err = pc.Combine(combined, results[p])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
+}
+
+// EnumeratePairs implements kvstore.Table.
+func (t *table) EnumeratePairs(pc kvstore.PairConsumer) (any, error) {
+	if t.ubiquitous {
+		if err := pc.SetupPart(0); err != nil {
+			return nil, err
+		}
+		t.ubiq.mu.RLock()
+		keys := sortedKeys(t.ubiq.items)
+		items := make(map[any]any, len(t.ubiq.items))
+		for k, v := range t.ubiq.items {
+			items[k] = v
+		}
+		t.ubiq.mu.RUnlock()
+		for _, k := range keys {
+			stop, err := pc.ConsumePair(k, items[k])
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				break
+			}
+		}
+		return pc.FinishPart(0)
+	}
+	return t.EnumerateParts(pairConsumerAdapter{t: t, pc: pc})
+}
+
+// pairConsumerAdapter runs a PairConsumer over one part as a PartConsumer.
+type pairConsumerAdapter struct {
+	t  *table
+	pc kvstore.PairConsumer
+}
+
+var _ kvstore.PartConsumer = pairConsumerAdapter{}
+
+func (a pairConsumerAdapter) ProcessPart(sv kvstore.ShardView) (any, error) {
+	view, err := sv.View(a.t.name)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.pc.SetupPart(sv.Part()); err != nil {
+		return nil, err
+	}
+	enumerate := view.Enumerate
+	if a.t.ordered {
+		enumerate = view.EnumerateOrdered
+	}
+	if err := enumerate(func(k, v any) (bool, error) {
+		return a.pc.ConsumePair(k, v)
+	}); err != nil {
+		return nil, err
+	}
+	return a.pc.FinishPart(sv.Part())
+}
+
+func (a pairConsumerAdapter) Combine(x, y any) (any, error) { return a.pc.Combine(x, y) }
+
+// shardView is the agent's window onto one shard's co-placed parts.
+type shardView struct {
+	store *Store
+	group *group
+	shard *shard
+}
+
+var _ kvstore.ShardView = (*shardView)(nil)
+
+// Part implements kvstore.ShardView.
+func (sv *shardView) Part() int { return sv.shard.part }
+
+// View implements kvstore.ShardView.
+func (sv *shardView) View(tableName string) (kvstore.PartView, error) {
+	sv.store.mu.Lock()
+	t, ok := sv.store.tables[tableName]
+	sv.store.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, tableName)
+	}
+	if t.ubiquitous {
+		return &ubiqPartView{table: t, part: sv.shard.part}, nil
+	}
+	if !coPlaced(t.group, sv.group) {
+		return nil, fmt.Errorf("%w: %q is in group %s, agent runs in group %s",
+			kvstore.ErrNotCoPlaced, tableName, t.group.id, sv.group.id)
+	}
+	sh := t.group.shards[sv.shard.part]
+	return &partView{store: sv.store, table: t, shard: sh}, nil
+}
+
+// coPlaced reports whether two groups share a key→part mapping. The same
+// group trivially does; distinct groups do when they have the same part count
+// and both use the default hasher.
+func coPlaced(a, b *group) bool {
+	if a == b {
+		return true
+	}
+	if a.parts != b.parts {
+		return false
+	}
+	_, da := a.hasher.(codec.DefaultHasher)
+	_, db := b.hasher.(codec.DefaultHasher)
+	return da && db
+}
+
+// partView gives local (unmarshalled) access to one part of one table.
+type partView struct {
+	store *Store
+	table *table
+	shard *shard
+}
+
+var _ kvstore.PartView = (*partView)(nil)
+
+// Table implements kvstore.PartView.
+func (pv *partView) Table() string { return pv.table.name }
+
+// Part implements kvstore.PartView.
+func (pv *partView) Part() int { return pv.shard.part }
+
+func (pv *partView) data() (*partData, error) {
+	pd := pv.shard.data[pv.table.name]
+	if pd == nil {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, pv.table.name)
+	}
+	return pd, nil
+}
+
+// Get implements kvstore.PartView: local access, no marshalling.
+func (pv *partView) Get(key any) (any, bool, error) {
+	pv.store.metrics.AddStoreGets(1)
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pd, err := pv.data()
+	if err != nil {
+		return nil, false, err
+	}
+	v, ok := pd.items[key]
+	return v, ok, nil
+}
+
+// Put implements kvstore.PartView.
+func (pv *partView) Put(key, value any) error {
+	pv.store.metrics.AddStorePuts(1)
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pd, err := pv.data()
+	if err != nil {
+		return err
+	}
+	pd.items[key] = value
+	return nil
+}
+
+// Delete implements kvstore.PartView.
+func (pv *partView) Delete(key any) error {
+	pv.store.metrics.AddStoreDeletes(1)
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pd, err := pv.data()
+	if err != nil {
+		return err
+	}
+	delete(pd.items, key)
+	return nil
+}
+
+// Len implements kvstore.PartView.
+func (pv *partView) Len() (int, error) {
+	pv.shard.mu.Lock()
+	defer pv.shard.mu.Unlock()
+	pd, err := pv.data()
+	if err != nil {
+		return 0, err
+	}
+	return len(pd.items), nil
+}
+
+// Enumerate implements kvstore.PartView. The snapshot of keys is taken under
+// the lock, then pairs are visited without it so the callback may freely
+// Put/Delete on this same view.
+func (pv *partView) Enumerate(fn kvstore.PairFunc) error {
+	pv.shard.mu.Lock()
+	pd, err := pv.data()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return err
+	}
+	keys := make([]any, 0, len(pd.items))
+	for k := range pd.items {
+		keys = append(keys, k)
+	}
+	pv.shard.mu.Unlock()
+	return pv.visit(keys, fn)
+}
+
+// EnumerateOrdered implements kvstore.PartView.
+func (pv *partView) EnumerateOrdered(fn kvstore.PairFunc) error {
+	pv.shard.mu.Lock()
+	pd, err := pv.data()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return err
+	}
+	keys := sortedKeys(pd.items)
+	pv.shard.mu.Unlock()
+	return pv.visit(keys, fn)
+}
+
+func (pv *partView) visit(keys []any, fn kvstore.PairFunc) error {
+	for _, k := range keys {
+		pv.shard.mu.Lock()
+		pd, err := pv.data()
+		if err != nil {
+			pv.shard.mu.Unlock()
+			return err
+		}
+		v, ok := pd.items[k]
+		pv.shard.mu.Unlock()
+		if !ok {
+			continue // deleted since the snapshot
+		}
+		stop, err := fn(k, v)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ubiqShardView adapts a ubiquitous table for EnumerateParts.
+type ubiqShardView struct {
+	store *Store
+	table *table
+}
+
+var _ kvstore.ShardView = (*ubiqShardView)(nil)
+
+func (sv *ubiqShardView) Part() int { return 0 }
+
+func (sv *ubiqShardView) View(tableName string) (kvstore.PartView, error) {
+	if tableName != sv.table.name {
+		return nil, fmt.Errorf("%w: %q from ubiquitous agent", kvstore.ErrNotCoPlaced, tableName)
+	}
+	return &ubiqPartView{table: sv.table, part: 0}, nil
+}
+
+// ubiqPartView is the local replica view of a ubiquitous table; reads do not
+// marshal (contract: quick to read), and writes update the shared replica.
+type ubiqPartView struct {
+	table *table
+	part  int
+}
+
+var _ kvstore.PartView = (*ubiqPartView)(nil)
+
+func (uv *ubiqPartView) Table() string { return uv.table.name }
+func (uv *ubiqPartView) Part() int     { return uv.part }
+
+func (uv *ubiqPartView) Get(key any) (any, bool, error) {
+	uv.table.ubiq.mu.RLock()
+	defer uv.table.ubiq.mu.RUnlock()
+	v, ok := uv.table.ubiq.items[key]
+	return v, ok, nil
+}
+
+func (uv *ubiqPartView) Put(key, value any) error {
+	uv.table.ubiq.mu.Lock()
+	defer uv.table.ubiq.mu.Unlock()
+	uv.table.ubiq.items[key] = value
+	return nil
+}
+
+func (uv *ubiqPartView) Delete(key any) error {
+	uv.table.ubiq.mu.Lock()
+	defer uv.table.ubiq.mu.Unlock()
+	delete(uv.table.ubiq.items, key)
+	return nil
+}
+
+func (uv *ubiqPartView) Len() (int, error) {
+	uv.table.ubiq.mu.RLock()
+	defer uv.table.ubiq.mu.RUnlock()
+	return len(uv.table.ubiq.items), nil
+}
+
+func (uv *ubiqPartView) Enumerate(fn kvstore.PairFunc) error {
+	return uv.EnumerateOrdered(fn)
+}
+
+func (uv *ubiqPartView) EnumerateOrdered(fn kvstore.PairFunc) error {
+	uv.table.ubiq.mu.RLock()
+	keys := sortedKeys(uv.table.ubiq.items)
+	items := make(map[any]any, len(uv.table.ubiq.items))
+	for k, v := range uv.table.ubiq.items {
+		items[k] = v
+	}
+	uv.table.ubiq.mu.RUnlock()
+	for _, k := range keys {
+		stop, err := fn(k, items[k])
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+// Package metrics provides the lightweight instrumentation used by the
+// stores, the EBSP engine, and the benchmark harness to report the paper's
+// cost drivers: synchronization barriers, steps, messages, marshalled bytes,
+// and store I/O.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Collector accumulates counters. The zero value is ready to use, and all
+// methods are safe for concurrent use. A nil *Collector is also valid: every
+// method is a no-op, so instrumented code never needs nil checks.
+type Collector struct {
+	steps           atomic.Int64
+	barriers        atomic.Int64
+	messagesSent    atomic.Int64
+	messagesMerged  atomic.Int64
+	computeCalls    atomic.Int64
+	marshalledBytes atomic.Int64
+	storeGets       atomic.Int64
+	storePuts       atomic.Int64
+	storeDeletes    atomic.Int64
+	spills          atomic.Int64
+	aggRounds       atomic.Int64
+	recoveries      atomic.Int64
+}
+
+// AddSteps records completed BSP steps.
+func (c *Collector) AddSteps(n int64) {
+	if c != nil {
+		c.steps.Add(n)
+	}
+}
+
+// AddBarriers records synchronization barriers crossed.
+func (c *Collector) AddBarriers(n int64) {
+	if c != nil {
+		c.barriers.Add(n)
+	}
+}
+
+// AddMessagesSent records BSP messages sent.
+func (c *Collector) AddMessagesSent(n int64) {
+	if c != nil {
+		c.messagesSent.Add(n)
+	}
+}
+
+// AddMessagesCombined records messages eliminated by a combiner.
+func (c *Collector) AddMessagesCombined(n int64) {
+	if c != nil {
+		c.messagesMerged.Add(n)
+	}
+}
+
+// AddComputeInvocations records component compute invocations.
+func (c *Collector) AddComputeInvocations(n int64) {
+	if c != nil {
+		c.computeCalls.Add(n)
+	}
+}
+
+// AddMarshalledBytes records bytes marshalled across emulated partitions.
+func (c *Collector) AddMarshalledBytes(n int64) {
+	if c != nil {
+		c.marshalledBytes.Add(n)
+	}
+}
+
+// AddStoreGets records key/value store gets.
+func (c *Collector) AddStoreGets(n int64) {
+	if c != nil {
+		c.storeGets.Add(n)
+	}
+}
+
+// AddStorePuts records key/value store puts.
+func (c *Collector) AddStorePuts(n int64) {
+	if c != nil {
+		c.storePuts.Add(n)
+	}
+}
+
+// AddStoreDeletes records key/value store deletes.
+func (c *Collector) AddStoreDeletes(n int64) {
+	if c != nil {
+		c.storeDeletes.Add(n)
+	}
+}
+
+// AddSpills records spill batches written to the transport table.
+func (c *Collector) AddSpills(n int64) {
+	if c != nil {
+		c.spills.Add(n)
+	}
+}
+
+// AddAggregationRounds records extra table-based aggregation rounds.
+func (c *Collector) AddAggregationRounds(n int64) {
+	if c != nil {
+		c.aggRounds.Add(n)
+	}
+}
+
+// AddRecoveries records fault-recovery replays.
+func (c *Collector) AddRecoveries(n int64) {
+	if c != nil {
+		c.recoveries.Add(n)
+	}
+}
+
+// Snapshot is a point-in-time copy of all counters.
+type Snapshot struct {
+	Steps              int64
+	Barriers           int64
+	MessagesSent       int64
+	MessagesCombined   int64
+	ComputeInvocations int64
+	MarshalledBytes    int64
+	StoreGets          int64
+	StorePuts          int64
+	StoreDeletes       int64
+	Spills             int64
+	AggregationRounds  int64
+	Recoveries         int64
+}
+
+// Snapshot returns a copy of the current counter values. A nil collector
+// yields a zero snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	if c == nil {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Steps:              c.steps.Load(),
+		Barriers:           c.barriers.Load(),
+		MessagesSent:       c.messagesSent.Load(),
+		MessagesCombined:   c.messagesMerged.Load(),
+		ComputeInvocations: c.computeCalls.Load(),
+		MarshalledBytes:    c.marshalledBytes.Load(),
+		StoreGets:          c.storeGets.Load(),
+		StorePuts:          c.storePuts.Load(),
+		StoreDeletes:       c.storeDeletes.Load(),
+		Spills:             c.spills.Load(),
+		AggregationRounds:  c.aggRounds.Load(),
+		Recoveries:         c.recoveries.Load(),
+	}
+}
+
+// Reset zeroes all counters.
+func (c *Collector) Reset() {
+	if c == nil {
+		return
+	}
+	c.steps.Store(0)
+	c.barriers.Store(0)
+	c.messagesSent.Store(0)
+	c.messagesMerged.Store(0)
+	c.computeCalls.Store(0)
+	c.marshalledBytes.Store(0)
+	c.storeGets.Store(0)
+	c.storePuts.Store(0)
+	c.storeDeletes.Store(0)
+	c.spills.Store(0)
+	c.aggRounds.Store(0)
+	c.recoveries.Store(0)
+}
+
+// Sub returns the difference s - old, counter by counter.
+func (s Snapshot) Sub(old Snapshot) Snapshot {
+	return Snapshot{
+		Steps:              s.Steps - old.Steps,
+		Barriers:           s.Barriers - old.Barriers,
+		MessagesSent:       s.MessagesSent - old.MessagesSent,
+		MessagesCombined:   s.MessagesCombined - old.MessagesCombined,
+		ComputeInvocations: s.ComputeInvocations - old.ComputeInvocations,
+		MarshalledBytes:    s.MarshalledBytes - old.MarshalledBytes,
+		StoreGets:          s.StoreGets - old.StoreGets,
+		StorePuts:          s.StorePuts - old.StorePuts,
+		StoreDeletes:       s.StoreDeletes - old.StoreDeletes,
+		Spills:             s.Spills - old.Spills,
+		AggregationRounds:  s.AggregationRounds - old.AggregationRounds,
+		Recoveries:         s.Recoveries - old.Recoveries,
+	}
+}
+
+// String renders the snapshot as a compact single-line summary.
+func (s Snapshot) String() string {
+	return fmt.Sprintf(
+		"steps=%d barriers=%d msgs=%d combined=%d computes=%d marshalled=%dB gets=%d puts=%d dels=%d spills=%d aggRounds=%d recoveries=%d",
+		s.Steps, s.Barriers, s.MessagesSent, s.MessagesCombined, s.ComputeInvocations,
+		s.MarshalledBytes, s.StoreGets, s.StorePuts, s.StoreDeletes, s.Spills,
+		s.AggregationRounds, s.Recoveries)
+}

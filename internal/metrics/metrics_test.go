@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCollectorIsSafe(t *testing.T) {
+	var c *Collector
+	c.AddSteps(1)
+	c.AddBarriers(1)
+	c.AddMessagesSent(1)
+	c.AddMessagesCombined(1)
+	c.AddComputeInvocations(1)
+	c.AddMarshalledBytes(1)
+	c.AddStoreGets(1)
+	c.AddStorePuts(1)
+	c.AddStoreDeletes(1)
+	c.AddSpills(1)
+	c.AddAggregationRounds(1)
+	c.AddRecoveries(1)
+	c.Reset()
+	if snap := c.Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("nil collector snapshot = %+v", snap)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	c := &Collector{}
+	c.AddSteps(2)
+	c.AddSteps(3)
+	c.AddMessagesSent(7)
+	c.AddMarshalledBytes(100)
+	snap := c.Snapshot()
+	if snap.Steps != 5 || snap.MessagesSent != 7 || snap.MarshalledBytes != 100 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestResetZeroes(t *testing.T) {
+	c := &Collector{}
+	c.AddBarriers(9)
+	c.AddRecoveries(2)
+	c.Reset()
+	if snap := c.Snapshot(); snap != (Snapshot{}) {
+		t.Errorf("after reset: %+v", snap)
+	}
+}
+
+func TestSub(t *testing.T) {
+	c := &Collector{}
+	c.AddSteps(3)
+	before := c.Snapshot()
+	c.AddSteps(4)
+	c.AddSpills(2)
+	diff := c.Snapshot().Sub(before)
+	if diff.Steps != 4 || diff.Spills != 2 {
+		t.Errorf("diff = %+v", diff)
+	}
+}
+
+func TestStringMentionsEveryCounter(t *testing.T) {
+	s := Snapshot{Steps: 1, Barriers: 2, MessagesSent: 3}.String()
+	for _, frag := range []string{"steps=1", "barriers=2", "msgs=3", "recoveries=0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q, missing %q", s, frag)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	c := &Collector{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddComputeInvocations(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().ComputeInvocations; got != 8000 {
+		t.Errorf("invocations = %d, want 8000", got)
+	}
+}

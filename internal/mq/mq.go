@@ -1,0 +1,361 @@
+// Package mq implements Ripple's message-queuing SPI (paper §III-B).
+//
+// The abstraction is the queue set: a queuing client can create and delete
+// queue sets; a queue set is placed like some given key/value table — there
+// is a queue per part of the table. A queue set can run a piece of mobile
+// client code in each part, and that client code can read (with a timeout)
+// from the local queue of the set. Messages can be put into a given queue of
+// a queue set from anywhere in the system.
+//
+// The implementation here is the generic one the paper describes (§IV-B):
+// it works against any kvstore.Table for placement. Queues are unbounded and
+// FIFO, which — together with one writer goroutine per sender — preserves
+// the per-(sender,receiver) ordering the no-sync execution strategy relies
+// on. Cross-part puts optionally marshal the payload to emulate the network.
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+)
+
+// Common errors.
+var (
+	// ErrClosed is returned for operations on a closed queue set.
+	ErrClosed = errors.New("mq: queue set is closed")
+	// ErrNoQueue is returned for out-of-range queue indices.
+	ErrNoQueue = errors.New("mq: no such queue")
+	// ErrExists is returned when creating a queue set whose name is taken.
+	ErrExists = errors.New("mq: queue set already exists")
+)
+
+// System manages queue sets. One System is typically shared per store.
+type System struct {
+	marshal bool
+	latency time.Duration
+	metrics *metrics.Collector
+
+	mu   sync.Mutex
+	sets map[string]*QueueSet
+}
+
+// SystemOption configures a System.
+type SystemOption func(*System)
+
+// WithMetrics attaches a metrics collector.
+func WithMetrics(m *metrics.Collector) SystemOption {
+	return func(s *System) { s.metrics = m }
+}
+
+// WithoutMarshalling disables payload marshalling on cross-part puts.
+func WithoutMarshalling() SystemOption {
+	return func(s *System) { s.marshal = false }
+}
+
+// WithLatency adds an emulated network latency to every cross-part Put.
+func WithLatency(d time.Duration) SystemOption {
+	return func(s *System) {
+		if d > 0 {
+			s.latency = d
+		}
+	}
+}
+
+// NewSystem creates a queue-set manager.
+func NewSystem(opts ...SystemOption) *System {
+	s := &System{marshal: true, sets: make(map[string]*QueueSet)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// CreateQueueSet creates a queue set placed like the given table: one queue
+// per part of the table.
+func (s *System) CreateQueueSet(name string, like kvstore.Table) (*QueueSet, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sets[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	qs := newQueueSet(name, like.Parts(), s)
+	s.sets[name] = qs
+	return qs, nil
+}
+
+// DeleteQueueSet closes and removes a queue set.
+func (s *System) DeleteQueueSet(name string) error {
+	s.mu.Lock()
+	qs, ok := s.sets[name]
+	delete(s.sets, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mq: %w: %q", ErrNoQueue, name)
+	}
+	return qs.Close()
+}
+
+// QueueSet is a placed set of unbounded FIFO queues, one per part.
+type QueueSet struct {
+	name   string
+	system *System
+	queues []*queue
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func newQueueSet(name string, parts int, system *System) *QueueSet {
+	qs := &QueueSet{name: name, system: system}
+	for p := 0; p < parts; p++ {
+		qs.queues = append(qs.queues, newQueue())
+	}
+	return qs
+}
+
+// Name returns the queue set's name.
+func (qs *QueueSet) Name() string { return qs.name }
+
+// Queues reports the number of queues (= parts of the placement table).
+func (qs *QueueSet) Queues() int { return len(qs.queues) }
+
+// Put delivers a message to queue q. It may be called from anywhere in the
+// system; the payload crosses a partition boundary (marshalled, when the
+// system marshals). Calls from a single goroutine to a single queue are
+// delivered in order.
+func (qs *QueueSet) Put(q int, msg any) error {
+	if q < 0 || q >= len(qs.queues) {
+		return fmt.Errorf("%w: %d of %d", ErrNoQueue, q, len(qs.queues))
+	}
+	qs.mu.Lock()
+	closed := qs.closed
+	qs.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if qs.system != nil && qs.system.marshal {
+		data, err := codec.Encode(msg)
+		if err != nil {
+			return err
+		}
+		qs.system.metrics.AddMarshalledBytes(int64(len(data)))
+		msg, err = codec.Decode(data)
+		if err != nil {
+			return err
+		}
+	}
+	if qs.system != nil && qs.system.latency > 0 {
+		// Latency, not occupancy: the sender continues immediately and the
+		// message arrives after the emulated network delay, in FIFO order.
+		qs.queues[q].putDelayed(msg, qs.system.latency)
+		return nil
+	}
+	qs.queues[q].put(msg)
+	return nil
+}
+
+// PutLocal delivers without marshalling, for senders already collocated with
+// the destination part (e.g. a worker enqueuing to its own queue).
+func (qs *QueueSet) PutLocal(q int, msg any) error {
+	if q < 0 || q >= len(qs.queues) {
+		return fmt.Errorf("%w: %d of %d", ErrNoQueue, q, len(qs.queues))
+	}
+	qs.mu.Lock()
+	closed := qs.closed
+	qs.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	qs.queues[q].put(msg)
+	return nil
+}
+
+// Reader is the mobile client code's handle to its local queue.
+type Reader struct {
+	queueSet *QueueSet
+	index    int
+}
+
+// Queue reports which queue this reader drains.
+func (r *Reader) Queue() int { return r.index }
+
+// Read dequeues the next message, waiting up to timeout. ok is false when the
+// timeout elapsed (or the set was closed) with no message available.
+func (r *Reader) Read(timeout time.Duration) (msg any, ok bool) {
+	return r.queueSet.queues[r.index].take(timeout)
+}
+
+// TryRead dequeues without waiting.
+func (r *Reader) TryRead() (msg any, ok bool) {
+	return r.queueSet.queues[r.index].take(0)
+}
+
+// Len reports the number of queued messages.
+func (r *Reader) Len() int { return r.queueSet.queues[r.index].len() }
+
+// Worker is mobile client code run against one queue of the set.
+type Worker func(r *Reader) error
+
+// Run dispatches the worker to every part in parallel and blocks until all
+// workers return. The first non-nil worker error is returned (all workers
+// still run to completion).
+func (qs *QueueSet) Run(w Worker) error {
+	errs := make([]error, len(qs.queues))
+	var wg sync.WaitGroup
+	for i := range qs.queues {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w(&Reader{queueSet: qs, index: i})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close wakes all blocked readers and rejects future puts.
+func (qs *QueueSet) Close() error {
+	qs.mu.Lock()
+	if qs.closed {
+		qs.mu.Unlock()
+		return nil
+	}
+	qs.closed = true
+	qs.mu.Unlock()
+	for _, q := range qs.queues {
+		q.close()
+	}
+	return nil
+}
+
+// queue is an unbounded FIFO with timed blocking take.
+type queue struct {
+	mu          sync.Mutex
+	items       []any
+	head        int
+	notify      chan struct{} // closed+replaced on each put; readers wait on it
+	closed      bool
+	pending     []timedMsg // delayed deliveries, in arrival order
+	dispatching bool
+}
+
+// timedMsg is a delayed delivery.
+type timedMsg struct {
+	msg any
+	at  time.Time
+}
+
+func newQueue() *queue {
+	return &queue{notify: make(chan struct{})}
+}
+
+// putDelayed enqueues msg for delivery after delay, preserving arrival
+// order (all delays are equal, so FIFO per queue — and hence per sender —
+// is maintained).
+func (q *queue) putDelayed(msg any, delay time.Duration) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.pending = append(q.pending, timedMsg{msg: msg, at: time.Now().Add(delay)})
+	if !q.dispatching {
+		q.dispatching = true
+		go q.dispatch()
+	}
+	q.mu.Unlock()
+}
+
+// dispatch drains the pending list in order, honoring each delivery time.
+func (q *queue) dispatch() {
+	for {
+		q.mu.Lock()
+		if q.closed || len(q.pending) == 0 {
+			q.dispatching = false
+			q.mu.Unlock()
+			return
+		}
+		tm := q.pending[0]
+		q.pending = q.pending[1:]
+		q.mu.Unlock()
+		if d := time.Until(tm.at); d > 0 {
+			time.Sleep(d)
+		}
+		q.put(tm.msg)
+	}
+}
+
+func (q *queue) put(msg any) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.items = append(q.items, msg)
+	// Wake all current waiters; they re-check under the lock.
+	close(q.notify)
+	q.notify = make(chan struct{})
+	q.mu.Unlock()
+}
+
+func (q *queue) take(timeout time.Duration) (any, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		q.mu.Lock()
+		if q.head < len(q.items) {
+			msg := q.items[q.head]
+			q.items[q.head] = nil
+			q.head++
+			if q.head == len(q.items) {
+				q.items = q.items[:0]
+				q.head = 0
+			}
+			q.mu.Unlock()
+			return msg, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, false
+		}
+		ch := q.notify
+		q.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if timeout <= 0 || remain <= 0 {
+			return nil, false
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return nil, false
+		}
+	}
+}
+
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	if !q.closed {
+		q.closed = true
+		close(q.notify)
+	}
+	q.mu.Unlock()
+}

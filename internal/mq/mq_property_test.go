@@ -1,0 +1,92 @@
+package mq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ripple/internal/memstore"
+)
+
+// TestFIFOProperty: for random message counts and queue counts, every queue
+// delivers exactly its messages, in order.
+func TestFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		queues := 1 + rng.Intn(6)
+		perQueue := rng.Intn(200)
+
+		sys, tab := newSystem(t, queues)
+		qs, err := sys.CreateQueueSet("q", tab)
+		if err != nil {
+			return false
+		}
+		defer func() { _ = qs.Close() }()
+		for q := 0; q < queues; q++ {
+			for i := 0; i < perQueue; i++ {
+				if err := qs.Put(q, [2]int{q, i}); err != nil {
+					return false
+				}
+			}
+		}
+		for q := 0; q < queues; q++ {
+			r := &Reader{queueSet: qs, index: q}
+			for i := 0; i < perQueue; i++ {
+				msg, ok := r.TryRead()
+				if !ok {
+					return false
+				}
+				got := msg.([2]int)
+				if got[0] != q || got[1] != i {
+					return false
+				}
+			}
+			if _, ok := r.TryRead(); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDelayedDeliveryPreservesFIFOProperty: the latency path must keep
+// per-queue order too.
+func TestDelayedDeliveryPreservesFIFOProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+
+		store := memstore.New(memstore.WithParts(1))
+		defer func() { _ = store.Close() }()
+		tab, err := store.CreateTable("placement")
+		if err != nil {
+			return false
+		}
+		sys := NewSystem(WithLatency(100 * time.Microsecond))
+		qs, qerr := sys.CreateQueueSet("q", tab)
+		if qerr != nil {
+			return false
+		}
+		defer func() { _ = qs.Close() }()
+		for i := 0; i < n; i++ {
+			if err := qs.Put(0, i); err != nil {
+				return false
+			}
+		}
+		r := &Reader{queueSet: qs, index: 0}
+		for i := 0; i < n; i++ {
+			msg, ok := r.Read(5 * time.Second)
+			if !ok || msg != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,299 @@
+package mq
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+)
+
+func newSystem(t *testing.T, parts int) (*System, kvstore.Table) {
+	t.Helper()
+	store := memstore.New(memstore.WithParts(parts))
+	t.Cleanup(func() { _ = store.Close() })
+	tab, err := store.CreateTable("placement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSystem(), tab
+}
+
+func TestQueueSetPlacedLikeTable(t *testing.T) {
+	sys, tab := newSystem(t, 5)
+	qs, err := sys.CreateQueueSet("q", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Queues() != 5 {
+		t.Errorf("Queues = %d, want 5", qs.Queues())
+	}
+	if qs.Name() != "q" {
+		t.Errorf("Name = %q", qs.Name())
+	}
+	if _, err := sys.CreateQueueSet("q", tab); !errors.Is(err, ErrExists) {
+		t.Errorf("dup create err = %v", err)
+	}
+}
+
+func TestPutReadFIFO(t *testing.T) {
+	sys, tab := newSystem(t, 2)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	for i := 0; i < 100; i++ {
+		if err := qs.Put(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := &Reader{queueSet: qs, index: 1}
+	for i := 0; i < 100; i++ {
+		msg, ok := r.Read(time.Second)
+		if !ok || msg != i {
+			t.Fatalf("Read #%d = %v, %v", i, msg, ok)
+		}
+	}
+	if _, ok := r.TryRead(); ok {
+		t.Error("TryRead on empty queue returned ok")
+	}
+}
+
+func TestReadTimeout(t *testing.T) {
+	sys, tab := newSystem(t, 1)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	r := &Reader{queueSet: qs, index: 0}
+	start := time.Now()
+	_, ok := r.Read(30 * time.Millisecond)
+	if ok {
+		t.Error("Read on empty queue returned ok")
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("Read returned after %v, want ~30ms", elapsed)
+	}
+}
+
+func TestReadWakesOnPut(t *testing.T) {
+	sys, tab := newSystem(t, 1)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	r := &Reader{queueSet: qs, index: 0}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_ = qs.Put(0, "wake")
+	}()
+	msg, ok := r.Read(5 * time.Second)
+	if !ok || msg != "wake" {
+		t.Fatalf("Read = %v, %v", msg, ok)
+	}
+}
+
+func TestRunWorkersOnePerQueue(t *testing.T) {
+	sys, tab := newSystem(t, 4)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	const perQueue = 50
+	for q := 0; q < 4; q++ {
+		for i := 0; i < perQueue; i++ {
+			_ = qs.Put(q, q*1000+i)
+		}
+	}
+	var mu sync.Mutex
+	got := map[int][]int{}
+	err := qs.Run(func(r *Reader) error {
+		for {
+			msg, ok := r.Read(50 * time.Millisecond)
+			if !ok {
+				return nil
+			}
+			mu.Lock()
+			got[r.Queue()] = append(got[r.Queue()], msg.(int))
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 4; q++ {
+		if len(got[q]) != perQueue {
+			t.Errorf("queue %d drained %d, want %d", q, len(got[q]), perQueue)
+		}
+		for i, msg := range got[q] {
+			if msg != q*1000+i {
+				t.Errorf("queue %d msg %d = %d, want %d (FIFO violated)", q, i, msg, q*1000+i)
+				break
+			}
+		}
+	}
+}
+
+func TestRunPropagatesWorkerError(t *testing.T) {
+	sys, tab := newSystem(t, 2)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	boom := errors.New("boom")
+	err := qs.Run(func(r *Reader) error {
+		if r.Queue() == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("Run err = %v", err)
+	}
+}
+
+func TestPerSenderReceiverOrdering(t *testing.T) {
+	// Multiple concurrent senders to one queue: each sender's messages stay
+	// in order relative to each other.
+	sys, tab := newSystem(t, 1)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	const senders, per = 4, 200
+	var wg sync.WaitGroup
+	for sd := 0; sd < senders; sd++ {
+		wg.Add(1)
+		go func(sd int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := qs.Put(0, [2]int{sd, i}); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(sd)
+	}
+	wg.Wait()
+	last := map[int]int{0: -1, 1: -1, 2: -1, 3: -1}
+	r := &Reader{queueSet: qs, index: 0}
+	for n := 0; n < senders*per; n++ {
+		msg, ok := r.TryRead()
+		if !ok {
+			t.Fatalf("queue drained early at %d", n)
+		}
+		p := msg.([2]int)
+		if p[1] != last[p[0]]+1 {
+			t.Fatalf("sender %d: got seq %d after %d", p[0], p[1], last[p[0]])
+		}
+		last[p[0]] = p[1]
+	}
+}
+
+func TestMarshallingIsolationMQ(t *testing.T) {
+	sys, tab := newSystem(t, 1)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	payload := []int{1, 2, 3}
+	_ = qs.Put(0, payload)
+	payload[0] = 99
+	r := &Reader{queueSet: qs, index: 0}
+	msg, _ := r.TryRead()
+	if msg.([]int)[0] != 1 {
+		t.Error("queue shares memory with sender")
+	}
+}
+
+func TestPutLocalSkipsMarshalling(t *testing.T) {
+	sys, tab := newSystem(t, 1)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	payload := []int{7}
+	_ = qs.PutLocal(0, payload)
+	r := &Reader{queueSet: qs, index: 0}
+	msg, _ := r.TryRead()
+	got := msg.([]int)
+	if &got[0] != &payload[0] {
+		t.Error("PutLocal copied the payload")
+	}
+}
+
+func TestCloseWakesReaders(t *testing.T) {
+	sys, tab := newSystem(t, 1)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	done := make(chan bool, 1)
+	go func() {
+		r := &Reader{queueSet: qs, index: 0}
+		_, ok := r.Read(10 * time.Second)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := qs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("Read returned ok after close of empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader not woken by Close")
+	}
+	if err := qs.Put(0, 1); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after close err = %v", err)
+	}
+	if err := qs.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestDeleteQueueSet(t *testing.T) {
+	sys, tab := newSystem(t, 1)
+	_, _ = sys.CreateQueueSet("q", tab)
+	if err := sys.DeleteQueueSet("q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DeleteQueueSet("q"); err == nil {
+		t.Error("double delete succeeded")
+	}
+	// Name is reusable after deletion.
+	if _, err := sys.CreateQueueSet("q", tab); err != nil {
+		t.Errorf("recreate after delete: %v", err)
+	}
+}
+
+func TestPutBadQueue(t *testing.T) {
+	sys, tab := newSystem(t, 2)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	if err := qs.Put(7, 1); !errors.Is(err, ErrNoQueue) {
+		t.Errorf("Put bad queue err = %v", err)
+	}
+	if err := qs.Put(-1, 1); !errors.Is(err, ErrNoQueue) {
+		t.Errorf("Put negative queue err = %v", err)
+	}
+}
+
+func TestHighVolumeConcurrentProducersConsumers(t *testing.T) {
+	sys, tab := newSystem(t, 3)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	const total = 3000
+	var sent sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		sent.Add(1)
+		go func(w int) {
+			defer sent.Done()
+			for i := 0; i < total/3; i++ {
+				if err := qs.Put(i%3, fmt.Sprintf("%d-%d", w, i)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	var count sync.WaitGroup
+	var mu sync.Mutex
+	received := 0
+	count.Add(1)
+	go func() {
+		defer count.Done()
+		_ = qs.Run(func(r *Reader) error {
+			for {
+				_, ok := r.Read(200 * time.Millisecond)
+				if !ok {
+					return nil
+				}
+				mu.Lock()
+				received++
+				mu.Unlock()
+			}
+		})
+	}()
+	sent.Wait()
+	count.Wait()
+	if received != total {
+		t.Errorf("received %d of %d", received, total)
+	}
+}

@@ -1,0 +1,103 @@
+package pagerank
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDirectConvergenceStopsEarly(t *testing.T) {
+	g := genGraph(t, 300, 2400, 21)
+	e := newEngine(t, nil)
+	tab, _ := LoadGraph(e.Store(), "g", g, 6)
+	res, err := RunDirect(e, Config{
+		GraphTable: "g",
+		Iterations: 200, // upper bound; epsilon should stop far earlier
+		Epsilon:    1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps >= 200 {
+		t.Errorf("convergence never fired: %d steps", res.Steps)
+	}
+	if res.Steps < 5 {
+		t.Errorf("converged suspiciously early: %d steps", res.Steps)
+	}
+	// At convergence the result must match a long fixed iteration closely.
+	got, err := ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(g, 0.85, 200)
+	worst := 0.0
+	for v, w := range want {
+		if d := math.Abs(got[v] - w); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("converged ranks off by %g from fixed point", worst)
+	}
+	sum := 0.0
+	for _, r := range got {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %g", sum)
+	}
+}
+
+func TestMapReduceConvergenceStopsEarly(t *testing.T) {
+	g := genGraph(t, 300, 2400, 21)
+	e := newEngine(t, nil)
+	tab, _ := LoadGraph(e.Store(), "g", g, 6)
+	if err := SeedRanks(tab); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunMapReduce(e, Config{
+		GraphTable: "g",
+		Iterations: 200,
+		Epsilon:    1e-8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Converged {
+		t.Error("MR variant did not report convergence")
+	}
+	if sum.Iterations >= 200 {
+		t.Errorf("convergence never fired: %d iterations", sum.Iterations)
+	}
+	got, err := ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(g, 0.85, 200)
+	worst := 0.0
+	for v, w := range want {
+		if d := math.Abs(got[v] - w); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-6 {
+		t.Errorf("converged ranks off by %g from fixed point", worst)
+	}
+}
+
+func TestLooseEpsilonStopsSooner(t *testing.T) {
+	g := genGraph(t, 200, 1500, 23)
+	steps := func(eps float64) int {
+		e := newEngine(t, nil)
+		_, _ = LoadGraph(e.Store(), "g", g, 6)
+		res, err := RunDirect(e, Config{GraphTable: "g", Iterations: 300, Epsilon: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Steps
+	}
+	loose := steps(1e-3)
+	tight := steps(1e-10)
+	if loose >= tight {
+		t.Errorf("loose epsilon took %d steps, tight took %d — want loose < tight", loose, tight)
+	}
+}

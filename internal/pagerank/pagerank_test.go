@@ -1,0 +1,249 @@
+package pagerank
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/ebsp"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/workload"
+)
+
+func newEngine(t *testing.T, m *metrics.Collector) *ebsp.Engine {
+	t.Helper()
+	opts := []memstore.Option{memstore.WithParts(6)} // the paper's 6 partitions
+	if m != nil {
+		opts = append(opts, memstore.WithMetrics(m))
+	}
+	store := memstore.New(opts...)
+	t.Cleanup(func() { _ = store.Close() })
+	eopts := []ebsp.Option{}
+	if m != nil {
+		eopts = append(eopts, ebsp.WithMetrics(m))
+	}
+	return ebsp.NewEngine(store, eopts...)
+}
+
+func genGraph(t *testing.T, v, e int, seed int64) *workload.DirectedGraph {
+	t.Helper()
+	g, err := workload.PowerLawDirected(rand.New(rand.NewSource(seed)), v, e, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func maxRelErr(t *testing.T, got map[int]float64, want []float64) float64 {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("rank count = %d, want %d", len(got), len(want))
+	}
+	worst := 0.0
+	for v, w := range want {
+		g, ok := got[v]
+		if !ok {
+			t.Fatalf("vertex %d missing from results", v)
+		}
+		den := math.Abs(w)
+		if den < 1e-300 {
+			den = 1e-300
+		}
+		if rel := math.Abs(g-w) / den; rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+func TestDirectMatchesReference(t *testing.T) {
+	g := genGraph(t, 400, 3000, 1)
+	e := newEngine(t, nil)
+	tab, err := LoadGraph(e.Store(), "graph", g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{GraphTable: "graph", Iterations: 8}
+	res, err := RunDirect(e, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 9 {
+		t.Errorf("direct variant Steps = %d, want 9 (bootstrap + one per iteration)", res.Steps)
+	}
+	got, err := ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(g, 0.85, 8)
+	if rel := maxRelErr(t, got, want); rel > 1e-9 {
+		t.Errorf("max relative error vs reference = %g", rel)
+	}
+}
+
+func TestMapReduceMatchesReference(t *testing.T) {
+	g := genGraph(t, 400, 3000, 1)
+	e := newEngine(t, nil)
+	tab, err := LoadGraph(e.Store(), "graph", g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SeedRanks(tab); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := RunMapReduce(e, Config{GraphTable: "graph", Iterations: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Steps != 16 {
+		t.Errorf("MR variant Steps = %d, want 16 (two per iteration)", sum.Steps)
+	}
+	got, err := ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(g, 0.85, 8)
+	if rel := maxRelErr(t, got, want); rel > 1e-9 {
+		t.Errorf("max relative error vs reference = %g", rel)
+	}
+}
+
+func TestVariantsAgree(t *testing.T) {
+	g := genGraph(t, 300, 2500, 9)
+
+	eD := newEngine(t, nil)
+	tabD, _ := LoadGraph(eD.Store(), "g", g, 6)
+	if _, err := RunDirect(eD, Config{GraphTable: "g", Iterations: 6}); err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := ReadRanks(tabD)
+
+	eM := newEngine(t, nil)
+	tabM, _ := LoadGraph(eM.Store(), "g", g, 6)
+	_ = SeedRanks(tabM)
+	if _, err := RunMapReduce(eM, Config{GraphTable: "g", Iterations: 6}); err != nil {
+		t.Fatal(err)
+	}
+	mr, _ := ReadRanks(tabM)
+
+	for v, dv := range direct {
+		if math.Abs(dv-mr[v]) > 1e-10 {
+			t.Errorf("vertex %d: direct %g vs mr %g", v, dv, mr[v])
+		}
+	}
+}
+
+func TestRanksSumToOne(t *testing.T) {
+	g := genGraph(t, 500, 4000, 3)
+	e := newEngine(t, nil)
+	tab, _ := LoadGraph(e.Store(), "g", g, 6)
+	if _, err := RunDirect(e, Config{GraphTable: "g", Iterations: 10}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadRanks(tab)
+	sum := 0.0
+	for _, r := range got {
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %g, want 1", sum)
+	}
+}
+
+func TestDanglingVertices(t *testing.T) {
+	// A graph where one vertex has no outgoing edges at all.
+	g := &workload.DirectedGraph{
+		NumVertices: 3,
+		Out: [][]int32{
+			{1, 2},
+			{2},
+			{}, // dangling
+		},
+	}
+	e := newEngine(t, nil)
+	tab, _ := LoadGraph(e.Store(), "g", g, 2)
+	if _, err := RunDirect(e, Config{GraphTable: "g", Iterations: 12}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadRanks(tab)
+	want := Reference(g, 0.85, 12)
+	if rel := maxRelErr(t, got, want); rel > 1e-9 {
+		t.Errorf("dangling handling diverges from reference: %g", rel)
+	}
+	sum := got[0] + got[1] + got[2]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("ranks sum to %g", sum)
+	}
+}
+
+func TestDirectHasFewerBarriersAndIO(t *testing.T) {
+	// The architectural claim behind Table I: the direct variant does half
+	// the synchronization rounds and avoids per-iteration table I/O.
+	g := genGraph(t, 200, 1500, 5)
+
+	mD := &metrics.Collector{}
+	eD := newEngine(t, mD)
+	_, _ = LoadGraph(eD.Store(), "g", g, 6)
+	base := mD.Snapshot()
+	if _, err := RunDirect(eD, Config{GraphTable: "g", Iterations: 6}); err != nil {
+		t.Fatal(err)
+	}
+	direct := mD.Snapshot().Sub(base)
+
+	mM := &metrics.Collector{}
+	eM := newEngine(t, mM)
+	tabM, _ := LoadGraph(eM.Store(), "g", g, 6)
+	_ = SeedRanks(tabM)
+	baseM := mM.Snapshot()
+	if _, err := RunMapReduce(eM, Config{GraphTable: "g", Iterations: 6}); err != nil {
+		t.Fatal(err)
+	}
+	mr := mM.Snapshot().Sub(baseM)
+
+	if direct.Barriers != 7 || mr.Barriers != 12 {
+		t.Errorf("barriers: direct %d (want iterations+1 = 7), mr %d (want 2*iterations = 12)",
+			direct.Barriers, mr.Barriers)
+	}
+	if direct.StorePuts >= mr.StorePuts {
+		t.Errorf("store puts: direct %d, mr %d — direct must do less I/O", direct.StorePuts, mr.StorePuts)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := newEngine(t, nil)
+	cases := []Config{
+		{GraphTable: "g", Iterations: 0},
+		{GraphTable: "g", Iterations: 3, Damping: 1.5},
+		{GraphTable: "", Iterations: 3},
+	}
+	for _, cfg := range cases {
+		if _, err := RunDirect(e, cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("cfg %+v: err = %v", cfg, err)
+		}
+	}
+	if _, err := RunDirect(e, Config{GraphTable: "absent", Iterations: 1}); err == nil {
+		t.Error("missing table accepted")
+	}
+}
+
+func TestRestartFromRankedTable(t *testing.T) {
+	// The enhanced table left by one run can seed another run.
+	g := genGraph(t, 100, 600, 2)
+	e := newEngine(t, nil)
+	tab, _ := LoadGraph(e.Store(), "g", g, 6)
+	if _, err := RunDirect(e, Config{GraphTable: "g", Iterations: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDirect(e, Config{GraphTable: "g", Iterations: 3}); err != nil {
+		t.Fatalf("second run over ranked table: %v", err)
+	}
+	got, err := ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Errorf("ranks = %d", len(got))
+	}
+}

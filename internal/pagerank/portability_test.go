@@ -1,0 +1,79 @@
+package pagerank
+
+import (
+	"testing"
+
+	"ripple/internal/diskstore"
+	"ripple/internal/ebsp"
+	"ripple/internal/gridstore"
+	"ripple/internal/kvstore"
+)
+
+// TestDirectOnGridstore and TestDirectOnDiskstore prove the evaluation app
+// runs unchanged on every store behind the SPI.
+func TestDirectOnGridstore(t *testing.T) {
+	g := genGraph(t, 150, 900, 41)
+	store := gridstore.New(gridstore.WithParts(6))
+	t.Cleanup(func() { _ = store.Close() })
+	e := ebsp.NewEngine(store)
+	tab, err := LoadGraph(store, "g", g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDirect(e, Config{GraphTable: "g", Iterations: 5}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(g, 0.85, 5)
+	if rel := maxRelErr(t, got, want); rel > 1e-9 {
+		t.Errorf("gridstore relative error = %g", rel)
+	}
+}
+
+func TestDirectOnDiskstore(t *testing.T) {
+	g := genGraph(t, 120, 700, 43)
+	dir := t.TempDir()
+	store, err := diskstore.New(dir, diskstore.WithParts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = store.Close() })
+	e := ebsp.NewEngine(store)
+	tab, err := LoadGraph(store, "g", g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunDirect(e, Config{GraphTable: "g", Iterations: 4}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Reference(g, 0.85, 4)
+	if rel := maxRelErr(t, got, want); rel > 1e-9 {
+		t.Errorf("diskstore relative error = %g", rel)
+	}
+	// The ranked table is durable: reopen and read it back.
+	_ = store.Close()
+	store2, err := diskstore.New(dir, diskstore.WithParts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = store2.Close() }()
+	tab2, err := store2.CreateTable("g", kvstore.WithParts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := map[int]float64{}
+	pairs, _ := kvstore.Dump(tab2)
+	for k, v := range pairs {
+		got2[k.(int)] = v.(Ranked).Rank
+	}
+	if rel := maxRelErr(t, got2, want); rel > 1e-9 {
+		t.Errorf("reopened ranks error = %g", rel)
+	}
+}

@@ -1,0 +1,80 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/ebsp"
+	"ripple/internal/gridstore"
+	"ripple/internal/workload"
+)
+
+// TestSelectiveOnGridstore runs the selective variant on the WXS-like store,
+// proving the application is store-portable.
+func TestSelectiveOnGridstore(t *testing.T) {
+	g := genGraph(t, 200, 900, 31)
+	store := gridstore.New(gridstore.WithParts(6))
+	t.Cleanup(func() { _ = store.Close() })
+	drv := NewSelective(ebsp.NewEngine(store), "sel", 0, 6)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := drv.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "gridstore selective", got, g, 0)
+
+	batch := workload.ChangeBatch(rand.New(rand.NewSource(1)), 200, 60, 1.3, 0.5)
+	for _, c := range batch {
+		g.Apply(c)
+	}
+	if _, err := drv.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = drv.Distances()
+	checkAgainstReference(t, "gridstore selective after batch", got, g, 0)
+}
+
+// TestIncrementalEqualsRecomputeProperty: after any random change batch, the
+// incrementally maintained annotations equal a from-scratch BFS.
+func TestIncrementalEqualsRecomputeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vertices := 40 + rng.Intn(120)
+		edges := vertices + rng.Intn(vertices*3)
+		g, err := workload.PowerLawUndirected(rng, vertices, edges, 1.3)
+		if err != nil {
+			return true // too-dense request; not this property's concern
+		}
+		e := newEngine(t, nil)
+		drv := NewSelective(e, "p_sel", 0, 4)
+		if err := drv.Init(cloneGraph(g)); err != nil {
+			return false
+		}
+		for b := 0; b < 3; b++ {
+			batch := workload.ChangeBatch(rng, vertices, 10+rng.Intn(30), 1.3, rng.Float64())
+			for _, c := range batch {
+				g.Apply(c)
+			}
+			if _, err := drv.ApplyBatch(batch); err != nil {
+				return false
+			}
+			got, err := drv.Distances()
+			if err != nil {
+				return false
+			}
+			want := ReferenceDistances(g, 0)
+			for v, w := range want {
+				if got[v] != w {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,315 @@
+package sssp
+
+import (
+	"fmt"
+	"sort"
+
+	"ripple/internal/ebsp"
+	"ripple/internal/kvstore"
+	"ripple/internal/workload"
+)
+
+// SelState is the selective variant's per-vertex state: two int arrays of
+// the same length — one holds the ID of each neighbor, the other the
+// distance value most recently received from that neighbor — plus the
+// vertex's own annotation. The cache is what makes incrementality possible:
+// a vertex need not hear from every neighbor in each iteration.
+type SelState struct {
+	Nbrs    []int32
+	NbrDist []int32
+	Dist    int32
+}
+
+// distMsg is the selective variant's message: the sender's ID as well as its
+// current distance value. The job has no combiner.
+type distMsg struct {
+	From int32
+	Dist int32
+}
+
+// Selective maintains distances with the selective-enablement variant.
+type Selective struct {
+	engine *ebsp.Engine
+	table  string
+	source int
+	parts  int
+}
+
+// NewSelective creates a driver; Init must be called before ApplyBatch.
+func NewSelective(engine *ebsp.Engine, table string, source, parts int) *Selective {
+	return &Selective{engine: engine, table: table, source: source, parts: parts}
+}
+
+// Init loads the graph's structure into the state table (all annotations
+// +∞, caches empty) and computes the initial distance values with one
+// breadth-first wave from the source.
+func (s *Selective) Init(g *workload.UndirectedGraph) error {
+	if err := checkSource(s.source, g.NumVertices); err != nil {
+		return err
+	}
+	opts := []kvstore.TableOption{}
+	if s.parts > 0 {
+		opts = append(opts, kvstore.WithParts(s.parts))
+	}
+	tab, err := s.engine.Store().CreateTable(s.table, opts...)
+	if err != nil {
+		return err
+	}
+	for u := 0; u < g.NumVertices; u++ {
+		nbrs := g.Neighbors(u)
+		cache := make([]int32, len(nbrs))
+		for i := range cache {
+			cache[i] = Inf
+		}
+		if err := tab.Put(u, SelState{Nbrs: nbrs, NbrDist: cache, Dist: Inf}); err != nil {
+			return err
+		}
+	}
+	_, err = s.runWave(waveDecrease, []any{s.source}, nil)
+	return err
+}
+
+// Distances reads all current annotations.
+func (s *Selective) Distances() (map[int]int32, error) {
+	tab, ok := s.engine.Store().LookupTable(s.table)
+	if !ok {
+		return nil, fmt.Errorf("sssp: table %q missing", s.table)
+	}
+	pairs, err := kvstore.Dump(tab)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]int32, len(pairs))
+	for k, v := range pairs {
+		out[k.(int)] = v.(SelState).Dist
+	}
+	return out, nil
+}
+
+// ApplyBatch applies one batch of primitive changes to the stored graph and
+// updates the distance annotations (one wave, or two when the batch deletes
+// edges).
+func (s *Selective) ApplyBatch(batch []workload.Change) (*BatchStats, error) {
+	tab, ok := s.engine.Store().LookupTable(s.table)
+	if !ok {
+		return nil, fmt.Errorf("sssp: table %q missing", s.table)
+	}
+	stats := &BatchStats{}
+	wave1Seeds := map[int]bool{}
+	wave2Seeds := map[int]bool{}
+	for _, c := range batch {
+		if c.U == c.V || c.U < 0 || c.V < 0 {
+			continue
+		}
+		switch c.Kind {
+		case workload.AddEdge:
+			applied, err := s.addEdge(tab, c.U, c.V)
+			if err != nil {
+				return nil, err
+			}
+			if applied {
+				stats.Applied++
+				wave2Seeds[c.U] = true
+				wave2Seeds[c.V] = true
+			}
+		case workload.RemoveEdge:
+			applied, err := s.removeEdge(tab, c.U, c.V)
+			if err != nil {
+				return nil, err
+			}
+			if applied {
+				stats.Applied++
+				stats.HardCase = true
+				wave1Seeds[c.U] = true
+				wave1Seeds[c.V] = true
+			}
+		}
+	}
+
+	if stats.HardCase {
+		invalidated := &ebsp.CollectExporter{}
+		res, err := s.runWave(waveInvalidate, keysOf(wave1Seeds), invalidated)
+		if err != nil {
+			return nil, err
+		}
+		stats.Steps += res.Steps
+		stats.Jobs++
+		stats.Invalidated = invalidated.Len()
+		for k := range invalidated.Pairs() {
+			wave2Seeds[k.(int)] = true
+		}
+	}
+	if len(wave2Seeds) > 0 {
+		res, err := s.runWave(waveDecrease, keysOf(wave2Seeds), nil)
+		if err != nil {
+			return nil, err
+		}
+		stats.Steps += res.Steps
+		stats.Jobs++
+	}
+	return stats, nil
+}
+
+func keysOf(set map[int]bool) []any {
+	ks := make([]int, 0, len(set))
+	for k := range set {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	out := make([]any, len(ks))
+	for i, k := range ks {
+		out[i] = k
+	}
+	return out
+}
+
+// addEdge inserts {u, v}, seeding each endpoint's cache with the other's
+// current annotation. It reports whether the edge was new.
+func (s *Selective) addEdge(tab kvstore.Table, u, v int) (bool, error) {
+	su, ok, err := s.state(tab, u)
+	if err != nil || !ok {
+		return false, err
+	}
+	sv, ok, err := s.state(tab, v)
+	if err != nil || !ok {
+		return false, err
+	}
+	if indexOf(su.Nbrs, int32(v)) >= 0 {
+		return false, nil // already present
+	}
+	su.Nbrs = append(su.Nbrs, int32(v))
+	su.NbrDist = append(su.NbrDist, sv.Dist)
+	sv.Nbrs = append(sv.Nbrs, int32(u))
+	sv.NbrDist = append(sv.NbrDist, su.Dist)
+	if err := tab.Put(u, su); err != nil {
+		return false, err
+	}
+	if err := tab.Put(v, sv); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// removeEdge deletes {u, v} from both endpoints' arrays.
+func (s *Selective) removeEdge(tab kvstore.Table, u, v int) (bool, error) {
+	su, ok, err := s.state(tab, u)
+	if err != nil || !ok {
+		return false, err
+	}
+	iu := indexOf(su.Nbrs, int32(v))
+	if iu < 0 {
+		return false, nil
+	}
+	sv, ok, err := s.state(tab, v)
+	if err != nil || !ok {
+		return false, err
+	}
+	iv := indexOf(sv.Nbrs, int32(u))
+	su.Nbrs = cut(su.Nbrs, iu)
+	su.NbrDist = cut(su.NbrDist, iu)
+	if iv >= 0 {
+		sv.Nbrs = cut(sv.Nbrs, iv)
+		sv.NbrDist = cut(sv.NbrDist, iv)
+	}
+	if err := tab.Put(u, su); err != nil {
+		return false, err
+	}
+	if err := tab.Put(v, sv); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func (s *Selective) state(tab kvstore.Table, u int) (SelState, bool, error) {
+	raw, ok, err := tab.Get(u)
+	if err != nil || !ok {
+		return SelState{}, false, err
+	}
+	return raw.(SelState), true, nil
+}
+
+func indexOf(xs []int32, x int32) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func cut(xs []int32, i int) []int32 {
+	out := make([]int32, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+// runWave runs one selective update wave as one EBSP job: only the seed
+// vertices — and whatever their updates ripple into — are ever invoked.
+func (s *Selective) runWave(wave int, seeds []any, invalidated *ebsp.CollectExporter) (*ebsp.Result, error) {
+	job := &ebsp.Job{
+		Name:        fmt.Sprintf("sssp.selective.w%d", wave),
+		StateTables: []string{s.table},
+		Compute:     &selCompute{wave: wave, source: int32(s.source)},
+		Loaders:     []ebsp.Loader{&ebsp.EnableLoader{Keys: seeds}},
+	}
+	if invalidated != nil {
+		job.DirectOutput = invalidated
+	}
+	return s.engine.Run(job)
+}
+
+// selCompute is the selective variant's component function: apply incoming
+// (sender, distance) messages to the neighbor-distance array, recompute the
+// annotation, and propagate only if it changed.
+type selCompute struct {
+	wave   int
+	source int32
+}
+
+func (sc *selCompute) Compute(ctx *ebsp.Context) bool {
+	raw, ok := ctx.ReadState(0)
+	if !ok {
+		return false
+	}
+	st := raw.(SelState)
+	stateChanged := false
+	for _, m := range ctx.InputMessages() {
+		dm := m.(distMsg)
+		if i := indexOf(st.Nbrs, dm.From); i >= 0 && st.NbrDist[i] != dm.Dist {
+			st.NbrDist[i] = dm.Dist
+			stateChanged = true
+		}
+	}
+
+	vid := int32(ctx.Key().(int))
+	newDist := st.Dist
+	switch sc.wave {
+	case waveInvalidate:
+		// Raise to +∞ when no remaining neighbor supports the annotation.
+		if vid != sc.source && !supported(st.NbrDist, st.Dist) {
+			newDist = Inf
+		}
+	case waveDecrease:
+		if vid == sc.source {
+			newDist = 0
+		} else if m := minNeighbor(st.NbrDist); m < Inf && m+1 < newDist {
+			newDist = m + 1
+		}
+	}
+
+	if newDist != st.Dist {
+		st.Dist = newDist
+		stateChanged = true
+		// A distance update is sent out along all the incident edges.
+		for _, nbr := range st.Nbrs {
+			ctx.Send(int(nbr), distMsg{From: vid, Dist: newDist})
+		}
+		if sc.wave == waveInvalidate && newDist >= Inf {
+			ctx.DirectOutput(ctx.Key(), struct{}{})
+		}
+	}
+	if stateChanged {
+		ctx.WriteState(0, st)
+	}
+	return false
+}

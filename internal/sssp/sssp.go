@@ -1,0 +1,120 @@
+// Package sssp implements the paper's incremental single-source-shortest-
+// paths evaluation (§V-C): maintaining, on a time-varying undirected graph,
+// each vertex's hop distance from a distinguished source, updating the
+// annotations after each small batch of primitive changes.
+//
+// Two variants are implemented. The selective-enablement variant exploits
+// EBSP: each vertex caches the distance last received from each neighbor, so
+// after a change batch only the affected vertices (and the ripple they cause)
+// ever run. The full-scan variant is the MapReduce-style computation: each
+// update wave is a series of two-step MapReduce-like jobs, every one of which
+// scans the whole graph.
+//
+// If a batch includes no edge deletions the solution is updated by one wave
+// of breadth-first updates; otherwise it is two waves — the first updates to
+// +∞ every distance annotation that depended critically on a now-removed
+// edge, the second decreases annotations that are higher than justified by
+// their neighbors' values.
+package sssp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"ripple/internal/codec"
+	"ripple/internal/workload"
+)
+
+// Inf is the "unreachable" distance annotation (+∞ in the paper).
+const Inf int32 = math.MaxInt32 / 2
+
+// ErrBadConfig is returned for invalid driver configurations.
+var ErrBadConfig = errors.New("sssp: invalid config")
+
+// waves of the update method.
+const (
+	waveInvalidate = 1 // raise unsupported annotations to +∞
+	waveDecrease   = 2 // lower annotations justified by neighbors
+)
+
+// BatchStats reports the work one change batch caused.
+type BatchStats struct {
+	// Applied counts changes that actually modified the graph; the rest of
+	// the batch were no-ops (expected, per the paper's generator).
+	Applied int
+	// HardCase reports whether the batch included an actual edge deletion
+	// (requiring the two-wave update).
+	HardCase bool
+	// Steps is the total BSP steps across the update jobs.
+	Steps int
+	// Jobs is the number of EBSP jobs launched.
+	Jobs int
+	// Invalidated counts annotations raised to +∞ by the first wave.
+	Invalidated int
+}
+
+func init() {
+	codec.Register(SelState{})
+	codec.Register(FsState{})
+	codec.Register(distMsg{})
+	codec.Register(fsMsg{})
+	codec.Register(int32(0))
+}
+
+// ReferenceDistances computes hop distances by breadth-first search, for
+// verification.
+func ReferenceDistances(g *workload.UndirectedGraph, src int) []int32 {
+	dist := make([]int32, g.NumVertices)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	if src < 0 || src >= g.NumVertices {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.Adj[u] {
+			if dist[v] > dist[u]+1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, int(v))
+			}
+		}
+	}
+	return dist
+}
+
+// minNeighbor returns the smallest cached neighbor distance.
+func minNeighbor(cache []int32) int32 {
+	best := Inf
+	for _, d := range cache {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// supported reports whether distance d is justified by some cached neighbor
+// at distance d-1.
+func supported(cache []int32, d int32) bool {
+	if d == 0 || d >= Inf {
+		return true // the source, or already unreachable
+	}
+	for _, nd := range cache {
+		if nd == d-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func checkSource(src, n int) error {
+	if src < 0 || (n > 0 && src >= n) {
+		return fmt.Errorf("%w: source %d of %d vertices", ErrBadConfig, src, n)
+	}
+	return nil
+}

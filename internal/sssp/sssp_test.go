@@ -1,0 +1,346 @@
+package sssp
+
+import (
+	"math/rand"
+	"testing"
+
+	"ripple/internal/ebsp"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/workload"
+)
+
+func newEngine(t *testing.T, m *metrics.Collector) *ebsp.Engine {
+	t.Helper()
+	opts := []memstore.Option{memstore.WithParts(6)}
+	if m != nil {
+		opts = append(opts, memstore.WithMetrics(m))
+	}
+	store := memstore.New(opts...)
+	t.Cleanup(func() { _ = store.Close() })
+	eopts := []ebsp.Option{}
+	if m != nil {
+		eopts = append(eopts, ebsp.WithMetrics(m))
+	}
+	return ebsp.NewEngine(store, eopts...)
+}
+
+func genGraph(t *testing.T, v, e int, seed int64) *workload.UndirectedGraph {
+	t.Helper()
+	g, err := workload.PowerLawUndirected(rand.New(rand.NewSource(seed)), v, e, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func checkAgainstReference(t *testing.T, label string, got map[int]int32, g *workload.UndirectedGraph, src int) {
+	t.Helper()
+	want := ReferenceDistances(g, src)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d annotations, want %d", label, len(got), len(want))
+	}
+	bad := 0
+	for v, w := range want {
+		if got[v] != w {
+			if bad < 5 {
+				t.Errorf("%s: d(%d) = %d, want %d", label, v, got[v], w)
+			}
+			bad++
+		}
+	}
+	if bad > 0 {
+		t.Fatalf("%s: %d wrong annotations", label, bad)
+	}
+}
+
+func TestReferenceBFS(t *testing.T) {
+	g := workload.NewUndirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(0, 4)
+	// 5 is isolated.
+	d := ReferenceDistances(g, 0)
+	want := []int32{0, 1, 2, 3, 1, Inf}
+	for i, w := range want {
+		if d[i] != w {
+			t.Errorf("d[%d] = %d, want %d", i, d[i], w)
+		}
+	}
+}
+
+func TestSelectiveInit(t *testing.T) {
+	g := genGraph(t, 300, 1500, 1)
+	e := newEngine(t, nil)
+	drv := NewSelective(e, "sel", 7, 6)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := drv.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "selective init", got, g, 7)
+}
+
+func TestFullScanInit(t *testing.T) {
+	g := genGraph(t, 300, 1500, 1)
+	e := newEngine(t, nil)
+	drv := NewFullScan(e, "fs", 7, 6)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := drv.Distances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "full-scan init", got, g, 7)
+}
+
+func TestSelectiveAdditionsOnly(t *testing.T) {
+	g := genGraph(t, 200, 800, 2)
+	e := newEngine(t, nil)
+	drv := NewSelective(e, "sel", 0, 6)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	batch := []workload.Change{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		batch = append(batch, workload.Change{
+			Kind: workload.AddEdge, U: rng.Intn(200), V: rng.Intn(200),
+		})
+	}
+	for _, c := range batch {
+		g.Apply(c)
+	}
+	stats, err := drv.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.HardCase {
+		t.Error("additions-only batch flagged as hard case")
+	}
+	if stats.Jobs > 1 {
+		t.Errorf("additions-only batch used %d jobs, want <= 1 (one wave)", stats.Jobs)
+	}
+	got, _ := drv.Distances()
+	checkAgainstReference(t, "selective adds", got, g, 0)
+}
+
+func TestSelectiveDeletionsTwoWaves(t *testing.T) {
+	g := genGraph(t, 200, 900, 4)
+	e := newEngine(t, nil)
+	drv := NewSelective(e, "sel", 0, 6)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	// Remove a slice of existing edges (guaranteed hard case).
+	batch := []workload.Change{}
+	removed := 0
+	for u := 0; u < g.NumVertices && removed < 30; u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u {
+				batch = append(batch, workload.Change{Kind: workload.RemoveEdge, U: u, V: int(v)})
+				removed++
+				break
+			}
+		}
+	}
+	for _, c := range batch {
+		g.Apply(c)
+	}
+	stats, err := drv.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.HardCase {
+		t.Error("deletion batch not flagged hard")
+	}
+	if stats.Jobs != 2 {
+		t.Errorf("hard case used %d jobs, want 2 (two waves)", stats.Jobs)
+	}
+	got, _ := drv.Distances()
+	checkAgainstReference(t, "selective deletes", got, g, 0)
+}
+
+func TestDisconnectionGoesToInf(t *testing.T) {
+	// Cutting the only bridge makes a whole region unreachable.
+	g := workload.NewUndirected(6)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2) // bridge
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 2)
+	e := newEngine(t, nil)
+	drv := NewSelective(e, "sel", 0, 3)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	batch := []workload.Change{{Kind: workload.RemoveEdge, U: 1, V: 2}}
+	g.Apply(batch[0])
+	stats, err := drv.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Invalidated != 3 {
+		t.Errorf("Invalidated = %d, want 3 (the cycle 2,3,4)", stats.Invalidated)
+	}
+	got, _ := drv.Distances()
+	checkAgainstReference(t, "disconnection", got, g, 0)
+}
+
+func TestCycleInvalidationNoCountToInfinity(t *testing.T) {
+	// The classic distance-vector trap: a cycle whose members mutually
+	// "support" stale values. The two-wave method must invalidate the whole
+	// ring and then recover only what a real path justifies.
+	g := workload.NewUndirected(10)
+	g.AddEdge(0, 1) // source side
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 2) // ring 2-3-4-5
+	e := newEngine(t, nil)
+	drv := NewSelective(e, "sel", 0, 3)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	batch := []workload.Change{{Kind: workload.RemoveEdge, U: 1, V: 2}}
+	g.Apply(batch[0])
+	if _, err := drv.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := drv.Distances()
+	checkAgainstReference(t, "ring cut", got, g, 0)
+	for _, v := range []int{2, 3, 4, 5} {
+		if got[v] != Inf {
+			t.Errorf("d(%d) = %d, want Inf (count-to-infinity not prevented)", v, got[v])
+		}
+	}
+}
+
+func TestVariantsAgreeOverRandomBatches(t *testing.T) {
+	// The §V-C experiment shape: ten batches of random changes; after each,
+	// both variants must agree with the BFS reference.
+	const vertices, edges, batches, batchSize = 150, 600, 10, 40
+	g := genGraph(t, vertices, edges, 7)
+	gSel := cloneGraph(g)
+	gFs := cloneGraph(g)
+
+	eSel := newEngine(t, nil)
+	sel := NewSelective(eSel, "sel", 0, 6)
+	if err := sel.Init(gSel); err != nil {
+		t.Fatal(err)
+	}
+	eFs := newEngine(t, nil)
+	fs := NewFullScan(eFs, "fs", 0, 6)
+	if err := fs.Init(gFs); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for b := 0; b < batches; b++ {
+		batch := workload.ChangeBatch(rng, vertices, batchSize, 1.3, 0.4)
+		for _, c := range batch {
+			g.Apply(c)
+		}
+		if _, err := sel.ApplyBatch(batch); err != nil {
+			t.Fatalf("batch %d selective: %v", b, err)
+		}
+		if _, err := fs.ApplyBatch(batch); err != nil {
+			t.Fatalf("batch %d full-scan: %v", b, err)
+		}
+		gotSel, _ := sel.Distances()
+		gotFs, _ := fs.Distances()
+		checkAgainstReference(t, "selective", gotSel, g, 0)
+		checkAgainstReference(t, "full-scan", gotFs, g, 0)
+	}
+}
+
+func cloneGraph(g *workload.UndirectedGraph) *workload.UndirectedGraph {
+	out := workload.NewUndirected(g.NumVertices)
+	for u := 0; u < g.NumVertices; u++ {
+		for _, v := range g.Neighbors(u) {
+			out.AddEdge(u, int(v))
+		}
+	}
+	return out
+}
+
+func TestSelectiveTouchesFarFewerComponents(t *testing.T) {
+	// The architectural claim behind the §V-C result: for a small batch the
+	// selective variant's compute invocations are a tiny fraction of the
+	// full-scan variant's.
+	const vertices, edges = 400, 2500
+	g := genGraph(t, vertices, edges, 11)
+
+	mSel := &metrics.Collector{}
+	eSel := newEngine(t, mSel)
+	sel := NewSelective(eSel, "sel", 0, 6)
+	if err := sel.Init(cloneGraph(g)); err != nil {
+		t.Fatal(err)
+	}
+	mFs := &metrics.Collector{}
+	eFs := newEngine(t, mFs)
+	fs := NewFullScan(eFs, "fs", 0, 6)
+	if err := fs.Init(cloneGraph(g)); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := workload.ChangeBatch(rand.New(rand.NewSource(5)), vertices, 10, 1.3, 0.5)
+	baseSel := mSel.Snapshot()
+	if _, err := sel.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	selWork := mSel.Snapshot().Sub(baseSel).ComputeInvocations
+
+	baseFs := mFs.Snapshot()
+	if _, err := fs.ApplyBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	fsWork := mFs.Snapshot().Sub(baseFs).ComputeInvocations
+
+	if fsWork == 0 {
+		t.Skip("batch was all no-ops")
+	}
+	if selWork*4 > fsWork {
+		t.Errorf("selective did %d invocations vs full-scan %d — expected far fewer", selWork, fsWork)
+	}
+}
+
+func TestNoopBatch(t *testing.T) {
+	g := genGraph(t, 100, 300, 13)
+	e := newEngine(t, nil)
+	drv := NewSelective(e, "sel", 0, 6)
+	if err := drv.Init(g); err != nil {
+		t.Fatal(err)
+	}
+	// Removing absent edges and re-adding present ones: all no-ops.
+	batch := []workload.Change{}
+	for u := 0; u < 10; u++ {
+		nbrs := g.Neighbors(u)
+		if len(nbrs) > 0 {
+			batch = append(batch, workload.Change{Kind: workload.AddEdge, U: u, V: int(nbrs[0])})
+		}
+	}
+	stats, err := drv.ApplyBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Applied != 0 || stats.Jobs != 0 {
+		t.Errorf("no-op batch: %+v", stats)
+	}
+}
+
+func TestBadSource(t *testing.T) {
+	g := genGraph(t, 50, 100, 17)
+	e := newEngine(t, nil)
+	if err := NewSelective(e, "s1", -1, 4).Init(g); err == nil {
+		t.Error("negative source accepted")
+	}
+	if err := NewFullScan(e, "s2", 50, 4).Init(g); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package summa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ripple/internal/matrix"
+	"ripple/internal/memstore"
+)
+
+// TestMultiplyCorrectnessProperty: random matrix shapes, grid sizes, and
+// execution modes all yield the direct product.
+func TestMultiplyCorrectnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := 2 + rng.Intn(3)
+		rows := g + rng.Intn(20) + g
+		inner := g + rng.Intn(20) + g
+		cols := g + rng.Intn(20) + g
+		synchronized := rng.Intn(2) == 0
+
+		a := matrix.Random(rng, rows, inner)
+		b := matrix.Random(rng, inner, cols)
+		store := memstore.New(memstore.WithParts(g * g))
+		defer func() { _ = store.Close() }()
+		out, err := Multiply(store, Config{Grid: g, Synchronized: synchronized}, a, b)
+		if err != nil {
+			return false
+		}
+		direct, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		return out.C.EqualWithin(direct, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleTotalsProperty: the pacing model always schedules exactly G³
+// multiplications, in at most the serial bound of steps.
+func TestScheduleTotalsProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		g := 2 + int(raw)%7
+		sched := Schedule(g)
+		total := 0
+		for _, c := range sched {
+			total += c
+		}
+		if total != g*g*g {
+			return false
+		}
+		// Never slower than fully serial execution, never faster than the
+		// per-component minimum of G steps.
+		return len(sched) >= g && len(sched) <= g*g*g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,454 @@
+// Package summa implements matrix multiplication according to the
+// communication/computation pattern of the original SUMMA paper, moved onto
+// the (extended) BSP model as the paper's §V-B evaluation does.
+//
+// C ← A × B with all three matrices decomposed into a G×G grid of blocks
+// stored in the same G² components. Each block of A is multicast through its
+// grid row and each block of B through its grid column — pipelined as
+// point-to-point sends from one grid point to the next, interleaved with the
+// block multiplications, in an order consistent with original SUMMA. The
+// per-component BSP state holds the running total for C.
+//
+// Under synchronized execution the paper's pacing rules apply: per step a
+// component does no more than one block multiply and sends no more than one
+// block in a given direction (so blocks do not pile up), and otherwise does
+// as much work as allowed. For a 3×3 grid this yields exactly the Table II
+// schedule: multiplications per step 1,3,6,3,6,3,5 — a 7/3 slowdown over
+// the 3 multiplications any single component performs.
+//
+// The computation does not actually need the barriers: because components
+// follow the SUMMA pattern and Ripple preserves per-(sender,receiver) message
+// order, removing synchronization (the job is incremental, so the engine
+// runs it on a queue set) lets every component deal with blocks as they
+// arrive. That is the paper's 90 s → 51 s improvement.
+package summa
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/codec"
+	"ripple/internal/ebsp"
+	"ripple/internal/kvstore"
+	"ripple/internal/matrix"
+	"ripple/internal/metrics"
+	"ripple/internal/mq"
+)
+
+// ErrBadConfig is returned for invalid configurations.
+var ErrBadConfig = errors.New("summa: invalid config")
+
+// Config parameterizes one SUMMA multiplication.
+type Config struct {
+	// Grid is G: the matrices are decomposed into G×G blocks (the paper
+	// evaluates G = 3).
+	Grid int
+	// Synchronized selects BSPified execution with barriers; false removes
+	// them (the §V-B comparison).
+	Synchronized bool
+	// StateTable names the component-state table; a private default is used
+	// when empty.
+	StateTable string
+	// Metrics optionally collects engine counters.
+	Metrics *metrics.Collector
+	// Latency is the emulated network latency applied to the message-queue
+	// layer used by no-sync execution. Pair it with the same latency on the
+	// store (memstore/gridstore WithLatency) so both execution modes pay
+	// identical per-hop costs; on a single-core host this is what makes the
+	// barrier-removal benefit visible in wall-clock time.
+	Latency time.Duration
+}
+
+// Outcome reports one multiplication.
+type Outcome struct {
+	// C is the assembled product.
+	C matrix.Dense
+	// Result is the underlying EBSP result.
+	Result *ebsp.Result
+	// MultsPerStep is the Table II series — block multiplications performed
+	// in each step (synchronized mode only; nil otherwise).
+	MultsPerStep []int
+}
+
+// compState is one grid component's private state: the running total for C
+// plus the SUMMA bookkeeping.
+type compState struct {
+	C       matrix.Dense
+	ABlocks map[int]matrix.Dense // held A(i,k) blocks by k
+	BBlocks map[int]matrix.Dense // held B(k,j) blocks by k
+	NextMul int                  // next k to multiply
+	ASent   int                  // index into the A-send schedule
+	BSent   int                  // index into the B-send schedule
+}
+
+// blockMsg carries one block along the pipeline.
+type blockMsg struct {
+	IsA   bool
+	K     int
+	Block matrix.Dense
+}
+
+func init() {
+	codec.Register(compState{})
+	codec.Register(blockMsg{})
+	codec.Register(map[int]matrix.Dense{})
+}
+
+// sendSchedule lists, in ascending k, the A-blocks component (i,j) must
+// forward rightward: every k except the one owned by the right neighbor
+// (there the multicast ring ends). The B schedule is symmetric with i.
+func sendSchedule(g, owner int) []int {
+	out := make([]int, 0, g-1)
+	for k := 0; k < g; k++ {
+		if k != owner {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// compute is the SUMMA component function, shared by both execution modes.
+type compute struct {
+	g     int
+	mults sync.Map // step -> *atomic.Int64, for the Table II series
+}
+
+// Compute implements ebsp.Compute.
+func (sc *compute) Compute(ctx *ebsp.Context) bool {
+	key := ctx.Key().([2]int)
+	i, j := key[0], key[1]
+	g := sc.g
+
+	raw, ok := ctx.ReadState(0)
+	if !ok {
+		return false
+	}
+	st := raw.(compState)
+
+	for _, m := range ctx.InputMessages() {
+		bm := m.(blockMsg)
+		if bm.IsA {
+			st.ABlocks[bm.K] = bm.Block
+		} else {
+			st.BBlocks[bm.K] = bm.Block
+		}
+	}
+
+	// The send schedules: A flows right along row i, B flows down column j.
+	aSched := sendSchedule(g, (j+1)%g) // right neighbor owns A(i, j+1)
+	bSched := sendSchedule(g, (i+1)%g) // down neighbor owns B(i+1, j)
+	right := [2]int{i, (j + 1) % g}
+	down := [2]int{(i + 1) % g, j}
+
+	if ctx.StepNum() == 0 {
+		// No barriers: deal with blocks as they arrive — do everything
+		// currently possible (original SUMMA pipelining).
+		for sc.stepOnce(ctx, &st, aSched, bSched, right, down) {
+		}
+		ctx.WriteState(0, st)
+		return false
+	}
+
+	// Synchronized: at most one multiply and one send per direction per
+	// step (Table II pacing).
+	sc.stepOnce(ctx, &st, aSched, bSched, right, down)
+	ctx.WriteState(0, st)
+	return sc.actionable(&st, aSched, bSched)
+}
+
+// stepOnce performs up to one multiply and one send per direction; it
+// reports whether it did anything.
+func (sc *compute) stepOnce(ctx *ebsp.Context, st *compState, aSched, bSched []int, right, down [2]int) bool {
+	g := sc.g
+	did := false
+
+	if st.NextMul < g {
+		a, haveA := st.ABlocks[st.NextMul]
+		b, haveB := st.BBlocks[st.NextMul]
+		if haveA && haveB {
+			prod, err := a.Mul(b)
+			if err != nil {
+				panic(fmt.Sprintf("summa: block multiply k=%d at %v: %v", st.NextMul, ctx.Key(), err))
+			}
+			if st.C.IsZero() {
+				st.C = prod
+			} else if err := st.C.AddInPlace(prod); err != nil {
+				panic(fmt.Sprintf("summa: accumulate k=%d at %v: %v", st.NextMul, ctx.Key(), err))
+			}
+			st.NextMul++
+			did = true
+			sc.countMult(ctx.StepNum())
+		}
+	}
+	if st.ASent < len(aSched) {
+		k := aSched[st.ASent]
+		if blk, ok := st.ABlocks[k]; ok {
+			ctx.Send(right, blockMsg{IsA: true, K: k, Block: blk})
+			st.ASent++
+			did = true
+		}
+	}
+	if st.BSent < len(bSched) {
+		k := bSched[st.BSent]
+		if blk, ok := st.BBlocks[k]; ok {
+			ctx.Send(down, blockMsg{IsA: false, K: k, Block: blk})
+			st.BSent++
+			did = true
+		}
+	}
+	sc.discard(st, aSched, bSched)
+	return did
+}
+
+// discard drops blocks that have been both multiplied and forwarded (or
+// never needed forwarding), honoring SUMMA's limited-buffering virtue.
+func (sc *compute) discard(st *compState, aSched, bSched []int) {
+	for k := range st.ABlocks {
+		if k < st.NextMul && sentOrSkipped(k, aSched, st.ASent) {
+			delete(st.ABlocks, k)
+		}
+	}
+	for k := range st.BBlocks {
+		if k < st.NextMul && sentOrSkipped(k, bSched, st.BSent) {
+			delete(st.BBlocks, k)
+		}
+	}
+}
+
+// sentOrSkipped reports whether block k needs no further forwarding.
+func sentOrSkipped(k int, sched []int, sent int) bool {
+	for idx, sk := range sched {
+		if sk == k {
+			return idx < sent
+		}
+	}
+	return true // not in the schedule: the neighbor owns it
+}
+
+// actionable reports whether more work could be done right now (without
+// waiting for further arrivals); it is the synchronized continue signal.
+func (sc *compute) actionable(st *compState, aSched, bSched []int) bool {
+	if st.NextMul < sc.g {
+		_, haveA := st.ABlocks[st.NextMul]
+		_, haveB := st.BBlocks[st.NextMul]
+		if haveA && haveB {
+			return true
+		}
+	}
+	if st.ASent < len(aSched) {
+		if _, ok := st.ABlocks[aSched[st.ASent]]; ok {
+			return true
+		}
+	}
+	if st.BSent < len(bSched) {
+		if _, ok := st.BBlocks[bSched[st.BSent]]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *compute) countMult(step int) {
+	v, _ := sc.mults.LoadOrStore(step, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+// multsSeries extracts the per-step multiply counts (steps 1..maxStep).
+func (sc *compute) multsSeries(maxStep int) []int {
+	out := make([]int, maxStep)
+	sc.mults.Range(func(k, v any) bool {
+		step := k.(int)
+		if step >= 1 && step <= maxStep {
+			out[step-1] = int(v.(*atomic.Int64).Load())
+		}
+		return true
+	})
+	return out
+}
+
+// Multiply computes A × B on the store using the SUMMA pattern.
+func Multiply(store kvstore.Store, cfg Config, a, b matrix.Dense) (*Outcome, error) {
+	if cfg.Grid < 2 {
+		return nil, fmt.Errorf("%w: grid %d", ErrBadConfig, cfg.Grid)
+	}
+	if a.Cols != b.Rows {
+		return nil, fmt.Errorf("%w: %dx%d × %dx%d", ErrBadConfig, a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	g := cfg.Grid
+	ga, err := matrix.Partition(a, g, g)
+	if err != nil {
+		return nil, err
+	}
+	gb, err := matrix.Partition(b, g, g)
+	if err != nil {
+		return nil, err
+	}
+	tableName := cfg.StateTable
+	if tableName == "" {
+		tableName = "summa.state"
+	}
+	if _, ok := store.LookupTable(tableName); ok {
+		if err := store.DropTable(tableName); err != nil {
+			return nil, err
+		}
+	}
+
+	// Initial condition: component (i,j) owns A(i,j) — its row's block
+	// k=j — and B(i,j) — its column's block k=i — and starts enabled.
+	states := make(map[any]any, g*g)
+	keys := make([]any, 0, g*g)
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			key := [2]int{i, j}
+			states[key] = compState{
+				ABlocks: map[int]matrix.Dense{j: ga.Blocks[i][j]},
+				BBlocks: map[int]matrix.Dense{i: gb.Blocks[i][j]},
+			}
+			keys = append(keys, key)
+		}
+	}
+
+	comp := &compute{g: g}
+	job := &ebsp.Job{
+		Name:        "summa",
+		StateTables: []string{tableName},
+		Compute:     comp,
+		Properties: ebsp.Properties{
+			// Blocks can be handled in any grouping; per-(sender,receiver)
+			// order — which Ripple preserves — keeps them SUMMA-coordinated.
+			Incremental: true,
+		},
+		Loaders: []ebsp.Loader{
+			&ebsp.StateLoader{Tab: 0, States: states},
+			&ebsp.EnableLoader{Keys: keys},
+		},
+	}
+
+	opts := []ebsp.Option{}
+	if cfg.Metrics != nil {
+		opts = append(opts, ebsp.WithMetrics(cfg.Metrics))
+	}
+	if cfg.Latency > 0 {
+		opts = append(opts, ebsp.WithMQ(mq.NewSystem(
+			mq.WithLatency(cfg.Latency), mq.WithMetrics(cfg.Metrics))))
+	}
+	if cfg.Synchronized {
+		opts = append(opts, ebsp.WithStrategyOverride(func(s ebsp.Strategy) ebsp.Strategy {
+			s.Sync = true
+			return s
+		}))
+	}
+	engine := ebsp.NewEngine(store, opts...)
+	res, err := engine.Run(job)
+	if err != nil {
+		return nil, err
+	}
+
+	// Assemble C from the component states.
+	tab, _ := store.LookupTable(tableName)
+	gc := &matrix.Grid{M: g, N: g, Blocks: make([][]matrix.Dense, g)}
+	for i := range gc.Blocks {
+		gc.Blocks[i] = make([]matrix.Dense, g)
+	}
+	pairs, err := kvstore.Dump(tab)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range pairs {
+		key := k.([2]int)
+		st := v.(compState)
+		if st.NextMul != g {
+			return nil, fmt.Errorf("summa: component %v finished only %d of %d multiplies", key, st.NextMul, g)
+		}
+		gc.Blocks[key[0]][key[1]] = st.C
+	}
+	out := &Outcome{C: gc.Assemble(), Result: res}
+	if cfg.Synchronized {
+		out.MultsPerStep = comp.multsSeries(res.Steps)
+	}
+	return out, nil
+}
+
+// Schedule simulates the synchronized pacing analytically (no real block
+// arithmetic) and returns the multiplications per step — the generator for
+// Table II at any grid size.
+func Schedule(g int) []int {
+	if g < 2 {
+		return nil
+	}
+	// tA[j][k]: the step at which ring position j holds A-block k
+	// (symmetrically tB[i][k] for B along columns). Owners hold at step 1;
+	// each hop takes one barrier; sends are paced one per direction per
+	// step in ascending k. Ring propagation is order-dependent, so iterate
+	// to fixpoint.
+	tA := fixpointAvail(g)
+	tB := tA // symmetric
+
+	counts := map[int]int{}
+	maxStep := 0
+	for i := 0; i < g; i++ {
+		for j := 0; j < g; j++ {
+			prev := 0
+			for k := 0; k < g; k++ {
+				ready := tA[j][k]
+				if tB[i][k] > ready {
+					ready = tB[i][k]
+				}
+				m := ready
+				if m <= prev {
+					m = prev + 1
+				}
+				counts[m]++
+				if m > maxStep {
+					maxStep = m
+				}
+				prev = m
+			}
+		}
+	}
+	out := make([]int, maxStep)
+	for s, c := range counts {
+		out[s-1] = c
+	}
+	return out
+}
+
+// fixpointAvail computes, for each position p in a ring of size g, the step
+// at which it holds block k, under paced ascending-k forwarding.
+func fixpointAvail(g int) [][]int {
+	t := make([][]int, g)
+	for p := 0; p < g; p++ {
+		t[p] = make([]int, g)
+	}
+	for k := 0; k < g; k++ {
+		t[k][k] = 1
+	}
+	for changed := true; changed; {
+		changed = false
+		for p := 0; p < g; p++ {
+			sched := sendSchedule(g, (p+1)%g)
+			lastSend := 0
+			for _, k := range sched {
+				have := t[p][k]
+				if have == 0 {
+					break // cannot send k (or any later) yet
+				}
+				depart := have
+				if depart <= lastSend {
+					depart = lastSend + 1
+				}
+				dst := (p + 1) % g
+				arrive := depart + 1
+				if t[dst][k] == 0 || arrive < t[dst][k] {
+					t[dst][k] = arrive
+					changed = true
+				}
+				lastSend = depart
+			}
+		}
+	}
+	return t
+}

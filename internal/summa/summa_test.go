@@ -1,0 +1,221 @@
+package summa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"ripple/internal/gridstore"
+	"ripple/internal/matrix"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+)
+
+func TestScheduleMatchesTableII(t *testing.T) {
+	// Paper Table II: block multiplications in each step for M=N=3.
+	got := Schedule(3)
+	want := []int{1, 3, 6, 3, 6, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Schedule(3) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Schedule(3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScheduleConservation(t *testing.T) {
+	// Any grid size: total multiplications must be G^3.
+	for g := 2; g <= 6; g++ {
+		total := 0
+		for _, c := range Schedule(g) {
+			total += c
+		}
+		if total != g*g*g {
+			t.Errorf("Schedule(%d) totals %d, want %d", g, total, g*g*g)
+		}
+	}
+}
+
+func TestScheduleDegenerate(t *testing.T) {
+	if s := Schedule(1); s != nil {
+		t.Errorf("Schedule(1) = %v", s)
+	}
+}
+
+func multiplyOn(t *testing.T, synchronized bool, g, n int) *Outcome {
+	t.Helper()
+	store := memstore.New(memstore.WithParts(g * g))
+	t.Cleanup(func() { _ = store.Close() })
+	rng := rand.New(rand.NewSource(42))
+	a := matrix.Random(rng, n, n)
+	b := matrix.Random(rng, n, n)
+	out, err := Multiply(store, Config{Grid: g, Synchronized: synchronized}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.C.EqualWithin(direct, 1e-9) {
+		t.Error("SUMMA product != direct product")
+	}
+	return out
+}
+
+func TestSynchronizedCorrectAndPaced(t *testing.T) {
+	out := multiplyOn(t, true, 3, 12)
+	if out.Result.Steps != 7 {
+		t.Errorf("synchronized 3x3 took %d steps, want 7 (Table II)", out.Result.Steps)
+	}
+	want := []int{1, 3, 6, 3, 6, 3, 5}
+	if len(out.MultsPerStep) != len(want) {
+		t.Fatalf("MultsPerStep = %v, want %v", out.MultsPerStep, want)
+	}
+	for i := range want {
+		if out.MultsPerStep[i] != want[i] {
+			t.Fatalf("MultsPerStep = %v, want %v (Table II)", out.MultsPerStep, want)
+		}
+	}
+}
+
+func TestNoSyncCorrect(t *testing.T) {
+	out := multiplyOn(t, false, 3, 12)
+	if out.Result.Strategy.Sync {
+		t.Error("no-sync requested but barriers used")
+	}
+	if out.MultsPerStep != nil {
+		t.Error("MultsPerStep reported for no-sync run")
+	}
+}
+
+func TestLargerGridsBothModes(t *testing.T) {
+	for _, g := range []int{2, 4} {
+		for _, sync := range []bool{true, false} {
+			out := multiplyOn(t, sync, g, 4*g)
+			if sync && out.Result.Steps == 0 {
+				t.Errorf("g=%d sync run took 0 steps", g)
+			}
+		}
+	}
+}
+
+func TestSynchronizedStepsMatchSchedule(t *testing.T) {
+	for _, g := range []int{2, 3, 4, 5} {
+		store := memstore.New(memstore.WithParts(g * g))
+		rng := rand.New(rand.NewSource(7))
+		n := 3 * g
+		a := matrix.Random(rng, n, n)
+		b := matrix.Random(rng, n, n)
+		out, err := Multiply(store, Config{Grid: g, Synchronized: true}, a, b)
+		if err != nil {
+			t.Fatalf("g=%d: %v", g, err)
+		}
+		sched := Schedule(g)
+		if out.Result.Steps != len(sched) {
+			t.Errorf("g=%d: %d steps, schedule predicts %d", g, out.Result.Steps, len(sched))
+		}
+		for i := range sched {
+			if out.MultsPerStep[i] != sched[i] {
+				t.Errorf("g=%d: MultsPerStep=%v, schedule=%v", g, out.MultsPerStep, sched)
+				break
+			}
+		}
+		_ = store.Close()
+	}
+}
+
+func TestNonSquareMatrices(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	rng := rand.New(rand.NewSource(3))
+	a := matrix.Random(rng, 10, 14)
+	b := matrix.Random(rng, 14, 6)
+	out, err := Multiply(store, Config{Grid: 2, Synchronized: true}, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := a.Mul(b)
+	if !out.C.EqualWithin(direct, 1e-9) {
+		t.Error("non-square SUMMA product wrong")
+	}
+}
+
+func TestOnGridstore(t *testing.T) {
+	// The §V-B configuration: WXS-like store with 10 data containers.
+	store := gridstore.New(gridstore.WithParts(10))
+	t.Cleanup(func() { _ = store.Close() })
+	rng := rand.New(rand.NewSource(5))
+	a := matrix.Random(rng, 15, 15)
+	b := matrix.Random(rng, 15, 15)
+	for _, sync := range []bool{true, false} {
+		out, err := Multiply(store, Config{Grid: 3, Synchronized: sync}, a, b)
+		if err != nil {
+			t.Fatalf("sync=%v: %v", sync, err)
+		}
+		direct, _ := a.Mul(b)
+		if !out.C.EqualWithin(direct, 1e-9) {
+			t.Errorf("sync=%v: wrong product", sync)
+		}
+	}
+}
+
+func TestConfigErrors(t *testing.T) {
+	store := memstore.New()
+	t.Cleanup(func() { _ = store.Close() })
+	a := matrix.New(4, 4)
+	if _, err := Multiply(store, Config{Grid: 1}, a, a); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("grid 1 err = %v", err)
+	}
+	b := matrix.New(5, 4)
+	if _, err := Multiply(store, Config{Grid: 2}, a, b); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("dim mismatch err = %v", err)
+	}
+}
+
+func TestMetricsShowBarrierDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := matrix.Random(rng, 12, 12)
+	b := matrix.Random(rng, 12, 12)
+
+	mSync := &metrics.Collector{}
+	s1 := memstore.New(memstore.WithParts(9))
+	t.Cleanup(func() { _ = s1.Close() })
+	if _, err := Multiply(s1, Config{Grid: 3, Synchronized: true, Metrics: mSync}, a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	mNo := &metrics.Collector{}
+	s2 := memstore.New(memstore.WithParts(9))
+	t.Cleanup(func() { _ = s2.Close() })
+	if _, err := Multiply(s2, Config{Grid: 3, Synchronized: false, Metrics: mNo}, a, b); err != nil {
+		t.Fatal(err)
+	}
+
+	if mSync.Snapshot().Barriers != 7 {
+		t.Errorf("sync barriers = %d, want 7", mSync.Snapshot().Barriers)
+	}
+	if mNo.Snapshot().Barriers != 0 {
+		t.Errorf("no-sync barriers = %d, want 0", mNo.Snapshot().Barriers)
+	}
+}
+
+func TestRepeatedMultiplyReusesTable(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	rng := rand.New(rand.NewSource(9))
+	a := matrix.Random(rng, 8, 8)
+	b := matrix.Random(rng, 8, 8)
+	for i := 0; i < 3; i++ {
+		out, err := Multiply(store, Config{Grid: 2, Synchronized: i%2 == 0}, a, b)
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		direct, _ := a.Mul(b)
+		if !out.C.EqualWithin(direct, 1e-9) {
+			t.Fatalf("run %d wrong", i)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package tableops
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+)
+
+func setup(t *testing.T, m *metrics.Collector) *memstore.Store {
+	t.Helper()
+	opts := []memstore.Option{memstore.WithParts(4)}
+	if m != nil {
+		opts = append(opts, memstore.WithMetrics(m))
+	}
+	s := memstore.New(opts...)
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func fill(t *testing.T, s kvstore.Store, name string, n int, f func(i int) any, opts ...kvstore.TableOption) kvstore.Table {
+	t.Helper()
+	tab, err := s.CreateTable(name, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := tab.Put(i, f(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func TestFilter(t *testing.T) {
+	s := setup(t, nil)
+	fill(t, s, "src", 100, func(i int) any { return i })
+	if _, err := s.CreateTable("dst", kvstore.ConsistentWith("src")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := Filter(s, "src", "dst", func(_, v any) bool { return v.(int)%3 == 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 34 {
+		t.Errorf("Filter wrote %d, want 34", n)
+	}
+	dst, _ := s.LookupTable("dst")
+	if sz, _ := dst.Size(); sz != 34 {
+		t.Errorf("dst size = %d", sz)
+	}
+	if _, ok, _ := dst.Get(4); ok {
+		t.Error("non-matching key copied")
+	}
+}
+
+func TestMapValues(t *testing.T) {
+	s := setup(t, nil)
+	fill(t, s, "src", 20, func(i int) any { return i })
+	_, _ = s.CreateTable("dst", kvstore.ConsistentWith("src"))
+	n, err := MapValues(s, "src", "dst", func(_, v any) any { return v.(int) * 10 })
+	if err != nil || n != 20 {
+		t.Fatalf("MapValues = %d, %v", n, err)
+	}
+	dst, _ := s.LookupTable("dst")
+	if v, _, _ := dst.Get(7); v != 70 {
+		t.Errorf("dst[7] = %v", v)
+	}
+}
+
+func TestJoinMatchesAndCounts(t *testing.T) {
+	s := setup(t, nil)
+	fill(t, s, "left", 50, func(i int) any { return i })
+	right, _ := s.CreateTable("right", kvstore.ConsistentWith("left"))
+	for i := 25; i < 75; i++ {
+		_ = right.Put(i, i*2)
+	}
+	var mu sync.Mutex
+	got := map[any][2]any{}
+	n, err := Join(s, "left", "right", func(p JoinPair) error {
+		mu.Lock()
+		got[p.Key] = [2]any{p.Left, p.Right}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Errorf("matches = %d, want 25 (keys 25..49)", n)
+	}
+	for k, lr := range got {
+		i := k.(int)
+		if i < 25 || i >= 50 || lr[0] != i || lr[1] != i*2 {
+			t.Errorf("bad match %v -> %v", k, lr)
+		}
+	}
+}
+
+func TestJoinMovesNoData(t *testing.T) {
+	// The §VI co-placement claim: a join over consistently partitioned
+	// tables moves no bytes between partitions.
+	m := &metrics.Collector{}
+	s := setup(t, m)
+	fill(t, s, "l", 200, func(i int) any { return i })
+	r, _ := s.CreateTable("r", kvstore.ConsistentWith("l"))
+	for i := 0; i < 200; i += 2 {
+		_ = r.Put(i, "x")
+	}
+	before := m.Snapshot().MarshalledBytes
+	n, err := Join(s, "l", "r", func(JoinPair) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("matches = %d", n)
+	}
+	if after := m.Snapshot().MarshalledBytes; after != before {
+		t.Errorf("join marshalled %d bytes across partitions, want 0", after-before)
+	}
+}
+
+func TestJoinRejectsMismatchedPartitioning(t *testing.T) {
+	s := setup(t, nil)
+	fill(t, s, "a", 10, func(i int) any { return i }, kvstore.WithParts(2))
+	fill(t, s, "b", 10, func(i int) any { return i }, kvstore.WithParts(3))
+	if _, err := Join(s, "a", "b", func(JoinPair) error { return nil }); !errors.Is(err, ErrNotCoPlaced) {
+		t.Errorf("err = %v, want ErrNotCoPlaced", err)
+	}
+}
+
+func TestJoinInto(t *testing.T) {
+	s := setup(t, nil)
+	fill(t, s, "jl", 30, func(i int) any { return i })
+	jr, _ := s.CreateTable("jr", kvstore.ConsistentWith("jl"))
+	for i := 0; i < 30; i++ {
+		_ = jr.Put(i, i+100)
+	}
+	_, _ = s.CreateTable("jd", kvstore.ConsistentWith("jl"))
+	n, err := JoinInto(s, "jl", "jr", "jd", func(_, l, r any) any {
+		return l.(int) + r.(int)
+	})
+	if err != nil || n != 30 {
+		t.Fatalf("JoinInto = %d, %v", n, err)
+	}
+	jd, _ := s.LookupTable("jd")
+	if v, _, _ := jd.Get(5); v != 110 {
+		t.Errorf("jd[5] = %v", v)
+	}
+}
+
+func TestReduceAndCount(t *testing.T) {
+	s := setup(t, nil)
+	fill(t, s, "t", 100, func(i int) any { return i })
+	sum, err := Reduce(s, "t", 0,
+		func(acc any, _, v any) any { return acc.(int) + v.(int) },
+		func(a, b any) any { return a.(int) + b.(int) })
+	if err != nil || sum != 99*100/2 {
+		t.Fatalf("Reduce = %v, %v", sum, err)
+	}
+	n, err := Count(s, "t", func(_, v any) bool { return v.(int) < 10 })
+	if err != nil || n != 10 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+	all, err := Count(s, "t", nil)
+	if err != nil || all != 100 {
+		t.Fatalf("Count(nil) = %d, %v", all, err)
+	}
+}
+
+func TestMissingTables(t *testing.T) {
+	s := setup(t, nil)
+	if _, err := Filter(s, "nope", "also-nope", nil); !errors.Is(err, kvstore.ErrNoTable) {
+		t.Errorf("Filter err = %v", err)
+	}
+	if _, err := Join(s, "nope", "x", nil); !errors.Is(err, kvstore.ErrNoTable) {
+		t.Errorf("Join err = %v", err)
+	}
+	if _, err := Reduce(s, "nope", 0, nil, nil); !errors.Is(err, kvstore.ErrNoTable) {
+		t.Errorf("Reduce err = %v", err)
+	}
+	fill(t, s, "src2", 5, func(i int) any { return i })
+	if _, err := Filter(s, "src2", "missing-dst", func(any, any) bool { return true }); !errors.Is(err, kvstore.ErrNoTable) {
+		t.Errorf("Filter missing dst err = %v", err)
+	}
+}

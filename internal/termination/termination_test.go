@@ -1,0 +1,239 @@
+package termination
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFreshDetectorIsQuiescent(t *testing.T) {
+	d := New()
+	if !d.Quiescent() {
+		t.Error("fresh detector not quiescent")
+	}
+	if !d.Wait(time.Millisecond) {
+		t.Error("Wait on fresh detector timed out")
+	}
+}
+
+func TestIssueReturnCycle(t *testing.T) {
+	d := New()
+	w := d.Issue(100)
+	if d.Quiescent() {
+		t.Error("quiescent with outstanding weight")
+	}
+	if d.Outstanding() != 100 {
+		t.Errorf("Outstanding = %d", d.Outstanding())
+	}
+	if err := d.Return(w); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Quiescent() {
+		t.Error("not quiescent after full return")
+	}
+}
+
+func TestIssueZeroGrantsOne(t *testing.T) {
+	d := New()
+	w := d.Issue(0)
+	if w != 1 {
+		t.Errorf("Issue(0) = %d, want 1", w)
+	}
+	_ = d.Return(w)
+}
+
+func TestSplit(t *testing.T) {
+	cases := []struct {
+		in         Weight
+		keep, give Weight
+	}{
+		{1, 1, 0},
+		{2, 1, 1},
+		{3, 2, 1},
+		{100, 50, 50},
+	}
+	for _, c := range cases {
+		keep, give := c.in.Split()
+		if keep != c.keep || give != c.give {
+			t.Errorf("Split(%d) = %d, %d, want %d, %d", c.in, keep, give, c.keep, c.give)
+		}
+		if keep+give != c.in {
+			t.Errorf("Split(%d) loses weight", c.in)
+		}
+	}
+}
+
+func TestSplitOrBorrowConservation(t *testing.T) {
+	d := New()
+	held := d.Issue(1)
+	// Held weight 1 cannot split: the detector must grow the ledger.
+	before := d.Outstanding()
+	keep, give := d.SplitOrBorrow(held)
+	if give == 0 {
+		t.Fatal("SplitOrBorrow gave zero")
+	}
+	after := d.Outstanding()
+	if after-before != uint64(give) {
+		t.Errorf("ledger grew by %d, gave %d", after-before, give)
+	}
+	_ = d.Return(keep)
+	_ = d.Return(give)
+	if !d.Quiescent() {
+		t.Errorf("outstanding = %d after returning everything", d.Outstanding())
+	}
+}
+
+func TestOverReturn(t *testing.T) {
+	d := New()
+	_ = d.Issue(1)
+	if err := d.Return(5); err != ErrOverReturn {
+		t.Errorf("over-return err = %v", err)
+	}
+	if d.Err() != ErrOverReturn {
+		t.Errorf("Err = %v", d.Err())
+	}
+}
+
+func TestReturnZeroIsNoop(t *testing.T) {
+	d := New()
+	_ = d.Issue(10)
+	if err := d.Return(0); err != nil {
+		t.Errorf("Return(0) = %v", err)
+	}
+	if d.Outstanding() != 10 {
+		t.Errorf("Outstanding = %d", d.Outstanding())
+	}
+}
+
+func TestWaitBlocksUntilQuiescent(t *testing.T) {
+	d := New()
+	w := d.Issue(DefaultIssue)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		_ = d.Return(w)
+	}()
+	if !d.Wait(5 * time.Second) {
+		t.Error("Wait timed out")
+	}
+}
+
+func TestWaitTimeout(t *testing.T) {
+	d := New()
+	_ = d.Issue(1)
+	start := time.Now()
+	if d.Wait(20 * time.Millisecond) {
+		t.Error("Wait returned true with outstanding weight")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("Wait returned too early")
+	}
+}
+
+// TestSimulatedMessageCascade runs a randomized message-passing simulation:
+// N workers exchange messages carrying weight; the detector must report
+// quiescence exactly when the last message has been processed, never before.
+func TestSimulatedMessageCascade(t *testing.T) {
+	const workers = 8
+	d := New()
+	type msg struct{ w Weight }
+	queues := make([]chan msg, workers)
+	for i := range queues {
+		queues[i] = make(chan msg, 1024)
+	}
+
+	var totalProcessed, totalSent int64
+	var countMu sync.Mutex
+
+	rng := rand.New(rand.NewSource(42))
+	var rngMu sync.Mutex
+	randInt := func(n int) int {
+		rngMu.Lock()
+		defer rngMu.Unlock()
+		return rng.Intn(n)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				select {
+				case m := <-queues[i]:
+					held := m.w
+					// With decreasing probability, spawn up to 2 messages.
+					for f := 0; f < 2; f++ {
+						if randInt(100) < 35 {
+							var give Weight
+							held, give = d.SplitOrBorrow(held)
+							countMu.Lock()
+							totalSent++
+							countMu.Unlock()
+							queues[randInt(workers)] <- msg{w: give}
+						}
+					}
+					countMu.Lock()
+					totalProcessed++
+					countMu.Unlock()
+					_ = d.Return(held)
+				case <-stop:
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Seed 20 root messages.
+	for r := 0; r < 20; r++ {
+		w := d.Issue(DefaultIssue)
+		countMu.Lock()
+		totalSent++
+		countMu.Unlock()
+		queues[randInt(workers)] <- msg{w: w}
+	}
+
+	if !d.Wait(30 * time.Second) {
+		t.Fatal("cascade never quiesced")
+	}
+	// At quiescence every sent message must have been processed.
+	countMu.Lock()
+	p, s := totalProcessed, totalSent
+	countMu.Unlock()
+	if p != s {
+		t.Errorf("quiescent with %d processed of %d sent", p, s)
+	}
+	if d.Err() != nil {
+		t.Errorf("protocol error: %v", d.Err())
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestQuiescenceNotPrematurelyReported floods the detector with rapid
+// issue/return cycles from many goroutines and checks the ledger never goes
+// negative (over-return) and ends at zero.
+func TestQuiescenceNotPrematurelyReported(t *testing.T) {
+	d := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w := d.Issue(3)
+				keep, give := d.SplitOrBorrow(w)
+				_ = d.Return(give)
+				_ = d.Return(keep)
+			}
+		}()
+	}
+	wg.Wait()
+	if !d.Quiescent() {
+		t.Errorf("outstanding = %d at end", d.Outstanding())
+	}
+	if d.Err() != nil {
+		t.Errorf("protocol error: %v", d.Err())
+	}
+}

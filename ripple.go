@@ -1,0 +1,347 @@
+// Package ripple is the public facade of the Ripple library: an architecture
+// and programming model for bulk-synchronous-parallel style data analytics,
+// reproducing Spreitzer, Steinder & Whalley, "Ripple: Improved Architecture
+// and Programming Model for Bulk Synchronous Parallel Style of Analytics"
+// (ICDCS 2013).
+//
+// Ripple combines two ideas:
+//
+//  1. K/V EBSP — a key/value extended BSP programming model. A Job is a set
+//     of components identified by keys that alternate local compute with
+//     message exchange across synchronization barriers. Compared to iterated
+//     MapReduce it adds per-component private state factored over multiple
+//     tables, selective enablement (only messaged or continuing components
+//     run), message combiners, aggregators, broadcast data, direct output,
+//     and — for jobs whose declared Properties allow it — execution with no
+//     barriers at all.
+//
+//  2. Narrow SPIs to a fundamental storage+compute layer. Everything runs
+//     against the small kvstore.Store interface (partitioned tables,
+//     ubiquitous tables, collocated mobile code, optional transactions and
+//     replication) plus a message-queuing interface, so the platform is
+//     portable across stores. Three stores ship with the library: an
+//     in-memory partition-emulating debugging store, a WXS-like replicated
+//     grid store with per-shard ACID transactions and failure injection, and
+//     an append-log disk store.
+//
+// # Quickstart
+//
+//	store := ripple.NewMemStore(ripple.MemParts(4))
+//	defer store.Close()
+//	engine := ripple.NewEngine(store)
+//	job := &ripple.Job{
+//	    Name:        "hello",
+//	    StateTables: []string{"state"},
+//	    Compute: ripple.ComputeFunc(func(ctx *ripple.Context) bool {
+//	        for _, m := range ctx.InputMessages() {
+//	            ctx.WriteState(0, m)
+//	        }
+//	        return false
+//	    }),
+//	    Loaders: []ripple.Loader{&ripple.MessageLoader{
+//	        Messages: []ripple.InitialMessage{{Key: 1, Message: "hi"}},
+//	    }},
+//	}
+//	result, err := engine.Run(job)
+//
+// Higher-level programming models layered on K/V EBSP live in the
+// internal/mapreduce (MapReduce, iterated MapReduce) and internal/graph
+// (Pregel-style vertex programs) packages, re-exported here as the MapReduce*
+// and Graph* names.
+package ripple
+
+import (
+	"ripple/internal/codec"
+	"ripple/internal/diskstore"
+	"ripple/internal/ebsp"
+	"ripple/internal/graph"
+	"ripple/internal/gridstore"
+	"ripple/internal/kvstore"
+	"ripple/internal/mapreduce"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/mq"
+	"ripple/internal/tableops"
+)
+
+// Core programming-model types (paper §II).
+type (
+	// Engine executes K/V EBSP jobs against one store.
+	Engine = ebsp.Engine
+	// Job specifies one K/V EBSP job.
+	Job = ebsp.Job
+	// Context is the ComputeContext handed to every compute invocation.
+	Context = ebsp.Context
+	// Compute is the component execution function.
+	Compute = ebsp.Compute
+	// ComputeFunc adapts a function to Compute.
+	ComputeFunc = ebsp.ComputeFunc
+	// Properties declares the special-case job properties (paper §II-A).
+	Properties = ebsp.Properties
+	// Strategy is the derived execution plan.
+	Strategy = ebsp.Strategy
+	// Result reports a completed job.
+	Result = ebsp.Result
+	// MessageCombiner pairwise-combines messages per destination and step.
+	MessageCombiner = ebsp.MessageCombiner
+	// StateCombiner merges conflicting created states.
+	StateCombiner = ebsp.StateCombiner
+	// Aggregator is a named, Pregel-style aggregation.
+	Aggregator = ebsp.Aggregator
+	// Aborter stops a job early between steps.
+	Aborter = ebsp.Aborter
+	// AborterFunc adapts a function to Aborter.
+	AborterFunc = ebsp.AborterFunc
+	// Loader establishes a job's initial condition.
+	Loader = ebsp.Loader
+	// LoaderFunc adapts a function to Loader.
+	LoaderFunc = ebsp.LoaderFunc
+	// LoadContext is what Loaders write the initial condition through.
+	LoadContext = ebsp.LoadContext
+	// Exporter consumes final state or direct job output.
+	Exporter = ebsp.Exporter
+	// ExporterFunc adapts a function to Exporter.
+	ExporterFunc = ebsp.ExporterFunc
+	// TableLoader loads a job's initial condition from a table.
+	TableLoader = ebsp.TableLoader
+	// MessageLoader seeds explicit initial messages.
+	MessageLoader = ebsp.MessageLoader
+	// InitialMessage is one (destination, payload) seed.
+	InitialMessage = ebsp.InitialMessage
+	// EnableLoader enables explicit components for the first step.
+	EnableLoader = ebsp.EnableLoader
+	// StateLoader seeds explicit initial states.
+	StateLoader = ebsp.StateLoader
+	// CollectExporter accumulates exported pairs in memory.
+	CollectExporter = ebsp.CollectExporter
+	// TableExporter copies exported pairs into a table.
+	TableExporter = ebsp.TableExporter
+	// StepObserver receives a notification after every synchronized step.
+	StepObserver = ebsp.StepObserver
+	// StepObserverFunc adapts a function to StepObserver.
+	StepObserverFunc = ebsp.StepObserverFunc
+	// StepInfo describes one completed step.
+	StepInfo = ebsp.StepInfo
+)
+
+// Storage SPI types (paper §III).
+type (
+	// Store is the key/value store SPI.
+	Store = kvstore.Store
+	// Table is one partitioned key/value table.
+	Table = kvstore.Table
+	// PartView is an agent's local view of one part of one table.
+	PartView = kvstore.PartView
+	// ShardView is an agent's window onto co-placed parts.
+	ShardView = kvstore.ShardView
+	// Agent is mobile code dispatched adjacent to a part's data.
+	Agent = kvstore.Agent
+	// PartConsumer processes table parts collocated with the data.
+	PartConsumer = kvstore.PartConsumer
+	// PairConsumer streams a table's pairs with per-part setup/finish.
+	PairConsumer = kvstore.PairConsumer
+	// PairConsumerFuncs adapts plain functions to PairConsumer.
+	PairConsumerFuncs = kvstore.PairConsumerFuncs
+	// PartConsumerFuncs adapts plain functions to PartConsumer.
+	PartConsumerFuncs = kvstore.PartConsumerFuncs
+	// TableOption configures table creation.
+	TableOption = kvstore.TableOption
+	// Metrics accumulates engine and store counters.
+	Metrics = metrics.Collector
+	// MetricsSnapshot is a point-in-time copy of the counters.
+	MetricsSnapshot = metrics.Snapshot
+	// MQSystem manages message-queue sets (paper §III-B).
+	MQSystem = mq.System
+	// QueueSet is a placed set of FIFO queues, one per table part.
+	QueueSet = mq.QueueSet
+)
+
+// Built-in aggregators.
+type (
+	// IntSum sums int inputs.
+	IntSum = ebsp.IntSum
+	// Int64Sum sums int64 inputs.
+	Int64Sum = ebsp.Int64Sum
+	// Float64Sum sums float64 inputs.
+	Float64Sum = ebsp.Float64Sum
+	// IntMax keeps the maximum int input.
+	IntMax = ebsp.IntMax
+	// IntMin keeps the minimum int input.
+	IntMin = ebsp.IntMin
+	// Float64Max keeps the maximum float64 input.
+	Float64Max = ebsp.Float64Max
+	// Float64Min keeps the minimum float64 input.
+	Float64Min = ebsp.Float64Min
+	// BoolOr ORs bool inputs.
+	BoolOr = ebsp.BoolOr
+	// BoolAnd ANDs bool inputs.
+	BoolAnd = ebsp.BoolAnd
+)
+
+// MapReduce layer (paper Fig. 2).
+type (
+	// MapReduceJob is a single map-reduce couplet.
+	MapReduceJob = mapreduce.Job
+	// MapReduceIteratedJob iterates a couplet over one dataset.
+	MapReduceIteratedJob = mapreduce.IteratedJob
+	// MapReduceSummary reports an iterated execution.
+	MapReduceSummary = mapreduce.Summary
+	// Mapper transforms one input pair.
+	Mapper = mapreduce.Mapper
+	// MapperFunc adapts a function to Mapper.
+	MapperFunc = mapreduce.MapperFunc
+	// Reducer folds intermediate values for one key.
+	Reducer = mapreduce.Reducer
+	// ReducerFunc adapts a function to Reducer.
+	ReducerFunc = mapreduce.ReducerFunc
+	// Emitter receives emitted pairs.
+	Emitter = mapreduce.Emitter
+)
+
+// Graph EBSP layer (paper Fig. 2).
+type (
+	// GraphSpec describes a Pregel-style vertex computation.
+	GraphSpec = graph.Spec
+	// GraphVertex is one vertex's stored state.
+	GraphVertex = graph.Vertex
+	// GraphEdge is one outgoing edge.
+	GraphEdge = graph.Edge
+	// GraphProgram is the vertex compute function.
+	GraphProgram = graph.Program
+	// GraphProgramFunc adapts a function to GraphProgram.
+	GraphProgramFunc = graph.ProgramFunc
+	// GraphContext is the vertex program's per-superstep window.
+	GraphContext = graph.VertexContext
+)
+
+// NewEngine creates an execution engine bound to a store.
+func NewEngine(store Store, opts ...ebsp.Option) *Engine {
+	return ebsp.NewEngine(store, opts...)
+}
+
+// Engine options.
+var (
+	// WithMetrics attaches a metrics collector to an engine.
+	WithMetrics = ebsp.WithMetrics
+	// WithMQ supplies the queuing system used for no-sync execution.
+	WithMQ = ebsp.WithMQ
+	// WithStrategyOverride adjusts the derived strategy (conservative only).
+	WithStrategyOverride = ebsp.WithStrategyOverride
+	// WithAggTableThreshold switches aggregation to the table-based path.
+	WithAggTableThreshold = ebsp.WithAggTableThreshold
+	// WithRecoveryRetries bounds fast-recovery replays.
+	WithRecoveryRetries = ebsp.WithRecoveryRetries
+	// WithCheckpoints snapshots barrier state every n steps; Engine.Resume
+	// restarts a crashed or aborted job from the latest snapshot.
+	WithCheckpoints = ebsp.WithCheckpoints
+	// WithObserver installs a step observer on the engine.
+	WithObserver = ebsp.WithObserver
+	// ErrNoCheckpoint is returned by Engine.Resume without a snapshot.
+	ErrNoCheckpoint = ebsp.ErrNoCheckpoint
+)
+
+// Table options.
+var (
+	// WithParts sets a new table's part count.
+	WithParts = kvstore.WithParts
+	// Ubiquitous requests a ubiquitous table.
+	Ubiquitous = kvstore.Ubiquitous
+	// ConsistentWith requests partitioning consistent with another table.
+	ConsistentWith = kvstore.ConsistentWith
+	// Ordered requests key-ordered part storage.
+	Ordered = kvstore.Ordered
+)
+
+// NewMemStore creates the in-memory parallel debugging store (the paper's
+// §V-A/§V-C evaluation store): per-partition service goroutines with
+// marshalling across emulated partition boundaries.
+func NewMemStore(opts ...memstore.Option) *memstore.Store { return memstore.New(opts...) }
+
+// Memstore options.
+var (
+	// MemParts sets the default part count (default 6).
+	MemParts = memstore.WithParts
+	// MemMetrics attaches a metrics collector.
+	MemMetrics = memstore.WithMetrics
+	// MemLatency adds an emulated cross-partition network latency.
+	MemLatency = memstore.WithLatency
+)
+
+// NewGridStore creates the WXS-like elastic in-memory store (the paper's
+// §V-B evaluation store): partitioning, synchronous replication, collocated
+// agents, per-shard ACID transactions, and failure injection.
+func NewGridStore(opts ...gridstore.Option) *gridstore.Store { return gridstore.New(opts...) }
+
+// Gridstore options.
+var (
+	// GridParts sets the default part count (default 10).
+	GridParts = gridstore.WithParts
+	// GridReplicas sets the replication factor.
+	GridReplicas = gridstore.WithReplicas
+	// GridMetrics attaches a metrics collector.
+	GridMetrics = gridstore.WithMetrics
+	// GridLatency adds an emulated cross-partition network latency.
+	GridLatency = gridstore.WithLatency
+)
+
+// NewDiskStore creates the append-log disk store rooted at dir.
+func NewDiskStore(dir string, opts ...diskstore.Option) (*diskstore.Store, error) {
+	return diskstore.New(dir, opts...)
+}
+
+// NewMQSystem creates a message-queuing system (paper §III-B).
+func NewMQSystem(opts ...mq.SystemOption) *MQSystem { return mq.NewSystem(opts...) }
+
+// RunMapReduce executes a single map-reduce couplet on the engine.
+func RunMapReduce(e *Engine, job *MapReduceJob) (*Result, error) {
+	return mapreduce.Run(e, job)
+}
+
+// RunMapReduceIterated executes an iterated map-reduce job.
+func RunMapReduceIterated(e *Engine, job *MapReduceIteratedJob) (*MapReduceSummary, error) {
+	return mapreduce.RunIterated(e, job)
+}
+
+// RunGraph executes a Pregel-style vertex computation.
+func RunGraph(e *Engine, spec *GraphSpec) (*Result, error) {
+	return graph.Run(e, spec)
+}
+
+// Collocated table operations — the "other uses of the K/V store" the
+// narrow SPI enables (paper §III-A), including the co-placement join the
+// paper contrasts with HaLoop (§VI).
+type (
+	// JoinPair is one co-placed join match.
+	JoinPair = tableops.JoinPair
+)
+
+var (
+	// FilterTable copies matching pairs into a co-placed table, part-locally.
+	FilterTable = tableops.Filter
+	// MapTableValues copies a table with transformed values, part-locally.
+	MapTableValues = tableops.MapValues
+	// JoinTables inner-joins two co-placed tables with zero data movement.
+	JoinTables = tableops.Join
+	// JoinTablesInto materializes a co-placed join into a table.
+	JoinTablesInto = tableops.JoinInto
+	// ReduceTable folds a table part-locally and combines the partials.
+	ReduceTable = tableops.Reduce
+	// CountTable counts pairs satisfying a predicate.
+	CountTable = tableops.Count
+	// ErrNotCoPlaced reports a join over inconsistently partitioned tables.
+	ErrNotCoPlaced = tableops.ErrNotCoPlaced
+)
+
+// DumpTable copies an entire table into a map (tests, examples, small
+// results only).
+func DumpTable(t Table) (map[any]any, error) { return kvstore.Dump(t) }
+
+// EnumerateAll visits every pair of a table through one serialized callback.
+func EnumerateAll(t Table, fn func(key, value any) (stop bool, err error)) error {
+	return kvstore.EnumerateAll(t, fn)
+}
+
+// RegisterType makes a concrete message/state/key type known to the codec so
+// it can cross emulated partition boundaries. Call it once (e.g. from an
+// init function) for every custom type your jobs exchange.
+func RegisterType(v any) { codec.Register(v) }

@@ -1,0 +1,270 @@
+// End-to-end tests of the public facade: everything a downstream user would
+// touch, exercised only through the ripple package API.
+package ripple
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFacadeQuickstartShape(t *testing.T) {
+	store := NewMemStore(MemParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	engine := NewEngine(store)
+
+	job := &Job{
+		Name:        "facade",
+		StateTables: []string{"facade_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			for _, m := range ctx.InputMessages() {
+				ctx.WriteState(0, m)
+			}
+			return false
+		}),
+		Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 1, Message: "hi"}}}},
+	}
+	res, err := engine.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 {
+		t.Errorf("Steps = %d", res.Steps)
+	}
+	tab, _ := store.LookupTable("facade_state")
+	if v, ok, _ := tab.Get(1); !ok || v != "hi" {
+		t.Errorf("state = %v, %v", v, ok)
+	}
+}
+
+func TestFacadeAllStores(t *testing.T) {
+	stores := map[string]Store{
+		"mem":  NewMemStore(),
+		"grid": NewGridStore(GridReplicas(2)),
+	}
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["disk"] = disk
+	for name, store := range stores {
+		t.Run(name, func(t *testing.T) {
+			t.Cleanup(func() { _ = store.Close() })
+			tab, err := store.CreateTable("t", WithParts(3))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.Put("k", 42); err != nil {
+				t.Fatal(err)
+			}
+			if v, ok, _ := tab.Get("k"); !ok || v != 42 {
+				t.Errorf("Get = %v, %v", v, ok)
+			}
+		})
+	}
+}
+
+func TestFacadeMapReduce(t *testing.T) {
+	store := NewMemStore(MemParts(3))
+	t.Cleanup(func() { _ = store.Close() })
+	engine := NewEngine(store)
+	docs, _ := store.CreateTable("in")
+	_ = docs.Put(1, "x y x")
+	res, err := RunMapReduce(engine, &MapReduceJob{
+		Name:   "wc",
+		Input:  "in",
+		Output: "out",
+		Mapper: MapperFunc(func(_, v any, emit Emitter) error {
+			for _, w := range strings.Fields(v.(string)) {
+				emit(w, 1)
+			}
+			return nil
+		}),
+		Reducer: ReducerFunc(func(k any, vs []any, emit Emitter) error {
+			emit(k, len(vs))
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps < 2 {
+		t.Errorf("Steps = %d", res.Steps)
+	}
+	out, _ := store.LookupTable("out")
+	if v, _, _ := out.Get("x"); v != 2 {
+		t.Errorf("x = %v", v)
+	}
+}
+
+func TestFacadeGraph(t *testing.T) {
+	store := NewMemStore(MemParts(3))
+	t.Cleanup(func() { _ = store.Close() })
+	engine := NewEngine(store)
+	vt, _ := store.CreateTable("vg")
+	_ = vt.Put(1, GraphVertex{ID: 1, Value: 10, Edges: []GraphEdge{{To: 2}}})
+	_ = vt.Put(2, GraphVertex{ID: 2, Value: 3, Edges: []GraphEdge{{To: 1}}})
+	_, err := RunGraph(engine, &GraphSpec{
+		Name:        "gmax",
+		VertexTable: "vg",
+		Program: GraphProgramFunc(func(ctx *GraphContext) error {
+			cur := ctx.Value().(int)
+			changed := ctx.Superstep() == 1
+			for _, m := range ctx.Messages() {
+				if v := m.(int); v > cur {
+					cur = v
+					changed = true
+				}
+			}
+			if changed {
+				ctx.SetValue(cur)
+				ctx.SendToNeighbors(cur)
+			}
+			ctx.VoteToHalt()
+			return nil
+		}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _, _ := vt.Get(2)
+	if raw.(GraphVertex).Value != 10 {
+		t.Errorf("vertex 2 = %v", raw.(GraphVertex).Value)
+	}
+}
+
+func TestFacadeMetricsAndOptions(t *testing.T) {
+	m := &Metrics{}
+	store := NewMemStore(MemParts(2), MemMetrics(m), MemLatency(time.Microsecond))
+	t.Cleanup(func() { _ = store.Close() })
+	engine := NewEngine(store, WithMetrics(m), WithAggTableThreshold(0))
+	var calls atomic.Int64
+	_, err := engine.Run(&Job{
+		Name:        "met",
+		StateTables: []string{"met_state"},
+		Aggregators: map[string]Aggregator{"n": IntSum{}},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			calls.Add(1)
+			ctx.AggregateValue("n", 1)
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.ComputeInvocations != calls.Load() {
+		t.Errorf("metrics invocations %d != %d", snap.ComputeInvocations, calls.Load())
+	}
+	if snap.AggregationRounds == 0 {
+		t.Error("table aggregation path not used despite threshold 0")
+	}
+}
+
+func TestFacadeCheckpointResume(t *testing.T) {
+	store := NewMemStore(MemParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	engine := NewEngine(store, WithCheckpoints(2))
+	build := func(abort bool) *Job {
+		j := &Job{
+			Name:        "fck",
+			StateTables: []string{"fck_state"},
+			Compute: ComputeFunc(func(ctx *Context) bool {
+				for _, m := range ctx.InputMessages() {
+					n := m.(int)
+					ctx.WriteState(0, n)
+					if n < 9 {
+						ctx.Send(ctx.Key().(int)+1, n+1)
+					}
+				}
+				return false
+			}),
+			Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+		}
+		if abort {
+			j.Aborter = AborterFunc(func(step int, _ map[string]any) bool { return step >= 4 })
+		}
+		return j
+	}
+	if _, err := engine.Run(build(true)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Resume(build(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 10 {
+		t.Errorf("Steps = %d, want 10", res.Steps)
+	}
+	if _, err := engine.Resume(build(false)); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("second resume err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestFacadeDumpAndEnumerate(t *testing.T) {
+	store := NewMemStore(MemParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	tab, _ := store.CreateTable("d")
+	for i := 0; i < 5; i++ {
+		_ = tab.Put(i, i*i)
+	}
+	dump, err := DumpTable(tab)
+	if err != nil || len(dump) != 5 {
+		t.Fatalf("DumpTable = %v, %v", dump, err)
+	}
+	n := 0
+	if err := EnumerateAll(tab, func(_, _ any) (bool, error) {
+		n++
+		return false, nil
+	}); err != nil || n != 5 {
+		t.Errorf("EnumerateAll visited %d, err %v", n, err)
+	}
+}
+
+type facadeCustom struct{ N int }
+
+func TestFacadeRegisterType(t *testing.T) {
+	RegisterType(facadeCustom{})
+	store := NewMemStore(MemParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	tab, _ := store.CreateTable("c")
+	if err := tab.Put("k", facadeCustom{N: 7}); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tab.Get("k")
+	if err != nil || !ok || v.(facadeCustom).N != 7 {
+		t.Errorf("Get = %v, %v, %v", v, ok, err)
+	}
+}
+
+func TestFacadeUbiquitousBroadcast(t *testing.T) {
+	store := NewMemStore(MemParts(3))
+	t.Cleanup(func() { _ = store.Close() })
+	ref, err := store.CreateTable("ref", Ubiquitous())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ref.Put("k", "broadcast")
+	engine := NewEngine(store)
+	var got atomic.Value
+	_, err = engine.Run(&Job{
+		Name:           "bc",
+		StateTables:    []string{"bc_state"},
+		ReferenceTable: "ref",
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			v, _ := ctx.Broadcast("k")
+			got.Store(v)
+			return false
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != "broadcast" {
+		t.Errorf("broadcast = %v", got.Load())
+	}
+}
