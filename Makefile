@@ -1,0 +1,23 @@
+# Ripple build/test entry points. `make ci` is the full gate: vet, build,
+# and the race-enabled test run.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .

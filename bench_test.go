@@ -16,11 +16,30 @@ import (
 	"ripple/internal/gridstore"
 	"ripple/internal/matrix"
 	"ripple/internal/memstore"
+	"ripple/internal/metrics"
 	"ripple/internal/pagerank"
 	"ripple/internal/sssp"
 	"ripple/internal/summa"
 	"ripple/internal/workload"
 )
+
+// reportMetrics publishes a benchmark's engine-counter snapshot alongside the
+// timings: messages and compute invocations as per-op benchmark metrics, the
+// full counter set and the step-duration histogram via the log.
+func reportMetrics(b *testing.B, col *metrics.Collector) {
+	b.Helper()
+	snap := col.Snapshot()
+	n := float64(b.N)
+	b.ReportMetric(float64(snap.MessagesSent)/n, "msgs/op")
+	b.ReportMetric(float64(snap.ComputeInvocations)/n, "invocations/op")
+	if snap.Steps > 0 {
+		b.ReportMetric(float64(snap.Steps)/n, "steps/op")
+	}
+	b.Logf("metrics: %s", snap)
+	if hist := col.StepDurations().Snapshot(); hist.Count > 0 {
+		b.Logf("step durations: %s", hist)
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Table I — PageRank: direct variant vs MapReduce variant.
@@ -49,11 +68,12 @@ func BenchmarkTable1PageRankDirect(b *testing.B) {
 	for _, shape := range table1Shapes {
 		b.Run(fmt.Sprintf("v%d_e%d", shape.vertices, shape.edges), func(b *testing.B) {
 			g := table1Graph(b, shape.vertices, shape.edges)
+			col := &metrics.Collector{}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				store := memstore.New(memstore.WithParts(6))
-				engine := NewEngine(store)
+				engine := NewEngine(store, WithMetrics(col))
 				if _, err := pagerank.LoadGraph(store, "g", g, 6); err != nil {
 					b.Fatal(err)
 				}
@@ -67,6 +87,7 @@ func BenchmarkTable1PageRankDirect(b *testing.B) {
 				_ = store.Close()
 				b.StartTimer()
 			}
+			reportMetrics(b, col)
 		})
 	}
 }
@@ -75,11 +96,12 @@ func BenchmarkTable1PageRankMapReduce(b *testing.B) {
 	for _, shape := range table1Shapes {
 		b.Run(fmt.Sprintf("v%d_e%d", shape.vertices, shape.edges), func(b *testing.B) {
 			g := table1Graph(b, shape.vertices, shape.edges)
+			col := &metrics.Collector{}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				store := memstore.New(memstore.WithParts(6))
-				engine := NewEngine(store)
+				engine := NewEngine(store, WithMetrics(col))
 				tab, err := pagerank.LoadGraph(store, "g", g, 6)
 				if err != nil {
 					b.Fatal(err)
@@ -97,6 +119,7 @@ func BenchmarkTable1PageRankMapReduce(b *testing.B) {
 				_ = store.Close()
 				b.StartTimer()
 			}
+			reportMetrics(b, col)
 		})
 	}
 }
@@ -182,17 +205,20 @@ func BenchmarkSSSPSelective(b *testing.B) {
 	}
 	store := memstore.New(memstore.WithParts(6))
 	defer func() { _ = store.Close() }()
-	drv := sssp.NewSelective(NewEngine(store), "sel", 0, 6)
+	col := &metrics.Collector{}
+	drv := sssp.NewSelective(NewEngine(store, WithMetrics(col)), "sel", 0, 6)
 	if err := drv.Init(g); err != nil {
 		b.Fatal(err)
 	}
 	batches := ssspBatches(64)
+	col.Reset() // measure the batches, not graph loading
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := drv.ApplyBatch(batches[i%len(batches)]); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportMetrics(b, col)
 }
 
 func BenchmarkSSSPFullScan(b *testing.B) {
@@ -202,17 +228,20 @@ func BenchmarkSSSPFullScan(b *testing.B) {
 	}
 	store := memstore.New(memstore.WithParts(6))
 	defer func() { _ = store.Close() }()
-	drv := sssp.NewFullScan(NewEngine(store), "fs", 0, 6)
+	col := &metrics.Collector{}
+	drv := sssp.NewFullScan(NewEngine(store, WithMetrics(col)), "fs", 0, 6)
 	if err := drv.Init(g); err != nil {
 		b.Fatal(err)
 	}
 	batches := ssspBatches(64)
+	col.Reset() // measure the batches, not graph loading
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := drv.ApplyBatch(batches[i%len(batches)]); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportMetrics(b, col)
 }
 
 // ---------------------------------------------------------------------------

@@ -16,6 +16,17 @@
 // At -scale 1 the workloads match the paper's sizes (132k-262k vertex
 // PageRank graphs, 100k-vertex/1.8M-edge SSSP graph, ten 1000-change
 // batches); smaller scales shrink vertex/edge counts proportionally.
+//
+// Observability flags:
+//
+//	-metrics-addr :9090   serve the run's shared collector in Prometheus
+//	                      text format at http://<addr>/metrics while the
+//	                      experiments execute (step-duration, barrier-wait,
+//	                      and part-compute histograms; queue-depth and
+//	                      enabled-component gauges; all counters)
+//	-trace spans.jsonl    dump the engine span log (step/barrier/compute/
+//	                      progress events) as JSONL after the run
+//	-trace-cap 16384      span ring-buffer capacity (oldest spans drop)
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"log"
 	"math"
 	"math/rand"
+	"net/http"
 	"os"
 	"time"
 
@@ -32,23 +44,56 @@ import (
 	"ripple/internal/gridstore"
 	"ripple/internal/matrix"
 	"ripple/internal/memstore"
+	"ripple/internal/metrics"
 	"ripple/internal/pagerank"
 	"ripple/internal/sssp"
 	"ripple/internal/summa"
+	"ripple/internal/trace"
 	"ripple/internal/workload"
 )
 
+// obsMetrics and obsTracer are shared by every engine the experiments
+// construct, so the exposition endpoint and the span dump cover the whole
+// run.
+var (
+	obsMetrics = &metrics.Collector{}
+	obsTracer  *trace.Tracer
+)
+
+// observedEngine builds an engine wired to the run's shared collector and
+// tracer.
+func observedEngine(store ripple.Store, opts ...ebsp.Option) *ripple.Engine {
+	opts = append(opts, ebsp.WithMetrics(obsMetrics), ebsp.WithTracer(obsTracer))
+	return ripple.NewEngine(store, opts...)
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, table2, summa, sssp, ablations, all")
-		scale  = flag.Float64("scale", 0.05, "fraction of paper-scale workload sizes")
-		trials = flag.Int("trials", 3, "trials per configuration (paper: 11/8/12)")
-		seed   = flag.Int64("seed", 42, "workload seed")
-		iters  = flag.Int("pagerank-iterations", 5, "PageRank iterations per trial")
+		exp         = flag.String("exp", "all", "experiment: table1, table2, summa, sssp, ablations, all")
+		scale       = flag.Float64("scale", 0.05, "fraction of paper-scale workload sizes")
+		trials      = flag.Int("trials", 3, "trials per configuration (paper: 11/8/12)")
+		seed        = flag.Int64("seed", 42, "workload seed")
+		iters       = flag.Int("pagerank-iterations", 5, "PageRank iterations per trial")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-format metrics on this address (e.g. :9090) during the run")
+		traceFile   = flag.String("trace", "", "write the span log as JSONL to this file after the run ('-' for stdout)")
+		traceCap    = flag.Int("trace-cap", trace.DefaultCapacity, "span ring-buffer capacity")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 1 {
 		log.Fatalf("scale %v out of (0, 1]", *scale)
+	}
+	if *traceFile != "" {
+		obsTracer = trace.New(*traceCap)
+	}
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.Handler(obsMetrics))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("serving metrics at http://%s/metrics for the duration of the run\n\n", *metricsAddr)
 	}
 
 	run := map[string]func(){
@@ -73,6 +118,36 @@ func main() {
 		}
 		fn()
 	}
+
+	if *traceFile != "" {
+		if err := dumpTrace(*traceFile); err != nil {
+			log.Fatalf("trace dump: %v", err)
+		}
+	}
+}
+
+// dumpTrace writes the shared tracer's span log as JSONL to path ("-" for
+// stdout).
+func dumpTrace(path string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		out = f
+	}
+	if err := obsTracer.WriteJSONL(out); err != nil {
+		return err
+	}
+	if dropped := obsTracer.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "trace: ring buffer dropped %d oldest spans (raise -trace-cap)\n", dropped)
+	}
+	if path != "-" {
+		fmt.Printf("wrote %d trace spans to %s\n", obsTracer.Len(), path)
+	}
+	return nil
 }
 
 // stats computes mean and sample standard deviation of seconds.
@@ -125,7 +200,7 @@ func runTable1(scale float64, trials int, seed int64, iterations int) {
 func timePageRank(g *workload.DirectedGraph, iterations int, mapreduceVariant bool) float64 {
 	store := memstore.New(memstore.WithParts(6))
 	defer func() { _ = store.Close() }()
-	engine := ripple.NewEngine(store)
+	engine := observedEngine(store)
 	tab, err := pagerank.LoadGraph(store, "g", g, 6)
 	if err != nil {
 		log.Fatal(err)
@@ -246,7 +321,7 @@ func runSSSP(scale float64, trials int, seed int64) {
 func timeSSSP(g *workload.UndirectedGraph, batches [][]workload.Change, selective bool) float64 {
 	store := memstore.New(memstore.WithParts(6))
 	defer func() { _ = store.Close() }()
-	engine := ripple.NewEngine(store, ebsp.WithMetrics(nil))
+	engine := observedEngine(store)
 
 	type driver interface {
 		Init(*workload.UndirectedGraph) error
@@ -301,7 +376,7 @@ func runAblations(scale float64, trials int, seed int64) {
 				opts = append(opts, memstore.WithoutMarshalling())
 			}
 			store := memstore.New(opts...)
-			engine := ripple.NewEngine(store)
+			engine := observedEngine(store)
 			if _, err := pagerank.LoadGraph(store, "g", g, 6); err != nil {
 				log.Fatal(err)
 			}

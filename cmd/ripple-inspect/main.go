@@ -8,9 +8,12 @@
 //	ripple-inspect -dir ./data -table users         # dump one table
 //	ripple-inspect -dir ./data -table users -stats  # per-part statistics
 //	ripple-inspect -dir ./data -table users -compact
+//	ripple-inspect -dir ./data -table users -compact -trace spans.jsonl
 //
 // The store directory is opened read-write (compaction rewrites logs); table
-// part counts are inferred from the log file names.
+// part counts are inferred from the log file names. With -trace, the store's
+// span log (per-part log replay on open, compaction passes) is written as
+// JSONL to the given file ('-' for stdout) before exit.
 package main
 
 import (
@@ -26,22 +29,36 @@ import (
 	"ripple/internal/codec"
 	"ripple/internal/diskstore"
 	"ripple/internal/kvstore"
+	"ripple/internal/trace"
 )
 
 var logName = regexp.MustCompile(`^(.+)\.(\d+)\.log$`)
 
+// tracer collects replay/compaction spans across every store this command
+// opens; nil (no -trace flag) disables recording.
+var tracer *trace.Tracer
+
 func main() {
 	var (
-		dir     = flag.String("dir", "", "disk store directory (required)")
-		table   = flag.String("table", "", "table to inspect (default: list all)")
-		stats   = flag.Bool("stats", false, "per-part statistics instead of a dump")
-		compact = flag.Bool("compact", false, "compact the table's logs")
-		limit   = flag.Int("limit", 50, "maximum pairs to dump (0 = all)")
+		dir       = flag.String("dir", "", "disk store directory (required)")
+		table     = flag.String("table", "", "table to inspect (default: list all)")
+		stats     = flag.Bool("stats", false, "per-part statistics instead of a dump")
+		compact   = flag.Bool("compact", false, "compact the table's logs")
+		limit     = flag.Int("limit", 50, "maximum pairs to dump (0 = all)")
+		traceFile = flag.String("trace", "", "write replay/compaction spans as JSONL to this file ('-' for stdout)")
 	)
 	flag.Parse()
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *traceFile != "" {
+		tracer = trace.New(trace.DefaultCapacity)
+		defer func() {
+			if err := dumpTrace(*traceFile); err != nil {
+				log.Fatalf("trace dump: %v", err)
+			}
+		}()
 	}
 
 	tables, err := discoverTables(*dir)
@@ -61,7 +78,7 @@ func main() {
 	if !ok {
 		log.Fatalf("no logs for table %q under %s", *table, *dir)
 	}
-	store, err := diskstore.New(*dir, diskstore.WithParts(parts))
+	store, err := diskstore.New(*dir, diskstore.WithParts(parts), diskstore.WithTracer(tracer))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -119,7 +136,7 @@ func listTables(dir string, tables map[string]int) {
 	fmt.Printf("%-32s %6s %10s %12s\n", "TABLE", "PARTS", "PAIRS", "LOG BYTES")
 	for _, name := range names {
 		parts := tables[name]
-		store, err := diskstore.New(dir, diskstore.WithParts(parts))
+		store, err := diskstore.New(dir, diskstore.WithParts(parts), diskstore.WithTracer(tracer))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -175,6 +192,26 @@ func dump(tab kvstore.Table, limit int) {
 		}
 		fmt.Printf("%v\t%v\n", p.k, p.v)
 	}
+}
+
+// dumpTrace writes the collected spans as JSONL to path ("-" for stdout).
+func dumpTrace(path string) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		out = f
+	}
+	if err := tracer.WriteJSONL(out); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Fprintf(os.Stderr, "wrote %d trace spans to %s\n", tracer.Len(), path)
+	}
+	return nil
 }
 
 func max64(a, b int64) int64 {

@@ -20,9 +20,12 @@ import (
 	"sort"
 	"sync"
 
+	"time"
+
 	"ripple/internal/codec"
 	"ripple/internal/kvstore"
 	"ripple/internal/metrics"
+	"ripple/internal/trace"
 )
 
 // Option configures a Store.
@@ -42,11 +45,18 @@ func WithMetrics(m *metrics.Collector) Option {
 	return func(s *Store) { s.metrics = m }
 }
 
+// WithTracer attaches an event tracer recording log replays on table open
+// and per-part compactions.
+func WithTracer(t *trace.Tracer) Option {
+	return func(s *Store) { s.tracer = t }
+}
+
 // Store is the disk-backed store. All data live under its base directory.
 type Store struct {
 	dir          string
 	defaultParts int
 	metrics      *metrics.Collector
+	tracer       *trace.Tracer
 
 	mu     sync.Mutex
 	closed bool
@@ -165,10 +175,14 @@ func (s *Store) openPartLog(table string, part int) (*partLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("diskstore: open %s: %w", path, err)
 	}
+	start := time.Now()
 	pl := &partLog{file: f, index: make(map[any]entry)}
 	if err := pl.replay(); err != nil {
 		_ = f.Close()
 		return nil, fmt.Errorf("diskstore: replay %s: %w", path, err)
+	}
+	if pl.size > 0 {
+		s.tracer.Record(trace.KindLogReplay, table, 0, part, pl.size, time.Since(start))
 	}
 	pl.writer = bufio.NewWriter(f)
 	return pl, nil
@@ -436,6 +450,8 @@ func (s *Store) compactPart(t *table, part int) error {
 	if err := pl.writer.Flush(); err != nil {
 		return err
 	}
+	start := time.Now()
+	sizeBefore := pl.size
 
 	tmpPath := s.logPath(t.name, part) + ".compact"
 	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
@@ -477,6 +493,7 @@ func (s *Store) compactPart(t *table, part int) error {
 		return err
 	}
 	*pl = *fresh
+	s.tracer.Record(trace.KindCompaction, t.name, 0, part, sizeBefore-pl.size, time.Since(start))
 	return nil
 }
 

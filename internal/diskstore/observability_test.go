@@ -1,0 +1,93 @@
+package diskstore
+
+import (
+	"testing"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+	"ripple/internal/trace"
+)
+
+func TestStoreWriteHistogram(t *testing.T) {
+	col := &metrics.Collector{}
+	s := newStore(t, WithMetrics(col))
+	tab, err := s.CreateTable("t", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := tab.Put(i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tab.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	// 5 puts + 1 delete, each one log append.
+	if got := col.StoreWrites().Count(); got != 6 {
+		t.Errorf("store-write observations = %d, want 6", got)
+	}
+	if col.StoreWrites().Sum() < 0 {
+		t.Error("negative write-time sum")
+	}
+}
+
+func TestReplayAndCompactionSpans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := s.CreateTable("t", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := tab.Put(i%4, i); err != nil { // heavy overwriting, compactible
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with a tracer: the log replay must be recorded, and a compaction
+	// pass adds compaction spans with reclaimed record counts.
+	tr := trace.New(64)
+	s2, err := New(dir, WithParts(2), WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s2.Close() })
+	if _, err := s2.CreateTable("t", kvstore.WithParts(2)); err != nil {
+		t.Fatal(err)
+	}
+	var replays int
+	for _, sp := range tr.Snapshot() {
+		if sp.Kind == trace.KindLogReplay {
+			replays++
+			if sp.Job != "t" || sp.N <= 0 {
+				t.Errorf("replay span = %+v", sp)
+			}
+		}
+	}
+	if replays == 0 {
+		t.Fatal("no log-replay spans after reopen")
+	}
+
+	if err := s2.Compact("t"); err != nil {
+		t.Fatal(err)
+	}
+	var compactions int
+	for _, sp := range tr.Snapshot() {
+		if sp.Kind == trace.KindCompaction {
+			compactions++
+			if sp.N < 0 {
+				t.Errorf("compaction reclaimed %d records", sp.N)
+			}
+		}
+	}
+	if compactions == 0 {
+		t.Fatal("no compaction spans")
+	}
+}

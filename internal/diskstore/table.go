@@ -3,6 +3,7 @@ package diskstore
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"ripple/internal/codec"
 	"ripple/internal/kvstore"
@@ -80,7 +81,12 @@ func (t *table) Put(key, value any) error {
 		return err
 	}
 	defer sh.mu.Unlock()
-	return pl.appendRecord(opPut, key, value)
+	start := time.Now()
+	if err := pl.appendRecord(opPut, key, value); err != nil {
+		return err
+	}
+	t.store.metrics.StoreWrites().ObserveDuration(time.Since(start))
+	return nil
 }
 
 // Delete implements kvstore.Table.
@@ -94,7 +100,12 @@ func (t *table) Delete(key any) error {
 	if _, ok := pl.index[key]; !ok {
 		return nil
 	}
-	return pl.appendRecord(opDelete, key, nil)
+	start := time.Now()
+	if err := pl.appendRecord(opDelete, key, nil); err != nil {
+		return err
+	}
+	t.store.metrics.StoreWrites().ObserveDuration(time.Since(start))
+	return nil
 }
 
 // Size implements kvstore.Table.
@@ -265,7 +276,12 @@ func (pv *partView) Put(key, value any) error {
 	if err != nil {
 		return err
 	}
-	return pl.appendRecord(opPut, key, value)
+	start := time.Now()
+	if err := pl.appendRecord(opPut, key, value); err != nil {
+		return err
+	}
+	pv.store.metrics.StoreWrites().ObserveDuration(time.Since(start))
+	return nil
 }
 
 // Delete implements kvstore.PartView.

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ripple/internal/kvstore"
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
+	"ripple/internal/trace"
 )
 
 // Engine executes K/V EBSP jobs against one store (paper §IV-A). An Engine
@@ -17,11 +19,14 @@ type Engine struct {
 	store           kvstore.Store
 	mqsys           *mq.System
 	metrics         *metrics.Collector
+	tracer          *trace.Tracer
 	override        func(Strategy) Strategy
 	observer        StepObserver
-	aggTabTh        int // aggregator count above which the table-based path is used
-	retries         int // per-part step retries under fast recovery
-	checkpointEvery int // barrier interval between checkpoints; 0 disables
+	progress        ProgressObserver
+	progressEvery   int64 // no-sync envelope-count watermark interval
+	aggTabTh        int   // aggregator count above which the table-based path is used
+	retries         int   // per-part step retries under fast recovery
+	checkpointEvery int   // barrier interval between checkpoints; 0 disables
 }
 
 // Option configures an Engine.
@@ -30,6 +35,13 @@ type Option func(*Engine)
 // WithMetrics attaches a metrics collector.
 func WithMetrics(m *metrics.Collector) Option {
 	return func(e *Engine) { e.metrics = m }
+}
+
+// WithTracer attaches an event tracer recording span events (job/step
+// boundaries, barriers, per-part compute, checkpoints, no-sync progress)
+// for both execution modes.
+func WithTracer(t *trace.Tracer) Option {
+	return func(e *Engine) { e.tracer = t }
 }
 
 // WithMQ supplies the message-queuing system used for no-sync execution.
@@ -83,6 +95,9 @@ func (e *Engine) Store() kvstore.Store { return e.store }
 // Metrics returns the engine's collector (possibly nil).
 func (e *Engine) Metrics() *metrics.Collector { return e.metrics }
 
+// Tracer returns the engine's event tracer (possibly nil).
+func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
 // jobRun is the per-execution state shared by the sync and no-sync paths.
 type jobRun struct {
 	engine   *Engine
@@ -104,6 +119,8 @@ type jobRun struct {
 
 	directMu   sync.Mutex
 	recoveries atomic.Int64
+	delivered  atomic.Int64 // no-sync: envelopes delivered (progress watermarks)
+	sent       atomic.Int64 // no-sync: envelopes sent, seeds included
 
 	ownsPlacement bool
 	privateTables []string
@@ -155,6 +172,8 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 		return nil, err
 	}
 
+	jobStart := time.Now()
+	e.tracer.Record(trace.KindJobStart, job.Name, 0, -1, int64(run.parts), 0)
 	var res *Result
 	if strategy.Sync {
 		res, err = run.runSync(lc)
@@ -164,6 +183,7 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.tracer.Record(trace.KindJobEnd, job.Name, res.Steps, -1, int64(res.Steps), time.Since(jobStart))
 	res.Strategy = strategy
 	res.Recoveries = int(run.recoveries.Load())
 	if err := run.export(); err != nil {

@@ -8,6 +8,7 @@ import (
 	"ripple/internal/kvstore"
 	"ripple/internal/mq"
 	"ripple/internal/termination"
+	"ripple/internal/trace"
 )
 
 // noSyncPoll is how long an idle worker waits for a message before checking
@@ -47,6 +48,8 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 			return nil, fmt.Errorf("ebsp: seed message: %w", err)
 		}
 		run.engine.metrics.AddMessagesSent(1)
+		run.engine.metrics.InFlightEnvelopes().Inc()
+		run.sent.Add(1)
 	}
 
 	var failed atomic.Bool
@@ -61,6 +64,17 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 	}
 	if derr := det.Err(); derr != nil {
 		return nil, fmt.Errorf("ebsp: termination detection: %w", derr)
+	}
+	// The run quiesced: the final progress notification — the one observers
+	// can always count on, however few envelopes flowed.
+	if err := run.notifyProgress(ProgressInfo{
+		Job:       run.job.Name,
+		Part:      -1,
+		Delivered: run.delivered.Load(),
+		Sent:      run.sent.Load(),
+		Quiescent: true,
+	}); err != nil {
+		return nil, err
 	}
 	return &Result{Steps: 0, Aggregates: run.aggPrev}, nil
 }
@@ -107,6 +121,8 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 		raw, ok := r.Read(noSyncPoll)
 		if !ok {
 			if det.Quiescent() {
+				run.engine.tracer.Record(trace.KindQuiesce, run.job.Name, 0, sv.Part(),
+					run.delivered.Load(), 0)
 				return nil
 			}
 			continue
@@ -130,7 +146,37 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 			return rerr
 		}
 		sink.held = 0
+		run.engine.metrics.InFlightEnvelopes().Dec()
+		if perr := run.noSyncDelivered(sv.Part(), r); perr != nil {
+			failed.Store(true)
+			return perr
+		}
 	}
+}
+
+// noSyncDelivered counts one delivered envelope and fires the progress
+// observer when the watermark is crossed — the no-sync counterpart of the
+// per-step observer notification.
+func (run *jobRun) noSyncDelivered(part int, r *mq.Reader) error {
+	d := run.delivered.Add(1)
+	every := run.engine.progressEvery
+	if every <= 0 {
+		every = DefaultProgressEvery // trace-only watermarks without an observer
+	}
+	if d%every != 0 {
+		return nil
+	}
+	run.engine.tracer.Record(trace.KindProgress, run.job.Name, 0, part, d, 0)
+	if run.engine.progress == nil {
+		return nil
+	}
+	return run.notifyProgress(ProgressInfo{
+		Job:       run.job.Name,
+		Part:      part,
+		Delivered: d,
+		Sent:      run.sent.Load(),
+		Queued:    int64(r.Len()),
+	})
 }
 
 // processNoSyncMessage handles one delivered envelope: a state-creation
@@ -226,6 +272,8 @@ func (s *queueSink) add(env envelope, run *jobRun) {
 		return
 	}
 	run.engine.metrics.AddMessagesSent(1)
+	run.engine.metrics.InFlightEnvelopes().Inc()
+	run.sent.Add(1)
 }
 
 func (s *queueSink) addDirect(key, value any) {

@@ -1,0 +1,220 @@
+package ebsp
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"ripple/internal/metrics"
+	"ripple/internal/trace"
+)
+
+// countKinds tallies a span log by kind.
+func countKinds(spans []trace.Span) map[trace.Kind]int {
+	counts := make(map[trace.Kind]int)
+	for _, s := range spans {
+		counts[s.Kind]++
+	}
+	return counts
+}
+
+func TestSyncRunPopulatesInstrumentsAndSpans(t *testing.T) {
+	col := &metrics.Collector{}
+	tr := trace.New(1024)
+	e := newEngine(t, WithMetrics(col), WithTracer(tr), WithCheckpoints(1))
+	job := &Job{
+		Name:        "sync-observed",
+		StateTables: []string{"so_state"},
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			ctx.WriteState(0, ctx.StepNum())
+			return ctx.StepNum() < 3
+		}),
+		Loaders: []Loader{&EnableLoader{Keys: []any{1, 2, 3}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Strategy.Sync {
+		t.Fatal("expected synchronized execution")
+	}
+
+	if got := col.StepDurations().Count(); got != int64(res.Steps) {
+		t.Errorf("step-duration observations = %d, want %d", got, res.Steps)
+	}
+	if col.PartComputes().Count() == 0 {
+		t.Error("no part-compute observations")
+	}
+	if col.BarrierWaits().Count() == 0 {
+		t.Error("no barrier-wait observations")
+	}
+	if col.CheckpointWrites().Count() == 0 {
+		t.Error("no checkpoint-write observations despite WithCheckpoints(1)")
+	}
+	// The final step runs all three enabled components.
+	if got := col.EnabledComponents().Load(); got != 3 {
+		t.Errorf("enabled components = %d, want 3", got)
+	}
+
+	counts := countKinds(tr.Snapshot())
+	if counts[trace.KindJobStart] != 1 || counts[trace.KindJobEnd] != 1 {
+		t.Errorf("job spans = %d start, %d end", counts[trace.KindJobStart], counts[trace.KindJobEnd])
+	}
+	if counts[trace.KindStepStart] != res.Steps || counts[trace.KindStepEnd] != res.Steps {
+		t.Errorf("step spans = %d start, %d end, want %d each",
+			counts[trace.KindStepStart], counts[trace.KindStepEnd], res.Steps)
+	}
+	if counts[trace.KindBarrier] != res.Steps {
+		t.Errorf("barrier spans = %d, want %d", counts[trace.KindBarrier], res.Steps)
+	}
+	if counts[trace.KindPartCompute] == 0 {
+		t.Error("no part-compute spans")
+	}
+	if counts[trace.KindCheckpoint] == 0 {
+		t.Error("no checkpoint spans")
+	}
+}
+
+func TestNoSyncRunFiresProgressAndSpans(t *testing.T) {
+	col := &metrics.Collector{}
+	tr := trace.New(1024)
+	var mu sync.Mutex
+	var infos []ProgressInfo
+	e := newEngine(t,
+		WithMetrics(col),
+		WithTracer(tr),
+		WithProgressObserver(ProgressObserverFunc(func(info ProgressInfo) {
+			mu.Lock()
+			infos = append(infos, info)
+			mu.Unlock()
+		}), 1))
+	job := &Job{
+		Name:        "ns-progress",
+		StateTables: []string{"nsp_state"},
+		Properties:  Properties{Incremental: true},
+		Compute:     &incrementalChain{hops: 3},
+		Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy.Sync {
+		t.Fatal("expected no-sync execution")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(infos) == 0 {
+		t.Fatal("no progress notifications")
+	}
+	var watermarks, quiescent int
+	for _, info := range infos {
+		if info.Job != "ns-progress" {
+			t.Errorf("info job = %q", info.Job)
+		}
+		if info.Quiescent {
+			quiescent++
+			if info.Part != -1 {
+				t.Errorf("quiescent notification part = %d, want -1", info.Part)
+			}
+		} else {
+			watermarks++
+			if info.Part < 0 {
+				t.Errorf("watermark part = %d", info.Part)
+			}
+			if info.Delivered < 1 {
+				t.Errorf("watermark delivered = %d", info.Delivered)
+			}
+		}
+	}
+	// The chain delivers 4 envelopes (seed + 3 hops); with every=1 each is a
+	// watermark, and quiescence always adds exactly one final notification.
+	if watermarks != 4 {
+		t.Errorf("watermark notifications = %d, want 4", watermarks)
+	}
+	if quiescent != 1 {
+		t.Errorf("quiescent notifications = %d, want 1", quiescent)
+	}
+	last := infos[len(infos)-1]
+	if !last.Quiescent || last.Delivered != 4 || last.Sent != 4 {
+		t.Errorf("final notification = %+v", last)
+	}
+
+	counts := countKinds(tr.Snapshot())
+	if counts[trace.KindProgress] == 0 {
+		t.Error("no progress spans")
+	}
+	if counts[trace.KindQuiesce] == 0 {
+		t.Error("no quiescence spans")
+	}
+	if got := col.InFlightEnvelopes().Load(); got != 0 {
+		t.Errorf("in-flight envelopes after quiescence = %d, want 0", got)
+	}
+}
+
+func TestNoSyncAlwaysFiresFinalProgress(t *testing.T) {
+	// Even with a watermark interval far larger than the run, the observer
+	// gets the guaranteed quiescence notification.
+	var infos []ProgressInfo
+	var mu sync.Mutex
+	e := newEngine(t, WithProgressObserver(ProgressObserverFunc(func(info ProgressInfo) {
+		mu.Lock()
+		infos = append(infos, info)
+		mu.Unlock()
+	}), 1_000_000))
+	job := &Job{
+		Name:        "ns-tiny",
+		StateTables: []string{"nst_state"},
+		Properties:  Properties{Incremental: true},
+		Compute:     &incrementalChain{hops: 1},
+		Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	if _, err := e.Run(job); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(infos) != 1 || !infos[0].Quiescent {
+		t.Fatalf("notifications = %+v, want exactly the quiescent one", infos)
+	}
+}
+
+func TestStepObserverPanicBecomesJobError(t *testing.T) {
+	e := newEngine(t, WithObserver(StepObserverFunc(func(StepInfo) {
+		panic("observer boom")
+	})))
+	job := &Job{
+		Name:        "panicking-observer",
+		StateTables: []string{"po_state"},
+		Compute:     ComputeFunc(func(ctx *Context) bool { return false }),
+		Loaders:     []Loader{&EnableLoader{Keys: []any{1}}},
+	}
+	_, err := e.Run(job)
+	if err == nil {
+		t.Fatal("observer panic did not fail the job")
+	}
+	if !strings.Contains(err.Error(), "observer panicked") || !strings.Contains(err.Error(), "observer boom") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestProgressObserverPanicBecomesJobError(t *testing.T) {
+	e := newEngine(t, WithProgressObserver(ProgressObserverFunc(func(ProgressInfo) {
+		panic("progress boom")
+	}), 1))
+	job := &Job{
+		Name:        "panicking-progress",
+		StateTables: []string{"pp_state"},
+		Properties:  Properties{Incremental: true},
+		Compute:     &incrementalChain{hops: 2},
+		Loaders:     []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}}},
+	}
+	_, err := e.Run(job)
+	if err == nil {
+		t.Fatal("progress observer panic did not fail the job")
+	}
+	if !strings.Contains(err.Error(), "progress observer panicked") {
+		t.Errorf("error = %v", err)
+	}
+}

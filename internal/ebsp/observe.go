@@ -1,11 +1,15 @@
 package ebsp
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // StepObserver receives a notification after every synchronized step — for
 // progress reporting, tracing, and experiment harnesses. Observers run on
 // the engine's coordinating goroutine between barrier and next step; keep
-// them fast.
+// them fast. A panicking observer does not unwind the engine: the panic is
+// recovered and reported as the job's error.
 type StepObserver interface {
 	StepCompleted(info StepInfo)
 }
@@ -32,7 +36,94 @@ type StepInfo struct {
 }
 
 // WithObserver installs a step observer on the engine. No-sync execution has
-// no steps and produces no notifications.
+// no steps and produces no step notifications; use WithProgressObserver to
+// observe no-sync runs.
 func WithObserver(o StepObserver) Option {
 	return func(e *Engine) { e.observer = o }
+}
+
+// ProgressObserver receives notifications from no-sync execution, which has
+// no steps for a StepObserver to see: one notification per envelope-count
+// watermark (every `every` delivered envelopes, see WithProgressObserver)
+// and a final one at quiescence. Observers run on a worker goroutine; keep
+// them fast. Like StepObserver, a panicking observer is recovered and
+// reported as the job's error.
+type ProgressObserver interface {
+	Progress(info ProgressInfo)
+}
+
+// ProgressObserverFunc adapts a function to ProgressObserver.
+type ProgressObserverFunc func(info ProgressInfo)
+
+// Progress implements ProgressObserver.
+func (f ProgressObserverFunc) Progress(info ProgressInfo) { f(info) }
+
+// ProgressInfo describes a no-sync run's progress at one watermark.
+type ProgressInfo struct {
+	// Job is the job's name.
+	Job string
+	// Part is the part whose worker crossed the watermark (-1 for the final
+	// quiescence notification).
+	Part int
+	// Delivered is the total number of envelopes delivered so far.
+	Delivered int64
+	// Sent is the total number of envelopes sent so far (seeds included).
+	Sent int64
+	// Queued is the observing worker's local queue depth (0 at quiescence).
+	Queued int64
+	// Quiescent marks the final notification: all work is done.
+	Quiescent bool
+}
+
+// DefaultProgressEvery is the envelope-count watermark interval used when
+// WithProgressObserver is given a non-positive one.
+const DefaultProgressEvery = 1024
+
+// WithProgressObserver installs a progress observer fired by no-sync
+// execution on envelope-count watermarks: a notification every `every`
+// delivered envelopes, plus a final one at quiescence. every <= 0 means
+// DefaultProgressEvery. Synchronized execution reports through StepObserver
+// instead and never fires it.
+func WithProgressObserver(o ProgressObserver, every int64) Option {
+	return func(e *Engine) {
+		e.progress = o
+		if every <= 0 {
+			every = DefaultProgressEvery
+		}
+		e.progressEvery = every
+	}
+}
+
+// notifyStep dispatches one StepCompleted notification, converting an
+// observer panic into an error so it cannot unwind the engine's
+// coordinating goroutine and kill the process.
+func (run *jobRun) notifyStep(info StepInfo) (err error) {
+	o := run.engine.observer
+	if o == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ebsp: job %q step observer panicked after step %d: %v",
+				info.Job, info.Step, r)
+		}
+	}()
+	o.StepCompleted(info)
+	return nil
+}
+
+// notifyProgress dispatches one Progress notification with the same panic
+// containment as notifyStep.
+func (run *jobRun) notifyProgress(info ProgressInfo) (err error) {
+	o := run.engine.progress
+	if o == nil {
+		return nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("ebsp: job %q progress observer panicked: %v", info.Job, r)
+		}
+	}()
+	o.Progress(info)
+	return nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"ripple/internal/codec"
 	"ripple/internal/kvstore"
+	"ripple/internal/trace"
 )
 
 // partMetaKey addresses the completed-step record of one part in the
@@ -94,22 +95,27 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 		}
 		step := steps + 1
 		stepStart := time.Now()
+		run.engine.tracer.Record(trace.KindStepStart, run.job.Name, step, -1, pending, 0)
 		emitted, aggs, err := run.execStep(step)
 		if err != nil {
 			return nil, err
 		}
 		steps = step
+		stepDur := time.Since(stepStart)
 		run.engine.metrics.AddSteps(1)
 		run.engine.metrics.AddBarriers(1)
+		run.engine.metrics.StepDurations().ObserveDuration(stepDur)
+		run.engine.metrics.InFlightEnvelopes().Set(emitted)
+		run.engine.tracer.Record(trace.KindStepEnd, run.job.Name, step, -1, emitted, stepDur)
 		run.aggPrev = aggs
-		if run.engine.observer != nil {
-			run.engine.observer.StepCompleted(StepInfo{
-				Job:        run.job.Name,
-				Step:       step,
-				Emitted:    emitted,
-				Aggregates: aggs,
-				Duration:   time.Since(stepStart),
-			})
+		if err := run.notifyStep(StepInfo{
+			Job:        run.job.Name,
+			Step:       step,
+			Emitted:    emitted,
+			Aggregates: aggs,
+			Duration:   stepDur,
+		}); err != nil {
+			return nil, err
 		}
 		if run.aggResults != nil {
 			run.engine.metrics.AddAggregationRounds(1)
@@ -122,9 +128,13 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 		// Checkpoint before consulting the aborter, so an aborted job can
 		// still be resumed from this barrier.
 		if run.engine.checkpointEvery > 0 && emitted > 0 && step%run.engine.checkpointEvery == 0 {
+			ckptStart := time.Now()
 			if err := run.checkpoint(step, emitted); err != nil {
 				return nil, err
 			}
+			ckptDur := time.Since(ckptStart)
+			run.engine.metrics.CheckpointWrites().ObserveDuration(ckptDur)
+			run.engine.tracer.Record(trace.KindCheckpoint, run.job.Name, step, -1, emitted, ckptDur)
 		}
 		if run.job.Aborter != nil && run.job.Aborter.ShouldAbort(step, aggs) {
 			aborted = true
@@ -179,6 +189,9 @@ type partStepResult struct {
 	emitted int64
 	aggs    map[string]any
 	envs    []envelope // run-anywhere: drained data envelopes for the pool
+	invoked int64      // compute invocations (enabled components) this step
+	merged  int64      // messages eliminated by the combiner this step
+	dur     time.Duration
 }
 
 // execStep runs one step across all parts and merges the aggregations.
@@ -207,11 +220,45 @@ func (run *jobRun) execStep(step int) (int64, map[string]any, error) {
 	for _, r := range results {
 		emitted += r.emitted
 	}
+	run.observePartStats(step, results)
 	aggs, err := run.mergeAggregations(step, results)
 	if err != nil {
 		return 0, nil, err
 	}
 	return emitted, aggs, nil
+}
+
+// observePartStats publishes one step's per-part measurements: compute-time
+// and barrier-wait histograms (each part idles behind the step's slowest
+// part), per-part spans, the combiner's effectiveness, and the
+// enabled-component gauge (selective enablement in action).
+func (run *jobRun) observePartStats(step int, results []*partStepResult) {
+	m := run.engine.metrics
+	tr := run.engine.tracer
+	if m == nil && tr == nil {
+		return
+	}
+	var slowest, fastest time.Duration
+	var invoked int64
+	for i, r := range results {
+		if i == 0 || r.dur < fastest {
+			fastest = r.dur
+		}
+		if r.dur > slowest {
+			slowest = r.dur
+		}
+		invoked += r.invoked
+	}
+	for p, r := range results {
+		m.PartComputes().ObserveDuration(r.dur)
+		m.BarrierWaits().ObserveDuration(slowest - r.dur)
+		tr.Record(trace.KindPartCompute, run.job.Name, step, p, r.invoked, r.dur)
+		if r.merged > 0 {
+			tr.Record(trace.KindCombinerMerge, run.job.Name, step, p, r.merged, 0)
+		}
+	}
+	m.EnabledComponents().Set(invoked)
+	tr.Record(trace.KindBarrier, run.job.Name, step, -1, int64(len(results)), slowest-fastest)
 }
 
 // execPartStep runs one part's share of a step, with replay-based recovery
@@ -276,6 +323,7 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 				err = fmt.Errorf("ebsp: part %d step %d: compute panicked: %v", part, step, r)
 			}
 		}()
+		partStart := time.Now()
 		transport, err := sv.View(run.transport.Name())
 		if err != nil {
 			return nil, err
@@ -303,7 +351,9 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 
 		out := newOutBuffer(part, run.parts, run.placement.PartOf, run.job.combiner())
 		aggLocal := make(map[string]any)
+		var invoked, merged int64
 		invoke := func(key any, msgs []any, continued bool) error {
+			invoked++
 			return run.invokeCompute(&Context{
 				run:       run,
 				step:      step,
@@ -317,9 +367,13 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 				broadcast: bview,
 			}, out)
 		}
+		countCombined := func(n int64) {
+			merged += n
+			run.engine.metrics.AddMessagesCombined(n)
+		}
 
 		if run.strategy.Collect {
-			err = deliverCollected(envs, run.strategy.Sort, run.job.combiner(), run.engine.metrics.AddMessagesCombined, invoke)
+			err = deliverCollected(envs, run.strategy.Sort, run.job.combiner(), countCombined, invoke)
 		} else {
 			err = deliverUncollected(envs, run.strategy.Sort, run.job.Properties.OneMsg, invoke)
 		}
@@ -333,7 +387,10 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 		if err := out.exportDirect(run); err != nil {
 			return nil, err
 		}
-		result := &partStepResult{emitted: out.count, aggs: aggLocal}
+		result := &partStepResult{
+			emitted: out.count, aggs: aggLocal,
+			invoked: invoked, merged: merged, dur: time.Since(partStart),
+		}
 		if run.aggPartials != nil {
 			partials, err := sv.View(run.aggPartials.Name())
 			if err != nil {
@@ -582,6 +639,8 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 	for _, envs := range drained {
 		tasks = append(tasks, envs...)
 	}
+	// Under work stealing each data envelope is exactly one invocation.
+	run.engine.metrics.EnabledComponents().Set(int64(len(tasks)))
 
 	// Phase B: a worker pool steals tasks without regard to placement.
 	workers := runtime.NumCPU()

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+)
+
+// WritePrometheus renders a collector in the Prometheus text exposition
+// format (version 0.0.4): every counter as a ripple_*_total counter, the
+// gauges as ripple_* gauges (queue depth with a part label), and every
+// histogram as a ripple_*_seconds histogram with cumulative power-of-two
+// buckets. A nil collector writes nothing and returns nil.
+func WritePrometheus(w io.Writer, c *Collector) error {
+	if c == nil {
+		return nil
+	}
+	snap := c.Snapshot()
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"ripple_steps_total", "Completed BSP steps.", snap.Steps},
+		{"ripple_barriers_total", "Synchronization barriers crossed.", snap.Barriers},
+		{"ripple_messages_sent_total", "BSP messages sent.", snap.MessagesSent},
+		{"ripple_messages_combined_total", "Messages eliminated by a combiner.", snap.MessagesCombined},
+		{"ripple_compute_invocations_total", "Component compute invocations.", snap.ComputeInvocations},
+		{"ripple_marshalled_bytes_total", "Bytes marshalled across emulated partitions.", snap.MarshalledBytes},
+		{"ripple_store_gets_total", "Key/value store gets.", snap.StoreGets},
+		{"ripple_store_puts_total", "Key/value store puts.", snap.StorePuts},
+		{"ripple_store_deletes_total", "Key/value store deletes.", snap.StoreDeletes},
+		{"ripple_spills_total", "Spill batches written to the transport table.", snap.Spills},
+		{"ripple_aggregation_rounds_total", "Extra table-based aggregation rounds.", snap.AggregationRounds},
+		{"ripple_recoveries_total", "Fault-recovery replays.", snap.Recoveries},
+	}
+	for _, ctr := range counters {
+		if err := writeMeta(w, ctr.name, ctr.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", ctr.name, ctr.v); err != nil {
+			return err
+		}
+	}
+
+	if err := writeMeta(w, "ripple_enabled_components", "Compute invocations in the latest synchronized step.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_enabled_components %d\n", c.EnabledComponents().Load()); err != nil {
+		return err
+	}
+	if err := writeMeta(w, "ripple_inflight_envelopes", "Envelopes emitted but not yet delivered.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_inflight_envelopes %d\n", c.InFlightEnvelopes().Load()); err != nil {
+		return err
+	}
+	if err := writeMeta(w, "ripple_queue_depth", "Per-part message queue depth (no-sync execution).", "gauge"); err != nil {
+		return err
+	}
+	depths := c.QueueDepths().Snapshot()
+	parts := make([]int, 0, len(depths))
+	for p := range depths {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	for _, p := range parts {
+		if _, err := fmt.Fprintf(w, "ripple_queue_depth{part=\"%d\"} %d\n", p, depths[p]); err != nil {
+			return err
+		}
+	}
+
+	hists := []struct {
+		name, help string
+		h          *Histogram
+	}{
+		{"ripple_step_duration_seconds", "Whole-step wall-clock time, barrier included.", c.StepDurations()},
+		{"ripple_barrier_wait_seconds", "Per-part idle time at the barrier behind the slowest part.", c.BarrierWaits()},
+		{"ripple_part_compute_seconds", "Per-part compute time of one step.", c.PartComputes()},
+		{"ripple_checkpoint_write_seconds", "Barrier-state snapshot write time.", c.CheckpointWrites()},
+		{"ripple_store_write_seconds", "Durable store write (log append) time.", c.StoreWrites()},
+	}
+	for _, hd := range hists {
+		if err := writeHistogram(w, hd.name, hd.help, hd.h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeMeta(w io.Writer, name, help, typ string) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	return err
+}
+
+// writeHistogram emits one histogram: cumulative buckets up to the highest
+// populated one, then +Inf, _sum, and _count. Nanosecond values are exposed
+// in seconds, per Prometheus convention.
+func writeHistogram(w io.Writer, name, help string, s HistogramSnapshot) error {
+	if err := writeMeta(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	top := 0
+	for i, n := range s.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		le := float64(BucketBound(i)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}
+
+// Handler serves the collector in the Prometheus text format, for mounting
+// at /metrics.
+func Handler(c *Collector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, c)
+	})
+}

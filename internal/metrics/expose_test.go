@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusNilCollector(t *testing.T) {
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil collector wrote %q", sb.String())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	c := &Collector{}
+	c.AddSteps(3)
+	c.AddMessagesSent(42)
+	c.StepDurations().ObserveDuration(3 * time.Millisecond)
+	c.StepDurations().ObserveDuration(5 * time.Millisecond)
+	c.QueueDepths().Set(0, 7)
+	c.QueueDepths().Set(2, 1)
+	c.EnabledComponents().Set(11)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, c); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, frag := range []string{
+		"# TYPE ripple_steps_total counter",
+		"ripple_steps_total 3",
+		"ripple_messages_sent_total 42",
+		"# TYPE ripple_step_duration_seconds histogram",
+		"ripple_step_duration_seconds_count 2",
+		"ripple_step_duration_seconds_sum 0.008",
+		`ripple_step_duration_seconds_bucket{le="+Inf"} 2`,
+		"# TYPE ripple_queue_depth gauge",
+		`ripple_queue_depth{part="0"} 7`,
+		`ripple_queue_depth{part="2"} 1`,
+		"ripple_enabled_components 11",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q\n---\n%s", frag, out)
+		}
+	}
+
+	// Buckets must be cumulative and end at the total count.
+	if !strings.Contains(out, "ripple_step_duration_seconds_bucket{le=") {
+		t.Fatal("no finite step-duration buckets")
+	}
+	last := int64(-1)
+	for _, ln := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(ln, "ripple_step_duration_seconds_bucket") {
+			continue
+		}
+		v, err := strconv.ParseInt(ln[strings.LastIndexByte(ln, ' ')+1:], 10, 64)
+		if err != nil {
+			t.Fatalf("parse %q: %v", ln, err)
+		}
+		if v < last {
+			t.Errorf("bucket counts not cumulative: %q after %d", ln, last)
+		}
+		last = v
+	}
+	if last != 2 {
+		t.Errorf("final bucket = %d, want 2", last)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	c := &Collector{}
+	c.AddBarriers(5)
+	c.StepDurations().Observe(1000)
+
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.Contains(body, "ripple_barriers_total 5") {
+		t.Errorf("body missing barrier counter:\n%s", body)
+	}
+	if !strings.Contains(body, "ripple_step_duration_seconds_count 1") {
+		t.Errorf("body missing histogram:\n%s", body)
+	}
+}

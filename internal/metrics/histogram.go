@@ -1,0 +1,284 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two buckets. Bucket 0 holds values
+// <= 0; bucket i (1..63) holds values v with 2^(i-1) <= v < 2^i, which covers
+// the whole positive int64 range.
+const histBuckets = 64
+
+// Histogram is a lock-free latency/size histogram with power-of-two buckets.
+// The zero value is ready to use, all methods are safe for concurrent use,
+// and — like Collector — a nil *Histogram is valid: every method is a no-op
+// (or returns zero), so instrumented code never needs nil checks.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketBound returns the inclusive upper bound of bucket i (0 for bucket 0,
+// 2^i - 1 otherwise).
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // max int64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Snapshot returns a point-in-time copy. A nil histogram yields a zero
+// snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile is Snapshot().Quantile(q).
+func (h *Histogram) Quantile(q float64) int64 { return h.Snapshot().Quantile(q) }
+
+// reset zeroes the histogram.
+func (h *Histogram) reset() {
+	if h == nil {
+		return
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [histBuckets]int64
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 < q <= 1):
+// the upper bound of the bucket holding the rank-⌈q·count⌉ observation. With
+// power-of-two buckets the estimate is at most 2x the true value.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum >= rank {
+			return BucketBound(i)
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}
+
+// P50 is the median estimate.
+func (s HistogramSnapshot) P50() int64 { return s.Quantile(0.50) }
+
+// P95 is the 95th-percentile estimate.
+func (s HistogramSnapshot) P95() int64 { return s.Quantile(0.95) }
+
+// P99 is the 99th-percentile estimate.
+func (s HistogramSnapshot) P99() int64 { return s.Quantile(0.99) }
+
+// String renders count, mean, and quantiles, interpreting values as
+// nanosecond durations.
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "count=0"
+	}
+	mean := time.Duration(s.Sum / s.Count)
+	return fmt.Sprintf("count=%d mean=%v p50=%v p95=%v p99=%v",
+		s.Count, mean, time.Duration(s.P50()), time.Duration(s.P95()), time.Duration(s.P99()))
+}
+
+// Gauge is a settable instantaneous value. The zero value is ready to use
+// and a nil *Gauge is a valid no-op, like Collector.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Load reads the current value (0 for a nil gauge).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// PartGauge is a gauge vector indexed by part number (per-part queue depth
+// and the like). The zero value is ready to use; a nil *PartGauge is a valid
+// no-op. Cells are created on first use; updates after that are a single
+// atomic store.
+type PartGauge struct {
+	mu    sync.RWMutex
+	cells map[int]*atomic.Int64
+}
+
+func (g *PartGauge) cell(part int) *atomic.Int64 {
+	g.mu.RLock()
+	c := g.cells[part]
+	g.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cells == nil {
+		g.cells = make(map[int]*atomic.Int64)
+	}
+	if c = g.cells[part]; c == nil {
+		c = new(atomic.Int64)
+		g.cells[part] = c
+	}
+	return c
+}
+
+// Set stores the value for one part.
+func (g *PartGauge) Set(part int, v int64) {
+	if g != nil {
+		g.cell(part).Store(v)
+	}
+}
+
+// Add adjusts one part's value by n.
+func (g *PartGauge) Add(part int, n int64) {
+	if g != nil {
+		g.cell(part).Add(n)
+	}
+}
+
+// Load reads one part's value (0 when never set or for a nil gauge).
+func (g *PartGauge) Load(part int) int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if c := g.cells[part]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+// Total sums all parts' values.
+func (g *PartGauge) Total() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var total int64
+	for _, c := range g.cells {
+		total += c.Load()
+	}
+	return total
+}
+
+// Snapshot copies every part's value.
+func (g *PartGauge) Snapshot() map[int]int64 {
+	if g == nil {
+		return nil
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make(map[int]int64, len(g.cells))
+	for p, c := range g.cells {
+		out[p] = c.Load()
+	}
+	return out
+}
+
+// reset clears all cells.
+func (g *PartGauge) reset() {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	g.cells = nil
+	g.mu.Unlock()
+}

@@ -1,0 +1,212 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(5)
+	h.ObserveDuration(time.Second)
+	h.reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram reported observations")
+	}
+	if snap := h.Snapshot(); snap.Count != 0 {
+		t.Errorf("nil histogram snapshot = %+v", snap)
+	}
+
+	var g *Gauge
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(7)
+	if g.Load() != 0 {
+		t.Error("nil gauge reported a value")
+	}
+
+	var pg *PartGauge
+	pg.Set(1, 5)
+	pg.Add(2, 3)
+	pg.reset()
+	if pg.Load(1) != 0 || pg.Total() != 0 || pg.Snapshot() != nil {
+		t.Error("nil part gauge reported values")
+	}
+
+	var c *Collector
+	if c.StepDurations() != nil || c.QueueDepths() != nil ||
+		c.EnabledComponents() != nil || c.InFlightEnvelopes() != nil {
+		t.Error("nil collector returned non-nil instruments")
+	}
+	// And the nil instruments it returns must themselves be usable.
+	c.StepDurations().Observe(1)
+	c.QueueDepths().Set(0, 1)
+	c.EnabledComponents().Inc()
+}
+
+func TestBucketMapping(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		if c.v > 0 {
+			if bound := BucketBound(c.bucket); bound < c.v {
+				t.Errorf("BucketBound(%d) = %d < observed %d", c.bucket, bound, c.v)
+			}
+		}
+	}
+	if BucketBound(0) != 0 {
+		t.Errorf("BucketBound(0) = %d", BucketBound(0))
+	}
+	if BucketBound(63) != int64(^uint64(0)>>1) {
+		t.Errorf("BucketBound(63) = %d", BucketBound(63))
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 90 fast observations (~100), 10 slow (~100000).
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 90*100+10*100000 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	snap := h.Snapshot()
+	// Power-of-two buckets: the estimate is the bucket upper bound, so it is
+	// >= the true quantile and < 2x it.
+	if p50 := snap.P50(); p50 < 100 || p50 >= 200 {
+		t.Errorf("p50 = %d, want in [100, 200)", p50)
+	}
+	if p99 := snap.P99(); p99 < 100000 || p99 >= 200000 {
+		t.Errorf("p99 = %d, want in [100000, 200000)", p99)
+	}
+	if s := snap.String(); !strings.Contains(s, "count=100") {
+		t.Errorf("String() = %q", s)
+	}
+
+	h.reset()
+	if h.Count() != 0 || h.Snapshot().P50() != 0 {
+		t.Error("reset did not zero the histogram")
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile != 0")
+	}
+	if empty.String() != "count=0" {
+		t.Errorf("empty String() = %q", empty.String())
+	}
+	h := &Histogram{}
+	h.Observe(7)
+	snap := h.Snapshot()
+	// Out-of-range q clamps; a single observation answers every quantile.
+	for _, q := range []float64{-1, 0, 0.001, 0.5, 1, 2} {
+		if got := snap.Quantile(q); got < 7 || got >= 14 {
+			t.Errorf("Quantile(%v) = %d, want in [7, 14)", q, got)
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := &Gauge{}
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	if got := g.Load(); got != 15 {
+		t.Errorf("gauge = %d, want 15", got)
+	}
+}
+
+func TestPartGauge(t *testing.T) {
+	g := &PartGauge{}
+	g.Set(0, 4)
+	g.Set(3, 9)
+	g.Add(3, 1)
+	if g.Load(0) != 4 || g.Load(3) != 10 {
+		t.Errorf("loads = %d, %d", g.Load(0), g.Load(3))
+	}
+	if g.Load(7) != 0 {
+		t.Error("unset part != 0")
+	}
+	if g.Total() != 14 {
+		t.Errorf("total = %d", g.Total())
+	}
+	snap := g.Snapshot()
+	if len(snap) != 2 || snap[0] != 4 || snap[3] != 10 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	g.reset()
+	if g.Total() != 0 {
+		t.Error("reset did not clear parts")
+	}
+}
+
+func TestCollectorResetClearsInstruments(t *testing.T) {
+	c := &Collector{}
+	c.StepDurations().Observe(100)
+	c.QueueDepths().Set(1, 5)
+	c.EnabledComponents().Set(3)
+	c.InFlightEnvelopes().Set(2)
+	c.Reset()
+	if c.StepDurations().Count() != 0 || c.QueueDepths().Total() != 0 ||
+		c.EnabledComponents().Load() != 0 || c.InFlightEnvelopes().Load() != 0 {
+		t.Error("Reset left instrument state behind")
+	}
+}
+
+// TestInstrumentHammer drives every instrument from many goroutines at once;
+// run under -race it proves the collector is race-clean.
+func TestInstrumentHammer(t *testing.T) {
+	c := &Collector{}
+	const workers, rounds = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				c.AddSteps(1)
+				c.StepDurations().Observe(int64(i))
+				c.BarrierWaits().ObserveDuration(time.Duration(i))
+				c.QueueDepths().Set(w, int64(i))
+				c.QueueDepths().Add(w%3, 1)
+				c.EnabledComponents().Set(int64(i))
+				c.InFlightEnvelopes().Inc()
+				c.InFlightEnvelopes().Dec()
+				_ = c.StepDurations().Snapshot()
+				_ = c.QueueDepths().Total()
+				_ = c.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.StepDurations().Count(); got != workers*rounds {
+		t.Errorf("histogram count = %d, want %d", got, workers*rounds)
+	}
+	if got := c.Snapshot().Steps; got != workers*rounds {
+		t.Errorf("steps = %d, want %d", got, workers*rounds)
+	}
+	if got := c.InFlightEnvelopes().Load(); got != 0 {
+		t.Errorf("in-flight = %d, want 0", got)
+	}
+}

@@ -9,9 +9,11 @@ import (
 	"sync/atomic"
 )
 
-// Collector accumulates counters. The zero value is ready to use, and all
-// methods are safe for concurrent use. A nil *Collector is also valid: every
-// method is a no-op, so instrumented code never needs nil checks.
+// Collector accumulates counters, latency histograms, and gauges. The zero
+// value is ready to use, and all methods are safe for concurrent use. A nil
+// *Collector is also valid: every method is a no-op and every accessor
+// returns a nil (itself no-op) instrument, so instrumented code never needs
+// nil checks.
 type Collector struct {
 	steps           atomic.Int64
 	barriers        atomic.Int64
@@ -25,6 +27,84 @@ type Collector struct {
 	spills          atomic.Int64
 	aggRounds       atomic.Int64
 	recoveries      atomic.Int64
+
+	// Latency histograms (nanoseconds), per the paper's §VI cost drivers.
+	stepDuration    Histogram // whole step, barrier included
+	barrierWait     Histogram // per part: time idle at the barrier behind the slowest part
+	partCompute     Histogram // per part: one part's share of one step
+	checkpointWrite Histogram // one barrier-state snapshot
+	storeWrite      Histogram // one durable store write (diskstore log append)
+
+	// Gauges.
+	queueDepth        PartGauge // no-sync: per-part queue depth
+	enabledComponents Gauge     // sync: compute invocations in the latest step
+	inFlight          Gauge     // envelopes emitted but not yet delivered
+}
+
+// StepDurations is the whole-step latency histogram.
+func (c *Collector) StepDurations() *Histogram {
+	if c == nil {
+		return nil
+	}
+	return &c.stepDuration
+}
+
+// BarrierWaits is the per-part barrier wait histogram: how long each part
+// idled behind the step's slowest part.
+func (c *Collector) BarrierWaits() *Histogram {
+	if c == nil {
+		return nil
+	}
+	return &c.barrierWait
+}
+
+// PartComputes is the per-part step compute-time histogram.
+func (c *Collector) PartComputes() *Histogram {
+	if c == nil {
+		return nil
+	}
+	return &c.partCompute
+}
+
+// CheckpointWrites is the checkpoint snapshot latency histogram.
+func (c *Collector) CheckpointWrites() *Histogram {
+	if c == nil {
+		return nil
+	}
+	return &c.checkpointWrite
+}
+
+// StoreWrites is the durable store write latency histogram.
+func (c *Collector) StoreWrites() *Histogram {
+	if c == nil {
+		return nil
+	}
+	return &c.storeWrite
+}
+
+// QueueDepths is the per-part queue depth gauge (no-sync execution).
+func (c *Collector) QueueDepths() *PartGauge {
+	if c == nil {
+		return nil
+	}
+	return &c.queueDepth
+}
+
+// EnabledComponents gauges the compute invocations of the latest step
+// (selective enablement: how much of the job actually ran).
+func (c *Collector) EnabledComponents() *Gauge {
+	if c == nil {
+		return nil
+	}
+	return &c.enabledComponents
+}
+
+// InFlightEnvelopes gauges envelopes emitted but not yet delivered.
+func (c *Collector) InFlightEnvelopes() *Gauge {
+	if c == nil {
+		return nil
+	}
+	return &c.inFlight
 }
 
 // AddSteps records completed BSP steps.
@@ -149,7 +229,7 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 }
 
-// Reset zeroes all counters.
+// Reset zeroes all counters, histograms, and gauges.
 func (c *Collector) Reset() {
 	if c == nil {
 		return
@@ -166,6 +246,14 @@ func (c *Collector) Reset() {
 	c.spills.Store(0)
 	c.aggRounds.Store(0)
 	c.recoveries.Store(0)
+	c.stepDuration.reset()
+	c.barrierWait.reset()
+	c.partCompute.reset()
+	c.checkpointWrite.reset()
+	c.storeWrite.reset()
+	c.queueDepth.reset()
+	c.enabledComponents.Set(0)
+	c.inFlight.Set(0)
 }
 
 // Sub returns the difference s - old, counter by counter.

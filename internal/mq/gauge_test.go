@@ -1,0 +1,79 @@
+package mq
+
+import (
+	"testing"
+	"time"
+
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+)
+
+func TestQueueDepthGauge(t *testing.T) {
+	store := memstore.New(memstore.WithParts(3))
+	t.Cleanup(func() { _ = store.Close() })
+	tab, err := store.CreateTable("placement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := &metrics.Collector{}
+	sys := NewSystem(WithMetrics(col))
+	qs, err := sys.CreateQueueSet("q", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < 4; i++ {
+		if err := qs.Put(1, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := qs.PutLocal(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if got := col.QueueDepths().Load(1); got != 4 {
+		t.Errorf("part 1 depth after puts = %d, want 4", got)
+	}
+	if got := col.QueueDepths().Load(2); got != 1 {
+		t.Errorf("part 2 depth after local put = %d, want 1", got)
+	}
+
+	r := &Reader{queueSet: qs, index: 1}
+	if _, ok := r.Read(time.Second); !ok {
+		t.Fatal("read failed")
+	}
+	if got := col.QueueDepths().Load(1); got != 3 {
+		t.Errorf("part 1 depth after read = %d, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := r.TryRead(); !ok {
+			t.Fatal("try-read failed")
+		}
+	}
+	if got := col.QueueDepths().Load(1); got != 0 {
+		t.Errorf("part 1 depth drained = %d, want 0", got)
+	}
+	if got := col.QueueDepths().Total(); got != 1 {
+		t.Errorf("total depth = %d, want 1 (part 2 untouched)", got)
+	}
+}
+
+func TestQueueDepthGaugeWithoutMetrics(t *testing.T) {
+	// No collector: the gauge path must be a silent no-op.
+	store := memstore.New(memstore.WithParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	tab, err := store.CreateTable("placement")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := NewSystem().CreateQueueSet("q", tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.Put(0, "msg"); err != nil {
+		t.Fatal(err)
+	}
+	r := &Reader{queueSet: qs, index: 0}
+	if msg, ok := r.TryRead(); !ok || msg != "msg" {
+		t.Fatalf("read = %v, %v", msg, ok)
+	}
+}

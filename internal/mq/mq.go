@@ -157,7 +157,18 @@ func (qs *QueueSet) Put(q int, msg any) error {
 		return nil
 	}
 	qs.queues[q].put(msg)
+	qs.gaugeDepth(q)
 	return nil
+}
+
+// gaugeDepth publishes queue q's depth to the per-part queue-depth gauge.
+// Queue sets sharing one collector overwrite each other per part; the gauge
+// tracks the most recently active set, which during a no-sync run is the
+// run's own.
+func (qs *QueueSet) gaugeDepth(q int) {
+	if qs.system != nil {
+		qs.system.metrics.QueueDepths().Set(q, int64(qs.queues[q].len()))
+	}
 }
 
 // PutLocal delivers without marshalling, for senders already collocated with
@@ -173,6 +184,7 @@ func (qs *QueueSet) PutLocal(q int, msg any) error {
 		return ErrClosed
 	}
 	qs.queues[q].put(msg)
+	qs.gaugeDepth(q)
 	return nil
 }
 
@@ -188,12 +200,20 @@ func (r *Reader) Queue() int { return r.index }
 // Read dequeues the next message, waiting up to timeout. ok is false when the
 // timeout elapsed (or the set was closed) with no message available.
 func (r *Reader) Read(timeout time.Duration) (msg any, ok bool) {
-	return r.queueSet.queues[r.index].take(timeout)
+	msg, ok = r.queueSet.queues[r.index].take(timeout)
+	if ok {
+		r.queueSet.gaugeDepth(r.index)
+	}
+	return msg, ok
 }
 
 // TryRead dequeues without waiting.
 func (r *Reader) TryRead() (msg any, ok bool) {
-	return r.queueSet.queues[r.index].take(0)
+	msg, ok = r.queueSet.queues[r.index].take(0)
+	if ok {
+		r.queueSet.gaugeDepth(r.index)
+	}
+	return msg, ok
 }
 
 // Len reports the number of queued messages.

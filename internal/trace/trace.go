@@ -1,0 +1,192 @@
+// Package trace provides a bounded, in-memory event tracer for the EBSP
+// engine and the stores: typed span events with monotonic timestamps in a
+// fixed-capacity ring buffer, dumpable as JSONL. The tracer answers the
+// questions the flat counters cannot — where inside a job the time went
+// (compute vs barrier vs checkpoint), and what a no-sync run, which has no
+// steps at all, was doing while it quiesced.
+//
+// Like the metrics collector, a nil *Tracer is valid and every method is a
+// no-op, so instrumented code never needs nil checks. The ring overwrites
+// the oldest spans when full; Dropped reports how many were lost.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind identifies a span event type.
+type Kind uint8
+
+// Span kinds recorded by the engine, the queueing layer, and the stores.
+const (
+	KindJobStart      Kind = iota + 1 // a job began executing (N = parts)
+	KindJobEnd                        // a job finished (N = steps, Dur = wall time)
+	KindStepStart                     // a synchronized step began
+	KindStepEnd                       // a synchronized step finished (N = envelopes emitted)
+	KindBarrier                       // barrier crossed (Dur = slowest-fastest part skew)
+	KindPartCompute                   // one part's share of a step (N = invocations)
+	KindCombinerMerge                 // combiner merges in one part's step (N = messages eliminated)
+	KindCheckpoint                    // barrier-state snapshot written (N = pending envelopes)
+	KindProgress                      // no-sync watermark reached (N = envelopes delivered)
+	KindQuiesce                       // no-sync quiescence probe succeeded for one part
+	KindLogReplay                     // diskstore replayed a part log on open (N = bytes)
+	KindCompaction                    // diskstore compacted a part log (N = bytes reclaimed)
+)
+
+var kindNames = map[Kind]string{
+	KindJobStart:      "job_start",
+	KindJobEnd:        "job_end",
+	KindStepStart:     "step_start",
+	KindStepEnd:       "step_end",
+	KindBarrier:       "barrier",
+	KindPartCompute:   "part_compute",
+	KindCombinerMerge: "combiner_merge",
+	KindCheckpoint:    "checkpoint",
+	KindProgress:      "progress",
+	KindQuiesce:       "quiesce",
+	KindLogReplay:     "log_replay",
+	KindCompaction:    "compaction",
+}
+
+// String returns the kind's snake_case name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// MarshalJSON renders the kind as its name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Span is one recorded event. At is the span's start, monotonic nanoseconds
+// since the tracer was created; Dur is zero for instantaneous events. Part
+// is -1 for events not tied to one part.
+type Span struct {
+	Seq  uint64        `json:"seq"`
+	Kind Kind          `json:"kind"`
+	Job  string        `json:"job,omitempty"`
+	Step int           `json:"step,omitempty"`
+	Part int           `json:"part"`
+	N    int64         `json:"n,omitempty"`
+	At   time.Duration `json:"at_ns"`
+	Dur  time.Duration `json:"dur_ns,omitempty"`
+}
+
+// Tracer records spans into a bounded ring buffer.
+type Tracer struct {
+	mu      sync.Mutex
+	start   time.Time
+	buf     []Span
+	next    int // ring write position
+	seq     uint64
+	dropped uint64
+	wrapped bool
+}
+
+// DefaultCapacity is the span capacity used when New is given a
+// non-positive one.
+const DefaultCapacity = 16384
+
+// New creates a tracer retaining at most capacity spans (DefaultCapacity if
+// capacity <= 0).
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{start: time.Now(), buf: make([]Span, 0, capacity)}
+}
+
+// Record appends one span. dur may be zero for instantaneous events; for
+// timed spans the recorded At is backdated by dur so it marks the span's
+// start. Safe for concurrent use; a nil tracer no-ops.
+func (t *Tracer) Record(kind Kind, job string, step, part int, n int64, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	at := time.Since(t.start) - dur
+	if at < 0 {
+		at = 0
+	}
+	t.mu.Lock()
+	t.seq++
+	s := Span{Seq: t.seq, Kind: kind, Job: job, Step: step, Part: part, N: n, At: at, Dur: dur}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, s)
+	} else {
+		t.buf[t.next] = s
+		t.next = (t.next + 1) % len(t.buf)
+		t.dropped++
+		t.wrapped = true
+	}
+	t.mu.Unlock()
+}
+
+// Len reports the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.buf)
+}
+
+// Dropped reports how many spans were overwritten by ring wraparound.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Snapshot copies the retained spans in recording order (oldest first).
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.buf))
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+		out = append(out, t.buf[:t.next]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// Reset discards all retained spans (the monotonic clock keeps running).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.buf = t.buf[:0]
+	t.next = 0
+	t.dropped = 0
+	t.wrapped = false
+	t.mu.Unlock()
+}
+
+// WriteJSONL dumps the retained spans as one JSON object per line, oldest
+// first. A nil tracer writes nothing.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, s := range t.Snapshot() {
+		line, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

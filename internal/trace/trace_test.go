@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(KindStepStart, "job", 1, 0, 0, 0)
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Snapshot() != nil {
+		t.Error("nil tracer reported spans")
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("nil tracer wrote %q", sb.String())
+	}
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	tr := New(8)
+	tr.Record(KindJobStart, "j", 0, -1, 6, 0)
+	tr.Record(KindStepStart, "j", 1, -1, 10, 0)
+	tr.Record(KindPartCompute, "j", 1, 2, 5, 3*time.Millisecond)
+
+	spans := tr.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("len = %d", len(spans))
+	}
+	for i, s := range spans {
+		if s.Seq != uint64(i+1) { // seq is 1-based
+			t.Errorf("span %d seq = %d", i, s.Seq)
+		}
+	}
+	if spans[0].Kind != KindJobStart || spans[2].Kind != KindPartCompute {
+		t.Errorf("kinds = %v, %v", spans[0].Kind, spans[2].Kind)
+	}
+	if spans[2].Part != 2 || spans[2].N != 5 || spans[2].Dur != 3*time.Millisecond {
+		t.Errorf("compute span = %+v", spans[2])
+	}
+	// Timed spans are backdated: At marks the start, never negative.
+	if spans[2].At < 0 {
+		t.Errorf("At = %v", spans[2].At)
+	}
+	// Monotonic: start times never run backwards beyond backdating.
+	if spans[1].At < spans[0].At {
+		t.Errorf("At not monotonic: %v then %v", spans[0].At, spans[1].At)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(KindProgress, "j", 0, 0, int64(i), 0)
+	}
+	if tr.Len() != 4 {
+		t.Errorf("len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.Dropped())
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("snapshot len = %d", len(spans))
+	}
+	// Oldest-first: the survivors are records 6..9 (seqs 7..10, 1-based).
+	for i, s := range spans {
+		if s.N != int64(6+i) {
+			t.Errorf("span %d N = %d, want %d", i, s.N, 6+i)
+		}
+		if s.Seq != uint64(7+i) {
+			t.Errorf("span %d seq = %d, want %d", i, s.Seq, 7+i)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(4)
+	for i := 0; i < 6; i++ {
+		tr.Record(KindBarrier, "j", i, -1, 0, 0)
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Errorf("after reset: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+	// Sequence numbers keep climbing across Reset, so spans stay globally
+	// unique within a process.
+	tr.Record(KindBarrier, "j", 1, -1, 0, 0)
+	if got := tr.Snapshot(); len(got) != 1 || got[0].Seq <= 6 {
+		t.Errorf("post-reset snapshot = %+v", got)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New(8)
+	tr.Record(KindStepStart, "pagerank", 1, -1, 42, 0)
+	tr.Record(KindCheckpoint, "pagerank", 1, -1, 0, 2*time.Millisecond)
+
+	var sb strings.Builder
+	if err := tr.WriteJSONL(&sb); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	var lines int
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if _, ok := m["kind"].(string); !ok {
+			t.Errorf("line %d kind = %v", lines, m["kind"])
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("lines = %d, want 2", lines)
+	}
+	if !strings.Contains(sb.String(), `"kind":"step_start"`) {
+		t.Errorf("missing snake_case kind: %s", sb.String())
+	}
+	if !strings.Contains(sb.String(), `"job":"pagerank"`) {
+		t.Errorf("missing job name: %s", sb.String())
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := KindJobStart; k <= KindCompaction; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name: %q", k, s)
+		}
+	}
+	if Kind(99).String() == KindBarrier.String() {
+		t.Error("unknown kind collided with a named one")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(128)
+	const workers, each = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Record(KindPartCompute, "j", i, w, int64(i), time.Microsecond)
+				if i%50 == 0 {
+					_ = tr.Snapshot()
+					_ = tr.Len()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len() + int(tr.Dropped()); got != workers*each {
+		t.Errorf("retained+dropped = %d, want %d", got, workers*each)
+	}
+	// Snapshot is strictly ordered by sequence number.
+	spans := tr.Snapshot()
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq <= spans[i-1].Seq {
+			t.Fatalf("seq not increasing at %d: %d then %d", i, spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+}

@@ -62,6 +62,7 @@ import (
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
 	"ripple/internal/tableops"
+	"ripple/internal/trace"
 )
 
 // Core programming-model types (paper §II).
@@ -122,6 +123,12 @@ type (
 	StepObserverFunc = ebsp.StepObserverFunc
 	// StepInfo describes one completed step.
 	StepInfo = ebsp.StepInfo
+	// ProgressObserver receives watermark notifications from no-sync runs.
+	ProgressObserver = ebsp.ProgressObserver
+	// ProgressObserverFunc adapts a function to ProgressObserver.
+	ProgressObserverFunc = ebsp.ProgressObserverFunc
+	// ProgressInfo describes one no-sync progress watermark.
+	ProgressInfo = ebsp.ProgressInfo
 )
 
 // Storage SPI types (paper §III).
@@ -150,6 +157,20 @@ type (
 	Metrics = metrics.Collector
 	// MetricsSnapshot is a point-in-time copy of the counters.
 	MetricsSnapshot = metrics.Snapshot
+	// Histogram is a lock-free power-of-two latency histogram.
+	Histogram = metrics.Histogram
+	// HistogramSnapshot is a consistent-enough copy with quantile estimates.
+	HistogramSnapshot = metrics.HistogramSnapshot
+	// Gauge is a last-writer-wins instantaneous value.
+	Gauge = metrics.Gauge
+	// PartGauge is a gauge with one cell per part.
+	PartGauge = metrics.PartGauge
+	// Tracer is a bounded ring buffer of engine span events.
+	Tracer = trace.Tracer
+	// TraceSpan is one recorded span event.
+	TraceSpan = trace.Span
+	// TraceKind identifies a span event's type.
+	TraceKind = trace.Kind
 	// MQSystem manages message-queue sets (paper §III-B).
 	MQSystem = mq.System
 	// QueueSet is a placed set of FIFO queues, one per table part.
@@ -236,8 +257,24 @@ var (
 	WithCheckpoints = ebsp.WithCheckpoints
 	// WithObserver installs a step observer on the engine.
 	WithObserver = ebsp.WithObserver
+	// WithProgressObserver installs a no-sync progress observer.
+	WithProgressObserver = ebsp.WithProgressObserver
+	// WithTracer attaches a span tracer to the engine.
+	WithTracer = ebsp.WithTracer
 	// ErrNoCheckpoint is returned by Engine.Resume without a snapshot.
 	ErrNoCheckpoint = ebsp.ErrNoCheckpoint
+)
+
+// NewTracer creates a bounded span tracer; capacity <= 0 uses
+// trace.DefaultCapacity.
+func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// Metrics exposition.
+var (
+	// WriteMetricsText renders a collector in Prometheus text format.
+	WriteMetricsText = metrics.WritePrometheus
+	// MetricsHandler serves a collector in Prometheus text format over HTTP.
+	MetricsHandler = metrics.Handler
 )
 
 // Table options.
