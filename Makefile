@@ -1,11 +1,15 @@
 # Ripple build/test entry points. `make ci` is the full gate: vet, build,
-# and the race-enabled test run.
+# the race-enabled test run, and a short chaos soak.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench
+# Fixed seed matrix for the soak gate: short by default so ci stays fast.
+# Widen it for longer campaigns, e.g. `make soak SOAK_SEEDS=1,2,3,4,5,6,7,8`.
+SOAK_SEEDS ?= 1,2,3
 
-ci: vet build race
+.PHONY: ci vet build test race bench soak
+
+ci: vet build race soak
 
 vet:
 	$(GO) vet ./...
@@ -21,3 +25,10 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+
+# Race-enabled end-to-end chaos soak: PageRank + SUMMA to their fault-free
+# answers under transient faults, duplication, jitter, and primary kills.
+soak:
+	RIPPLE_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 \
+		-run 'TestSoakUnderChaos|TestEngineAutoRecoversFromPrimaryKill|TestNoSyncSurvivesDuplicationAndJitter' \
+		./internal/chaos/ ./internal/ebsp/

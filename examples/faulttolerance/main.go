@@ -7,9 +7,11 @@
 // mid-step, the transaction rolls back, a surviving replica is promoted, and
 // the engine replays the step — the job completes with correct results.
 //
-// Second, the checkpoint extension: a job snapshots its barrier state every
-// few steps, an "outage" interrupts it, and Resume continues from the last
-// snapshot instead of starting over.
+// Second, self-healing under a chaos schedule: a non-deterministic job runs
+// with periodic checkpoints while a seeded fault injector fails store and
+// agent operations at random and kills two primary replicas mid-run. The
+// engine retries the transient faults, senses each failover, and re-runs
+// from the latest checkpoint on its own — one Run call, no manual Resume.
 package main
 
 import (
@@ -25,8 +27,8 @@ func main() {
 		log.Fatalf("replay demo: %v", err)
 	}
 	fmt.Println()
-	if err := checkpointDemo(); err != nil {
-		log.Fatalf("checkpoint demo: %v", err)
+	if err := chaosDemo(); err != nil {
+		log.Fatalf("chaos demo: %v", err)
 	}
 }
 
@@ -54,6 +56,14 @@ func counterJob(name string, length int, fail func(ctx *ripple.Context)) *ripple
 			Messages: []ripple.InitialMessage{{Key: 0, Message: 1}},
 		}},
 	}
+}
+
+// chainJob is counterJob without the determinism declaration, so the engine
+// cannot use transactional replay and must recover through checkpoints.
+func chainJob(name string, length int) *ripple.Job {
+	j := counterJob(name, length, nil)
+	j.Properties = ripple.Properties{}
+	return j
 }
 
 func replayDemo() error {
@@ -95,35 +105,55 @@ func replayDemo() error {
 	return nil
 }
 
-func checkpointDemo() error {
-	fmt.Println("=== checkpoint/resume (barrier snapshots) ===")
-	store := ripple.NewMemStore(ripple.MemParts(4))
+func chaosDemo() error {
+	fmt.Println("=== self-healing under a chaos schedule (checkpoints, no manual Resume) ===")
+	sched, err := ripple.ParseChaosSchedule(
+		"seed=11,store.err=0.02,agent.err=0.02,kill=auto_state:1@20,kill=auto_state:2@55")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  schedule: %s\n", sched)
+
+	m := &ripple.Metrics{}
+	inj := ripple.NewChaosInjector(sched, ripple.ChaosMetrics(m))
+	gs := ripple.NewGridStore(ripple.GridParts(4), ripple.GridReplicas(2), ripple.GridMetrics(m))
+	store := ripple.WrapChaos(gs, inj)
 	defer func() { _ = store.Close() }()
-	engine := ripple.NewEngine(store, ripple.WithCheckpoints(3))
 
-	// Run with an "outage" at step 8 (the aborter stands in for a crash;
-	// checkpoints exist at steps 3 and 6).
-	job := counterJob("ckpt", 20, nil)
-	job.Aborter = ripple.AborterFunc(func(step int, _ map[string]any) bool {
-		return step >= 8
-	})
-	res, err := engine.Run(job)
+	// One Run call: the engine retries injected transients, and when a kill
+	// fails over a primary it restores the latest checkpoint and re-runs the
+	// lost steps itself.
+	engine := ripple.NewEngine(store, ripple.WithMetrics(m), ripple.WithCheckpoints(3))
+	res, err := engine.Run(chainJob("auto", 25))
 	if err != nil {
 		return err
 	}
-	fmt.Printf("  first run interrupted after step %d (checkpoints at 3 and 6)\n", res.Steps)
 
-	// Resume from the latest snapshot; no aborter this time.
-	res2, err := engine.Resume(counterJob("ckpt", 20, nil))
-	if err != nil {
-		return err
+	snap := m.Snapshot()
+	fmt.Printf("  job completed: %d steps\n", res.Steps)
+	fmt.Printf("  faults injected=%d retries=%d failovers=%d steps re-run=%d\n",
+		snap.FaultsInjected, snap.Retries, snap.Failovers, snap.StepsRerun)
+	recs := inj.Records()
+	show := len(recs)
+	if show > 12 {
+		show = 12
 	}
-	fmt.Printf("  resumed and completed at step %d\n", res2.Steps)
-	tab, _ := store.LookupTable("ckpt_state")
-	n, _ := tab.Size()
-	fmt.Printf("  final state table holds %d entries (want 20)\n", n)
-	if n != 20 {
-		return fmt.Errorf("resume produced %d entries", n)
+	for _, r := range recs[:show] {
+		fmt.Printf("    fault: %s\n", r)
 	}
+	if len(recs) > show {
+		fmt.Printf("    ... and %d more\n", len(recs)-show)
+	}
+
+	// Verify on the raw store: the chaos decorator covers the job, not the
+	// check afterwards.
+	tab, _ := gs.LookupTable("auto_state")
+	for i := 0; i < 25; i++ {
+		v, ok, err := tab.Get(i)
+		if err != nil || !ok || v != i+1 {
+			return fmt.Errorf("state[%d] = %v, %v, %v (data lost?)", i, v, ok, err)
+		}
+	}
+	fmt.Println("  all 25 states correct despite transient faults and two primary kills")
 	return nil
 }

@@ -1,0 +1,191 @@
+// Package chaos provides deterministic, seeded fault injection behind the
+// kvstore.Store and mq.System SPIs (the narrow-SPI design makes both pure
+// decorators). A declarative Schedule says *what* can go wrong — transient
+// store/mq errors, latency spikes, FIFO-preserving message duplication, and
+// scheduled primary kills — and a seeded hash decides *when*: every decision
+// is a pure function of (seed, fault kind, table/set, part, per-cell op
+// index), so the same seed over the same workload injects the same fault set
+// regardless of thread interleaving. The injected-fault trace is available
+// as a sorted Record list for reproducibility checks.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kill schedules one primary kill: after the wrapped store has dispatched
+// AfterDispatches agents, the primary replica of Table's part Part is failed
+// (gridstore promotes a survivor and bumps the shard epoch).
+type Kill struct {
+	Table           string
+	Part            int
+	AfterDispatches int64
+}
+
+// Schedule declares a reproducible fault-injection plan. The zero value
+// injects nothing. Rates are probabilities in [0, 1] evaluated per
+// operation by the seeded decision hash.
+type Schedule struct {
+	// Seed drives every injection decision. Two injectors with the same
+	// schedule running the same workload inject the same faults.
+	Seed int64
+
+	// StoreErrRate fails table client operations (Get/Put/Delete/Size and
+	// enumeration entry) with kvstore.ErrTransient; the operation does not
+	// take effect.
+	StoreErrRate float64
+	// StoreDelay/StoreDelayRate inject latency spikes into table client
+	// operations (the operation still succeeds).
+	StoreDelay     time.Duration
+	StoreDelayRate float64
+	// AgentErrRate fails agent dispatches (RunAgent/RunTransaction) at entry
+	// with kvstore.ErrTransient, before any agent code runs.
+	AgentErrRate float64
+
+	// MQErrRate fails cross-part Puts with mq.ErrTransient (not delivered).
+	MQErrRate float64
+	// MQDupRate delivers one extra adjacent copy of the message
+	// (per-(sender,receiver) FIFO is preserved).
+	MQDupRate float64
+	// MQDelay/MQDelayRate add delivery-latency jitter to cross-part Puts.
+	MQDelay     time.Duration
+	MQDelayRate float64
+
+	// Kills are scheduled primary kills, fired at agent-dispatch boundaries.
+	Kills []Kill
+}
+
+// Parse decodes the textual schedule form used by `ripple-bench -chaos`:
+//
+//	seed=7,store.err=0.01,store.delay=1ms@0.05,agent.err=0.02,
+//	mq.err=0.01,mq.dup=0.05,mq.delay=2ms@0.1,kill=pages:3@40
+//
+// Fields are comma-separated `key=value` pairs; `kill` may repeat. Rate
+// fields take a probability; delay fields take `duration@probability`.
+func Parse(s string) (Schedule, error) {
+	var sched Schedule
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Schedule{}, fmt.Errorf("chaos: bad schedule field %q (want key=value)", field)
+		}
+		var err error
+		switch key {
+		case "seed":
+			sched.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "store.err":
+			sched.StoreErrRate, err = parseRate(val)
+		case "store.delay":
+			sched.StoreDelay, sched.StoreDelayRate, err = parseDelay(val)
+		case "agent.err":
+			sched.AgentErrRate, err = parseRate(val)
+		case "mq.err":
+			sched.MQErrRate, err = parseRate(val)
+		case "mq.dup":
+			sched.MQDupRate, err = parseRate(val)
+		case "mq.delay":
+			sched.MQDelay, sched.MQDelayRate, err = parseDelay(val)
+		case "kill":
+			var k Kill
+			k, err = parseKill(val)
+			sched.Kills = append(sched.Kills, k)
+		default:
+			return Schedule{}, fmt.Errorf("chaos: unknown schedule field %q", key)
+		}
+		if err != nil {
+			return Schedule{}, fmt.Errorf("chaos: field %q: %w", field, err)
+		}
+	}
+	return sched, nil
+}
+
+func parseRate(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("rate %v outside [0, 1]", p)
+	}
+	return p, nil
+}
+
+// parseDelay decodes `duration@probability`, e.g. "2ms@0.1". A bare duration
+// means probability 1.
+func parseDelay(s string) (time.Duration, float64, error) {
+	durPart, ratePart, hasRate := strings.Cut(s, "@")
+	d, err := time.ParseDuration(durPart)
+	if err != nil {
+		return 0, 0, err
+	}
+	if d < 0 {
+		return 0, 0, fmt.Errorf("negative delay %v", d)
+	}
+	rate := 1.0
+	if hasRate {
+		if rate, err = parseRate(ratePart); err != nil {
+			return 0, 0, err
+		}
+	}
+	return d, rate, nil
+}
+
+// parseKill decodes `table:part@afterDispatches`.
+func parseKill(s string) (Kill, error) {
+	spec, afterPart, ok := strings.Cut(s, "@")
+	if !ok {
+		return Kill{}, fmt.Errorf("kill %q: want table:part@dispatches", s)
+	}
+	table, partStr, ok := strings.Cut(spec, ":")
+	if !ok || table == "" {
+		return Kill{}, fmt.Errorf("kill %q: want table:part@dispatches", s)
+	}
+	part, err := strconv.Atoi(partStr)
+	if err != nil {
+		return Kill{}, fmt.Errorf("kill %q: part: %w", s, err)
+	}
+	after, err := strconv.ParseInt(afterPart, 10, 64)
+	if err != nil {
+		return Kill{}, fmt.Errorf("kill %q: dispatches: %w", s, err)
+	}
+	return Kill{Table: table, Part: part, AfterDispatches: after}, nil
+}
+
+// String renders the schedule in the form Parse accepts.
+func (s Schedule) String() string {
+	var parts []string
+	add := func(f string, args ...any) { parts = append(parts, fmt.Sprintf(f, args...)) }
+	add("seed=%d", s.Seed)
+	if s.StoreErrRate > 0 {
+		add("store.err=%g", s.StoreErrRate)
+	}
+	if s.StoreDelayRate > 0 && s.StoreDelay > 0 {
+		add("store.delay=%s@%g", s.StoreDelay, s.StoreDelayRate)
+	}
+	if s.AgentErrRate > 0 {
+		add("agent.err=%g", s.AgentErrRate)
+	}
+	if s.MQErrRate > 0 {
+		add("mq.err=%g", s.MQErrRate)
+	}
+	if s.MQDupRate > 0 {
+		add("mq.dup=%g", s.MQDupRate)
+	}
+	if s.MQDelayRate > 0 && s.MQDelay > 0 {
+		add("mq.delay=%s@%g", s.MQDelay, s.MQDelayRate)
+	}
+	kills := append([]Kill(nil), s.Kills...)
+	sort.Slice(kills, func(i, j int) bool { return kills[i].AfterDispatches < kills[j].AfterDispatches })
+	for _, k := range kills {
+		add("kill=%s:%d@%d", k.Table, k.Part, k.AfterDispatches)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,177 @@
+package chaos_test
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ripple/internal/chaos"
+	"ripple/internal/ebsp"
+	"ripple/internal/gridstore"
+	"ripple/internal/matrix"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/mq"
+	"ripple/internal/pagerank"
+	"ripple/internal/summa"
+	"ripple/internal/workload"
+)
+
+// soakSeeds returns the seed matrix: RIPPLE_SOAK_SEEDS (comma-separated)
+// when set, otherwise a short default so `go test` and CI stay fast.
+func soakSeeds(t *testing.T) []int64 {
+	t.Helper()
+	spec := os.Getenv("RIPPLE_SOAK_SEEDS")
+	if spec == "" {
+		spec = "1,2"
+	}
+	var seeds []int64
+	for _, f := range strings.Split(spec, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("RIPPLE_SOAK_SEEDS %q: %v", spec, err)
+		}
+		seeds = append(seeds, s)
+	}
+	return seeds
+}
+
+// soakPageRank runs the Table I workload (scaled down) on a replicated
+// gridstore under continuous transient faults plus two scheduled primary
+// kills, with the engine recovering on its own — no manual Resume. It
+// returns the injected-fault trace.
+func soakPageRank(t *testing.T, seed int64, g *workload.DirectedGraph) []chaos.Record {
+	t.Helper()
+	m := &metrics.Collector{}
+	sched := chaos.Schedule{
+		Seed:         seed,
+		StoreErrRate: 0.01,
+		AgentErrRate: 0.01,
+		Kills: []chaos.Kill{
+			{Table: "soak_graph", Part: 1, AfterDispatches: 20},
+			{Table: "soak_graph", Part: 4, AfterDispatches: 40},
+		},
+	}
+	inj := chaos.NewInjector(sched, chaos.WithMetrics(m))
+	gs := gridstore.New(gridstore.WithParts(6), gridstore.WithReplicas(2), gridstore.WithMetrics(m))
+	// Load the input on the raw store — faults start with the job, not the
+	// test fixture — then run the whole job through the chaos decorator.
+	tab, err := pagerank.LoadGraph(gs, "soak_graph", g, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := chaos.Wrap(gs, inj)
+	defer func() { _ = store.Close() }()
+
+	e := ebsp.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithCheckpoints(3))
+	if _, err := pagerank.RunDirect(e, pagerank.Config{GraphTable: "soak_graph", Iterations: 8}); err != nil {
+		t.Fatalf("seed %d: pagerank under chaos: %v", seed, err)
+	}
+	got, err := pagerank.ReadRanks(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pagerank.Reference(g, 0.85, 8)
+	for v, w := range want {
+		r, ok := got[v]
+		if !ok {
+			t.Fatalf("seed %d: vertex %d missing", seed, v)
+		}
+		if diff := r - w; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("seed %d: rank[%d] = %v, want %v", seed, v, r, w)
+		}
+	}
+
+	kills := 0
+	recs := inj.Records()
+	for _, r := range recs {
+		if r.Kind == "kill" {
+			kills++
+		}
+	}
+	if kills != 2 {
+		t.Errorf("seed %d: %d kills fired, want 2", seed, kills)
+	}
+	snap := m.Snapshot()
+	if snap.Failovers < 2 {
+		t.Errorf("seed %d: Failovers = %d, want >= 2", seed, snap.Failovers)
+	}
+	if snap.FaultsInjected == 0 {
+		t.Errorf("seed %d: no faults injected", seed)
+	}
+	return recs
+}
+
+// soakSUMMA runs the Exp V-B workload (G = 3, barriers removed) under mq
+// duplication, latency jitter, transient mq/store errors. It returns the
+// injected-fault trace.
+func soakSUMMA(t *testing.T, seed int64, a, b matrix.Dense) []chaos.Record {
+	t.Helper()
+	m := &metrics.Collector{}
+	sched := chaos.Schedule{
+		Seed:         seed,
+		StoreErrRate: 0.01,
+		MQErrRate:    0.02,
+		MQDupRate:    0.1,
+		MQDelay:      200 * time.Microsecond, MQDelayRate: 0.2,
+	}
+	inj := chaos.NewInjector(sched, chaos.WithMetrics(m))
+	store := chaos.Wrap(memstore.New(memstore.WithParts(9)), inj)
+	defer func() { _ = store.Close() }()
+
+	out, err := summa.Multiply(store, summa.Config{
+		Grid:    3,
+		Metrics: m,
+		MQ:      mq.NewSystem(mq.WithFaults(inj), mq.WithMetrics(m)),
+	}, a, b)
+	if err != nil {
+		t.Fatalf("seed %d: summa under chaos: %v", seed, err)
+	}
+	direct, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.C.EqualWithin(direct, 1e-9) {
+		t.Errorf("seed %d: SUMMA product != direct product", seed)
+	}
+	if out.Result.Strategy.Sync {
+		t.Errorf("seed %d: expected no-sync execution", seed)
+	}
+	if m.Snapshot().FaultsInjected == 0 {
+		t.Errorf("seed %d: no faults injected", seed)
+	}
+	return inj.Records()
+}
+
+func TestSoakUnderChaos(t *testing.T) {
+	g, err := workload.PowerLawDirected(rand.New(rand.NewSource(7)), 300, 2200, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	a := matrix.Random(rng, 12, 12)
+	b := matrix.Random(rng, 12, 12)
+
+	for _, seed := range soakSeeds(t) {
+		seed := seed
+		t.Run("seed="+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			prTrace := soakPageRank(t, seed, g)
+			smTrace := soakSUMMA(t, seed, a, b)
+
+			// Reproducibility: the same seed over the same workload injects
+			// the same fault set.
+			if again := soakPageRank(t, seed, g); !reflect.DeepEqual(prTrace, again) {
+				t.Errorf("seed %d: pagerank fault trace diverged between runs:\n%v\nvs\n%v",
+					seed, prTrace, again)
+			}
+			if again := soakSUMMA(t, seed, a, b); !reflect.DeepEqual(smTrace, again) {
+				t.Errorf("seed %d: summa fault trace diverged between runs:\n%v\nvs\n%v",
+					seed, smTrace, again)
+			}
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package chaos
+
+import (
+	"fmt"
+
+	"ripple/internal/kvstore"
+)
+
+// Wrap decorates a store with the injector's faults: table client operations
+// (Get/Put/Delete/Size and enumeration entry) and agent dispatches can fail
+// with kvstore.ErrTransient or stall, and scheduled kills fire at dispatch
+// boundaries. Faults are injected before any work happens, so a failed
+// operation had no effect and is safe to retry.
+//
+// When the inner store is transactional (gridstore), the wrapper also
+// forwards the Transactional, Replicated, Healer, and FailureSensor
+// capabilities so the engine's capability probing sees through the
+// decorator; a plain store (memstore, diskstore) stays plain.
+func Wrap(inner kvstore.Store, inj *Injector) kvstore.Store {
+	s := &Store{inner: inner, inj: inj}
+	if _, ok := inner.(kvstore.Transactional); ok {
+		return &fullStore{Store: s}
+	}
+	return s
+}
+
+// Store is the fault-injecting decorator for plain stores.
+type Store struct {
+	inner kvstore.Store
+	inj   *Injector
+}
+
+var _ kvstore.Store = (*Store)(nil)
+
+// Name identifies the decorated implementation.
+func (s *Store) Name() string { return s.inner.Name() + "+chaos" }
+
+// DefaultParts delegates to the inner store.
+func (s *Store) DefaultParts() int { return s.inner.DefaultParts() }
+
+// Injector returns the store's fault injector.
+func (s *Store) Injector() *Injector { return s.inj }
+
+// CreateTable creates the table on the inner store and wraps the handle.
+func (s *Store) CreateTable(name string, opts ...kvstore.TableOption) (kvstore.Table, error) {
+	t, err := s.inner.CreateTable(name, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &table{inner: t, inj: s.inj}, nil
+}
+
+// LookupTable wraps the inner handle.
+func (s *Store) LookupTable(name string) (kvstore.Table, bool) {
+	t, ok := s.inner.LookupTable(name)
+	if !ok {
+		return nil, false
+	}
+	return &table{inner: t, inj: s.inj}, true
+}
+
+// DropTable delegates to the inner store.
+func (s *Store) DropTable(name string) error { return s.inner.DropTable(name) }
+
+// Tables delegates to the inner store.
+func (s *Store) Tables() []string { return s.inner.Tables() }
+
+// RunAgent fires due kills, maybe injects a dispatch fault, then delegates.
+func (s *Store) RunAgent(tableName string, part int, agent kvstore.Agent) (any, error) {
+	if err := s.inj.agentFault(s.inner, tableName, part); err != nil {
+		return nil, err
+	}
+	return s.inner.RunAgent(tableName, part, agent)
+}
+
+// Close delegates to the inner store.
+func (s *Store) Close() error { return s.inner.Close() }
+
+// fullStore extends Store with the optional capabilities of a transactional,
+// replicated inner store.
+type fullStore struct {
+	*Store
+}
+
+var (
+	_ kvstore.Transactional = (*fullStore)(nil)
+	_ kvstore.Replicated    = (*fullStore)(nil)
+	_ kvstore.Healer        = (*fullStore)(nil)
+	_ kvstore.FailureSensor = (*fullStore)(nil)
+)
+
+// RunTransaction fires due kills, maybe injects a dispatch fault, then
+// delegates to the inner transaction.
+func (s *fullStore) RunTransaction(tableName string, part int, agent kvstore.Agent) (any, error) {
+	if err := s.inj.agentFault(s.inner, tableName, part); err != nil {
+		return nil, err
+	}
+	return s.inner.(kvstore.Transactional).RunTransaction(tableName, part, agent)
+}
+
+// Replicas delegates, defaulting to 1 for non-replicated inner stores.
+func (s *fullStore) Replicas() int {
+	if r, ok := s.inner.(kvstore.Replicated); ok {
+		return r.Replicas()
+	}
+	return 1
+}
+
+// FailPrimary delegates to the inner store's failure injection.
+func (s *fullStore) FailPrimary(table string, part int) error {
+	r, ok := s.inner.(kvstore.Replicated)
+	if !ok {
+		return fmt.Errorf("chaos: inner store %s is not replicated", s.inner.Name())
+	}
+	return r.FailPrimary(table, part)
+}
+
+// Heal delegates replica restoration to the inner store.
+func (s *fullStore) Heal(table string) error {
+	if h, ok := s.inner.(kvstore.Healer); ok {
+		return h.Heal(table)
+	}
+	return nil
+}
+
+// Failovers delegates to the inner store's failure sensor.
+func (s *fullStore) Failovers() int64 {
+	if fs, ok := s.inner.(kvstore.FailureSensor); ok {
+		return fs.Failovers()
+	}
+	return 0
+}
+
+// table is the fault-injecting decorator for table handles.
+type table struct {
+	inner kvstore.Table
+	inj   *Injector
+}
+
+var _ kvstore.Table = (*table)(nil)
+
+// Name delegates to the inner table.
+func (t *table) Name() string { return t.inner.Name() }
+
+// Parts delegates to the inner table.
+func (t *table) Parts() int { return t.inner.Parts() }
+
+// Ubiquitous delegates to the inner table.
+func (t *table) Ubiquitous() bool { return t.inner.Ubiquitous() }
+
+// PartOf delegates to the inner table.
+func (t *table) PartOf(key any) int { return t.inner.PartOf(key) }
+
+// Get maybe injects a fault, then delegates.
+func (t *table) Get(key any) (any, bool, error) {
+	if err := t.inj.tableFault(t.inner.Name(), t.inner.PartOf(key)); err != nil {
+		return nil, false, err
+	}
+	return t.inner.Get(key)
+}
+
+// Put maybe injects a fault, then delegates.
+func (t *table) Put(key, value any) error {
+	if err := t.inj.tableFault(t.inner.Name(), t.inner.PartOf(key)); err != nil {
+		return err
+	}
+	return t.inner.Put(key, value)
+}
+
+// Delete maybe injects a fault, then delegates.
+func (t *table) Delete(key any) error {
+	if err := t.inj.tableFault(t.inner.Name(), t.inner.PartOf(key)); err != nil {
+		return err
+	}
+	return t.inner.Delete(key)
+}
+
+// Size maybe injects a fault, then delegates.
+func (t *table) Size() (int, error) {
+	if err := t.inj.tableFault(t.inner.Name(), -1); err != nil {
+		return 0, err
+	}
+	return t.inner.Size()
+}
+
+// EnumerateParts maybe injects an entry fault, then delegates. Faults fire
+// only before any part is visited, so a failed enumeration is retryable.
+func (t *table) EnumerateParts(pc kvstore.PartConsumer) (any, error) {
+	if err := t.inj.tableFault(t.inner.Name(), -1); err != nil {
+		return nil, err
+	}
+	return t.inner.EnumerateParts(pc)
+}
+
+// EnumeratePairs maybe injects an entry fault, then delegates.
+func (t *table) EnumeratePairs(pc kvstore.PairConsumer) (any, error) {
+	if err := t.inj.tableFault(t.inner.Name(), -1); err != nil {
+		return nil, err
+	}
+	return t.inner.EnumeratePairs(pc)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"ripple/internal/codec"
@@ -25,6 +26,12 @@ import (
 // job.
 var ErrNoCheckpoint = errors.New("ebsp: no checkpoint for job")
 
+// ErrCheckpointMismatch is returned by Resume (and automatic recovery) when
+// the checkpoint does not match the job specification — name, step budget,
+// or state table set. It wraps ErrBadJob, so existing errors.Is(err,
+// ErrBadJob) checks keep matching.
+var ErrCheckpointMismatch = fmt.Errorf("%w: checkpoint does not match the job specification", ErrBadJob)
+
 // WithCheckpoints makes synchronized jobs snapshot their barrier state every
 // `every` steps. 0 disables checkpointing (the default). No-sync jobs have
 // no barriers and ignore the option.
@@ -36,12 +43,29 @@ func WithCheckpoints(every int) Option {
 	}
 }
 
-// checkpointMeta is the snapshot's root record.
+// checkpointMeta is the snapshot's root record. JobName, MaxSteps, and
+// TableHash identify the job specification that wrote the snapshot; Resume
+// rejects a mismatching job with ErrCheckpointMismatch. (JobName doubles as
+// the format marker: a legacy record decodes with JobName "" and skips the
+// identity checks.)
 type checkpointMeta struct {
 	Step       int
 	Pending    int64
 	Aggregates map[string]any
 	Tables     []string
+	JobName    string
+	MaxSteps   int
+	TableHash  uint64
+}
+
+// tableSetHash fingerprints the job's state table set (order included).
+func tableSetHash(names []string) uint64 {
+	h := fnv.New64a()
+	for _, n := range names {
+		h.Write([]byte(n))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
 }
 
 func init() {
@@ -72,7 +96,7 @@ func (run *jobRun) checkpoint(step int, pending int64) error {
 			return err
 		}
 		ckpt, _ := store.LookupTable(name)
-		if err := copyTable(t, ckpt); err != nil {
+		if err := copyTable(run, t, ckpt); err != nil {
 			return fmt.Errorf("ebsp: checkpoint state table %q: %w", t.Name(), err)
 		}
 	}
@@ -83,7 +107,7 @@ func (run *jobRun) checkpoint(step int, pending int64) error {
 		return err
 	}
 	ckptSpills, _ := store.LookupTable(spillName)
-	if err := copyTable(run.transport, ckptSpills); err != nil {
+	if err := copyTable(run, run.transport, ckptSpills); err != nil {
 		return fmt.Errorf("ebsp: checkpoint spills: %w", err)
 	}
 
@@ -97,11 +121,16 @@ func (run *jobRun) checkpoint(step int, pending int64) error {
 	for k, v := range run.aggPrev {
 		aggs[k] = v
 	}
-	return meta.Put("meta", checkpointMeta{
-		Step:       step,
-		Pending:    pending,
-		Aggregates: aggs,
-		Tables:     run.stateNames,
+	return run.engine.retryOp(jobName, -1, func() error {
+		return meta.Put("meta", checkpointMeta{
+			Step:       step,
+			Pending:    pending,
+			Aggregates: aggs,
+			Tables:     run.stateNames,
+			JobName:    jobName,
+			MaxSteps:   run.job.MaxSteps,
+			TableHash:  tableSetHash(run.stateNames),
+		})
 	})
 }
 
@@ -117,35 +146,110 @@ func (run *jobRun) dropCheckpoint() {
 	}
 }
 
+// loadCheckpoint reads the job's checkpoint meta record and validates that
+// the snapshot matches the job specification (name, step budget, state table
+// set), returning ErrCheckpointMismatch (which wraps ErrBadJob) otherwise.
+func (e *Engine) loadCheckpoint(job *Job) (checkpointMeta, error) {
+	metaTab, ok := e.store.LookupTable(ckptMetaTable(job.Name))
+	if !ok {
+		return checkpointMeta{}, fmt.Errorf("%w: %q", ErrNoCheckpoint, job.Name)
+	}
+	var rawMeta any
+	var found bool
+	err := e.retryOp(job.Name, -1, func() error {
+		var gerr error
+		rawMeta, found, gerr = metaTab.Get("meta")
+		return gerr
+	})
+	if err != nil {
+		return checkpointMeta{}, err
+	}
+	if !found {
+		return checkpointMeta{}, fmt.Errorf("%w: %q (incomplete snapshot)", ErrNoCheckpoint, job.Name)
+	}
+	meta := rawMeta.(checkpointMeta)
+	if len(meta.Tables) != len(job.StateTables) {
+		return checkpointMeta{}, fmt.Errorf("%w: checkpoint has %d state tables, job has %d",
+			ErrCheckpointMismatch, len(meta.Tables), len(job.StateTables))
+	}
+	for i, name := range meta.Tables {
+		if job.StateTables[i] != name {
+			return checkpointMeta{}, fmt.Errorf("%w: checkpoint state table %d is %q, job has %q",
+				ErrCheckpointMismatch, i, name, job.StateTables[i])
+		}
+	}
+	if meta.JobName != "" { // legacy records predate the identity fields
+		if meta.JobName != job.Name {
+			return checkpointMeta{}, fmt.Errorf("%w: checkpoint belongs to job %q, not %q",
+				ErrCheckpointMismatch, meta.JobName, job.Name)
+		}
+		if meta.MaxSteps != job.MaxSteps {
+			return checkpointMeta{}, fmt.Errorf("%w: checkpoint was taken with MaxSteps %d, job has %d",
+				ErrCheckpointMismatch, meta.MaxSteps, job.MaxSteps)
+		}
+		if meta.TableHash != tableSetHash(job.StateTables) {
+			return checkpointMeta{}, fmt.Errorf("%w: state table set hash differs", ErrCheckpointMismatch)
+		}
+	}
+	return meta, nil
+}
+
+// restoreCheckpoint resets the run's state tables, transport, and aggregates
+// to the snapshot. The transport is cleared first so an in-run recovery
+// discards the failed attempt's spills; on a fresh run (Resume) the clear is
+// a no-op.
+func (run *jobRun) restoreCheckpoint(meta checkpointMeta) error {
+	e := run.engine
+	jobName := run.job.Name
+	for i, t := range run.stateTables {
+		ckpt, ok := e.store.LookupTable(ckptStateTable(jobName, i))
+		if !ok {
+			return fmt.Errorf("%w: missing state snapshot %d", ErrNoCheckpoint, i)
+		}
+		if err := clearTable(run, t); err != nil {
+			return err
+		}
+		if err := copyTable(run, ckpt, t); err != nil {
+			return fmt.Errorf("ebsp: restore state table %q: %w", t.Name(), err)
+		}
+	}
+	ckptSpills, ok := e.store.LookupTable(ckptSpillTable(jobName))
+	if !ok {
+		return fmt.Errorf("%w: missing spill snapshot", ErrNoCheckpoint)
+	}
+	if err := clearTable(run, run.transport); err != nil {
+		return err
+	}
+	if err := copyTable(run, ckptSpills, run.transport); err != nil {
+		return fmt.Errorf("ebsp: restore spills: %w", err)
+	}
+	run.aggPrev = make(map[string]any, len(meta.Aggregates))
+	for k, v := range meta.Aggregates {
+		run.aggPrev[k] = v
+	}
+	if run.aggResults != nil {
+		for name, v := range run.aggPrev {
+			name, v := name, v
+			if err := e.retryOp(jobName, -1, func() error { return run.aggResults.Put(name, v) }); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Resume restarts a synchronized job from its most recent checkpoint: the
 // state tables and undelivered messages are restored to the snapshot and
 // execution continues from the following step. The job specification must be
-// equivalent to the one originally run (same name, state tables, compute).
+// equivalent to the one originally run (same name, step budget, state
+// tables, compute); a mismatch is rejected with ErrCheckpointMismatch.
 func (e *Engine) Resume(job *Job) (*Result, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
-	metaTab, ok := e.store.LookupTable(ckptMetaTable(job.Name))
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrNoCheckpoint, job.Name)
-	}
-	rawMeta, ok, err := metaTab.Get("meta")
+	meta, err := e.loadCheckpoint(job)
 	if err != nil {
 		return nil, err
-	}
-	if !ok {
-		return nil, fmt.Errorf("%w: %q (incomplete snapshot)", ErrNoCheckpoint, job.Name)
-	}
-	meta := rawMeta.(checkpointMeta)
-	if len(meta.Tables) != len(job.StateTables) {
-		return nil, fmt.Errorf("%w: checkpoint has %d state tables, job has %d",
-			ErrBadJob, len(meta.Tables), len(job.StateTables))
-	}
-	for i, name := range meta.Tables {
-		if job.StateTables[i] != name {
-			return nil, fmt.Errorf("%w: checkpoint state table %d is %q, job has %q",
-				ErrBadJob, i, name, job.StateTables[i])
-		}
 	}
 
 	derived := planFor(job)
@@ -170,36 +274,20 @@ func (e *Engine) Resume(job *Job) (*Result, error) {
 	if err := run.setupTables(); err != nil {
 		return nil, err
 	}
-
-	// Restore state tables.
-	for i, t := range run.stateTables {
-		ckpt, ok := e.store.LookupTable(ckptStateTable(job.Name, i))
-		if !ok {
-			return nil, fmt.Errorf("%w: missing state snapshot %d", ErrNoCheckpoint, i)
-		}
-		if err := clearTable(t); err != nil {
-			return nil, err
-		}
-		if err := copyTable(ckpt, t); err != nil {
-			return nil, fmt.Errorf("ebsp: restore state table %q: %w", t.Name(), err)
-		}
+	if fs, ok := e.store.(kvstore.FailureSensor); ok {
+		run.sensor = fs
+		run.sensedFailovers = fs.Failovers()
 	}
-	// Restore undelivered spills into the fresh transport table.
-	ckptSpills, ok := e.store.LookupTable(ckptSpillTable(job.Name))
-	if !ok {
-		return nil, fmt.Errorf("%w: missing spill snapshot", ErrNoCheckpoint)
+	if err := run.restoreCheckpoint(meta); err != nil {
+		return nil, err
 	}
-	if err := copyTable(ckptSpills, run.transport); err != nil {
-		return nil, fmt.Errorf("ebsp: restore spills: %w", err)
-	}
-	for k, v := range meta.Aggregates {
-		run.aggPrev[k] = v
-	}
-
 	if err := run.setupAggTables(); err != nil {
 		return nil, err
 	}
 	res, err := run.syncLoop(meta.Step, meta.Pending)
+	for reruns := 0; err != nil && run.autoRecoverable(err, reruns); reruns++ {
+		res, err = run.recoverAndRerun(err)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -226,15 +314,20 @@ func recreateTable(store kvstore.Store, name, consistentWith string) error {
 	return nil
 }
 
-// copyTable copies every pair from src to dst, part-locally where possible.
-func copyTable(src, dst kvstore.Table) error {
+// copyTable copies every pair from src to dst, part-locally where possible;
+// individual puts retry transient failures when run is non-nil.
+func copyTable(run *jobRun, src, dst kvstore.Table) error {
 	return kvstore.EnumerateAll(src, func(k, v any) (bool, error) {
-		return false, dst.Put(k, v)
+		if run == nil {
+			return false, dst.Put(k, v)
+		}
+		return false, run.engine.retryOp(run.job.Name, -1, func() error { return dst.Put(k, v) })
 	})
 }
 
-// clearTable deletes every pair of a table.
-func clearTable(t kvstore.Table) error {
+// clearTable deletes every pair of a table; individual deletes retry
+// transient failures when run is non-nil.
+func clearTable(run *jobRun, t kvstore.Table) error {
 	keys := make([]any, 0)
 	if err := kvstore.EnumerateAll(t, func(k, _ any) (bool, error) {
 		keys = append(keys, k)
@@ -244,7 +337,14 @@ func clearTable(t kvstore.Table) error {
 	}
 	sort.Slice(keys, func(i, j int) bool { return codec.CompareKeys(keys[i], keys[j]) < 0 })
 	for _, k := range keys {
-		if err := t.Delete(k); err != nil {
+		k := k
+		var err error
+		if run == nil {
+			err = t.Delete(k)
+		} else {
+			err = run.engine.retryOp(run.job.Name, -1, func() error { return t.Delete(k) })
+		}
+		if err != nil {
 			return err
 		}
 	}

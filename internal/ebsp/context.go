@@ -6,7 +6,6 @@ import (
 	"sync"
 
 	"ripple/internal/kvstore"
-	"ripple/internal/metrics"
 )
 
 // stateAccess abstracts where a compute invocation's state lives: local part
@@ -303,7 +302,8 @@ func keyComparable(k any) (ok bool) {
 // (no partition crossing); cross-part batches go through the table handle,
 // in parallel — remote writes overlap, the way a real BSP implementation
 // overlaps its end-of-step sends.
-func (b *outBuffer) flushSpills(step int, transport kvstore.Table, local kvstore.PartView, m *metrics.Collector) error {
+func (b *outBuffer) flushSpills(run *jobRun, step int, transport kvstore.Table, local kvstore.PartView) error {
+	m := run.engine.metrics
 	dsts := make([]int, 0, len(b.batches))
 	for dst := range b.batches {
 		dsts = append(dsts, dst)
@@ -325,10 +325,14 @@ func (b *outBuffer) flushSpills(step int, transport kvstore.Table, local kvstore
 			continue
 		}
 		wg.Add(1)
-		go func(i int, key spillKey, batch []envelope) {
+		go func(i, dst int, key spillKey, batch []envelope) {
 			defer wg.Done()
-			errs[i] = transport.Put(key, batch)
-		}(i, key, batch)
+			// Spill writes are idempotent (keyed by step/src/dst), so
+			// retrying a transient failure is safe.
+			errs[i] = run.engine.retryOp(run.job.Name, dst, func() error {
+				return transport.Put(key, batch)
+			})
+		}(i, dst, key, batch)
 		m.AddSpills(1)
 	}
 	wg.Wait()

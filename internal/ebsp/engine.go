@@ -117,6 +117,10 @@ type jobRun struct {
 
 	aggPrev map[string]any // results of previous step's aggregation
 
+	sensor          kvstore.FailureSensor // store failover sensor, may be nil
+	sensedFailovers int64                 // sensor reading absorbed so far
+	lastStep        int                   // most recently completed step (sync path)
+
 	directMu   sync.Mutex
 	recoveries atomic.Int64
 	delivered  atomic.Int64 // no-sync: envelopes delivered (progress watermarks)
@@ -172,11 +176,23 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 		return nil, err
 	}
 
+	if fs, ok := e.store.(kvstore.FailureSensor); ok {
+		run.sensor = fs
+		run.sensedFailovers = fs.Failovers()
+	}
+
 	jobStart := time.Now()
 	e.tracer.Record(trace.KindJobStart, job.Name, 0, -1, int64(run.parts), 0)
 	var res *Result
 	if strategy.Sync {
 		res, err = run.runSync(lc)
+		// Self-healing: a shard failover surfaces as (or wraps)
+		// ErrShardFailed; with checkpoints enabled the engine heals
+		// replication and re-runs from the last completed checkpoint instead
+		// of failing the job — no manual Resume needed.
+		for reruns := 0; err != nil && run.autoRecoverable(err, reruns); reruns++ {
+			res, err = run.recoverAndRerun(err)
+		}
 	} else {
 		res, err = run.runNoSync(lc)
 	}
@@ -320,7 +336,9 @@ func (run *jobRun) load() (*LoadContext, error) {
 		go func(i int, p statePut) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = run.stateTables[p.tab].Put(p.key, p.value)
+			errs[i] = run.engine.retryOp(run.job.Name, -1, func() error {
+				return run.stateTables[p.tab].Put(p.key, p.value)
+			})
 		}(i, p)
 	}
 	wg.Wait()
@@ -344,8 +362,12 @@ func (run *jobRun) export() error {
 			return fmt.Errorf("%w: exporting missing table %q", ErrBadJob, name)
 		}
 		exp := exp
-		if err := kvstore.EnumerateAll(t, func(k, v any) (bool, error) {
-			return false, exp.Export(k, v)
+		// Transient faults fire only at enumeration entry, before any pair is
+		// visited, so retrying the whole enumeration never double-exports.
+		if err := run.engine.retryOp(run.job.Name, -1, func() error {
+			return kvstore.EnumerateAll(t, func(k, v any) (bool, error) {
+				return false, exp.Export(k, v)
+			})
 		}); err != nil {
 			return fmt.Errorf("ebsp: export %q: %w", name, err)
 		}

@@ -1,0 +1,123 @@
+package ebsp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/mq"
+	"ripple/internal/trace"
+)
+
+// Self-healing execution: the engine classifies store/mq errors as retryable
+// (transient — the operation had no effect) vs fatal, retries retryable
+// operations with bounded deterministic backoff, and — when a store failover
+// is detected mid-job — heals replication and re-runs from the last
+// checkpoint inside Run, internalizing what used to require a manual Resume.
+
+// isTransient reports whether err is a retryable transient failure: the
+// failed operation did not take effect.
+func isTransient(err error) bool {
+	return errors.Is(err, kvstore.ErrTransient) || errors.Is(err, mq.ErrTransient)
+}
+
+// isFailover reports whether err indicates a failed shard primary — the
+// trigger for heal-and-rerun recovery.
+func isFailover(err error) bool {
+	return errors.Is(err, kvstore.ErrShardFailed)
+}
+
+// retryBackoff is the deterministic bounded backoff before retry `attempt`
+// (1-based): 200µs, 400µs, 800µs, ... capped at 5ms.
+func retryBackoff(attempt int) time.Duration {
+	d := 100 * time.Microsecond << attempt
+	if d > 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	return d
+}
+
+// retryOp runs f, retrying transient failures up to e.retries times with
+// retryBackoff between attempts. A still-transient error after the last
+// attempt is de-tagged (the transient marker is stripped) so an outer,
+// non-idempotent boundary never retries an operation whose effects are
+// unknown.
+func (e *Engine) retryOp(job string, part int, f func() error) error {
+	err := f()
+	for attempt := 1; err != nil && isTransient(err) && attempt <= e.retries; attempt++ {
+		e.metrics.AddRetries(1)
+		e.tracer.Record(trace.KindRetry, job, 0, part, int64(attempt), retryBackoff(attempt))
+		time.Sleep(retryBackoff(attempt))
+		err = f()
+	}
+	if err != nil && isTransient(err) {
+		return fmt.Errorf("ebsp: retries exhausted after %d attempts: %v", e.retries+1, err)
+	}
+	return err
+}
+
+// autoRecoverable reports whether a sync-run failure should trigger
+// heal-and-rerun: a shard failover with checkpoints to recover from, within
+// the rerun budget.
+func (run *jobRun) autoRecoverable(err error, reruns int) bool {
+	return isFailover(err) && run.engine.checkpointEvery > 0 && reruns < run.engine.retries
+}
+
+// checkFailover samples the store's failover sensor after a completed step.
+// For a non-transactional job with checkpoints, a bump means the step's
+// writes may have died with the primary, so it escalates to heal-and-rerun
+// (wrapping kvstore.ErrShardFailed); transactional fast-recovery jobs replay
+// failed part-steps themselves and just keep going.
+func (run *jobRun) checkFailover(step int) error {
+	if run.sensor == nil {
+		return nil
+	}
+	now := run.sensor.Failovers()
+	if now == run.sensedFailovers {
+		return nil
+	}
+	delta := now - run.sensedFailovers
+	run.sensedFailovers = now
+	if run.strategy.FastRecovery || run.engine.checkpointEvery == 0 {
+		return nil
+	}
+	return fmt.Errorf("ebsp: job %q: %d failover(s) detected after step %d: %w",
+		run.job.Name, delta, step, kvstore.ErrShardFailed)
+}
+
+// recoverAndRerun heals replication under the job's tables, restores the
+// last checkpoint, and re-runs the sync loop from it. The caller (RunContext)
+// bounds how often this is attempted.
+func (run *jobRun) recoverAndRerun(cause error) (*Result, error) {
+	e := run.engine
+	start := time.Now()
+	if h, ok := e.store.(kvstore.Healer); ok {
+		if err := h.Heal(run.placement.Name()); err != nil {
+			return nil, fmt.Errorf("ebsp: heal %q after %v: %w", run.placement.Name(), cause, err)
+		}
+		if run.refTable != nil {
+			if err := h.Heal(run.refTable.Name()); err != nil {
+				return nil, fmt.Errorf("ebsp: heal %q after %v: %w", run.refTable.Name(), cause, err)
+			}
+		}
+	}
+	if run.sensor != nil {
+		// Absorb the failovers the recovery itself observed.
+		run.sensedFailovers = run.sensor.Failovers()
+	}
+	meta, err := e.loadCheckpoint(run.job)
+	if err != nil {
+		return nil, fmt.Errorf("ebsp: auto-recovery after %v: %w", cause, err)
+	}
+	if err := run.restoreCheckpoint(meta); err != nil {
+		return nil, fmt.Errorf("ebsp: auto-recovery after %v: %w", cause, err)
+	}
+	rerun := int64(run.lastStep - meta.Step)
+	if rerun < 0 {
+		rerun = 0
+	}
+	e.metrics.AddStepsRerun(rerun)
+	e.tracer.Record(trace.KindFailoverRecovery, run.job.Name, meta.Step, -1, rerun, time.Since(start))
+	return run.syncLoop(meta.Step, meta.Pending)
+}

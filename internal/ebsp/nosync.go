@@ -31,7 +31,9 @@ var runSeq atomic.Int64
 // reports 0 and the continue signal is meaningless (ignored).
 func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 	sys := run.engine.mqSystem()
-	qsName := fmt.Sprintf("__ebsp.%s.q%d", run.job.Name, runSeq.Add(1))
+	// The run sequence number is its own dot-segment so name normalization
+	// (chaos fault injection) sees a stable name across runs.
+	qsName := fmt.Sprintf("__ebsp.%s.%d.q", run.job.Name, runSeq.Add(1))
 	qs, err := sys.CreateQueueSet(qsName, run.placement)
 	if err != nil {
 		return nil, fmt.Errorf("ebsp: create queue set: %w", err)
@@ -40,11 +42,18 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 
 	det := termination.New()
 
-	// Seed the initial messages, each carrying fresh weight.
-	for _, env := range lc.envs {
+	// Seed the initial messages, each carrying fresh weight. Seeds carry the
+	// distinguished sender -1 and a monotonic sequence so receivers can shed
+	// duplicated deliveries exactly like worker-to-worker traffic.
+	for i, env := range lc.envs {
 		w := det.Issue(termination.DefaultIssue)
+		env.Src = -1
+		env.Seq = i
 		dst := run.placement.PartOf(env.Dst)
-		if err := qs.Put(dst, queueMsg{Env: env, Weight: uint64(w)}); err != nil {
+		qm := queueMsg{Env: env, Weight: uint64(w)}
+		if err := run.engine.retryOp(run.job.Name, dst, func() error {
+			return qs.Put(dst, qm)
+		}); err != nil {
 			return nil, fmt.Errorf("ebsp: seed message: %w", err)
 		}
 		run.engine.metrics.AddMessagesSent(1)
@@ -54,10 +63,14 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 
 	var failed atomic.Bool
 	err = qs.Run(func(r *mq.Reader) error {
-		_, aerr := run.engine.store.RunAgent(run.placement.Name(), r.Queue(), func(sv kvstore.ShardView) (any, error) {
-			return nil, run.noSyncWorker(sv, r, qs, det, &failed)
+		// Injected dispatch faults fire before the worker body runs, so a
+		// retried dispatch never re-executes delivered work.
+		return run.engine.retryOp(run.job.Name, r.Queue(), func() error {
+			_, aerr := run.engine.store.RunAgent(run.placement.Name(), r.Queue(), func(sv kvstore.ShardView) (any, error) {
+				return nil, run.noSyncWorker(sv, r, qs, det, &failed)
+			})
+			return aerr
 		})
-		return aerr
 	})
 	if err != nil {
 		return nil, err
@@ -110,6 +123,11 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 		srcPart: sv.Part(),
 	}
 
+	// Per-sender dedup: queues preserve FIFO per (sender, receiver), so every
+	// fresh message from a sender carries a sequence number at or above the
+	// highest seen so far, and a redelivered duplicate sits strictly below it.
+	next := make(map[int]int)
+
 	for {
 		if failed.Load() {
 			return nil
@@ -118,7 +136,11 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 			failed.Store(true)
 			return fmt.Errorf("ebsp: job %q cancelled: %w", run.job.Name, cerr)
 		}
-		raw, ok := r.Read(noSyncPoll)
+		raw, ok, rerr := r.Read(noSyncPoll)
+		if rerr != nil {
+			failed.Store(true)
+			return fmt.Errorf("ebsp: no-sync worker part %d: %w", sv.Part(), rerr)
+		}
 		if !ok {
 			if det.Quiescent() {
 				run.engine.tracer.Record(trace.KindQuiesce, run.job.Name, 0, sv.Part(),
@@ -128,6 +150,14 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 			continue
 		}
 		qm := raw.(queueMsg)
+		if qm.Env.Seq < next[qm.Env.Src] {
+			// Duplicated delivery. Its weight is a phantom copy of the
+			// original's — the original already returned it (or will), so the
+			// duplicate is dropped whole: no processing, no weight return, no
+			// delivery count.
+			continue
+		}
+		next[qm.Env.Src] = qm.Env.Seq + 1
 		sink.held = termination.Weight(qm.Weight)
 		if perr := run.processNoSyncMessage(qm.Env, state, bview, sink); perr != nil {
 			_ = det.Return(sink.held)
@@ -262,7 +292,11 @@ func (s *queueSink) add(env envelope, run *jobRun) {
 	if dst == s.srcPart {
 		err = s.qs.PutLocal(dst, qm)
 	} else {
-		err = s.qs.Put(dst, qm)
+		// Injected put faults fire before delivery, so a retried send never
+		// double-delivers.
+		err = s.run.engine.retryOp(s.run.job.Name, dst, func() error {
+			return s.qs.Put(dst, qm)
+		})
 	}
 	if err != nil {
 		if s.err == nil {

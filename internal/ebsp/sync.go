@@ -47,6 +47,14 @@ func (run *jobRun) runSync(lc *LoadContext) (*Result, error) {
 	if err := run.setupAggTables(); err != nil {
 		return nil, err
 	}
+	// A step-0 checkpoint makes the job recoverable from the very start, so
+	// a failover before the first periodic checkpoint can still heal-and-
+	// rerun instead of failing the job.
+	if run.engine.checkpointEvery > 0 {
+		if err := run.checkpoint(0, int64(len(lc.envs))); err != nil {
+			return nil, err
+		}
+	}
 	return run.syncLoop(0, int64(len(lc.envs)))
 }
 
@@ -74,7 +82,10 @@ func (run *jobRun) setupAggTables() error {
 	run.privateTables = append(run.privateTables, resultsName)
 	run.aggResults = aggResults
 	for name, v := range run.aggPrev {
-		if err := aggResults.Put(name, v); err != nil {
+		name, v := name, v
+		if err := run.engine.retryOp(run.job.Name, -1, func() error {
+			return aggResults.Put(name, v)
+		}); err != nil {
 			return err
 		}
 	}
@@ -101,6 +112,12 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 			return nil, err
 		}
 		steps = step
+		run.lastStep = step
+		// Detect a failover that happened during the step before trusting
+		// (or checkpointing) its writes.
+		if ferr := run.checkFailover(step); ferr != nil {
+			return nil, ferr
+		}
 		stepDur := time.Since(stepStart)
 		run.engine.metrics.AddSteps(1)
 		run.engine.metrics.AddBarriers(1)
@@ -120,7 +137,10 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 		if run.aggResults != nil {
 			run.engine.metrics.AddAggregationRounds(1)
 			for name, v := range aggs {
-				if err := run.aggResults.Put(name, v); err != nil {
+				name, v := name, v
+				if err := run.engine.retryOp(run.job.Name, -1, func() error {
+					return run.aggResults.Put(name, v)
+				}); err != nil {
 					return nil, err
 				}
 			}
@@ -170,7 +190,9 @@ func (run *jobRun) writeInitialSpills(lc *LoadContext) error {
 		wg.Add(1)
 		go func(i, dst int) {
 			defer wg.Done()
-			errs[i] = run.transport.Put(spillKey{Step: 1, Dst: dst, Src: -1}, byDst[dst])
+			errs[i] = run.engine.retryOp(run.job.Name, dst, func() error {
+				return run.transport.Put(spillKey{Step: 1, Dst: dst, Src: -1}, byDst[dst])
+			})
 		}(i, dst)
 		run.engine.metrics.AddSpills(1)
 	}
@@ -265,7 +287,16 @@ func (run *jobRun) observePartStats(step int, results []*partStepResult) {
 // when the strategy calls for it.
 func (run *jobRun) execPartStep(step, part int) (*partStepResult, error) {
 	if !run.strategy.FastRecovery {
-		res, err := run.engine.store.RunAgent(run.placement.Name(), part, run.stepAgent(step, part))
+		// Dispatch-entry faults are transient and happen before any agent
+		// code runs, so retrying the dispatch is safe. Transient failures
+		// from inside the agent are retried (and, when exhausted, de-tagged)
+		// at their own operation, so they never reach this retry.
+		var res any
+		err := run.engine.retryOp(run.job.Name, part, func() error {
+			var aerr error
+			res, aerr = run.engine.store.RunAgent(run.placement.Name(), part, run.stepAgent(step, part))
+			return aerr
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -278,17 +309,24 @@ func (run *jobRun) execPartStep(step, part int) (*partStepResult, error) {
 		if err == nil {
 			return res.(*partStepResult), nil
 		}
-		if !errors.Is(err, kvstore.ErrShardFailed) {
+		switch {
+		case errors.Is(err, kvstore.ErrShardFailed):
+			// The shard's primary failed: the transaction rolled back (its
+			// local writes and spill deletions are undone), and spills it
+			// wrote to other parts are idempotent (keyed by step/src/dst),
+			// so — because the job is deterministic — simply replaying the
+			// part's step is correct (paper §IV-A fault-tolerance outline).
+			run.recoveries.Add(1)
+			run.engine.metrics.AddRecoveries(1)
+		case isTransient(err):
+			// Transient dispatch fault: nothing ran; replay after backoff.
+			run.engine.metrics.AddRetries(1)
+			run.engine.tracer.Record(trace.KindRetry, run.job.Name, step, part, int64(attempt+1), 0)
+			time.Sleep(retryBackoff(attempt + 1))
+		default:
 			return nil, err
 		}
-		// The shard's primary failed: the transaction rolled back (its local
-		// writes and spill deletions are undone), and spills it wrote to
-		// other parts are idempotent (keyed by step/src/dst), so — because
-		// the job is deterministic — simply replaying the part's step is
-		// correct (paper §IV-A fault-tolerance outline).
 		lastErr = err
-		run.recoveries.Add(1)
-		run.engine.metrics.AddRecoveries(1)
 	}
 	return nil, fmt.Errorf("ebsp: part %d step %d unrecovered after %d replays: %w",
 		part, step, run.engine.retries, lastErr)
@@ -381,7 +419,7 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 			return nil, err
 		}
 
-		if err := out.flushSpills(step+1, run.transport, transport, run.engine.metrics); err != nil {
+		if err := out.flushSpills(run, step+1, run.transport, transport); err != nil {
 			return nil, err
 		}
 		if err := out.exportDirect(run); err != nil {
@@ -597,29 +635,13 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			res, err := run.engine.store.RunAgent(run.placement.Name(), p, func(sv kvstore.ShardView) (any, error) {
-				transport, err := sv.View(run.transport.Name())
-				if err != nil {
-					return nil, err
-				}
-				envs, err := drainSpills(transport, step)
-				if err != nil {
-					return nil, err
-				}
-				state, err := run.partViews(sv)
-				if err != nil {
-					return nil, err
-				}
-				if err := run.applyCreates(envs, state); err != nil {
-					return nil, err
-				}
-				data := envs[:0:0]
-				for _, env := range envs {
-					if env.Kind == kindData {
-						data = append(data, env)
-					}
-				}
-				return data, nil
+			var res any
+			err := run.engine.retryOp(run.job.Name, p, func() error {
+				var aerr error
+				res, aerr = run.engine.store.RunAgent(run.placement.Name(), p, func(sv kvstore.ShardView) (any, error) {
+					return run.drainForSteal(sv, step)
+				})
+				return aerr
 			})
 			if err != nil {
 				errs[p] = err
@@ -711,7 +733,7 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 		if out == nil {
 			continue
 		}
-		if err := out.flushSpills(step+1, run.transport, nil, run.engine.metrics); err != nil {
+		if err := out.flushSpills(run, step+1, run.transport, nil); err != nil {
 			return 0, nil, err
 		}
 		if err := out.exportDirect(run); err != nil {
@@ -721,6 +743,33 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 	}
 	merged := run.mergePlainAggs(aggs)
 	return emitted, merged, nil
+}
+
+// drainForSteal is the run-anywhere drain agent: read and delete one part's
+// spills, apply creates locally, and hand the data envelopes to the pool.
+func (run *jobRun) drainForSteal(sv kvstore.ShardView, step int) ([]envelope, error) {
+	transport, err := sv.View(run.transport.Name())
+	if err != nil {
+		return nil, err
+	}
+	envs, err := drainSpills(transport, step)
+	if err != nil {
+		return nil, err
+	}
+	state, err := run.partViews(sv)
+	if err != nil {
+		return nil, err
+	}
+	if err := run.applyCreates(envs, state); err != nil {
+		return nil, err
+	}
+	data := envs[:0:0]
+	for _, env := range envs {
+		if env.Kind == kindData {
+			data = append(data, env)
+		}
+	}
+	return data, nil
 }
 
 // remoteBroadcast adapts a whole-table handle to the PartView shape Context

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ripple/internal/codec"
@@ -79,6 +80,8 @@ type Store struct {
 	latency      time.Duration
 	metrics      *metrics.Collector
 
+	failovers atomic.Int64 // primary promotions performed by FailPrimary
+
 	mu     sync.Mutex
 	closed bool
 	tables map[string]*table
@@ -90,7 +93,13 @@ var (
 	_ kvstore.Store         = (*Store)(nil)
 	_ kvstore.Transactional = (*Store)(nil)
 	_ kvstore.Replicated    = (*Store)(nil)
+	_ kvstore.Healer        = (*Store)(nil)
+	_ kvstore.FailureSensor = (*Store)(nil)
 )
+
+// Failovers reports the monotonic count of primary promotions, implementing
+// kvstore.FailureSensor.
+func (s *Store) Failovers() int64 { return s.failovers.Load() }
 
 // group is a set of consistently partitioned tables sharing shards.
 type group struct {
@@ -385,6 +394,8 @@ func (s *Store) FailPrimary(tableName string, part int) error {
 	prim.alive = false
 	prim.data = make(map[string]map[any]any)
 	sh.epoch++
+	s.failovers.Add(1)
+	s.metrics.AddFailovers(1)
 	for i, r := range sh.replicas {
 		if r.alive {
 			sh.primary = i

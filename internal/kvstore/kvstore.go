@@ -43,6 +43,11 @@ var (
 	ErrShardFailed = errors.New("kvstore: shard primary failed")
 	// ErrTxConflict is returned when a transaction cannot commit.
 	ErrTxConflict = errors.New("kvstore: transaction conflict")
+	// ErrTransient marks a transient infrastructure failure: the operation
+	// did not take effect and may safely be retried. Fault-injection layers
+	// and flaky transports wrap this so the engine can distinguish retryable
+	// errors from fatal ones.
+	ErrTransient = errors.New("kvstore: transient failure")
 )
 
 // Store is the key/value store SPI (paper §III-A). Implementations must be
@@ -190,6 +195,21 @@ type Replicated interface {
 	// partition group; in-flight uncommitted writes on that shard are lost
 	// and a surviving replica is promoted.
 	FailPrimary(table string, part int) error
+}
+
+// Healer is an optional Store capability: restore full replication for the
+// named table's partition group after primary failures (re-seeding dead
+// replicas from the surviving ones). The engine invokes it before re-running
+// a job from its last checkpoint.
+type Healer interface {
+	Heal(table string) error
+}
+
+// FailureSensor is an optional Store capability: a monotonic count of primary
+// failovers (promotions) the store has performed. The engine samples it
+// around steps to detect that a failover happened mid-job.
+type FailureSensor interface {
+	Failovers() int64
 }
 
 // Config captures table creation options.

@@ -33,6 +33,10 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 		{"ripple_spills_total", "Spill batches written to the transport table.", snap.Spills},
 		{"ripple_aggregation_rounds_total", "Extra table-based aggregation rounds.", snap.AggregationRounds},
 		{"ripple_recoveries_total", "Fault-recovery replays.", snap.Recoveries},
+		{"ripple_retries_total", "Transient-failure retries performed by the engine.", snap.Retries},
+		{"ripple_failovers_total", "Primary failovers (replica promotions) in the store.", snap.Failovers},
+		{"ripple_faults_injected_total", "Faults injected by the chaos layer.", snap.FaultsInjected},
+		{"ripple_steps_rerun_total", "Steps re-executed during automatic failover recovery.", snap.StepsRerun},
 	}
 	for _, ctr := range counters {
 		if err := writeMeta(w, ctr.name, ctr.help, "counter"); err != nil {

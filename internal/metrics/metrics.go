@@ -27,6 +27,10 @@ type Collector struct {
 	spills          atomic.Int64
 	aggRounds       atomic.Int64
 	recoveries      atomic.Int64
+	retries         atomic.Int64
+	failovers       atomic.Int64
+	faultsInjected  atomic.Int64
+	stepsRerun      atomic.Int64
 
 	// Latency histograms (nanoseconds), per the paper's §VI cost drivers.
 	stepDuration    Histogram // whole step, barrier included
@@ -191,6 +195,34 @@ func (c *Collector) AddRecoveries(n int64) {
 	}
 }
 
+// AddRetries records transient-failure retries performed by the engine.
+func (c *Collector) AddRetries(n int64) {
+	if c != nil {
+		c.retries.Add(n)
+	}
+}
+
+// AddFailovers records primary failovers (replica promotions) in the store.
+func (c *Collector) AddFailovers(n int64) {
+	if c != nil {
+		c.failovers.Add(n)
+	}
+}
+
+// AddFaultsInjected records faults injected by a chaos layer.
+func (c *Collector) AddFaultsInjected(n int64) {
+	if c != nil {
+		c.faultsInjected.Add(n)
+	}
+}
+
+// AddStepsRerun records steps re-executed during automatic failover recovery.
+func (c *Collector) AddStepsRerun(n int64) {
+	if c != nil {
+		c.stepsRerun.Add(n)
+	}
+}
+
 // Snapshot is a point-in-time copy of all counters.
 type Snapshot struct {
 	Steps              int64
@@ -205,6 +237,10 @@ type Snapshot struct {
 	Spills             int64
 	AggregationRounds  int64
 	Recoveries         int64
+	Retries            int64
+	Failovers          int64
+	FaultsInjected     int64
+	StepsRerun         int64
 }
 
 // Snapshot returns a copy of the current counter values. A nil collector
@@ -226,6 +262,10 @@ func (c *Collector) Snapshot() Snapshot {
 		Spills:             c.spills.Load(),
 		AggregationRounds:  c.aggRounds.Load(),
 		Recoveries:         c.recoveries.Load(),
+		Retries:            c.retries.Load(),
+		Failovers:          c.failovers.Load(),
+		FaultsInjected:     c.faultsInjected.Load(),
+		StepsRerun:         c.stepsRerun.Load(),
 	}
 }
 
@@ -246,6 +286,10 @@ func (c *Collector) Reset() {
 	c.spills.Store(0)
 	c.aggRounds.Store(0)
 	c.recoveries.Store(0)
+	c.retries.Store(0)
+	c.failovers.Store(0)
+	c.faultsInjected.Store(0)
+	c.stepsRerun.Store(0)
 	c.stepDuration.reset()
 	c.barrierWait.reset()
 	c.partCompute.reset()
@@ -271,14 +315,18 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		Spills:             s.Spills - old.Spills,
 		AggregationRounds:  s.AggregationRounds - old.AggregationRounds,
 		Recoveries:         s.Recoveries - old.Recoveries,
+		Retries:            s.Retries - old.Retries,
+		Failovers:          s.Failovers - old.Failovers,
+		FaultsInjected:     s.FaultsInjected - old.FaultsInjected,
+		StepsRerun:         s.StepsRerun - old.StepsRerun,
 	}
 }
 
 // String renders the snapshot as a compact single-line summary.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"steps=%d barriers=%d msgs=%d combined=%d computes=%d marshalled=%dB gets=%d puts=%d dels=%d spills=%d aggRounds=%d recoveries=%d",
+		"steps=%d barriers=%d msgs=%d combined=%d computes=%d marshalled=%dB gets=%d puts=%d dels=%d spills=%d aggRounds=%d recoveries=%d retries=%d failovers=%d faults=%d stepsRerun=%d",
 		s.Steps, s.Barriers, s.MessagesSent, s.MessagesCombined, s.ComputeInvocations,
 		s.MarshalledBytes, s.StoreGets, s.StorePuts, s.StoreDeletes, s.Spills,
-		s.AggregationRounds, s.Recoveries)
+		s.AggregationRounds, s.Recoveries, s.Retries, s.Failovers, s.FaultsInjected, s.StepsRerun)
 }

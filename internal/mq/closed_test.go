@@ -1,0 +1,165 @@
+package mq
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPutOnClosedSetReturnsErrClosed(t *testing.T) {
+	sys, tab := newSystem(t, 2)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	if err := qs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.Put(0, "m"); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put err = %v, want ErrClosed", err)
+	}
+	if err := qs.PutLocal(1, "m"); !errors.Is(err, ErrClosed) {
+		t.Errorf("PutLocal err = %v, want ErrClosed", err)
+	}
+}
+
+func TestReadDrainsQueueBeforeErrClosed(t *testing.T) {
+	sys, tab := newSystem(t, 1)
+	qs, _ := sys.CreateQueueSet("q", tab)
+	_ = qs.Put(0, "a")
+	_ = qs.Put(0, "b")
+	if err := qs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := &Reader{queueSet: qs, index: 0}
+	for _, want := range []string{"a", "b"} {
+		msg, ok, err := r.Read(time.Second)
+		if !ok || err != nil || msg != want {
+			t.Fatalf("Read = %v, %v, %v; want %q", msg, ok, err, want)
+		}
+	}
+	if _, ok, err := r.Read(time.Second); ok || !errors.Is(err, ErrClosed) {
+		t.Errorf("drained Read = ok=%v err=%v, want ErrClosed", ok, err)
+	}
+	if _, ok, err := r.TryRead(); ok || !errors.Is(err, ErrClosed) {
+		t.Errorf("drained TryRead = ok=%v err=%v, want ErrClosed", ok, err)
+	}
+}
+
+func TestCloseConcurrentWithPutNeverDropsSilently(t *testing.T) {
+	// Every racing Put either delivers its message or reports ErrClosed;
+	// accepted == delivered, with no silent loss in between.
+	for round := 0; round < 20; round++ {
+		sys, tab := newSystem(t, 1)
+		qs, _ := sys.CreateQueueSet("q", tab)
+		const senders, per = 8, 50
+		var accepted atomic.Int64
+		var wg sync.WaitGroup
+		for s := 0; s < senders; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					err := qs.Put(0, i)
+					switch {
+					case err == nil:
+						accepted.Add(1)
+					case errors.Is(err, ErrClosed):
+					default:
+						t.Errorf("Put err = %v", err)
+						return
+					}
+				}
+			}()
+		}
+		go func() {
+			time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+			_ = qs.Close()
+		}()
+		wg.Wait()
+		r := &Reader{queueSet: qs, index: 0}
+		var delivered int64
+		for {
+			_, ok, err := r.Read(time.Second)
+			if !ok {
+				if !errors.Is(err, ErrClosed) {
+					t.Fatalf("Read err = %v, want ErrClosed after drain", err)
+				}
+				break
+			}
+			delivered++
+		}
+		if delivered != accepted.Load() {
+			t.Fatalf("round %d: accepted %d puts, delivered %d", round, accepted.Load(), delivered)
+		}
+		_ = sys.DeleteQueueSet("q")
+	}
+}
+
+// jitterFaults delays every 3rd put and duplicates every 4th — a worst case
+// for ordering, since delayed and undelayed messages interleave.
+type jitterFaults struct {
+	n atomic.Int64
+}
+
+func (f *jitterFaults) PutFault(set string, queue int) Fault {
+	n := f.n.Add(1)
+	var fault Fault
+	if n%3 == 0 {
+		fault.Delay = time.Duration(n%7) * 100 * time.Microsecond
+	}
+	if n%4 == 0 {
+		fault.Duplicates = 1
+	}
+	return fault
+}
+
+func TestFIFOSurvivesJitterAndDuplication(t *testing.T) {
+	_, tab := newSystem(t, 1)
+	sys := NewSystem(WithFaults(&jitterFaults{}))
+	qs, _ := sys.CreateQueueSet("q", tab)
+	const msgs = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < msgs; i++ {
+			if err := qs.Put(0, i); err != nil {
+				t.Errorf("Put %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	r := &Reader{queueSet: qs, index: 0}
+	seen := make(map[int]int)
+	last := -1
+	for len(seen) < msgs {
+		raw, ok, err := r.Read(5 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("timed out with %d of %d distinct messages", len(seen), msgs)
+		}
+		m := raw.(int)
+		seen[m]++
+		// FIFO per sender: the stream may repeat (duplicates arrive adjacent
+		// to their original) but must never go backwards past a fresh value.
+		if m < last && seen[m] == 1 {
+			t.Fatalf("fresh message %d arrived after %d", m, last)
+		}
+		if m > last {
+			if m != last+1 {
+				t.Fatalf("gap: %d arrived after %d", m, last)
+			}
+			last = m
+		}
+	}
+	<-done
+	dups := 0
+	for _, c := range seen {
+		dups += c - 1
+	}
+	if dups == 0 {
+		t.Error("fault injector produced no duplicates")
+	}
+}

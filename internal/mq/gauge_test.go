@@ -38,14 +38,14 @@ func TestQueueDepthGauge(t *testing.T) {
 	}
 
 	r := &Reader{queueSet: qs, index: 1}
-	if _, ok := r.Read(time.Second); !ok {
+	if _, ok, _ := r.Read(time.Second); !ok {
 		t.Fatal("read failed")
 	}
 	if got := col.QueueDepths().Load(1); got != 3 {
 		t.Errorf("part 1 depth after read = %d, want 3", got)
 	}
 	for i := 0; i < 3; i++ {
-		if _, ok := r.TryRead(); !ok {
+		if _, ok, _ := r.TryRead(); !ok {
 			t.Fatal("try-read failed")
 		}
 	}
@@ -73,7 +73,7 @@ func TestQueueDepthGaugeWithoutMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := &Reader{queueSet: qs, index: 0}
-	if msg, ok := r.TryRead(); !ok || msg != "msg" {
+	if msg, ok, _ := r.TryRead(); !ok || msg != "msg" {
 		t.Fatalf("read = %v, %v", msg, ok)
 	}
 }

@@ -33,13 +33,39 @@ var (
 	ErrNoQueue = errors.New("mq: no such queue")
 	// ErrExists is returned when creating a queue set whose name is taken.
 	ErrExists = errors.New("mq: queue set already exists")
+	// ErrTransient marks a transient delivery failure injected by a fault
+	// layer (or raised by a flaky transport): the message was not delivered
+	// and the Put may safely be retried.
+	ErrTransient = errors.New("mq: transient delivery failure")
 )
+
+// Fault describes the injected behavior of one cross-part Put: fail it, delay
+// its delivery, and/or deliver extra duplicate copies. The zero Fault is a
+// normal delivery.
+type Fault struct {
+	// Err, when non-nil, fails the Put with this error; the message is not
+	// delivered. Injectors should wrap ErrTransient for retryable faults.
+	Err error
+	// Delay adds extra delivery latency (on top of the system's emulated
+	// network latency). Delivery order per (sender, queue) is preserved.
+	Delay time.Duration
+	// Duplicates delivers this many extra copies of the message immediately
+	// after the original (adjacent, so per-sender FIFO is preserved).
+	Duplicates int
+}
+
+// FaultInjector decides the fault for each cross-part Put. Implementations
+// must be safe for concurrent use.
+type FaultInjector interface {
+	PutFault(set string, queue int) Fault
+}
 
 // System manages queue sets. One System is typically shared per store.
 type System struct {
 	marshal bool
 	latency time.Duration
 	metrics *metrics.Collector
+	faults  FaultInjector
 
 	mu   sync.Mutex
 	sets map[string]*QueueSet
@@ -65,6 +91,11 @@ func WithLatency(d time.Duration) SystemOption {
 			s.latency = d
 		}
 	}
+}
+
+// WithFaults installs a fault injector consulted on every cross-part Put.
+func WithFaults(fi FaultInjector) SystemOption {
+	return func(s *System) { s.faults = fi }
 }
 
 // NewSystem creates a queue-set manager.
@@ -128,7 +159,9 @@ func (qs *QueueSet) Queues() int { return len(qs.queues) }
 // Put delivers a message to queue q. It may be called from anywhere in the
 // system; the payload crosses a partition boundary (marshalled, when the
 // system marshals). Calls from a single goroutine to a single queue are
-// delivered in order.
+// delivered in order. Put on a closed set returns ErrClosed; a close racing
+// with an in-flight Put either delivers the message or reports ErrClosed —
+// never a silent drop.
 func (qs *QueueSet) Put(q int, msg any) error {
 	if q < 0 || q >= len(qs.queues) {
 		return fmt.Errorf("%w: %d of %d", ErrNoQueue, q, len(qs.queues))
@@ -138,6 +171,13 @@ func (qs *QueueSet) Put(q int, msg any) error {
 	qs.mu.Unlock()
 	if closed {
 		return ErrClosed
+	}
+	var fault Fault
+	if qs.system != nil && qs.system.faults != nil {
+		fault = qs.system.faults.PutFault(qs.name, q)
+		if fault.Err != nil {
+			return fault.Err
+		}
 	}
 	if qs.system != nil && qs.system.marshal {
 		data, err := codec.Encode(msg)
@@ -150,14 +190,23 @@ func (qs *QueueSet) Put(q int, msg any) error {
 			return err
 		}
 	}
-	if qs.system != nil && qs.system.latency > 0 {
-		// Latency, not occupancy: the sender continues immediately and the
-		// message arrives after the emulated network delay, in FIFO order.
-		qs.queues[q].putDelayed(msg, qs.system.latency)
-		return nil
+	var delay time.Duration
+	if qs.system != nil {
+		delay = qs.system.latency
 	}
-	qs.queues[q].put(msg)
-	qs.gaugeDepth(q)
+	delay += fault.Delay
+	for c := 0; c <= fault.Duplicates; c++ {
+		// Latency, not occupancy: the sender continues immediately and the
+		// message arrives after the emulated network delay, in FIFO order —
+		// even a zero-delay message cannot overtake earlier delayed ones. A
+		// message still in flight when the set closes is lost with the
+		// network, as on a real wire; only the synchronous hand-off reports
+		// ErrClosed.
+		if !qs.queues[q].putOrdered(msg, delay) {
+			return ErrClosed
+		}
+		qs.gaugeDepth(q)
+	}
 	return nil
 }
 
@@ -183,7 +232,9 @@ func (qs *QueueSet) PutLocal(q int, msg any) error {
 	if closed {
 		return ErrClosed
 	}
-	qs.queues[q].put(msg)
+	if !qs.queues[q].put(msg) {
+		return ErrClosed
+	}
 	qs.gaugeDepth(q)
 	return nil
 }
@@ -198,22 +249,24 @@ type Reader struct {
 func (r *Reader) Queue() int { return r.index }
 
 // Read dequeues the next message, waiting up to timeout. ok is false when the
-// timeout elapsed (or the set was closed) with no message available.
-func (r *Reader) Read(timeout time.Duration) (msg any, ok bool) {
-	msg, ok = r.queueSet.queues[r.index].take(timeout)
+// timeout elapsed with no message available. Once the set is closed and the
+// queue drained, Read returns ErrClosed (already-queued messages are still
+// delivered first).
+func (r *Reader) Read(timeout time.Duration) (msg any, ok bool, err error) {
+	msg, ok, closed := r.queueSet.queues[r.index].take(timeout)
 	if ok {
 		r.queueSet.gaugeDepth(r.index)
+		return msg, true, nil
 	}
-	return msg, ok
+	if closed {
+		return nil, false, ErrClosed
+	}
+	return nil, false, nil
 }
 
-// TryRead dequeues without waiting.
-func (r *Reader) TryRead() (msg any, ok bool) {
-	msg, ok = r.queueSet.queues[r.index].take(0)
-	if ok {
-		r.queueSet.gaugeDepth(r.index)
-	}
-	return msg, ok
+// TryRead dequeues without waiting. The error contract matches Read.
+func (r *Reader) TryRead() (msg any, ok bool, err error) {
+	return r.Read(0)
 }
 
 // Len reports the number of queued messages.
@@ -280,14 +333,24 @@ func newQueue() *queue {
 	return &queue{notify: make(chan struct{})}
 }
 
-// putDelayed enqueues msg for delivery after delay, preserving arrival
-// order (all delays are equal, so FIFO per queue — and hence per sender —
-// is maintained).
-func (q *queue) putDelayed(msg any, delay time.Duration) {
+// putOrdered enqueues msg for delivery after delay, preserving arrival order
+// (the pending list is drained sequentially, so FIFO per queue — and hence
+// per sender — is maintained even when delays differ). A zero-delay message
+// joins the pending list whenever the dispatcher is active, so it cannot
+// overtake earlier delayed messages. It reports whether the message was
+// accepted; a closed queue rejects it.
+func (q *queue) putOrdered(msg any, delay time.Duration) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
+	}
+	if delay <= 0 && !q.dispatching {
+		q.items = append(q.items, msg)
+		close(q.notify)
+		q.notify = make(chan struct{})
+		q.mu.Unlock()
+		return true
 	}
 	q.pending = append(q.pending, timedMsg{msg: msg, at: time.Now().Add(delay)})
 	if !q.dispatching {
@@ -295,6 +358,7 @@ func (q *queue) putDelayed(msg any, delay time.Duration) {
 		go q.dispatch()
 	}
 	q.mu.Unlock()
+	return true
 }
 
 // dispatch drains the pending list in order, honoring each delivery time.
@@ -316,20 +380,25 @@ func (q *queue) dispatch() {
 	}
 }
 
-func (q *queue) put(msg any) {
+// put appends msg and reports whether it was accepted (false once closed).
+func (q *queue) put(msg any) bool {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
-		return
+		return false
 	}
 	q.items = append(q.items, msg)
 	// Wake all current waiters; they re-check under the lock.
 	close(q.notify)
 	q.notify = make(chan struct{})
 	q.mu.Unlock()
+	return true
 }
 
-func (q *queue) take(timeout time.Duration) (any, bool) {
+// take dequeues the next message, waiting up to timeout. closed reports that
+// the queue is closed AND drained — queued messages are delivered before the
+// closed state is surfaced.
+func (q *queue) take(timeout time.Duration) (msg any, ok, closed bool) {
 	deadline := time.Now().Add(timeout)
 	for {
 		q.mu.Lock()
@@ -342,25 +411,25 @@ func (q *queue) take(timeout time.Duration) (any, bool) {
 				q.head = 0
 			}
 			q.mu.Unlock()
-			return msg, true
+			return msg, true, false
 		}
 		if q.closed {
 			q.mu.Unlock()
-			return nil, false
+			return nil, false, true
 		}
 		ch := q.notify
 		q.mu.Unlock()
 
 		remain := time.Until(deadline)
 		if timeout <= 0 || remain <= 0 {
-			return nil, false
+			return nil, false, false
 		}
 		timer := time.NewTimer(remain)
 		select {
 		case <-ch:
 			timer.Stop()
 		case <-timer.C:
-			return nil, false
+			return nil, false, false
 		}
 	}
 }

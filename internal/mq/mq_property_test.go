@@ -33,7 +33,7 @@ func TestFIFOProperty(t *testing.T) {
 		for q := 0; q < queues; q++ {
 			r := &Reader{queueSet: qs, index: q}
 			for i := 0; i < perQueue; i++ {
-				msg, ok := r.TryRead()
+				msg, ok, _ := r.TryRead()
 				if !ok {
 					return false
 				}
@@ -42,7 +42,7 @@ func TestFIFOProperty(t *testing.T) {
 					return false
 				}
 			}
-			if _, ok := r.TryRead(); ok {
+			if _, ok, _ := r.TryRead(); ok {
 				return false
 			}
 		}
@@ -79,7 +79,7 @@ func TestDelayedDeliveryPreservesFIFOProperty(t *testing.T) {
 		}
 		r := &Reader{queueSet: qs, index: 0}
 		for i := 0; i < n; i++ {
-			msg, ok := r.Read(5 * time.Second)
+			msg, ok, _ := r.Read(5 * time.Second)
 			if !ok || msg != i {
 				return false
 			}

@@ -49,12 +49,12 @@ func TestPutReadFIFO(t *testing.T) {
 	}
 	r := &Reader{queueSet: qs, index: 1}
 	for i := 0; i < 100; i++ {
-		msg, ok := r.Read(time.Second)
+		msg, ok, _ := r.Read(time.Second)
 		if !ok || msg != i {
 			t.Fatalf("Read #%d = %v, %v", i, msg, ok)
 		}
 	}
-	if _, ok := r.TryRead(); ok {
+	if _, ok, _ := r.TryRead(); ok {
 		t.Error("TryRead on empty queue returned ok")
 	}
 }
@@ -64,7 +64,7 @@ func TestReadTimeout(t *testing.T) {
 	qs, _ := sys.CreateQueueSet("q", tab)
 	r := &Reader{queueSet: qs, index: 0}
 	start := time.Now()
-	_, ok := r.Read(30 * time.Millisecond)
+	_, ok, _ := r.Read(30 * time.Millisecond)
 	if ok {
 		t.Error("Read on empty queue returned ok")
 	}
@@ -81,7 +81,7 @@ func TestReadWakesOnPut(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		_ = qs.Put(0, "wake")
 	}()
-	msg, ok := r.Read(5 * time.Second)
+	msg, ok, _ := r.Read(5 * time.Second)
 	if !ok || msg != "wake" {
 		t.Fatalf("Read = %v, %v", msg, ok)
 	}
@@ -100,7 +100,7 @@ func TestRunWorkersOnePerQueue(t *testing.T) {
 	got := map[int][]int{}
 	err := qs.Run(func(r *Reader) error {
 		for {
-			msg, ok := r.Read(50 * time.Millisecond)
+			msg, ok, _ := r.Read(50 * time.Millisecond)
 			if !ok {
 				return nil
 			}
@@ -163,7 +163,7 @@ func TestPerSenderReceiverOrdering(t *testing.T) {
 	last := map[int]int{0: -1, 1: -1, 2: -1, 3: -1}
 	r := &Reader{queueSet: qs, index: 0}
 	for n := 0; n < senders*per; n++ {
-		msg, ok := r.TryRead()
+		msg, ok, _ := r.TryRead()
 		if !ok {
 			t.Fatalf("queue drained early at %d", n)
 		}
@@ -182,7 +182,7 @@ func TestMarshallingIsolationMQ(t *testing.T) {
 	_ = qs.Put(0, payload)
 	payload[0] = 99
 	r := &Reader{queueSet: qs, index: 0}
-	msg, _ := r.TryRead()
+	msg, _, _ := r.TryRead()
 	if msg.([]int)[0] != 1 {
 		t.Error("queue shares memory with sender")
 	}
@@ -194,7 +194,7 @@ func TestPutLocalSkipsMarshalling(t *testing.T) {
 	payload := []int{7}
 	_ = qs.PutLocal(0, payload)
 	r := &Reader{queueSet: qs, index: 0}
-	msg, _ := r.TryRead()
+	msg, _, _ := r.TryRead()
 	got := msg.([]int)
 	if &got[0] != &payload[0] {
 		t.Error("PutLocal copied the payload")
@@ -207,7 +207,7 @@ func TestCloseWakesReaders(t *testing.T) {
 	done := make(chan bool, 1)
 	go func() {
 		r := &Reader{queueSet: qs, index: 0}
-		_, ok := r.Read(10 * time.Second)
+		_, ok, _ := r.Read(10 * time.Second)
 		done <- ok
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -281,7 +281,7 @@ func TestHighVolumeConcurrentProducersConsumers(t *testing.T) {
 		defer count.Done()
 		_ = qs.Run(func(r *Reader) error {
 			for {
-				_, ok := r.Read(200 * time.Millisecond)
+				_, ok, _ := r.Read(200 * time.Millisecond)
 				if !ok {
 					return nil
 				}

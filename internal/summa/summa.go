@@ -60,6 +60,10 @@ type Config struct {
 	// identical per-hop costs; on a single-core host this is what makes the
 	// barrier-removal benefit visible in wall-clock time.
 	Latency time.Duration
+	// MQ, when set, supplies the message-queue system for no-sync execution
+	// — e.g. a fault-injecting one — instead of the private system built
+	// from Latency/Metrics.
+	MQ *mq.System
 }
 
 // Outcome reports one multiplication.
@@ -331,7 +335,9 @@ func Multiply(store kvstore.Store, cfg Config, a, b matrix.Dense) (*Outcome, err
 	if cfg.Metrics != nil {
 		opts = append(opts, ebsp.WithMetrics(cfg.Metrics))
 	}
-	if cfg.Latency > 0 {
+	if cfg.MQ != nil {
+		opts = append(opts, ebsp.WithMQ(cfg.MQ))
+	} else if cfg.Latency > 0 {
 		opts = append(opts, ebsp.WithMQ(mq.NewSystem(
 			mq.WithLatency(cfg.Latency), mq.WithMetrics(cfg.Metrics))))
 	}

@@ -23,33 +23,39 @@ type Kind uint8
 
 // Span kinds recorded by the engine, the queueing layer, and the stores.
 const (
-	KindJobStart      Kind = iota + 1 // a job began executing (N = parts)
-	KindJobEnd                        // a job finished (N = steps, Dur = wall time)
-	KindStepStart                     // a synchronized step began
-	KindStepEnd                       // a synchronized step finished (N = envelopes emitted)
-	KindBarrier                       // barrier crossed (Dur = slowest-fastest part skew)
-	KindPartCompute                   // one part's share of a step (N = invocations)
-	KindCombinerMerge                 // combiner merges in one part's step (N = messages eliminated)
-	KindCheckpoint                    // barrier-state snapshot written (N = pending envelopes)
-	KindProgress                      // no-sync watermark reached (N = envelopes delivered)
-	KindQuiesce                       // no-sync quiescence probe succeeded for one part
-	KindLogReplay                     // diskstore replayed a part log on open (N = bytes)
-	KindCompaction                    // diskstore compacted a part log (N = bytes reclaimed)
+	KindJobStart         Kind = iota + 1 // a job began executing (N = parts)
+	KindJobEnd                           // a job finished (N = steps, Dur = wall time)
+	KindStepStart                        // a synchronized step began
+	KindStepEnd                          // a synchronized step finished (N = envelopes emitted)
+	KindBarrier                          // barrier crossed (Dur = slowest-fastest part skew)
+	KindPartCompute                      // one part's share of a step (N = invocations)
+	KindCombinerMerge                    // combiner merges in one part's step (N = messages eliminated)
+	KindCheckpoint                       // barrier-state snapshot written (N = pending envelopes)
+	KindProgress                         // no-sync watermark reached (N = envelopes delivered)
+	KindQuiesce                          // no-sync quiescence probe succeeded for one part
+	KindLogReplay                        // diskstore replayed a part log on open (N = bytes)
+	KindCompaction                       // diskstore compacted a part log (N = bytes reclaimed)
+	KindFault                            // chaos layer injected a fault (N = per-cell op index)
+	KindRetry                            // engine retried a transient failure (N = attempt)
+	KindFailoverRecovery                 // engine healed + re-ran from a checkpoint (N = steps re-run)
 )
 
 var kindNames = map[Kind]string{
-	KindJobStart:      "job_start",
-	KindJobEnd:        "job_end",
-	KindStepStart:     "step_start",
-	KindStepEnd:       "step_end",
-	KindBarrier:       "barrier",
-	KindPartCompute:   "part_compute",
-	KindCombinerMerge: "combiner_merge",
-	KindCheckpoint:    "checkpoint",
-	KindProgress:      "progress",
-	KindQuiesce:       "quiesce",
-	KindLogReplay:     "log_replay",
-	KindCompaction:    "compaction",
+	KindJobStart:         "job_start",
+	KindJobEnd:           "job_end",
+	KindStepStart:        "step_start",
+	KindStepEnd:          "step_end",
+	KindBarrier:          "barrier",
+	KindPartCompute:      "part_compute",
+	KindCombinerMerge:    "combiner_merge",
+	KindCheckpoint:       "checkpoint",
+	KindProgress:         "progress",
+	KindQuiesce:          "quiesce",
+	KindLogReplay:        "log_replay",
+	KindCompaction:       "compaction",
+	KindFault:            "fault",
+	KindRetry:            "retry",
+	KindFailoverRecovery: "failover_recovery",
 }
 
 // String returns the kind's snake_case name.

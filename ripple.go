@@ -51,6 +51,7 @@
 package ripple
 
 import (
+	"ripple/internal/chaos"
 	"ripple/internal/codec"
 	"ripple/internal/diskstore"
 	"ripple/internal/ebsp"
@@ -252,8 +253,10 @@ var (
 	WithAggTableThreshold = ebsp.WithAggTableThreshold
 	// WithRecoveryRetries bounds fast-recovery replays.
 	WithRecoveryRetries = ebsp.WithRecoveryRetries
-	// WithCheckpoints snapshots barrier state every n steps; Engine.Resume
-	// restarts a crashed or aborted job from the latest snapshot.
+	// WithCheckpoints snapshots barrier state every n steps; with them the
+	// engine also auto-recovers from store failovers mid-run, and
+	// Engine.Resume restarts a crashed or aborted job from the latest
+	// snapshot.
 	WithCheckpoints = ebsp.WithCheckpoints
 	// WithObserver installs a step observer on the engine.
 	WithObserver = ebsp.WithObserver
@@ -263,6 +266,39 @@ var (
 	WithTracer = ebsp.WithTracer
 	// ErrNoCheckpoint is returned by Engine.Resume without a snapshot.
 	ErrNoCheckpoint = ebsp.ErrNoCheckpoint
+	// ErrCheckpointMismatch is returned by Engine.Resume when the stored
+	// checkpoint does not belong to the job being resumed.
+	ErrCheckpointMismatch = ebsp.ErrCheckpointMismatch
+)
+
+// Chaos engineering: deterministic, seeded fault injection behind the store
+// and message-queue SPIs.
+type (
+	// ChaosSchedule declares a reproducible fault-injection plan.
+	ChaosSchedule = chaos.Schedule
+	// ChaosKill schedules one primary kill at an agent-dispatch boundary.
+	ChaosKill = chaos.Kill
+	// ChaosInjector makes the schedule's injection decisions and records the
+	// injected faults.
+	ChaosInjector = chaos.Injector
+	// ChaosRecord is one injected fault.
+	ChaosRecord = chaos.Record
+)
+
+var (
+	// ParseChaosSchedule decodes the textual schedule form
+	// (e.g. "seed=7,store.err=0.01,mq.dup=0.05,kill=pages:3@40").
+	ParseChaosSchedule = chaos.Parse
+	// NewChaosInjector creates an injector for a schedule.
+	NewChaosInjector = chaos.NewInjector
+	// WrapChaos decorates a store with the injector's faults.
+	WrapChaos = chaos.Wrap
+	// ChaosMetrics counts injected faults on a metrics collector.
+	ChaosMetrics = chaos.WithMetrics
+	// ChaosTracer records a trace span per injected fault.
+	ChaosTracer = chaos.WithTracer
+	// WithMQFaults installs a fault injector on a message-queue system.
+	WithMQFaults = mq.WithFaults
 )
 
 // NewTracer creates a bounded span tracer; capacity <= 0 uses
