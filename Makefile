@@ -1,5 +1,5 @@
 # Ripple build/test entry points. `make ci` is the full gate: vet, build,
-# the race-enabled test run, and a short chaos soak.
+# the race-enabled test run, a short chaos soak, and a profiling smoke test.
 
 GO ?= go
 
@@ -7,9 +7,9 @@ GO ?= go
 # Widen it for longer campaigns, e.g. `make soak SOAK_SEEDS=1,2,3,4,5,6,7,8`.
 SOAK_SEEDS ?= 1,2,3
 
-.PHONY: ci vet build test race bench soak
+.PHONY: ci vet build test race bench soak profile-smoke
 
-ci: vet build race soak
+ci: vet build race soak profile-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,8 +23,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Benchmarks, then a dated BENCH_<yyyymmdd>.json snapshot (ns/op + engine
+# counters for one representative workload per experiment family) at the
+# repo root.
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
+	RIPPLE_BENCH_SNAPSHOT=1 $(GO) test -count=1 -run TestBenchSnapshot -v .
+
+# Profiling smoke test: run the quickstart with -profile and validate the
+# emitted Chrome trace parses and is non-empty via ripple-inspect.
+profile-smoke:
+	$(GO) run ./examples/quickstart -profile /tmp/ripple_profile_smoke.json
+	$(GO) run ./cmd/ripple-inspect -profile /tmp/ripple_profile_smoke.json >/dev/null
+	@echo "profile smoke: trace valid"
 
 # Race-enabled end-to-end chaos soak: PageRank + SUMMA to their fault-free
 # answers under transient faults, duplication, jitter, and primary kills.

@@ -1,0 +1,157 @@
+// Benchmark snapshotting: `make bench` sets RIPPLE_BENCH_SNAPSHOT=1, which
+// turns TestBenchSnapshot into a driver that times a representative workload
+// from each experiment family once and writes BENCH_<yyyymmdd>.json at the
+// repo root — a dated record of ns/op plus the engine-counter snapshot, so
+// perf regressions show up in version control rather than scrollback.
+package ripple
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ripple/internal/matrix"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/pagerank"
+	"ripple/internal/sssp"
+	"ripple/internal/summa"
+	"ripple/internal/workload"
+)
+
+// benchRow is one workload's entry in the snapshot file.
+type benchRow struct {
+	Workload    string `json:"workload"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	Ops         int    `json:"ops"`
+	Msgs        int64  `json:"messages_sent"`
+	Invocations int64  `json:"compute_invocations"`
+	Steps       int64  `json:"steps"`
+	Retries     int64  `json:"retries"`
+}
+
+// benchSnapshot is the whole BENCH_<yyyymmdd>.json document.
+type benchSnapshot struct {
+	Date      string     `json:"date"`
+	GoVersion string     `json:"go_version,omitempty"`
+	Rows      []benchRow `json:"rows"`
+}
+
+func TestBenchSnapshot(t *testing.T) {
+	if os.Getenv("RIPPLE_BENCH_SNAPSHOT") == "" {
+		t.Skip("set RIPPLE_BENCH_SNAPSHOT=1 (or run `make bench`) to write a snapshot")
+	}
+
+	snap := benchSnapshot{Date: time.Now().Format("2006-01-02"), GoVersion: runtime.Version()}
+	add := func(name string, fn func(b *testing.B, col *metrics.Collector)) {
+		col := &metrics.Collector{}
+		res := testing.Benchmark(func(b *testing.B) { fn(b, col) })
+		m := col.Snapshot()
+		snap.Rows = append(snap.Rows, benchRow{
+			Workload:    name,
+			NsPerOp:     res.NsPerOp(),
+			Ops:         res.N,
+			Msgs:        m.MessagesSent,
+			Invocations: m.ComputeInvocations,
+			Steps:       m.Steps,
+			Retries:     m.Retries,
+		})
+		t.Logf("%-24s %12d ns/op  (%d ops)", name, res.NsPerOp(), res.N)
+	}
+
+	add("pagerank_direct", func(b *testing.B, col *metrics.Collector) {
+		g := table1Graph(b, table1Shapes[0].vertices, table1Shapes[0].edges)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := memstore.New(memstore.WithParts(6))
+			engine := NewEngine(store, WithMetrics(col))
+			if _, err := pagerank.LoadGraph(store, "g", g, 6); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := pagerank.RunDirect(engine, pagerank.Config{
+				GraphTable: "g", Iterations: table1Iterations,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			_ = store.Close()
+			b.StartTimer()
+		}
+	})
+	add("pagerank_mapreduce", func(b *testing.B, col *metrics.Collector) {
+		g := table1Graph(b, table1Shapes[0].vertices, table1Shapes[0].edges)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := memstore.New(memstore.WithParts(6))
+			engine := NewEngine(store, WithMetrics(col))
+			tab, err := pagerank.LoadGraph(store, "g", g, 6)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pagerank.SeedRanks(tab); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := pagerank.RunMapReduce(engine, pagerank.Config{
+				GraphTable: "g", Iterations: table1Iterations,
+			}); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			_ = store.Close()
+			b.StartTimer()
+		}
+	})
+	add("summa_sync_3x3", func(b *testing.B, col *metrics.Collector) {
+		rng := rand.New(rand.NewSource(11))
+		a := matrix.Random(rng, 60, 60)
+		m2 := matrix.Random(rng, 60, 60)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			store := memstore.New(memstore.WithParts(9))
+			b.StartTimer()
+			if _, err := summa.Multiply(store, summa.Config{
+				Grid: 3, Synchronized: true, Metrics: col,
+			}, a, m2); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			_ = store.Close()
+			b.StartTimer()
+		}
+	})
+	add("sssp_selective", func(b *testing.B, col *metrics.Collector) {
+		g, err := workload.PowerLawUndirected(rand.New(rand.NewSource(19)), ssspVertices, ssspEdges, 1.3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := memstore.New(memstore.WithParts(6))
+		defer func() { _ = store.Close() }()
+		drv := sssp.NewSelective(NewEngine(store, WithMetrics(col)), "snap_sel", 0, 6)
+		if err := drv.Init(g); err != nil {
+			b.Fatal(err)
+		}
+		batches := ssspBatches(64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := drv.ApplyBatch(batches[i%len(batches)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102"))
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d workloads)", path, len(snap.Rows))
+}

@@ -30,6 +30,14 @@
 //	-trace spans.jsonl    dump the engine span log (step/barrier/compute/
 //	                      progress events) as JSONL after the run
 //	-trace-cap 16384      span ring-buffer capacity (oldest spans drop)
+//	-profile out.json     record per-(job, step, part) profiles across every
+//	                      engine the run constructs, print the skew/straggler
+//	                      report, and write a Chrome trace-event timeline
+//	                      (open in chrome://tracing or https://ui.perfetto.dev)
+//	-profile-cap 8192     profile ring-buffer capacity (oldest records drop)
+//
+// With -metrics-addr set, the endpoint also serves /debug/profilez (live JSON
+// snapshot of recent step profiles plus the skew summary) and /debug/pprof/.
 package main
 
 import (
@@ -51,6 +59,7 @@ import (
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
 	"ripple/internal/pagerank"
+	"ripple/internal/profile"
 	"ripple/internal/sssp"
 	"ripple/internal/summa"
 	"ripple/internal/trace"
@@ -61,20 +70,22 @@ import (
 // construct, so the exposition endpoint and the span dump cover the whole
 // run.
 var (
-	obsMetrics = &metrics.Collector{}
-	obsTracer  *trace.Tracer
+	obsMetrics  = &metrics.Collector{}
+	obsTracer   *trace.Tracer
+	obsProfiler *profile.Recorder
 )
 
-// observedEngine builds an engine wired to the run's shared collector and
-// tracer.
+// observedEngine builds an engine wired to the run's shared collector,
+// tracer, and profiler.
 func observedEngine(store ripple.Store, opts ...ebsp.Option) *ripple.Engine {
-	opts = append(opts, ebsp.WithMetrics(obsMetrics), ebsp.WithTracer(obsTracer))
+	opts = append(opts, ebsp.WithMetrics(obsMetrics), ebsp.WithTracer(obsTracer),
+		ebsp.WithProfiler(obsProfiler))
 	return ripple.NewEngine(store, opts...)
 }
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1, table2, summa, sssp, ablations, all")
+		exp         = flag.String("exp", "all", "experiment: table1 (alias: pagerank), table2, summa, sssp, ablations, soak, all")
 		scale       = flag.Float64("scale", 0.05, "fraction of paper-scale workload sizes")
 		trials      = flag.Int("trials", 3, "trials per configuration (paper: 11/8/12)")
 		seed        = flag.Int64("seed", 42, "workload seed")
@@ -83,6 +94,8 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-format metrics on this address (e.g. :9090) during the run")
 		traceFile   = flag.String("trace", "", "write the span log as JSONL to this file after the run ('-' for stdout)")
 		traceCap    = flag.Int("trace-cap", trace.DefaultCapacity, "span ring-buffer capacity")
+		profileFile = flag.String("profile", "", "write per-part step profiles as a Chrome trace-event timeline to this file and print the skew report")
+		profileCap  = flag.Int("profile-cap", profile.DefaultCapacity, "profile ring-buffer capacity")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 1 {
@@ -91,9 +104,13 @@ func main() {
 	if *traceFile != "" {
 		obsTracer = trace.New(*traceCap)
 	}
+	if *profileFile != "" {
+		obsProfiler = profile.New(*profileCap)
+	}
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", metrics.Handler(obsMetrics))
+		mux.Handle("/metrics", metrics.HandlerTracer(obsMetrics, obsTracer))
+		profile.AttachDebug(mux, obsProfiler)
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("metrics endpoint: %v", err)
@@ -104,6 +121,7 @@ func main() {
 
 	run := map[string]func(){
 		"table1":    func() { runTable1(*scale, *trials, *seed, *iters) },
+		"pagerank":  func() { runTable1(*scale, *trials, *seed, *iters) }, // alias: Table I is the PageRank experiment
 		"table2":    func() { runTable2() },
 		"summa":     func() { runSumma(*scale, *trials, *seed) },
 		"sssp":      func() { runSSSP(*scale, *trials, *seed) },
@@ -131,6 +149,32 @@ func main() {
 			log.Fatalf("trace dump: %v", err)
 		}
 	}
+	if *profileFile != "" {
+		if err := dumpProfile(*profileFile); err != nil {
+			log.Fatalf("profile dump: %v", err)
+		}
+	}
+}
+
+// dumpProfile prints the skew/straggler report and writes the recorded step
+// profiles as a Chrome trace-event timeline.
+func dumpProfile(path string) error {
+	fmt.Println()
+	profile.WriteText(os.Stdout, profile.AnalyzeRecorder(obsProfiler, 10))
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := profile.WriteChromeTrace(f, obsProfiler.Snapshot()); err != nil {
+		return err
+	}
+	if dropped := obsProfiler.Dropped(); dropped > 0 {
+		fmt.Fprintf(os.Stderr, "profile: ring buffer dropped %d oldest records (raise -profile-cap)\n", dropped)
+	}
+	fmt.Printf("wrote %d step profiles to %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
+		obsProfiler.Len(), path)
+	return nil
 }
 
 // dumpTrace writes the shared tracer's span log as JSONL to path ("-" for
@@ -240,7 +284,7 @@ func runTable2() {
 	rng := rand.New(rand.NewSource(1))
 	a := matrix.Random(rng, 60, 60)
 	b := matrix.Random(rng, 60, 60)
-	out, err := summa.Multiply(store, summa.Config{Grid: 3, Synchronized: true}, a, b)
+	out, err := summa.Multiply(store, summa.Config{Grid: 3, Synchronized: true, Profiler: obsProfiler}, a, b)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -289,7 +333,7 @@ func timeSumma(a, b matrix.Dense, synchronized bool, latency time.Duration) floa
 	defer func() { _ = store.Close() }()
 	start := time.Now()
 	if _, err := summa.Multiply(store, summa.Config{
-		Grid: 3, Synchronized: synchronized, Latency: latency,
+		Grid: 3, Synchronized: synchronized, Latency: latency, Profiler: obsProfiler,
 	}, a, b); err != nil {
 		log.Fatal(err)
 	}
@@ -447,7 +491,8 @@ func runSoak(scale float64, seed int64, iterations int, spec string) {
 			log.Fatal(err)
 		}
 		store := chaos.Wrap(gs, inj)
-		engine := ripple.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithTracer(obsTracer), ebsp.WithCheckpoints(3))
+		engine := ripple.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithTracer(obsTracer),
+			ebsp.WithProfiler(obsProfiler), ebsp.WithCheckpoints(3))
 		start := time.Now()
 		if _, err := pagerank.RunDirect(engine, pagerank.Config{GraphTable: "soak_graph", Iterations: iterations}); err != nil {
 			log.Fatalf("pagerank under chaos: %v", err)
@@ -488,9 +533,10 @@ func runSoak(scale float64, seed int64, iterations int, spec string) {
 		defer func() { _ = store.Close() }()
 		start := time.Now()
 		out, err := summa.Multiply(store, summa.Config{
-			Grid:    3,
-			Metrics: m,
-			MQ:      mq.NewSystem(mq.WithFaults(inj), mq.WithMetrics(m)),
+			Grid:     3,
+			Metrics:  m,
+			Profiler: obsProfiler,
+			MQ:       mq.NewSystem(mq.WithFaults(inj), mq.WithMetrics(m)),
 		}, a, b)
 		if err != nil {
 			log.Fatalf("summa under chaos: %v", err)

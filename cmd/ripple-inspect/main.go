@@ -1,6 +1,7 @@
 // Command ripple-inspect examines a Ripple disk store directory: it lists
 // the stored tables with their part counts, sizes, and on-disk footprint,
-// dumps table contents, and optionally compacts logs.
+// dumps table contents, and optionally compacts logs. It also analyzes
+// profile dumps offline.
 //
 // Usage:
 //
@@ -9,11 +10,19 @@
 //	ripple-inspect -dir ./data -table users -stats  # per-part statistics
 //	ripple-inspect -dir ./data -table users -compact
 //	ripple-inspect -dir ./data -table users -compact -trace spans.jsonl
+//	ripple-inspect -profile trace.json              # skew/straggler report
+//	ripple-inspect -profile trace.json -topk 20     # deeper straggler table
 //
 // The store directory is opened read-write (compaction rewrites logs); table
 // part counts are inferred from the log file names. With -trace, the store's
 // span log (per-part log replay on open, compaction passes) is written as
 // JSONL to the given file ('-' for stdout) before exit.
+//
+// -profile is a standalone mode: it reads a profile dump written by
+// ripple-bench -profile or ripple.WriteChromeTrace (Chrome trace-event JSON
+// or StepProfile JSONL — the format is sniffed), prints the skew/straggler
+// report, and exits non-zero if the file is invalid or holds no records, so
+// it doubles as a dump validator in CI.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"ripple/internal/codec"
 	"ripple/internal/diskstore"
 	"ripple/internal/kvstore"
+	"ripple/internal/profile"
 	"ripple/internal/trace"
 )
 
@@ -46,8 +56,16 @@ func main() {
 		compact   = flag.Bool("compact", false, "compact the table's logs")
 		limit     = flag.Int("limit", 50, "maximum pairs to dump (0 = all)")
 		traceFile = flag.String("trace", "", "write replay/compaction spans as JSONL to this file ('-' for stdout)")
+		profFile  = flag.String("profile", "", "analyze a profile dump (Chrome trace or JSONL) and exit")
+		topK      = flag.Int("topk", 10, "straggler parts and hot keys to rank with -profile")
 	)
 	flag.Parse()
+	if *profFile != "" {
+		if err := analyzeProfile(*profFile, *topK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *dir == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -192,6 +210,26 @@ func dump(tab kvstore.Table, limit int) {
 		}
 		fmt.Printf("%v\t%v\n", p.k, p.v)
 	}
+}
+
+// analyzeProfile reads a profile dump and prints the skew/straggler report.
+// An unreadable file or one with no records is an error, so CI can use this
+// as a validity check on emitted traces.
+func analyzeProfile(path string, topK int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	profs, err := profile.Parse(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(profs) == 0 {
+		return fmt.Errorf("%s: no step profiles in dump", path)
+	}
+	fmt.Printf("%s: %d step profiles\n\n", path, len(profs))
+	profile.WriteText(os.Stdout, profile.Analyze(profs, nil, topK))
+	return nil
 }
 
 // dumpTrace writes the collected spans as JSONL to path ("-" for stdout).

@@ -2,24 +2,58 @@
 // K/V EBSP job (a token-passing ring that demonstrates messages, state,
 // selective enablement, and aggregators) and then the classic word count on
 // the MapReduce layer — both against the in-memory store.
+//
+// With -profile out.json, both jobs run under the step profiler and their
+// per-(step, part) timeline is written as Chrome trace-event JSON (open in
+// chrome://tracing or https://ui.perfetto.dev).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
 
 	"ripple"
 )
 
+// profiler records both demos' step profiles when -profile is set; nil
+// disables recording.
+var profiler *ripple.Profiler
+
 func main() {
+	profileFile := flag.String("profile", "", "write a Chrome trace of per-part step profiles to this file")
+	flag.Parse()
+	if *profileFile != "" {
+		profiler = ripple.NewProfiler(0)
+	}
 	if err := ringDemo(); err != nil {
 		log.Fatalf("ring demo: %v", err)
 	}
 	if err := wordCountDemo(); err != nil {
 		log.Fatalf("word count demo: %v", err)
 	}
+	if *profileFile != "" {
+		if err := writeProfile(*profileFile); err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+	}
+}
+
+// writeProfile dumps the recorded step profiles as a Chrome trace.
+func writeProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := ripple.WriteProfileChromeTrace(f, profiler.Snapshot()); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d step profiles to %s\n", profiler.Len(), path)
+	return nil
 }
 
 // ringDemo passes a hop counter around a ring of components. Only the
@@ -28,7 +62,7 @@ func main() {
 func ringDemo() error {
 	store := ripple.NewMemStore(ripple.MemParts(4))
 	defer func() { _ = store.Close() }()
-	engine := ripple.NewEngine(store)
+	engine := ripple.NewEngine(store, ripple.WithProfiler(profiler))
 
 	const ringSize, laps = 5, 3
 	job := &ripple.Job{
@@ -65,7 +99,7 @@ func ringDemo() error {
 func wordCountDemo() error {
 	store := ripple.NewMemStore(ripple.MemParts(4))
 	defer func() { _ = store.Close() }()
-	engine := ripple.NewEngine(store)
+	engine := ripple.NewEngine(store, ripple.WithProfiler(profiler))
 
 	docs, err := store.CreateTable("docs")
 	if err != nil {

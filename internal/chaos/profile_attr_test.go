@@ -1,0 +1,133 @@
+package chaos_test
+
+// Fault attribution under chaos: the profiler must pin injected faults and
+// the retries they trigger to the (job, step, part) whose progress they
+// delayed, and its retry total must agree with the metrics counter. Lives in
+// an external test package so it exercises the chaos wrapper exactly as the
+// engine consumes it.
+
+import (
+	"testing"
+
+	"ripple/internal/chaos"
+	"ripple/internal/ebsp"
+	"ripple/internal/gridstore"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/profile"
+)
+
+func chainJob(name string, limit int) *ebsp.Job {
+	return &ebsp.Job{
+		Name:        name,
+		StateTables: []string{name + "_state"},
+		Compute: ebsp.ComputeFunc(func(ctx *ebsp.Context) bool {
+			for _, m := range ctx.InputMessages() {
+				n := m.(int)
+				ctx.WriteState(0, n)
+				if n < limit {
+					ctx.Send(ctx.Key().(int)+1, n+1)
+				}
+			}
+			return false
+		}),
+		Loaders: []ebsp.Loader{&ebsp.MessageLoader{Messages: []ebsp.InitialMessage{{Key: 0, Message: 0}}}},
+	}
+}
+
+func TestProfilerAttributesInjectedFaults(t *testing.T) {
+	m := &metrics.Collector{}
+	rec := profile.New(4096)
+	inj := chaos.NewInjector(chaos.Schedule{Seed: 11, StoreErrRate: 0.05, AgentErrRate: 0.05},
+		chaos.WithMetrics(m))
+	store := chaos.Wrap(memstore.New(memstore.WithParts(4)), inj)
+	t.Cleanup(func() { _ = store.Close() })
+
+	e := ebsp.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithProfiler(rec))
+	res, err := e.Run(chainJob("attrib", 30))
+	if err != nil {
+		t.Fatalf("run under 5%% transient faults: %v", err)
+	}
+	if res.Steps != 31 {
+		t.Errorf("Steps = %d, want 31 (messages 0..30, one per step)", res.Steps)
+	}
+
+	snap := m.Snapshot()
+	if snap.FaultsInjected == 0 || snap.Retries == 0 {
+		t.Fatalf("faults=%d retries=%d — schedule not exercised, raise rates",
+			snap.FaultsInjected, snap.Retries)
+	}
+
+	var attrFaults, attrRetries int64
+	for _, p := range rec.Snapshot() {
+		if p.Faults == 0 && p.Retries == 0 {
+			continue
+		}
+		// Every attributed fault must land on a real coordinate of this job.
+		if p.Job != "attrib" {
+			t.Errorf("fault attributed to job %q: %+v", p.Job, p)
+		}
+		if p.Step < 1 || p.Step > res.Steps || p.Part < 0 || p.Part > 3 {
+			t.Errorf("fault attributed outside any part-step: %+v", p)
+		}
+		if p.Retries > 0 && p.Faults == 0 {
+			t.Errorf("retries without a fault on step %d part %d: %+v", p.Step, p.Part, p)
+		}
+		attrFaults += p.Faults
+		attrRetries += p.Retries
+	}
+	if attrFaults == 0 {
+		t.Error("no injected fault was attributed to a part-step record")
+	}
+
+	// Attributed + still-pending must cover the engine's own retry count.
+	// (Loader/exporter/checkpoint retries use part -1 and stay unattributed.)
+	pendF, pendR := rec.Unattributed()
+	if got := attrRetries + pendR; got != snap.Retries {
+		t.Errorf("profiler retries %d (attributed %d + pending %d) != metrics retries %d",
+			got, attrRetries, pendR, snap.Retries)
+	}
+	if attrFaults+pendF < snap.Retries {
+		t.Errorf("faults %d (attributed %d + pending %d) < retries %d — every retry follows a fault",
+			attrFaults+pendF, attrFaults, pendF, snap.Retries)
+	}
+}
+
+func TestProfilerAttributesFastRecoveryReplays(t *testing.T) {
+	// A deterministic job takes the fast-recovery path, where the engine
+	// itself replays failed part-step transactions instead of retryOp. The
+	// profiler must attribute those replays to the exact (step, part) too.
+	m := &metrics.Collector{}
+	rec := profile.New(4096)
+	inj := chaos.NewInjector(chaos.Schedule{Seed: 7, AgentErrRate: 0.10}, chaos.WithMetrics(m))
+	// Fast recovery needs per-shard transactions — gridstore, not memstore.
+	store := chaos.Wrap(gridstore.New(gridstore.WithParts(4), gridstore.WithReplicas(2)), inj)
+	t.Cleanup(func() { _ = store.Close() })
+
+	e := ebsp.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithProfiler(rec),
+		ebsp.WithRecoveryRetries(10))
+	job := chainJob("fastrec", 25)
+	job.Properties.Deterministic = true // fast-recovery path: failed part-steps replay in place
+	res, err := e.Run(job)
+	if err != nil {
+		t.Fatalf("run under 10%% agent faults: %v", err)
+	}
+	if !res.Strategy.FastRecovery {
+		t.Fatal("deterministic job did not select fast recovery")
+	}
+	snap := m.Snapshot()
+	if snap.FaultsInjected == 0 || snap.Retries == 0 {
+		t.Fatalf("faults=%d retries=%d — schedule not exercised, raise rates",
+			snap.FaultsInjected, snap.Retries)
+	}
+	var faults, retries int64
+	for _, p := range rec.Snapshot() {
+		if p.Step >= 1 && p.Part >= 0 {
+			faults += p.Faults
+			retries += p.Retries
+		}
+	}
+	if faults == 0 || retries == 0 {
+		t.Errorf("replayed dispatch faults not attributed: faults=%d retries=%d", faults, retries)
+	}
+}

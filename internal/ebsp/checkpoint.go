@@ -121,7 +121,7 @@ func (run *jobRun) checkpoint(step int, pending int64) error {
 	for k, v := range run.aggPrev {
 		aggs[k] = v
 	}
-	return run.engine.retryOp(jobName, -1, func() error {
+	return run.engine.retryOp(jobName, -1, -1, func() error {
 		return meta.Put("meta", checkpointMeta{
 			Step:       step,
 			Pending:    pending,
@@ -156,7 +156,7 @@ func (e *Engine) loadCheckpoint(job *Job) (checkpointMeta, error) {
 	}
 	var rawMeta any
 	var found bool
-	err := e.retryOp(job.Name, -1, func() error {
+	err := e.retryOp(job.Name, -1, -1, func() error {
 		var gerr error
 		rawMeta, found, gerr = metaTab.Get("meta")
 		return gerr
@@ -230,7 +230,7 @@ func (run *jobRun) restoreCheckpoint(meta checkpointMeta) error {
 	if run.aggResults != nil {
 		for name, v := range run.aggPrev {
 			name, v := name, v
-			if err := e.retryOp(jobName, -1, func() error { return run.aggResults.Put(name, v) }); err != nil {
+			if err := e.retryOp(jobName, -1, -1, func() error { return run.aggResults.Put(name, v) }); err != nil {
 				return err
 			}
 		}
@@ -321,7 +321,7 @@ func copyTable(run *jobRun, src, dst kvstore.Table) error {
 		if run == nil {
 			return false, dst.Put(k, v)
 		}
-		return false, run.engine.retryOp(run.job.Name, -1, func() error { return dst.Put(k, v) })
+		return false, run.engine.retryOp(run.job.Name, -1, -1, func() error { return dst.Put(k, v) })
 	})
 }
 
@@ -342,7 +342,7 @@ func clearTable(run *jobRun, t kvstore.Table) error {
 		if run == nil {
 			err = t.Delete(k)
 		} else {
-			err = run.engine.retryOp(run.job.Name, -1, func() error { return t.Delete(k) })
+			err = run.engine.retryOp(run.job.Name, -1, -1, func() error { return t.Delete(k) })
 		}
 		if err != nil {
 			return err

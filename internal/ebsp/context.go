@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"ripple/internal/codec"
 	"ripple/internal/kvstore"
 )
 
@@ -32,6 +34,30 @@ func (ls *localState) put(tab int, key, value any) error {
 
 func (ls *localState) delete(tab int, key any) error {
 	return ls.views[tab].Delete(key)
+}
+
+// countingState wraps a stateAccess with per-part get/put counters for the
+// step profiler; installed only while a profiler is attached so the unprofiled
+// path pays nothing. Deletes count as puts (both are writes).
+type countingState struct {
+	inner stateAccess
+	gets  atomic.Int64
+	puts  atomic.Int64
+}
+
+func (cs *countingState) get(tab int, key any) (any, bool, error) {
+	cs.gets.Add(1)
+	return cs.inner.get(tab, key)
+}
+
+func (cs *countingState) put(tab int, key, value any) error {
+	cs.puts.Add(1)
+	return cs.inner.put(tab, key, value)
+}
+
+func (cs *countingState) delete(tab int, key any) error {
+	cs.puts.Add(1)
+	return cs.inner.delete(tab, key)
 }
 
 // remoteState reads and writes through whole-table handles (crossing
@@ -231,6 +257,7 @@ type outBuffer struct {
 	seq       int
 	count     int64 // envelopes added (post-combining)
 	combined  int64 // messages eliminated by sender-side combining
+	bytes     int64 // encoded size of cross-part batches (profiling only)
 	direct    []kvPair
 	createSet int64
 }
@@ -324,12 +351,18 @@ func (b *outBuffer) flushSpills(run *jobRun, step int, transport kvstore.Table, 
 			m.AddSpills(1)
 			continue
 		}
+		if run.engine.prof != nil {
+			// Cross-part batches are the traffic a real deployment would put
+			// on the wire; encoding them for size is opt-in profiler overhead.
+			b.bytes += int64(codec.EncodedSize(batch))
+		}
 		wg.Add(1)
 		go func(i, dst int, key spillKey, batch []envelope) {
 			defer wg.Done()
 			// Spill writes are idempotent (keyed by step/src/dst), so
-			// retrying a transient failure is safe.
-			errs[i] = run.engine.retryOp(run.job.Name, dst, func() error {
+			// retrying a transient failure is safe. step is the delivery
+			// step: attribution lands on the sender's current-step record.
+			errs[i] = run.engine.retryOp(run.job.Name, step-1, b.srcPart, func() error {
 				return transport.Put(key, batch)
 			})
 		}(i, dst, key, batch)

@@ -10,6 +10,7 @@ import (
 	"ripple/internal/kvstore"
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
+	"ripple/internal/profile"
 	"ripple/internal/trace"
 )
 
@@ -20,6 +21,7 @@ type Engine struct {
 	mqsys           *mq.System
 	metrics         *metrics.Collector
 	tracer          *trace.Tracer
+	prof            *profile.Recorder
 	override        func(Strategy) Strategy
 	observer        StepObserver
 	progress        ProgressObserver
@@ -42,6 +44,15 @@ func WithMetrics(m *metrics.Collector) Option {
 // for both execution modes.
 func WithTracer(t *trace.Tracer) Option {
 	return func(e *Engine) { e.tracer = t }
+}
+
+// WithProfiler attaches a per-part step profiler: the engine records one
+// StepProfile per (job, step, part) — compute, barrier wait, queue wait,
+// message/store counts, and fault/retry attribution — into the recorder's
+// bounded ring. Profiling adds measurable overhead (notably hot-key tracking
+// and spill-size encoding), so attach one only when attribution is wanted.
+func WithProfiler(r *profile.Recorder) Option {
+	return func(e *Engine) { e.prof = r }
 }
 
 // WithMQ supplies the message-queuing system used for no-sync execution.
@@ -97,6 +108,9 @@ func (e *Engine) Metrics() *metrics.Collector { return e.metrics }
 
 // Tracer returns the engine's event tracer (possibly nil).
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
+
+// Profiler returns the engine's step profiler (possibly nil).
+func (e *Engine) Profiler() *profile.Recorder { return e.prof }
 
 // jobRun is the per-execution state shared by the sync and no-sync paths.
 type jobRun struct {
@@ -336,7 +350,7 @@ func (run *jobRun) load() (*LoadContext, error) {
 		go func(i int, p statePut) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			errs[i] = run.engine.retryOp(run.job.Name, -1, func() error {
+			errs[i] = run.engine.retryOp(run.job.Name, -1, -1, func() error {
 				return run.stateTables[p.tab].Put(p.key, p.value)
 			})
 		}(i, p)
@@ -364,7 +378,7 @@ func (run *jobRun) export() error {
 		exp := exp
 		// Transient faults fire only at enumeration entry, before any pair is
 		// visited, so retrying the whole enumeration never double-exports.
-		if err := run.engine.retryOp(run.job.Name, -1, func() error {
+		if err := run.engine.retryOp(run.job.Name, -1, -1, func() error {
 			return kvstore.EnumerateAll(t, func(k, v any) (bool, error) {
 				return false, exp.Export(k, v)
 			})

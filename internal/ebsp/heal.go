@@ -42,14 +42,23 @@ func retryBackoff(attempt int) time.Duration {
 // retryBackoff between attempts. A still-transient error after the last
 // attempt is de-tagged (the transient marker is stripped) so an outer,
 // non-idempotent boundary never retries an operation whose effects are
-// unknown.
-func (e *Engine) retryOp(job string, part int, f func() error) error {
+// unknown. The (job, step, part) coordinates attribute the faults and retries
+// to the profiler record they delayed (step/part -1 for operations outside
+// any part-step: loaders, exporters, checkpoints).
+func (e *Engine) retryOp(job string, step, part int, f func() error) error {
 	err := f()
+	if err != nil && isTransient(err) {
+		e.prof.AddFault(job, step, part)
+	}
 	for attempt := 1; err != nil && isTransient(err) && attempt <= e.retries; attempt++ {
 		e.metrics.AddRetries(1)
-		e.tracer.Record(trace.KindRetry, job, 0, part, int64(attempt), retryBackoff(attempt))
+		e.tracer.Record(trace.KindRetry, job, step, part, int64(attempt), retryBackoff(attempt))
+		e.prof.AddRetry(job, step, part)
 		time.Sleep(retryBackoff(attempt))
 		err = f()
+		if err != nil && isTransient(err) {
+			e.prof.AddFault(job, step, part)
+		}
 	}
 	if err != nil && isTransient(err) {
 		return fmt.Errorf("ebsp: retries exhausted after %d attempts: %v", e.retries+1, err)

@@ -18,7 +18,7 @@ func TestRetryOpRecoversTransientsAndDetags(t *testing.T) {
 	t.Cleanup(func() { _ = e.Store().Close() })
 
 	calls := 0
-	err := e.retryOp("j", 0, func() error {
+	err := e.retryOp("j", 1, 0, func() error {
 		calls++
 		if calls < 3 {
 			return kvstore.ErrTransient
@@ -33,7 +33,7 @@ func TestRetryOpRecoversTransientsAndDetags(t *testing.T) {
 	// must NOT be transient anymore, or an outer boundary could retry an
 	// operation whose effects are unknown.
 	calls = 0
-	err = e.retryOp("j", 0, func() error { calls++; return mq.ErrTransient })
+	err = e.retryOp("j", 1, 0, func() error { calls++; return mq.ErrTransient })
 	if err == nil || calls != 4 {
 		t.Fatalf("retryOp = %v after %d calls, want failure after 4", err, calls)
 	}
@@ -44,7 +44,7 @@ func TestRetryOpRecoversTransientsAndDetags(t *testing.T) {
 	// Fatal errors pass through untouched, without retries.
 	fatal := errors.New("disk on fire")
 	calls = 0
-	if err := e.retryOp("j", 0, func() error { calls++; return fatal }); !errors.Is(err, fatal) || calls != 1 {
+	if err := e.retryOp("j", 1, 0, func() error { calls++; return fatal }); !errors.Is(err, fatal) || calls != 1 {
 		t.Errorf("fatal: err=%v calls=%d", err, calls)
 	}
 }

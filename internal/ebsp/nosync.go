@@ -7,6 +7,7 @@ import (
 
 	"ripple/internal/kvstore"
 	"ripple/internal/mq"
+	"ripple/internal/profile"
 	"ripple/internal/termination"
 	"ripple/internal/trace"
 )
@@ -51,7 +52,7 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 		env.Seq = i
 		dst := run.placement.PartOf(env.Dst)
 		qm := queueMsg{Env: env, Weight: uint64(w)}
-		if err := run.engine.retryOp(run.job.Name, dst, func() error {
+		if err := run.engine.retryOp(run.job.Name, 0, dst, func() error {
 			return qs.Put(dst, qm)
 		}); err != nil {
 			return nil, fmt.Errorf("ebsp: seed message: %w", err)
@@ -65,7 +66,7 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 	err = qs.Run(func(r *mq.Reader) error {
 		// Injected dispatch faults fire before the worker body runs, so a
 		// retried dispatch never re-executes delivered work.
-		return run.engine.retryOp(run.job.Name, r.Queue(), func() error {
+		return run.engine.retryOp(run.job.Name, 0, r.Queue(), func() error {
 			_, aerr := run.engine.store.RunAgent(run.placement.Name(), r.Queue(), func(sv kvstore.ShardView) (any, error) {
 				return nil, run.noSyncWorker(sv, r, qs, det, &failed)
 			})
@@ -107,7 +108,7 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 		}
 	}()
 
-	state, err := run.partViews(sv)
+	ls, err := run.partViews(sv)
 	if err != nil {
 		return err
 	}
@@ -123,6 +124,38 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 		srcPart: sv.Part(),
 	}
 
+	// With a profiler attached the worker accounts for its whole session as
+	// one step-0 record: compute (busy) time, queue-wait (blocked reads and
+	// empty polls), and message/store counts. No-sync has no steps, so the
+	// record covers the part's entire run.
+	var state stateAccess = ls
+	prof := run.engine.prof
+	var counted *countingState
+	var queueWait time.Duration
+	var msgsIn, invoked int64
+	if prof != nil {
+		counted = &countingState{inner: state}
+		state = counted
+		startNS := prof.Now()
+		wStart := time.Now()
+		defer func() {
+			total := time.Since(wStart)
+			prof.Record(profile.StepProfile{
+				Job:         run.job.Name,
+				Step:        0,
+				Part:        sv.Part(),
+				StartNS:     startNS,
+				ComputeNS:   int64(total - queueWait),
+				QueueWaitNS: int64(queueWait),
+				MsgsIn:      msgsIn,
+				MsgsOut:     int64(sink.seq),
+				Enabled:     invoked,
+				StoreGets:   counted.gets.Load(),
+				StorePuts:   counted.puts.Load(),
+			})
+		}()
+	}
+
 	// Per-sender dedup: queues preserve FIFO per (sender, receiver), so every
 	// fresh message from a sender carries a sequence number at or above the
 	// highest seen so far, and a redelivered duplicate sits strictly below it.
@@ -136,7 +169,11 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 			failed.Store(true)
 			return fmt.Errorf("ebsp: job %q cancelled: %w", run.job.Name, cerr)
 		}
+		readStart := time.Now()
 		raw, ok, rerr := r.Read(noSyncPoll)
+		if prof != nil {
+			queueWait += time.Since(readStart)
+		}
 		if rerr != nil {
 			failed.Store(true)
 			return fmt.Errorf("ebsp: no-sync worker part %d: %w", sv.Part(), rerr)
@@ -158,6 +195,11 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 			continue
 		}
 		next[qm.Env.Src] = qm.Env.Seq + 1
+		msgsIn++
+		if qm.Env.Kind != kindCreate {
+			invoked++
+			prof.ObserveKey(run.job.Name, qm.Env.Dst, 1)
+		}
 		sink.held = termination.Weight(qm.Weight)
 		if perr := run.processNoSyncMessage(qm.Env, state, bview, sink); perr != nil {
 			_ = det.Return(sink.held)
@@ -212,7 +254,7 @@ func (run *jobRun) noSyncDelivered(part int, r *mq.Reader) error {
 // processNoSyncMessage handles one delivered envelope: a state-creation
 // request is applied directly; a data message or enablement marker becomes a
 // compute invocation.
-func (run *jobRun) processNoSyncMessage(env envelope, state *localState,
+func (run *jobRun) processNoSyncMessage(env envelope, state stateAccess,
 	bview kvstore.PartView, sink *queueSink) error {
 
 	switch env.Kind {
@@ -294,7 +336,7 @@ func (s *queueSink) add(env envelope, run *jobRun) {
 	} else {
 		// Injected put faults fire before delivery, so a retried send never
 		// double-delivers.
-		err = s.run.engine.retryOp(s.run.job.Name, dst, func() error {
+		err = s.run.engine.retryOp(s.run.job.Name, 0, dst, func() error {
 			return s.qs.Put(dst, qm)
 		})
 	}

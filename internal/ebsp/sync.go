@@ -11,6 +11,7 @@ import (
 
 	"ripple/internal/codec"
 	"ripple/internal/kvstore"
+	"ripple/internal/profile"
 	"ripple/internal/trace"
 )
 
@@ -83,7 +84,7 @@ func (run *jobRun) setupAggTables() error {
 	run.aggResults = aggResults
 	for name, v := range run.aggPrev {
 		name, v := name, v
-		if err := run.engine.retryOp(run.job.Name, -1, func() error {
+		if err := run.engine.retryOp(run.job.Name, -1, -1, func() error {
 			return aggResults.Put(name, v)
 		}); err != nil {
 			return err
@@ -138,7 +139,7 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 			run.engine.metrics.AddAggregationRounds(1)
 			for name, v := range aggs {
 				name, v := name, v
-				if err := run.engine.retryOp(run.job.Name, -1, func() error {
+				if err := run.engine.retryOp(run.job.Name, step, -1, func() error {
 					return run.aggResults.Put(name, v)
 				}); err != nil {
 					return nil, err
@@ -190,7 +191,9 @@ func (run *jobRun) writeInitialSpills(lc *LoadContext) error {
 		wg.Add(1)
 		go func(i, dst int) {
 			defer wg.Done()
-			errs[i] = run.engine.retryOp(run.job.Name, dst, func() error {
+			// Attributed to (step 1, dst): the fault delays that part's
+			// step-1 input.
+			errs[i] = run.engine.retryOp(run.job.Name, 1, dst, func() error {
 				return run.transport.Put(spillKey{Step: 1, Dst: dst, Src: -1}, byDst[dst])
 			})
 		}(i, dst)
@@ -212,8 +215,16 @@ type partStepResult struct {
 	aggs    map[string]any
 	envs    []envelope // run-anywhere: drained data envelopes for the pool
 	invoked int64      // compute invocations (enabled components) this step
-	merged  int64      // messages eliminated by the combiner this step
+	merged  int64      // messages eliminated by the combiner (both sides) this step
 	dur     time.Duration
+
+	// Profiler-only measurements (zero unless a profiler is attached).
+	startNS   int64         // profiler clock at part start
+	drainWait time.Duration // time blocked draining spills
+	msgsIn    int64         // envelopes delivered to this part
+	gets      int64         // state-table gets
+	puts      int64         // state-table puts
+	bytes     int64         // encoded size of cross-part spill batches
 }
 
 // execStep runs one step across all parts and merges the aggregations.
@@ -252,22 +263,26 @@ func (run *jobRun) execStep(step int) (int64, map[string]any, error) {
 
 // observePartStats publishes one step's per-part measurements: compute-time
 // and barrier-wait histograms (each part idles behind the step's slowest
-// part), per-part spans, the combiner's effectiveness, and the
-// enabled-component gauge (selective enablement in action).
+// part), per-part spans, profiler records, skew gauges, the combiner's
+// effectiveness, and the enabled-component gauge (selective enablement in
+// action).
 func (run *jobRun) observePartStats(step int, results []*partStepResult) {
 	m := run.engine.metrics
 	tr := run.engine.tracer
-	if m == nil && tr == nil {
+	prof := run.engine.prof
+	if m == nil && tr == nil && prof == nil {
 		return
 	}
 	var slowest, fastest time.Duration
 	var invoked int64
+	straggler := 0
 	for i, r := range results {
 		if i == 0 || r.dur < fastest {
 			fastest = r.dur
 		}
 		if r.dur > slowest {
 			slowest = r.dur
+			straggler = i
 		}
 		invoked += r.invoked
 	}
@@ -278,9 +293,45 @@ func (run *jobRun) observePartStats(step int, results []*partStepResult) {
 		if r.merged > 0 {
 			tr.Record(trace.KindCombinerMerge, run.job.Name, step, p, r.merged, 0)
 		}
+		prof.Record(profile.StepProfile{
+			Job:             run.job.Name,
+			Step:            step,
+			Part:            p,
+			StartNS:         r.startNS,
+			ComputeNS:       int64(r.dur),
+			BarrierWaitNS:   int64(slowest - r.dur),
+			QueueWaitNS:     int64(r.drainWait),
+			MsgsIn:          r.msgsIn,
+			MsgsOut:         r.emitted,
+			MarshalledBytes: r.bytes,
+			CombinerHits:    r.merged,
+			StoreGets:       r.gets,
+			StorePuts:       r.puts,
+			Enabled:         r.invoked,
+		})
 	}
 	m.EnabledComponents().Set(invoked)
+	m.StepSkewRatio().Set(stepSkewRatio(results, slowest))
+	m.StragglerPart().Set(int64(straggler))
 	tr.Record(trace.KindBarrier, run.job.Name, step, -1, int64(len(results)), slowest-fastest)
+}
+
+// stepSkewRatio computes max/median part compute time for one step's results
+// (1 when the median is zero or there are no results).
+func stepSkewRatio(results []*partStepResult, slowest time.Duration) float64 {
+	if len(results) == 0 {
+		return 1
+	}
+	durs := make([]time.Duration, len(results))
+	for i, r := range results {
+		durs[i] = r.dur
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+	median := durs[(len(durs)-1)/2]
+	if median <= 0 {
+		return 1
+	}
+	return float64(slowest) / float64(median)
 }
 
 // execPartStep runs one part's share of a step, with replay-based recovery
@@ -292,7 +343,7 @@ func (run *jobRun) execPartStep(step, part int) (*partStepResult, error) {
 		// from inside the agent are retried (and, when exhausted, de-tagged)
 		// at their own operation, so they never reach this retry.
 		var res any
-		err := run.engine.retryOp(run.job.Name, part, func() error {
+		err := run.engine.retryOp(run.job.Name, step, part, func() error {
 			var aerr error
 			res, aerr = run.engine.store.RunAgent(run.placement.Name(), part, run.stepAgent(step, part))
 			return aerr
@@ -318,10 +369,14 @@ func (run *jobRun) execPartStep(step, part int) (*partStepResult, error) {
 			// part's step is correct (paper §IV-A fault-tolerance outline).
 			run.recoveries.Add(1)
 			run.engine.metrics.AddRecoveries(1)
+			run.engine.prof.AddFault(run.job.Name, step, part)
+			run.engine.prof.AddRetry(run.job.Name, step, part)
 		case isTransient(err):
 			// Transient dispatch fault: nothing ran; replay after backoff.
 			run.engine.metrics.AddRetries(1)
 			run.engine.tracer.Record(trace.KindRetry, run.job.Name, step, part, int64(attempt+1), 0)
+			run.engine.prof.AddFault(run.job.Name, step, part)
+			run.engine.prof.AddRetry(run.job.Name, step, part)
 			time.Sleep(retryBackoff(attempt + 1))
 		default:
 			return nil, err
@@ -361,18 +416,27 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 				err = fmt.Errorf("ebsp: part %d step %d: compute panicked: %v", part, step, r)
 			}
 		}()
+		prof := run.engine.prof
 		partStart := time.Now()
+		startNS := prof.Now()
 		transport, err := sv.View(run.transport.Name())
 		if err != nil {
 			return nil, err
 		}
 		envs, err := drainSpills(transport, step)
+		drainWait := time.Since(partStart)
 		if err != nil {
 			return nil, err
 		}
-		state, err := run.partViews(sv)
+		ls, err := run.partViews(sv)
 		if err != nil {
 			return nil, err
+		}
+		var state stateAccess = ls
+		var counted *countingState
+		if prof != nil {
+			counted = &countingState{inner: state}
+			state = counted
 		}
 		bview, err := run.broadcastView(sv)
 		if err != nil {
@@ -392,6 +456,7 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 		var invoked, merged int64
 		invoke := func(key any, msgs []any, continued bool) error {
 			invoked++
+			prof.ObserveKey(run.job.Name, key, int64(len(msgs)))
 			return run.invokeCompute(&Context{
 				run:       run,
 				step:      step,
@@ -427,7 +492,13 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 		}
 		result := &partStepResult{
 			emitted: out.count, aggs: aggLocal,
-			invoked: invoked, merged: merged, dur: time.Since(partStart),
+			invoked: invoked, merged: merged + out.combined, dur: time.Since(partStart),
+			startNS: startNS, drainWait: drainWait, msgsIn: int64(len(envs)),
+			bytes: out.bytes,
+		}
+		if counted != nil {
+			result.gets = counted.gets.Load()
+			result.puts = counted.puts.Load()
 		}
 		if run.aggPartials != nil {
 			partials, err := sv.View(run.aggPartials.Name())
@@ -636,7 +707,7 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 		go func(p int) {
 			defer wg.Done()
 			var res any
-			err := run.engine.retryOp(run.job.Name, p, func() error {
+			err := run.engine.retryOp(run.job.Name, step, p, func() error {
 				var aerr error
 				res, aerr = run.engine.store.RunAgent(run.placement.Name(), p, func(sv kvstore.ShardView) (any, error) {
 					return run.drainForSteal(sv, step)
@@ -672,11 +743,15 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 	if workers == 0 {
 		return 0, run.mergePlainAggs(nil), nil
 	}
+	prof := run.engine.prof
 	remote := &remoteState{tables: run.stateTables}
 	var next atomic.Int64
 	outs := make([]*outBuffer, workers)
 	aggs := make([]map[string]any, workers)
 	werrs := make([]error, workers)
+	starts := make([]int64, workers)
+	durs := make([]time.Duration, workers)
+	taken := make([]int64, workers)
 	var wwg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wwg.Add(1)
@@ -687,6 +762,9 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 					werrs[w] = fmt.Errorf("ebsp: run-anywhere worker %d: compute panicked: %v", w, r)
 				}
 			}()
+			wStart := time.Now()
+			starts[w] = prof.Now()
+			defer func() { durs[w] = time.Since(wStart) }()
 			// Pseudo-source part beyond the real parts keeps spill keys
 			// unique per writer.
 			out := newOutBuffer(run.parts+w, run.parts, run.placement.PartOf, run.job.combiner())
@@ -699,8 +777,10 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 				if i >= int64(len(tasks)) {
 					return
 				}
+				taken[w]++
 				env := tasks[i]
 				msgBuf[0] = env.Val
+				prof.ObserveKey(run.job.Name, env.Dst, 1)
 				ctx := &Context{
 					run:      run,
 					step:     step,
@@ -740,6 +820,34 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 			return 0, nil, err
 		}
 		emitted += out.count
+	}
+	if prof != nil {
+		// Under work stealing computes detach from their parts, so each
+		// worker slot gets a record instead, numbered beyond the real parts.
+		var slowest time.Duration
+		for _, d := range durs {
+			if d > slowest {
+				slowest = d
+			}
+		}
+		for w := 0; w < workers; w++ {
+			p := profile.StepProfile{
+				Job:           run.job.Name,
+				Step:          step,
+				Part:          run.parts + w,
+				StartNS:       starts[w],
+				ComputeNS:     int64(durs[w]),
+				BarrierWaitNS: int64(slowest - durs[w]),
+				MsgsIn:        taken[w],
+				Enabled:       taken[w],
+			}
+			if outs[w] != nil {
+				p.MsgsOut = outs[w].count
+				p.CombinerHits = outs[w].combined
+				p.MarshalledBytes = outs[w].bytes
+			}
+			prof.Record(p)
+		}
 	}
 	merged := run.mergePlainAggs(aggs)
 	return emitted, merged, nil

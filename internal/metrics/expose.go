@@ -4,15 +4,43 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"sort"
+
+	"ripple/internal/trace"
 )
 
 // WritePrometheus renders a collector in the Prometheus text exposition
 // format (version 0.0.4): every counter as a ripple_*_total counter, the
-// gauges as ripple_* gauges (queue depth with a part label), and every
-// histogram as a ripple_*_seconds histogram with cumulative power-of-two
-// buckets. A nil collector writes nothing and returns nil.
+// gauges as ripple_* gauges (queue depth with a part label), every histogram
+// as a ripple_*_seconds histogram with cumulative power-of-two buckets, plus
+// Go runtime gauges for the process itself. A nil collector writes only the
+// runtime gauges.
 func WritePrometheus(w io.Writer, c *Collector) error {
+	return WritePrometheusTracer(w, c, nil)
+}
+
+// WritePrometheusTracer is WritePrometheus plus the tracer's loss counters
+// (retained spans and ring-overwrite drops), so span loss is visible to
+// scrapes. A nil tracer skips those series.
+func WritePrometheusTracer(w io.Writer, c *Collector, t *trace.Tracer) error {
+	if err := writeRuntimeGauges(w); err != nil {
+		return err
+	}
+	if t != nil {
+		if err := writeMeta(w, "ripple_trace_spans", "Spans currently retained in the trace ring buffer.", "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "ripple_trace_spans %d\n", t.Len()); err != nil {
+			return err
+		}
+		if err := writeMeta(w, "ripple_trace_dropped_total", "Spans overwritten by trace ring wraparound.", "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "ripple_trace_dropped_total %d\n", t.Dropped()); err != nil {
+			return err
+		}
+	}
 	if c == nil {
 		return nil
 	}
@@ -59,6 +87,18 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 	if _, err := fmt.Fprintf(w, "ripple_inflight_envelopes %d\n", c.InFlightEnvelopes().Load()); err != nil {
 		return err
 	}
+	if err := writeMeta(w, "ripple_step_skew_ratio", "Latest step's compute skew: slowest part over median part (1.0 = balanced).", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_step_skew_ratio %g\n", c.StepSkewRatio().Load()); err != nil {
+		return err
+	}
+	if err := writeMeta(w, "ripple_straggler_part", "Part that set the latest step's critical path.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_straggler_part %d\n", c.StragglerPart().Load()); err != nil {
+		return err
+	}
 	if err := writeMeta(w, "ripple_queue_depth", "Per-part message queue depth (no-sync execution).", "gauge"); err != nil {
 		return err
 	}
@@ -86,6 +126,30 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 	}
 	for _, hd := range hists {
 		if err := writeHistogram(w, hd.name, hd.help, hd.h.Snapshot()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeRuntimeGauges emits the process-level Go runtime gauges: goroutines,
+// heap bytes, and cumulative GC pause time.
+func writeRuntimeGauges(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauges := []struct {
+		name, help string
+		v          string
+	}{
+		{"ripple_go_goroutines", "Goroutines currently running.", fmt.Sprintf("%d", runtime.NumGoroutine())},
+		{"ripple_go_heap_bytes", "Heap bytes in use (runtime.MemStats.HeapAlloc).", fmt.Sprintf("%d", ms.HeapAlloc)},
+		{"ripple_go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", fmt.Sprintf("%g", float64(ms.PauseTotalNs)/1e9)},
+	}
+	for _, g := range gauges {
+		if err := writeMeta(w, g.name, g.help, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", g.name, g.v); err != nil {
 			return err
 		}
 	}
@@ -131,8 +195,13 @@ func writeHistogram(w io.Writer, name, help string, s HistogramSnapshot) error {
 // Handler serves the collector in the Prometheus text format, for mounting
 // at /metrics.
 func Handler(c *Collector) http.Handler {
+	return HandlerTracer(c, nil)
+}
+
+// HandlerTracer is Handler plus the tracer's loss counters.
+func HandlerTracer(c *Collector, t *trace.Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = WritePrometheus(w, c)
+		_ = WritePrometheusTracer(w, c, t)
 	})
 }

@@ -7,15 +7,25 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"ripple/internal/trace"
 )
 
 func TestWritePrometheusNilCollector(t *testing.T) {
+	// A nil collector still exposes the process-level runtime gauges, but no
+	// engine series.
 	var sb strings.Builder
 	if err := WritePrometheus(&sb, nil); err != nil {
 		t.Fatal(err)
 	}
-	if sb.Len() != 0 {
-		t.Errorf("nil collector wrote %q", sb.String())
+	out := sb.String()
+	for _, frag := range []string{"ripple_go_goroutines ", "ripple_go_heap_bytes ", "ripple_go_gc_pause_seconds_total "} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("nil collector missing runtime gauge %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "ripple_steps_total") {
+		t.Errorf("nil collector wrote engine series:\n%s", out)
 	}
 }
 
@@ -28,6 +38,8 @@ func TestWritePrometheus(t *testing.T) {
 	c.QueueDepths().Set(0, 7)
 	c.QueueDepths().Set(2, 1)
 	c.EnabledComponents().Set(11)
+	c.StepSkewRatio().Set(2.5)
+	c.StragglerPart().Set(3)
 
 	var sb strings.Builder
 	if err := WritePrometheus(&sb, c); err != nil {
@@ -47,6 +59,9 @@ func TestWritePrometheus(t *testing.T) {
 		`ripple_queue_depth{part="0"} 7`,
 		`ripple_queue_depth{part="2"} 1`,
 		"ripple_enabled_components 11",
+		"ripple_step_skew_ratio 2.5",
+		"ripple_straggler_part 3",
+		"ripple_go_goroutines ",
 	} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("exposition missing %q\n---\n%s", frag, out)
@@ -73,6 +88,29 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	if last != 2 {
 		t.Errorf("final bucket = %d, want 2", last)
+	}
+}
+
+func TestWritePrometheusTracer(t *testing.T) {
+	c := &Collector{}
+	tr := trace.New(2)
+	tr.Record(1, "j", 1, 0, 0, 0)
+	tr.Record(1, "j", 1, 1, 0, 0)
+	tr.Record(1, "j", 1, 2, 0, 0) // wraps: one span dropped
+
+	var sb strings.Builder
+	if err := WritePrometheusTracer(&sb, c, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"# TYPE ripple_trace_dropped_total counter",
+		"ripple_trace_dropped_total 1",
+		"ripple_trace_spans 2",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, out)
+		}
 	}
 }
 

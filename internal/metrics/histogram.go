@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -188,6 +189,28 @@ func (g *Gauge) Load() int64 {
 		return 0
 	}
 	return g.v.Load()
+}
+
+// FloatGauge is a settable instantaneous float64 value (skew ratios and the
+// like), stored as atomic bits. The zero value is ready to use and a nil
+// *FloatGauge is a valid no-op, like Gauge.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the gauge value.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Load reads the current value (0 for a nil gauge).
+func (g *FloatGauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
 }
 
 // PartGauge is a gauge vector indexed by part number (per-part queue depth

@@ -40,9 +40,11 @@ type Collector struct {
 	storeWrite      Histogram // one durable store write (diskstore log append)
 
 	// Gauges.
-	queueDepth        PartGauge // no-sync: per-part queue depth
-	enabledComponents Gauge     // sync: compute invocations in the latest step
-	inFlight          Gauge     // envelopes emitted but not yet delivered
+	queueDepth        PartGauge  // no-sync: per-part queue depth
+	enabledComponents Gauge      // sync: compute invocations in the latest step
+	inFlight          Gauge      // envelopes emitted but not yet delivered
+	stepSkewRatio     FloatGauge // latest step: max/median part compute time
+	stragglerPart     Gauge      // latest step: part that set the critical path
 }
 
 // StepDurations is the whole-step latency histogram.
@@ -109,6 +111,23 @@ func (c *Collector) InFlightEnvelopes() *Gauge {
 		return nil
 	}
 	return &c.inFlight
+}
+
+// StepSkewRatio gauges the latest synchronized step's compute skew: the
+// slowest part's compute time over the median part's (1.0 = balanced).
+func (c *Collector) StepSkewRatio() *FloatGauge {
+	if c == nil {
+		return nil
+	}
+	return &c.stepSkewRatio
+}
+
+// StragglerPart gauges which part set the latest step's critical path.
+func (c *Collector) StragglerPart() *Gauge {
+	if c == nil {
+		return nil
+	}
+	return &c.stragglerPart
 }
 
 // AddSteps records completed BSP steps.
@@ -298,6 +317,8 @@ func (c *Collector) Reset() {
 	c.queueDepth.reset()
 	c.enabledComponents.Set(0)
 	c.inFlight.Set(0)
+	c.stepSkewRatio.Set(0)
+	c.stragglerPart.Set(0)
 }
 
 // Sub returns the difference s - old, counter by counter.

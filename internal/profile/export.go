@@ -1,0 +1,221 @@
+package profile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// WriteJSONL dumps records as one JSON object per line, oldest first.
+func WriteJSONL(w io.Writer, profs []StepProfile) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, p := range profs {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one Chrome trace-event (the "JSON Array Format" documented
+// for chrome://tracing and Perfetto). ts and dur are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the object form of the trace-event file.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders records as Chrome trace-event JSON: one process
+// per job, one thread per part, a "compute" duration span per record
+// followed by its "barrier_wait" span, so a whole run displays as a per-part
+// timeline in chrome://tracing or Perfetto. Every compute event carries its
+// full StepProfile in args.profile, which Parse uses to round-trip the
+// records for offline analysis.
+func WriteChromeTrace(w io.Writer, profs []StepProfile) error {
+	pids := make(map[string]int)
+	threads := make(map[[2]int]bool)
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	for _, p := range profs {
+		pid, ok := pids[p.Job]
+		if !ok {
+			pid = len(pids) + 1
+			pids[p.Job] = pid
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]any{"name": "job " + p.Job},
+			})
+		}
+		if !threads[[2]int{pid, p.Part}] {
+			threads[[2]int{pid, p.Part}] = true
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: p.Part,
+				Args: map[string]any{"name": fmt.Sprintf("part %d", p.Part)},
+			})
+		}
+		name := "compute"
+		if p.Step > 0 {
+			name = fmt.Sprintf("step %d", p.Step)
+		}
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: name, Cat: "compute", Ph: "X",
+			Ts: us(p.StartNS), Dur: us(p.ComputeNS), Pid: pid, Tid: p.Part,
+			Args: map[string]any{"profile": p},
+		})
+		if p.BarrierWaitNS > 0 {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "barrier_wait", Cat: "barrier", Ph: "X",
+				Ts: us(p.StartNS + p.ComputeNS), Dur: us(p.BarrierWaitNS),
+				Pid: pid, Tid: p.Part,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// Parse parses a profile dump in either format this package writes —
+// Chrome trace-event JSON (object or bare array form) or StepProfile JSONL —
+// sniffing the format from the first non-space byte.
+func Parse(data []byte) ([]StepProfile, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("profile: empty input")
+	}
+	switch trimmed[0] {
+	case '{':
+		// Could be a Chrome trace object or single-line JSONL; sniff for
+		// traceEvents first.
+		var ct chromeTrace
+		if err := json.Unmarshal(trimmed, &ct); err == nil && ct.TraceEvents != nil {
+			return fromChromeEvents(ct.TraceEvents)
+		}
+		return readJSONL(trimmed)
+	case '[':
+		var evs []chromeEvent
+		if err := json.Unmarshal(trimmed, &evs); err != nil {
+			return nil, fmt.Errorf("profile: parse trace-event array: %w", err)
+		}
+		return fromChromeEvents(evs)
+	default:
+		return nil, fmt.Errorf("profile: unrecognized profile format (want Chrome trace JSON or JSONL)")
+	}
+}
+
+func readJSONL(data []byte) ([]StepProfile, error) {
+	var out []StepProfile
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var p StepProfile
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("profile: parse JSONL record %d: %w", len(out), err)
+		}
+		if p.Job == "" {
+			return nil, fmt.Errorf("profile: JSONL record %d has no job (not a profile dump?)", len(out))
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("profile: no records")
+	}
+	return out, nil
+}
+
+func fromChromeEvents(evs []chromeEvent) ([]StepProfile, error) {
+	var out []StepProfile
+	for _, ev := range evs {
+		raw, ok := ev.Args["profile"]
+		if !ok {
+			continue
+		}
+		// Round-trip through JSON: args decoded as map[string]any.
+		buf, err := json.Marshal(raw)
+		if err != nil {
+			return nil, fmt.Errorf("profile: re-encode embedded profile: %w", err)
+		}
+		var p StepProfile
+		if err := json.Unmarshal(buf, &p); err != nil {
+			return nil, fmt.Errorf("profile: parse embedded profile: %w", err)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("profile: trace has no embedded profile records")
+	}
+	return out, nil
+}
+
+// WriteText renders a report as a human-readable skew summary: headline,
+// the worst steps by skew ratio, the straggler ranking, and the hot keys.
+func WriteText(w io.Writer, rep *Report) error {
+	if rep == nil {
+		return nil
+	}
+	d := func(ns int64) time.Duration { return time.Duration(ns) }
+	fmt.Fprintf(w, "profile report: %d records, %d synchronized steps analyzed", rep.Records, len(rep.Steps))
+	if rep.NoSyncParts > 0 {
+		fmt.Fprintf(w, ", %d no-sync part records", rep.NoSyncParts)
+	}
+	fmt.Fprintln(w)
+	if len(rep.Steps) > 0 {
+		fmt.Fprintf(w, "skew ratio (max part compute / median): max %.2fx, mean %.2fx\n",
+			rep.MaxSkewRatio, rep.MeanSkewRatio)
+	}
+	fmt.Fprintf(w, "total barrier wait (all parts idling behind stragglers): %v\n\n", d(rep.BarrierWaitNS))
+
+	if len(rep.Steps) > 0 {
+		worst := append([]StepSkew(nil), rep.Steps...)
+		sort.Slice(worst, func(i, j int) bool { return worst[i].SkewRatio > worst[j].SkewRatio })
+		limit := 10
+		if len(worst) < limit {
+			limit = len(worst)
+		}
+		fmt.Fprintf(w, "worst steps by skew (top %d of %d):\n", limit, len(worst))
+		fmt.Fprintf(w, "  %-16s %5s %5s %12s %12s %7s %9s %6s %12s\n",
+			"JOB", "STEP", "PARTS", "MAX", "MEDIAN", "RATIO", "STRAGGLER", "CRIT%", "BARRIER-WAIT")
+		for _, s := range worst[:limit] {
+			fmt.Fprintf(w, "  %-16s %5d %5d %12v %12v %6.2fx %9d %5.0f%% %12v\n",
+				s.Job, s.Step, s.Parts, d(s.MaxComputeNS), d(s.MedianComputeNS),
+				s.SkewRatio, s.StragglerPart, 100*s.CriticalPathShare, d(s.BarrierWaitNS))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(rep.Stragglers) > 0 {
+		fmt.Fprintf(w, "straggler parts (by compute time beyond the step median):\n")
+		fmt.Fprintf(w, "  %-16s %5s %8s %12s %12s %7s %8s\n",
+			"JOB", "PART", "SLOWEST", "EXCESS", "COMPUTE", "FAULTS", "RETRIES")
+		for _, r := range rep.Stragglers {
+			fmt.Fprintf(w, "  %-16s %5d %8d %12v %12v %7d %8d\n",
+				r.Job, r.Part, r.StepsSlowest, d(r.ExcessNS), d(r.ComputeNS), r.Faults, r.Retries)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(rep.HotKeys) > 0 {
+		fmt.Fprintf(w, "hot component keys (by delivered messages, estimated):\n")
+		fmt.Fprintf(w, "  %-16s %-24s %10s\n", "JOB", "KEY", "MSGS")
+		for _, k := range rep.HotKeys {
+			fmt.Fprintf(w, "  %-16s %-24s %10d\n", k.Job, k.Key, k.Count)
+		}
+	}
+	return nil
+}

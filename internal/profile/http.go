@@ -1,0 +1,71 @@
+package profile
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// profilezResponse is the /debug/profilez JSON body: the recorder's recent
+// records plus the skew analysis over them.
+type profilezResponse struct {
+	Records             int           `json:"records"`
+	Dropped             uint64        `json:"dropped"`
+	UnattributedFaults  int64         `json:"unattributed_faults,omitempty"`
+	UnattributedRetries int64         `json:"unattributed_retries,omitempty"`
+	Skew                *Report       `json:"skew"`
+	Recent              []StepProfile `json:"recent"`
+}
+
+// Handler serves the recorder's live state as JSON. Query parameters:
+// ?recent=N bounds the raw records echoed back (default 100, 0 disables),
+// ?topk=K bounds the straggler/hot-key rankings (default 10).
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		recent := 100
+		if v := req.URL.Query().Get("recent"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				recent = n
+			}
+		}
+		topK := 10
+		if v := req.URL.Query().Get("topk"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				topK = n
+			}
+		}
+		snap := r.Snapshot()
+		resp := profilezResponse{
+			Records: len(snap),
+			Dropped: r.Dropped(),
+			Skew:    Analyze(snap, r.HotKeys(topK), topK),
+		}
+		resp.UnattributedFaults, resp.UnattributedRetries = r.Unattributed()
+		if recent > 0 && len(snap) > recent {
+			snap = snap[len(snap)-recent:]
+		}
+		if recent > 0 {
+			resp.Recent = snap
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// AttachDebug registers the live introspection endpoints on mux:
+// /debug/profilez (recorder state + skew summary, JSON) and the standard
+// net/http/pprof handlers under /debug/pprof/. Registration is explicit so
+// callers building their own mux — as the bench CLI and the metrics serving
+// path do — get pprof without importing it for the DefaultServeMux side
+// effect.
+func AttachDebug(mux *http.ServeMux, r *Recorder) {
+	mux.Handle("/debug/profilez", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -1,0 +1,317 @@
+// Package profile is the engine's per-part step profiler: a low-overhead,
+// bounded-memory flight recorder that captures one StepProfile per
+// (job, step, part) — compute time, barrier wait, queue wait, message and
+// store-I/O counts, combiner effectiveness, and fault/retry attribution —
+// plus the skew analysis and exports built on top of the raw records.
+//
+// In BSP a step ends when its slowest part does, so global aggregates (a
+// barrier took 40ms) cannot answer the question that matters: *which part*
+// made it take 40ms, and why. The profiler keeps the per-part evidence in a
+// fixed-capacity ring buffer so the attribution is always available at a
+// bounded, predictable memory cost, and renders it three ways: a
+// human-readable skew report, JSONL, and Chrome trace-event JSON that
+// chrome://tracing and Perfetto display as a per-part timeline.
+//
+// Like the metrics collector and the tracer, a nil *Recorder is valid and
+// every method is a no-op, so instrumented code never needs nil checks.
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// StepProfile is one (job, step, part) record: everything one part did in
+// one step. Step is 0 for no-sync execution (which has no steps: the record
+// then covers the part's whole run). Under run-anywhere work stealing the
+// engine records one profile per worker slot instead, numbered beyond the
+// real parts, because computes detach from their parts there.
+type StepProfile struct {
+	Job  string `json:"job"`
+	Step int    `json:"step"`
+	Part int    `json:"part"`
+
+	// StartNS is the record's start, monotonic nanoseconds since the
+	// recorder was created — the timeline coordinate of the exports.
+	StartNS int64 `json:"start_ns"`
+	// ComputeNS is the part's busy time: drain, deliver, compute, flush.
+	ComputeNS int64 `json:"compute_ns"`
+	// BarrierWaitNS is how long the part idled at the barrier behind the
+	// step's slowest part (sync execution only).
+	BarrierWaitNS int64 `json:"barrier_wait_ns,omitempty"`
+	// QueueWaitNS is time blocked waiting for input: spill-drain time on the
+	// sync path, queue-read wait (empty polls included) on the no-sync path.
+	QueueWaitNS int64 `json:"queue_wait_ns,omitempty"`
+
+	MsgsIn  int64 `json:"msgs_in,omitempty"`
+	MsgsOut int64 `json:"msgs_out,omitempty"`
+	// MarshalledBytes is the encoded size of the part's outgoing cross-part
+	// spill batches (sync path; measured only while profiling).
+	MarshalledBytes int64 `json:"marshalled_bytes,omitempty"`
+	// CombinerHits counts messages eliminated by the combiner in this part's
+	// step (sender- and receiver-side).
+	CombinerHits int64 `json:"combiner_hits,omitempty"`
+	StoreGets    int64 `json:"store_gets,omitempty"`
+	StorePuts    int64 `json:"store_puts,omitempty"`
+	// Enabled is the number of compute invocations (enabled components) the
+	// part ran this step — selective enablement in action.
+	Enabled int64 `json:"enabled,omitempty"`
+
+	// Faults and Retries attribute the chaos/self-healing path: transient
+	// faults observed (injected or real) and retries performed for this
+	// (job, step, part) before its record was written.
+	Faults  int64 `json:"faults,omitempty"`
+	Retries int64 `json:"retries,omitempty"`
+}
+
+// attrKey addresses pending fault/retry attribution awaiting its record.
+type attrKey struct {
+	job  string
+	step int
+	part int
+}
+
+type attr struct {
+	faults  int64
+	retries int64
+}
+
+// KeyCount is one hot component key with its delivered-message count (an
+// estimate from a bounded space-saving summary: counts are upper bounds, and
+// only genuinely heavy keys survive eviction).
+type KeyCount struct {
+	Job   string `json:"job"`
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+}
+
+// DefaultCapacity is the record capacity used when New is given a
+// non-positive one.
+const DefaultCapacity = 8192
+
+// DefaultHotKeyCapacity bounds the per-job hot-key summary.
+const DefaultHotKeyCapacity = 512
+
+// Recorder is the bounded flight recorder. All methods are safe for
+// concurrent use; a nil *Recorder no-ops everywhere.
+type Recorder struct {
+	mu      sync.Mutex
+	start   time.Time
+	buf     []StepProfile
+	next    int
+	wrapped bool
+	dropped uint64
+
+	pending map[attrKey]*attr
+
+	hotCap int
+	hot    map[string]map[string]int64 // job -> key -> count (space-saving)
+}
+
+// New creates a recorder retaining at most capacity records
+// (DefaultCapacity if capacity <= 0).
+func New(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		start:   time.Now(),
+		buf:     make([]StepProfile, 0, capacity),
+		pending: make(map[attrKey]*attr),
+		hotCap:  DefaultHotKeyCapacity,
+		hot:     make(map[string]map[string]int64),
+	}
+}
+
+// Now returns monotonic nanoseconds since the recorder was created — the
+// StartNS coordinate instrumented code stamps records with.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.start))
+}
+
+// Record appends one profile, folding in any pending fault/retry
+// attribution for its (job, step, part).
+func (r *Recorder) Record(p StepProfile) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if a, ok := r.pending[attrKey{p.Job, p.Step, p.Part}]; ok {
+		p.Faults += a.faults
+		p.Retries += a.retries
+		delete(r.pending, attrKey{p.Job, p.Step, p.Part})
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, p)
+	} else {
+		r.buf[r.next] = p
+		r.next = (r.next + 1) % len(r.buf)
+		r.dropped++
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// AddFault attributes one observed transient fault to (job, step, part); it
+// is folded into that record when it is written (step -1 marks operations
+// outside any step, e.g. loaders and exporters).
+func (r *Recorder) AddFault(job string, step, part int) {
+	r.attribute(job, step, part, 1, 0)
+}
+
+// AddRetry attributes one retry to (job, step, part).
+func (r *Recorder) AddRetry(job string, step, part int) {
+	r.attribute(job, step, part, 0, 1)
+}
+
+func (r *Recorder) attribute(job string, step, part int, faults, retries int64) {
+	if r == nil {
+		return
+	}
+	k := attrKey{job, step, part}
+	r.mu.Lock()
+	a := r.pending[k]
+	if a == nil {
+		a = &attr{}
+		r.pending[k] = a
+	}
+	a.faults += faults
+	a.retries += retries
+	r.mu.Unlock()
+}
+
+// Unattributed reports pending fault/retry counts that never matched a
+// recorded profile (operations outside any part-step, e.g. loader or
+// exporter retries attributed to step -1).
+func (r *Recorder) Unattributed() (faults, retries int64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, a := range r.pending {
+		faults += a.faults
+		retries += a.retries
+	}
+	return faults, retries
+}
+
+// ObserveKey feeds one component key's delivered-message count into the
+// job's bounded hot-key summary (space-saving: when the summary is full the
+// minimum-count key is evicted and the newcomer inherits its count, so the
+// counts of surviving keys are upper bounds and heavy keys cannot be
+// displaced by a long tail).
+func (r *Recorder) ObserveKey(job string, key any, msgs int64) {
+	if r == nil || msgs <= 0 {
+		return
+	}
+	ks := fmt.Sprint(key)
+	r.mu.Lock()
+	m := r.hot[job]
+	if m == nil {
+		m = make(map[string]int64, r.hotCap)
+		r.hot[job] = m
+	}
+	if _, ok := m[ks]; ok || len(m) < r.hotCap {
+		m[ks] += msgs
+	} else {
+		// Evict the minimum; the newcomer inherits its count (space-saving).
+		var minKey string
+		minVal := int64(-1)
+		for k, v := range m {
+			if minVal < 0 || v < minVal {
+				minKey, minVal = k, v
+			}
+		}
+		delete(m, minKey)
+		m[ks] = minVal + msgs
+	}
+	r.mu.Unlock()
+}
+
+// HotKeys returns the top-k keys by estimated delivered-message count across
+// all jobs (all of them for k <= 0), heaviest first.
+func (r *Recorder) HotKeys(k int) []KeyCount {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var out []KeyCount
+	for job, m := range r.hot {
+		for key, n := range m {
+			out = append(out, KeyCount{Job: job, Key: key, Count: n})
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Job != out[j].Job {
+			return out[i].Job < out[j].Job
+		}
+		return out[i].Key < out[j].Key
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Len reports the number of retained records.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped reports how many records were overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the retained records in recording order (oldest first).
+func (r *Recorder) Snapshot() []StepProfile {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]StepProfile, 0, len(r.buf))
+	if r.wrapped {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Reset discards all records, attributions, and hot-key summaries (the
+// monotonic clock keeps running).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.dropped = 0
+	r.wrapped = false
+	r.pending = make(map[attrKey]*attr)
+	r.hot = make(map[string]map[string]int64)
+	r.mu.Unlock()
+}

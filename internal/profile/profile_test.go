@@ -1,0 +1,340 @@
+package profile
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	r.Record(StepProfile{Job: "j"})
+	r.AddFault("j", 1, 0)
+	r.AddRetry("j", 1, 0)
+	r.ObserveKey("j", "k", 3)
+	r.Reset()
+	if r.Now() != 0 || r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("nil recorder should report zeros")
+	}
+	if r.Snapshot() != nil || r.HotKeys(5) != nil {
+		t.Fatal("nil recorder should snapshot nil")
+	}
+	if f, rt := r.Unattributed(); f != 0 || rt != 0 {
+		t.Fatal("nil recorder should have no attribution")
+	}
+	if rep := AnalyzeRecorder(r, 5); rep.Records != 0 {
+		t.Fatal("analyzing a nil recorder should yield an empty report")
+	}
+}
+
+func TestRingWrapAndSnapshotOrder(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 7; i++ {
+		r.Record(StepProfile{Job: "j", Step: i + 1, Part: 0})
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("Dropped = %d, want 3", r.Dropped())
+	}
+	snap := r.Snapshot()
+	for i, p := range snap {
+		if p.Step != i+4 {
+			t.Fatalf("snapshot[%d].Step = %d, want %d (oldest first)", i, p.Step, i+4)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatal("Reset should clear records and drop count")
+	}
+}
+
+func TestAttributionFoldsIntoRecord(t *testing.T) {
+	r := New(16)
+	r.AddFault("j", 2, 1)
+	r.AddRetry("j", 2, 1)
+	r.AddRetry("j", 2, 1)
+	r.AddRetry("j", 9, 0) // different step: must not leak into (2, 1)
+	r.Record(StepProfile{Job: "j", Step: 2, Part: 1})
+	snap := r.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("want 1 record, got %d", len(snap))
+	}
+	if snap[0].Faults != 1 || snap[0].Retries != 2 {
+		t.Fatalf("attribution: faults=%d retries=%d, want 1/2", snap[0].Faults, snap[0].Retries)
+	}
+	// The mismatched attribution stays pending.
+	if f, rt := r.Unattributed(); f != 0 || rt != 1 {
+		t.Fatalf("Unattributed = %d/%d, want 0/1", f, rt)
+	}
+	// A second record for the same key must not double-count.
+	r.Record(StepProfile{Job: "j", Step: 2, Part: 1})
+	if snap = r.Snapshot(); snap[1].Faults != 0 || snap[1].Retries != 0 {
+		t.Fatal("attribution must be consumed by the first matching record")
+	}
+}
+
+func TestHotKeysSpaceSaving(t *testing.T) {
+	r := New(8)
+	r.hotCap = 3
+	r.ObserveKey("j", "heavy", 100)
+	r.ObserveKey("j", "mid", 10)
+	r.ObserveKey("j", "light", 1)
+	r.ObserveKey("j", "newcomer", 5) // evicts "light", inherits its count
+	top := r.HotKeys(2)
+	if len(top) != 2 || top[0].Key != "heavy" || top[0].Count != 100 {
+		t.Fatalf("HotKeys top = %+v", top)
+	}
+	if top[1].Key != "mid" {
+		t.Fatalf("HotKeys second = %+v", top[1])
+	}
+	all := r.HotKeys(0)
+	if len(all) != 3 {
+		t.Fatalf("summary should stay bounded at 3, got %d", len(all))
+	}
+	found := false
+	for _, k := range all {
+		if k.Key == "newcomer" {
+			found = true
+			if k.Count != 6 { // inherited 1 + 5
+				t.Fatalf("newcomer count = %d, want 6 (inherits evictee's count)", k.Count)
+			}
+		}
+		if k.Key == "light" {
+			t.Fatal("light should have been evicted")
+		}
+	}
+	if !found {
+		t.Fatal("newcomer missing from summary")
+	}
+}
+
+func skewedRecords() []StepProfile {
+	var profs []StepProfile
+	for step := 1; step <= 3; step++ {
+		for part := 0; part < 4; part++ {
+			p := StepProfile{Job: "pagerank", Step: step, Part: part, ComputeNS: 10_000}
+			if part == 2 {
+				p.ComputeNS = 40_000 // part 2 is the deliberate straggler
+			} else {
+				p.BarrierWaitNS = 30_000
+			}
+			profs = append(profs, p)
+		}
+	}
+	return profs
+}
+
+func TestAnalyzeFindsStragglerAndSkew(t *testing.T) {
+	rep := Analyze(skewedRecords(), nil, 5)
+	if rep.Records != 12 || len(rep.Steps) != 3 {
+		t.Fatalf("records=%d steps=%d, want 12/3", rep.Records, len(rep.Steps))
+	}
+	for _, s := range rep.Steps {
+		if s.StragglerPart != 2 {
+			t.Fatalf("step %d straggler = %d, want 2", s.Step, s.StragglerPart)
+		}
+		if s.SkewRatio != 4.0 {
+			t.Fatalf("step %d skew = %v, want 4.0", s.Step, s.SkewRatio)
+		}
+		if s.CriticalPathShare != 0.75 {
+			t.Fatalf("step %d critical-path share = %v, want 0.75", s.Step, s.CriticalPathShare)
+		}
+	}
+	if rep.MaxSkewRatio != 4.0 || rep.MeanSkewRatio != 4.0 {
+		t.Fatalf("max/mean skew = %v/%v, want 4.0/4.0", rep.MaxSkewRatio, rep.MeanSkewRatio)
+	}
+	top, ok := rep.TopStraggler()
+	if !ok || top.Part != 2 || top.StepsSlowest != 3 {
+		t.Fatalf("TopStraggler = %+v ok=%v, want part 2 slowest in 3 steps", top, ok)
+	}
+	if top.ExcessNS != 3*30_000 {
+		t.Fatalf("straggler excess = %d, want 90000", top.ExcessNS)
+	}
+	if rep.BarrierWaitNS != 9*30_000 {
+		t.Fatalf("barrier wait = %d, want 270000", rep.BarrierWaitNS)
+	}
+}
+
+func TestAnalyzeNoSyncRecords(t *testing.T) {
+	profs := []StepProfile{
+		{Job: "j", Step: 0, Part: 0, ComputeNS: 5000},
+		{Job: "j", Step: 0, Part: 1, ComputeNS: 7000},
+	}
+	rep := Analyze(profs, nil, 5)
+	if rep.NoSyncParts != 2 {
+		t.Fatalf("NoSyncParts = %d, want 2", rep.NoSyncParts)
+	}
+	if len(rep.Steps) != 0 {
+		t.Fatal("no-sync records must not produce per-step skew rows")
+	}
+	if len(rep.Stragglers) == 0 {
+		t.Fatal("no-sync parts should still appear in the part ranking")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	profs := skewedRecords()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, profs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(profs) {
+		t.Fatalf("round-trip: %d records, want %d", len(got), len(profs))
+	}
+	if got[5] != profs[5] {
+		t.Fatalf("round-trip mismatch: %+v != %+v", got[5], profs[5])
+	}
+}
+
+func TestChromeTraceRoundTripAndShape(t *testing.T) {
+	profs := skewedRecords()
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, profs); err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid trace-event JSON with non-empty traceEvents.
+	var ct struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &ct); err != nil {
+		t.Fatalf("emitted trace is not valid JSON: %v", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	var computes, waits, meta int
+	for _, ev := range ct.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			if ev["cat"] == "compute" {
+				computes++
+			} else {
+				waits++
+			}
+		case "M":
+			meta++
+		}
+	}
+	if computes != len(profs) {
+		t.Fatalf("compute spans = %d, want %d", computes, len(profs))
+	}
+	if waits != 9 { // 3 steps x 3 waiting parts
+		t.Fatalf("barrier_wait spans = %d, want 9", waits)
+	}
+	if meta != 1+4 { // one process, four threads
+		t.Fatalf("metadata events = %d, want 5", meta)
+	}
+	got, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(profs) || got[0] != profs[0] {
+		t.Fatalf("chrome round-trip: %d records, want %d", len(got), len(profs))
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"", "   \n", "not json", `{"foo": 1}`, `[]`, `[{"ph":"M"}]`} {
+		if _, err := Parse([]byte(in)); err == nil {
+			t.Fatalf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestWriteTextReport(t *testing.T) {
+	r := New(64)
+	for _, p := range skewedRecords() {
+		r.Record(p)
+	}
+	r.ObserveKey("pagerank", "hub-node", 500)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, AnalyzeRecorder(r, 5)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"12 records", "4.00x", "hub-node", "STRAGGLER"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text report missing %q:\n%s", want, out)
+		}
+	}
+	if err := WriteText(&buf, nil); err != nil {
+		t.Fatal("nil report should be a no-op")
+	}
+}
+
+func TestProfilezHandler(t *testing.T) {
+	r := New(64)
+	for _, p := range skewedRecords() {
+		r.Record(p)
+	}
+	r.AddFault("j", -1, -1)
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + "?recent=2&topk=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var body profilezResponse
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Records != 12 || len(body.Recent) != 2 {
+		t.Fatalf("records=%d recent=%d, want 12/2", body.Records, len(body.Recent))
+	}
+	if body.Skew == nil || body.Skew.MaxSkewRatio != 4.0 {
+		t.Fatalf("skew summary missing or wrong: %+v", body.Skew)
+	}
+	if body.UnattributedFaults != 1 {
+		t.Fatalf("unattributed faults = %d, want 1", body.UnattributedFaults)
+	}
+}
+
+// TestConcurrentHammer drives the recorder from parallel part workers the way
+// the engine does; run with -race.
+func TestConcurrentHammer(t *testing.T) {
+	r := New(256)
+	const workers = 8
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.AddFault("j", i%7, part)
+				r.AddRetry("j", i%7, part)
+				r.Record(StepProfile{Job: "j", Step: i%7 + 1, Part: part, StartNS: r.Now(), ComputeNS: int64(i)})
+				r.ObserveKey("j", fmt.Sprintf("k%d", i%100), 1)
+				if i%100 == 0 {
+					_ = r.Snapshot()
+					_ = r.HotKeys(5)
+					_ = r.Len()
+					_, _ = r.Unattributed()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() != 256 {
+		t.Fatalf("Len = %d, want full ring 256", r.Len())
+	}
+	total := int(r.Dropped()) + r.Len()
+	if total != workers*perWorker {
+		t.Fatalf("dropped+retained = %d, want %d", total, workers*perWorker)
+	}
+	rep := AnalyzeRecorder(r, 10)
+	if rep.Records != 256 {
+		t.Fatalf("analyzed %d records, want 256", rep.Records)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"ripple/internal/matrix"
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
+	"ripple/internal/profile"
 )
 
 // ErrBadConfig is returned for invalid configurations.
@@ -64,6 +65,8 @@ type Config struct {
 	// — e.g. a fault-injecting one — instead of the private system built
 	// from Latency/Metrics.
 	MQ *mq.System
+	// Profiler optionally records per-part step profiles.
+	Profiler *profile.Recorder
 }
 
 // Outcome reports one multiplication.
@@ -334,6 +337,9 @@ func Multiply(store kvstore.Store, cfg Config, a, b matrix.Dense) (*Outcome, err
 	opts := []ebsp.Option{}
 	if cfg.Metrics != nil {
 		opts = append(opts, ebsp.WithMetrics(cfg.Metrics))
+	}
+	if cfg.Profiler != nil {
+		opts = append(opts, ebsp.WithProfiler(cfg.Profiler))
 	}
 	if cfg.MQ != nil {
 		opts = append(opts, ebsp.WithMQ(cfg.MQ))

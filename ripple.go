@@ -62,6 +62,7 @@ import (
 	"ripple/internal/memstore"
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
+	"ripple/internal/profile"
 	"ripple/internal/tableops"
 	"ripple/internal/trace"
 )
@@ -172,6 +173,16 @@ type (
 	TraceSpan = trace.Span
 	// TraceKind identifies a span event's type.
 	TraceKind = trace.Kind
+	// Profiler is a bounded ring buffer of per-(job, step, part) profiles.
+	Profiler = profile.Recorder
+	// StepProfile is one part's record of one step.
+	StepProfile = profile.StepProfile
+	// ProfileReport is the skew/straggler analysis over recorded profiles.
+	ProfileReport = profile.Report
+	// StepSkew is one step's skew summary inside a ProfileReport.
+	StepSkew = profile.StepSkew
+	// PartRank is one part's straggler ranking inside a ProfileReport.
+	PartRank = profile.PartRank
 	// MQSystem manages message-queue sets (paper §III-B).
 	MQSystem = mq.System
 	// QueueSet is a placed set of FIFO queues, one per table part.
@@ -264,6 +275,8 @@ var (
 	WithProgressObserver = ebsp.WithProgressObserver
 	// WithTracer attaches a span tracer to the engine.
 	WithTracer = ebsp.WithTracer
+	// WithProfiler attaches a step profiler to the engine.
+	WithProfiler = ebsp.WithProfiler
 	// ErrNoCheckpoint is returned by Engine.Resume without a snapshot.
 	ErrNoCheckpoint = ebsp.ErrNoCheckpoint
 	// ErrCheckpointMismatch is returned by Engine.Resume when the stored
@@ -305,12 +318,39 @@ var (
 // trace.DefaultCapacity.
 func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
 
+// NewProfiler creates a bounded step profiler; capacity <= 0 uses
+// profile.DefaultCapacity. Attach it with WithProfiler, then analyze with
+// AnalyzeProfiler or export with WriteProfileChromeTrace/WriteProfileJSONL.
+func NewProfiler(capacity int) *Profiler { return profile.New(capacity) }
+
+// Profiling: analysis and export of recorded step profiles.
+var (
+	// AnalyzeProfiler builds the skew/straggler report from a recorder.
+	AnalyzeProfiler = profile.AnalyzeRecorder
+	// AnalyzeProfiles builds the report from parsed StepProfiles.
+	AnalyzeProfiles = profile.Analyze
+	// WriteProfileReport renders a report as a human-readable text table.
+	WriteProfileReport = profile.WriteText
+	// WriteProfileChromeTrace writes profiles as Chrome trace-event JSON
+	// (open in chrome://tracing or https://ui.perfetto.dev).
+	WriteProfileChromeTrace = profile.WriteChromeTrace
+	// WriteProfileJSONL writes profiles as one JSON object per line.
+	WriteProfileJSONL = profile.WriteJSONL
+	// ParseProfiles reads either export format back (format is sniffed).
+	ParseProfiles = profile.Parse
+	// AttachDebug registers /debug/profilez and /debug/pprof/ on a mux.
+	AttachDebug = profile.AttachDebug
+)
+
 // Metrics exposition.
 var (
 	// WriteMetricsText renders a collector in Prometheus text format.
 	WriteMetricsText = metrics.WritePrometheus
 	// MetricsHandler serves a collector in Prometheus text format over HTTP.
 	MetricsHandler = metrics.Handler
+	// MetricsHandlerTracer additionally exposes the tracer's span-loss
+	// series (ripple_trace_spans, ripple_trace_dropped_total).
+	MetricsHandlerTracer = metrics.HandlerTracer
 )
 
 // Table options.
