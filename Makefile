@@ -7,9 +7,9 @@ GO ?= go
 # Widen it for longer campaigns, e.g. `make soak SOAK_SEEDS=1,2,3,4,5,6,7,8`.
 SOAK_SEEDS ?= 1,2,3
 
-.PHONY: ci vet build test race bench soak profile-smoke
+.PHONY: ci vet build test race bench codec-bench soak profile-smoke
 
-ci: vet build race soak profile-smoke
+ci: vet build race soak profile-smoke codec-bench
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +29,16 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx .
 	RIPPLE_BENCH_SNAPSHOT=1 $(GO) test -count=1 -run TestBenchSnapshot -v .
+
+# Codec/data-plane microbenchmarks. In ci it runs as a build-only smoke
+# (-benchtime 1x): regressions are tracked via the dated bench snapshot's
+# marshalled_bytes/ns_per_op trajectory, not gated on wall-clock here.
+codec-bench:
+	$(GO) test -bench 'BenchmarkEncodeDecode|BenchmarkDeepCopy|BenchmarkEncodedSize' \
+		-benchtime 1x -benchmem -run xxx ./internal/codec/
+	$(GO) test -bench 'BenchmarkEncodeEnvelopeBatch|BenchmarkEncodeQueueMsg' \
+		-benchtime 1x -benchmem -run xxx ./internal/ebsp/
+	$(GO) test -bench BenchmarkBoundaryPut -benchtime 1x -benchmem -run xxx ./internal/memstore/
 
 # Profiling smoke test: run the quickstart with -profile and validate the
 # emitted Chrome trace parses and is non-empty via ripple-inspect.

@@ -25,13 +25,14 @@ import (
 
 // benchRow is one workload's entry in the snapshot file.
 type benchRow struct {
-	Workload    string `json:"workload"`
-	NsPerOp     int64  `json:"ns_per_op"`
-	Ops         int    `json:"ops"`
-	Msgs        int64  `json:"messages_sent"`
-	Invocations int64  `json:"compute_invocations"`
-	Steps       int64  `json:"steps"`
-	Retries     int64  `json:"retries"`
+	Workload        string `json:"workload"`
+	NsPerOp         int64  `json:"ns_per_op"`
+	Ops             int    `json:"ops"`
+	Msgs            int64  `json:"messages_sent"`
+	MarshalledBytes int64  `json:"marshalled_bytes"`
+	Invocations     int64  `json:"compute_invocations"`
+	Steps           int64  `json:"steps"`
+	Retries         int64  `json:"retries"`
 }
 
 // benchSnapshot is the whole BENCH_<yyyymmdd>.json document.
@@ -52,13 +53,14 @@ func TestBenchSnapshot(t *testing.T) {
 		res := testing.Benchmark(func(b *testing.B) { fn(b, col) })
 		m := col.Snapshot()
 		snap.Rows = append(snap.Rows, benchRow{
-			Workload:    name,
-			NsPerOp:     res.NsPerOp(),
-			Ops:         res.N,
-			Msgs:        m.MessagesSent,
-			Invocations: m.ComputeInvocations,
-			Steps:       m.Steps,
-			Retries:     m.Retries,
+			Workload:        name,
+			NsPerOp:         res.NsPerOp(),
+			Ops:             res.N,
+			Msgs:            m.MessagesSent,
+			MarshalledBytes: m.MarshalledBytes,
+			Invocations:     m.ComputeInvocations,
+			Steps:           m.Steps,
+			Retries:         m.Retries,
 		})
 		t.Logf("%-24s %12d ns/op  (%d ops)", name, res.NsPerOp(), res.N)
 	}

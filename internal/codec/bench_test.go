@@ -1,0 +1,81 @@
+package codec
+
+import (
+	"fmt"
+	"testing"
+)
+
+type benchStruct struct {
+	ID    int
+	Rank  float64
+	Edges []int
+}
+
+func init() { Register(benchStruct{}) }
+
+func benchValues() []struct {
+	name string
+	v    any
+} {
+	edges := make([]int, 32)
+	for i := range edges {
+		edges[i] = i * 3
+	}
+	strs := make([]string, 16)
+	for i := range strs {
+		strs[i] = fmt.Sprintf("vertex-%d", i)
+	}
+	return []struct {
+		name string
+		v    any
+	}{
+		{"int", 123456},
+		{"string", "the quick brown fox"},
+		{"float64", 3.14159},
+		{"pair", [2]int{7, 9}},
+		{"ints32", edges},
+		{"strings16", strs},
+		{"map", map[string]any{"rank": 0.5, "id": 7, "tag": "x"}},
+		{"struct_gob", benchStruct{ID: 5, Rank: 0.25, Edges: edges}},
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	for _, c := range benchValues() {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				data, err := Encode(c.v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Decode(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDeepCopy(b *testing.B) {
+	for _, c := range benchValues() {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := DeepCopy(c.v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncodedSize(b *testing.B) {
+	edges := make([]int, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if EncodedSize(edges) <= 0 {
+			b.Fatal("bad size")
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"reflect"
 	"sync"
 )
 
@@ -28,6 +29,7 @@ func init() {
 	Register([2]int{})
 	Register([3]int{})
 	Register([]int{})
+	Register([]int32{})
 	Register([]float64{})
 	Register([]string{})
 	Register([]any{})
@@ -45,56 +47,191 @@ func Register(v any) {
 	gob.Register(v)
 }
 
-// Encode marshals v into a fresh byte slice.
+// Encode marshals v into a fresh byte slice using the tagged wire format
+// (see wire.go). Types without a fast path or registered FastCodec travel
+// as an embedded gob stream, which is why Register is still required for
+// arbitrary user types.
 func Encode(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	// Encode through an interface wrapper so the concrete type travels with
-	// the payload and Decode can reconstruct it without advance knowledge.
-	if err := enc.Encode(&wrapper{V: v}); err != nil {
-		return nil, fmt.Errorf("codec: encode %T: %w", v, err)
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeAny(v); err != nil {
+		return nil, err
 	}
-	return buf.Bytes(), nil
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out, nil
 }
 
-// Decode unmarshals a byte slice produced by Encode.
+// Decode unmarshals a byte slice produced by Encode. Trailing bytes after
+// the value are an error: a frame is exactly one value.
 func Decode(data []byte) (any, error) {
-	dec := gob.NewDecoder(bytes.NewReader(data))
-	var w wrapper
-	if err := dec.Decode(&w); err != nil {
-		return nil, fmt.Errorf("codec: decode: %w", err)
+	d := Decoder{data: data}
+	v, err := d.decodeAny()
+	if err != nil {
+		return nil, err
 	}
-	return w.V, nil
+	if d.pos != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errMalformed, len(data)-d.pos)
+	}
+	return v, nil
 }
 
-// wrapper lets gob carry the dynamic type of an arbitrary value.
+// wrapper lets gob carry the dynamic type of an arbitrary value on the
+// fallback path.
 type wrapper struct {
 	V any
 }
 
-// DeepCopy produces a value that shares no mutable memory with v by passing
-// it through the codec. Stores use it to emulate the isolation a real
-// distributed store provides: a caller mutating a returned value must not
-// corrupt the stored copy.
-func DeepCopy(v any) (any, error) {
-	if v == nil {
-		return nil, nil
-	}
+// Encoded wraps a value that has already been marshalled, so one encode can
+// be shared between the profiler's size measurement and a store's boundary
+// marshal. Stores detect it and perform only the decode half of the round
+// trip; Encoder.Any splices the bytes verbatim when one is nested in a
+// larger value.
+type Encoded struct {
+	data []byte
+}
+
+// PreEncode marshals v once and returns the reusable encoding.
+func PreEncode(v any) (Encoded, error) {
 	data, err := Encode(v)
 	if err != nil {
-		return nil, err
+		return Encoded{}, err
 	}
-	return Decode(data)
+	return Encoded{data: data}, nil
+}
+
+// Bytes returns the underlying encoding. Callers must not mutate it.
+func (e Encoded) Bytes() []byte { return e.data }
+
+// Size reports the encoded size in bytes.
+func (e Encoded) Size() int { return len(e.data) }
+
+// Decode reconstructs the wrapped value.
+func (e Encoded) Decode() (any, error) { return Decode(e.data) }
+
+// RoundTrip passes v through an encode/decode cycle using a pooled buffer,
+// returning the reconstructed value and its encoded size. Stores use it to
+// emulate a partition-boundary crossing without retaining the intermediate
+// bytes. An Encoded value skips straight to the decode half.
+func RoundTrip(v any) (any, int, error) {
+	if enc, ok := v.(Encoded); ok {
+		out, err := enc.Decode()
+		return out, len(enc.data), err
+	}
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeAny(v); err != nil {
+		return nil, 0, err
+	}
+	d := Decoder{data: e.buf}
+	out, err := d.decodeAny()
+	if err != nil {
+		return nil, 0, err
+	}
+	if d.pos != len(e.buf) {
+		return nil, 0, errMalformed
+	}
+	return out, len(e.buf), nil
+}
+
+// DeepCopy produces a value that shares no mutable memory with v. The common
+// wire types are cloned structurally without serializing; registered
+// FastCodecs supply their own Copy; everything else round-trips through the
+// codec. Stores use it to emulate the isolation a real distributed store
+// provides: a caller mutating a returned value must not corrupt the stored
+// copy.
+func DeepCopy(v any) (any, error) {
+	switch x := v.(type) {
+	case nil, bool, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64, string, [2]int, [3]int:
+		// Immutable through an interface value (arrays are copied when
+		// boxed), so sharing is safe.
+		return v, nil
+	case []byte:
+		out := make([]byte, len(x))
+		copy(out, x)
+		return out, nil
+	case []int:
+		out := make([]int, len(x))
+		copy(out, x)
+		return out, nil
+	case []int32:
+		out := make([]int32, len(x))
+		copy(out, x)
+		return out, nil
+	case []float64:
+		out := make([]float64, len(x))
+		copy(out, x)
+		return out, nil
+	case []string:
+		out := make([]string, len(x))
+		copy(out, x)
+		return out, nil
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, item := range x {
+			c, err := DeepCopy(item)
+			if err != nil {
+				return nil, err
+			}
+			out[k] = c
+		}
+		return out, nil
+	case []any:
+		out := make([]any, len(x))
+		for i, item := range x {
+			c, err := DeepCopy(item)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	case Encoded:
+		return x.Decode()
+	default:
+		if ent := lookupExt(reflect.TypeOf(v)); ent != nil && ent.fc.Copy != nil {
+			return ent.fc.Copy(v)
+		}
+		out, _, err := RoundTrip(v)
+		return out, err
+	}
 }
 
 // EncodedSize reports the marshalled size of v in bytes, or 0 if v cannot be
-// encoded. It exists for metrics, not correctness.
+// encoded. It exists for metrics, not correctness. Fast-path values go
+// through a pooled buffer (returned afterwards); gob-fallback values stream
+// through a counting writer so nothing is buffered at all.
 func EncodedSize(v any) int {
-	data, err := Encode(v)
-	if err != nil {
+	if enc, ok := v.(Encoded); ok {
+		return len(enc.data)
+	}
+	if !hasFastPath(v) {
+		var cw countingWriter
+		if err := gob.NewEncoder(&cw).Encode(&wrapper{V: v}); err != nil {
+			return 0
+		}
+		return 1 + uvarintLen(uint64(cw.n)) + cw.n
+	}
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeAny(v); err != nil {
 		return 0
 	}
-	return len(data)
+	return len(e.buf)
+}
+
+// hasFastPath reports whether v encodes without the top-level gob fallback.
+func hasFastPath(v any) bool {
+	switch v.(type) {
+	case nil, bool, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64,
+		float32, float64, string, []byte, []int, []int32, []float64, []string,
+		[2]int, [3]int, map[string]any, []any, Encoded:
+		return true
+	}
+	return lookupExt(reflect.TypeOf(v)) != nil
 }
 
 // Hasher maps a key to a non-negative hash. Table clients control the

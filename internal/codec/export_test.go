@@ -1,0 +1,14 @@
+package codec
+
+// encodeGobOnly forces the gob fallback frame for any value, so equivalence
+// tests can compare fast-path and fallback decodings of the same value.
+func encodeGobOnly(v any) ([]byte, error) {
+	e := getEncoder()
+	defer putEncoder(e)
+	if err := e.encodeGob(v); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(e.buf))
+	copy(out, e.buf)
+	return out, nil
+}

@@ -1,0 +1,730 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The wire format is a compact self-describing tag encoding: every value
+// starts with one tag byte identifying its concrete type, followed by a
+// type-specific body. Integers travel as varints (zigzag for signed),
+// floats as big-endian IEEE-754 bits, strings and slices with a uvarint
+// length prefix. The types that dominate Ripple traffic have dedicated
+// tags; everything else falls back to a length-prefixed gob stream
+// (tagGob), which is why Register is still required for arbitrary user
+// types. Registered extension codecs (RegisterFast) occupy the tag space
+// from tagExtBase up.
+//
+// Tag values are pinned by TestGoldenWireFormat; changing them breaks
+// decode of any bytes produced by an earlier build (diskstore logs).
+const (
+	tagNil      = 0x00
+	tagFalse    = 0x01
+	tagTrue     = 0x02
+	tagInt      = 0x03 // zigzag varint
+	tagInt8     = 0x04
+	tagInt16    = 0x05
+	tagInt32    = 0x06
+	tagInt64    = 0x07
+	tagUint     = 0x08 // uvarint
+	tagUint8    = 0x09
+	tagUint16   = 0x0A
+	tagUint32   = 0x0B
+	tagUint64   = 0x0C
+	tagFloat32  = 0x0D // 4-byte big-endian bits
+	tagFloat64  = 0x0E // 8-byte big-endian bits
+	tagString   = 0x0F // uvarint length + bytes
+	tagBytes    = 0x10 // []byte: uvarint length + bytes
+	tagIntSlice = 0x11 // uvarint length + zigzag varints
+	tagF64Slice = 0x12 // uvarint length + 8-byte big-endian bits each
+	tagStrSlice = 0x13 // uvarint length + (uvarint length + bytes) each
+	tagPair2    = 0x14 // [2]int: two zigzag varints
+	tagPair3    = 0x15 // [3]int: three zigzag varints
+	tagStrMap   = 0x16 // map[string]any: uvarint length + sorted (string, value) pairs
+	tagAnySlice = 0x17 // []any: uvarint length + values
+	tagI32Slice = 0x18 // []int32: uvarint length + zigzag varints
+
+	tagRef     = 0x3E // side-car reference: uvarint index into the frame's refs
+	tagGob     = 0x3F // uvarint length + gob stream of wrapper{V: v}
+	tagExtBase = 0x40 // registered extension codecs, in registration order
+)
+
+// Decode errors. Malformed input yields an error, never a panic.
+var (
+	errTruncated = errors.New("codec: truncated input")
+	errMalformed = errors.New("codec: malformed input")
+)
+
+// Encoder appends the wire encoding of values to an internal buffer.
+// Extension codecs receive one to write their body with the primitive
+// methods. Encoders are pooled; use Encode/RoundTrip/PreEncode rather than
+// constructing one directly.
+type Encoder struct {
+	buf       []byte
+	refs      []any // gob-fallback values deferred to a frame's side-car
+	refFrames int   // >0 while a batch codec is staging a ref frame
+}
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
+
+// Varint appends a zigzag-encoded signed varint.
+func (e *Encoder) Varint(n int64) { e.buf = binary.AppendVarint(e.buf, n) }
+
+// Int appends an int as a zigzag varint.
+func (e *Encoder) Int(n int) { e.Varint(int64(n)) }
+
+// Float64 appends 8 big-endian bytes of the IEEE-754 bits.
+func (e *Encoder) Float64(f float64) {
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// String appends a uvarint length prefix and the string bytes.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Any appends the full tagged encoding of v (the same bytes Encode
+// produces), letting extension codecs nest arbitrary values.
+func (e *Encoder) Any(v any) error { return e.encodeAny(v) }
+
+// AnyRef is Any for values that may ride in a batch frame: inside a ref
+// frame (opened by BeginRefFrame), a value without a fast path is recorded
+// as a side-car reference (tagRef + index) instead of an inline gob frame,
+// so every fallback value in one frame shares a single gob stream (one set
+// of type descriptors per batch, not per value). Outside any frame it is
+// identical to Any, so nested codecs can use it unconditionally.
+func (e *Encoder) AnyRef(v any) error {
+	if e.refFrames == 0 || hasFastPath(v) {
+		return e.encodeAny(v)
+	}
+	e.Byte(tagRef)
+	e.Uvarint(uint64(len(e.refs)))
+	e.refs = append(e.refs, v)
+	return nil
+}
+
+// BeginRefFrame arms AnyRef deferral on this (scratch) encoder. The batch
+// codec must collect the deferred values with TakeRefs and write them via
+// RefSidecar on the target encoder.
+func (e *Encoder) BeginRefFrame() { e.refFrames++ }
+
+// TakeRefs closes the frame opened by BeginRefFrame and returns the values
+// deferred by AnyRef.
+func (e *Encoder) TakeRefs() []any {
+	refs := e.refs
+	e.refs = nil
+	e.refFrames--
+	return refs
+}
+
+// RefSidecar writes a frame's side-car: nil when there are no deferred
+// values, otherwise one gob stream carrying all of them.
+func (e *Encoder) RefSidecar(refs []any) error {
+	if len(refs) == 0 {
+		e.Byte(tagNil)
+		return nil
+	}
+	return e.encodeGob(refs)
+}
+
+// Bytes exposes the encoded frame so a scratch encoder's output can be
+// spliced into another encoder. The slice aliases the pooled buffer; it
+// must not be retained past ReleaseEncoder.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Append splices raw pre-encoded bytes into the frame.
+func (e *Encoder) Append(b []byte) { e.buf = append(e.buf, b...) }
+
+// AcquireEncoder hands out a pooled scratch encoder for codecs that stage a
+// frame body before its side-car. Pair with ReleaseEncoder.
+func AcquireEncoder() *Encoder { return getEncoder() }
+
+// ReleaseEncoder returns a scratch encoder to the pool.
+func ReleaseEncoder(e *Encoder) { putEncoder(e) }
+
+// Decoder reads the wire encoding back. Extension codecs receive one to
+// read their body; every method bounds-checks and returns an error on
+// malformed input.
+type Decoder struct {
+	data []byte
+	pos  int
+	refs []any // current frame's side-car values, resolved by tagRef
+}
+
+// NewDecoder wraps data for decoding (used by tests and extension code that
+// decodes raw frames; Decode is the usual entry point).
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// remaining reports how many bytes are left.
+func (d *Decoder) remaining() int { return len(d.data) - d.pos }
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, errTruncated
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, errMalformed
+	}
+	d.pos += n
+	return u, nil
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (d *Decoder) Varint() (int64, error) {
+	v, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, errMalformed
+	}
+	d.pos += n
+	return v, nil
+}
+
+// Int reads an int-sized zigzag varint.
+func (d *Decoder) Int() (int, error) {
+	v, err := d.Varint()
+	return int(v), err
+}
+
+// Float64 reads 8 big-endian bytes of IEEE-754 bits.
+func (d *Decoder) Float64() (float64, error) {
+	if d.remaining() < 8 {
+		return 0, errTruncated
+	}
+	bits := binary.BigEndian.Uint64(d.data[d.pos:])
+	d.pos += 8
+	return math.Float64frombits(bits), nil
+}
+
+// String reads a length-prefixed string. The result copies out of the
+// input buffer, so decoded values never alias pooled encode buffers.
+func (d *Decoder) String() (string, error) {
+	n, err := d.sliceLen(1)
+	if err != nil {
+		return "", err
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+// Any reads one full tagged value.
+func (d *Decoder) Any() (any, error) { return d.decodeAny() }
+
+// RefSidecar reads a frame's side-car written by Encoder.RefSidecar.
+func (d *Decoder) RefSidecar() ([]any, error) {
+	v, err := d.decodeAny()
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return nil, nil
+	}
+	refs, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("%w: side-car is %T", errMalformed, v)
+	}
+	return refs, nil
+}
+
+// PushRefs installs a frame's side-car for tagRef resolution and returns
+// the previous one; restore it with PopRefs when the frame's body is done.
+func (d *Decoder) PushRefs(refs []any) []any {
+	old := d.refs
+	d.refs = refs
+	return old
+}
+
+// PopRefs restores the enclosing frame's side-car.
+func (d *Decoder) PopRefs(old []any) { d.refs = old }
+
+// sliceLen reads a uvarint element count and rejects counts that could not
+// fit in the remaining input (each element takes at least elemSize bytes),
+// so malformed input cannot force huge allocations.
+func (d *Decoder) sliceLen(elemSize int) (int, error) {
+	u, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	n := int(u)
+	if n < 0 || n*elemSize > d.remaining() {
+		return 0, errMalformed
+	}
+	return n, nil
+}
+
+// encoder pooling: buffers are reused across calls and returned to the pool
+// unless they grew past maxPooledBuf, so steady-state encoding allocates
+// nothing and no oversized buffer is retained.
+const maxPooledBuf = 1 << 20
+
+var encPool = sync.Pool{New: func() any { return &Encoder{buf: make([]byte, 0, 512)} }}
+
+func getEncoder() *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.buf = e.buf[:0]
+	return e
+}
+
+func putEncoder(e *Encoder) {
+	e.refs = nil // never retain user values in the pool
+	e.refFrames = 0
+	if cap(e.buf) <= maxPooledBuf {
+		encPool.Put(e)
+	}
+}
+
+// gob scratch buffers for the fallback path (the gob stream needs a length
+// prefix, so it is staged through a pooled buffer before being appended).
+var gobBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// FastCodec is a hand-rolled wire codec for one concrete type, registered
+// with RegisterFast. Encode writes the body (the tag byte is handled by the
+// codec package); Decode reads it back and returns the reconstructed value.
+// Copy, if non-nil, clones a value without serializing (used by DeepCopy);
+// when nil, DeepCopy falls back to an encode/decode round trip.
+type FastCodec struct {
+	Encode func(e *Encoder, v any) error
+	Decode func(d *Decoder) (any, error)
+	Copy   func(v any) (any, error)
+}
+
+type extEntry struct {
+	tag byte
+	fc  FastCodec
+}
+
+type extState struct {
+	byType map[reflect.Type]*extEntry
+	byTag  []*extEntry // index = tag - tagExtBase
+}
+
+var (
+	extMu     sync.Mutex
+	extTables atomic.Pointer[extState]
+)
+
+// RegisterFast installs a fast-path codec for the concrete type of sample.
+// Registration is typically done in init; re-registering a type or
+// exhausting the extension tag space panics. The assigned tag follows
+// registration order, so a fixed registration order yields a stable wire
+// format.
+func RegisterFast(sample any, fc FastCodec) {
+	if fc.Encode == nil || fc.Decode == nil {
+		panic("codec: RegisterFast requires Encode and Decode")
+	}
+	rt := reflect.TypeOf(sample)
+	if rt == nil {
+		panic("codec: RegisterFast(nil)")
+	}
+	extMu.Lock()
+	defer extMu.Unlock()
+	old := extTables.Load()
+	next := &extState{byType: make(map[reflect.Type]*extEntry)}
+	if old != nil {
+		for t, ent := range old.byType {
+			next.byType[t] = ent
+		}
+		next.byTag = append(next.byTag, old.byTag...)
+	}
+	if _, dup := next.byType[rt]; dup {
+		panic(fmt.Sprintf("codec: RegisterFast: %v already registered", rt))
+	}
+	tag := tagExtBase + len(next.byTag)
+	if tag > 0xFF {
+		panic("codec: RegisterFast: extension tag space exhausted")
+	}
+	ent := &extEntry{tag: byte(tag), fc: fc}
+	next.byType[rt] = ent
+	next.byTag = append(next.byTag, ent)
+	extTables.Store(next)
+}
+
+func lookupExt(rt reflect.Type) *extEntry {
+	st := extTables.Load()
+	if st == nil {
+		return nil
+	}
+	return st.byType[rt]
+}
+
+// encodeAny dispatches on the concrete type of v.
+func (e *Encoder) encodeAny(v any) error {
+	switch x := v.(type) {
+	case nil:
+		e.Byte(tagNil)
+	case bool:
+		if x {
+			e.Byte(tagTrue)
+		} else {
+			e.Byte(tagFalse)
+		}
+	case int:
+		e.Byte(tagInt)
+		e.Varint(int64(x))
+	case int8:
+		e.Byte(tagInt8)
+		e.Varint(int64(x))
+	case int16:
+		e.Byte(tagInt16)
+		e.Varint(int64(x))
+	case int32:
+		e.Byte(tagInt32)
+		e.Varint(int64(x))
+	case int64:
+		e.Byte(tagInt64)
+		e.Varint(x)
+	case uint:
+		e.Byte(tagUint)
+		e.Uvarint(uint64(x))
+	case uint8:
+		e.Byte(tagUint8)
+		e.Uvarint(uint64(x))
+	case uint16:
+		e.Byte(tagUint16)
+		e.Uvarint(uint64(x))
+	case uint32:
+		e.Byte(tagUint32)
+		e.Uvarint(uint64(x))
+	case uint64:
+		e.Byte(tagUint64)
+		e.Uvarint(x)
+	case float32:
+		e.Byte(tagFloat32)
+		e.buf = binary.BigEndian.AppendUint32(e.buf, math.Float32bits(x))
+	case float64:
+		e.Byte(tagFloat64)
+		e.Float64(x)
+	case string:
+		e.Byte(tagString)
+		e.String(x)
+	case []byte:
+		e.Byte(tagBytes)
+		e.Uvarint(uint64(len(x)))
+		e.buf = append(e.buf, x...)
+	case []int:
+		e.Byte(tagIntSlice)
+		e.Uvarint(uint64(len(x)))
+		for _, n := range x {
+			e.Varint(int64(n))
+		}
+	case []int32:
+		e.Byte(tagI32Slice)
+		e.Uvarint(uint64(len(x)))
+		for _, n := range x {
+			e.Varint(int64(n))
+		}
+	case []float64:
+		e.Byte(tagF64Slice)
+		e.Uvarint(uint64(len(x)))
+		for _, f := range x {
+			e.Float64(f)
+		}
+	case []string:
+		e.Byte(tagStrSlice)
+		e.Uvarint(uint64(len(x)))
+		for _, s := range x {
+			e.String(s)
+		}
+	case [2]int:
+		e.Byte(tagPair2)
+		e.Varint(int64(x[0]))
+		e.Varint(int64(x[1]))
+	case [3]int:
+		e.Byte(tagPair3)
+		e.Varint(int64(x[0]))
+		e.Varint(int64(x[1]))
+		e.Varint(int64(x[2]))
+	case map[string]any:
+		// Sorted by key so the encoding (and anything hashed or compared
+		// from it) is deterministic, unlike gob's random map order.
+		e.Byte(tagStrMap)
+		e.Uvarint(uint64(len(x)))
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			e.String(k)
+			if err := e.encodeAny(x[k]); err != nil {
+				return err
+			}
+		}
+	case []any:
+		e.Byte(tagAnySlice)
+		e.Uvarint(uint64(len(x)))
+		for _, item := range x {
+			if err := e.encodeAny(item); err != nil {
+				return err
+			}
+		}
+	case Encoded:
+		// Already a full tagged encoding: splice it in verbatim.
+		e.buf = append(e.buf, x.data...)
+	default:
+		if ent := lookupExt(reflect.TypeOf(v)); ent != nil {
+			e.Byte(ent.tag)
+			return ent.fc.Encode(e, v)
+		}
+		return e.encodeGob(v)
+	}
+	return nil
+}
+
+// encodeGob appends the gob fallback frame: tagGob, uvarint length, gob
+// stream of the interface wrapper.
+func (e *Encoder) encodeGob(v any) error {
+	buf := gobBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer gobBufPool.Put(buf)
+	if err := gob.NewEncoder(buf).Encode(&wrapper{V: v}); err != nil {
+		return fmt.Errorf("codec: encode %T: %w", v, err)
+	}
+	e.Byte(tagGob)
+	e.Uvarint(uint64(buf.Len()))
+	e.buf = append(e.buf, buf.Bytes()...)
+	return nil
+}
+
+// decodeAny dispatches on the tag byte.
+func (d *Decoder) decodeAny() (any, error) {
+	tag, err := d.Byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return nil, nil
+	case tagFalse:
+		return false, nil
+	case tagTrue:
+		return true, nil
+	case tagInt:
+		v, err := d.Varint()
+		return int(v), err
+	case tagInt8:
+		v, err := d.Varint()
+		return int8(v), err
+	case tagInt16:
+		v, err := d.Varint()
+		return int16(v), err
+	case tagInt32:
+		v, err := d.Varint()
+		return int32(v), err
+	case tagInt64:
+		return d.Varint()
+	case tagUint:
+		v, err := d.Uvarint()
+		return uint(v), err
+	case tagUint8:
+		v, err := d.Uvarint()
+		return uint8(v), err
+	case tagUint16:
+		v, err := d.Uvarint()
+		return uint16(v), err
+	case tagUint32:
+		v, err := d.Uvarint()
+		return uint32(v), err
+	case tagUint64:
+		return d.Uvarint()
+	case tagFloat32:
+		if d.remaining() < 4 {
+			return nil, errTruncated
+		}
+		bits := binary.BigEndian.Uint32(d.data[d.pos:])
+		d.pos += 4
+		return math.Float32frombits(bits), nil
+	case tagFloat64:
+		return d.Float64()
+	case tagString:
+		return d.String()
+	case tagBytes:
+		n, err := d.sliceLen(1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]byte, n)
+		copy(out, d.data[d.pos:d.pos+n])
+		d.pos += n
+		return out, nil
+	case tagIntSlice:
+		n, err := d.sliceLen(1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int, n)
+		for i := range out {
+			v, err := d.Varint()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int(v)
+		}
+		return out, nil
+	case tagI32Slice:
+		n, err := d.sliceLen(1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int32, n)
+		for i := range out {
+			v, err := d.Varint()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = int32(v)
+		}
+		return out, nil
+	case tagF64Slice:
+		n, err := d.sliceLen(8)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		for i := range out {
+			f, err := d.Float64()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = f
+		}
+		return out, nil
+	case tagStrSlice:
+		n, err := d.sliceLen(1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]string, n)
+		for i := range out {
+			s, err := d.String()
+			if err != nil {
+				return nil, err
+			}
+			out[i] = s
+		}
+		return out, nil
+	case tagPair2:
+		var p [2]int
+		for i := range p {
+			v, err := d.Varint()
+			if err != nil {
+				return nil, err
+			}
+			p[i] = int(v)
+		}
+		return p, nil
+	case tagPair3:
+		var p [3]int
+		for i := range p {
+			v, err := d.Varint()
+			if err != nil {
+				return nil, err
+			}
+			p[i] = int(v)
+		}
+		return p, nil
+	case tagStrMap:
+		n, err := d.sliceLen(2)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			k, err := d.String()
+			if err != nil {
+				return nil, err
+			}
+			v, err := d.decodeAny()
+			if err != nil {
+				return nil, err
+			}
+			out[k] = v
+		}
+		return out, nil
+	case tagAnySlice:
+		n, err := d.sliceLen(1)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]any, 0, n)
+		for i := 0; i < n; i++ {
+			v, err := d.decodeAny()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case tagRef:
+		i, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if int(i) >= len(d.refs) {
+			return nil, fmt.Errorf("%w: side-car ref %d outside frame (have %d)",
+				errMalformed, i, len(d.refs))
+		}
+		return d.refs[int(i)], nil
+	case tagGob:
+		n, err := d.sliceLen(1)
+		if err != nil {
+			return nil, err
+		}
+		var w wrapper
+		if err := gob.NewDecoder(bytes.NewReader(d.data[d.pos : d.pos+n])).Decode(&w); err != nil {
+			return nil, fmt.Errorf("codec: decode: %w", err)
+		}
+		d.pos += n
+		return w.V, nil
+	default:
+		if tag >= tagExtBase {
+			if st := extTables.Load(); st != nil {
+				if i := int(tag - tagExtBase); i < len(st.byTag) {
+					return st.byTag[i].fc.Decode(d)
+				}
+			}
+		}
+		return nil, fmt.Errorf("%w: unknown tag 0x%02x", errMalformed, tag)
+	}
+}
+
+// countingWriter counts gob output without retaining it; EncodedSize streams
+// fallback values through one instead of buffering them.
+type countingWriter struct{ n int }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+
+// uvarintLen is the encoded size of u.
+func uvarintLen(u uint64) int {
+	n := 1
+	for u >= 0x80 {
+		u >>= 7
+		n++
+	}
+	return n
+}

@@ -257,9 +257,15 @@ func (pl *partLog) appendRecord(op byte, key any, value any) error {
 	}
 	var vbuf []byte
 	if op == opPut {
-		vbuf, err = codec.Encode(value)
-		if err != nil {
-			return err
+		// A pre-encoded value is already in wire form; log its bytes
+		// verbatim (readValue decodes them the same either way).
+		if enc, ok := value.(codec.Encoded); ok {
+			vbuf = enc.Bytes()
+		} else {
+			vbuf, err = codec.Encode(value)
+			if err != nil {
+				return err
+			}
 		}
 	}
 	var hdr [9]byte

@@ -1,0 +1,78 @@
+package ebsp
+
+import (
+	"testing"
+
+	"ripple/internal/codec"
+)
+
+// benchBatch builds a PageRank-shaped spill batch: int destinations,
+// float64 payloads, one source part.
+func benchBatch(n int) []envelope {
+	batch := make([]envelope, n)
+	for i := range batch {
+		batch[i] = envelope{Dst: i * 7, Val: float64(i) * 0.85, Kind: kindData, Src: 3, Seq: i}
+	}
+	return batch
+}
+
+// BenchmarkEncodeEnvelopeBatch measures the boundary marshal of one
+// cross-part spill batch — the dominant data-plane operation of the sync
+// path (h·g in the BSP cost model).
+func BenchmarkEncodeEnvelopeBatch(b *testing.B) {
+	batch := benchBatch(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := codec.Encode(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchGobVal is a user message type with no fast codec, so it rides the
+// batch side-car: one shared gob stream per batch.
+type benchGobVal struct {
+	From int32
+	Dist int32
+}
+
+// BenchmarkEncodeEnvelopeBatchGob is BenchmarkEncodeEnvelopeBatch with
+// gob-fallback payloads — the worst case for unregistered user message
+// types. The batch side-car keeps gob's type descriptors per-batch rather
+// than per-envelope.
+func BenchmarkEncodeEnvelopeBatchGob(b *testing.B) {
+	codec.Register(benchGobVal{})
+	batch := benchBatch(64)
+	for i := range batch {
+		batch[i].Val = benchGobVal{From: int32(i), Dist: int32(i * 3)}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := codec.Encode(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeQueueMsg measures the no-sync path's per-message marshal.
+func BenchmarkEncodeQueueMsg(b *testing.B) {
+	qm := queueMsg{Env: envelope{Dst: 17, Val: 0.125, Kind: kindData, Src: 2, Seq: 9}, Weight: 1 << 40}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := codec.Encode(qm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := codec.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

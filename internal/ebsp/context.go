@@ -2,6 +2,7 @@ package ebsp
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -255,7 +256,8 @@ type outBuffer struct {
 	batches   map[int][]envelope
 	dataIdx   map[int]map[any]int // dstPart -> key -> index of data envelope
 	seq       int
-	count     int64 // envelopes added (post-combining)
+	count     int64 // envelopes added (post-combining), all kinds
+	data      int64 // kindData envelopes only (drives messages_sent)
 	combined  int64 // messages eliminated by sender-side combining
 	bytes     int64 // encoded size of cross-part batches (profiling only)
 	direct    []kvPair
@@ -297,12 +299,16 @@ func (b *outBuffer) add(env envelope, run *jobRun) {
 		b.batches[dst] = append(b.batches[dst], env)
 		idx[env.Dst] = len(b.batches[dst]) - 1
 		b.count++
+		b.data++
 		return
 	}
 	env.Seq = b.seq
 	b.seq++
 	b.batches[dst] = append(b.batches[dst], env)
 	b.count++
+	if env.Kind == kindData {
+		b.data++
+	}
 	if env.Kind == kindCreate {
 		b.createSet++
 	}
@@ -312,9 +318,75 @@ func (b *outBuffer) addDirect(key, value any) {
 	b.direct = append(b.direct, kvPair{key: key, value: value})
 }
 
+// Per-type verdicts for keyComparable, keyed by reflect.Type.
+const (
+	comparableAlways uint8 = iota // values of this type always index a map
+	comparableNever               // reflect says the type is not comparable
+	comparableProbe               // comparable type that embeds an interface:
+	// a dynamic value inside may still be incomparable, so probe per value
+)
+
+var comparableCache sync.Map // reflect.Type -> uint8
+
 // keyComparable reports whether a key can index a Go map (slices, maps, and
 // functions cannot). Uncombinable keys simply skip sender-side combining.
-func keyComparable(k any) (ok bool) {
+// The verdict is cached per concrete type, so the hot path is one sync.Map
+// lookup instead of a map-insert probe under recover() per message; only
+// interface-embedding types still pay the probe.
+func keyComparable(k any) bool {
+	if k == nil {
+		return true
+	}
+	rt := reflect.TypeOf(k)
+	v, ok := comparableCache.Load(rt)
+	if !ok {
+		v = classifyComparable(rt)
+		comparableCache.Store(rt, v)
+	}
+	switch v.(uint8) {
+	case comparableAlways:
+		return true
+	case comparableNever:
+		return false
+	default:
+		return probeComparable(k)
+	}
+}
+
+func classifyComparable(rt reflect.Type) uint8 {
+	if !rt.Comparable() {
+		return comparableNever
+	}
+	if mayHideIncomparable(rt) {
+		return comparableProbe
+	}
+	return comparableAlways
+}
+
+// mayHideIncomparable reports whether a comparable type can still panic as a
+// map key because an interface somewhere inside it may hold an incomparable
+// dynamic value. Struct recursion terminates: a struct cannot contain
+// itself by value.
+func mayHideIncomparable(rt reflect.Type) bool {
+	switch rt.Kind() {
+	case reflect.Interface:
+		return true
+	case reflect.Struct:
+		for i := 0; i < rt.NumField(); i++ {
+			if mayHideIncomparable(rt.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return mayHideIncomparable(rt.Elem())
+	default:
+		return false
+	}
+}
+
+// probeComparable is the slow per-value check for interface-embedding types.
+func probeComparable(k any) (ok bool) {
 	defer func() {
 		if recover() != nil {
 			ok = false
@@ -351,21 +423,29 @@ func (b *outBuffer) flushSpills(run *jobRun, step int, transport kvstore.Table, 
 			m.AddSpills(1)
 			continue
 		}
+		payload := any(batch)
 		if run.engine.prof != nil {
 			// Cross-part batches are the traffic a real deployment would put
-			// on the wire; encoding them for size is opt-in profiler overhead.
-			b.bytes += int64(codec.EncodedSize(batch))
+			// on the wire. Encode once: the same bytes feed the profiler's
+			// size measurement and the store's boundary marshal (the store
+			// detects codec.Encoded and performs only the decode half). On
+			// encode failure fall through with the raw batch so the store
+			// surfaces the error the same way it always has.
+			if enc, err := codec.PreEncode(batch); err == nil {
+				b.bytes += int64(enc.Size())
+				payload = enc
+			}
 		}
 		wg.Add(1)
-		go func(i, dst int, key spillKey, batch []envelope) {
+		go func(i, dst int, key spillKey, payload any) {
 			defer wg.Done()
 			// Spill writes are idempotent (keyed by step/src/dst), so
 			// retrying a transient failure is safe. step is the delivery
 			// step: attribution lands on the sender's current-step record.
 			errs[i] = run.engine.retryOp(run.job.Name, step-1, b.srcPart, func() error {
-				return transport.Put(key, batch)
+				return transport.Put(key, payload)
 			})
-		}(i, dst, key, batch)
+		}(i, dst, key, payload)
 		m.AddSpills(1)
 	}
 	wg.Wait()
@@ -374,7 +454,9 @@ func (b *outBuffer) flushSpills(run *jobRun, step int, transport kvstore.Table, 
 			return fmt.Errorf("ebsp: write spill to part %d: %w", dsts[i], err)
 		}
 	}
-	m.AddMessagesSent(b.count)
+	// Only data envelopes are messages; continue/create markers ride the
+	// same spills but must not inflate the messages_sent counter.
+	m.AddMessagesSent(b.data)
 	m.AddMessagesCombined(b.combined)
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 type Engine struct {
 	store           kvstore.Store
 	mqsys           *mq.System
+	mqOnce          sync.Once // guards the lazy mqsys write in mqSystem
 	metrics         *metrics.Collector
 	tracer          *trace.Tracer
 	prof            *profile.Recorder
@@ -419,9 +420,13 @@ func (run *jobRun) broadcastView(sv kvstore.ShardView) (kvstore.PartView, error)
 }
 
 // mqSystem returns the engine's mq system, creating a private one on demand.
+// The lazy write is guarded by mqOnce: two no-sync jobs starting concurrently
+// on one Engine must share a single system, per the concurrent-use contract.
 func (e *Engine) mqSystem() *mq.System {
-	if e.mqsys == nil {
-		e.mqsys = mq.NewSystem(mq.WithMetrics(e.metrics))
-	}
+	e.mqOnce.Do(func() {
+		if e.mqsys == nil {
+			e.mqsys = mq.NewSystem(mq.WithMetrics(e.metrics))
+		}
+	})
 	return e.mqsys
 }

@@ -25,6 +25,62 @@ func TestEngineAccessors(t *testing.T) {
 	}
 }
 
+func TestConcurrentNoSyncJobsSharedEngine(t *testing.T) {
+	// Two no-sync jobs starting concurrently on ONE Engine (no WithMQ, so
+	// both race into the lazy mqSystem() initialization). Under -race this
+	// fails without the sync.Once guard on Engine.mqsys. The barrier loader
+	// lines both jobs up at the end of their load phase, so they hit the
+	// lazy write truly concurrently instead of skewed by setup time.
+	e := newEngine(t)
+	var barrier sync.WaitGroup
+	barrier.Add(2)
+	rendezvous := LoaderFunc(func(lc *LoadContext) error {
+		barrier.Done()
+		barrier.Wait()
+		return nil
+	})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job := &Job{
+				Name:        "conc-nosync-" + string(rune('a'+i)),
+				StateTables: []string{"conc_ns_state_" + string(rune('a'+i))},
+				Properties:  Properties{Incremental: true},
+				Compute:     &incrementalChain{hops: 10},
+				Loaders: []Loader{
+					&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 0}}},
+					rendezvous,
+				},
+			}
+			r, err := e.Run(job)
+			if err == nil && r.Strategy.Sync {
+				err = errors.New("no-sync not selected")
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	for _, suffix := range []string{"a", "b"} {
+		tab, ok := e.Store().LookupTable("conc_ns_state_" + suffix)
+		if !ok {
+			t.Fatalf("state table %s missing", suffix)
+		}
+		for i := 0; i <= 10; i++ {
+			if v, ok, _ := tab.Get(i); !ok || v != i {
+				t.Errorf("state %s[%d] = %v, %v", suffix, i, v, ok)
+			}
+		}
+	}
+}
+
 func TestSharedMQSystemAcrossEngines(t *testing.T) {
 	// Two engines sharing one queuing system (the paper's "larger system"
 	// sharing of the messaging substrate).

@@ -57,7 +57,12 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 		}); err != nil {
 			return nil, fmt.Errorf("ebsp: seed message: %w", err)
 		}
-		run.engine.metrics.AddMessagesSent(1)
+		// Continue/create markers ride the queue for enablement and weight
+		// accounting but are not messages; in-flight tracking still covers
+		// every envelope because termination hinges on all of them.
+		if env.Kind == kindData {
+			run.engine.metrics.AddMessagesSent(1)
+		}
 		run.engine.metrics.InFlightEnvelopes().Inc()
 		run.sent.Add(1)
 	}
@@ -347,7 +352,10 @@ func (s *queueSink) add(env envelope, run *jobRun) {
 		_ = s.det.Return(give)
 		return
 	}
-	run.engine.metrics.AddMessagesSent(1)
+	// Create-state requests ride the queue but are not messages.
+	if env.Kind == kindData {
+		run.engine.metrics.AddMessagesSent(1)
+	}
 	run.engine.metrics.InFlightEnvelopes().Inc()
 	run.sent.Add(1)
 }

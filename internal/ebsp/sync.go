@@ -205,7 +205,9 @@ func (run *jobRun) writeInitialSpills(lc *LoadContext) error {
 			return fmt.Errorf("ebsp: initial spill: %w", err)
 		}
 	}
-	run.engine.metrics.AddMessagesSent(int64(len(lc.envs)))
+	// lc.envs also carries Enable markers (kindContinue) and CreateState
+	// requests; only the loader's actual messages count as sent.
+	run.engine.metrics.AddMessagesSent(lc.messages)
 	return nil
 }
 
@@ -327,7 +329,12 @@ func stepSkewRatio(results []*partStepResult, slowest time.Duration) float64 {
 		durs[i] = r.dur
 	}
 	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-	median := durs[(len(durs)-1)/2]
+	// True median: average the two middle elements for even part counts
+	// (taking the lower middle overstates skew on 2-part jobs).
+	median := durs[len(durs)/2]
+	if len(durs)%2 == 0 {
+		median = (durs[len(durs)/2-1] + median) / 2
+	}
 	if median <= 0 {
 		return 1
 	}

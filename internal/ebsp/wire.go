@@ -1,0 +1,219 @@
+package ebsp
+
+import (
+	"ripple/internal/codec"
+)
+
+// Fast-path wire codecs for the engine's own message types. Spill batches
+// ([]envelope), queue messages (queueMsg), and their constituents dominate
+// the data plane, so they bypass the codec's gob fallback entirely: an
+// envelope costs one kind byte, two varints, and its Dst/Val encodings.
+// The gob registrations in job.go stay — an envelope nested inside an
+// unregistered user type still travels by gob.
+//
+// Registration order assigns the wire tags, so it is fixed here and must
+// not be reordered (diskstore logs persist these tags).
+func init() {
+	codec.RegisterFast(envelope{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			return encEnvBody(e, v.(envelope))
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			return decEnvBody(d)
+		},
+		Copy: func(v any) (any, error) {
+			return copyEnv(v.(envelope))
+		},
+	})
+	codec.RegisterFast([]envelope{}, codec.FastCodec{
+		// A batch frame is: count, side-car, bodies. Bodies are staged in a
+		// scratch encoder so every gob-fallback payload (unregistered user
+		// message types) is deferred to the side-car — ONE gob stream per
+		// batch, sharing its type descriptors, instead of one per message.
+		Encode: func(e *codec.Encoder, v any) error {
+			batch := v.([]envelope)
+			sc := codec.AcquireEncoder()
+			defer codec.ReleaseEncoder(sc)
+			sc.BeginRefFrame()
+			for i := range batch {
+				if err := encEnvBodyRef(sc, batch[i]); err != nil {
+					return err
+				}
+			}
+			e.Uvarint(uint64(len(batch)))
+			if err := e.RefSidecar(sc.TakeRefs()); err != nil {
+				return err
+			}
+			e.Append(sc.Bytes())
+			return nil
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			n, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			refs, err := d.RefSidecar()
+			if err != nil {
+				return nil, err
+			}
+			old := d.PushRefs(refs)
+			defer d.PopRefs(old)
+			// Each envelope body is at least 4 bytes (kind + two varints +
+			// one tag), bounding the allocation against truncated input.
+			batch := make([]envelope, 0, min(int(n), 1<<16))
+			for i := uint64(0); i < n; i++ {
+				env, err := decEnvBody(d)
+				if err != nil {
+					return nil, err
+				}
+				batch = append(batch, env)
+			}
+			return batch, nil
+		},
+		Copy: func(v any) (any, error) {
+			batch := v.([]envelope)
+			out := make([]envelope, len(batch))
+			for i := range batch {
+				env, err := copyEnv(batch[i])
+				if err != nil {
+					return nil, err
+				}
+				out[i] = env
+			}
+			return out, nil
+		},
+	})
+	codec.RegisterFast(queueMsg{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			qm := v.(queueMsg)
+			e.Uvarint(qm.Weight)
+			return encEnvBody(e, qm.Env)
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			w, err := d.Uvarint()
+			if err != nil {
+				return nil, err
+			}
+			env, err := decEnvBody(d)
+			if err != nil {
+				return nil, err
+			}
+			return queueMsg{Env: env, Weight: w}, nil
+		},
+		Copy: func(v any) (any, error) {
+			qm := v.(queueMsg)
+			env, err := copyEnv(qm.Env)
+			if err != nil {
+				return nil, err
+			}
+			return queueMsg{Env: env, Weight: qm.Weight}, nil
+		},
+	})
+	codec.RegisterFast(createPayload{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			cp := v.(createPayload)
+			e.Int(cp.Tab)
+			return e.Any(cp.State)
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			tab, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			state, err := d.Any()
+			if err != nil {
+				return nil, err
+			}
+			return createPayload{Tab: tab, State: state}, nil
+		},
+		Copy: func(v any) (any, error) {
+			cp := v.(createPayload)
+			state, err := codec.DeepCopy(cp.State)
+			if err != nil {
+				return nil, err
+			}
+			return createPayload{Tab: cp.Tab, State: state}, nil
+		},
+	})
+	codec.RegisterFast(spillKey{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			k := v.(spillKey)
+			e.Int(k.Step)
+			e.Int(k.Dst)
+			e.Int(k.Src)
+			return nil
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			var k spillKey
+			var err error
+			if k.Step, err = d.Int(); err != nil {
+				return nil, err
+			}
+			if k.Dst, err = d.Int(); err != nil {
+				return nil, err
+			}
+			if k.Src, err = d.Int(); err != nil {
+				return nil, err
+			}
+			return k, nil
+		},
+		Copy: func(v any) (any, error) { return v, nil },
+	})
+}
+
+// encEnvBody writes an envelope body: kind byte, source and sequence
+// varints, then the tagged Dst and Val.
+func encEnvBody(e *codec.Encoder, env envelope) error {
+	e.Byte(env.Kind)
+	e.Int(env.Src)
+	e.Int(env.Seq)
+	if err := e.Any(env.Dst); err != nil {
+		return err
+	}
+	return e.Any(env.Val)
+}
+
+// encEnvBodyRef is encEnvBody for batch frames: fallback Dst/Val values are
+// deferred to the batch's shared side-car instead of inlined.
+func encEnvBodyRef(e *codec.Encoder, env envelope) error {
+	e.Byte(env.Kind)
+	e.Int(env.Src)
+	e.Int(env.Seq)
+	if err := e.AnyRef(env.Dst); err != nil {
+		return err
+	}
+	return e.AnyRef(env.Val)
+}
+
+// decEnvBody reads an envelope body written by encEnvBody.
+func decEnvBody(d *codec.Decoder) (envelope, error) {
+	var env envelope
+	var err error
+	if env.Kind, err = d.Byte(); err != nil {
+		return env, err
+	}
+	if env.Src, err = d.Int(); err != nil {
+		return env, err
+	}
+	if env.Seq, err = d.Int(); err != nil {
+		return env, err
+	}
+	if env.Dst, err = d.Any(); err != nil {
+		return env, err
+	}
+	env.Val, err = d.Any()
+	return env, err
+}
+
+// copyEnv deep-copies an envelope without serializing.
+func copyEnv(env envelope) (envelope, error) {
+	dst, err := codec.DeepCopy(env.Dst)
+	if err != nil {
+		return envelope{}, err
+	}
+	val, err := codec.DeepCopy(env.Val)
+	if err != nil {
+		return envelope{}, err
+	}
+	return envelope{Dst: dst, Val: val, Kind: env.Kind, Src: env.Src, Seq: env.Seq}, nil
+}

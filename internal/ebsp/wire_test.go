@@ -1,0 +1,74 @@
+package ebsp
+
+import (
+	"reflect"
+	"testing"
+
+	"ripple/internal/codec"
+)
+
+// wireTestVal has no fast codec, so inside a batch it must travel through
+// the batch's gob side-car and come back intact.
+type wireTestVal struct {
+	Name string
+	N    int
+}
+
+func init() { codec.Register(wireTestVal{}) }
+
+// TestEnvelopeBatchSidecar round-trips a spill batch mixing fast-path and
+// gob-fallback payloads. The fallback values share the batch's single
+// side-car gob stream; decode must restore every envelope exactly.
+func TestEnvelopeBatchSidecar(t *testing.T) {
+	batch := []envelope{
+		{Dst: 1, Val: 0.5, Kind: kindData, Src: 0, Seq: 1},
+		{Dst: 2, Val: wireTestVal{Name: "a", N: 7}, Kind: kindData, Src: 0, Seq: 2},
+		{Dst: wireTestVal{Name: "key", N: 1}, Val: wireTestVal{Name: "b", N: 8}, Kind: kindData, Src: 1, Seq: 3},
+		{Dst: 3, Val: []int32{4, 5}, Kind: kindCreate, Src: 2, Seq: 4},
+	}
+	data, err := codec.Encode(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := codec.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("batch round trip mismatch:\n got %#v\nwant %#v", got, batch)
+	}
+}
+
+// TestEnvelopeBatchNested nests one batch inside another (as a Val). Each
+// batch frame carries its own side-car; the inner frame's references must
+// not leak into — or resolve against — the outer frame's.
+func TestEnvelopeBatchNested(t *testing.T) {
+	inner := []envelope{
+		{Dst: 10, Val: wireTestVal{Name: "inner", N: 1}, Kind: kindData, Src: 0, Seq: 1},
+	}
+	outer := []envelope{
+		{Dst: 1, Val: wireTestVal{Name: "outer", N: 2}, Kind: kindData, Src: 0, Seq: 2},
+		{Dst: 2, Val: inner, Kind: kindData, Src: 0, Seq: 3},
+	}
+	got, _, err := codec.RoundTrip(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, outer) {
+		t.Fatalf("nested batch round trip mismatch:\n got %#v\nwant %#v", got, outer)
+	}
+}
+
+// TestQueueMsgGobPayload checks the no-sync path's wrapper with a fallback
+// payload: outside a batch frame there is no side-car, so the value must be
+// inlined rather than deferred (and must not be silently dropped).
+func TestQueueMsgGobPayload(t *testing.T) {
+	qm := queueMsg{Env: envelope{Dst: 4, Val: wireTestVal{Name: "q", N: 9}, Kind: kindData, Src: 1, Seq: 5}, Weight: 3}
+	got, _, err := codec.RoundTrip(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, qm) {
+		t.Fatalf("queueMsg round trip mismatch:\n got %#v\nwant %#v", got, qm)
+	}
+}

@@ -467,20 +467,29 @@ func (sh *shard) primaryLocked() (*replica, error) {
 	return r, nil
 }
 
-// roundTrip emulates moving v across a partition boundary.
+// roundTrip emulates moving v across a partition boundary. A pre-encoded
+// value (codec.Encoded) pays only the decode half — the sender already
+// marshalled it once and shared the bytes — and is unwrapped even with
+// marshalling disabled, so callers never see the wrapper.
 func (s *Store) roundTrip(v any) (any, error) {
 	if s.latency > 0 {
 		time.Sleep(s.latency)
 	}
+	if enc, ok := v.(codec.Encoded); ok {
+		if s.marshal {
+			s.metrics.AddMarshalledBytes(int64(enc.Size()))
+		}
+		return enc.Decode()
+	}
 	if !s.marshal {
 		return v, nil
 	}
-	data, err := codec.Encode(v)
+	out, n, err := codec.RoundTrip(v)
 	if err != nil {
 		return nil, err
 	}
-	s.metrics.AddMarshalledBytes(int64(len(data)))
-	return codec.Decode(data)
+	s.metrics.AddMarshalledBytes(int64(n))
+	return out, nil
 }
 
 func sortedKeys(items map[any]any) []any {

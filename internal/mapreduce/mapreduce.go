@@ -101,6 +101,30 @@ type mrMsg struct {
 
 func init() {
 	codec.Register(mrMsg{})
+
+	// Fast wire codec: every intermediate map→reduce pair is an mrMsg, so
+	// the wrapper itself costs one tag byte. The payload uses AnyRef: inside
+	// a spill batch a gob-fallback Val is deferred to the batch's shared
+	// side-car stream rather than carrying its own type descriptors.
+	codec.RegisterFast(mrMsg{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			return e.AnyRef(v.(mrMsg).Val)
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			val, err := d.Any()
+			if err != nil {
+				return nil, err
+			}
+			return mrMsg{Val: val}, nil
+		},
+		Copy: func(v any) (any, error) {
+			val, err := codec.DeepCopy(v.(mrMsg).Val)
+			if err != nil {
+				return nil, err
+			}
+			return mrMsg{Val: val}, nil
+		},
+	})
 }
 
 func (j *Job) validate() error {

@@ -1,0 +1,30 @@
+package memstore
+
+import (
+	"testing"
+)
+
+// BenchmarkBoundaryPut measures a cross-partition Put+Get round trip — the
+// codec-dominated path every remote store operation pays.
+func BenchmarkBoundaryPut(b *testing.B) {
+	s := New(WithParts(4))
+	defer func() { _ = s.Close() }()
+	tab, err := s.CreateTable("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := make([]float64, 32)
+	for i := range val {
+		val[i] = float64(i) * 1.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tab.Put(i&1023, val); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := tab.Get(i & 1023); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

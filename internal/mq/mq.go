@@ -180,15 +180,12 @@ func (qs *QueueSet) Put(q int, msg any) error {
 		}
 	}
 	if qs.system != nil && qs.system.marshal {
-		data, err := codec.Encode(msg)
+		out, n, err := codec.RoundTrip(msg)
 		if err != nil {
 			return err
 		}
-		qs.system.metrics.AddMarshalledBytes(int64(len(data)))
-		msg, err = codec.Decode(data)
-		if err != nil {
-			return err
-		}
+		qs.system.metrics.AddMarshalledBytes(int64(n))
+		msg = out
 	}
 	var delay time.Duration
 	if qs.system != nil {

@@ -56,6 +56,92 @@ func init() {
 	codec.Register(Vertex{})
 	codec.Register(Ranked{})
 	codec.Register(state{})
+
+	// Fast wire codecs: every value PageRank stores or sends is one of these
+	// three shapes, so the whole workload stays off the gob fallback.
+	codec.RegisterFast(Vertex{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			return e.Any(v.(Vertex).Out)
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			out, err := decI32s(d)
+			if err != nil {
+				return nil, err
+			}
+			return Vertex{Out: out}, nil
+		},
+		Copy: func(v any) (any, error) {
+			return Vertex{Out: append([]int32(nil), v.(Vertex).Out...)}, nil
+		},
+	})
+	codec.RegisterFast(Ranked{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			r := v.(Ranked)
+			if err := e.Any(r.Out); err != nil {
+				return err
+			}
+			e.Float64(r.Rank)
+			return nil
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			var r Ranked
+			var err error
+			if r.Out, err = decI32s(d); err != nil {
+				return nil, err
+			}
+			if r.Rank, err = d.Float64(); err != nil {
+				return nil, err
+			}
+			return r, nil
+		},
+		Copy: func(v any) (any, error) {
+			r := v.(Ranked)
+			return Ranked{Out: append([]int32(nil), r.Out...), Rank: r.Rank}, nil
+		},
+	})
+	codec.RegisterFast(state{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			s := v.(state)
+			if err := e.Any(s.Out); err != nil {
+				return err
+			}
+			e.Float64(s.Rank)
+			e.Float64(s.Contrib)
+			return nil
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			var s state
+			var err error
+			if s.Out, err = decI32s(d); err != nil {
+				return nil, err
+			}
+			if s.Rank, err = d.Float64(); err != nil {
+				return nil, err
+			}
+			if s.Contrib, err = d.Float64(); err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+		Copy: func(v any) (any, error) {
+			s := v.(state)
+			s.Out = append([]int32(nil), s.Out...)
+			return s, nil
+		},
+	})
+}
+
+// decI32s reads a tagged []int32 written by Encoder.Any.
+func decI32s(d *codec.Decoder) ([]int32, error) {
+	v, err := d.Any()
+	if err != nil {
+		return nil, err
+	}
+	s, ok := v.([]int32)
+	if !ok && v != nil {
+		return nil, fmt.Errorf("pagerank: expected []int32 on the wire, got %T", v)
+	}
+	return s, nil
 }
 
 // Config parameterizes a PageRank run.

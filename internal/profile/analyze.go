@@ -137,7 +137,12 @@ func Analyze(profs []StepProfile, hot []KeyCount, topK int) *Report {
 			}
 		}
 		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
-		median := durs[(len(durs)-1)/2]
+		// True median: average the two middles for even part counts (the
+		// lower middle alone overstates skew on 2-part jobs).
+		median := durs[len(durs)/2]
+		if len(durs)%2 == 0 {
+			median = (durs[len(durs)/2-1] + median) / 2
+		}
 		ss := StepSkew{
 			Job:             k.job,
 			Step:            k.step,

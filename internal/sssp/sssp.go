@@ -60,6 +60,146 @@ func init() {
 	codec.Register(distMsg{})
 	codec.Register(fsMsg{})
 	codec.Register(int32(0))
+
+	// Fast wire codecs: these four types are the entirety of the SSSP data
+	// plane, and distMsg in particular is sent once per affected edge per
+	// wave, so keeping them off the gob fallback matters.
+	codec.RegisterFast(SelState{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			s := v.(SelState)
+			if err := e.Any(s.Nbrs); err != nil {
+				return err
+			}
+			if err := e.Any(s.NbrDist); err != nil {
+				return err
+			}
+			e.Int(int(s.Dist))
+			return nil
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			var s SelState
+			var err error
+			if s.Nbrs, err = decI32s(d); err != nil {
+				return nil, err
+			}
+			if s.NbrDist, err = decI32s(d); err != nil {
+				return nil, err
+			}
+			dist, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			s.Dist = int32(dist)
+			return s, nil
+		},
+		Copy: func(v any) (any, error) {
+			s := v.(SelState)
+			return SelState{
+				Nbrs:    append([]int32(nil), s.Nbrs...),
+				NbrDist: append([]int32(nil), s.NbrDist...),
+				Dist:    s.Dist,
+			}, nil
+		},
+	})
+	codec.RegisterFast(FsState{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			s := v.(FsState)
+			e.Int(int(s.Dist))
+			return e.Any(s.Nbrs)
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			var s FsState
+			dist, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			s.Dist = int32(dist)
+			if s.Nbrs, err = decI32s(d); err != nil {
+				return nil, err
+			}
+			return s, nil
+		},
+		Copy: func(v any) (any, error) {
+			s := v.(FsState)
+			return FsState{Dist: s.Dist, Nbrs: append([]int32(nil), s.Nbrs...)}, nil
+		},
+	})
+	codec.RegisterFast(distMsg{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			m := v.(distMsg)
+			e.Int(int(m.From))
+			e.Int(int(m.Dist))
+			return nil
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			from, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			dist, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			return distMsg{From: int32(from), Dist: int32(dist)}, nil
+		},
+		Copy: func(v any) (any, error) { return v, nil },
+	})
+	codec.RegisterFast(fsMsg{}, codec.FastCodec{
+		Encode: func(e *codec.Encoder, v any) error {
+			m := v.(fsMsg)
+			has := byte(0)
+			if m.HasState {
+				has = 1
+			}
+			e.Byte(has)
+			e.Int(int(m.State.Dist))
+			if err := e.Any(m.State.Nbrs); err != nil {
+				return err
+			}
+			e.Int(int(m.MinNbr))
+			return nil
+		},
+		Decode: func(d *codec.Decoder) (any, error) {
+			var m fsMsg
+			has, err := d.Byte()
+			if err != nil {
+				return nil, err
+			}
+			m.HasState = has != 0
+			dist, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			m.State.Dist = int32(dist)
+			if m.State.Nbrs, err = decI32s(d); err != nil {
+				return nil, err
+			}
+			minNbr, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			m.MinNbr = int32(minNbr)
+			return m, nil
+		},
+		Copy: func(v any) (any, error) {
+			m := v.(fsMsg)
+			m.State.Nbrs = append([]int32(nil), m.State.Nbrs...)
+			return m, nil
+		},
+	})
+}
+
+// decI32s reads a tagged []int32 written by Encoder.Any.
+func decI32s(d *codec.Decoder) ([]int32, error) {
+	v, err := d.Any()
+	if err != nil {
+		return nil, err
+	}
+	s, ok := v.([]int32)
+	if !ok && v != nil {
+		return nil, fmt.Errorf("sssp: expected []int32 on the wire, got %T", v)
+	}
+	return s, nil
 }
 
 // ReferenceDistances computes hop distances by breadth-first search, for
