@@ -1,5 +1,6 @@
-# Ripple build/test entry points. `make ci` is the full gate: vet, build,
-# the race-enabled test run, a short chaos soak, and a profiling smoke test.
+# Ripple build/test entry points. `make ci` is the full gate: lint, build,
+# the race-enabled test run, a short chaos soak, a profiling smoke test, and
+# a causal-trace validation smoke.
 
 GO ?= go
 
@@ -7,12 +8,21 @@ GO ?= go
 # Widen it for longer campaigns, e.g. `make soak SOAK_SEEDS=1,2,3,4,5,6,7,8`.
 SOAK_SEEDS ?= 1,2,3
 
-.PHONY: ci vet build test race bench codec-bench soak profile-smoke
+.PHONY: ci vet lint build test race bench codec-bench soak profile-smoke trace-validate
 
-ci: vet build race soak profile-smoke codec-bench
+ci: lint build race soak profile-smoke trace-validate codec-bench
 
 vet:
 	$(GO) vet ./...
+
+# Lint: staticcheck when it is installed, falling back to go vet (nothing is
+# downloaded — CI images without staticcheck still get a gate).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; go vet only"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -46,6 +56,16 @@ profile-smoke:
 	$(GO) run ./examples/quickstart -profile /tmp/ripple_profile_smoke.json
 	$(GO) run ./cmd/ripple-inspect -profile /tmp/ripple_profile_smoke.json >/dev/null
 	@echo "profile smoke: trace valid"
+
+# Causal-trace validation smoke: run the quickstart with head sampling on,
+# then reconstruct every job's causal chain from the span dump and require
+# each to be complete (loader -> steps -> job end, no unresolved edges) with
+# at least one chain crossing a partition boundary — the no-sync relay
+# included.
+trace-validate:
+	$(GO) run ./examples/quickstart -trace /tmp/ripple_trace_smoke.jsonl >/dev/null
+	$(GO) run ./cmd/ripple-inspect -trace /tmp/ripple_trace_smoke.jsonl -lineage -check >/dev/null
+	@echo "trace validate: causal chains complete"
 
 # Race-enabled end-to-end chaos soak: PageRank + SUMMA to their fault-free
 # answers under transient faults, duplication, jitter, and primary kills.

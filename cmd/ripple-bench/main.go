@@ -28,8 +28,16 @@
 //	                      and part-compute histograms; queue-depth and
 //	                      enabled-component gauges; all counters)
 //	-trace spans.jsonl    dump the engine span log (step/barrier/compute/
-//	                      progress events) as JSONL after the run
+//	                      progress events) after the run
 //	-trace-cap 16384      span ring-buffer capacity (oldest spans drop)
+//	-trace-sample 0.25    head-sample this fraction of job runs for causal
+//	                      tracing (trace/span IDs on every span and data
+//	                      envelope; deterministic per trace ID, default 1)
+//	-trace-format otlp    span dump format: jsonl (default) or otlp
+//	                      (OTLP/JSON, importable by OpenTelemetry tooling)
+//	-log-level info       structured engine logs (slog) to stderr: off
+//	                      (default), error, warn, info, or debug; sampled
+//	                      runs carry trace/span IDs on every line
 //	-profile out.json     record per-(job, step, part) profiles across every
 //	                      engine the run constructs, print the skew/straggler
 //	                      report, and write a Chrome trace-event timeline
@@ -37,13 +45,16 @@
 //	-profile-cap 8192     profile ring-buffer capacity (oldest records drop)
 //
 // With -metrics-addr set, the endpoint also serves /debug/profilez (live JSON
-// snapshot of recent step profiles plus the skew summary) and /debug/pprof/.
+// snapshot of recent step profiles plus the skew summary), /debug/logz (the
+// most recent structured log records, filterable by ?level=, ?q=, ?n=), and
+// /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -54,6 +65,7 @@ import (
 	"ripple/internal/chaos"
 	"ripple/internal/ebsp"
 	"ripple/internal/gridstore"
+	"ripple/internal/logring"
 	"ripple/internal/matrix"
 	"ripple/internal/memstore"
 	"ripple/internal/metrics"
@@ -72,13 +84,17 @@ import (
 var (
 	obsMetrics  = &metrics.Collector{}
 	obsTracer   *trace.Tracer
+	obsSampler  *trace.Sampler
 	obsProfiler *profile.Recorder
+	obsLogRing  *logring.Ring
+	obsLogger   *slog.Logger
 )
 
 // observedEngine builds an engine wired to the run's shared collector,
-// tracer, and profiler.
+// tracer, sampler, logger, and profiler.
 func observedEngine(store ripple.Store, opts ...ebsp.Option) *ripple.Engine {
 	opts = append(opts, ebsp.WithMetrics(obsMetrics), ebsp.WithTracer(obsTracer),
+		ebsp.WithTraceSampler(obsSampler), ebsp.WithLogger(obsLogger),
 		ebsp.WithProfiler(obsProfiler))
 	return ripple.NewEngine(store, opts...)
 }
@@ -92,8 +108,11 @@ func main() {
 		iters       = flag.Int("pagerank-iterations", 5, "PageRank iterations per trial")
 		chaosSpec   = flag.String("chaos", "", "fault-injection schedule for -exp soak, e.g. seed=7,store.err=0.01,mq.dup=0.05,kill=soak_graph:1@20 (empty: a default schedule)")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-format metrics on this address (e.g. :9090) during the run")
-		traceFile   = flag.String("trace", "", "write the span log as JSONL to this file after the run ('-' for stdout)")
+		traceFile   = flag.String("trace", "", "write the span log to this file after the run ('-' for stdout)")
 		traceCap    = flag.Int("trace-cap", trace.DefaultCapacity, "span ring-buffer capacity")
+		traceSample = flag.Float64("trace-sample", 1, "fraction of job runs to head-sample for causal tracing (deterministic; only with -trace)")
+		traceFormat = flag.String("trace-format", "jsonl", "span dump format: jsonl or otlp")
+		logLevel    = flag.String("log-level", "off", "structured engine log level: off, error, warn, info, debug")
 		profileFile = flag.String("profile", "", "write per-part step profiles as a Chrome trace-event timeline to this file and print the skew report")
 		profileCap  = flag.Int("profile-cap", profile.DefaultCapacity, "profile ring-buffer capacity")
 	)
@@ -101,16 +120,31 @@ func main() {
 	if *scale <= 0 || *scale > 1 {
 		log.Fatalf("scale %v out of (0, 1]", *scale)
 	}
+	if *traceFormat != "jsonl" && *traceFormat != "otlp" {
+		log.Fatalf("unknown -trace-format %q (want jsonl or otlp)", *traceFormat)
+	}
 	if *traceFile != "" {
 		obsTracer = trace.New(*traceCap)
+		obsSampler = trace.NewSampler(*traceSample, *seed)
 	}
 	if *profileFile != "" {
 		obsProfiler = profile.New(*profileCap)
+	}
+	if *logLevel != "off" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			log.Fatalf("unknown -log-level %q (want off, error, warn, info, debug)", *logLevel)
+		}
+		obsLogRing = logring.New(logring.DefaultCapacity)
+		obsLogger = slog.New(logring.Fanout(
+			slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}),
+			obsLogRing.Handler(lvl)))
 	}
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.HandlerTracer(obsMetrics, obsTracer))
 		profile.AttachDebug(mux, obsProfiler)
+		logring.Attach(mux, obsLogRing)
 		go func() {
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
 				log.Printf("metrics endpoint: %v", err)
@@ -145,7 +179,7 @@ func main() {
 	}
 
 	if *traceFile != "" {
-		if err := dumpTrace(*traceFile); err != nil {
+		if err := dumpTrace(*traceFile, *traceFormat); err != nil {
 			log.Fatalf("trace dump: %v", err)
 		}
 	}
@@ -177,9 +211,9 @@ func dumpProfile(path string) error {
 	return nil
 }
 
-// dumpTrace writes the shared tracer's span log as JSONL to path ("-" for
-// stdout).
-func dumpTrace(path string) error {
+// dumpTrace writes the shared tracer's span log to path ("-" for stdout), as
+// JSONL or OTLP/JSON.
+func dumpTrace(path, format string) error {
 	out := os.Stdout
 	if path != "-" {
 		f, err := os.Create(path)
@@ -189,7 +223,13 @@ func dumpTrace(path string) error {
 		defer func() { _ = f.Close() }()
 		out = f
 	}
-	if err := obsTracer.WriteJSONL(out); err != nil {
+	var err error
+	if format == "otlp" {
+		err = obsTracer.WriteOTLP(out)
+	} else {
+		err = obsTracer.WriteJSONL(out)
+	}
+	if err != nil {
 		return err
 	}
 	if dropped := obsTracer.Dropped(); dropped > 0 {
@@ -492,6 +532,7 @@ func runSoak(scale float64, seed int64, iterations int, spec string) {
 		}
 		store := chaos.Wrap(gs, inj)
 		engine := ripple.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithTracer(obsTracer),
+			ebsp.WithTraceSampler(obsSampler), ebsp.WithLogger(obsLogger),
 			ebsp.WithProfiler(obsProfiler), ebsp.WithCheckpoints(3))
 		start := time.Now()
 		if _, err := pagerank.RunDirect(engine, pagerank.Config{GraphTable: "soak_graph", Iterations: iterations}); err != nil {

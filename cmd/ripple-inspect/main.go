@@ -12,17 +12,32 @@
 //	ripple-inspect -dir ./data -table users -compact -trace spans.jsonl
 //	ripple-inspect -profile trace.json              # skew/straggler report
 //	ripple-inspect -profile trace.json -topk 20     # deeper straggler table
+//	ripple-inspect -trace spans.jsonl               # list spans (no -dir)
+//	ripple-inspect -trace spans.jsonl -lineage      # causal chains per trace
+//	ripple-inspect -trace spans.jsonl -lineage -check
+//	ripple-inspect -trace spans.jsonl -job pr -kind deliver -part 2
+//	ripple-inspect -profile prof.json -trace spans.jsonl  # stragglers + hot edges
 //
 // The store directory is opened read-write (compaction rewrites logs); table
-// part counts are inferred from the log file names. With -trace, the store's
-// span log (per-part log replay on open, compaction passes) is written as
-// JSONL to the given file ('-' for stdout) before exit.
+// part counts are inferred from the log file names. With -dir and -trace, the
+// store's span log (per-part log replay on open, compaction passes) is
+// written as JSONL to the given file ('-' for stdout) before exit.
 //
 // -profile is a standalone mode: it reads a profile dump written by
 // ripple-bench -profile or ripple.WriteChromeTrace (Chrome trace-event JSON
 // or StepProfile JSONL — the format is sniffed), prints the skew/straggler
 // report, and exits non-zero if the file is invalid or holds no records, so
-// it doubles as a dump validator in CI.
+// it doubles as a dump validator in CI. Adding -trace joins a span dump
+// against the straggler ranking, attributing each straggler's load to its
+// hottest incoming causal edges.
+//
+// -trace without -dir is the trace query mode: it reads a span dump (JSONL or
+// OTLP JSON, sniffed; '-' for stdin) and prints the spans, filtered by -job,
+// -step, -part, -kind, and the -from/-to time range (offsets from run start).
+// With -lineage it reconstructs each trace's causal chain — loader through
+// every step to the job end — and with -check it exits non-zero unless every
+// chain is complete and at least one crosses a partition boundary, so CI can
+// assert causal continuity end to end.
 package main
 
 import (
@@ -34,6 +49,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"time"
 
 	"ripple/internal/codec"
 	"ripple/internal/diskstore"
@@ -50,18 +66,41 @@ var tracer *trace.Tracer
 
 func main() {
 	var (
-		dir       = flag.String("dir", "", "disk store directory (required)")
+		dir       = flag.String("dir", "", "disk store directory")
 		table     = flag.String("table", "", "table to inspect (default: list all)")
 		stats     = flag.Bool("stats", false, "per-part statistics instead of a dump")
 		compact   = flag.Bool("compact", false, "compact the table's logs")
 		limit     = flag.Int("limit", 50, "maximum pairs to dump (0 = all)")
-		traceFile = flag.String("trace", "", "write replay/compaction spans as JSONL to this file ('-' for stdout)")
+		traceFile = flag.String("trace", "", "with -dir: write replay/compaction spans as JSONL to this file ('-' for stdout); alone: read and query a span dump ('-' for stdin)")
 		profFile  = flag.String("profile", "", "analyze a profile dump (Chrome trace or JSONL) and exit")
 		topK      = flag.Int("topk", 10, "straggler parts and hot keys to rank with -profile")
+
+		jobF    = flag.String("job", "", "trace query: keep spans of this job only")
+		stepF   = flag.Int("step", anyCoord, "trace query: keep spans of this step only")
+		partF   = flag.Int("part", anyCoord, "trace query: keep spans of this part only")
+		kindF   = flag.String("kind", "", "trace query: keep spans of this kind only (e.g. deliver, part_compute)")
+		fromF   = flag.Duration("from", 0, "trace query: keep spans at or after this offset from run start")
+		toF     = flag.Duration("to", 0, "trace query: keep spans at or before this offset (0 = no upper bound)")
+		lineage = flag.Bool("lineage", false, "trace query: reconstruct and print each trace's causal chain")
+		check   = flag.Bool("check", false, "trace query: exit non-zero unless every chain is complete and one crosses parts")
 	)
 	flag.Parse()
 	if *profFile != "" {
-		if err := analyzeProfile(*profFile, *topK); err != nil {
+		if err := analyzeProfile(*profFile, *traceFile, *topK); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *dir == "" && *traceFile != "" {
+		filter := spanFilter{job: *jobF, step: *stepF, part: *partF, from: *fromF, to: *toF}
+		if *kindF != "" {
+			k, ok := trace.KindByName(*kindF)
+			if !ok {
+				log.Fatalf("unknown span kind %q", *kindF)
+			}
+			filter.kind, filter.kindSet = k, true
+		}
+		if err := queryTrace(*traceFile, filter, *lineage, *check); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -214,8 +253,9 @@ func dump(tab kvstore.Table, limit int) {
 
 // analyzeProfile reads a profile dump and prints the skew/straggler report.
 // An unreadable file or one with no records is an error, so CI can use this
-// as a validity check on emitted traces.
-func analyzeProfile(path string, topK int) error {
+// as a validity check on emitted traces. With a span dump alongside, each
+// straggler is attributed to its hottest incoming causal edges.
+func analyzeProfile(path, spanPath string, topK int) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -227,8 +267,141 @@ func analyzeProfile(path string, topK int) error {
 	if len(profs) == 0 {
 		return fmt.Errorf("%s: no step profiles in dump", path)
 	}
+	rep := profile.Analyze(profs, nil, topK)
+	if spanPath != "" {
+		spans, err := readSpans(spanPath)
+		if err != nil {
+			return err
+		}
+		profile.AttachLineage(rep, spans)
+	}
 	fmt.Printf("%s: %d step profiles\n\n", path, len(profs))
-	profile.WriteText(os.Stdout, profile.Analyze(profs, nil, topK))
+	profile.WriteText(os.Stdout, rep)
+	return nil
+}
+
+// anyCoord is the "unset" sentinel for -step/-part filters; real coordinates
+// (including the loader's -1) never reach it.
+const anyCoord = -1 << 30
+
+// spanFilter is the trace query's predicate.
+type spanFilter struct {
+	job        string
+	step, part int
+	kind       trace.Kind
+	kindSet    bool
+	from, to   time.Duration
+}
+
+func (f spanFilter) keep(s trace.Span) bool {
+	if f.job != "" && s.Job != f.job {
+		return false
+	}
+	if f.step != anyCoord && s.Step != f.step {
+		return false
+	}
+	if f.part != anyCoord && s.Part != f.part {
+		return false
+	}
+	if f.kindSet && s.Kind != f.kind {
+		return false
+	}
+	if s.At < f.from {
+		return false
+	}
+	if f.to > 0 && s.At > f.to {
+		return false
+	}
+	return true
+}
+
+// readSpans loads a span dump (JSONL or OTLP JSON, sniffed) from a file or
+// stdin ("-").
+func readSpans(path string) ([]trace.Span, error) {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		in = f
+	}
+	spans, err := trace.Parse(in)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return spans, nil
+}
+
+// queryTrace is the standalone trace mode: filter and print spans, or
+// reconstruct causal chains. Chains are always built from the unfiltered
+// dump — a -kind filter must not punch holes in lineage — while the listing
+// respects every filter.
+func queryTrace(path string, filter spanFilter, lineage, check bool) error {
+	spans, err := readSpans(path)
+	if err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no spans in dump", path)
+	}
+
+	if lineage || check {
+		traces := trace.Traces(spans)
+		if len(traces) == 0 {
+			return fmt.Errorf("%s: no sampled traces in dump (was the run traced?)", path)
+		}
+		var incomplete int
+		var crossed bool
+		for _, id := range traces {
+			chain := trace.BuildChain(spans, id)
+			if filter.job != "" && chain.Job != filter.job {
+				continue
+			}
+			if err := chain.WriteLineage(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			if chain.Complete() != nil {
+				incomplete++
+			}
+			if chain.CrossPart() {
+				crossed = true
+			}
+		}
+		if check {
+			if incomplete > 0 {
+				return fmt.Errorf("%d of %d causal chains incomplete", incomplete, len(traces))
+			}
+			if !crossed {
+				return fmt.Errorf("no causal chain crosses a partition boundary")
+			}
+			fmt.Printf("ok: %d causal chain(s) complete, partition boundary crossed\n", len(traces))
+		}
+		return nil
+	}
+
+	kept := 0
+	for _, s := range spans {
+		if !filter.keep(s) {
+			continue
+		}
+		kept++
+		line := fmt.Sprintf("%8d %-12s job=%s step=%d part=%d n=%d at=%v",
+			s.Seq, s.Kind, s.Job, s.Step, s.Part, s.N, s.At)
+		if s.Dur != 0 {
+			line += fmt.Sprintf(" dur=%v", s.Dur)
+		}
+		if s.Trace != 0 {
+			line += fmt.Sprintf(" trace=%016x span=%016x", s.Trace, s.Span)
+			if s.Parent != 0 {
+				line += fmt.Sprintf(" parent=%016x", s.Parent)
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Fprintf(os.Stderr, "%d of %d spans matched\n", kept, len(spans))
 	return nil
 }
 

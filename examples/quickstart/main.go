@@ -1,17 +1,29 @@
 // Command quickstart is the smallest end-to-end Ripple program: it runs a
 // K/V EBSP job (a token-passing ring that demonstrates messages, state,
-// selective enablement, and aggregators) and then the classic word count on
-// the MapReduce layer — both against the in-memory store.
+// selective enablement, and aggregators), a no-sync relay (the same idea
+// without barriers, showing the barrier-free execution path), and then the
+// classic word count on the MapReduce layer — all against the in-memory
+// store.
 //
-// With -profile out.json, both jobs run under the step profiler and their
+// With -profile out.json, the jobs run under the step profiler and their
 // per-(step, part) timeline is written as Chrome trace-event JSON (open in
 // chrome://tracing or https://ui.perfetto.dev).
+//
+// With -trace spans.jsonl, every job run is head-sampled for causal tracing
+// and the span log — including the deliver edges that stitch cross-partition
+// message flow — is dumped as JSONL. Reconstruct the lineage with:
+//
+//	ripple-inspect -trace spans.jsonl -lineage -check
+//
+// With -log-level info (or debug), the engine emits structured logs carrying
+// the same trace/span IDs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"sort"
 	"strings"
@@ -19,18 +31,50 @@ import (
 	"ripple"
 )
 
-// profiler records both demos' step profiles when -profile is set; nil
-// disables recording.
-var profiler *ripple.Profiler
+// profiler records the demos' step profiles when -profile is set; tracer and
+// sampler capture causally-stitched spans when -trace is set; logger carries
+// structured logs when -log-level is set. All nil (disabled) by default.
+var (
+	profiler *ripple.Profiler
+	tracer   *ripple.Tracer
+	sampler  *ripple.TraceSampler
+	logger   *slog.Logger
+)
+
+// newObservedEngine wires a demo engine to whatever observability the flags
+// enabled.
+func newObservedEngine(store ripple.Store) *ripple.Engine {
+	return ripple.NewEngine(store,
+		ripple.WithProfiler(profiler),
+		ripple.WithTracer(tracer),
+		ripple.WithTraceSampler(sampler),
+		ripple.WithLogger(logger))
+}
 
 func main() {
 	profileFile := flag.String("profile", "", "write a Chrome trace of per-part step profiles to this file")
+	traceFile := flag.String("trace", "", "sample every job run for causal tracing and write the span log as JSONL to this file")
+	logLevel := flag.String("log-level", "off", "engine structured-log level: off, error, warn, info, debug")
 	flag.Parse()
 	if *profileFile != "" {
 		profiler = ripple.NewProfiler(0)
 	}
+	if *traceFile != "" {
+		tracer = ripple.NewTracer(0)
+		sampler = ripple.NewTraceSampler(1, 1) // sample every run
+	}
+	if *logLevel != "off" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			log.Fatalf("unknown -log-level %q", *logLevel)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	}
 	if err := ringDemo(); err != nil {
 		log.Fatalf("ring demo: %v", err)
+	}
+	if err := relayDemo(); err != nil {
+		log.Fatalf("relay demo: %v", err)
 	}
 	if err := wordCountDemo(); err != nil {
 		log.Fatalf("word count demo: %v", err)
@@ -40,6 +84,26 @@ func main() {
 			log.Fatalf("profile: %v", err)
 		}
 	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+	}
+}
+
+// writeTrace dumps the sampled span log as JSONL.
+func writeTrace(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := tracer.WriteJSONL(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d trace spans to %s (try: ripple-inspect -trace %s -lineage -check)\n",
+		tracer.Len(), path, path)
+	return nil
 }
 
 // writeProfile dumps the recorded step profiles as a Chrome trace.
@@ -62,7 +126,7 @@ func writeProfile(path string) error {
 func ringDemo() error {
 	store := ripple.NewMemStore(ripple.MemParts(4))
 	defer func() { _ = store.Close() }()
-	engine := ripple.NewEngine(store, ripple.WithProfiler(profiler))
+	engine := newObservedEngine(store)
 
 	const ringSize, laps = 5, 3
 	job := &ripple.Job{
@@ -94,12 +158,53 @@ func ringDemo() error {
 	return nil
 }
 
+// relayDemo passes a baton down a line of components with no barriers at
+// all: the job's Properties declare it incremental (any message grouping is
+// fine) so the engine plans barrier-free execution, and the baton hops
+// across partition boundaries purely through the message queues.
+func relayDemo() error {
+	store := ripple.NewMemStore(ripple.MemParts(4))
+	defer func() { _ = store.Close() }()
+	engine := newObservedEngine(store)
+
+	const relayLen = 12
+	job := &ripple.Job{
+		Name:        "relay",
+		StateTables: []string{"relay_state"},
+		Properties:  ripple.Properties{Incremental: true, NoContinue: true},
+		Compute: ripple.ComputeFunc(func(ctx *ripple.Context) bool {
+			for _, m := range ctx.InputMessages() {
+				hop := m.(int)
+				ctx.WriteState(0, hop)
+				if hop < relayLen {
+					ctx.Send(ctx.Key().(int)+1, hop+1)
+				}
+			}
+			return false
+		}),
+		Loaders: []ripple.Loader{&ripple.MessageLoader{
+			Messages: []ripple.InitialMessage{{Key: 0, Message: 1}},
+		}},
+	}
+	res, err := engine.Run(job)
+	if err != nil {
+		return err
+	}
+	mode := "synchronized"
+	if !res.Strategy.Sync {
+		mode = "no-sync (barrier-free)"
+	}
+	fmt.Printf("relay: baton passed %d hops, %s execution, %d barriers\n",
+		relayLen, mode, res.Steps)
+	return nil
+}
+
 // wordCountDemo runs word count on the MapReduce layer (itself implemented
 // on K/V EBSP).
 func wordCountDemo() error {
 	store := ripple.NewMemStore(ripple.MemParts(4))
 	defer func() { _ = store.Close() }()
-	engine := ripple.NewEngine(store, ripple.WithProfiler(profiler))
+	engine := newObservedEngine(store)
 
 	docs, err := store.CreateTable("docs")
 	if err != nil {

@@ -1,0 +1,62 @@
+package ebsp
+
+import (
+	"sort"
+
+	"ripple/internal/trace"
+)
+
+// Causal stitching for the data plane. Producers stamp their span ID into
+// every envelope they emit (outBuffer for the sync path, queueSink for the
+// no-sync path); receivers aggregate the arriving envelopes per distinct
+// sender span and record one deliver span per (sender span, receiver)
+// pair. A deliver span's Parent is the sender's span ID and its own
+// coordinates (Job, Step, Part) name the receiver, so offline lineage
+// reconstruction joins edges to executions without re-deriving any hashes.
+// The per-receiver edge count is bounded by the sender population (parts,
+// plus the loader), not by message volume.
+
+// spanID is the span ID of one (step, part) execution of this run, or 0
+// when the run is unsampled.
+func (run *jobRun) spanID(step, part int) uint64 {
+	if !run.sampled {
+		return 0
+	}
+	return trace.SpanID(run.traceID, step, part)
+}
+
+// recordDeliverEdges records the causal delivery edges for the envelopes
+// arriving at (step, part): one deliver span per distinct producing span,
+// in deterministic (sorted) order. No-ops for unsampled runs.
+func (run *jobRun) recordDeliverEdges(step, part int, envs []envelope) {
+	if !run.sampled || len(envs) == 0 {
+		return
+	}
+	counts := make(map[uint64]int64)
+	for i := range envs {
+		if envs[i].Trace == run.traceID && envs[i].Span != 0 {
+			counts[envs[i].Span]++
+		}
+	}
+	run.recordEdgeCounts(step, part, counts)
+}
+
+// recordEdgeCounts emits deliver spans from an already-aggregated
+// sender-span count map (the no-sync worker accumulates one incrementally).
+func (run *jobRun) recordEdgeCounts(step, part int, counts map[uint64]int64) {
+	if !run.sampled || len(counts) == 0 {
+		return
+	}
+	recv := run.spanID(step, part)
+	parents := make([]uint64, 0, len(counts))
+	for p := range counts {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	for _, p := range parents {
+		run.engine.tracer.RecordSpan(trace.Span{
+			Kind: trace.KindDeliver, Job: run.job.Name, Step: step, Part: part,
+			N: counts[p], Trace: run.traceID, Span: trace.EdgeID(p, recv), Parent: p,
+		})
+	}
+}

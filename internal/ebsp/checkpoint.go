@@ -269,7 +269,9 @@ func (e *Engine) Resume(job *Job) (*Result, error) {
 		ctx:      context.Background(),
 		strategy: strategy,
 		aggPrev:  make(map[string]any),
+		runID:    runSeq.Add(1),
 	}
+	run.setupTraceContext()
 	defer run.cleanup()
 	if err := run.setupTables(); err != nil {
 		return nil, err

@@ -262,6 +262,13 @@ type outBuffer struct {
 	bytes     int64 // encoded size of cross-part batches (profiling only)
 	direct    []kvPair
 	createSet int64
+
+	// trace/span are the causal context stamped into every outgoing
+	// envelope; zero for unsampled runs (and then never written to the
+	// wire). Sender-side combining keeps the first envelope, so a combined
+	// message's provenance stays with the slot that produced it.
+	trace uint64
+	span  uint64
 }
 
 type kvPair struct {
@@ -282,6 +289,9 @@ func newOutBuffer(srcPart, parts int, partOf func(any) int, combiner MessageComb
 func (b *outBuffer) add(env envelope, run *jobRun) {
 	dst := b.partOf(env.Dst)
 	env.Src = b.srcPart
+	if b.trace != 0 {
+		env.Trace, env.Span = b.trace, b.span
+	}
 	if env.Kind == kindData && b.combiner != nil && keyComparable(env.Dst) {
 		idx := b.dataIdx[dst]
 		if idx == nil {

@@ -3,6 +3,7 @@ package ebsp
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,6 +23,8 @@ type Engine struct {
 	mqOnce          sync.Once // guards the lazy mqsys write in mqSystem
 	metrics         *metrics.Collector
 	tracer          *trace.Tracer
+	sampler         *trace.Sampler
+	logger          *slog.Logger
 	prof            *profile.Recorder
 	override        func(Strategy) Strategy
 	observer        StepObserver
@@ -45,6 +48,24 @@ func WithMetrics(m *metrics.Collector) Option {
 // for both execution modes.
 func WithTracer(t *trace.Tracer) Option {
 	return func(e *Engine) { e.tracer = t }
+}
+
+// WithTraceSampler installs the head-sampling policy for causal tracing.
+// The decision is made once per job run from the deterministically derived
+// trace ID, so a given (job sequence, seed) pair reproduces the identical
+// sampled span set. Without a sampler every run is sampled (rate 1). Fault,
+// retry, and failover spans are recorded regardless of the head decision
+// (the tail policy). Sampling only matters when a tracer is attached.
+func WithTraceSampler(s *trace.Sampler) Option {
+	return func(e *Engine) { e.sampler = s }
+}
+
+// WithLogger attaches a structured logger. The engine derives job-scoped
+// (and, at debug level, step/part-scoped) loggers from it, carrying trace
+// and span IDs so log lines join against span dumps. Without one the
+// engine logs nothing, at zero cost on the data plane.
+func WithLogger(l *slog.Logger) Option {
+	return func(e *Engine) { e.logger = l }
 }
 
 // WithProfiler attaches a per-part step profiler: the engine records one
@@ -110,6 +131,12 @@ func (e *Engine) Metrics() *metrics.Collector { return e.metrics }
 // Tracer returns the engine's event tracer (possibly nil).
 func (e *Engine) Tracer() *trace.Tracer { return e.tracer }
 
+// Sampler returns the engine's trace sampler (possibly nil = sample all).
+func (e *Engine) Sampler() *trace.Sampler { return e.sampler }
+
+// Logger returns the engine's structured logger (possibly nil).
+func (e *Engine) Logger() *slog.Logger { return e.logger }
+
 // Profiler returns the engine's step profiler (possibly nil).
 func (e *Engine) Profiler() *profile.Recorder { return e.prof }
 
@@ -135,6 +162,13 @@ type jobRun struct {
 	sensor          kvstore.FailureSensor // store failover sensor, may be nil
 	sensedFailovers int64                 // sensor reading absorbed so far
 	lastStep        int                   // most recently completed step (sync path)
+
+	runID    int64        // engine-unique run sequence number
+	traceID  uint64       // causal trace ID; 0 when untraced
+	sampled  bool         // head-sampling decision for this run
+	rootSpan uint64       // span ID of the job root (job_start/job_end)
+	loadSpan uint64       // span ID of the load phase
+	log      *slog.Logger // job-scoped logger, never nil
 
 	directMu   sync.Mutex
 	recoveries atomic.Int64
@@ -181,13 +215,17 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 		ctx:      ctx,
 		strategy: strategy,
 		aggPrev:  make(map[string]any),
+		runID:    runSeq.Add(1),
 	}
+	run.setupTraceContext()
 	defer run.cleanup()
 	if err := run.setupTables(); err != nil {
 		return nil, err
 	}
+	loadStart := time.Now()
 	lc, err := run.load()
 	if err != nil {
+		run.log.Error("job load failed", "err", err)
 		return nil, err
 	}
 
@@ -197,7 +235,17 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 	}
 
 	jobStart := time.Now()
-	e.tracer.Record(trace.KindJobStart, job.Name, 0, -1, int64(run.parts), 0)
+	run.log.Info("job starting", "parts", run.parts, "sync", strategy.Sync, "sampled", run.sampled)
+	if run.sampled {
+		e.tracer.RecordSpan(trace.Span{Kind: trace.KindJobStart, Job: job.Name, Part: -1,
+			N: int64(run.parts), Trace: run.traceID, Span: run.rootSpan,
+			Attrs: map[string]string{"sync": fmt.Sprint(strategy.Sync)}})
+		e.tracer.RecordSpan(trace.Span{Kind: trace.KindLoad, Job: job.Name, Part: -1,
+			N: int64(len(lc.envs)), Dur: time.Since(loadStart),
+			Trace: run.traceID, Span: run.loadSpan, Parent: run.rootSpan})
+	} else {
+		e.tracer.Record(trace.KindJobStart, job.Name, 0, -1, int64(run.parts), 0)
+	}
 	var res *Result
 	if strategy.Sync {
 		res, err = run.runSync(lc)
@@ -212,15 +260,41 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 		res, err = run.runNoSync(lc)
 	}
 	if err != nil {
+		run.log.Error("job failed", "err", err)
 		return nil, err
 	}
-	e.tracer.Record(trace.KindJobEnd, job.Name, res.Steps, -1, int64(res.Steps), time.Since(jobStart))
+	e.tracer.RecordSpan(trace.Span{Kind: trace.KindJobEnd, Job: job.Name, Step: res.Steps,
+		Part: -1, N: int64(res.Steps), Dur: time.Since(jobStart),
+		Trace: run.traceID, Span: run.rootSpan})
+	run.log.Info("job finished", "steps", res.Steps, "dur", time.Since(jobStart),
+		"recoveries", run.recoveries.Load())
 	res.Strategy = strategy
 	res.Recoveries = int(run.recoveries.Load())
 	if err := run.export(); err != nil {
+		run.log.Error("job export failed", "err", err)
 		return nil, err
 	}
 	return res, nil
+}
+
+// setupTraceContext derives the run's trace identity and makes the head-
+// sampling decision. The IDs are pure functions of (job name, run sequence,
+// sampler seed), so runs replay to identical trace IDs under a fixed seed —
+// the same determinism contract the chaos injector keeps. Unsampled (and
+// untraced) runs leave traceID zero: envelopes then carry no context and
+// the wire format is byte-identical to the pre-trace layout.
+func (run *jobRun) setupTraceContext() {
+	e := run.engine
+	if e.tracer != nil {
+		id := trace.TraceID(run.job.Name, run.runID, e.sampler.Seed())
+		if e.sampler.Sample(id) {
+			run.traceID = id
+			run.sampled = true
+			run.rootSpan = trace.SpanID(id, -1, -1)
+			run.loadSpan = trace.SpanID(id, 0, -1)
+		}
+	}
+	run.log = e.jobLogger(run.job.Name, run.traceID)
 }
 
 // setupTables resolves the placement table, opens/creates state tables, and
@@ -228,7 +302,7 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 func (run *jobRun) setupTables() error {
 	e := run.engine
 	job := run.job
-	prefix := fmt.Sprintf("__ebsp.%s.%d", job.Name, runSeq.Add(1))
+	prefix := fmt.Sprintf("__ebsp.%s.%d", job.Name, run.runID)
 
 	// Resolve placement.
 	placementName := job.Placement

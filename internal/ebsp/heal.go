@@ -54,6 +54,10 @@ func (e *Engine) retryOp(job string, step, part int, f func() error) error {
 		e.metrics.AddRetries(1)
 		e.tracer.Record(trace.KindRetry, job, step, part, int64(attempt), retryBackoff(attempt))
 		e.prof.AddRetry(job, step, part)
+		if e.logger != nil {
+			e.logger.Debug("transient fault, retrying operation",
+				"job", job, "step", step, "part", part, "attempt", attempt, "err", err.Error())
+		}
 		time.Sleep(retryBackoff(attempt))
 		err = f()
 		if err != nil && isTransient(err) {
@@ -61,6 +65,10 @@ func (e *Engine) retryOp(job string, step, part int, f func() error) error {
 		}
 	}
 	if err != nil && isTransient(err) {
+		if e.logger != nil {
+			e.logger.Warn("retries exhausted",
+				"job", job, "step", step, "part", part, "attempts", e.retries+1, "err", err.Error())
+		}
 		return fmt.Errorf("ebsp: retries exhausted after %d attempts: %v", e.retries+1, err)
 	}
 	return err
@@ -127,6 +135,14 @@ func (run *jobRun) recoverAndRerun(cause error) (*Result, error) {
 		rerun = 0
 	}
 	e.metrics.AddStepsRerun(rerun)
-	e.tracer.Record(trace.KindFailoverRecovery, run.job.Name, meta.Step, -1, rerun, time.Since(start))
+	// Tail policy: failover recovery always records, with the run's trace
+	// context attached when sampled, so post-hoc lineage shows the rerun.
+	e.tracer.RecordSpan(trace.Span{
+		Kind: trace.KindFailoverRecovery, Job: run.job.Name, Step: meta.Step, Part: -1,
+		N: rerun, Dur: time.Since(start), Trace: run.traceID, Parent: run.rootSpan,
+	})
+	run.log.Warn("shard failover: healed and re-running from checkpoint",
+		"cause", cause.Error(), "checkpoint_step", meta.Step, "steps_rerun", rerun,
+		"recovery_dur", time.Since(start))
 	return run.syncLoop(meta.Step, meta.Pending)
 }

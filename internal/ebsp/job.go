@@ -339,13 +339,18 @@ const (
 	kindCreate   = byte(2) // state creation request: Val is createPayload
 )
 
-// envelope is one in-flight message.
+// envelope is one in-flight message. Trace and Span carry the causal
+// context of the producing execution (the job run's trace ID and the
+// sender's span ID); both are zero when the run is unsampled, in which case
+// the wire codec emits the exact pre-trace byte layout (see wire.go).
 type envelope struct {
-	Dst  any
-	Val  any
-	Kind byte
-	Src  int // source part (-1 for loader-injected)
-	Seq  int // per-source sequence for deterministic delivery order
+	Dst   any
+	Val   any
+	Kind  byte
+	Src   int    // source part (-1 for loader-injected)
+	Seq   int    // per-source sequence for deterministic delivery order
+	Trace uint64 // trace ID of the producing job run (0 = unsampled)
+	Span  uint64 // span ID of the producing execution (0 = unsampled)
 }
 
 // createPayload carries a CreateState request.

@@ -1,0 +1,49 @@
+package ebsp
+
+import (
+	"fmt"
+	"log/slog"
+
+	"ripple/internal/trace"
+)
+
+// Structured-logging support. The engine never logs through a nil logger:
+// when none is attached, scoped loggers collapse to slog.DiscardHandler so
+// call sites stay unconditional. Scoped loggers carry the IDs needed to
+// join log lines against span dumps: the job logger carries job + trace,
+// and debug-level part loggers add step/part/span.
+
+var discardLog = slog.New(slog.DiscardHandler)
+
+// jobLogger derives the job-scoped logger: job name plus, for sampled
+// runs, the trace ID in the same zero-padded hex form the lineage tooling
+// prints.
+func (e *Engine) jobLogger(job string, traceID uint64) *slog.Logger {
+	if e.logger == nil {
+		return discardLog
+	}
+	l := e.logger.With("job", job)
+	if traceID != 0 {
+		l = l.With("trace", hexID(traceID))
+	}
+	return l
+}
+
+// partLogger derives a (step, part)-scoped logger carrying the execution's
+// span ID. Callers should gate derivation on debugEnabled to keep the
+// allocation off the default path.
+func (run *jobRun) partLogger(step, part int) *slog.Logger {
+	l := run.log.With("step", step, "part", part)
+	if run.sampled {
+		l = l.With("span", hexID(trace.SpanID(run.traceID, step, part)))
+	}
+	return l
+}
+
+// debugEnabled reports whether debug-level lines would be emitted, so hot
+// paths can skip scoped-logger derivation entirely.
+func (run *jobRun) debugEnabled() bool {
+	return run.log.Enabled(run.ctx, slog.LevelDebug)
+}
+
+func hexID(id uint64) string { return fmt.Sprintf("%016x", id) }

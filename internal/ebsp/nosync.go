@@ -34,7 +34,7 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 	sys := run.engine.mqSystem()
 	// The run sequence number is its own dot-segment so name normalization
 	// (chaos fault injection) sees a stable name across runs.
-	qsName := fmt.Sprintf("__ebsp.%s.%d.q", run.job.Name, runSeq.Add(1))
+	qsName := fmt.Sprintf("__ebsp.%s.%d.q", run.job.Name, run.runID)
 	qs, err := sys.CreateQueueSet(qsName, run.placement)
 	if err != nil {
 		return nil, fmt.Errorf("ebsp: create queue set: %w", err)
@@ -50,6 +50,10 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 		w := det.Issue(termination.DefaultIssue)
 		env.Src = -1
 		env.Seq = i
+		if run.sampled {
+			// Seeds descend from the load span, like initial sync spills.
+			env.Trace, env.Span = run.traceID, run.loadSpan
+		}
 		dst := run.placement.PartOf(env.Dst)
 		qm := queueMsg{Env: env, Weight: uint64(w)}
 		if err := run.engine.retryOp(run.job.Name, 0, dst, func() error {
@@ -129,6 +133,28 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 		srcPart: sv.Part(),
 	}
 
+	// For sampled runs the whole worker session is one compute span (no-sync
+	// has no steps, so it lives at step 0), and the envelopes it emits carry
+	// that span as their provenance. Incoming edges are aggregated here,
+	// incrementally, because the session drains its queue message-by-message
+	// rather than receiving one batch.
+	var edges map[uint64]int64
+	var invoked int64
+	if run.sampled {
+		sess := run.spanID(0, sv.Part())
+		sink.trace, sink.span = run.traceID, sess
+		edges = make(map[uint64]int64)
+		sessStart := time.Now()
+		defer func() {
+			run.recordEdgeCounts(0, sv.Part(), edges)
+			run.engine.tracer.RecordSpan(trace.Span{
+				Kind: trace.KindPartCompute, Job: run.job.Name, Step: 0, Part: sv.Part(),
+				N: invoked, Dur: time.Since(sessStart),
+				Trace: run.traceID, Span: sess, Parent: run.rootSpan,
+			})
+		}()
+	}
+
 	// With a profiler attached the worker accounts for its whole session as
 	// one step-0 record: compute (busy) time, queue-wait (blocked reads and
 	// empty polls), and message/store counts. No-sync has no steps, so the
@@ -137,7 +163,7 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 	prof := run.engine.prof
 	var counted *countingState
 	var queueWait time.Duration
-	var msgsIn, invoked int64
+	var msgsIn int64
 	if prof != nil {
 		counted = &countingState{inner: state}
 		state = counted
@@ -185,8 +211,14 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 		}
 		if !ok {
 			if det.Quiescent() {
-				run.engine.tracer.Record(trace.KindQuiesce, run.job.Name, 0, sv.Part(),
-					run.delivered.Load(), 0)
+				run.engine.tracer.RecordSpan(trace.Span{
+					Kind: trace.KindQuiesce, Job: run.job.Name, Part: sv.Part(),
+					N: run.delivered.Load(), Trace: run.traceID, Parent: run.spanID(0, sv.Part()),
+				})
+				if run.debugEnabled() {
+					run.partLogger(0, sv.Part()).Debug("no-sync worker quiesced",
+						"msgs_in", msgsIn, "invoked", invoked, "emitted", sink.seq)
+				}
 				return nil
 			}
 			continue
@@ -201,6 +233,9 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 		}
 		next[qm.Env.Src] = qm.Env.Seq + 1
 		msgsIn++
+		if edges != nil && qm.Env.Trace == run.traceID && qm.Env.Span != 0 {
+			edges[qm.Env.Span]++
+		}
 		if qm.Env.Kind != kindCreate {
 			invoked++
 			prof.ObserveKey(run.job.Name, qm.Env.Dst, 1)
@@ -243,7 +278,10 @@ func (run *jobRun) noSyncDelivered(part int, r *mq.Reader) error {
 	if d%every != 0 {
 		return nil
 	}
-	run.engine.tracer.Record(trace.KindProgress, run.job.Name, 0, part, d, 0)
+	run.engine.tracer.RecordSpan(trace.Span{
+		Kind: trace.KindProgress, Job: run.job.Name, Part: part,
+		N: d, Trace: run.traceID, Parent: run.spanID(0, part),
+	})
 	if run.engine.progress == nil {
 		return nil
 	}
@@ -316,6 +354,8 @@ type queueSink struct {
 	det     *termination.Detector
 	partOf  func(any) int
 	srcPart int
+	trace   uint64 // trace context stamped onto every send; zero when unsampled
+	span    uint64 // the worker session's span ID
 	seq     int
 	held    termination.Weight
 	direct  []kvPair
@@ -331,6 +371,9 @@ func (s *queueSink) add(env envelope, run *jobRun) {
 	env.Src = s.srcPart
 	env.Seq = s.seq
 	s.seq++
+	if s.trace != 0 {
+		env.Trace, env.Span = s.trace, s.span
+	}
 	var give termination.Weight
 	s.held, give = s.det.SplitOrBorrow(s.held)
 	dst := s.partOf(env.Dst)

@@ -107,7 +107,9 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 		}
 		step := steps + 1
 		stepStart := time.Now()
-		run.engine.tracer.Record(trace.KindStepStart, run.job.Name, step, -1, pending, 0)
+		run.engine.tracer.RecordSpan(trace.Span{Kind: trace.KindStepStart, Job: run.job.Name,
+			Step: step, Part: -1, N: pending,
+			Trace: run.traceID, Span: run.spanID(step, -1), Parent: run.rootSpan})
 		emitted, aggs, err := run.execStep(step)
 		if err != nil {
 			return nil, err
@@ -124,7 +126,10 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 		run.engine.metrics.AddBarriers(1)
 		run.engine.metrics.StepDurations().ObserveDuration(stepDur)
 		run.engine.metrics.InFlightEnvelopes().Set(emitted)
-		run.engine.tracer.Record(trace.KindStepEnd, run.job.Name, step, -1, emitted, stepDur)
+		run.engine.tracer.RecordSpan(trace.Span{Kind: trace.KindStepEnd, Job: run.job.Name,
+			Step: step, Part: -1, N: emitted, Dur: stepDur,
+			Trace: run.traceID, Span: run.spanID(step, -1), Parent: run.rootSpan})
+		run.log.Debug("step complete", "step", step, "emitted", emitted, "dur", stepDur)
 		run.aggPrev = aggs
 		if err := run.notifyStep(StepInfo{
 			Job:        run.job.Name,
@@ -155,7 +160,10 @@ func (run *jobRun) syncLoop(completedStep int, pending int64) (*Result, error) {
 			}
 			ckptDur := time.Since(ckptStart)
 			run.engine.metrics.CheckpointWrites().ObserveDuration(ckptDur)
-			run.engine.tracer.Record(trace.KindCheckpoint, run.job.Name, step, -1, emitted, ckptDur)
+			run.engine.tracer.RecordSpan(trace.Span{Kind: trace.KindCheckpoint, Job: run.job.Name,
+				Step: step, Part: -1, N: emitted, Dur: ckptDur,
+				Trace: run.traceID, Parent: run.rootSpan})
+			run.log.Debug("checkpoint written", "step", step, "pending", emitted, "dur", ckptDur)
 		}
 		if run.job.Aborter != nil && run.job.Aborter.ShouldAbort(step, aggs) {
 			aborted = true
@@ -177,6 +185,10 @@ func (run *jobRun) writeInitialSpills(lc *LoadContext) error {
 	}
 	byDst := make(map[int][]envelope)
 	for _, env := range lc.envs {
+		if run.sampled {
+			// Loader-injected envelopes descend from the load span.
+			env.Trace, env.Span = run.traceID, run.loadSpan
+		}
 		dst := run.placement.PartOf(env.Dst)
 		byDst[dst] = append(byDst[dst], env)
 	}
@@ -288,12 +300,17 @@ func (run *jobRun) observePartStats(step int, results []*partStepResult) {
 		}
 		invoked += r.invoked
 	}
+	stepSpan := run.spanID(step, -1)
 	for p, r := range results {
 		m.PartComputes().ObserveDuration(r.dur)
 		m.BarrierWaits().ObserveDuration(slowest - r.dur)
-		tr.Record(trace.KindPartCompute, run.job.Name, step, p, r.invoked, r.dur)
+		tr.RecordSpan(trace.Span{Kind: trace.KindPartCompute, Job: run.job.Name,
+			Step: step, Part: p, N: r.invoked, Dur: r.dur,
+			Trace: run.traceID, Span: run.spanID(step, p), Parent: stepSpan})
 		if r.merged > 0 {
-			tr.Record(trace.KindCombinerMerge, run.job.Name, step, p, r.merged, 0)
+			tr.RecordSpan(trace.Span{Kind: trace.KindCombinerMerge, Job: run.job.Name,
+				Step: step, Part: p, N: r.merged,
+				Trace: run.traceID, Parent: run.spanID(step, p)})
 		}
 		prof.Record(profile.StepProfile{
 			Job:             run.job.Name,
@@ -315,7 +332,9 @@ func (run *jobRun) observePartStats(step int, results []*partStepResult) {
 	m.EnabledComponents().Set(invoked)
 	m.StepSkewRatio().Set(stepSkewRatio(results, slowest))
 	m.StragglerPart().Set(int64(straggler))
-	tr.Record(trace.KindBarrier, run.job.Name, step, -1, int64(len(results)), slowest-fastest)
+	tr.RecordSpan(trace.Span{Kind: trace.KindBarrier, Job: run.job.Name,
+		Step: step, Part: -1, N: int64(len(results)), Dur: slowest - fastest,
+		Trace: run.traceID, Parent: stepSpan})
 }
 
 // stepSkewRatio computes max/median part compute time for one step's results
@@ -378,10 +397,18 @@ func (run *jobRun) execPartStep(step, part int) (*partStepResult, error) {
 			run.engine.metrics.AddRecoveries(1)
 			run.engine.prof.AddFault(run.job.Name, step, part)
 			run.engine.prof.AddRetry(run.job.Name, step, part)
+			run.log.Warn("shard failed, replaying part step", "step", step, "part", part)
 		case isTransient(err):
 			// Transient dispatch fault: nothing ran; replay after backoff.
+			// Recorded unconditionally — the tail policy keeps fault/retry
+			// spans even for head-unsampled runs — with trace context
+			// attached when the run has one.
 			run.engine.metrics.AddRetries(1)
-			run.engine.tracer.Record(trace.KindRetry, run.job.Name, step, part, int64(attempt+1), 0)
+			run.engine.tracer.RecordSpan(trace.Span{Kind: trace.KindRetry, Job: run.job.Name,
+				Step: step, Part: part, N: int64(attempt + 1),
+				Trace: run.traceID, Parent: run.spanID(step, part)})
+			run.log.Warn("transient fault, replaying part step",
+				"step", step, "part", part, "attempt", attempt+1, "err", err)
 			run.engine.prof.AddFault(run.job.Name, step, part)
 			run.engine.prof.AddRetry(run.job.Name, step, part)
 			time.Sleep(retryBackoff(attempt + 1))
@@ -435,6 +462,7 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 		if err != nil {
 			return nil, err
 		}
+		run.recordDeliverEdges(step, part, envs)
 		ls, err := run.partViews(sv)
 		if err != nil {
 			return nil, err
@@ -459,6 +487,9 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 		}
 
 		out := newOutBuffer(part, run.parts, run.placement.PartOf, run.job.combiner())
+		if run.sampled {
+			out.trace, out.span = run.traceID, run.spanID(step, part)
+		}
 		aggLocal := make(map[string]any)
 		var invoked, merged int64
 		invoke := func(key any, msgs []any, continued bool) error {
@@ -506,6 +537,10 @@ func (run *jobRun) stepAgent(step, part int) kvstore.Agent {
 		if counted != nil {
 			result.gets = counted.gets.Load()
 			result.puts = counted.puts.Load()
+		}
+		if run.debugEnabled() {
+			run.partLogger(step, part).Debug("part step done",
+				"invoked", invoked, "msgs_in", len(envs), "emitted", out.count)
 		}
 		if run.aggPartials != nil {
 			partials, err := sv.View(run.aggPartials.Name())
@@ -717,7 +752,7 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 			err := run.engine.retryOp(run.job.Name, step, p, func() error {
 				var aerr error
 				res, aerr = run.engine.store.RunAgent(run.placement.Name(), p, func(sv kvstore.ShardView) (any, error) {
-					return run.drainForSteal(sv, step)
+					return run.drainForSteal(sv, step, p)
 				})
 				return aerr
 			})
@@ -775,6 +810,9 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 			// Pseudo-source part beyond the real parts keeps spill keys
 			// unique per writer.
 			out := newOutBuffer(run.parts+w, run.parts, run.placement.PartOf, run.job.combiner())
+			if run.sampled {
+				out.trace, out.span = run.traceID, run.spanID(step, run.parts+w)
+			}
 			outs[w] = out
 			aggLocal := make(map[string]any)
 			aggs[w] = aggLocal
@@ -828,6 +866,17 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 		}
 		emitted += out.count
 	}
+	if run.sampled {
+		// Worker-slot compute spans, numbered beyond the real parts like
+		// the profiler records: stolen computes still resolve as producers.
+		stepSpan := run.spanID(step, -1)
+		for w := 0; w < workers; w++ {
+			run.engine.tracer.RecordSpan(trace.Span{Kind: trace.KindPartCompute,
+				Job: run.job.Name, Step: step, Part: run.parts + w,
+				N: taken[w], Dur: durs[w],
+				Trace: run.traceID, Span: run.spanID(step, run.parts+w), Parent: stepSpan})
+		}
+	}
 	if prof != nil {
 		// Under work stealing computes detach from their parts, so each
 		// worker slot gets a record instead, numbered beyond the real parts.
@@ -862,7 +911,7 @@ func (run *jobRun) execStepRunAnywhere(step int) (int64, map[string]any, error) 
 
 // drainForSteal is the run-anywhere drain agent: read and delete one part's
 // spills, apply creates locally, and hand the data envelopes to the pool.
-func (run *jobRun) drainForSteal(sv kvstore.ShardView, step int) ([]envelope, error) {
+func (run *jobRun) drainForSteal(sv kvstore.ShardView, step, part int) ([]envelope, error) {
 	transport, err := sv.View(run.transport.Name())
 	if err != nil {
 		return nil, err
@@ -871,6 +920,9 @@ func (run *jobRun) drainForSteal(sv kvstore.ShardView, step int) ([]envelope, er
 	if err != nil {
 		return nil, err
 	}
+	// Deliver edges use the owning part's coordinates even though the
+	// computes may be stolen: causally, the messages arrived here.
+	run.recordDeliverEdges(step, part, envs)
 	state, err := run.partViews(sv)
 	if err != nil {
 		return nil, err

@@ -161,12 +161,29 @@ func init() {
 	})
 }
 
-// encEnvBody writes an envelope body: kind byte, source and sequence
-// varints, then the tagged Dst and Val.
+// envTracedFlag marks an envelope body carrying trace context. Envelope
+// kinds occupy the low bits (values 0..2), so the high bit of the kind byte
+// is free to act as a wire tag: a traced body appends two uvarints (Trace,
+// Span) after Seq, while an untraced body is byte-identical to the
+// pre-trace format. Sampling off ⇒ zero wire-format change, and diskstore
+// logs written before tracing existed decode unchanged.
+const envTracedFlag = byte(0x80)
+
+// encEnvBody writes an envelope body: kind byte (high bit = traced flag),
+// source and sequence varints, optional trace context, then the tagged Dst
+// and Val.
 func encEnvBody(e *codec.Encoder, env envelope) error {
-	e.Byte(env.Kind)
+	kind := env.Kind
+	if env.Trace != 0 {
+		kind |= envTracedFlag
+	}
+	e.Byte(kind)
 	e.Int(env.Src)
 	e.Int(env.Seq)
+	if env.Trace != 0 {
+		e.Uvarint(env.Trace)
+		e.Uvarint(env.Span)
+	}
 	if err := e.Any(env.Dst); err != nil {
 		return err
 	}
@@ -176,9 +193,17 @@ func encEnvBody(e *codec.Encoder, env envelope) error {
 // encEnvBodyRef is encEnvBody for batch frames: fallback Dst/Val values are
 // deferred to the batch's shared side-car instead of inlined.
 func encEnvBodyRef(e *codec.Encoder, env envelope) error {
-	e.Byte(env.Kind)
+	kind := env.Kind
+	if env.Trace != 0 {
+		kind |= envTracedFlag
+	}
+	e.Byte(kind)
 	e.Int(env.Src)
 	e.Int(env.Seq)
+	if env.Trace != 0 {
+		e.Uvarint(env.Trace)
+		e.Uvarint(env.Span)
+	}
 	if err := e.AnyRef(env.Dst); err != nil {
 		return err
 	}
@@ -188,15 +213,24 @@ func encEnvBodyRef(e *codec.Encoder, env envelope) error {
 // decEnvBody reads an envelope body written by encEnvBody.
 func decEnvBody(d *codec.Decoder) (envelope, error) {
 	var env envelope
-	var err error
-	if env.Kind, err = d.Byte(); err != nil {
+	kind, err := d.Byte()
+	if err != nil {
 		return env, err
 	}
+	env.Kind = kind &^ envTracedFlag
 	if env.Src, err = d.Int(); err != nil {
 		return env, err
 	}
 	if env.Seq, err = d.Int(); err != nil {
 		return env, err
+	}
+	if kind&envTracedFlag != 0 {
+		if env.Trace, err = d.Uvarint(); err != nil {
+			return env, err
+		}
+		if env.Span, err = d.Uvarint(); err != nil {
+			return env, err
+		}
 	}
 	if env.Dst, err = d.Any(); err != nil {
 		return env, err
@@ -215,5 +249,7 @@ func copyEnv(env envelope) (envelope, error) {
 	if err != nil {
 		return envelope{}, err
 	}
-	return envelope{Dst: dst, Val: val, Kind: env.Kind, Src: env.Src, Seq: env.Seq}, nil
+	out := env
+	out.Dst, out.Val = dst, val
+	return out, nil
 }

@@ -59,6 +59,51 @@ func TestEnvelopeBatchNested(t *testing.T) {
 	}
 }
 
+// TestEnvelopeTraceContextRoundTrip round-trips traced envelopes: the trace
+// and span IDs must survive both the batch frame and the queueMsg wrapper,
+// and an untraced envelope must encode to the exact pre-trace byte layout
+// (the traced flag bit is only set when a trace ID is present).
+func TestEnvelopeTraceContextRoundTrip(t *testing.T) {
+	traced := []envelope{
+		{Dst: 1, Val: 0.5, Kind: kindData, Src: 0, Seq: 1, Trace: 0xdeadbeefcafe, Span: 0x1234},
+		{Dst: 2, Val: wireTestVal{Name: "t", N: 3}, Kind: kindContinue, Src: 1, Seq: 2, Trace: 1, Span: ^uint64(0)},
+		{Dst: 3, Val: int64(9), Kind: kindData, Src: 2, Seq: 3}, // untraced in a traced batch
+	}
+	got, _, err := codec.RoundTrip(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, traced) {
+		t.Fatalf("traced batch round trip mismatch:\n got %#v\nwant %#v", got, traced)
+	}
+
+	qm := queueMsg{Env: envelope{Dst: 4, Val: "v", Kind: kindData, Src: 1, Seq: 5, Trace: 7, Span: 8}, Weight: 2}
+	gotQM, _, err := codec.RoundTrip(qm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotQM, qm) {
+		t.Fatalf("traced queueMsg round trip mismatch:\n got %#v\nwant %#v", gotQM, qm)
+	}
+
+	// Byte-compatibility: with no trace context the encoding must be
+	// identical to the historical layout, i.e. the flag bit stays clear.
+	plain := envelope{Dst: 1, Val: 0.5, Kind: kindData, Src: 0, Seq: 1}
+	withZero, err := codec.Encode([]envelope{plain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped := plain
+	stamped.Trace, stamped.Span = 0, 0
+	same, err := codec.Encode([]envelope{stamped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(withZero, same) {
+		t.Fatal("zero trace context changed the wire bytes")
+	}
+}
+
 // TestQueueMsgGobPayload checks the no-sync path's wrapper with a fallback
 // payload: outside a batch frame there is no side-car, so the value must be
 // inlined rather than deferred (and must not be silently dropped).

@@ -1,0 +1,297 @@
+// Package logring is the structured-logging counterpart of the trace ring:
+// a bounded, in-memory buffer of slog records with an HTTP introspection
+// endpoint, so a running engine's recent log lines are inspectable at
+// /debug/logz next to /debug/profilez without any log shipping. The ring
+// holds fully-resolved records (message, level, flattened attributes), so
+// snapshots are cheap JSON and never hold references into caller state.
+package logring
+
+import (
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one retained log line. Attrs are flattened: grouped attributes
+// appear as "group.key". Values are resolved at Handle time.
+type Record struct {
+	Time  time.Time      `json:"time"`
+	Level string         `json:"level"`
+	Msg   string         `json:"msg"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+}
+
+// Ring retains the most recent records in a fixed-capacity buffer,
+// overwriting the oldest when full. Safe for concurrent use.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Record
+	next    int
+	dropped uint64
+	wrapped bool
+}
+
+// DefaultCapacity is used when New is given a non-positive capacity.
+const DefaultCapacity = 4096
+
+// New creates a ring retaining at most capacity records (DefaultCapacity
+// if capacity <= 0).
+func New(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Ring{buf: make([]Record, 0, capacity)}
+}
+
+// Append retains one record, evicting the oldest when full.
+func (r *Ring) Append(rec Record) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, rec)
+	} else {
+		r.buf[r.next] = rec
+		r.next = (r.next + 1) % len(r.buf)
+		r.dropped++
+		r.wrapped = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of retained records.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Dropped reports how many records were evicted by ring wraparound.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the retained records, oldest first.
+func (r *Ring) Snapshot() []Record {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, len(r.buf))
+	if r.wrapped {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Reset discards all retained records.
+func (r *Ring) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf = r.buf[:0]
+	r.next = 0
+	r.dropped = 0
+	r.wrapped = false
+	r.mu.Unlock()
+}
+
+// Handler returns a slog.Handler that appends records at or above level to
+// the ring. Pass it to slog.New directly, or combine with a terminal
+// handler via Fanout.
+func (r *Ring) Handler(level slog.Leveler) slog.Handler {
+	if level == nil {
+		level = slog.LevelInfo
+	}
+	return &ringHandler{ring: r, level: level}
+}
+
+type ringHandler struct {
+	ring   *Ring
+	level  slog.Leveler
+	attrs  map[string]any // accumulated WithAttrs state, already flattened
+	prefix string         // accumulated WithGroup state, "a.b."
+}
+
+func (h *ringHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level.Level()
+}
+
+func (h *ringHandler) Handle(_ context.Context, rec slog.Record) error {
+	attrs := make(map[string]any, len(h.attrs)+rec.NumAttrs())
+	for k, v := range h.attrs {
+		attrs[k] = v
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		flatten(attrs, h.prefix, a)
+		return true
+	})
+	t := rec.Time
+	if t.IsZero() {
+		t = time.Now()
+	}
+	h.ring.Append(Record{Time: t, Level: rec.Level.String(), Msg: rec.Message, Attrs: attrs})
+	return nil
+}
+
+func (h *ringHandler) WithAttrs(as []slog.Attr) slog.Handler {
+	nh := h.clone()
+	for _, a := range as {
+		flatten(nh.attrs, nh.prefix, a)
+	}
+	return nh
+}
+
+func (h *ringHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := h.clone()
+	nh.prefix += name + "."
+	return nh
+}
+
+func (h *ringHandler) clone() *ringHandler {
+	attrs := make(map[string]any, len(h.attrs)+4)
+	for k, v := range h.attrs {
+		attrs[k] = v
+	}
+	return &ringHandler{ring: h.ring, level: h.level, attrs: attrs, prefix: h.prefix}
+}
+
+func flatten(into map[string]any, prefix string, a slog.Attr) {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p = prefix + a.Key + "."
+		}
+		for _, ga := range v.Group() {
+			flatten(into, p, ga)
+		}
+		return
+	}
+	if a.Key == "" {
+		return
+	}
+	into[prefix+a.Key] = v.Any()
+}
+
+// Fanout returns a handler that forwards every record to all of hs —
+// typically a terminal text handler plus a ring. Enabled when any target
+// is; each target still applies its own level filter.
+func Fanout(hs ...slog.Handler) slog.Handler {
+	return fanout(hs)
+}
+
+type fanout []slog.Handler
+
+func (f fanout) Enabled(ctx context.Context, level slog.Level) bool {
+	for _, h := range f {
+		if h.Enabled(ctx, level) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f fanout) Handle(ctx context.Context, rec slog.Record) error {
+	var first error
+	for _, h := range f {
+		if !h.Enabled(ctx, rec.Level) {
+			continue
+		}
+		if err := h.Handle(ctx, rec.Clone()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (f fanout) WithAttrs(as []slog.Attr) slog.Handler {
+	out := make(fanout, len(f))
+	for i, h := range f {
+		out[i] = h.WithAttrs(as)
+	}
+	return out
+}
+
+func (f fanout) WithGroup(name string) slog.Handler {
+	out := make(fanout, len(f))
+	for i, h := range f {
+		out[i] = h.WithGroup(name)
+	}
+	return out
+}
+
+// logzResponse is the /debug/logz JSON body.
+type logzResponse struct {
+	Records int      `json:"records"`
+	Dropped uint64   `json:"dropped"`
+	Logs    []Record `json:"logs"`
+}
+
+// HTTPHandler serves the ring's retained records as JSON. Query
+// parameters: ?n=N keeps only the newest N records, ?level=warn keeps
+// records at or above a level, ?q=substr filters on the message text.
+func HTTPHandler(r *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		logs := r.Snapshot()
+		if q := req.URL.Query().Get("level"); q != "" {
+			var min slog.Level
+			if err := min.UnmarshalText([]byte(q)); err == nil {
+				kept := logs[:0]
+				for _, rec := range logs {
+					var lv slog.Level
+					if lv.UnmarshalText([]byte(rec.Level)) == nil && lv >= min {
+						kept = append(kept, rec)
+					}
+				}
+				logs = kept
+			}
+		}
+		if q := req.URL.Query().Get("q"); q != "" {
+			kept := logs[:0]
+			for _, rec := range logs {
+				if strings.Contains(rec.Msg, q) {
+					kept = append(kept, rec)
+				}
+			}
+			logs = kept
+		}
+		if v := req.URL.Query().Get("n"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 && len(logs) > n {
+				logs = logs[len(logs)-n:]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(logzResponse{Records: len(logs), Dropped: r.Dropped(), Logs: logs})
+	})
+}
+
+// Attach registers the ring's introspection endpoint on mux at /debug/logz,
+// mirroring profile.AttachDebug's explicit registration style.
+func Attach(mux *http.ServeMux, r *Ring) {
+	mux.Handle("/debug/logz", HTTPHandler(r))
+}

@@ -1,0 +1,146 @@
+package logring
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHandlerCapturesScopedAttrs(t *testing.T) {
+	r := New(16)
+	log := slog.New(r.Handler(slog.LevelDebug))
+	log = log.With("job", "pagerank", "trace", "abc")
+	log.WithGroup("step").Info("step complete", "n", 3)
+	log.Debug("detail")
+
+	recs := r.Snapshot()
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	got := recs[0]
+	if got.Msg != "step complete" || got.Level != "INFO" {
+		t.Errorf("record = %+v", got)
+	}
+	if got.Attrs["job"] != "pagerank" || got.Attrs["trace"] != "abc" {
+		t.Errorf("With attrs lost: %+v", got.Attrs)
+	}
+	if n, ok := got.Attrs["step.n"].(int64); !ok || n != 3 {
+		t.Errorf("grouped attr not flattened: %+v", got.Attrs)
+	}
+	if got.Time.IsZero() {
+		t.Error("record time not stamped")
+	}
+}
+
+func TestHandlerLevelFilter(t *testing.T) {
+	r := New(16)
+	log := slog.New(r.Handler(slog.LevelWarn))
+	log.Info("dropped")
+	log.Warn("kept")
+	recs := r.Snapshot()
+	if len(recs) != 1 || recs[0].Msg != "kept" {
+		t.Errorf("records = %+v", recs)
+	}
+}
+
+func TestRingWraparoundAndReset(t *testing.T) {
+	r := New(4)
+	log := slog.New(r.Handler(slog.LevelInfo))
+	for i := 0; i < 10; i++ {
+		log.Info("m", "i", i)
+	}
+	if r.Len() != 4 || r.Dropped() != 6 {
+		t.Errorf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	recs := r.Snapshot()
+	if first, ok := recs[0].Attrs["i"].(int64); !ok || first != 6 {
+		t.Errorf("oldest survivor = %+v", recs[0].Attrs)
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Errorf("after reset: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+}
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Append(Record{Msg: "x"})
+	r.Reset()
+	if r.Len() != 0 || r.Dropped() != 0 || r.Snapshot() != nil {
+		t.Error("nil ring reported records")
+	}
+}
+
+func TestFanout(t *testing.T) {
+	a, b := New(8), New(8)
+	log := slog.New(Fanout(a.Handler(slog.LevelInfo), b.Handler(slog.LevelError)))
+	log.Info("info line")
+	log.Error("error line")
+	if a.Len() != 2 {
+		t.Errorf("a got %d records", a.Len())
+	}
+	if b.Len() != 1 || b.Snapshot()[0].Msg != "error line" {
+		t.Errorf("b records = %+v", b.Snapshot())
+	}
+}
+
+func TestConcurrentAppendSnapshot(t *testing.T) {
+	r := New(64)
+	log := slog.New(r.Handler(slog.LevelInfo))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				log.Info("m", "w", w, "i", i)
+				if i%41 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len()+int(r.Dropped()) != 8*200 {
+		t.Errorf("retained+dropped = %d", r.Len()+int(r.Dropped()))
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := New(16)
+	log := slog.New(r.Handler(slog.LevelDebug))
+	log.Info("job starting", "job", "wcc")
+	log.Warn("retrying", "attempt", 1)
+	log.Info("job finished", "job", "wcc")
+
+	get := func(url string) logzResponse {
+		t.Helper()
+		req := httptest.NewRequest("GET", url, nil)
+		rw := httptest.NewRecorder()
+		HTTPHandler(r).ServeHTTP(rw, req)
+		if ct := rw.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("content-type = %q", ct)
+		}
+		var resp logzResponse
+		if err := json.Unmarshal(rw.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad JSON: %v", err)
+		}
+		return resp
+	}
+
+	if resp := get("/debug/logz"); resp.Records != 3 || len(resp.Logs) != 3 {
+		t.Errorf("unfiltered = %+v", resp)
+	}
+	if resp := get("/debug/logz?level=warn"); len(resp.Logs) != 1 || resp.Logs[0].Msg != "retrying" {
+		t.Errorf("level filter = %+v", resp.Logs)
+	}
+	if resp := get("/debug/logz?q=job"); len(resp.Logs) != 2 {
+		t.Errorf("q filter = %+v", resp.Logs)
+	}
+	if resp := get("/debug/logz?n=1"); len(resp.Logs) != 1 || resp.Logs[0].Msg != "job finished" {
+		t.Errorf("n filter = %+v", resp.Logs)
+	}
+}

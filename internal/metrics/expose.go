@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"sort"
 
 	"ripple/internal/trace"
@@ -22,24 +23,26 @@ func WritePrometheus(w io.Writer, c *Collector) error {
 
 // WritePrometheusTracer is WritePrometheus plus the tracer's loss counters
 // (retained spans and ring-overwrite drops), so span loss is visible to
-// scrapes. A nil tracer skips those series.
+// scrapes. The trace series are emitted unconditionally — a nil tracer reads
+// as zero — so dashboards never see the series appear and disappear.
 func WritePrometheusTracer(w io.Writer, c *Collector, t *trace.Tracer) error {
+	if err := writeBuildInfo(w); err != nil {
+		return err
+	}
 	if err := writeRuntimeGauges(w); err != nil {
 		return err
 	}
-	if t != nil {
-		if err := writeMeta(w, "ripple_trace_spans", "Spans currently retained in the trace ring buffer.", "gauge"); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "ripple_trace_spans %d\n", t.Len()); err != nil {
-			return err
-		}
-		if err := writeMeta(w, "ripple_trace_dropped_total", "Spans overwritten by trace ring wraparound.", "counter"); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w, "ripple_trace_dropped_total %d\n", t.Dropped()); err != nil {
-			return err
-		}
+	if err := writeMeta(w, "ripple_trace_spans", "Spans currently retained in the trace ring buffer.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_trace_spans %d\n", t.Len()); err != nil {
+		return err
+	}
+	if err := writeMeta(w, "ripple_trace_dropped_total", "Spans overwritten by trace ring wraparound.", "counter"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_trace_dropped_total %d\n", t.Dropped()); err != nil {
+		return err
 	}
 	if c == nil {
 		return nil
@@ -130,6 +133,21 @@ func WritePrometheusTracer(w io.Writer, c *Collector, t *trace.Tracer) error {
 		}
 	}
 	return nil
+}
+
+// writeBuildInfo emits the conventional build-info gauge: a constant 1 whose
+// labels identify the binary (module version from the embedded build info —
+// "devel" for an untagged build — and the Go toolchain that compiled it).
+func writeBuildInfo(w io.Writer) error {
+	version := "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		version = bi.Main.Version
+	}
+	if err := writeMeta(w, "ripple_build_info", "Build information for the running binary; value is always 1.", "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "ripple_build_info{version=%q,go=%q} 1\n", version, runtime.Version())
+	return err
 }
 
 // writeRuntimeGauges emits the process-level Go runtime gauges: goroutines,

@@ -107,6 +107,27 @@ func TestWritePrometheusTracer(t *testing.T) {
 		"# TYPE ripple_trace_dropped_total counter",
 		"ripple_trace_dropped_total 1",
 		"ripple_trace_spans 2",
+		"# TYPE ripple_build_info gauge",
+		`ripple_build_info{version=`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("exposition missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTraceSeriesUnconditional(t *testing.T) {
+	// With no tracer attached the trace series must still be present (as
+	// zeros), so scrapes see a stable series set.
+	var sb strings.Builder
+	if err := WritePrometheusTracer(&sb, &Collector{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{
+		"ripple_trace_spans 0",
+		"ripple_trace_dropped_total 0",
+		"ripple_build_info{",
 	} {
 		if !strings.Contains(out, frag) {
 			t.Errorf("exposition missing %q:\n%s", frag, out)

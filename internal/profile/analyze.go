@@ -41,6 +41,9 @@ type PartRank struct {
 	// Faults and Retries aggregate the part's fault/retry attribution.
 	Faults  int64 `json:"faults,omitempty"`
 	Retries int64 `json:"retries,omitempty"`
+	// HotEdges is the part's heaviest incoming causal edges, filled in by
+	// AttachLineage when a sampled span dump is available.
+	HotEdges []HotEdge `json:"hot_edges,omitempty"`
 }
 
 // Report is the full skew analysis of a set of records.

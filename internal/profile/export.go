@@ -206,6 +206,13 @@ func WriteText(w io.Writer, rep *Report) error {
 		for _, r := range rep.Stragglers {
 			fmt.Fprintf(w, "  %-16s %5d %8d %12v %12v %7d %8d\n",
 				r.Job, r.Part, r.StepsSlowest, d(r.ExcessNS), d(r.ComputeNS), r.Faults, r.Retries)
+			for _, e := range r.HotEdges {
+				from := fmt.Sprintf("step %d part %d", e.FromStep, e.FromPart)
+				if e.FromPart < 0 {
+					from = "loader"
+				}
+				fmt.Fprintf(w, "  %-16s   <- %-22s %10d msgs\n", "", from, e.Msgs)
+			}
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,103 @@
+package profile
+
+import (
+	"sort"
+
+	"ripple/internal/trace"
+)
+
+// Lineage attribution: deliver spans from a sampled trace name, for every
+// receiving part, which producer (step, part) sent it how many messages.
+// Joining that against the straggler ranking answers the question skew
+// numbers alone cannot: not just *which* part was slow, but *who fed it*.
+
+// HotEdge is one incoming causal edge of a part, aggregated over a run.
+type HotEdge struct {
+	// FromStep/FromPart name the producing execution; the loader appears as
+	// step 0, part -1.
+	FromStep int   `json:"from_step"`
+	FromPart int   `json:"from_part"`
+	Msgs     int64 `json:"msgs"`
+}
+
+// maxHotEdges bounds the per-part edge list in the report.
+const maxHotEdges = 5
+
+// AttachLineage joins a span dump against the report's straggler ranking:
+// each ranked part gains its hottest incoming deliver edges (heaviest first,
+// top maxHotEdges). Parts with no deliver spans — unsampled runs, or spans
+// from a different job — are left untouched. Safe to call with an empty or
+// traceless span slice; it is then a no-op.
+func AttachLineage(rep *Report, spans []trace.Span) {
+	if rep == nil || len(rep.Stragglers) == 0 {
+		return
+	}
+	// Resolve producing spans by span ID, exactly like trace.BuildChain.
+	producers := make(map[uint64]*trace.Span)
+	for i := range spans {
+		switch spans[i].Kind {
+		case trace.KindJobStart, trace.KindLoad, trace.KindPartCompute:
+			if spans[i].Span != 0 {
+				producers[spans[i].Span] = &spans[i]
+			}
+		}
+	}
+	if len(producers) == 0 {
+		return
+	}
+
+	type recvKey struct {
+		job  string
+		part int
+	}
+	type edgeKey struct {
+		step, part int
+	}
+	edges := make(map[recvKey]map[edgeKey]int64)
+	for i := range spans {
+		d := &spans[i]
+		if d.Kind != trace.KindDeliver {
+			continue
+		}
+		from, ok := producers[d.Parent]
+		if !ok {
+			continue
+		}
+		rk := recvKey{d.Job, d.Part}
+		if edges[rk] == nil {
+			edges[rk] = make(map[edgeKey]int64)
+		}
+		fromStep := from.Step
+		fromPart := from.Part
+		if from.Kind != trace.KindPartCompute {
+			// Loader (and job-start) provenance: step 0, part -1.
+			fromStep, fromPart = 0, -1
+		}
+		edges[rk][edgeKey{fromStep, fromPart}] += d.N
+	}
+
+	for i := range rep.Stragglers {
+		r := &rep.Stragglers[i]
+		byEdge := edges[recvKey{r.Job, r.Part}]
+		if len(byEdge) == 0 {
+			continue
+		}
+		hot := make([]HotEdge, 0, len(byEdge))
+		for k, n := range byEdge {
+			hot = append(hot, HotEdge{FromStep: k.step, FromPart: k.part, Msgs: n})
+		}
+		sort.Slice(hot, func(a, b int) bool {
+			if hot[a].Msgs != hot[b].Msgs {
+				return hot[a].Msgs > hot[b].Msgs
+			}
+			if hot[a].FromStep != hot[b].FromStep {
+				return hot[a].FromStep < hot[b].FromStep
+			}
+			return hot[a].FromPart < hot[b].FromPart
+		})
+		if len(hot) > maxHotEdges {
+			hot = hot[:maxHotEdges]
+		}
+		r.HotEdges = hot
+	}
+}

@@ -1,0 +1,83 @@
+package profile
+
+import (
+	"testing"
+
+	"ripple/internal/trace"
+)
+
+func TestAttachLineageLinksStragglersToHotEdges(t *testing.T) {
+	// Two-step, three-part job; part 2 straggles on step 2.
+	profs := []StepProfile{
+		{Job: "j", Step: 1, Part: 0, ComputeNS: 100},
+		{Job: "j", Step: 1, Part: 1, ComputeNS: 110},
+		{Job: "j", Step: 1, Part: 2, ComputeNS: 120},
+		{Job: "j", Step: 2, Part: 0, ComputeNS: 100},
+		{Job: "j", Step: 2, Part: 1, ComputeNS: 100},
+		{Job: "j", Step: 2, Part: 2, ComputeNS: 900},
+	}
+	rep := Analyze(profs, nil, 10)
+	top, ok := rep.TopStraggler()
+	if !ok || top.Part != 2 {
+		t.Fatalf("top straggler = %+v, want part 2", top)
+	}
+
+	// A sampled span dump: producers at (step 1, parts 0/1) and the loader,
+	// deliver edges converging on part 2.
+	tid := trace.TraceID("j", 1, 0)
+	load := trace.SpanID(tid, 0, -1)
+	p0 := trace.SpanID(tid, 1, 0)
+	p1 := trace.SpanID(tid, 1, 1)
+	spans := []trace.Span{
+		{Kind: trace.KindLoad, Job: "j", Part: -1, Trace: tid, Span: load},
+		{Kind: trace.KindPartCompute, Job: "j", Step: 1, Part: 0, Trace: tid, Span: p0},
+		{Kind: trace.KindPartCompute, Job: "j", Step: 1, Part: 1, Trace: tid, Span: p1},
+		{Kind: trace.KindDeliver, Job: "j", Step: 2, Part: 2, N: 40, Trace: tid, Parent: p1},
+		{Kind: trace.KindDeliver, Job: "j", Step: 2, Part: 2, N: 70, Trace: tid, Parent: p0},
+		{Kind: trace.KindDeliver, Job: "j", Step: 1, Part: 2, N: 5, Trace: tid, Parent: load},
+		{Kind: trace.KindDeliver, Job: "j", Step: 2, Part: 0, N: 3, Trace: tid, Parent: p1},
+	}
+	AttachLineage(rep, spans)
+
+	top, _ = rep.TopStraggler()
+	if len(top.HotEdges) != 3 {
+		t.Fatalf("hot edges = %+v, want 3", top.HotEdges)
+	}
+	want := []HotEdge{
+		{FromStep: 1, FromPart: 0, Msgs: 70},
+		{FromStep: 1, FromPart: 1, Msgs: 40},
+		{FromStep: 0, FromPart: -1, Msgs: 5},
+	}
+	for i, w := range want {
+		if top.HotEdges[i] != w {
+			t.Errorf("edge[%d] = %+v, want %+v", i, top.HotEdges[i], w)
+		}
+	}
+
+	// Unresolved parents and foreign kinds must not create edges.
+	for _, r := range rep.Stragglers {
+		if r.Part == 2 {
+			continue
+		}
+		for _, e := range r.HotEdges {
+			if e.Msgs <= 0 {
+				t.Errorf("part %d has empty edge %+v", r.Part, e)
+			}
+		}
+	}
+}
+
+func TestAttachLineageNoSpansIsNoOp(t *testing.T) {
+	profs := []StepProfile{
+		{Job: "j", Step: 1, Part: 0, ComputeNS: 100},
+		{Job: "j", Step: 1, Part: 1, ComputeNS: 500},
+	}
+	rep := Analyze(profs, nil, 10)
+	AttachLineage(rep, nil)
+	for _, r := range rep.Stragglers {
+		if r.HotEdges != nil {
+			t.Errorf("edges attached from empty span dump: %+v", r)
+		}
+	}
+	AttachLineage(nil, nil) // must not panic
+}

@@ -1,0 +1,289 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindJSONRoundTrip(t *testing.T) {
+	for k := KindJobStart; k <= KindDeliver; k++ {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back Kind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Errorf("kind %d round-tripped to %d", k, back)
+		}
+	}
+	// The numeric fallback form and bare numbers both parse.
+	var k Kind
+	if err := json.Unmarshal([]byte(`"kind(77)"`), &k); err != nil || k != Kind(77) {
+		t.Errorf("kind(77) parsed to %d, err=%v", k, err)
+	}
+	if err := json.Unmarshal([]byte(`42`), &k); err != nil || k != Kind(42) {
+		t.Errorf("bare 42 parsed to %d, err=%v", k, err)
+	}
+	if err := json.Unmarshal([]byte(`"no_such_kind"`), &k); err == nil {
+		t.Error("unknown kind name did not error")
+	}
+}
+
+func TestSpanJSONLRoundTrip(t *testing.T) {
+	tr := New(8)
+	tr.RecordSpan(Span{
+		Kind: KindDeliver, Job: "j", Step: 2, Part: 1, N: 34,
+		Dur: time.Millisecond, Trace: 0xabc, Span: 0x123, Parent: 0x456,
+		Attrs: map[string]string{"path": "sync"},
+	})
+	tr.Record(KindBarrier, "j", 2, -1, 0, time.Microsecond)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Snapshot()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestOTLPRoundTrip(t *testing.T) {
+	tr := New(16)
+	trace := TraceID("j", 1, 42)
+	root := SpanID(trace, -1, -1)
+	load := SpanID(trace, 0, -1)
+	tr.RecordSpan(Span{Kind: KindJobStart, Job: "j", Part: -1, N: 4, Trace: trace, Span: root})
+	tr.RecordSpan(Span{Kind: KindLoad, Job: "j", Part: -1, N: 9, Dur: time.Millisecond, Trace: trace, Span: load, Parent: root})
+	comp := SpanID(trace, 1, 0)
+	tr.RecordSpan(Span{Kind: KindPartCompute, Job: "j", Step: 1, Part: 0, N: 3, Trace: trace, Span: comp, Parent: SpanID(trace, 1, -1)})
+	tr.RecordSpan(Span{Kind: KindDeliver, Job: "j", Step: 1, Part: 0, N: 9, Trace: trace, Span: EdgeID(load, comp), Parent: load})
+	// Same addressable ID twice (job_start/job_end share the root).
+	tr.RecordSpan(Span{Kind: KindJobEnd, Job: "j", Part: -1, N: 1, Trace: trace, Span: root,
+		Attrs: map[string]string{"sync": "true"}})
+
+	var buf bytes.Buffer
+	if err := tr.WriteOTLP(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, `"resourceSpans"`) || !strings.Contains(text, `"ripple/internal/trace"`) {
+		t.Fatalf("not an OTLP document: %s", text[:200])
+	}
+
+	got, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tr.Snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("got %d spans, want %d", len(got), len(want))
+	}
+	// Export uniquifies duplicate span IDs but preserves the engine ID via
+	// an attribute, so causal identity survives the round-trip.
+	for i := range want {
+		w, g := want[i], got[i]
+		if g.Kind != w.Kind || g.Job != w.Job || g.Step != w.Step || g.Part != w.Part ||
+			g.N != w.N || g.Trace != w.Trace || g.Span != w.Span || g.Parent != w.Parent ||
+			g.Seq != w.Seq {
+			t.Errorf("span %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	if got[4].Attrs["sync"] != "true" {
+		t.Errorf("string attr lost: %+v", got[4].Attrs)
+	}
+
+	// OTLP documents never declare the same spanId twice.
+	var doc otlpExport
+	if err := json.Unmarshal([]byte(text), &doc); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range doc.ResourceSpans[0].ScopeSpans[0].Spans {
+		if seen[s.SpanID] {
+			t.Errorf("duplicate spanId %s in export", s.SpanID)
+		}
+		seen[s.SpanID] = true
+	}
+}
+
+func TestIDDerivationDeterministic(t *testing.T) {
+	a := TraceID("pagerank", 3, 42)
+	if a != TraceID("pagerank", 3, 42) {
+		t.Error("TraceID not deterministic")
+	}
+	distinct := map[uint64]bool{a: true}
+	for _, id := range []uint64{
+		TraceID("pagerank", 4, 42), TraceID("pagerank", 3, 43), TraceID("wcc", 3, 42),
+	} {
+		if id == 0 || distinct[id] {
+			t.Errorf("TraceID collision or zero: %x", id)
+		}
+		distinct[id] = true
+	}
+	s1, s2 := SpanID(a, 1, 0), SpanID(a, 0, 1)
+	if s1 == s2 || s1 == 0 || s2 == 0 {
+		t.Errorf("SpanID degenerate: %x %x", s1, s2)
+	}
+	if SpanID(a, -1, -1) == SpanID(a, 0, -1) {
+		t.Error("root and load span IDs collided")
+	}
+	if EdgeID(s1, s2) == EdgeID(s2, s1) {
+		t.Error("EdgeID is symmetric; direction must matter")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	ids := make([]uint64, 500)
+	for i := range ids {
+		ids[i] = TraceID("job", int64(i), 7)
+	}
+	pick := func(s *Sampler) []uint64 {
+		var kept []uint64
+		for _, id := range ids {
+			if s.Sample(id) {
+				kept = append(kept, id)
+			}
+		}
+		return kept
+	}
+	a := pick(NewSampler(0.25, 99))
+	b := pick(NewSampler(0.25, 99))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different sampled sets")
+	}
+	if len(a) == 0 || len(a) == len(ids) {
+		t.Errorf("rate 0.25 kept %d/%d — not sampling", len(a), len(ids))
+	}
+	// Rough rate sanity: 25% ± 10 points over 500 trials.
+	if frac := float64(len(a)) / float64(len(ids)); frac < 0.15 || frac > 0.35 {
+		t.Errorf("keep fraction %.2f far from 0.25", frac)
+	}
+	c := pick(NewSampler(0.25, 100))
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical sampled sets")
+	}
+	if got := pick(NewSampler(0, 1)); len(got) != 0 {
+		t.Errorf("rate 0 kept %d", len(got))
+	}
+	if got := pick(NewSampler(1, 1)); len(got) != len(ids) {
+		t.Errorf("rate 1 kept %d/%d", len(got), len(ids))
+	}
+	var nilSampler *Sampler
+	if !nilSampler.Sample(ids[0]) || nilSampler.Rate() != 1 {
+		t.Error("nil sampler must keep everything")
+	}
+}
+
+func TestConcurrentRecordResetSnapshot(t *testing.T) {
+	tr := New(64)
+	const workers, each = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				switch {
+				case i%97 == 0 && w == 0:
+					tr.Reset()
+				case i%31 == 0:
+					spans := tr.Snapshot()
+					for j := 1; j < len(spans); j++ {
+						if spans[j].Seq <= spans[j-1].Seq {
+							t.Errorf("snapshot out of order at %d", j)
+							return
+						}
+					}
+				default:
+					tr.RecordSpan(Span{Kind: KindPartCompute, Job: "j", Step: i, Part: w,
+						Trace: uint64(w + 1), Span: uint64(i + 1)})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() > 64 {
+		t.Errorf("ring exceeded capacity: %d", tr.Len())
+	}
+}
+
+func buildTestChainSpans() []Span {
+	trace := TraceID("demo", 1, 0)
+	root := SpanID(trace, -1, -1)
+	load := SpanID(trace, 0, -1)
+	step1 := SpanID(trace, 1, -1)
+	c10 := SpanID(trace, 1, 0)
+	c21 := SpanID(trace, 2, 1)
+	return []Span{
+		{Seq: 1, Kind: KindJobStart, Job: "demo", Part: -1, N: 2, Trace: trace, Span: root},
+		{Seq: 2, Kind: KindLoad, Job: "demo", Part: -1, N: 5, Trace: trace, Span: load, Parent: root},
+		{Seq: 3, Kind: KindStepStart, Job: "demo", Step: 1, Part: -1, Trace: trace, Span: step1, Parent: root},
+		{Seq: 4, Kind: KindDeliver, Job: "demo", Step: 1, Part: 0, N: 5, Trace: trace,
+			Span: EdgeID(load, c10), Parent: load},
+		{Seq: 5, Kind: KindPartCompute, Job: "demo", Step: 1, Part: 0, N: 5, Trace: trace, Span: c10, Parent: step1},
+		{Seq: 6, Kind: KindDeliver, Job: "demo", Step: 2, Part: 1, N: 3, Trace: trace,
+			Span: EdgeID(c10, c21), Parent: c10},
+		{Seq: 7, Kind: KindPartCompute, Job: "demo", Step: 2, Part: 1, N: 3, Trace: trace, Span: c21},
+		{Seq: 8, Kind: KindJobEnd, Job: "demo", Part: -1, N: 2, Trace: trace, Span: root},
+	}
+}
+
+func TestBuildChainCompleteAndCrossPart(t *testing.T) {
+	spans := buildTestChainSpans()
+	ids := Traces(spans)
+	if len(ids) != 1 {
+		t.Fatalf("traces = %v", ids)
+	}
+	c := BuildChain(spans, ids[0])
+	if err := c.Complete(); err != nil {
+		t.Fatalf("complete chain reported: %v", err)
+	}
+	if !c.CrossPart() {
+		t.Error("chain crosses part 0 -> 1 but CrossPart is false")
+	}
+	if len(c.Edges) != 2 || c.Unresolved != 0 || c.MaxStep != 2 {
+		t.Errorf("chain shape: edges=%d unresolved=%d maxStep=%d", len(c.Edges), c.Unresolved, c.MaxStep)
+	}
+	var sb strings.Builder
+	if err := c.WriteLineage(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"from loader", "step 2 part 1", "chain: complete", "crosses partition boundary"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("lineage output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestBuildChainDetectsGaps(t *testing.T) {
+	spans := buildTestChainSpans()
+	// Drop the part-compute producer of the step-2 edge: the edge becomes
+	// unresolved and the chain incomplete.
+	broken := append([]Span(nil), spans[:4]...)
+	broken = append(broken, spans[5:]...)
+	c := BuildChain(broken, spans[0].Trace)
+	if c.Unresolved != 1 {
+		t.Errorf("unresolved = %d, want 1", c.Unresolved)
+	}
+	if err := c.Complete(); err == nil {
+		t.Error("broken chain reported complete")
+	}
+	// A same-part-only chain must not claim a partition crossing.
+	same := buildTestChainSpans()[:5]
+	if BuildChain(same, spans[0].Trace).CrossPart() {
+		t.Error("loader-only edges counted as a partition crossing")
+	}
+}

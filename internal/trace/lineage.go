@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Lineage reconstruction: rebuild the causal structure of a job run from
+// its span dump. The engine records addressable spans for the job root,
+// the load phase, and every (step, part) execution, and one deliver span
+// per distinct (sender span, receiver) pair whose Parent is the sender's
+// span ID. Joining deliver spans back to their producers therefore yields
+// the full loader -> steps -> output chain without re-deriving any hashes.
+
+// Edge is one resolved causal delivery edge: N envelopes produced by From
+// arrived at the (Step, Part) receiver described by the deliver span To.
+type Edge struct {
+	From *Span // producer: load span or part-compute span (nil if unresolved)
+	To   *Span // the deliver span; its Job/Step/Part name the receiver
+	N    int64 // envelopes carried over the edge
+}
+
+// Chain is the reconstructed causal structure of one trace (one job run).
+type Chain struct {
+	Trace uint64
+	Job   string
+	Root  *Span   // job_start span
+	End   *Span   // job_end span
+	Load  *Span   // load span
+	Steps []*Span // step spans (sync runs), step order
+	// Computes holds the addressable execution spans: sync part-computes
+	// (Step >= 1) and no-sync worker sessions (Step == 0), in record order.
+	Computes []*Span
+	// Edges holds every deliver edge, in record order. Unresolved counts
+	// edges whose producer span was not found in the dump (e.g. lost to
+	// ring wraparound) — nonzero Unresolved means the chain has gaps.
+	Edges      []Edge
+	Unresolved int
+	// MaxStep is the highest step seen on any span (0 for no-sync runs).
+	MaxStep int
+}
+
+// Traces lists the distinct trace IDs present in spans (zero excluded),
+// in first-seen order.
+func Traces(spans []Span) []uint64 {
+	var ids []uint64
+	seen := make(map[uint64]bool)
+	for i := range spans {
+		if id := spans[i].Trace; id != 0 && !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// BuildChain reconstructs the causal chain for one trace ID from a span
+// dump. Spans with other (or zero) trace IDs are ignored.
+func BuildChain(spans []Span, traceID uint64) *Chain {
+	c := &Chain{Trace: traceID}
+	producers := make(map[uint64]*Span)
+	var delivers []*Span
+	for i := range spans {
+		s := &spans[i]
+		if s.Trace != traceID {
+			continue
+		}
+		if s.Job != "" && c.Job == "" {
+			c.Job = s.Job
+		}
+		if s.Step > c.MaxStep {
+			c.MaxStep = s.Step
+		}
+		switch s.Kind {
+		case KindJobStart:
+			c.Root = s
+			producers[s.Span] = s
+		case KindJobEnd:
+			c.End = s
+		case KindLoad:
+			c.Load = s
+			producers[s.Span] = s
+		case KindStepStart:
+			c.Steps = append(c.Steps, s)
+		case KindPartCompute:
+			c.Computes = append(c.Computes, s)
+			if s.Span != 0 {
+				producers[s.Span] = s
+			}
+		case KindDeliver:
+			delivers = append(delivers, s)
+		}
+	}
+	for _, d := range delivers {
+		e := Edge{From: producers[d.Parent], To: d, N: d.N}
+		if e.From == nil {
+			c.Unresolved++
+		}
+		c.Edges = append(c.Edges, e)
+	}
+	return c
+}
+
+// CrossPart reports whether any resolved edge crosses a partition boundary
+// (producer part != receiver part; the load span's part is -1 and does not
+// count as a crossing by itself).
+func (c *Chain) CrossPart() bool {
+	for _, e := range c.Edges {
+		if e.From == nil || e.From.Kind == KindLoad {
+			continue
+		}
+		if e.From.Part != e.To.Part {
+			return true
+		}
+	}
+	return false
+}
+
+// Complete checks that the chain is causally unbroken from loader to job
+// output: root, load, and end spans are all present, every deliver edge
+// resolves to a recorded producer, at least one edge leaves the loader,
+// and — for sync runs — every executed step received at least one delivery
+// (steps only run when envelopes reach them, so a step with none recorded
+// is a gap in the dump, not in the dataflow). Returns nil when unbroken.
+func (c *Chain) Complete() error {
+	if c.Root == nil {
+		return fmt.Errorf("trace %016x: no job_start span", c.Trace)
+	}
+	if c.Load == nil {
+		return fmt.Errorf("trace %016x: no load span", c.Trace)
+	}
+	if c.End == nil {
+		return fmt.Errorf("trace %016x: no job_end span", c.Trace)
+	}
+	if c.Unresolved > 0 {
+		return fmt.Errorf("trace %016x: %d deliver edges have no recorded producer", c.Trace, c.Unresolved)
+	}
+	if len(c.Edges) == 0 {
+		return fmt.Errorf("trace %016x: no deliver edges recorded", c.Trace)
+	}
+	fromLoad := false
+	stepFed := make(map[int]bool)
+	for _, e := range c.Edges {
+		if e.From.Kind == KindLoad {
+			fromLoad = true
+		}
+		stepFed[e.To.Step] = true
+	}
+	if !fromLoad {
+		return fmt.Errorf("trace %016x: no edge from the loader", c.Trace)
+	}
+	for step := 1; step <= c.MaxStep; step++ {
+		if !stepFed[step] {
+			return fmt.Errorf("trace %016x: step %d received no recorded deliveries", c.Trace, step)
+		}
+	}
+	return nil
+}
+
+// WriteLineage prints a human-readable causal chain: the job frame, then
+// each receiver (step, part) with its incoming edges attributed to the
+// producing span.
+func (c *Chain) WriteLineage(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "trace %016x  job=%s\n", c.Trace, c.Job); err != nil {
+		return err
+	}
+	if c.Root != nil {
+		fmt.Fprintf(w, "  job_start  span=%016x  parts=%d  at=%v\n", c.Root.Span, c.Root.N, c.Root.At)
+	}
+	if c.Load != nil {
+		fmt.Fprintf(w, "  load       span=%016x  envelopes=%d  dur=%v\n", c.Load.Span, c.Load.N, c.Load.Dur)
+	}
+	type rcv struct {
+		step, part int
+	}
+	byRecv := make(map[rcv][]Edge)
+	for _, e := range c.Edges {
+		k := rcv{e.To.Step, e.To.Part}
+		byRecv[k] = append(byRecv[k], e)
+	}
+	recvs := make([]rcv, 0, len(byRecv))
+	for k := range byRecv {
+		recvs = append(recvs, k)
+	}
+	sort.Slice(recvs, func(i, j int) bool {
+		if recvs[i].step != recvs[j].step {
+			return recvs[i].step < recvs[j].step
+		}
+		return recvs[i].part < recvs[j].part
+	})
+	for _, k := range recvs {
+		fmt.Fprintf(w, "  step %d part %d <-\n", k.step, k.part)
+		for _, e := range byRecv[k] {
+			switch {
+			case e.From == nil:
+				fmt.Fprintf(w, "    %6d msgs from span %016x (unresolved)\n", e.N, e.To.Parent)
+			case e.From.Kind == KindLoad:
+				fmt.Fprintf(w, "    %6d msgs from loader\n", e.N)
+			default:
+				fmt.Fprintf(w, "    %6d msgs from step %d part %d (span %016x)\n",
+					e.N, e.From.Step, e.From.Part, e.From.Span)
+			}
+		}
+	}
+	if c.End != nil {
+		fmt.Fprintf(w, "  job_end    steps=%d  dur=%v\n", c.End.N, c.End.Dur)
+	}
+	status := "complete"
+	if err := c.Complete(); err != nil {
+		status = "INCOMPLETE: " + err.Error()
+	}
+	cross := ""
+	if c.CrossPart() {
+		cross = ", crosses partition boundary"
+	}
+	_, err := fmt.Fprintf(w, "  chain: %s (%d edges, %d unresolved%s)\n",
+		status, len(c.Edges), c.Unresolved, cross)
+	return err
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse reads a span dump in either of the tracer's JSON formats — JSONL
+// (one span object per line, the WriteJSONL shape) or an OTLP/JSON export
+// document (the WriteOTLP shape) — sniffing which one it was handed from
+// the first non-space byte. Spans come back in seq order when seq survives
+// the format, else in document order.
+func Parse(r io.Reader) ([]Span, error) {
+	br := bufio.NewReader(r)
+	for {
+		b, err := br.Peek(1)
+		if err != nil {
+			if err == io.EOF {
+				return nil, nil
+			}
+			return nil, err
+		}
+		switch b[0] {
+		case ' ', '\t', '\r', '\n':
+			_, _ = br.ReadByte()
+			continue
+		}
+		break
+	}
+	data, err := io.ReadAll(br)
+	if err != nil {
+		return nil, err
+	}
+	// An OTLP export is a single object whose body mentions resourceSpans;
+	// a JSONL line is a single span object. Sniff by key, not by shape —
+	// both start with '{'.
+	head := data
+	if len(head) > 4096 {
+		head = head[:4096]
+	}
+	if bytes.Contains(head, []byte(`"resourceSpans"`)) {
+		return parseOTLP(data)
+	}
+	return parseJSONL(data)
+}
+
+func parseJSONL(data []byte) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(text, &s); err != nil {
+			return nil, fmt.Errorf("trace: JSONL line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return spans, nil
+}
+
+func parseOTLP(data []byte) ([]Span, error) {
+	var doc otlpExport
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: OTLP document: %w", err)
+	}
+	var spans []Span
+	var minStart int64 = -1
+	for _, rs := range doc.ResourceSpans {
+		for _, ss := range rs.ScopeSpans {
+			for _, os := range ss.Spans {
+				s, start, err := spanFromOTLP(os)
+				if err != nil {
+					return nil, err
+				}
+				if minStart < 0 || start < minStart {
+					minStart = start
+				}
+				s.At = time.Duration(start)
+				spans = append(spans, s)
+			}
+		}
+	}
+	// OTLP carries wall-clock nanos; rebase At onto the earliest span so
+	// offsets look like the tracer's monotonic clock again.
+	if minStart > 0 {
+		for i := range spans {
+			spans[i].At -= time.Duration(minStart)
+		}
+	}
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Seq != spans[j].Seq {
+			return spans[i].Seq < spans[j].Seq
+		}
+		return spans[i].At < spans[j].At
+	})
+	return spans, nil
+}
+
+func spanFromOTLP(os otlpSpan) (Span, int64, error) {
+	var s Span
+	kind, ok := KindByName(os.Name)
+	if !ok {
+		return s, 0, fmt.Errorf("trace: OTLP span has unknown kind name %q", os.Name)
+	}
+	s.Kind = kind
+	var err error
+	if s.Trace, err = parseHexID(os.TraceID); err != nil {
+		return s, 0, fmt.Errorf("trace: OTLP traceId %q: %w", os.TraceID, err)
+	}
+	if s.Span, err = parseHexID(os.SpanID); err != nil {
+		return s, 0, fmt.Errorf("trace: OTLP spanId %q: %w", os.SpanID, err)
+	}
+	if os.ParentSpanID != "" {
+		if s.Parent, err = parseHexID(os.ParentSpanID); err != nil {
+			return s, 0, fmt.Errorf("trace: OTLP parentSpanId %q: %w", os.ParentSpanID, err)
+		}
+	}
+	start, err := strconv.ParseInt(os.StartNano, 10, 64)
+	if err != nil {
+		return s, 0, fmt.Errorf("trace: OTLP startTimeUnixNano %q: %w", os.StartNano, err)
+	}
+	end, err := strconv.ParseInt(os.EndNano, 10, 64)
+	if err != nil {
+		return s, 0, fmt.Errorf("trace: OTLP endTimeUnixNano %q: %w", os.EndNano, err)
+	}
+	if end > start {
+		s.Dur = time.Duration(end - start)
+	}
+	for _, a := range os.Attributes {
+		switch a.Key {
+		case "ripple.seq":
+			s.Seq = uint64(attrInt(a))
+		case "ripple.job":
+			if a.Value.Str != nil {
+				s.Job = *a.Value.Str
+			}
+		case "ripple.step":
+			s.Step = int(attrInt(a))
+		case "ripple.part":
+			s.Part = int(attrInt(a))
+		case "ripple.n":
+			s.N = attrInt(a)
+		case "ripple.span":
+			// Engine-assigned ID preserved across export-time uniquification.
+			s.Span = uint64(attrInt(a))
+		default:
+			if a.Value.Str != nil {
+				if s.Attrs == nil {
+					s.Attrs = make(map[string]string)
+				}
+				s.Attrs[a.Key] = *a.Value.Str
+			}
+		}
+	}
+	return s, start, nil
+}
+
+func attrInt(a otlpAttr) int64 {
+	if a.Value.Int == nil {
+		return 0
+	}
+	n, _ := strconv.ParseInt(*a.Value.Int, 10, 64)
+	return n
+}
+
+func parseHexID(s string) (uint64, error) {
+	s = strings.TrimLeft(s, "0")
+	if s == "" {
+		return 0, nil
+	}
+	if len(s) > 16 {
+		return 0, fmt.Errorf("id wider than 64 bits")
+	}
+	return strconv.ParseUint(s, 16, 64)
+}

@@ -38,6 +38,9 @@ const (
 	KindFault                            // chaos layer injected a fault (N = per-cell op index)
 	KindRetry                            // engine retried a transient failure (N = attempt)
 	KindFailoverRecovery                 // engine healed + re-ran from a checkpoint (N = steps re-run)
+	KindLoad                             // loaders materialized initial state + messages (N = envelopes)
+	KindDeliver                          // a causal delivery edge: messages from one sender span
+	// arrived at one (step, part) receiver (N = envelopes on the edge).
 )
 
 var kindNames = map[Kind]string{
@@ -56,6 +59,30 @@ var kindNames = map[Kind]string{
 	KindFault:            "fault",
 	KindRetry:            "retry",
 	KindFailoverRecovery: "failover_recovery",
+	KindLoad:             "load",
+	KindDeliver:          "deliver",
+}
+
+// kindByName is the reverse of kindNames, built once at init.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// KindByName resolves a snake_case kind name ("part_compute") or the
+// numeric fallback form ("kind(42)") back to its Kind value.
+func KindByName(name string) (Kind, bool) {
+	if k, ok := kindByName[name]; ok {
+		return k, true
+	}
+	var n uint8
+	if _, err := fmt.Sscanf(name, "kind(%d)", &n); err == nil {
+		return Kind(n), true
+	}
+	return 0, false
 }
 
 // String returns the kind's snake_case name.
@@ -69,18 +96,49 @@ func (k Kind) String() string {
 // MarshalJSON renders the kind as its name.
 func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
 
+// UnmarshalJSON parses a kind from either its name ("part_compute",
+// including the "kind(N)" fallback form) or a bare number, so JSONL dumps
+// round-trip through offline tooling.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err == nil {
+		got, ok := KindByName(name)
+		if !ok {
+			return fmt.Errorf("trace: unknown span kind %q", name)
+		}
+		*k = got
+		return nil
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("trace: span kind must be a name or number, got %s", b)
+	}
+	*k = Kind(n)
+	return nil
+}
+
 // Span is one recorded event. At is the span's start, monotonic nanoseconds
 // since the tracer was created; Dur is zero for instantaneous events. Part
 // is -1 for events not tied to one part.
+//
+// Trace, Span, and Parent causally link events: all spans of one job run
+// share a Trace ID, a span with a nonzero Span ID is addressable as a
+// parent, and Parent points at the span that caused this one. All three are
+// zero for unsampled runs and for legacy flat records, which keeps the flat
+// ring behavior (and its JSONL shape) unchanged.
 type Span struct {
-	Seq  uint64        `json:"seq"`
-	Kind Kind          `json:"kind"`
-	Job  string        `json:"job,omitempty"`
-	Step int           `json:"step,omitempty"`
-	Part int           `json:"part"`
-	N    int64         `json:"n,omitempty"`
-	At   time.Duration `json:"at_ns"`
-	Dur  time.Duration `json:"dur_ns,omitempty"`
+	Seq    uint64            `json:"seq"`
+	Kind   Kind              `json:"kind"`
+	Job    string            `json:"job,omitempty"`
+	Step   int               `json:"step,omitempty"`
+	Part   int               `json:"part"`
+	N      int64             `json:"n,omitempty"`
+	At     time.Duration     `json:"at_ns"`
+	Dur    time.Duration     `json:"dur_ns,omitempty"`
+	Trace  uint64            `json:"trace,omitempty"`
+	Span   uint64            `json:"span,omitempty"`
+	Parent uint64            `json:"parent,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // Tracer records spans into a bounded ring buffer.
@@ -114,13 +172,26 @@ func (t *Tracer) Record(kind Kind, job string, step, part int, n int64, dur time
 	if t == nil {
 		return
 	}
-	at := time.Since(t.start) - dur
-	if at < 0 {
-		at = 0
+	t.RecordSpan(Span{Kind: kind, Job: job, Step: step, Part: part, N: n, Dur: dur})
+}
+
+// RecordSpan appends one span with explicit causal linkage (Trace, Span,
+// Parent, Attrs). Seq is assigned by the tracer; a zero At is stamped as
+// now minus Dur, so it marks the span's start. Safe for concurrent use; a
+// nil tracer no-ops.
+func (t *Tracer) RecordSpan(s Span) {
+	if t == nil {
+		return
+	}
+	if s.At == 0 {
+		s.At = time.Since(t.start) - s.Dur
+		if s.At < 0 {
+			s.At = 0
+		}
 	}
 	t.mu.Lock()
 	t.seq++
-	s := Span{Seq: t.seq, Kind: kind, Job: job, Step: step, Part: part, N: n, At: at, Dur: dur}
+	s.Seq = t.seq
 	if len(t.buf) < cap(t.buf) {
 		t.buf = append(t.buf, s)
 	} else {
@@ -130,6 +201,15 @@ func (t *Tracer) Record(kind Kind, job string, step, part int, n int64, dur time
 		t.wrapped = true
 	}
 	t.mu.Unlock()
+}
+
+// WallStart is the wall-clock instant the tracer's monotonic clock started;
+// span At offsets are relative to it. A nil tracer reports the zero time.
+func (t *Tracer) WallStart() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
 }
 
 // Len reports the number of retained spans.

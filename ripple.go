@@ -58,6 +58,7 @@ import (
 	"ripple/internal/graph"
 	"ripple/internal/gridstore"
 	"ripple/internal/kvstore"
+	"ripple/internal/logring"
 	"ripple/internal/mapreduce"
 	"ripple/internal/memstore"
 	"ripple/internal/metrics"
@@ -173,6 +174,16 @@ type (
 	TraceSpan = trace.Span
 	// TraceKind identifies a span event's type.
 	TraceKind = trace.Kind
+	// TraceSampler makes the deterministic head-sampling decision per job run.
+	TraceSampler = trace.Sampler
+	// TraceChain is one trace's reconstructed causal chain.
+	TraceChain = trace.Chain
+	// TraceEdge is one resolved delivery edge inside a TraceChain.
+	TraceEdge = trace.Edge
+	// LogRing is a bounded in-memory ring of structured log records.
+	LogRing = logring.Ring
+	// LogRecord is one captured structured log record.
+	LogRecord = logring.Record
 	// Profiler is a bounded ring buffer of per-(job, step, part) profiles.
 	Profiler = profile.Recorder
 	// StepProfile is one part's record of one step.
@@ -275,6 +286,11 @@ var (
 	WithProgressObserver = ebsp.WithProgressObserver
 	// WithTracer attaches a span tracer to the engine.
 	WithTracer = ebsp.WithTracer
+	// WithTraceSampler attaches a head sampler: sampled runs get trace/span
+	// IDs on every span and data envelope, for causal lineage reconstruction.
+	WithTraceSampler = ebsp.WithTraceSampler
+	// WithLogger attaches a structured (slog) logger to the engine.
+	WithLogger = ebsp.WithLogger
 	// WithProfiler attaches a step profiler to the engine.
 	WithProfiler = ebsp.WithProfiler
 	// ErrNoCheckpoint is returned by Engine.Resume without a snapshot.
@@ -317,6 +333,44 @@ var (
 // NewTracer creates a bounded span tracer; capacity <= 0 uses
 // trace.DefaultCapacity.
 func NewTracer(capacity int) *Tracer { return trace.New(capacity) }
+
+// NewTraceSampler creates a deterministic head sampler: rate is the fraction
+// of job runs to trace (clamped to [0, 1]); the same (rate, seed) always
+// samples the same runs. Attach it with WithTraceSampler.
+func NewTraceSampler(rate float64, seed int64) *TraceSampler { return trace.NewSampler(rate, seed) }
+
+// Causal tracing: lineage reconstruction and span-dump interchange.
+var (
+	// TraceIDs lists the distinct sampled trace IDs in a span dump.
+	TraceIDs = trace.Traces
+	// BuildTraceChain reconstructs one trace's causal chain from a span dump.
+	BuildTraceChain = trace.BuildChain
+	// ParseTraceSpans reads a span dump back (JSONL or OTLP JSON, sniffed).
+	ParseTraceSpans = trace.Parse
+	// WriteTraceOTLP writes spans as OTLP/JSON (importable by OpenTelemetry
+	// tooling); base is the run's wall-clock start (Tracer.WallStart).
+	WriteTraceOTLP = trace.WriteOTLP
+	// TraceKindByName resolves a span-kind name (e.g. "deliver").
+	TraceKindByName = trace.KindByName
+	// AttachProfileLineage joins a span dump against a profile report's
+	// straggler ranking, attributing stragglers to hot incoming edges.
+	AttachProfileLineage = profile.AttachLineage
+)
+
+// NewLogRing creates a bounded structured-log ring; capacity <= 0 uses
+// logring.DefaultCapacity. Build a logger over it with LogRing.Handler (or
+// fan out to several handlers with LogFanout) and attach it with WithLogger;
+// serve the captured records with AttachLogz.
+func NewLogRing(capacity int) *LogRing { return logring.New(capacity) }
+
+// Structured logging.
+var (
+	// LogFanout combines several slog handlers into one.
+	LogFanout = logring.Fanout
+	// AttachLogz registers /debug/logz (recent structured log records,
+	// filterable by ?level=, ?q=, ?n=) on a mux.
+	AttachLogz = logring.Attach
+)
 
 // NewProfiler creates a bounded step profiler; capacity <= 0 uses
 // profile.DefaultCapacity. Attach it with WithProfiler, then analyze with
