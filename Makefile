@@ -8,9 +8,9 @@ GO ?= go
 # Widen it for longer campaigns, e.g. `make soak SOAK_SEEDS=1,2,3,4,5,6,7,8`.
 SOAK_SEEDS ?= 1,2,3
 
-.PHONY: ci vet lint build test race bench codec-bench soak profile-smoke trace-validate
+.PHONY: ci vet lint build test race bench codec-bench soak soak-net profile-smoke trace-validate
 
-ci: lint build race soak profile-smoke trace-validate codec-bench
+ci: lint build race soak soak-net profile-smoke trace-validate codec-bench
 
 vet:
 	$(GO) vet ./...
@@ -73,3 +73,13 @@ soak:
 	RIPPLE_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 \
 		-run 'TestSoakUnderChaos|TestEngineAutoRecoversFromPrimaryKill|TestNoSyncSurvivesDuplicationAndJitter' \
 		./internal/chaos/ ./internal/ebsp/
+
+# Process-kill network soak: the SSSP full-scan workload against real
+# ripple-part-server child processes over loopback while the chaos schedule
+# SIGKILLs one mid-step and opens a one-way partition against another; the
+# final table must be byte-identical to the same workload on an in-process
+# store. Also exercises the wire-fault injector against an in-process fleet.
+soak-net:
+	$(GO) test -race -count=1 \
+		-run 'TestProcessKillSoak|TestWireChaosAgainstFleet' \
+		./internal/netstore/ ./internal/chaos/

@@ -57,8 +57,11 @@ import (
 	"log/slog"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"strings"
+	"sync"
 	"time"
 
 	"ripple"
@@ -70,6 +73,7 @@ import (
 	"ripple/internal/memstore"
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
+	"ripple/internal/netstore"
 	"ripple/internal/pagerank"
 	"ripple/internal/profile"
 	"ripple/internal/sssp"
@@ -106,7 +110,9 @@ func main() {
 		trials      = flag.Int("trials", 3, "trials per configuration (paper: 11/8/12)")
 		seed        = flag.Int64("seed", 42, "workload seed")
 		iters       = flag.Int("pagerank-iterations", 5, "PageRank iterations per trial")
-		chaosSpec   = flag.String("chaos", "", "fault-injection schedule for -exp soak, e.g. seed=7,store.err=0.01,mq.dup=0.05,kill=soak_graph:1@20 (empty: a default schedule)")
+		chaosSpec   = flag.String("chaos", "", "fault-injection schedule for -exp soak, e.g. seed=7,store.err=0.01,mq.dup=0.05,kill=soak_graph:1@20 or, with -net, wire classes like net.drop=0.01,partition=c2s:2@1500+200,netkill=1@500 (empty: a default schedule)")
+		netServers  = flag.Int("net", 0, "run the soak's PageRank leg against this many loopback part-servers (0: in-process store; needs >= 3)")
+		netAddrs    = flag.String("net-addrs", "", "comma-separated addresses of externally started ripple-part-server processes to use instead of -net loopback servers")
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-format metrics on this address (e.g. :9090) during the run")
 		traceFile   = flag.String("trace", "", "write the span log to this file after the run ('-' for stdout)")
 		traceCap    = flag.Int("trace-cap", trace.DefaultCapacity, "span ring-buffer capacity")
@@ -160,7 +166,7 @@ func main() {
 		"summa":     func() { runSumma(*scale, *trials, *seed) },
 		"sssp":      func() { runSSSP(*scale, *trials, *seed) },
 		"ablations": func() { runAblations(*scale, *trials, *seed) },
-		"soak":      func() { runSoak(*scale, *seed, *iters, *chaosSpec) },
+		"soak":      func() { runSoak(*scale, *seed, *iters, *chaosSpec, *netServers, *netAddrs) },
 	}
 	switch *exp {
 	case "all":
@@ -494,16 +500,88 @@ func runAblations(scale float64, trials int, seed int64) {
 	fmt.Println("   (strategy-level ablations — sort/collect/steal/recovery — are in bench_test.go)")
 }
 
+// soakFleet serves loopback part-servers inside the bench process: the real
+// wire protocol over real TCP sockets, without needing separate processes.
+type soakFleet struct {
+	mu      sync.Mutex
+	addrs   []string
+	servers []*netstore.Server
+}
+
+func startSoakFleet(n int) *soakFleet {
+	f := &soakFleet{addrs: make([]string, n), servers: make([]*netstore.Server, n)}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("soak fleet: %v", err)
+		}
+		f.addrs[i] = ln.Addr().String()
+		srv := netstore.NewServer(netstore.WithServerMetrics(obsMetrics), netstore.WithServerTracer(obsTracer))
+		f.servers[i] = srv
+		go func() { _ = srv.Serve(ln) }()
+	}
+	return f
+}
+
+// kill closes one server and respawns a fresh, empty one on the same address
+// ~200ms later — an in-process stand-in for SIGKILLing a part-server child.
+func (f *soakFleet) kill(server int) {
+	f.mu.Lock()
+	victim := f.servers[server]
+	addr := f.addrs[server]
+	f.mu.Unlock()
+	_ = victim.Close()
+	time.Sleep(200 * time.Millisecond)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("soak fleet: respawn %s: %v", addr, err)
+		return
+	}
+	srv := netstore.NewServer(netstore.WithServerMetrics(obsMetrics), netstore.WithServerTracer(obsTracer))
+	f.mu.Lock()
+	f.servers[server] = srv
+	f.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+}
+
+func (f *soakFleet) stop() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, srv := range f.servers {
+		_ = srv.Close()
+	}
+}
+
 // runSoak drives the robustness demonstration: the Table I PageRank
 // configuration and the Exp V-B SUMMA configuration run to their exact
 // fault-free answers while a chaos schedule injects transient store/mq
 // errors, latency jitter, message duplication, and primary kills — with the
 // engine recovering on its own (no manual Resume). The injected-fault trace
 // is printed; the same seed over the same workload reproduces it.
-func runSoak(scale float64, seed int64, iterations int, spec string) {
+//
+// With -net N (or -net-addrs), the PageRank leg instead runs against a fleet
+// of part-servers over TCP, and the schedule's wire fault classes apply:
+// frame drops/loss/duplication/delay, one-way partition windows, and
+// scheduled server kills (loopback servers are killed and respawned empty;
+// external servers just see the client-side faults).
+func runSoak(scale float64, seed int64, iterations int, spec string, netN int, netAddrList string) {
+	var extAddrs []string
+	if netAddrList != "" {
+		extAddrs = strings.Split(netAddrList, ",")
+		netN = len(extAddrs)
+	}
+	networked := netN > 0
+	if networked && netN < 3 {
+		log.Fatalf("-net/-net-addrs needs at least 3 part-servers, got %d", netN)
+	}
 	if spec == "" {
-		spec = fmt.Sprintf("seed=%d,store.err=0.01,agent.err=0.01,mq.err=0.02,mq.dup=0.1,"+
-			"mq.delay=200us@0.2,kill=soak_graph:1@12,kill=soak_graph:4@30", seed)
+		if networked {
+			spec = fmt.Sprintf("seed=%d,store.err=0.005,net.drop=0.005,net.dup=0.02,"+
+				"net.delay=300us@0.05,netkill=1@500,partition=c2s:2@1500+200", seed)
+		} else {
+			spec = fmt.Sprintf("seed=%d,store.err=0.01,agent.err=0.01,mq.err=0.02,mq.dup=0.1,"+
+				"mq.delay=200us@0.2,kill=soak_graph:1@12,kill=soak_graph:4@30", seed)
+		}
 	}
 	sched, err := chaos.Parse(spec)
 	if err != nil {
@@ -511,9 +589,13 @@ func runSoak(scale float64, seed int64, iterations int, spec string) {
 	}
 	fmt.Printf("== Soak: PageRank (Table I config) + SUMMA (Exp V-B config) under chaos ==\n")
 	fmt.Printf("   schedule: %s\n", sched)
+	if networked {
+		fmt.Printf("   pagerank leg served by %d part-servers over TCP (wire fault classes active)\n", netN)
+	}
 
-	// --- PageRank leg: Table I's first shape on a replicated gridstore with
-	// periodic checkpoints, so scheduled kills exercise heal-and-rerun.
+	// --- PageRank leg: Table I's first shape with periodic checkpoints, so
+	// scheduled kills exercise heal-and-rerun. In-process it runs on a
+	// replicated gridstore; networked, on a part-server fleet.
 	v, e := int(132000*scale), int(4341659*scale)
 	g, err := workload.PowerLawDirected(rand.New(rand.NewSource(seed)), v, e, 1.5)
 	if err != nil {
@@ -524,13 +606,42 @@ func runSoak(scale float64, seed int64, iterations int, spec string) {
 	pagerankLeg := func() ([]chaos.Record, metrics.Snapshot, float64) {
 		m := &metrics.Collector{}
 		inj := chaos.NewInjector(sched, chaos.WithMetrics(m), chaos.WithTracer(obsTracer))
-		gs := gridstore.New(gridstore.WithParts(6), gridstore.WithReplicas(2), gridstore.WithMetrics(m))
-		defer func() { _ = gs.Close() }()
-		tab, err := pagerank.LoadGraph(gs, "soak_graph", g, 6)
+		var base ripple.Store
+		if networked {
+			addrs := extAddrs
+			if addrs == nil {
+				fleet := startSoakFleet(netN)
+				defer fleet.stop()
+				inj.OnNetKill(fleet.kill)
+				addrs = fleet.addrs
+			}
+			// Three-way replication so a simultaneous kill + partition (two
+			// impaired servers) still leaves every part a warm member.
+			c, err := netstore.Dial(addrs,
+				netstore.WithReplicas(3),
+				netstore.WithHeartbeat(25*time.Millisecond, 2),
+				netstore.WithRequestTimeout(250*time.Millisecond),
+				netstore.WithRetries(10),
+				netstore.WithBackoffSeed(seed),
+				netstore.WithWireInjector(inj),
+				netstore.WithMetrics(m),
+				netstore.WithTracer(obsTracer),
+			)
+			if err != nil {
+				log.Fatalf("dial part-servers: %v", err)
+			}
+			defer func() { _ = c.DropTable("soak_graph"); _ = c.Close() }()
+			base = c
+		} else {
+			gs := gridstore.New(gridstore.WithParts(6), gridstore.WithReplicas(2), gridstore.WithMetrics(m))
+			defer func() { _ = gs.Close() }()
+			base = gs
+		}
+		tab, err := pagerank.LoadGraph(base, "soak_graph", g, 6)
 		if err != nil {
 			log.Fatal(err)
 		}
-		store := chaos.Wrap(gs, inj)
+		store := chaos.Wrap(base, inj)
 		engine := ripple.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithTracer(obsTracer),
 			ebsp.WithTraceSampler(obsSampler), ebsp.WithLogger(obsLogger),
 			ebsp.WithProfiler(obsProfiler), ebsp.WithCheckpoints(3))

@@ -1,0 +1,127 @@
+// Command ripple-part-server is one standalone part-server process: it
+// serves Ripple's store and mq SPIs over the framed-TCP transport in
+// internal/netstore, so an analytics process (the engine plus a netstore
+// client) can run against a fleet of these across a real network boundary.
+//
+// Usage:
+//
+//	ripple-part-server -addr 127.0.0.1:7070
+//
+// The bound address is printed on stdout as "listening <addr>" once the
+// listener is up — harnesses that pass -addr 127.0.0.1:0 parse it to learn
+// the kernel-assigned port. SIGINT/SIGTERM shut down gracefully: in-flight
+// requests finish, the span log (if -trace is set) is dumped, and the
+// process exits 0.
+//
+// Observability flags mirror ripple-bench:
+//
+//	-metrics-addr :9091   serve this server's collector (per-endpoint RPC
+//	                      service-time histograms, call counters) in
+//	                      Prometheus text format at /metrics
+//	-trace spans.jsonl    dump server-side RPC spans on shutdown ('-' for
+//	                      stdout); spans carry the trace IDs clients stamp
+//	                      on frames, so they join the engine's causal chains
+//	-trace-cap 16384      span ring-buffer capacity
+//	-log-level info       structured logs (slog) to stderr: off, error,
+//	                      warn, info, or debug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ripple/internal/metrics"
+	"ripple/internal/netstore"
+	"ripple/internal/trace"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:0", "TCP address to serve the part-server protocol on")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus-format metrics on this address (e.g. :9091)")
+		traceFile   = flag.String("trace", "", "write the server span log to this file on shutdown ('-' for stdout)")
+		traceCap    = flag.Int("trace-cap", trace.DefaultCapacity, "span ring-buffer capacity")
+		logLevel    = flag.String("log-level", "off", "structured log level: off, error, warn, info, debug")
+	)
+	flag.Parse()
+
+	var logger *slog.Logger
+	if *logLevel != "off" {
+		var lvl slog.Level
+		if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+			log.Fatalf("unknown -log-level %q (want off, error, warn, info, debug)", *logLevel)
+		}
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	} else {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelError}))
+	}
+
+	collector := &metrics.Collector{}
+	var tracer *trace.Tracer
+	if *traceFile != "" {
+		tracer = trace.New(*traceCap)
+	}
+
+	srv := netstore.NewServer(
+		netstore.WithServerMetrics(collector),
+		netstore.WithServerTracer(tracer),
+	)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	// The harness contract: one parseable line with the bound address.
+	fmt.Printf("listening %s\n", ln.Addr().String())
+	logger.Info("part-server up", "addr", ln.Addr().String(), "boot_id", srv.BootID())
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metrics.HandlerTracer(collector, tracer))
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				logger.Error("metrics endpoint", "err", err)
+			}
+		}()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigs:
+		logger.Info("shutting down", "signal", sig.String())
+		if err := srv.Close(); err != nil {
+			logger.Error("close", "err", err)
+		}
+		<-done
+	case err := <-done:
+		if err != nil {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+
+	if *traceFile != "" {
+		out := os.Stdout
+		if *traceFile != "-" {
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				log.Fatalf("trace dump: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := tracer.WriteJSONL(out); err != nil {
+			log.Fatalf("trace dump: %v", err)
+		}
+	}
+}

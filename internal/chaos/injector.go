@@ -36,6 +36,7 @@ type Injector struct {
 	records    []Record
 	dispatches int64
 	killFired  []bool
+	wireSt     *wireState // lazy wire-fault bookkeeping (wire.go)
 }
 
 // cell identifies one decision stream.

@@ -1,0 +1,146 @@
+package chaos_test
+
+import (
+	"errors"
+	"testing"
+
+	"ripple/internal/chaos"
+	"ripple/internal/ebsp"
+	"ripple/internal/gridstore"
+	"ripple/internal/kvstore"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/mq"
+)
+
+// fanoutJob splits a budget across a binary tree of keys, no-sync eligible
+// (incremental, no aggregators); the summed state is independent of delivery
+// order and of how many duplicate deliveries were shed.
+func fanoutJob(name string) *ebsp.Job {
+	return &ebsp.Job{
+		Name:        name,
+		StateTables: []string{name + "_state"},
+		Properties:  ebsp.Properties{Incremental: true},
+		Compute: ebsp.ComputeFunc(func(ctx *ebsp.Context) bool {
+			for _, m := range ctx.InputMessages() {
+				n := m.(int)
+				cur := 0
+				if v, ok := ctx.ReadState(0); ok {
+					cur = v.(int)
+				}
+				ctx.WriteState(0, cur+n)
+				if n > 1 {
+					k := ctx.Key().(int)
+					ctx.Send(2*k+1, n/2)
+					ctx.Send(2*k+2, n-n/2)
+				}
+			}
+			return false
+		}),
+		Loaders: []ebsp.Loader{&ebsp.MessageLoader{Messages: []ebsp.InitialMessage{{Key: 0, Message: 256}}}},
+	}
+}
+
+// TestFailoverResumeAndDupSheddingAcrossRestart is the operator-restart
+// counterpart of the engine's in-run auto-recovery: a scheduled primary kill
+// fails a run whose engine has no rerun budget, a *fresh* engine on the same
+// store heals and Resumes from the surviving checkpoint, and the restarted
+// engine's no-sync path still sheds replayed (sender, sequence) duplicates.
+func TestFailoverResumeAndDupSheddingAcrossRestart(t *testing.T) {
+	m := &metrics.Collector{}
+	gs := gridstore.New(gridstore.WithParts(4), gridstore.WithReplicas(2), gridstore.WithMetrics(m))
+	inj := chaos.NewInjector(chaos.Schedule{
+		Seed:  9,
+		Kills: []chaos.Kill{{Table: "restart_state", Part: 1, AfterDispatches: 20}},
+	}, chaos.WithMetrics(m))
+	store := chaos.Wrap(gs, inj)
+	t.Cleanup(func() { _ = store.Close() })
+
+	// Engine 1: checkpoints on, zero rerun budget — the kill mid-run must
+	// surface as a shard failure instead of being healed in-run.
+	e1 := ebsp.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithCheckpoints(3), ebsp.WithRecoveryRetries(0))
+	_, err := e1.Run(chainJob("restart", 25))
+	if err == nil {
+		t.Fatal("run survived a primary kill with zero rerun budget")
+	}
+	if !errors.Is(err, kvstore.ErrShardFailed) {
+		t.Fatalf("run failed with %v, want ErrShardFailed", err)
+	}
+
+	// Operator restart: heal replication, then a brand-new engine resumes
+	// from the checkpoint the failed run left in the store.
+	h, ok := store.(kvstore.Healer)
+	if !ok {
+		t.Fatal("chaos-wrapped gridstore lost the Healer capability")
+	}
+	if err := h.Heal("restart_state"); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+	e2 := ebsp.NewEngine(store, ebsp.WithMetrics(m), ebsp.WithCheckpoints(3),
+		ebsp.WithMQ(mq.NewSystem(mq.WithFaults(inj), mq.WithMetrics(m))))
+	res, err := e2.Resume(chainJob("restart", 25))
+	if err != nil {
+		t.Fatalf("resume after restart: %v", err)
+	}
+	if res.Steps != 26 {
+		t.Errorf("resumed run finished at step %d, want 26", res.Steps)
+	}
+	tab, _ := store.LookupTable("restart_state")
+	for i := 0; i <= 25; i++ {
+		if v, ok, _ := tab.Get(i); !ok || v != i {
+			t.Errorf("state[%d] = %v, %v after resume", i, v, ok)
+		}
+	}
+
+	// The restarted engine's no-sync path: under 25% message duplication the
+	// run must still compute the exact fault-free answer, because replayed
+	// (sender, sequence) pairs are shed by the per-sender dedup.
+	ref := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = ref.Close() })
+	if _, err := ebsp.NewEngine(ref).Run(fanoutJob("dupref")); err != nil {
+		t.Fatal(err)
+	}
+	refTab, _ := ref.LookupTable("dupref_state")
+	want, err := kvstore.Dump(refTab)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj2 := chaos.NewInjector(chaos.Schedule{Seed: 10, MQDupRate: 0.25}, chaos.WithMetrics(m))
+	e3 := ebsp.NewEngine(store, ebsp.WithMetrics(m),
+		ebsp.WithMQ(mq.NewSystem(mq.WithFaults(inj2), mq.WithMetrics(m))))
+	res2, err := e3.Run(fanoutJob("dupref"))
+	if err != nil {
+		t.Fatalf("no-sync under duplication after restart: %v", err)
+	}
+	if res2.Strategy.Sync {
+		t.Fatal("expected no-sync execution")
+	}
+	got, _ := kvstore.Dump(mustTable(t, store, "dupref_state"))
+	if len(got) != len(want) {
+		t.Fatalf("state size %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("state[%v] = %v, want %v", k, got[k], v)
+		}
+	}
+	dups := 0
+	for _, r := range inj2.Records() {
+		if r.Kind == "mq.dup" {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("no duplicates injected — shedding not exercised")
+	}
+}
+
+func mustTable(t *testing.T, s kvstore.Store, name string) kvstore.Table {
+	t.Helper()
+	tab, ok := s.LookupTable(name)
+	if !ok {
+		t.Fatalf("table %q missing", name)
+	}
+	return tab
+}

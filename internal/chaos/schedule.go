@@ -26,6 +26,32 @@ type Kill struct {
 	AfterDispatches int64
 }
 
+// Partition is one scheduled one-way partition window on the wire between
+// the client and one part-server, measured on that direction's frame clock:
+// frames (and heartbeats) crossing in the partitioned direction are lost
+// while the window is open, frames the other way flow normally — the
+// classic asymmetric network split.
+type Partition struct {
+	// C2S partitions client→server traffic (requests lost); otherwise
+	// server→client (responses lost).
+	C2S bool
+	// Server is the part-server index the window applies to.
+	Server int
+	// FromFrame opens the window when the direction's frame clock reaches
+	// this count.
+	FromFrame int64
+	// Frames is the window's width in frames.
+	Frames int64
+}
+
+// NetKill schedules one part-server process kill: when the client has sent
+// AfterFrames data frames to Server, the injector's OnNetKill callback
+// fires (asynchronously) so a harness can kill the child process mid-step.
+type NetKill struct {
+	Server      int
+	AfterFrames int64
+}
+
 // Schedule declares a reproducible fault-injection plan. The zero value
 // injects nothing. Rates are probabilities in [0, 1] evaluated per
 // operation by the seeded decision hash.
@@ -57,6 +83,26 @@ type Schedule struct {
 
 	// Kills are scheduled primary kills, fired at agent-dispatch boundaries.
 	Kills []Kill
+
+	// NetConnDropRate tears down the client↔server connection before a
+	// frame is sent (the transport re-dials on the next call).
+	NetConnDropRate float64
+	// NetDropRate silently loses request frames (the client times out and
+	// retries).
+	NetDropRate float64
+	// NetLossRate silently loses response frames (the request executed;
+	// the client times out — an at-least-once retry).
+	NetLossRate float64
+	// NetDupRate delivers response frames twice (the duplicate is shed by
+	// frame-ID correlation).
+	NetDupRate float64
+	// NetDelay/NetDelayRate postpone request frames.
+	NetDelay     time.Duration
+	NetDelayRate float64
+	// Partitions are scheduled one-way partition windows.
+	Partitions []Partition
+	// NetKills are scheduled part-server process kills (see NetKill).
+	NetKills []NetKill
 }
 
 // Parse decodes the textual schedule form used by `ripple-bench -chaos`:
@@ -64,8 +110,15 @@ type Schedule struct {
 //	seed=7,store.err=0.01,store.delay=1ms@0.05,agent.err=0.02,
 //	mq.err=0.01,mq.dup=0.05,mq.delay=2ms@0.1,kill=pages:3@40
 //
-// Fields are comma-separated `key=value` pairs; `kill` may repeat. Rate
-// fields take a probability; delay fields take `duration@probability`.
+// plus the wire-level fault classes for networked part-server runs:
+//
+//	net.conn=0.005,net.drop=0.01,net.loss=0.01,net.dup=0.05,
+//	net.delay=2ms@0.05,partition=c2s:1@50+200,netkill=1@120
+//
+// Fields are comma-separated `key=value` pairs; `kill`, `partition`, and
+// `netkill` may repeat. Rate fields take a probability; delay fields take
+// `duration@probability`; `partition` takes `direction:server@from+frames`
+// (direction c2s or s2c); `netkill` takes `server@afterFrames`.
 func Parse(s string) (Schedule, error) {
 	var sched Schedule
 	for _, field := range strings.Split(s, ",") {
@@ -97,6 +150,24 @@ func Parse(s string) (Schedule, error) {
 			var k Kill
 			k, err = parseKill(val)
 			sched.Kills = append(sched.Kills, k)
+		case "net.conn":
+			sched.NetConnDropRate, err = parseRate(val)
+		case "net.drop":
+			sched.NetDropRate, err = parseRate(val)
+		case "net.loss":
+			sched.NetLossRate, err = parseRate(val)
+		case "net.dup":
+			sched.NetDupRate, err = parseRate(val)
+		case "net.delay":
+			sched.NetDelay, sched.NetDelayRate, err = parseDelay(val)
+		case "partition":
+			var p Partition
+			p, err = parsePartition(val)
+			sched.Partitions = append(sched.Partitions, p)
+		case "netkill":
+			var nk NetKill
+			nk, err = parseNetKill(val)
+			sched.NetKills = append(sched.NetKills, nk)
 		default:
 			return Schedule{}, fmt.Errorf("chaos: unknown schedule field %q", key)
 		}
@@ -159,6 +230,55 @@ func parseKill(s string) (Kill, error) {
 	return Kill{Table: table, Part: part, AfterDispatches: after}, nil
 }
 
+// parsePartition decodes `direction:server@from+frames`, e.g. "c2s:1@50+200".
+func parsePartition(s string) (Partition, error) {
+	spec, window, ok := strings.Cut(s, "@")
+	if !ok {
+		return Partition{}, fmt.Errorf("partition %q: want direction:server@from+frames", s)
+	}
+	dir, serverStr, ok := strings.Cut(spec, ":")
+	if !ok || (dir != "c2s" && dir != "s2c") {
+		return Partition{}, fmt.Errorf("partition %q: direction must be c2s or s2c", s)
+	}
+	server, err := strconv.Atoi(serverStr)
+	if err != nil {
+		return Partition{}, fmt.Errorf("partition %q: server: %w", s, err)
+	}
+	fromStr, framesStr, ok := strings.Cut(window, "+")
+	if !ok {
+		return Partition{}, fmt.Errorf("partition %q: want from+frames", s)
+	}
+	from, err := strconv.ParseInt(fromStr, 10, 64)
+	if err != nil {
+		return Partition{}, fmt.Errorf("partition %q: from: %w", s, err)
+	}
+	frames, err := strconv.ParseInt(framesStr, 10, 64)
+	if err != nil {
+		return Partition{}, fmt.Errorf("partition %q: frames: %w", s, err)
+	}
+	if frames <= 0 {
+		return Partition{}, fmt.Errorf("partition %q: empty window", s)
+	}
+	return Partition{C2S: dir == "c2s", Server: server, FromFrame: from, Frames: frames}, nil
+}
+
+// parseNetKill decodes `server@afterFrames`.
+func parseNetKill(s string) (NetKill, error) {
+	serverStr, afterStr, ok := strings.Cut(s, "@")
+	if !ok {
+		return NetKill{}, fmt.Errorf("netkill %q: want server@afterFrames", s)
+	}
+	server, err := strconv.Atoi(serverStr)
+	if err != nil {
+		return NetKill{}, fmt.Errorf("netkill %q: server: %w", s, err)
+	}
+	after, err := strconv.ParseInt(afterStr, 10, 64)
+	if err != nil {
+		return NetKill{}, fmt.Errorf("netkill %q: frames: %w", s, err)
+	}
+	return NetKill{Server: server, AfterFrames: after}, nil
+}
+
 // String renders the schedule in the form Parse accepts.
 func (s Schedule) String() string {
 	var parts []string
@@ -186,6 +306,35 @@ func (s Schedule) String() string {
 	sort.Slice(kills, func(i, j int) bool { return kills[i].AfterDispatches < kills[j].AfterDispatches })
 	for _, k := range kills {
 		add("kill=%s:%d@%d", k.Table, k.Part, k.AfterDispatches)
+	}
+	if s.NetConnDropRate > 0 {
+		add("net.conn=%g", s.NetConnDropRate)
+	}
+	if s.NetDropRate > 0 {
+		add("net.drop=%g", s.NetDropRate)
+	}
+	if s.NetLossRate > 0 {
+		add("net.loss=%g", s.NetLossRate)
+	}
+	if s.NetDupRate > 0 {
+		add("net.dup=%g", s.NetDupRate)
+	}
+	if s.NetDelayRate > 0 && s.NetDelay > 0 {
+		add("net.delay=%s@%g", s.NetDelay, s.NetDelayRate)
+	}
+	partitions := append([]Partition(nil), s.Partitions...)
+	sort.Slice(partitions, func(i, j int) bool { return partitions[i].FromFrame < partitions[j].FromFrame })
+	for _, p := range partitions {
+		dir := "s2c"
+		if p.C2S {
+			dir = "c2s"
+		}
+		add("partition=%s:%d@%d+%d", dir, p.Server, p.FromFrame, p.Frames)
+	}
+	netKills := append([]NetKill(nil), s.NetKills...)
+	sort.Slice(netKills, func(i, j int) bool { return netKills[i].AfterFrames < netKills[j].AfterFrames })
+	for _, nk := range netKills {
+		add("netkill=%d@%d", nk.Server, nk.AfterFrames)
 	}
 	return strings.Join(parts, ",")
 }

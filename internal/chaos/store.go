@@ -19,7 +19,10 @@ import (
 func Wrap(inner kvstore.Store, inj *Injector) kvstore.Store {
 	s := &Store{inner: inner, inj: inj}
 	if _, ok := inner.(kvstore.Transactional); ok {
-		return &fullStore{Store: s}
+		return &fullStore{sensingStore{Store: s}}
+	}
+	if _, ok := inner.(kvstore.FailureSensor); ok {
+		return &sensingStore{Store: s}
 	}
 	return s
 }
@@ -76,10 +79,46 @@ func (s *Store) RunAgent(tableName string, part int, agent kvstore.Agent) (any, 
 // Close delegates to the inner store.
 func (s *Store) Close() error { return s.inner.Close() }
 
+// sensingStore extends Store with the failover-recovery capabilities of a
+// replicated but non-transactional inner store (the networked client): the
+// engine's heal/checkpoint-restore path sees through the decorator.
+type sensingStore struct {
+	*Store
+}
+
+var (
+	_ kvstore.Healer        = (*sensingStore)(nil)
+	_ kvstore.FailureSensor = (*sensingStore)(nil)
+	_ kvstore.TraceBinder   = (*sensingStore)(nil)
+)
+
+// Heal delegates replica restoration to the inner store.
+func (s *sensingStore) Heal(table string) error {
+	if h, ok := s.inner.(kvstore.Healer); ok {
+		return h.Heal(table)
+	}
+	return nil
+}
+
+// Failovers delegates to the inner store's failure sensor.
+func (s *sensingStore) Failovers() int64 {
+	if fs, ok := s.inner.(kvstore.FailureSensor); ok {
+		return fs.Failovers()
+	}
+	return 0
+}
+
+// BindTrace delegates trace binding to the inner transport, when it is one.
+func (s *sensingStore) BindTrace(traceID uint64) {
+	if tb, ok := s.inner.(kvstore.TraceBinder); ok {
+		tb.BindTrace(traceID)
+	}
+}
+
 // fullStore extends Store with the optional capabilities of a transactional,
 // replicated inner store.
 type fullStore struct {
-	*Store
+	sensingStore
 }
 
 var (
@@ -113,22 +152,6 @@ func (s *fullStore) FailPrimary(table string, part int) error {
 		return fmt.Errorf("chaos: inner store %s is not replicated", s.inner.Name())
 	}
 	return r.FailPrimary(table, part)
-}
-
-// Heal delegates replica restoration to the inner store.
-func (s *fullStore) Heal(table string) error {
-	if h, ok := s.inner.(kvstore.Healer); ok {
-		return h.Heal(table)
-	}
-	return nil
-}
-
-// Failovers delegates to the inner store's failure sensor.
-func (s *fullStore) Failovers() int64 {
-	if fs, ok := s.inner.(kvstore.FailureSensor); ok {
-		return fs.Failovers()
-	}
-	return 0
 }
 
 // table is the fault-injecting decorator for table handles.

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+
+	"ripple/internal/netstore"
+)
+
+// The Injector also implements netstore.WireInjector, so one schedule (and
+// one seed) drives the SPI-level faults and the wire-level ones together.
+//
+// Frame clocks: each server has a send clock (data frames the client sends
+// it) and a receive clock (data responses from it); heartbeat pings advance
+// neither. Rate-based wire faults are seeded per (fault kind, server/op
+// cell, per-cell index) — the same determinism contract as the SPI faults.
+// Partition windows and scheduled process kills key off the raw frame
+// clocks, which is what lets a harness kill a part-server mid-step at a
+// reproducible point in the conversation.
+var _ netstore.WireInjector = (*Injector)(nil)
+
+// wireState is the Injector's wire-fault bookkeeping, created lazily so
+// schedules without net faults pay nothing.
+type wireState struct {
+	mu         sync.Mutex
+	sendFrames map[int]int64
+	recvFrames map[int]int64
+	partFired  []bool // partition window recorded
+	killFired  []bool
+	onNetKill  func(server int)
+}
+
+func (inj *Injector) wire() *wireState {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.wireSt == nil {
+		inj.wireSt = &wireState{
+			sendFrames: make(map[int]int64),
+			recvFrames: make(map[int]int64),
+			partFired:  make([]bool, len(inj.sched.Partitions)),
+			killFired:  make([]bool, len(inj.sched.NetKills)),
+		}
+	}
+	return inj.wireSt
+}
+
+// OnNetKill registers the callback fired (asynchronously, once per
+// scheduled NetKill) when a kill's frame threshold is crossed. The harness
+// uses it to kill the part-server child process mid-step.
+func (inj *Injector) OnNetKill(fn func(server int)) {
+	w := inj.wire()
+	w.mu.Lock()
+	w.onNetKill = fn
+	w.mu.Unlock()
+}
+
+// SendFault implements netstore.WireInjector for client→server data frames.
+func (inj *Injector) SendFault(server int, op uint8) netstore.WireFault {
+	w := inj.wire()
+	w.mu.Lock()
+	n := w.sendFrames[server]
+	w.sendFrames[server] = n + 1
+	// Scheduled process kills fire on the send clock.
+	var due []int
+	for i, k := range inj.sched.NetKills {
+		if !w.killFired[i] && k.Server == server && n >= k.AfterFrames {
+			w.killFired[i] = true
+			due = append(due, i)
+		}
+	}
+	fn := w.onNetKill
+	// One-way partition window, client→server direction.
+	partitioned, firstHit := inj.inWindowLocked(w, true, server, n)
+	w.mu.Unlock()
+
+	for _, i := range due {
+		k := inj.sched.NetKills[i]
+		inj.record("netkill", fmt.Sprintf("s%d", k.Server), k.Server, k.AfterFrames)
+		if fn != nil {
+			go fn(k.Server)
+		}
+	}
+	if partitioned {
+		if firstHit {
+			inj.record("partition", fmt.Sprintf("c2s:s%d", server), server, n)
+		}
+		return netstore.WireFault{Drop: true}
+	}
+
+	cellName := fmt.Sprintf("s%d/%s", server, netstore.OpName(op))
+	if p := inj.sched.NetConnDropRate; p > 0 {
+		if i, u := inj.roll("net.conn", cellName, server); u < p {
+			inj.record("net.conn", cellName, server, i)
+			return netstore.WireFault{DropConn: true}
+		}
+	}
+	if p := inj.sched.NetDropRate; p > 0 {
+		if i, u := inj.roll("net.drop", cellName, server); u < p {
+			inj.record("net.drop", cellName, server, i)
+			return netstore.WireFault{Drop: true}
+		}
+	}
+	var f netstore.WireFault
+	if p := inj.sched.NetDelayRate; p > 0 && inj.sched.NetDelay > 0 {
+		if i, u := inj.roll("net.delay", cellName, server); u < p {
+			inj.record("net.delay", cellName, server, i)
+			f.Delay = inj.sched.NetDelay
+		}
+	}
+	return f
+}
+
+// RecvFault implements netstore.WireInjector for server→client responses.
+func (inj *Injector) RecvFault(server int, op uint8) netstore.WireFault {
+	w := inj.wire()
+	w.mu.Lock()
+	n := w.recvFrames[server]
+	w.recvFrames[server] = n + 1
+	partitioned, firstHit := inj.inWindowLocked(w, false, server, n)
+	w.mu.Unlock()
+
+	if partitioned {
+		if firstHit {
+			inj.record("partition", fmt.Sprintf("s2c:s%d", server), server, n)
+		}
+		return netstore.WireFault{Drop: true}
+	}
+	cellName := fmt.Sprintf("s%d/%s", server, netstore.OpName(op))
+	if p := inj.sched.NetLossRate; p > 0 {
+		if i, u := inj.roll("net.loss", cellName, server); u < p {
+			inj.record("net.loss", cellName, server, i)
+			return netstore.WireFault{Drop: true}
+		}
+	}
+	var f netstore.WireFault
+	if p := inj.sched.NetDupRate; p > 0 {
+		if i, u := inj.roll("net.dup", cellName, server); u < p {
+			inj.record("net.dup", cellName, server, i)
+			f.Dup = true
+		}
+	}
+	return f
+}
+
+// PingBlocked implements netstore.WireInjector: heartbeats consult the
+// partition windows (so a one-way partition starves the failure detector)
+// without advancing the frame clocks (so schedules stay deterministic in
+// data-frame counts regardless of wall-clock heartbeat cadence).
+func (inj *Injector) PingBlocked(server int, toServer bool) bool {
+	w := inj.wire()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	clock := w.sendFrames[server]
+	if !toServer {
+		clock = w.recvFrames[server]
+	}
+	blocked, _ := inj.inWindowLocked(w, toServer, server, clock)
+	return blocked
+}
+
+// inWindowLocked reports whether the given direction's frame clock value
+// falls inside an open partition window for the server, and whether this is
+// the window's first hit (for one record per window). Caller holds w.mu.
+func (inj *Injector) inWindowLocked(w *wireState, c2s bool, server int, clock int64) (in, first bool) {
+	for i, p := range inj.sched.Partitions {
+		if p.C2S != c2s || p.Server != server {
+			continue
+		}
+		if clock >= p.FromFrame && clock < p.FromFrame+p.Frames {
+			first = !w.partFired[i]
+			w.partFired[i] = true
+			return true, first
+		}
+	}
+	return false, false
+}

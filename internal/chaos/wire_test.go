@@ -1,0 +1,231 @@
+package chaos
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/netstore"
+)
+
+func TestParseWireRoundTrip(t *testing.T) {
+	in := "seed=3,net.conn=0.005,net.drop=0.01,net.loss=0.02,net.dup=0.05," +
+		"net.delay=2ms@0.1,partition=c2s:1@50+200,partition=s2c:0@10+5,netkill=2@120"
+	sched, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Schedule{
+		Seed:            3,
+		NetConnDropRate: 0.005, NetDropRate: 0.01, NetLossRate: 0.02, NetDupRate: 0.05,
+		NetDelay: 2 * time.Millisecond, NetDelayRate: 0.1,
+		Partitions: []Partition{
+			{C2S: true, Server: 1, FromFrame: 50, Frames: 200},
+			{C2S: false, Server: 0, FromFrame: 10, Frames: 5},
+		},
+		NetKills: []NetKill{{Server: 2, AfterFrames: 120}},
+	}
+	if !reflect.DeepEqual(sched, want) {
+		t.Fatalf("Parse = %+v, want %+v", sched, want)
+	}
+	again, err := Parse(sched.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", sched.String(), err)
+	}
+	if again.String() != sched.String() {
+		t.Errorf("round trip: %q != %q", again.String(), sched.String())
+	}
+}
+
+func TestParseRejectsBadWireInput(t *testing.T) {
+	for _, s := range []string{
+		"net.drop=1.5",        // rate outside [0,1]
+		"net.delay=-1ms",      // negative delay
+		"partition=1@5+5",     // missing direction
+		"partition=up:1@5+5",  // bad direction
+		"partition=c2s:1@5",   // missing window length
+		"partition=c2s:1@5+0", // empty window
+		"partition=c2s:x@5+5", // bad server
+		"netkill=1",           // missing frame count
+		"netkill=x@5",         // bad server
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+// driveWire replays a fixed frame workload against a wire injector and
+// returns its records plus the fault decisions it made.
+func driveWire(seed int64) ([]Record, []netstore.WireFault) {
+	inj := NewInjector(Schedule{
+		Seed: seed, NetConnDropRate: 0.1, NetDropRate: 0.1,
+		NetLossRate: 0.1, NetDupRate: 0.1,
+		NetDelay: time.Microsecond, NetDelayRate: 0.1,
+	})
+	var faults []netstore.WireFault
+	for i := 0; i < 60; i++ {
+		faults = append(faults, inj.SendFault(i%3, 7)) // opGet-ish
+		faults = append(faults, inj.RecvFault(i%3, 7))
+	}
+	return inj.Records(), faults
+}
+
+func TestWireInjectorDeterminism(t *testing.T) {
+	r1, f1 := driveWire(11)
+	r2, f2 := driveWire(11)
+	if len(r1) == 0 {
+		t.Fatal("no wire faults injected at 10% rates over 120 frames")
+	}
+	if !reflect.DeepEqual(r1, r2) || !reflect.DeepEqual(f1, f2) {
+		t.Error("same seed diverged")
+	}
+	if r3, _ := driveWire(12); reflect.DeepEqual(r1, r3) {
+		t.Error("seeds 11 and 12 injected identical wire fault sets")
+	}
+}
+
+func TestPartitionWindowDropsAndHeartbeats(t *testing.T) {
+	inj := NewInjector(Schedule{
+		Seed:       1,
+		Partitions: []Partition{{C2S: true, Server: 1, FromFrame: 3, Frames: 4}},
+	})
+	// Frames 0..2 pass, 3..6 dropped, 7+ pass. Only server 1, only c2s.
+	for i := 0; i < 10; i++ {
+		if f := inj.SendFault(0, 7); f.Drop {
+			t.Fatalf("frame %d to server 0 dropped", i)
+		}
+	}
+	var drops int
+	for i := 0; i < 10; i++ {
+		f := inj.SendFault(1, 7)
+		inWindow := i >= 3 && i < 7
+		if f.Drop != inWindow {
+			t.Fatalf("frame %d to server 1: drop=%v, want %v", i, f.Drop, inWindow)
+		}
+		if f.Drop {
+			drops++
+			// Heartbeats see the open window without advancing the clock.
+			// PingBlocked consults the *next* frame's clock position, so it
+			// reports open only while the window still has frames left.
+			if nextInWindow := i+1 < 7; inj.PingBlocked(1, true) != nextInWindow {
+				t.Fatalf("PingBlocked after frame %d = %v, want %v",
+					i, !nextInWindow, nextInWindow)
+			}
+			if inj.PingBlocked(1, false) {
+				t.Fatal("s2c ping blocked by a c2s partition")
+			}
+		}
+	}
+	if drops != 4 {
+		t.Fatalf("dropped %d frames, want 4", drops)
+	}
+	if inj.PingBlocked(1, true) {
+		t.Error("ping still blocked after window closed")
+	}
+	// Responses are unaffected by a c2s window.
+	if f := inj.RecvFault(1, 7); f.Drop {
+		t.Error("c2s partition dropped a response")
+	}
+	// One record for the whole window.
+	var partRecords int
+	for _, r := range inj.Records() {
+		if r.Kind == "partition" {
+			partRecords++
+		}
+	}
+	if partRecords != 1 {
+		t.Errorf("partition recorded %d times, want once per window", partRecords)
+	}
+}
+
+func TestNetKillFiresOnce(t *testing.T) {
+	inj := NewInjector(Schedule{
+		Seed:     1,
+		NetKills: []NetKill{{Server: 0, AfterFrames: 5}},
+	})
+	var mu sync.Mutex
+	var fired []int
+	done := make(chan struct{})
+	inj.OnNetKill(func(server int) {
+		mu.Lock()
+		fired = append(fired, server)
+		mu.Unlock()
+		close(done)
+	})
+	for i := 0; i < 20; i++ {
+		inj.SendFault(0, 7)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("netkill callback never fired")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 1 || fired[0] != 0 {
+		t.Fatalf("fired = %v, want exactly [0]", fired)
+	}
+	var killRecords int
+	for _, r := range inj.Records() {
+		if r.Kind == "netkill" {
+			killRecords++
+		}
+	}
+	if killRecords != 1 {
+		t.Errorf("netkill recorded %d times, want 1", killRecords)
+	}
+}
+
+// TestWireChaosAgainstFleet mounts the chaos injector as the netstore
+// client's wire injector and checks a lossy workload still completes (the
+// retry loop absorbs the injected frame loss) and that faults were recorded.
+func TestWireChaosAgainstFleet(t *testing.T) {
+	var addrs []string
+	var servers []*netstore.Server
+	for i := 0; i < 2; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := netstore.NewServer()
+		go func() { _ = srv.Serve(ln) }()
+		t.Cleanup(func() { _ = srv.Close() })
+		addrs = append(addrs, ln.Addr().String())
+		servers = append(servers, srv)
+	}
+
+	inj := NewInjector(Schedule{Seed: 5, NetDropRate: 0.05, NetLossRate: 0.05, NetDupRate: 0.1})
+	c, err := netstore.Dial(addrs,
+		netstore.WithWireInjector(inj),
+		netstore.WithRequestTimeout(150*time.Millisecond),
+		netstore.WithRetries(10),
+		netstore.WithBackoffSeed(5),
+	)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+
+	tbl, err := c.CreateTable("w", kvstore.WithParts(4))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := tbl.Put(i, i*3); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		v, ok, err := tbl.Get(i)
+		if err != nil || !ok || v.(int) != i*3 {
+			t.Fatalf("get %d = %v %v %v", i, v, ok, err)
+		}
+	}
+	if len(inj.Records()) == 0 {
+		t.Error("no wire faults recorded over a lossy 80-op workload")
+	}
+}

@@ -1,6 +1,7 @@
 package ebsp
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -72,6 +73,47 @@ func init() {
 	codec.Register(checkpointMeta{})
 }
 
+// sealMeta encodes the meta record and appends a fnv64a checksum of the
+// encoded bytes. The sealed form is what checkpoint() stores: a torn or
+// partial write (a primary dying mid-checkpoint, a truncated value from a
+// flaky transport) fails the checksum and is rejected before any decoding
+// touches the garbage.
+func sealMeta(meta checkpointMeta) ([]byte, error) {
+	enc, err := codec.Encode(meta)
+	if err != nil {
+		return nil, err
+	}
+	h := fnv.New64a()
+	h.Write(enc)
+	return h.Sum(enc), nil
+}
+
+// openMeta verifies the checksum trailer and decodes the meta record,
+// returning ErrCheckpointMismatch when the bytes do not hash to their
+// trailer.
+func openMeta(sealed []byte) (checkpointMeta, error) {
+	if len(sealed) < 8 {
+		return checkpointMeta{}, fmt.Errorf("%w: checkpoint meta truncated to %d bytes",
+			ErrCheckpointMismatch, len(sealed))
+	}
+	body, sum := sealed[:len(sealed)-8], sealed[len(sealed)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if !bytes.Equal(h.Sum(nil), sum) {
+		return checkpointMeta{}, fmt.Errorf("%w: checkpoint meta checksum mismatch (torn write?)",
+			ErrCheckpointMismatch)
+	}
+	raw, err := codec.Decode(body)
+	if err != nil {
+		return checkpointMeta{}, fmt.Errorf("%w: checkpoint meta undecodable: %v", ErrCheckpointMismatch, err)
+	}
+	meta, ok := raw.(checkpointMeta)
+	if !ok {
+		return checkpointMeta{}, fmt.Errorf("%w: checkpoint meta is a %T", ErrCheckpointMismatch, raw)
+	}
+	return meta, nil
+}
+
 // checkpointPrefix names a job's checkpoint tables; stable across runs so
 // Resume can find them.
 func checkpointPrefix(jobName string) string {
@@ -121,16 +163,20 @@ func (run *jobRun) checkpoint(step int, pending int64) error {
 	for k, v := range run.aggPrev {
 		aggs[k] = v
 	}
+	sealed, err := sealMeta(checkpointMeta{
+		Step:       step,
+		Pending:    pending,
+		Aggregates: aggs,
+		Tables:     run.stateNames,
+		JobName:    jobName,
+		MaxSteps:   run.job.MaxSteps,
+		TableHash:  tableSetHash(run.stateNames),
+	})
+	if err != nil {
+		return fmt.Errorf("ebsp: seal checkpoint meta: %w", err)
+	}
 	return run.engine.retryOp(jobName, -1, -1, func() error {
-		return meta.Put("meta", checkpointMeta{
-			Step:       step,
-			Pending:    pending,
-			Aggregates: aggs,
-			Tables:     run.stateNames,
-			JobName:    jobName,
-			MaxSteps:   run.job.MaxSteps,
-			TableHash:  tableSetHash(run.stateNames),
-		})
+		return meta.Put("meta", sealed)
 	})
 }
 
@@ -167,7 +213,19 @@ func (e *Engine) loadCheckpoint(job *Job) (checkpointMeta, error) {
 	if !found {
 		return checkpointMeta{}, fmt.Errorf("%w: %q (incomplete snapshot)", ErrNoCheckpoint, job.Name)
 	}
-	meta := rawMeta.(checkpointMeta)
+	var meta checkpointMeta
+	switch rec := rawMeta.(type) {
+	case []byte:
+		meta, err = openMeta(rec)
+		if err != nil {
+			return checkpointMeta{}, err
+		}
+	case checkpointMeta:
+		// Legacy record written before the checksum seal; accepted as-is.
+		meta = rec
+	default:
+		return checkpointMeta{}, fmt.Errorf("%w: checkpoint meta is a %T", ErrCheckpointMismatch, rawMeta)
+	}
 	if len(meta.Tables) != len(job.StateTables) {
 		return checkpointMeta{}, fmt.Errorf("%w: checkpoint has %d state tables, job has %d",
 			ErrCheckpointMismatch, len(meta.Tables), len(job.StateTables))

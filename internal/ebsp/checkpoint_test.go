@@ -229,3 +229,70 @@ func TestCheckpointDisabledByDefault(t *testing.T) {
 		t.Error("checkpoint table created without WithCheckpoints")
 	}
 }
+
+func TestResumeRejectsTornCheckpointMeta(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store, WithCheckpoints(3))
+	if _, err := e.Run(checkpointChainJob("torn", 20, crashAfter(7))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the sealed meta record: truncate it mid-body, as a primary dying
+	// mid-write would. Resume must reject it instead of decoding garbage.
+	metaTab, ok := store.LookupTable(ckptMetaTable("torn"))
+	if !ok {
+		t.Fatal("no checkpoint meta table")
+	}
+	raw, ok, err := metaTab.Get("meta")
+	if err != nil || !ok {
+		t.Fatalf("meta record: ok=%v err=%v", ok, err)
+	}
+	sealed := raw.([]byte)
+	if err := metaTab.Put("meta", sealed[:len(sealed)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Resume(checkpointChainJob("torn", 20, nil)); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("torn meta: err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// A flipped byte (corruption, not truncation) is also rejected.
+	bad := append([]byte(nil), sealed...)
+	bad[len(bad)/3] ^= 0xff
+	if err := metaTab.Put("meta", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Resume(checkpointChainJob("torn", 20, nil)); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("corrupt meta: err = %v, want ErrCheckpointMismatch", err)
+	}
+
+	// The intact record still resumes: the seal round-trips.
+	if err := metaTab.Put("meta", sealed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Resume(checkpointChainJob("torn", 20, nil)); err != nil {
+		t.Errorf("intact meta failed to resume: %v", err)
+	}
+}
+
+func TestResumeAcceptsLegacyUnsealedMeta(t *testing.T) {
+	store := memstore.New(memstore.WithParts(4))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store, WithCheckpoints(3))
+	if _, err := e.Run(checkpointChainJob("legacy", 20, crashAfter(7))); err != nil {
+		t.Fatal(err)
+	}
+	metaTab, _ := store.LookupTable(ckptMetaTable("legacy"))
+	raw, _, _ := metaTab.Get("meta")
+	meta, err := openMeta(raw.([]byte))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the record in the pre-checksum format: the bare struct.
+	if err := metaTab.Put("meta", meta); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Resume(checkpointChainJob("legacy", 20, nil)); err != nil {
+		t.Errorf("legacy meta failed to resume: %v", err)
+	}
+}

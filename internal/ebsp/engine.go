@@ -19,7 +19,7 @@ import (
 // is safe for concurrent use; each Run is independent.
 type Engine struct {
 	store           kvstore.Store
-	mqsys           *mq.System
+	mqsys           mq.Queuing
 	mqOnce          sync.Once // guards the lazy mqsys write in mqSystem
 	metrics         *metrics.Collector
 	tracer          *trace.Tracer
@@ -33,6 +33,7 @@ type Engine struct {
 	aggTabTh        int   // aggregator count above which the table-based path is used
 	retries         int   // per-part step retries under fast recovery
 	checkpointEvery int   // barrier interval between checkpoints; 0 disables
+	jitterSeed      int64 // seeds the deterministic retry-backoff jitter
 }
 
 // Option configures an Engine.
@@ -77,10 +78,19 @@ func WithProfiler(r *profile.Recorder) Option {
 	return func(e *Engine) { e.prof = r }
 }
 
-// WithMQ supplies the message-queuing system used for no-sync execution.
-// Without one, the engine creates a private mq.System on demand.
-func WithMQ(sys *mq.System) Option {
+// WithMQ supplies the queuing implementation used for no-sync execution.
+// Without one, the engine creates a private in-process mq.System on demand.
+func WithMQ(sys mq.Queuing) Option {
 	return func(e *Engine) { e.mqsys = sys }
+}
+
+// WithRetryJitterSeed seeds the deterministic jitter applied to retry
+// backoff (see retryOp): concurrent part retries spread out instead of
+// synchronizing into a thundering herd against a recovering shard, and a
+// fixed seed reproduces the exact jittered fault trace. The default seed
+// is 0, which still jitters — deterministically.
+func WithRetryJitterSeed(seed int64) Option {
+	return func(e *Engine) { e.jitterSeed = seed }
 }
 
 // WithStrategyOverride installs a hook that may adjust the derived execution
@@ -294,6 +304,11 @@ func (run *jobRun) setupTraceContext() {
 			run.loadSpan = trace.SpanID(id, 0, -1)
 		}
 	}
+	// Bind the run's trace to the store's transport (when it is one), so RPC
+	// frames carry the trace ID and server-side spans join the causal chains.
+	if tb, ok := e.store.(kvstore.TraceBinder); ok {
+		tb.BindTrace(run.traceID)
+	}
 	run.log = e.jobLogger(run.job.Name, run.traceID)
 }
 
@@ -496,7 +511,7 @@ func (run *jobRun) broadcastView(sv kvstore.ShardView) (kvstore.PartView, error)
 // mqSystem returns the engine's mq system, creating a private one on demand.
 // The lazy write is guarded by mqOnce: two no-sync jobs starting concurrently
 // on one Engine must share a single system, per the concurrent-use contract.
-func (e *Engine) mqSystem() *mq.System {
+func (e *Engine) mqSystem() mq.Queuing {
 	e.mqOnce.Do(func() {
 		if e.mqsys == nil {
 			e.mqsys = mq.NewSystem(mq.WithMetrics(e.metrics))

@@ -1,8 +1,10 @@
 package ebsp
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"time"
 
 	"ripple/internal/kvstore"
@@ -28,14 +30,45 @@ func isFailover(err error) bool {
 	return errors.Is(err, kvstore.ErrShardFailed)
 }
 
-// retryBackoff is the deterministic bounded backoff before retry `attempt`
-// (1-based): 200µs, 400µs, 800µs, ... capped at 5ms.
+// retryBackoff is the deterministic bounded backoff curve before retry
+// `attempt` (1-based): 200µs, 400µs, 800µs, ... capped at 5ms.
 func retryBackoff(attempt int) time.Duration {
 	d := 100 * time.Microsecond << attempt
 	if d > 5*time.Millisecond {
 		d = 5 * time.Millisecond
 	}
 	return d
+}
+
+// retryJitter maps the retry coordinates to a deterministic fraction in
+// [0,1): fnv64a over the coordinates, then the splitmix64 finalizer for
+// avalanche — the same recipe the chaos injector uses, so a fault trace
+// replayed under a fixed seed sleeps the exact same jittered intervals.
+func retryJitter(seed int64, job string, step, part, attempt int) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(job))
+	var buf [32]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(seed))
+	binary.BigEndian.PutUint64(buf[8:], uint64(int64(step)))
+	binary.BigEndian.PutUint64(buf[16:], uint64(int64(part)))
+	binary.BigEndian.PutUint64(buf[24:], uint64(int64(attempt)))
+	h.Write(buf[:])
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / float64(1<<53)
+}
+
+// backoffFor is retryBackoff's curve stretched by a seeded per-(job, step,
+// part, attempt) factor in [0.5, 1.5): concurrent part retries decorrelate
+// instead of hammering a recovering shard in lockstep, while a fixed seed
+// keeps the whole schedule reproducible.
+func (e *Engine) backoffFor(job string, step, part, attempt int) time.Duration {
+	base := retryBackoff(attempt)
+	return time.Duration(float64(base) * (0.5 + retryJitter(e.jitterSeed, job, step, part, attempt)))
 }
 
 // retryOp runs f, retrying transient failures up to e.retries times with
@@ -51,14 +84,15 @@ func (e *Engine) retryOp(job string, step, part int, f func() error) error {
 		e.prof.AddFault(job, step, part)
 	}
 	for attempt := 1; err != nil && isTransient(err) && attempt <= e.retries; attempt++ {
+		backoff := e.backoffFor(job, step, part, attempt)
 		e.metrics.AddRetries(1)
-		e.tracer.Record(trace.KindRetry, job, step, part, int64(attempt), retryBackoff(attempt))
+		e.tracer.Record(trace.KindRetry, job, step, part, int64(attempt), backoff)
 		e.prof.AddRetry(job, step, part)
 		if e.logger != nil {
 			e.logger.Debug("transient fault, retrying operation",
 				"job", job, "step", step, "part", part, "attempt", attempt, "err", err.Error())
 		}
-		time.Sleep(retryBackoff(attempt))
+		time.Sleep(backoff)
 		err = f()
 		if err != nil && isTransient(err) {
 			e.prof.AddFault(job, step, part)

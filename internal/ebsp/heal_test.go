@@ -253,3 +253,35 @@ func TestNoSyncSurvivesDuplicationAndJitter(t *testing.T) {
 		t.Error("schedule injected no duplicates — property not exercised")
 	}
 }
+
+func TestRetryBackoffJitterDeterministicAndSpread(t *testing.T) {
+	e1 := NewEngine(memstore.New(), WithRetryJitterSeed(7))
+	e2 := NewEngine(memstore.New(), WithRetryJitterSeed(7))
+	e3 := NewEngine(memstore.New(), WithRetryJitterSeed(8))
+	distinct := make(map[time.Duration]bool)
+	for part := 0; part < 8; part++ {
+		for attempt := 1; attempt <= 3; attempt++ {
+			base := retryBackoff(attempt)
+			d1 := e1.backoffFor("job", 2, part, attempt)
+			if d2 := e2.backoffFor("job", 2, part, attempt); d1 != d2 {
+				t.Fatalf("same seed diverged: %v vs %v", d1, d2)
+			}
+			if d1 < base/2 || d1 >= base+base/2 {
+				t.Fatalf("backoff %v outside [%v, %v)", d1, base/2, base+base/2)
+			}
+			distinct[d1] = true
+		}
+	}
+	// Different parts must not retry in lockstep: the jitter decorrelates.
+	if len(distinct) < 12 {
+		t.Errorf("only %d distinct backoffs across 24 (part, attempt) cells", len(distinct))
+	}
+	// A different seed yields a different schedule somewhere.
+	var diverged bool
+	for part := 0; part < 8 && !diverged; part++ {
+		diverged = e1.backoffFor("job", 2, part, 1) != e3.backoffFor("job", 2, part, 1)
+	}
+	if !diverged {
+		t.Error("seeds 7 and 8 produced identical schedules")
+	}
+}

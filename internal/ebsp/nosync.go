@@ -72,7 +72,7 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 	}
 
 	var failed atomic.Bool
-	err = qs.Run(func(r *mq.Reader) error {
+	err = qs.Run(func(r mq.Reader) error {
 		// Injected dispatch faults fire before the worker body runs, so a
 		// retried dispatch never re-executes delivered work.
 		return run.engine.retryOp(run.job.Name, 0, r.Queue(), func() error {
@@ -105,7 +105,7 @@ func (run *jobRun) runNoSync(lc *LoadContext) (*Result, error) {
 // noSyncWorker is the mobile EBSP code running collocated with one part: it
 // drains the part's queue, invoking a component per message, until the whole
 // computation quiesces (or another worker fails).
-func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.QueueSet,
+func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r mq.Reader, qs mq.Set,
 	det *termination.Detector, failed *atomic.Bool) (err error) {
 
 	defer func() {
@@ -269,7 +269,7 @@ func (run *jobRun) noSyncWorker(sv kvstore.ShardView, r *mq.Reader, qs *mq.Queue
 // noSyncDelivered counts one delivered envelope and fires the progress
 // observer when the watermark is crossed — the no-sync counterpart of the
 // per-step observer notification.
-func (run *jobRun) noSyncDelivered(part int, r *mq.Reader) error {
+func (run *jobRun) noSyncDelivered(part int, r mq.Reader) error {
 	d := run.delivered.Add(1)
 	every := run.engine.progressEvery
 	if every <= 0 {
@@ -350,7 +350,7 @@ func (run *jobRun) invokeNoSync(ctx *Context, sink *queueSink) error {
 // queues, splitting the held termination weight onto each outgoing message.
 type queueSink struct {
 	run     *jobRun
-	qs      *mq.QueueSet
+	qs      mq.Set
 	det     *termination.Detector
 	partOf  func(any) int
 	srcPart int

@@ -411,7 +411,7 @@ func (run *jobRun) execPartStep(step, part int) (*partStepResult, error) {
 				"step", step, "part", part, "attempt", attempt+1, "err", err)
 			run.engine.prof.AddFault(run.job.Name, step, part)
 			run.engine.prof.AddRetry(run.job.Name, step, part)
-			time.Sleep(retryBackoff(attempt + 1))
+			time.Sleep(run.engine.backoffFor(run.job.Name, step, part, attempt+1))
 		default:
 			return nil, err
 		}

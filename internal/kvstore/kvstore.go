@@ -212,6 +212,14 @@ type FailureSensor interface {
 	Failovers() int64
 }
 
+// TraceBinder is an optional Store capability for transports: the engine
+// binds the current run's causal trace ID so RPC frames carry it and the
+// client- and server-side RPC spans join the run's causal chains. Binding
+// trace 0 clears the ambient context.
+type TraceBinder interface {
+	BindTrace(traceID uint64)
+}
+
 // Config captures table creation options.
 type Config struct {
 	// Parts is the number of parts; 0 means the store default.

@@ -68,6 +68,8 @@ func WritePrometheusTracer(w io.Writer, c *Collector, t *trace.Tracer) error {
 		{"ripple_failovers_total", "Primary failovers (replica promotions) in the store.", snap.Failovers},
 		{"ripple_faults_injected_total", "Faults injected by the chaos layer.", snap.FaultsInjected},
 		{"ripple_steps_rerun_total", "Steps re-executed during automatic failover recovery.", snap.StepsRerun},
+		{"ripple_rpc_calls_total", "Transport RPC round-trips.", snap.RPCCalls},
+		{"ripple_rpc_retries_total", "Transport-level RPC retries (timeouts and connection failures).", snap.RPCRetries},
 	}
 	for _, ctr := range counters {
 		if err := writeMeta(w, ctr.name, ctr.help, "counter"); err != nil {
@@ -132,7 +134,54 @@ func WritePrometheusTracer(w io.Writer, c *Collector, t *trace.Tracer) error {
 			return err
 		}
 	}
+
+	// Per-endpoint RPC latency, one labelled histogram per wire opcode, in
+	// sorted order so scrapes are stable.
+	eps := c.EndpointSnapshots()
+	if len(eps) > 0 {
+		names := make([]string, 0, len(eps))
+		for n := range eps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		if err := writeMeta(w, "ripple_rpc_latency_seconds", "Transport RPC round-trip latency by endpoint.", "histogram"); err != nil {
+			return err
+		}
+		for _, n := range names {
+			if err := writeHistogramLabelled(w, "ripple_rpc_latency_seconds",
+				fmt.Sprintf("endpoint=%q", n), eps[n]); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// writeHistogramLabelled emits one histogram's sample lines with an extra
+// label pair on every series (the metadata is written once by the caller).
+func writeHistogramLabelled(w io.Writer, name, label string, s HistogramSnapshot) error {
+	top := 0
+	for i, n := range s.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		le := float64(BucketBound(i)) / 1e9
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, label, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum{%s} %g\n", name, label, float64(s.Sum)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count{%s} %d\n", name, label, s.Count)
+	return err
 }
 
 // writeBuildInfo emits the conventional build-info gauge: a constant 1 whose

@@ -6,6 +6,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -31,6 +32,8 @@ type Collector struct {
 	failovers       atomic.Int64
 	faultsInjected  atomic.Int64
 	stepsRerun      atomic.Int64
+	rpcCalls        atomic.Int64
+	rpcRetries      atomic.Int64
 
 	// Latency histograms (nanoseconds), per the paper's §VI cost drivers.
 	stepDuration    Histogram // whole step, barrier included
@@ -38,6 +41,10 @@ type Collector struct {
 	partCompute     Histogram // per part: one part's share of one step
 	checkpointWrite Histogram // one barrier-state snapshot
 	storeWrite      Histogram // one durable store write (diskstore log append)
+
+	// Per-endpoint RPC latency histograms, created on first use by the
+	// networked transport (one per wire opcode: get, put, snapshot, ...).
+	endpoints sync.Map // string -> *Histogram
 
 	// Gauges.
 	queueDepth        PartGauge  // no-sync: per-part queue depth
@@ -86,6 +93,49 @@ func (c *Collector) StoreWrites() *Histogram {
 		return nil
 	}
 	return &c.storeWrite
+}
+
+// Endpoint returns the named RPC latency histogram, creating it on first
+// use. A nil collector returns a nil (no-op) histogram, like the fixed
+// instruments.
+func (c *Collector) Endpoint(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	if h, ok := c.endpoints.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := c.endpoints.LoadOrStore(name, new(Histogram))
+	return h.(*Histogram)
+}
+
+// EndpointSnapshots returns a snapshot of every per-endpoint RPC latency
+// histogram, keyed by endpoint name. A nil collector returns nil.
+func (c *Collector) EndpointSnapshots() map[string]HistogramSnapshot {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]HistogramSnapshot)
+	c.endpoints.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// AddRPCCalls records transport RPC round-trips.
+func (c *Collector) AddRPCCalls(n int64) {
+	if c != nil {
+		c.rpcCalls.Add(n)
+	}
+}
+
+// AddRPCRetries records transport-level RPC retries (a request re-sent after
+// a timeout or connection failure, below the engine's own retry layer).
+func (c *Collector) AddRPCRetries(n int64) {
+	if c != nil {
+		c.rpcRetries.Add(n)
+	}
 }
 
 // QueueDepths is the per-part queue depth gauge (no-sync execution).
@@ -260,6 +310,8 @@ type Snapshot struct {
 	Failovers          int64
 	FaultsInjected     int64
 	StepsRerun         int64
+	RPCCalls           int64
+	RPCRetries         int64
 }
 
 // Snapshot returns a copy of the current counter values. A nil collector
@@ -285,6 +337,8 @@ func (c *Collector) Snapshot() Snapshot {
 		Failovers:          c.failovers.Load(),
 		FaultsInjected:     c.faultsInjected.Load(),
 		StepsRerun:         c.stepsRerun.Load(),
+		RPCCalls:           c.rpcCalls.Load(),
+		RPCRetries:         c.rpcRetries.Load(),
 	}
 }
 
@@ -309,6 +363,12 @@ func (c *Collector) Reset() {
 	c.failovers.Store(0)
 	c.faultsInjected.Store(0)
 	c.stepsRerun.Store(0)
+	c.rpcCalls.Store(0)
+	c.rpcRetries.Store(0)
+	c.endpoints.Range(func(k, _ any) bool {
+		c.endpoints.Delete(k)
+		return true
+	})
 	c.stepDuration.reset()
 	c.barrierWait.reset()
 	c.partCompute.reset()
@@ -340,14 +400,17 @@ func (s Snapshot) Sub(old Snapshot) Snapshot {
 		Failovers:          s.Failovers - old.Failovers,
 		FaultsInjected:     s.FaultsInjected - old.FaultsInjected,
 		StepsRerun:         s.StepsRerun - old.StepsRerun,
+		RPCCalls:           s.RPCCalls - old.RPCCalls,
+		RPCRetries:         s.RPCRetries - old.RPCRetries,
 	}
 }
 
 // String renders the snapshot as a compact single-line summary.
 func (s Snapshot) String() string {
 	return fmt.Sprintf(
-		"steps=%d barriers=%d msgs=%d combined=%d computes=%d marshalled=%dB gets=%d puts=%d dels=%d spills=%d aggRounds=%d recoveries=%d retries=%d failovers=%d faults=%d stepsRerun=%d",
+		"steps=%d barriers=%d msgs=%d combined=%d computes=%d marshalled=%dB gets=%d puts=%d dels=%d spills=%d aggRounds=%d recoveries=%d retries=%d failovers=%d faults=%d stepsRerun=%d rpcCalls=%d rpcRetries=%d",
 		s.Steps, s.Barriers, s.MessagesSent, s.MessagesCombined, s.ComputeInvocations,
 		s.MarshalledBytes, s.StoreGets, s.StorePuts, s.StoreDeletes, s.Spills,
-		s.AggregationRounds, s.Recoveries, s.Retries, s.Failovers, s.FaultsInjected, s.StepsRerun)
+		s.AggregationRounds, s.Recoveries, s.Retries, s.Failovers, s.FaultsInjected, s.StepsRerun,
+		s.RPCCalls, s.RPCRetries)
 }

@@ -30,7 +30,7 @@ func TestReadDrainsQueueBeforeErrClosed(t *testing.T) {
 	if err := qs.Close(); err != nil {
 		t.Fatal(err)
 	}
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	for _, want := range []string{"a", "b"} {
 		msg, ok, err := r.Read(time.Second)
 		if !ok || err != nil || msg != want {
@@ -76,7 +76,7 @@ func TestCloseConcurrentWithPutNeverDropsSilently(t *testing.T) {
 			_ = qs.Close()
 		}()
 		wg.Wait()
-		r := &Reader{queueSet: qs, index: 0}
+		r := readerFor(qs, 0)
 		var delivered int64
 		for {
 			_, ok, err := r.Read(time.Second)
@@ -129,7 +129,7 @@ func TestFIFOSurvivesJitterAndDuplication(t *testing.T) {
 		}
 	}()
 
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	seen := make(map[int]int)
 	last := -1
 	for len(seen) < msgs {

@@ -37,7 +37,7 @@ func TestQueueDepthGauge(t *testing.T) {
 		t.Errorf("part 2 depth after local put = %d, want 1", got)
 	}
 
-	r := &Reader{queueSet: qs, index: 1}
+	r := readerFor(qs, 1)
 	if _, ok, _ := r.Read(time.Second); !ok {
 		t.Fatal("read failed")
 	}
@@ -72,7 +72,7 @@ func TestQueueDepthGaugeWithoutMetrics(t *testing.T) {
 	if err := qs.Put(0, "msg"); err != nil {
 		t.Fatal(err)
 	}
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	if msg, ok, _ := r.TryRead(); !ok || msg != "msg" {
 		t.Fatalf("read = %v, %v", msg, ok)
 	}

@@ -60,6 +60,69 @@ type FaultInjector interface {
 	PutFault(set string, queue int) Fault
 }
 
+// Queuing is the queuing SPI of the paper (§III-B): create and delete queue
+// sets. *System is the in-process implementation; transports provide
+// networked ones. The engine programs against this interface, so the queuing
+// layer is swappable exactly like the store.
+type Queuing interface {
+	// CreateQueueSet creates a queue set placed like the given table: one
+	// queue per part of the table.
+	CreateQueueSet(name string, like kvstore.Table) (Set, error)
+	// DeleteQueueSet closes and removes a queue set.
+	DeleteQueueSet(name string) error
+}
+
+// Set is a placed set of unbounded FIFO queues, one per part of the placement
+// table. Implementations must preserve per-(sender,queue) FIFO order — the
+// no-sync execution strategy depends on it.
+type Set interface {
+	// Name returns the queue set's name.
+	Name() string
+	// Queues reports the number of queues (= parts of the placement table).
+	Queues() int
+	// Put delivers a message to queue q from anywhere in the system; the
+	// payload crosses a partition boundary. Calls from a single goroutine to
+	// a single queue are delivered in order.
+	Put(q int, msg any) error
+	// PutLocal delivers without marshalling, for senders already collocated
+	// with the destination part.
+	PutLocal(q int, msg any) error
+	// Run dispatches the worker to every queue in parallel and blocks until
+	// all workers return.
+	Run(w Worker) error
+	// ReaderFor returns a read handle on queue q, for callers that manage
+	// their own worker scheduling (e.g. transport servers draining queues on
+	// behalf of remote readers).
+	ReaderFor(q int) (Reader, error)
+	// Close wakes all blocked readers and rejects future puts.
+	Close() error
+}
+
+// Reader is the mobile client code's handle to its local queue.
+type Reader interface {
+	// Queue reports which queue this reader drains.
+	Queue() int
+	// Read dequeues the next message, waiting up to timeout. ok is false when
+	// the timeout elapsed with no message available. Once the set is closed
+	// and the queue drained, Read returns ErrClosed (already-queued messages
+	// are still delivered first).
+	Read(timeout time.Duration) (msg any, ok bool, err error)
+	// TryRead dequeues without waiting. The error contract matches Read.
+	TryRead() (msg any, ok bool, err error)
+	// Len reports the number of queued messages.
+	Len() int
+}
+
+// Worker is mobile client code run against one queue of the set.
+type Worker func(r Reader) error
+
+// Interface conformance of the in-process implementation.
+var (
+	_ Queuing = (*System)(nil)
+	_ Set     = (*QueueSet)(nil)
+	_ Reader  = (*localReader)(nil)
+)
+
 // System manages queue sets. One System is typically shared per store.
 type System struct {
 	marshal bool
@@ -109,7 +172,7 @@ func NewSystem(opts ...SystemOption) *System {
 
 // CreateQueueSet creates a queue set placed like the given table: one queue
 // per part of the table.
-func (s *System) CreateQueueSet(name string, like kvstore.Table) (*QueueSet, error) {
+func (s *System) CreateQueueSet(name string, like kvstore.Table) (Set, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.sets[name]; ok {
@@ -236,20 +299,15 @@ func (qs *QueueSet) PutLocal(q int, msg any) error {
 	return nil
 }
 
-// Reader is the mobile client code's handle to its local queue.
-type Reader struct {
+// localReader is the in-process Reader: a direct handle on one queue.
+type localReader struct {
 	queueSet *QueueSet
 	index    int
 }
 
-// Queue reports which queue this reader drains.
-func (r *Reader) Queue() int { return r.index }
+func (r *localReader) Queue() int { return r.index }
 
-// Read dequeues the next message, waiting up to timeout. ok is false when the
-// timeout elapsed with no message available. Once the set is closed and the
-// queue drained, Read returns ErrClosed (already-queued messages are still
-// delivered first).
-func (r *Reader) Read(timeout time.Duration) (msg any, ok bool, err error) {
+func (r *localReader) Read(timeout time.Duration) (msg any, ok bool, err error) {
 	msg, ok, closed := r.queueSet.queues[r.index].take(timeout)
 	if ok {
 		r.queueSet.gaugeDepth(r.index)
@@ -261,16 +319,19 @@ func (r *Reader) Read(timeout time.Duration) (msg any, ok bool, err error) {
 	return nil, false, nil
 }
 
-// TryRead dequeues without waiting. The error contract matches Read.
-func (r *Reader) TryRead() (msg any, ok bool, err error) {
+func (r *localReader) TryRead() (msg any, ok bool, err error) {
 	return r.Read(0)
 }
 
-// Len reports the number of queued messages.
-func (r *Reader) Len() int { return r.queueSet.queues[r.index].len() }
+func (r *localReader) Len() int { return r.queueSet.queues[r.index].len() }
 
-// Worker is mobile client code run against one queue of the set.
-type Worker func(r *Reader) error
+// ReaderFor returns a read handle on queue q.
+func (qs *QueueSet) ReaderFor(q int) (Reader, error) {
+	if q < 0 || q >= len(qs.queues) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrNoQueue, q, len(qs.queues))
+	}
+	return &localReader{queueSet: qs, index: q}, nil
+}
 
 // Run dispatches the worker to every part in parallel and blocks until all
 // workers return. The first non-nil worker error is returned (all workers
@@ -282,7 +343,7 @@ func (qs *QueueSet) Run(w Worker) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			errs[i] = w(&Reader{queueSet: qs, index: i})
+			errs[i] = w(&localReader{queueSet: qs, index: i})
 		}(i)
 	}
 	wg.Wait()

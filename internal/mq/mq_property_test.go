@@ -31,7 +31,7 @@ func TestFIFOProperty(t *testing.T) {
 			}
 		}
 		for q := 0; q < queues; q++ {
-			r := &Reader{queueSet: qs, index: q}
+			r := readerFor(qs, q)
 			for i := 0; i < perQueue; i++ {
 				msg, ok, _ := r.TryRead()
 				if !ok {
@@ -77,7 +77,7 @@ func TestDelayedDeliveryPreservesFIFOProperty(t *testing.T) {
 				return false
 			}
 		}
-		r := &Reader{queueSet: qs, index: 0}
+		r := readerFor(qs, 0)
 		for i := 0; i < n; i++ {
 			msg, ok, _ := r.Read(5 * time.Second)
 			if !ok || msg != i {

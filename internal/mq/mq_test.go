@@ -47,7 +47,7 @@ func TestPutReadFIFO(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	r := &Reader{queueSet: qs, index: 1}
+	r := readerFor(qs, 1)
 	for i := 0; i < 100; i++ {
 		msg, ok, _ := r.Read(time.Second)
 		if !ok || msg != i {
@@ -62,7 +62,7 @@ func TestPutReadFIFO(t *testing.T) {
 func TestReadTimeout(t *testing.T) {
 	sys, tab := newSystem(t, 1)
 	qs, _ := sys.CreateQueueSet("q", tab)
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	start := time.Now()
 	_, ok, _ := r.Read(30 * time.Millisecond)
 	if ok {
@@ -76,7 +76,7 @@ func TestReadTimeout(t *testing.T) {
 func TestReadWakesOnPut(t *testing.T) {
 	sys, tab := newSystem(t, 1)
 	qs, _ := sys.CreateQueueSet("q", tab)
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	go func() {
 		time.Sleep(20 * time.Millisecond)
 		_ = qs.Put(0, "wake")
@@ -98,7 +98,7 @@ func TestRunWorkersOnePerQueue(t *testing.T) {
 	}
 	var mu sync.Mutex
 	got := map[int][]int{}
-	err := qs.Run(func(r *Reader) error {
+	err := qs.Run(func(r Reader) error {
 		for {
 			msg, ok, _ := r.Read(50 * time.Millisecond)
 			if !ok {
@@ -129,7 +129,7 @@ func TestRunPropagatesWorkerError(t *testing.T) {
 	sys, tab := newSystem(t, 2)
 	qs, _ := sys.CreateQueueSet("q", tab)
 	boom := errors.New("boom")
-	err := qs.Run(func(r *Reader) error {
+	err := qs.Run(func(r Reader) error {
 		if r.Queue() == 1 {
 			return boom
 		}
@@ -161,7 +161,7 @@ func TestPerSenderReceiverOrdering(t *testing.T) {
 	}
 	wg.Wait()
 	last := map[int]int{0: -1, 1: -1, 2: -1, 3: -1}
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	for n := 0; n < senders*per; n++ {
 		msg, ok, _ := r.TryRead()
 		if !ok {
@@ -181,7 +181,7 @@ func TestMarshallingIsolationMQ(t *testing.T) {
 	payload := []int{1, 2, 3}
 	_ = qs.Put(0, payload)
 	payload[0] = 99
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	msg, _, _ := r.TryRead()
 	if msg.([]int)[0] != 1 {
 		t.Error("queue shares memory with sender")
@@ -193,7 +193,7 @@ func TestPutLocalSkipsMarshalling(t *testing.T) {
 	qs, _ := sys.CreateQueueSet("q", tab)
 	payload := []int{7}
 	_ = qs.PutLocal(0, payload)
-	r := &Reader{queueSet: qs, index: 0}
+	r := readerFor(qs, 0)
 	msg, _, _ := r.TryRead()
 	got := msg.([]int)
 	if &got[0] != &payload[0] {
@@ -206,7 +206,7 @@ func TestCloseWakesReaders(t *testing.T) {
 	qs, _ := sys.CreateQueueSet("q", tab)
 	done := make(chan bool, 1)
 	go func() {
-		r := &Reader{queueSet: qs, index: 0}
+		r := readerFor(qs, 0)
 		_, ok, _ := r.Read(10 * time.Second)
 		done <- ok
 	}()
@@ -279,7 +279,7 @@ func TestHighVolumeConcurrentProducersConsumers(t *testing.T) {
 	count.Add(1)
 	go func() {
 		defer count.Done()
-		_ = qs.Run(func(r *Reader) error {
+		_ = qs.Run(func(r Reader) error {
 			for {
 				_, ok, _ := r.Read(200 * time.Millisecond)
 				if !ok {

@@ -1,0 +1,10 @@
+package mq
+
+// readerFor is a test helper: a Reader on queue q, panicking on a bad index.
+func readerFor(qs Set, q int) Reader {
+	r, err := qs.ReaderFor(q)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

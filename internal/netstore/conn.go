@@ -1,0 +1,202 @@
+package netstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// errConnBroken marks a request whose connection died before the response
+// arrived. It is a transport failure, not a server verdict: the client
+// retries it (the op may or may not have executed — all store ops are
+// idempotent puts/gets/deletes, and mq duplicates are shed by the engine's
+// sender+sequence dedup).
+var errConnBroken = errors.New("netstore: connection broken")
+
+// errTimeout marks a request that outlived its deadline.
+var errTimeout = errors.New("netstore: request timed out")
+
+// serverConn multiplexes one TCP connection to one part-server: requests
+// carry client-assigned frame IDs, a single reader goroutine routes
+// responses back to waiters by ID. Dialing is lazy and re-dialing after
+// teardown is automatic on the next call.
+type serverConn struct {
+	addr   string
+	server int // index in the client's server list, for fault routing
+	inj    WireInjector
+
+	mu      sync.Mutex
+	conn    net.Conn
+	wmu     sync.Mutex // serializes frame writes on conn
+	pending map[uint64]chan frame
+	gen     int // bumped on teardown so stale readLoops don't tear down a new conn
+}
+
+func newServerConn(addr string, server int, inj WireInjector) *serverConn {
+	return &serverConn{addr: addr, server: server, inj: inj, pending: make(map[uint64]chan frame)}
+}
+
+// get returns the live connection, dialing if needed.
+func (sc *serverConn) get() (net.Conn, int, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.conn != nil {
+		return sc.conn, sc.gen, nil
+	}
+	conn, err := net.DialTimeout("tcp", sc.addr, 2*time.Second)
+	if err != nil {
+		return nil, sc.gen, fmt.Errorf("netstore: dial %s: %w", sc.addr, err)
+	}
+	sc.conn = conn
+	sc.gen++
+	gen := sc.gen
+	go sc.readLoop(conn, gen)
+	return conn, gen, nil
+}
+
+// teardown closes the connection (if it is still the one of generation gen)
+// and fails every pending request by closing its channel.
+func (sc *serverConn) teardown(gen int) {
+	sc.mu.Lock()
+	if sc.gen != gen || sc.conn == nil {
+		sc.mu.Unlock()
+		return
+	}
+	conn := sc.conn
+	sc.conn = nil
+	pending := sc.pending
+	sc.pending = make(map[uint64]chan frame)
+	sc.mu.Unlock()
+	conn.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// close tears down whatever connection is live.
+func (sc *serverConn) close() {
+	sc.mu.Lock()
+	gen := sc.gen
+	sc.mu.Unlock()
+	sc.teardown(gen)
+}
+
+// register parks a response channel under the frame ID. The channel is
+// buffered for 2 so a duplicated response never blocks the read loop.
+func (sc *serverConn) register(id uint64) chan frame {
+	ch := make(chan frame, 2)
+	sc.mu.Lock()
+	sc.pending[id] = ch
+	sc.mu.Unlock()
+	return ch
+}
+
+func (sc *serverConn) unregister(id uint64) {
+	sc.mu.Lock()
+	delete(sc.pending, id)
+	sc.mu.Unlock()
+}
+
+// readLoop routes responses to waiters until the stream breaks, applying
+// receive-side faults (drop, delay, dup) on the way.
+func (sc *serverConn) readLoop(conn net.Conn, gen int) {
+	for {
+		f, err := readFrame(conn)
+		if err != nil {
+			sc.teardown(gen)
+			return
+		}
+		if sc.inj != nil && f.Op != opPing {
+			fault := sc.inj.RecvFault(sc.server, f.Op)
+			if fault.DropConn {
+				sc.teardown(gen)
+				return
+			}
+			if fault.Drop {
+				continue
+			}
+			if fault.Delay > 0 {
+				f := f
+				time.AfterFunc(fault.Delay, func() {
+					sc.deliver(f)
+					if fault.Dup {
+						sc.deliver(f)
+					}
+				})
+				continue
+			}
+			if fault.Dup {
+				sc.deliver(f)
+			}
+		}
+		sc.deliver(f)
+	}
+}
+
+// deliver hands a response to its waiter, if one is still parked; late and
+// duplicate responses beyond the channel's slack are shed here.
+func (sc *serverConn) deliver(f frame) {
+	sc.mu.Lock()
+	ch := sc.pending[f.ID]
+	sc.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- f:
+	default: // duplicate beyond buffer slack; shed
+	}
+}
+
+// call performs one request/response round-trip with the given deadline,
+// applying send-side faults. Transport failures come back as errConnBroken
+// or errTimeout; server verdicts come back as the response frame.
+func (sc *serverConn) call(req frame, timeout time.Duration) (frame, error) {
+	conn, gen, err := sc.get()
+	if err != nil {
+		return frame{}, fmt.Errorf("%w: %v", errConnBroken, err)
+	}
+	var fault WireFault
+	if sc.inj != nil && req.Op != opPing {
+		fault = sc.inj.SendFault(sc.server, req.Op)
+	}
+	if fault.DropConn {
+		sc.teardown(gen)
+		return frame{}, fmt.Errorf("%w: injected connection drop", errConnBroken)
+	}
+	ch := sc.register(req.ID)
+	defer sc.unregister(req.ID)
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	if !fault.Drop {
+		writes := 1
+		if fault.Dup {
+			writes = 2
+		}
+		for i := 0; i < writes; i++ {
+			sc.wmu.Lock()
+			err := writeFrame(conn, req)
+			sc.wmu.Unlock()
+			if err != nil {
+				sc.teardown(gen)
+				return frame{}, fmt.Errorf("%w: %v", errConnBroken, err)
+			}
+		}
+	}
+	// A dropped request still waits: the caller sees a timeout, exactly as a
+	// real lost packet would present.
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return frame{}, errConnBroken
+		}
+		return resp, nil
+	case <-timer.C:
+		return frame{}, fmt.Errorf("%w: %s after %v", errTimeout, opName(req.Op), timeout)
+	}
+}

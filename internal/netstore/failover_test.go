@@ -1,0 +1,257 @@
+package netstore
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/kvstore"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestFailoverAndHeal(t *testing.T) {
+	addrs, servers, stop := fleet(t, 3)
+	defer stop()
+	c := dialFleet(t, addrs,
+		WithReplicas(2),
+		WithHeartbeat(20*time.Millisecond, 2),
+		WithRequestTimeout(500*time.Millisecond),
+		WithRetries(8),
+	)
+
+	tbl, err := c.CreateTable("d", kvstore.WithParts(6))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		if err := tbl.Put(i, i*10); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+
+	// Kill the primary of part 0 mid-flight.
+	victim := replicaSet(0, 3, 2)[0]
+	f0 := c.Failovers()
+	_ = servers[victim].Close()
+
+	// Every key stays readable: reads ride the retry loop through failure
+	// detection and fail over to the surviving replica.
+	for i := 0; i < n; i++ {
+		v, ok, err := tbl.Get(i)
+		if err != nil || !ok || v.(int) != i*10 {
+			t.Fatalf("get %d after kill = %v %v %v", i, v, ok, err)
+		}
+	}
+	if c.Failovers() <= f0 {
+		t.Fatalf("failover not sensed: %d -> %d", f0, c.Failovers())
+	}
+
+	// Writes during the outage land on the survivors.
+	for i := n; i < n+20; i++ {
+		if err := tbl.Put(i, i*10); err != nil {
+			t.Fatalf("put during outage: %v", err)
+		}
+	}
+
+	// Restart the victim on the same address — empty, like a real process
+	// respawn. The detector must see the rejoin (another failover event)
+	// and hold it cold until healed.
+	f1 := c.Failovers()
+	ln, err := net.Listen("tcp", addrs[victim])
+	if err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	respawn := NewServer()
+	go func() { _ = respawn.Serve(ln) }()
+	defer respawn.Close()
+	waitFor(t, 5*time.Second, "rejoin detection", func() bool { return c.Failovers() > f1 })
+
+	if err := c.Heal("d"); err != nil {
+		t.Fatalf("heal: %v", err)
+	}
+
+	// Now kill the other original member of part 0's replica set: the
+	// healed respawn must be able to serve everything it owns.
+	other := replicaSet(0, 3, 2)[1]
+	if other == victim {
+		other = replicaSet(0, 3, 2)[0]
+	}
+	_ = servers[other].Close()
+	for i := 0; i < n+20; i++ {
+		v, ok, err := tbl.Get(i)
+		if err != nil || !ok || v.(int) != i*10 {
+			t.Fatalf("get %d after second kill = %v %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestAllReplicasDownIsShardFailed(t *testing.T) {
+	addrs, servers, stop := fleet(t, 2)
+	defer stop()
+	c := dialFleet(t, addrs,
+		WithReplicas(1), // no redundancy: killing the primary is fatal
+		WithHeartbeat(20*time.Millisecond, 2),
+		WithRequestTimeout(200*time.Millisecond),
+		WithRetries(2),
+	)
+	tbl, err := c.CreateTable("d", kvstore.WithParts(4))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := tbl.Put("k", 1); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	part := tbl.PartOf("k")
+	primary := replicaSet(part, 2, 1)[0]
+	_ = servers[primary].Close()
+	waitFor(t, 5*time.Second, "primary marked down", func() bool {
+		_, _, err := tbl.Get("k")
+		return err != nil && errors.Is(err, kvstore.ErrShardFailed)
+	})
+}
+
+// stubInjector drops the first N sends of one opcode and can duplicate
+// every response.
+type stubInjector struct {
+	mu       sync.Mutex
+	dropOp   uint8
+	drops    int
+	dupRecvs bool
+}
+
+func (s *stubInjector) SendFault(server int, op uint8) WireFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if op == s.dropOp && s.drops > 0 {
+		s.drops--
+		return WireFault{Drop: true}
+	}
+	return WireFault{}
+}
+
+func (s *stubInjector) RecvFault(server int, op uint8) WireFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return WireFault{Dup: s.dupRecvs}
+}
+
+func (s *stubInjector) PingBlocked(int, bool) bool { return false }
+
+func TestDroppedRequestsAreRetried(t *testing.T) {
+	inj := &stubInjector{dropOp: opGet, drops: 2}
+	addrs, _, stop := fleet(t, 2)
+	defer stop()
+	c := dialFleet(t, addrs,
+		WithWireInjector(inj),
+		WithRequestTimeout(100*time.Millisecond),
+		WithRetries(4),
+		WithBackoffSeed(42),
+	)
+	tbl, err := c.CreateTable("d", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if err := tbl.Put("k", "v"); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	v, ok, err := tbl.Get("k")
+	if err != nil || !ok || v.(string) != "v" {
+		t.Fatalf("get through drops = %v %v %v", v, ok, err)
+	}
+	inj.mu.Lock()
+	left := inj.drops
+	inj.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("faults not consumed: %d left", left)
+	}
+}
+
+func TestDuplicatedResponsesAreShed(t *testing.T) {
+	inj := &stubInjector{dupRecvs: true}
+	addrs, _, stop := fleet(t, 2)
+	defer stop()
+	c := dialFleet(t, addrs, WithWireInjector(inj))
+	tbl, err := c.CreateTable("d", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := tbl.Put(i, i); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+		v, ok, err := tbl.Get(i)
+		if err != nil || !ok || v.(int) != i {
+			t.Fatalf("get %d = %v %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestNetBackoffSeededJitter(t *testing.T) {
+	c1 := &Client{backoffSeed: 7}
+	c2 := &Client{backoffSeed: 7}
+	c3 := &Client{backoffSeed: 8}
+	diverged := false
+	for attempt := 1; attempt <= 4; attempt++ {
+		for part := 0; part < 4; part++ {
+			a := c1.netBackoff(opGet, part, attempt)
+			b := c2.netBackoff(opGet, part, attempt)
+			if a != b {
+				t.Fatalf("same seed diverged: %v vs %v", a, b)
+			}
+			shift := attempt
+			if shift > 6 {
+				shift = 6
+			}
+			base := time.Duration(100<<uint(shift)) * time.Microsecond
+			if a < base/2 || a >= base+base/2 {
+				t.Fatalf("backoff %v outside [%v, %v)", a, base/2, base+base/2)
+			}
+			if c3.netBackoff(opGet, part, attempt) != a {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Error("different seeds never diverged")
+	}
+}
+
+func TestLookupTableFromAnotherClient(t *testing.T) {
+	addrs, _, stop := fleet(t, 2)
+	defer stop()
+	c1 := dialFleet(t, addrs)
+	c2 := dialFleet(t, addrs)
+
+	if _, err := c1.CreateTable("shared", kvstore.WithParts(3), kvstore.Ordered()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	tbl, ok := c2.LookupTable("shared")
+	if !ok {
+		t.Fatal("second client cannot see the table")
+	}
+	if tbl.Parts() != 3 {
+		t.Fatalf("resolved parts = %d", tbl.Parts())
+	}
+	if err := tbl.Put("k", 1); err != nil {
+		t.Fatalf("put via second client: %v", err)
+	}
+	t1, _ := c1.LookupTable("shared")
+	if v, ok, err := t1.Get("k"); err != nil || !ok || v.(int) != 1 {
+		t.Fatalf("cross-client get = %v %v %v", v, ok, err)
+	}
+}

@@ -1,0 +1,178 @@
+package netstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/mq"
+)
+
+// Queuing returns the networked mq SPI: queue sets live on the part-servers
+// (queue q collocated with part q's primary), puts cross the wire, and
+// readers long-poll.
+//
+// Delivery is at-most-once across failures: messages queued on a server
+// that dies are lost, and a put retried after a lost response can deliver
+// twice (the engine's sender+sequence duplicate shedding drops the replay).
+// Per-(sender,queue) FIFO holds because each put is a synchronous RPC — a
+// sender goroutine has at most one put in flight.
+func (c *Client) Queuing() mq.Queuing { return &netQueuing{c: c} }
+
+type netQueuing struct {
+	c *Client
+}
+
+var _ mq.Queuing = (*netQueuing)(nil)
+
+// CreateQueueSet implements mq.Queuing: the set is created on every live
+// server so queue q is servable wherever part q's primary lands.
+func (q *netQueuing) CreateQueueSet(name string, like kvstore.Table) (mq.Set, error) {
+	queues := like.Parts()
+	if err := q.c.broadcast(frame{Op: opMQCreate, Name: name, Part: queues}); err != nil {
+		return nil, err
+	}
+	q.c.mu.Lock()
+	q.c.qsets[name] = queues
+	q.c.mu.Unlock()
+	return &netSet{c: q.c, name: name, queues: queues}, nil
+}
+
+// DeleteQueueSet implements mq.Queuing.
+func (q *netQueuing) DeleteQueueSet(name string) error {
+	q.c.mu.Lock()
+	delete(q.c.qsets, name)
+	q.c.mu.Unlock()
+	return q.c.broadcast(frame{Op: opMQDelete, Name: name})
+}
+
+// netSet is the client handle to a remote queue set.
+type netSet struct {
+	c      *Client
+	name   string
+	queues int
+	closed atomic.Bool
+}
+
+var _ mq.Set = (*netSet)(nil)
+
+// Name implements mq.Set.
+func (s *netSet) Name() string { return s.name }
+
+// Queues implements mq.Set.
+func (s *netSet) Queues() int { return s.queues }
+
+// Put implements mq.Set: the message routes to queue q's current primary.
+// Messages are not replicated — see Queuing's delivery contract.
+func (s *netSet) Put(q int, msg any) error {
+	if s.closed.Load() {
+		return fmt.Errorf("%w: %q", mq.ErrClosed, s.name)
+	}
+	if q < 0 || q >= s.queues {
+		return fmt.Errorf("%w: %d of %d", mq.ErrNoQueue, q, s.queues)
+	}
+	vb, err := encVal(msg)
+	if err != nil {
+		return err
+	}
+	s.c.met.AddMessagesSent(1)
+	s.c.met.AddMarshalledBytes(int64(len(vb)))
+	_, err = s.c.callOp(s.c.replicaSetFor(q, false),
+		frame{Op: opMQPut, Name: s.name, Part: q, Val: vb}, false)
+	return err
+}
+
+// PutLocal implements mq.Set; over a network transport nothing is local, so
+// it is Put.
+func (s *netSet) PutLocal(q int, msg any) error { return s.Put(q, msg) }
+
+// Run implements mq.Set: one worker per queue, each long-polling its queue's
+// primary, blocking until all workers return.
+func (s *netSet) Run(w mq.Worker) error {
+	var wg sync.WaitGroup
+	errs := make([]error, s.queues)
+	for i := 0; i < s.queues; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = w(&netReader{set: s, queue: i})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReaderFor implements mq.Set.
+func (s *netSet) ReaderFor(q int) (mq.Reader, error) {
+	if q < 0 || q >= s.queues {
+		return nil, fmt.Errorf("%w: %d of %d", mq.ErrNoQueue, q, s.queues)
+	}
+	return &netReader{set: s, queue: q}, nil
+}
+
+// Close implements mq.Set.
+func (s *netSet) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.c.mu.Lock()
+	delete(s.c.qsets, s.name)
+	s.c.mu.Unlock()
+	return s.c.broadcast(frame{Op: opMQClose, Name: s.name})
+}
+
+// netReader long-polls one queue.
+type netReader struct {
+	set   *netSet
+	queue int
+}
+
+var _ mq.Reader = (*netReader)(nil)
+
+// Queue implements mq.Reader.
+func (r *netReader) Queue() int { return r.queue }
+
+// Read implements mq.Reader: the timeout rides in the request and the
+// server holds it, so an idle queue costs one RPC per timeout window, not a
+// poll storm. The RPC deadline is the poll window plus the normal request
+// timeout.
+func (r *netReader) Read(timeout time.Duration) (any, bool, error) {
+	if timeout < 0 {
+		timeout = 0
+	}
+	resp, err := r.set.c.callOpT(r.set.c.replicaSetFor(r.queue, false),
+		frame{Op: opMQRead, Name: r.set.name, Part: r.queue, Aux: timeout.Nanoseconds()},
+		false, timeout+r.set.c.reqTimeout)
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.Flag {
+		return nil, false, nil
+	}
+	v, err := decVal(resp.Val)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
+}
+
+// TryRead implements mq.Reader.
+func (r *netReader) TryRead() (any, bool, error) { return r.Read(0) }
+
+// Len implements mq.Reader. Errors surface as an empty queue — the SPI's
+// Len is advisory (depth gauges), not load-bearing.
+func (r *netReader) Len() int {
+	resp, err := r.set.c.callOp(r.set.c.replicaSetFor(r.queue, false),
+		frame{Op: opMQLen, Name: r.set.name, Part: r.queue}, false)
+	if err != nil {
+		return 0
+	}
+	return int(resp.Aux)
+}

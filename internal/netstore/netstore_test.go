@@ -1,0 +1,398 @@
+package netstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+	"ripple/internal/mq"
+)
+
+// fleet spins up n in-process servers on loopback and returns their
+// addresses plus a shutdown func.
+func fleet(t *testing.T, n int, opts ...ServerOption) ([]string, []*Server, func()) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*Server, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		srv := NewServer(opts...)
+		addrs[i] = ln.Addr().String()
+		servers[i] = srv
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = srv.Serve(ln)
+		}()
+	}
+	return addrs, servers, func() {
+		for _, s := range servers {
+			_ = s.Close()
+		}
+		wg.Wait()
+	}
+}
+
+func dialFleet(t *testing.T, addrs []string, opts ...Option) *Client {
+	t.Helper()
+	c, err := Dial(addrs, opts...)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+func TestRoundTripFrame(t *testing.T) {
+	f := frame{
+		ID: 42, Op: opPut, Code: errCodeTransient, Flag: true, Name: "edges",
+		Part: 7, Aux: -9, Key: []byte("k"), Val: []byte("v"),
+		Pairs: []wirePair{{K: []byte("a"), V: []byte("1")}, {K: []byte("b"), V: nil}},
+		Trace: 99, Span: 100,
+	}
+	enc, err := codec.Encode(f)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	v, err := codec.Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	g := v.(frame)
+	if g.ID != f.ID || g.Op != f.Op || g.Code != f.Code || g.Flag != f.Flag ||
+		g.Name != f.Name || g.Part != f.Part || g.Aux != f.Aux ||
+		string(g.Key) != "k" || string(g.Val) != "v" || len(g.Pairs) != 2 ||
+		string(g.Pairs[0].K) != "a" || string(g.Pairs[0].V) != "1" ||
+		string(g.Pairs[1].K) != "b" || g.Trace != 99 || g.Span != 100 {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, f)
+	}
+}
+
+func TestReplicaSetDeterministicAndSpread(t *testing.T) {
+	// Same inputs, same answer.
+	for part := 0; part < 32; part++ {
+		a := replicaSet(part, 5, 3)
+		b := replicaSet(part, 5, 3)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("part %d: nondeterministic placement %v vs %v", part, a, b)
+		}
+		seen := map[int]bool{}
+		for _, s := range a {
+			if s < 0 || s >= 5 || seen[s] {
+				t.Fatalf("part %d: bad replica set %v", part, a)
+			}
+			seen[s] = true
+		}
+	}
+	// Primaries spread across servers.
+	primaries := map[int]int{}
+	for part := 0; part < 64; part++ {
+		primaries[replicaSet(part, 4, 2)[0]]++
+	}
+	if len(primaries) < 3 {
+		t.Errorf("primaries badly skewed: %v", primaries)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	addrs, _, stop := fleet(t, 3)
+	defer stop()
+	c := dialFleet(t, addrs, WithReplicas(2), WithDefaultParts(4))
+
+	tbl, err := c.CreateTable("ranks", kvstore.WithParts(4))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := tbl.Put(fmt.Sprintf("v%d", i), float64(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	v, ok, err := tbl.Get("v7")
+	if err != nil || !ok || v.(float64) != 7 {
+		t.Fatalf("get v7 = %v %v %v", v, ok, err)
+	}
+	if _, ok, _ := tbl.Get("nope"); ok {
+		t.Fatal("phantom key")
+	}
+	if n, err := tbl.Size(); err != nil || n != 40 {
+		t.Fatalf("size = %d %v", n, err)
+	}
+	if err := tbl.Delete("v7"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if _, ok, _ := tbl.Get("v7"); ok {
+		t.Fatal("deleted key still present")
+	}
+
+	// Errors keep their canonical identity across the wire.
+	if _, err := c.CreateTable("ranks"); !errors.Is(err, kvstore.ErrTableExists) {
+		t.Errorf("duplicate create: %v", err)
+	}
+	if lt, ok := c.LookupTable("ranks"); !ok || lt.Parts() != 4 {
+		t.Errorf("lookup failed")
+	}
+	if _, ok := c.LookupTable("ghost"); ok {
+		t.Error("phantom table")
+	}
+}
+
+func TestAgentsAndEnumeration(t *testing.T) {
+	addrs, _, stop := fleet(t, 3)
+	defer stop()
+	c := dialFleet(t, addrs, WithReplicas(2))
+
+	tbl, err := c.CreateTable("g", kvstore.WithParts(3))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	other, err := c.CreateTable("h", kvstore.ConsistentWith("g"))
+	if err != nil {
+		t.Fatalf("consistent create: %v", err)
+	}
+	if other.Parts() != 3 {
+		t.Fatalf("consistent parts = %d", other.Parts())
+	}
+	for i := 0; i < 30; i++ {
+		if err := tbl.Put(i, i*i); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+
+	// Agent: sees exactly its part, co-placed view works, writes land.
+	for p := 0; p < 3; p++ {
+		res, err := c.RunAgent("g", p, func(sv kvstore.ShardView) (any, error) {
+			gv, err := sv.View("g")
+			if err != nil {
+				return nil, err
+			}
+			hv, err := sv.View("h")
+			if err != nil {
+				return nil, err
+			}
+			n := 0
+			if err := gv.Enumerate(func(k, v any) (bool, error) {
+				if tbl.PartOf(k) != sv.Part() {
+					return true, fmt.Errorf("key %v in wrong part", k)
+				}
+				n++
+				return false, hv.Put(k, v)
+			}); err != nil {
+				return nil, err
+			}
+			return n, nil
+		})
+		if err != nil {
+			t.Fatalf("agent part %d: %v", p, err)
+		}
+		if res.(int) == 0 && p == 0 {
+			t.Log("part 0 empty (legal, hash-dependent)")
+		}
+	}
+	if n, err := other.Size(); err != nil || n != 30 {
+		t.Fatalf("copied size = %d %v", n, err)
+	}
+
+	// EnumerateParts combines in part order; totals must cover everything.
+	total, err := tbl.EnumerateParts(countingConsumer{})
+	if err != nil {
+		t.Fatalf("enumerate parts: %v", err)
+	}
+	if total.(int) != 30 {
+		t.Fatalf("enumerate total = %v", total)
+	}
+
+	// Ordered enumeration is sorted.
+	var keys []int
+	_, err = c.RunAgent("g", 1, func(sv kvstore.ShardView) (any, error) {
+		gv, _ := sv.View("g")
+		return nil, gv.EnumerateOrdered(func(k, v any) (bool, error) {
+			keys = append(keys, k.(int))
+			return false, nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("ordered: %v", err)
+	}
+	if !sort.IntsAreSorted(keys) {
+		t.Fatalf("EnumerateOrdered out of order: %v", keys)
+	}
+}
+
+type countingConsumer struct{}
+
+func (countingConsumer) ProcessPart(sv kvstore.ShardView) (any, error) {
+	gv, err := sv.View("g")
+	if err != nil {
+		return nil, err
+	}
+	n, err := gv.Len()
+	return n, err
+}
+func (countingConsumer) Combine(a, b any) (any, error) { return a.(int) + b.(int), nil }
+
+func TestUbiquitousTable(t *testing.T) {
+	addrs, _, stop := fleet(t, 3)
+	defer stop()
+	c := dialFleet(t, addrs)
+
+	u, err := c.CreateTable("cfg", kvstore.Ubiquitous())
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if !u.Ubiquitous() || u.Parts() != 1 {
+		t.Fatalf("ubiquitous shape wrong")
+	}
+	if err := u.Put("alpha", 0.85); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	anchor, _ := c.CreateTable("data", kvstore.WithParts(4))
+	_ = anchor
+	res, err := c.RunAgent("data", 2, func(sv kvstore.ShardView) (any, error) {
+		uv, err := sv.View("cfg")
+		if err != nil {
+			return nil, err
+		}
+		if uv.Part() != 2 {
+			return nil, fmt.Errorf("ubiq view part = %d", uv.Part())
+		}
+		v, ok, err := uv.Get("alpha")
+		if err != nil || !ok {
+			return nil, fmt.Errorf("ubiq get: %v %v", ok, err)
+		}
+		return v, nil
+	})
+	if err != nil {
+		t.Fatalf("agent: %v", err)
+	}
+	if res.(float64) != 0.85 {
+		t.Fatalf("ubiq value = %v", res)
+	}
+}
+
+func TestMQRoundTrip(t *testing.T) {
+	addrs, _, stop := fleet(t, 3)
+	defer stop()
+	c := dialFleet(t, addrs, WithReplicas(2))
+
+	tbl, err := c.CreateTable("t", kvstore.WithParts(3))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	q := c.Queuing()
+	set, err := q.CreateQueueSet("msgs", tbl)
+	if err != nil {
+		t.Fatalf("create set: %v", err)
+	}
+	if set.Queues() != 3 || set.Name() != "msgs" {
+		t.Fatalf("set shape wrong: %d %q", set.Queues(), set.Name())
+	}
+	for i := 0; i < 9; i++ {
+		if err := set.Put(i%3, fmt.Sprintf("m%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	r, err := set.ReaderFor(1)
+	if err != nil {
+		t.Fatalf("reader: %v", err)
+	}
+	// FIFO per queue: queue 1 got m1, m4, m7 in order.
+	for _, want := range []string{"m1", "m4", "m7"} {
+		msg, ok, err := r.Read(time.Second)
+		if err != nil || !ok {
+			t.Fatalf("read: %v %v", ok, err)
+		}
+		if msg.(string) != want {
+			t.Fatalf("got %v want %s", msg, want)
+		}
+	}
+	if msg, ok, err := r.TryRead(); ok || err != nil {
+		t.Fatalf("drained queue returned %v %v %v", msg, ok, err)
+	}
+	if err := set.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := set.Put(0, "late"); !errors.Is(err, mq.ErrClosed) {
+		t.Fatalf("put after close: %v", err)
+	}
+}
+
+func TestMQRunDrainsAllQueues(t *testing.T) {
+	addrs, _, stop := fleet(t, 2)
+	defer stop()
+	c := dialFleet(t, addrs)
+
+	tbl, _ := c.CreateTable("t", kvstore.WithParts(4))
+	set, err := c.Queuing().CreateQueueSet("work", tbl)
+	if err != nil {
+		t.Fatalf("create set: %v", err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := set.Put(i%4, i); err != nil {
+			t.Fatalf("put: %v", err)
+		}
+	}
+	var mu sync.Mutex
+	got := map[int]bool{}
+	done := make(chan error, 1)
+	go func() {
+		done <- set.Run(func(r mq.Reader) error {
+			for {
+				msg, ok, err := r.Read(200 * time.Millisecond)
+				if errors.Is(err, mq.ErrClosed) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil // idle long enough; queue is drained
+				}
+				mu.Lock()
+				got[msg.(int)] = true
+				mu.Unlock()
+			}
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not finish")
+	}
+	if len(got) != n {
+		t.Fatalf("drained %d of %d messages", len(got), n)
+	}
+}
+
+func TestMetricsSeeRPCs(t *testing.T) {
+	m := &metrics.Collector{}
+	addrs, _, stop := fleet(t, 2)
+	defer stop()
+	c := dialFleet(t, addrs, WithMetrics(m))
+
+	tbl, _ := c.CreateTable("t", kvstore.WithParts(2))
+	_ = tbl.Put("k", "v")
+	snap := m.Snapshot()
+	if snap.RPCCalls == 0 {
+		t.Error("no RPC calls counted")
+	}
+	eps := m.EndpointSnapshots()
+	if eps["put"].Count == 0 {
+		t.Errorf("no put endpoint latency recorded: %v", eps)
+	}
+}

@@ -1,0 +1,401 @@
+package netstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ripple/internal/codec"
+	"ripple/internal/kvstore"
+)
+
+// encKey encodes a key for the wire.
+func encKey(key any) ([]byte, error) { return codec.Encode(key) }
+
+// encVal encodes a value for the wire; pre-encoded values ship their bytes
+// directly (the PreEncode fast path survives the network hop).
+func encVal(v any) ([]byte, error) {
+	if e, ok := v.(codec.Encoded); ok {
+		return e.Bytes(), nil
+	}
+	return codec.Encode(v)
+}
+
+// decVal decodes a wire value. Like the in-process stores' round-trip, a
+// value stored as codec.Encoded comes back as the underlying value.
+func decVal(b []byte) (any, error) { return codec.Decode(b) }
+
+// netTable is the client-side handle to one remote table.
+type netTable struct {
+	c    *Client
+	name string
+	meta tableMeta
+}
+
+var _ kvstore.Table = (*netTable)(nil)
+
+// Name implements kvstore.Table.
+func (t *netTable) Name() string { return t.name }
+
+// Parts implements kvstore.Table.
+func (t *netTable) Parts() int {
+	if t.meta.ubiq {
+		return 1
+	}
+	return t.meta.parts
+}
+
+// Ubiquitous implements kvstore.Table.
+func (t *netTable) Ubiquitous() bool { return t.meta.ubiq }
+
+// PartOf implements kvstore.Table.
+func (t *netTable) PartOf(key any) int {
+	if t.meta.ubiq {
+		return 0
+	}
+	return codec.PartOf(codec.DefaultHasher{}, key, t.meta.parts)
+}
+
+// Get implements kvstore.Table.
+func (t *netTable) Get(key any) (any, bool, error) {
+	t.c.met.AddStoreGets(1)
+	part := t.PartOf(key)
+	kb, err := encKey(key)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := t.c.callOp(t.c.replicaSetFor(part, t.meta.ubiq),
+		frame{Op: opGet, Name: t.name, Part: part, Key: kb}, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.Flag {
+		return nil, false, nil
+	}
+	v, err := decVal(resp.Val)
+	return v, err == nil, err
+}
+
+// Put implements kvstore.Table.
+func (t *netTable) Put(key, value any) error {
+	t.c.met.AddStorePuts(1)
+	part := t.PartOf(key)
+	kb, err := encKey(key)
+	if err != nil {
+		return err
+	}
+	vb, err := encVal(value)
+	if err != nil {
+		return err
+	}
+	t.c.met.AddMarshalledBytes(int64(len(kb) + len(vb)))
+	_, err = t.c.callOp(t.c.replicaSetFor(part, t.meta.ubiq),
+		frame{Op: opPut, Name: t.name, Part: part, Key: kb, Val: vb}, true)
+	return err
+}
+
+// Delete implements kvstore.Table.
+func (t *netTable) Delete(key any) error {
+	t.c.met.AddStoreDeletes(1)
+	part := t.PartOf(key)
+	kb, err := encKey(key)
+	if err != nil {
+		return err
+	}
+	_, err = t.c.callOp(t.c.replicaSetFor(part, t.meta.ubiq),
+		frame{Op: opDelete, Name: t.name, Part: part, Key: kb}, true)
+	return err
+}
+
+// Size implements kvstore.Table.
+func (t *netTable) Size() (int, error) {
+	total := 0
+	for part := 0; part < t.Parts(); part++ {
+		resp, err := t.c.callOp(t.c.replicaSetFor(part, t.meta.ubiq),
+			frame{Op: opLen, Name: t.name, Part: part}, false)
+		if err != nil {
+			return 0, err
+		}
+		total += int(resp.Aux)
+	}
+	return total, nil
+}
+
+// EnumerateParts implements kvstore.Table: ProcessPart runs once per part in
+// parallel (each part's ops flowing to that part's replica set), and results
+// are folded in part order so the combined result is deterministic — the
+// same contract as the in-process stores.
+func (t *netTable) EnumerateParts(pc kvstore.PartConsumer) (any, error) {
+	if t.meta.ubiq {
+		return pc.ProcessPart(&netShardView{c: t.c, anchor: t.name, meta: t.meta, part: 0})
+	}
+	results := make([]any, t.meta.parts)
+	errs := make([]error, t.meta.parts)
+	var wg sync.WaitGroup
+	for p := 0; p < t.meta.parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			sv := &netShardView{c: t.c, anchor: t.name, meta: t.meta, part: p}
+			results[p], errs[p] = pc.ProcessPart(sv)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	combined := results[0]
+	var err error
+	for p := 1; p < len(results); p++ {
+		combined, err = pc.Combine(combined, results[p])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return combined, nil
+}
+
+// EnumeratePairs implements kvstore.Table.
+func (t *netTable) EnumeratePairs(pc kvstore.PairConsumer) (any, error) {
+	if t.meta.ubiq {
+		if err := pc.SetupPart(0); err != nil {
+			return nil, err
+		}
+		pairs, err := t.c.snapshotPairs(t.name, 0, t.meta, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pairs {
+			stop, err := pc.ConsumePair(p.k, p.v)
+			if err != nil {
+				return nil, err
+			}
+			if stop {
+				break
+			}
+		}
+		return pc.FinishPart(0)
+	}
+	return t.EnumerateParts(netPairAdapter{t: t, pc: pc})
+}
+
+// netPairAdapter runs a PairConsumer over one part as a PartConsumer.
+type netPairAdapter struct {
+	t  *netTable
+	pc kvstore.PairConsumer
+}
+
+var _ kvstore.PartConsumer = netPairAdapter{}
+
+func (a netPairAdapter) ProcessPart(sv kvstore.ShardView) (any, error) {
+	view, err := sv.View(a.t.name)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.pc.SetupPart(sv.Part()); err != nil {
+		return nil, err
+	}
+	enumerate := view.Enumerate
+	if a.t.meta.ordered {
+		enumerate = view.EnumerateOrdered
+	}
+	if err := enumerate(func(k, v any) (bool, error) {
+		return a.pc.ConsumePair(k, v)
+	}); err != nil {
+		return nil, err
+	}
+	return a.pc.FinishPart(sv.Part())
+}
+
+func (a netPairAdapter) Combine(x, y any) (any, error) { return a.pc.Combine(x, y) }
+
+// decodedPair is one snapshot entry decoded back to Go values.
+type decodedPair struct {
+	k, v any
+}
+
+// snapshotPairs fetches one part's full contents and decodes them; with
+// ordered set, the pairs come back in codec.CompareKeys order.
+func (c *Client) snapshotPairs(table string, part int, meta tableMeta, ordered bool) ([]decodedPair, error) {
+	resp, err := c.callOp(c.replicaSetFor(part, meta.ubiq),
+		frame{Op: opSnapshot, Name: table, Part: part}, false)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]decodedPair, 0, len(resp.Pairs))
+	for _, wp := range resp.Pairs {
+		k, err := codec.Decode(wp.K)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: snapshot %q part %d: bad key: %w", table, part, err)
+		}
+		v, err := decVal(wp.V)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: snapshot %q part %d: bad value: %w", table, part, err)
+		}
+		pairs = append(pairs, decodedPair{k: k, v: v})
+	}
+	if ordered {
+		sort.SliceStable(pairs, func(i, j int) bool {
+			return codec.CompareKeys(pairs[i].k, pairs[j].k) < 0
+		})
+	}
+	return pairs, nil
+}
+
+// netShardView is an agent's window onto one part of every co-placed table,
+// backed by RPCs to the part's replica set.
+type netShardView struct {
+	c      *Client
+	anchor string // the table the agent was dispatched against
+	meta   tableMeta
+	part   int
+}
+
+var _ kvstore.ShardView = (*netShardView)(nil)
+
+// Part implements kvstore.ShardView.
+func (sv *netShardView) Part() int { return sv.part }
+
+// View implements kvstore.ShardView. Co-placement is structural: placement
+// is a pure function of (part, fleet), so any two tables with the same part
+// count are co-placed, and ubiquitous tables are visible from everywhere.
+func (sv *netShardView) View(tableName string) (kvstore.PartView, error) {
+	meta, ok := sv.c.metaOf(tableName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", kvstore.ErrNoTable, tableName)
+	}
+	if meta.ubiq {
+		return &netPartView{c: sv.c, table: tableName, meta: meta, part: sv.part, rpcPart: 0}, nil
+	}
+	if meta.parts != sv.meta.parts && !sv.meta.ubiq {
+		return nil, fmt.Errorf("%w: %q has %d parts, agent anchor %q has %d",
+			kvstore.ErrNotCoPlaced, tableName, meta.parts, sv.anchor, sv.meta.parts)
+	}
+	return &netPartView{c: sv.c, table: tableName, meta: meta, part: sv.part, rpcPart: sv.part}, nil
+}
+
+// metaOf resolves a table's registry entry, falling back to the servers for
+// tables created by other clients.
+func (c *Client) metaOf(name string) (tableMeta, bool) {
+	c.mu.Lock()
+	meta, ok := c.tables[name]
+	c.mu.Unlock()
+	if ok {
+		return meta, true
+	}
+	if _, found := c.LookupTable(name); found {
+		c.mu.Lock()
+		meta, ok = c.tables[name]
+		c.mu.Unlock()
+		return meta, ok
+	}
+	return tableMeta{}, false
+}
+
+// netPartView gives an agent access to one part of one table over RPC. It
+// reports the anchor part index (ubiquitous views included, mirroring the
+// in-process stores) while routing RPCs to the owning part.
+type netPartView struct {
+	c       *Client
+	table   string
+	meta    tableMeta
+	part    int // reported part index (the agent's anchor part)
+	rpcPart int // part targeted on the wire (0 for ubiquitous tables)
+}
+
+var _ kvstore.PartView = (*netPartView)(nil)
+
+// Table implements kvstore.PartView.
+func (pv *netPartView) Table() string { return pv.table }
+
+// Part implements kvstore.PartView.
+func (pv *netPartView) Part() int { return pv.part }
+
+// Get implements kvstore.PartView.
+func (pv *netPartView) Get(key any) (any, bool, error) {
+	pv.c.met.AddStoreGets(1)
+	kb, err := encKey(key)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := pv.c.callOp(pv.c.replicaSetFor(pv.rpcPart, pv.meta.ubiq),
+		frame{Op: opGet, Name: pv.table, Part: pv.rpcPart, Key: kb}, false)
+	if err != nil {
+		return nil, false, err
+	}
+	if !resp.Flag {
+		return nil, false, nil
+	}
+	v, err := decVal(resp.Val)
+	return v, err == nil, err
+}
+
+// Put implements kvstore.PartView.
+func (pv *netPartView) Put(key, value any) error {
+	pv.c.met.AddStorePuts(1)
+	kb, err := encKey(key)
+	if err != nil {
+		return err
+	}
+	vb, err := encVal(value)
+	if err != nil {
+		return err
+	}
+	_, err = pv.c.callOp(pv.c.replicaSetFor(pv.rpcPart, pv.meta.ubiq),
+		frame{Op: opPut, Name: pv.table, Part: pv.rpcPart, Key: kb, Val: vb}, true)
+	return err
+}
+
+// Delete implements kvstore.PartView.
+func (pv *netPartView) Delete(key any) error {
+	pv.c.met.AddStoreDeletes(1)
+	kb, err := encKey(key)
+	if err != nil {
+		return err
+	}
+	_, err = pv.c.callOp(pv.c.replicaSetFor(pv.rpcPart, pv.meta.ubiq),
+		frame{Op: opDelete, Name: pv.table, Part: pv.rpcPart, Key: kb}, true)
+	return err
+}
+
+// Len implements kvstore.PartView.
+func (pv *netPartView) Len() (int, error) {
+	resp, err := pv.c.callOp(pv.c.replicaSetFor(pv.rpcPart, pv.meta.ubiq),
+		frame{Op: opLen, Name: pv.table, Part: pv.rpcPart}, false)
+	if err != nil {
+		return 0, err
+	}
+	return int(resp.Aux), nil
+}
+
+// Enumerate implements kvstore.PartView: one snapshot RPC, then a local
+// visit. The snapshot is taken at a point between the caller's operations
+// (the same guarantee the in-process stores give for enumeration during
+// concurrent writes).
+func (pv *netPartView) Enumerate(fn kvstore.PairFunc) error {
+	return pv.enumerate(fn, false)
+}
+
+// EnumerateOrdered implements kvstore.PartView.
+func (pv *netPartView) EnumerateOrdered(fn kvstore.PairFunc) error {
+	return pv.enumerate(fn, true)
+}
+
+func (pv *netPartView) enumerate(fn kvstore.PairFunc, ordered bool) error {
+	pairs, err := pv.c.snapshotPairs(pv.table, pv.rpcPart, pv.meta, ordered)
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		stop, err := fn(p.k, p.v)
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}

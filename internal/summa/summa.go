@@ -64,7 +64,7 @@ type Config struct {
 	// MQ, when set, supplies the message-queue system for no-sync execution
 	// — e.g. a fault-injecting one — instead of the private system built
 	// from Latency/Metrics.
-	MQ *mq.System
+	MQ mq.Queuing
 	// Profiler optionally records per-part step profiles.
 	Profiler *profile.Recorder
 }

@@ -41,6 +41,8 @@ const (
 	KindLoad                             // loaders materialized initial state + messages (N = envelopes)
 	KindDeliver                          // a causal delivery edge: messages from one sender span
 	// arrived at one (step, part) receiver (N = envelopes on the edge).
+	KindRPC       // a transport client RPC round-trip (N = attempt)
+	KindRPCServer // a part-server handled one RPC (N = request frame ID)
 )
 
 var kindNames = map[Kind]string{
@@ -61,6 +63,8 @@ var kindNames = map[Kind]string{
 	KindFailoverRecovery: "failover_recovery",
 	KindLoad:             "load",
 	KindDeliver:          "deliver",
+	KindRPC:              "rpc",
+	KindRPCServer:        "rpc_server",
 }
 
 // kindByName is the reverse of kindNames, built once at init.

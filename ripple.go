@@ -63,6 +63,7 @@ import (
 	"ripple/internal/memstore"
 	"ripple/internal/metrics"
 	"ripple/internal/mq"
+	"ripple/internal/netstore"
 	"ripple/internal/profile"
 	"ripple/internal/tableops"
 	"ripple/internal/trace"
@@ -196,6 +197,9 @@ type (
 	PartRank = profile.PartRank
 	// MQSystem manages message-queue sets (paper §III-B).
 	MQSystem = mq.System
+	// Queuing is the queuing SPI: create/delete queue sets. Implemented by
+	// *MQSystem in-process and by the networked transport client.
+	Queuing = mq.Queuing
 	// QueueSet is a placed set of FIFO queues, one per table part.
 	QueueSet = mq.QueueSet
 )
@@ -455,6 +459,43 @@ var (
 func NewDiskStore(dir string, opts ...diskstore.Option) (*diskstore.Store, error) {
 	return diskstore.New(dir, opts...)
 }
+
+// DialPartServers connects to a fleet of part-server processes (see
+// cmd/ripple-part-server) and returns a client-side store serving both the
+// store and mq SPIs over framed TCP: consistent-hash part placement,
+// client-driven replication, heartbeat failure detection, and replica
+// failover feeding the engine's heal/checkpoint-restore recovery.
+func DialPartServers(addrs []string, opts ...netstore.Option) (*netstore.Client, error) {
+	return netstore.Dial(addrs, opts...)
+}
+
+// NewPartServer creates an embeddable part-server (the same core that
+// cmd/ripple-part-server wraps as a process); call Serve with a listener.
+func NewPartServer(opts ...netstore.ServerOption) *netstore.Server {
+	return netstore.NewServer(opts...)
+}
+
+// Part-server client options.
+var (
+	// NetReplicas sets how many servers hold each part (default 2).
+	NetReplicas = netstore.WithReplicas
+	// NetRequestTimeout bounds each RPC attempt.
+	NetRequestTimeout = netstore.WithRequestTimeout
+	// NetHeartbeat tunes the failure detector's ping interval and miss budget.
+	NetHeartbeat = netstore.WithHeartbeat
+	// NetRetries bounds per-operation retransmits.
+	NetRetries = netstore.WithRetries
+	// NetBackoffSeed seeds the deterministic retry-backoff jitter.
+	NetBackoffSeed = netstore.WithBackoffSeed
+	// NetMetrics attaches a metrics collector to the client.
+	NetMetrics = netstore.WithMetrics
+	// NetTracer attaches a tracer: RPC spans join the engine's causal chains.
+	NetTracer = netstore.WithTracer
+	// PartServerMetrics attaches a metrics collector to an embedded server.
+	PartServerMetrics = netstore.WithServerMetrics
+	// PartServerTracer attaches a tracer to an embedded server.
+	PartServerTracer = netstore.WithServerTracer
+)
 
 // NewMQSystem creates a message-queuing system (paper §III-B).
 func NewMQSystem(opts ...mq.SystemOption) *MQSystem { return mq.NewSystem(opts...) }
