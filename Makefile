@@ -1,6 +1,6 @@
 # Ripple build/test entry points. `make ci` is the full gate: lint, build,
-# the race-enabled test run, a short chaos soak, a profiling smoke test, and
-# a causal-trace validation smoke.
+# the race-enabled test run, a short chaos soak, a profiling smoke test, a
+# causal-trace validation smoke, and the fleet observability smoke.
 
 GO ?= go
 
@@ -8,9 +8,9 @@ GO ?= go
 # Widen it for longer campaigns, e.g. `make soak SOAK_SEEDS=1,2,3,4,5,6,7,8`.
 SOAK_SEEDS ?= 1,2,3
 
-.PHONY: ci vet lint build test race bench codec-bench soak soak-net profile-smoke trace-validate
+.PHONY: ci vet lint build test race bench codec-bench soak soak-net profile-smoke trace-validate fleet-smoke
 
-ci: lint build race soak soak-net profile-smoke trace-validate codec-bench
+ci: lint build race soak soak-net profile-smoke trace-validate fleet-smoke codec-bench
 
 vet:
 	$(GO) vet ./...
@@ -73,6 +73,13 @@ soak:
 	RIPPLE_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 \
 		-run 'TestSoakUnderChaos|TestEngineAutoRecoversFromPrimaryKill|TestNoSyncSurvivesDuplicationAndJitter' \
 		./internal/chaos/ ./internal/ebsp/
+
+# Fleet observability smoke: two real part-server processes, a traced
+# PageRank through them, telemetry pulled over the admin ops, the merged
+# clock-aligned timeline validated by ripple-inspect -fleet -check, and the
+# SIGTERM shutdown flush checked for the final stats span.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh $(GO)
 
 # Process-kill network soak: the SSSP full-scan workload against real
 # ripple-part-server child processes over loopback while the chaos schedule

@@ -1,0 +1,308 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ripple"
+	"ripple/internal/ebsp"
+	"ripple/internal/fleet"
+	"ripple/internal/metrics"
+	"ripple/internal/netstore"
+	"ripple/internal/pagerank"
+	"ripple/internal/profile"
+	"ripple/internal/trace"
+	"ripple/internal/workload"
+)
+
+// runFleetExp is the fleet observability demonstration: a traced PageRank
+// against >= 2 part-servers (loopback by default, external via -net-addrs),
+// then the whole telemetry loop over the admin ops — fleet metrics poll,
+// trace-ring drain, clock-aligned timeline assembly, enclosure check, and the
+// wire-vs-exec latency decomposition feeding the skew report.
+//
+// Unlike the soak's loopback fleet, each server here gets its own collector
+// and tracer: the experiment must pull every byte of telemetry over the wire,
+// exactly as it would from separate processes.
+func runFleetExp(scale float64, seed int64, iterations, netN int, netAddrList, outPath string) {
+	var extAddrs []string
+	if netAddrList != "" {
+		extAddrs = strings.Split(netAddrList, ",")
+		netN = len(extAddrs)
+	}
+	if netN == 0 {
+		netN = 2
+	}
+	if netN < 2 {
+		log.Fatalf("-exp fleet needs at least 2 part-servers, got %d", netN)
+	}
+
+	// The experiment always traces: client rpc spans are the left-hand side
+	// of every timeline pair. Reuse the run's shared tracer when -trace is
+	// set so the dump includes this run; otherwise trace privately.
+	tracer := obsTracer
+	if tracer == nil {
+		tracer = trace.New(trace.DefaultCapacity)
+	}
+	sampler := obsSampler
+	if sampler == nil {
+		sampler = trace.NewSampler(1, seed)
+	}
+	prof := obsProfiler
+	if prof == nil {
+		prof = profile.New(profile.DefaultCapacity)
+	}
+
+	fmt.Printf("== Fleet observability: telemetry over the data plane's own wire ==\n")
+
+	addrs := extAddrs
+	var servers []*netstore.Server
+	if addrs == nil {
+		for i := 0; i < netN; i++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("fleet: %v", err)
+			}
+			srv := netstore.NewServer(
+				netstore.WithServerMetrics(&metrics.Collector{}),
+				netstore.WithServerTracer(trace.New(trace.DefaultCapacity)),
+			)
+			servers = append(servers, srv)
+			addrs = append(addrs, ln.Addr().String())
+			go func() { _ = srv.Serve(ln) }()
+		}
+		fmt.Printf("   %d loopback part-servers (own tracer and collector each)\n", netN)
+	} else {
+		fmt.Printf("   %d external part-servers: %s\n", netN, strings.Join(addrs, ", "))
+	}
+	defer func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+	}()
+
+	c, err := netstore.Dial(addrs,
+		netstore.WithHeartbeat(25*time.Millisecond, 3),
+		netstore.WithRequestTimeout(2*time.Second),
+		netstore.WithBackoffSeed(seed),
+		netstore.WithMetrics(obsMetrics),
+		netstore.WithTracer(tracer),
+	)
+	if err != nil {
+		log.Fatalf("dial part-servers: %v", err)
+	}
+	defer func() { _ = c.Close() }()
+
+	fc := &fleet.Collector{Client: c, Engine: obsMetrics, EngineTracer: tracer}
+	if obsMux != nil {
+		obsMux.Handle("/fleet/metrics", fc.Handler())
+		fmt.Printf("   serving the merged fleet exposition at /fleet/metrics\n")
+	}
+
+	// A small traced PageRank gives the wire real work: every get/put/msg is
+	// an rpc span on the client and an rpc_server span on some server.
+	v := int(20000*scale) + 400
+	e := 8 * v
+	g, err := workload.PowerLawDirected(rand.New(rand.NewSource(seed)), v, e, 1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab, err := pagerank.LoadGraph(c, "fleet_graph", g, 6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = c.DropTable("fleet_graph") }()
+	engine := ripple.NewEngine(c, ebsp.WithMetrics(obsMetrics), ebsp.WithTracer(tracer),
+		ebsp.WithTraceSampler(sampler), ebsp.WithLogger(obsLogger), ebsp.WithProfiler(prof))
+	start := time.Now()
+	if _, err := pagerank.RunDirect(engine, pagerank.Config{GraphTable: "fleet_graph", Iterations: iterations}); err != nil {
+		log.Fatalf("pagerank over fleet: %v", err)
+	}
+	if _, err := pagerank.ReadRanks(tab); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   pagerank: %d vertices, %d edges, %d iterations over the fleet (%.3f s)\n\n",
+		v, e, iterations, time.Since(start).Seconds())
+
+	// One fleet poll: per-server stats pulled over opStats, detector verdicts
+	// and clock estimates from the transport.
+	snap := fc.Poll()
+	fmt.Printf("   fleet snapshot (one poll over the admin ops):\n")
+	fmt.Printf("   %-4s %-21s %-5s %8s %9s %10s %10s %9s\n",
+		"SRV", "ADDR", "UP", "RPCS", "P99", "IN-BYTES", "OUT-BYTES", "CLOCK±ERR")
+	for _, ent := range snap.Servers {
+		up := "-"
+		var clock string
+		for _, st := range snap.Statuses {
+			if st.Server == ent.Server {
+				if st.Up {
+					up = "up"
+				} else {
+					up = "DOWN"
+				}
+				clock = fmt.Sprintf("%v±%v",
+					time.Duration(st.Clock.OffsetNS).Round(time.Microsecond),
+					time.Duration(st.Clock.ErrorNS).Round(time.Microsecond))
+			}
+		}
+		if ent.Err != "" {
+			fmt.Printf("   %-4d %-21s %-5s unreachable: %s\n", ent.Server, ent.Addr, up, ent.Err)
+			continue
+		}
+		agg := aggregateEndpoints(ent.Stats.Endpoints)
+		fmt.Printf("   %-4d %-21s %-5s %8d %9v %10d %10d %9s\n",
+			ent.Server, ent.Addr, up, ent.Stats.Counters.RPCCalls,
+			time.Duration(agg.P99()).Round(time.Microsecond),
+			ent.Stats.WireInBytes, ent.Stats.WireOutBytes, clock)
+	}
+
+	// Drain every trace ring and assemble the merged, clock-aligned timeline.
+	dumps, _ := fc.DumpServers(nil)
+	merged, rep := fleet.Assemble(tracer.Snapshot(), dumps)
+	fmt.Printf("\n   merged timeline: %d spans, %d pairs, %d unmatched client, %d unmatched server\n",
+		len(merged), rep.Pairs, rep.UnmatchedClient, rep.UnmatchedServer)
+	for _, al := range rep.Servers {
+		fmt.Printf("   server %d: clock offset %v ± %v (%s, %d pairs, %d spans), max residual %v\n",
+			al.Server, time.Duration(al.OffsetNS).Round(time.Microsecond),
+			time.Duration(al.ErrorNS).Round(time.Microsecond),
+			al.Source, al.Pairs, al.Spans, time.Duration(al.MaxAdjustNS).Round(time.Microsecond))
+	}
+	cr := fleet.Check(merged)
+	if cr.Pairs == 0 {
+		log.Fatal("fleet: no client/server span pair matched — tracing is not reaching the wire")
+	}
+	fmt.Printf("   enclosure check: %d pairs, %d violations\n", cr.Pairs, len(cr.Violations))
+	for _, viol := range cr.Violations {
+		fmt.Printf("   VIOLATION: %s\n", viol)
+	}
+
+	if br := fleet.Decompose(merged); len(br) > 0 {
+		fmt.Printf("\n   client-observed RPC latency, decomposed (exec = server handler, wire = rest):\n")
+		fmt.Printf("   %-6s %-10s %7s %8s %12s %12s %12s\n",
+			"SERVER", "ENDPOINT", "CALLS", "MATCHED", "CLIENT", "EXEC", "WIRE")
+		limit := 8
+		if len(br) < limit {
+			limit = len(br)
+		}
+		for _, b := range br[:limit] {
+			fmt.Printf("   %-6s %-10s %7d %8d %12v %12v %12v\n",
+				b.Server, b.Endpoint, b.Calls, b.Matched,
+				time.Duration(b.ClientNS), time.Duration(b.ServerNS), time.Duration(b.WireNS))
+		}
+	}
+
+	// The skew report, with the per-server RPC cost attached so stragglers
+	// name the server, not just the part.
+	fmt.Println()
+	pr := profile.AnalyzeRecorder(prof, 10)
+	profile.AttachFleet(pr, merged)
+	_ = profile.WriteText(os.Stdout, pr)
+
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			log.Fatalf("fleet timeline: %v", err)
+		}
+		err = trace.WriteOTLP(f, merged, time.Unix(0, 0))
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatalf("fleet timeline: %v", err)
+		}
+		fmt.Printf("wrote merged fleet timeline to %s (validate: ripple-inspect -fleet %s -check)\n",
+			outPath, outPath)
+	}
+}
+
+// aggregateEndpoints bucket-sums a server's per-endpoint histograms into one.
+func aggregateEndpoints(eps map[string]metrics.HistogramSnapshot) metrics.HistogramSnapshot {
+	var agg metrics.HistogramSnapshot
+	for _, h := range eps {
+		agg.Count += h.Count
+		agg.Sum += h.Sum
+		for i := range h.Buckets {
+			agg.Buckets[i] += h.Buckets[i]
+		}
+	}
+	return agg
+}
+
+// runTop is ripple-top: a live fleet view over the admin telemetry ops,
+// redrawn every -top-interval until interrupted. It needs only addresses —
+// no heartbeats, no data-path client — so it can watch a fleet some other
+// process is driving.
+func runTop(addrList string, interval time.Duration) {
+	if addrList == "" {
+		log.Fatal("-top needs -net-addrs (comma-separated part-server addresses)")
+	}
+	addrs := strings.Split(addrList, ",")
+	ac := netstore.DialAdmin(addrs, 2*time.Second)
+	defer ac.Close()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+
+	prev := make([]netstore.ServerStats, len(addrs))
+	prevAt := make([]time.Time, len(addrs))
+	for {
+		var b strings.Builder
+		fmt.Fprintf(&b, "ripple-top — %d part-servers — %s (interval %v, ctrl-c to quit)\n\n",
+			len(addrs), time.Now().Format("15:04:05"), interval)
+		fmt.Fprintf(&b, "%-4s %-21s %-6s %9s %9s %8s %9s %9s %9s %6s %8s %7s %6s\n",
+			"SRV", "ADDR", "STATE", "UPTIME", "RTT", "RPCS", "RPC/S", "IN-B/S", "OUT-B/S",
+			"CONNS", "HEAP-MB", "GOROUT", "SPANS")
+		now := time.Now()
+		for i := range addrs {
+			_, rtt, _, err := ac.Ping(i)
+			if err != nil {
+				fmt.Fprintf(&b, "%-4d %-21s %-6s %s\n", i, addrs[i], "DOWN", err)
+				prevAt[i] = time.Time{}
+				continue
+			}
+			st, serr := ac.Stats(i)
+			h, herr := ac.Health(i)
+			if serr != nil || herr != nil {
+				e := serr
+				if e == nil {
+					e = herr
+				}
+				fmt.Fprintf(&b, "%-4d %-21s %-6s admin op failed: %v\n", i, addrs[i], "up", e)
+				prevAt[i] = time.Time{}
+				continue
+			}
+			rpcRate, inRate, outRate := "-", "-", "-"
+			if !prevAt[i].IsZero() {
+				dt := now.Sub(prevAt[i]).Seconds()
+				if dt > 0 {
+					rpcRate = fmt.Sprintf("%.0f", float64(st.Counters.RPCCalls-prev[i].Counters.RPCCalls)/dt)
+					inRate = fmt.Sprintf("%.0f", float64(st.WireInBytes-prev[i].WireInBytes)/dt)
+					outRate = fmt.Sprintf("%.0f", float64(st.WireOutBytes-prev[i].WireOutBytes)/dt)
+				}
+			}
+			prev[i], prevAt[i] = st, now
+			fmt.Fprintf(&b, "%-4d %-21s %-6s %9s %9v %8d %9s %9s %9s %6d %8.1f %7d %6d\n",
+				i, addrs[i], "up",
+				(time.Duration(st.UptimeNS) / time.Second * time.Second).String(),
+				rtt.Round(10*time.Microsecond),
+				st.Counters.RPCCalls, rpcRate, inRate, outRate,
+				h.Conns, float64(st.HeapBytes)/1e6, st.Goroutines, st.TraceSpans)
+		}
+		// Home + clear, then the fresh frame: one write keeps the redraw atomic.
+		fmt.Printf("\x1b[H\x1b[2J%s", b.String())
+
+		select {
+		case <-sigs:
+			fmt.Println("ripple-top: interrupted")
+			return
+		case <-time.After(interval):
+		}
+	}
+}

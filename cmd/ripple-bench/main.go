@@ -15,6 +15,15 @@
 //	soak    PageRank (Table I config) + SUMMA (Exp V-B config) to their
 //	        fault-free answers under a chaos schedule (-chaos), with the
 //	        injected-fault trace printed for reproducibility checks
+//	fleet   traced PageRank over part-servers (-net N loopback, default 2,
+//	        or -net-addrs), then the full telemetry loop over the admin ops:
+//	        fleet metrics poll, trace-ring drain, clock-aligned merged
+//	        timeline (written to -fleet-out as OTLP), enclosure check, and
+//	        the wire-vs-exec RPC latency decomposition
+//
+// With -top (and -net-addrs), no experiment runs: instead a live fleet view
+// — ripple-top — polls every server's admin telemetry and redraws a status
+// table each -top-interval until interrupted.
 //
 // At -scale 1 the workloads match the paper's sizes (132k-262k vertex
 // PageRank graphs, 100k-vertex/1.8M-edge SSSP graph, ten 1000-change
@@ -92,6 +101,9 @@ var (
 	obsProfiler *profile.Recorder
 	obsLogRing  *logring.Ring
 	obsLogger   *slog.Logger
+	// obsMux is the -metrics-addr mux (nil without it); the fleet experiment
+	// mounts /fleet/metrics on it.
+	obsMux *http.ServeMux
 )
 
 // observedEngine builds an engine wired to the run's shared collector,
@@ -105,7 +117,7 @@ func observedEngine(store ripple.Store, opts ...ebsp.Option) *ripple.Engine {
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment: table1 (alias: pagerank), table2, summa, sssp, ablations, soak, all")
+		exp         = flag.String("exp", "all", "experiment: table1 (alias: pagerank), table2, summa, sssp, ablations, soak, fleet, all")
 		scale       = flag.Float64("scale", 0.05, "fraction of paper-scale workload sizes")
 		trials      = flag.Int("trials", 3, "trials per configuration (paper: 11/8/12)")
 		seed        = flag.Int64("seed", 42, "workload seed")
@@ -121,6 +133,9 @@ func main() {
 		logLevel    = flag.String("log-level", "off", "structured engine log level: off, error, warn, info, debug")
 		profileFile = flag.String("profile", "", "write per-part step profiles as a Chrome trace-event timeline to this file and print the skew report")
 		profileCap  = flag.Int("profile-cap", profile.DefaultCapacity, "profile ring-buffer capacity")
+		fleetOut    = flag.String("fleet-out", "", "with -exp fleet: write the merged, clock-aligned fleet timeline (OTLP JSON) to this file")
+		topMode     = flag.Bool("top", false, "ripple-top: live fleet view over the -net-addrs servers' admin telemetry (no experiment runs)")
+		topInterval = flag.Duration("top-interval", time.Second, "refresh interval for -top")
 	)
 	flag.Parse()
 	if *scale <= 0 || *scale > 1 {
@@ -147,16 +162,21 @@ func main() {
 			obsLogRing.Handler(lvl)))
 	}
 	if *metricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", metrics.HandlerTracer(obsMetrics, obsTracer))
-		profile.AttachDebug(mux, obsProfiler)
-		logring.Attach(mux, obsLogRing)
+		obsMux = http.NewServeMux()
+		obsMux.Handle("/metrics", metrics.HandlerTracer(obsMetrics, obsTracer))
+		profile.AttachDebug(obsMux, obsProfiler)
+		logring.Attach(obsMux, obsLogRing)
 		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+			if err := http.ListenAndServe(*metricsAddr, obsMux); err != nil {
 				log.Printf("metrics endpoint: %v", err)
 			}
 		}()
 		fmt.Printf("serving metrics at http://%s/metrics for the duration of the run\n\n", *metricsAddr)
+	}
+
+	if *topMode {
+		runTop(*netAddrs, *topInterval)
+		return
 	}
 
 	run := map[string]func(){
@@ -167,6 +187,7 @@ func main() {
 		"sssp":      func() { runSSSP(*scale, *trials, *seed) },
 		"ablations": func() { runAblations(*scale, *trials, *seed) },
 		"soak":      func() { runSoak(*scale, *seed, *iters, *chaosSpec, *netServers, *netAddrs) },
+		"fleet":     func() { runFleetExp(*scale, *seed, *iters, *netServers, *netAddrs, *fleetOut) },
 	}
 	switch *exp {
 	case "all":

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ripple/internal/fleet"
+	"ripple/internal/trace"
+)
+
+// Fleet mode: assemble and/or validate a merged cross-process timeline.
+//
+//	ripple-inspect -fleet engine.jsonl,srv0.jsonl,srv1.jsonl -out merged.json
+//	    merge: the first dump is the engine/client process, the rest are
+//	    part-servers in server-index order. Server clocks are aligned from
+//	    matched client/server span pairs (median midpoint delta) and the
+//	    merged timeline is written as OTLP JSON to -out.
+//
+//	ripple-inspect -fleet merged.json -check
+//	    validate: every rpc_server span must be enclosed by the client rpc
+//	    span that caused it; -check exits non-zero on any violation or when
+//	    no pair matched at all.
+//
+// Both forms print the per-server alignment report and the wire-vs-exec
+// latency decomposition.
+func runFleet(pathsArg, outPath string, check bool) error {
+	paths := strings.Split(pathsArg, ",")
+	var merged []trace.Span
+	var rep fleet.TimelineReport
+
+	if len(paths) == 1 {
+		spans, err := readSpans(paths[0])
+		if err != nil {
+			return err
+		}
+		if len(spans) == 0 {
+			return fmt.Errorf("%s: no spans in dump", paths[0])
+		}
+		merged = spans
+	} else {
+		engine, err := readSpans(paths[0])
+		if err != nil {
+			return err
+		}
+		dumps := make([]fleet.ServerDump, 0, len(paths)-1)
+		for i, p := range paths[1:] {
+			spans, err := readSpans(p)
+			if err != nil {
+				return err
+			}
+			dumps = append(dumps, fleet.ServerDump{Server: i, Spans: spans})
+		}
+		merged, rep = fleet.Assemble(engine, dumps)
+		fmt.Printf("assembled %d spans from %d dumps: %d pairs, %d unmatched client, %d unmatched server\n",
+			len(merged), len(paths), rep.Pairs, rep.UnmatchedClient, rep.UnmatchedServer)
+		for _, al := range rep.Servers {
+			fmt.Printf("  server %d: offset %v ± %v (%s, %d pairs), max residual adjust %v\n",
+				al.Server, time.Duration(al.OffsetNS), time.Duration(al.ErrorNS),
+				al.Source, al.Pairs, time.Duration(al.MaxAdjustNS))
+		}
+		if outPath != "" {
+			f, err := os.Create(outPath)
+			if err != nil {
+				return err
+			}
+			// Anchor at the epoch: offsets in the merged timeline are already
+			// one coherent clock, and trace.Parse rebases on load anyway.
+			err = trace.WriteOTLP(f, merged, time.Unix(0, 0))
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("write %s: %w", outPath, err)
+			}
+			fmt.Printf("wrote merged timeline to %s\n", outPath)
+		}
+	}
+
+	cr := fleet.Check(merged)
+	fmt.Printf("\nenclosure check: %d pairs, %d violations, %d unmatched client, %d unmatched server\n",
+		cr.Pairs, len(cr.Violations), cr.UnmatchedClient, cr.UnmatchedServer)
+	for _, v := range cr.Violations {
+		fmt.Printf("  VIOLATION: %s\n", v)
+	}
+
+	if br := fleet.Decompose(merged); len(br) > 0 {
+		fmt.Printf("\nRPC latency decomposition (client-observed = server exec + wire):\n")
+		fmt.Printf("  %-8s %-12s %7s %8s %12s %12s %12s\n",
+			"SERVER", "ENDPOINT", "CALLS", "MATCHED", "CLIENT", "EXEC", "WIRE")
+		for _, b := range br {
+			fmt.Printf("  %-8s %-12s %7d %8d %12v %12v %12v\n",
+				b.Server, b.Endpoint, b.Calls, b.Matched,
+				time.Duration(b.ClientNS), time.Duration(b.ServerNS), time.Duration(b.WireNS))
+		}
+	}
+
+	if check {
+		if !cr.Ok() {
+			if cr.Pairs == 0 {
+				return fmt.Errorf("fleet check: no client/server span pair matched (untraced run, or dumps from different runs?)")
+			}
+			return fmt.Errorf("fleet check: %d of %d pairs violate enclosure", len(cr.Violations), cr.Pairs)
+		}
+		fmt.Printf("\nok: all %d client rpc spans enclose their server spans\n", cr.Pairs)
+	}
+	return nil
+}

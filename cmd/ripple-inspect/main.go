@@ -17,6 +17,8 @@
 //	ripple-inspect -trace spans.jsonl -lineage -check
 //	ripple-inspect -trace spans.jsonl -job pr -kind deliver -part 2
 //	ripple-inspect -profile prof.json -trace spans.jsonl  # stragglers + hot edges
+//	ripple-inspect -fleet engine.jsonl,s0.jsonl,s1.jsonl -out merged.json
+//	ripple-inspect -fleet merged.json -check        # enclosure validation
 //
 // The store directory is opened read-write (compaction rewrites logs); table
 // part counts are inferred from the log file names. With -dir and -trace, the
@@ -82,9 +84,18 @@ func main() {
 		fromF   = flag.Duration("from", 0, "trace query: keep spans at or after this offset from run start")
 		toF     = flag.Duration("to", 0, "trace query: keep spans at or before this offset (0 = no upper bound)")
 		lineage = flag.Bool("lineage", false, "trace query: reconstruct and print each trace's causal chain")
-		check   = flag.Bool("check", false, "trace query: exit non-zero unless every chain is complete and one crosses parts")
+		check   = flag.Bool("check", false, "trace query: exit non-zero unless every chain is complete and one crosses parts; with -fleet: exit non-zero on enclosure violations")
+
+		fleetF = flag.String("fleet", "", "fleet mode: merge engine+server span dumps (comma-separated, engine first) or validate one merged timeline")
+		outF   = flag.String("out", "", "with -fleet: write the merged clock-aligned timeline as OTLP JSON to this file")
 	)
 	flag.Parse()
+	if *fleetF != "" {
+		if err := runFleet(*fleetF, *outF, *check); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *profFile != "" {
 		if err := analyzeProfile(*profFile, *traceFile, *topK); err != nil {
 			log.Fatal(err)

@@ -20,7 +20,12 @@
 //	                      Prometheus text format at /metrics
 //	-trace spans.jsonl    dump server-side RPC spans on shutdown ('-' for
 //	                      stdout); spans carry the trace IDs clients stamp
-//	                      on frames, so they join the engine's causal chains
+//	                      on frames, so they join the engine's causal chains.
+//	                      The dump ends with one "stats" span holding the
+//	                      final metrics snapshot. The span ring itself is
+//	                      always on — fleet collectors drain it live over
+//	                      the admin trace-dump op — so -trace only controls
+//	                      the shutdown file.
 //	-trace-cap 16384      span ring-buffer capacity
 //	-log-level info       structured logs (slog) to stderr: off, error,
 //	                      warn, info, or debug
@@ -64,10 +69,10 @@ func main() {
 	}
 
 	collector := &metrics.Collector{}
-	var tracer *trace.Tracer
-	if *traceFile != "" {
-		tracer = trace.New(*traceCap)
-	}
+	// The tracer is always on: the opTraceDump admin op serves the ring to
+	// fleet collectors whether or not a -trace file was requested, and ping
+	// responses carry the tracer's clock for offset estimation.
+	tracer := trace.New(*traceCap)
 
 	srv := netstore.NewServer(
 		netstore.WithServerMetrics(collector),
@@ -99,6 +104,8 @@ func main() {
 
 	select {
 	case sig := <-sigs:
+		// Graceful drain: Close finishes in-flight requests before the flush
+		// below, so the trace file never loses the tail of spans.
 		logger.Info("shutting down", "signal", sig.String())
 		if err := srv.Close(); err != nil {
 			logger.Error("close", "err", err)
@@ -111,6 +118,9 @@ func main() {
 	}
 
 	if *traceFile != "" {
+		// Final flush: the drained ring plus one stats span carrying the
+		// metrics snapshot, so a dead server's counters survive in its dump.
+		metrics.RecordStatsSpan(tracer, collector)
 		out := os.Stdout
 		if *traceFile != "-" {
 			f, err := os.Create(*traceFile)

@@ -1,0 +1,292 @@
+// Package fleet is Ripple's fleet observability plane: it polls every
+// part-server's admin telemetry ops (stats, trace dump, health) plus the
+// engine process's own collector and tracer, and presents the fleet as one
+// system — a single Prometheus exposition with per-server labels, one
+// clock-aligned causal timeline merging client and server RPC spans, and a
+// per-server decomposition of client-observed RPC latency into wire time vs
+// server execution time.
+//
+// Telemetry rides the data plane's own framed-TCP connections (see the
+// netstore admin ops), so observing a fleet needs no side channel and
+// inherits the transport's bounded-retry fault tolerance.
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"ripple/internal/metrics"
+	"ripple/internal/netstore"
+	"ripple/internal/trace"
+)
+
+// ServerEntry is one server's contribution to a fleet snapshot. Err is set
+// (and Stats zero) when the server could not be reached — a degraded fleet
+// still snapshots.
+type ServerEntry struct {
+	Server int                  `json:"server"`
+	Addr   string               `json:"addr"`
+	Stats  netstore.ServerStats `json:"stats"`
+	Err    string               `json:"err,omitempty"`
+}
+
+// Snapshot is one poll of the whole fleet: per-server admin stats plus the
+// failure detector's verdicts and clock-offset estimates from the client.
+type Snapshot struct {
+	Servers  []ServerEntry           `json:"servers"`
+	Statuses []netstore.ServerStatus `json:"statuses,omitempty"`
+}
+
+// Collector polls a fleet. Client is the data-plane transport whose admin
+// ops and failure detector are used; Engine/EngineTracer are the analytics
+// process's own collector and tracer, merged into the exposition so one
+// scrape sees both sides of every RPC.
+type Collector struct {
+	Client       *netstore.Client
+	Engine       *metrics.Collector
+	EngineTracer *trace.Tracer
+}
+
+// Poll snapshots every server over the admin ops. Per-server failures
+// degrade to Err entries rather than failing the poll.
+func (fc *Collector) Poll() Snapshot {
+	var snap Snapshot
+	if fc.Client == nil {
+		return snap
+	}
+	statuses := fc.Client.ServerStatuses()
+	snap.Statuses = statuses
+	addrs := fc.Client.Addrs()
+	for s := 0; s < fc.Client.Servers(); s++ {
+		e := ServerEntry{Server: s, Addr: addrs[s]}
+		st, err := fc.Client.ServerStats(s)
+		if err != nil {
+			e.Err = err.Error()
+		} else {
+			e.Stats = st
+		}
+		snap.Servers = append(snap.Servers, e)
+	}
+	return snap
+}
+
+// WritePrometheus writes the merged fleet exposition: the engine process's
+// own series first (counters, histograms, heartbeat RTTs, trace loss), then
+// every fleet-level series with server labels. One scrape, whole fleet.
+func (fc *Collector) WritePrometheus(w io.Writer) error {
+	if err := metrics.WritePrometheusTracer(w, fc.Engine, fc.EngineTracer); err != nil {
+		return err
+	}
+	return WriteFleetPrometheus(w, fc.Poll())
+}
+
+// Handler serves the merged fleet exposition, for mounting at /fleet/metrics.
+func (fc *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = fc.WritePrometheus(w)
+	})
+}
+
+// WriteFleetPrometheus renders one fleet snapshot as Prometheus text: gauges
+// and counters labelled by server, per-server × per-endpoint service-time
+// histograms, and a fleet-wide aggregate histogram per endpoint under
+// server="all" (bucket sums across servers — the fleet p99 in one series).
+// Output is deterministic for a given snapshot: servers and endpoints are
+// emitted in sorted order.
+func WriteFleetPrometheus(w io.Writer, snap Snapshot) error {
+	// Detector verdicts and clock estimates come from the client's statuses.
+	if len(snap.Statuses) > 0 {
+		if err := metrics.WriteMeta(w, "ripple_fleet_server_up", "Failure-detector verdict by server: 1 = up, 0 = down.", "gauge"); err != nil {
+			return err
+		}
+		for _, st := range snap.Statuses {
+			v := 0
+			if st.Up {
+				v = 1
+			}
+			if _, err := fmt.Fprintf(w, "ripple_fleet_server_up{server=\"%d\",addr=%q} %d\n", st.Server, st.Addr, v); err != nil {
+				return err
+			}
+		}
+		if err := metrics.WriteMeta(w, "ripple_fleet_server_cold", "Server rejoined after a failure and awaits heal: 1 = cold.", "gauge"); err != nil {
+			return err
+		}
+		for _, st := range snap.Statuses {
+			v := 0
+			if st.Cold {
+				v = 1
+			}
+			if _, err := fmt.Fprintf(w, "ripple_fleet_server_cold{server=\"%d\"} %d\n", st.Server, v); err != nil {
+				return err
+			}
+		}
+		if err := metrics.WriteMeta(w, "ripple_fleet_clock_offset_seconds", "Estimated server span-clock offset relative to the engine timeline.", "gauge"); err != nil {
+			return err
+		}
+		for _, st := range snap.Statuses {
+			if _, err := fmt.Fprintf(w, "ripple_fleet_clock_offset_seconds{server=\"%d\"} %g\n", st.Server, float64(st.Clock.OffsetNS)/1e9); err != nil {
+				return err
+			}
+		}
+		if err := metrics.WriteMeta(w, "ripple_fleet_clock_error_seconds", "Error bound of the clock-offset estimate (half best RTT plus sample spread).", "gauge"); err != nil {
+			return err
+		}
+		for _, st := range snap.Statuses {
+			if _, err := fmt.Fprintf(w, "ripple_fleet_clock_error_seconds{server=\"%d\"} %g\n", st.Server, float64(st.Clock.ErrorNS)/1e9); err != nil {
+				return err
+			}
+		}
+	}
+
+	live := make([]ServerEntry, 0, len(snap.Servers))
+	for _, e := range snap.Servers {
+		if e.Err == "" {
+			live = append(live, e)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].Server < live[j].Server })
+
+	gauges := []struct {
+		name, help string
+		v          func(ServerEntry) string
+	}{
+		{"ripple_fleet_uptime_seconds", "Server uptime.",
+			func(e ServerEntry) string { return fmt.Sprintf("%g", float64(e.Stats.UptimeNS)/1e9) }},
+		{"ripple_fleet_goroutines", "Goroutines on the server.",
+			func(e ServerEntry) string { return fmt.Sprintf("%d", e.Stats.Goroutines) }},
+		{"ripple_fleet_heap_bytes", "Server heap bytes in use.",
+			func(e ServerEntry) string { return fmt.Sprintf("%d", e.Stats.HeapBytes) }},
+		{"ripple_fleet_trace_spans", "Spans retained in the server's trace ring.",
+			func(e ServerEntry) string { return fmt.Sprintf("%d", e.Stats.TraceSpans) }},
+	}
+	for _, g := range gauges {
+		if len(live) == 0 {
+			break
+		}
+		if err := metrics.WriteMeta(w, g.name, g.help, "gauge"); err != nil {
+			return err
+		}
+		for _, e := range live {
+			if _, err := fmt.Fprintf(w, "%s{server=\"%d\"} %s\n", g.name, e.Server, g.v(e)); err != nil {
+				return err
+			}
+		}
+	}
+	counters := []struct {
+		name, help string
+		v          func(ServerEntry) int64
+	}{
+		{"ripple_fleet_rpc_calls_total", "RPCs served by the server.",
+			func(e ServerEntry) int64 { return e.Stats.Counters.RPCCalls }},
+		{"ripple_fleet_store_gets_total", "Store gets served.",
+			func(e ServerEntry) int64 { return e.Stats.Counters.StoreGets }},
+		{"ripple_fleet_store_puts_total", "Store puts served.",
+			func(e ServerEntry) int64 { return e.Stats.Counters.StorePuts }},
+		{"ripple_fleet_trace_dropped_total", "Spans lost to server trace-ring wraparound.",
+			func(e ServerEntry) int64 { return int64(e.Stats.TraceDropped) }},
+	}
+	for _, ctr := range counters {
+		if len(live) == 0 {
+			break
+		}
+		if err := metrics.WriteMeta(w, ctr.name, ctr.help, "counter"); err != nil {
+			return err
+		}
+		for _, e := range live {
+			if _, err := fmt.Fprintf(w, "%s{server=\"%d\"} %d\n", ctr.name, e.Server, ctr.v(e)); err != nil {
+				return err
+			}
+		}
+	}
+	if len(live) > 0 {
+		if err := metrics.WriteMeta(w, "ripple_fleet_wire_bytes_total", "Bytes on the wire by server and direction, frame prefixes included.", "counter"); err != nil {
+			return err
+		}
+		for _, e := range live {
+			if _, err := fmt.Fprintf(w, "ripple_fleet_wire_bytes_total{server=\"%d\",dir=\"in\"} %d\n", e.Server, e.Stats.WireInBytes); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "ripple_fleet_wire_bytes_total{server=\"%d\",dir=\"out\"} %d\n", e.Server, e.Stats.WireOutBytes); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Per-server × per-endpoint service time, plus the bucket-sum aggregate
+	// per endpoint under server="all" — the fleet-wide p99 in one series.
+	endpoints := map[string]metrics.HistogramSnapshot{}
+	any := false
+	for _, e := range live {
+		for name, h := range e.Stats.Endpoints {
+			agg := endpoints[name]
+			agg.Count += h.Count
+			agg.Sum += h.Sum
+			for i := range h.Buckets {
+				agg.Buckets[i] += h.Buckets[i]
+			}
+			endpoints[name] = agg
+			any = true
+		}
+	}
+	if any {
+		if err := metrics.WriteMeta(w, "ripple_fleet_rpc_latency_seconds", "Server-side RPC service time by server and endpoint (server=\"all\" aggregates the fleet).", "histogram"); err != nil {
+			return err
+		}
+		for _, e := range live {
+			names := make([]string, 0, len(e.Stats.Endpoints))
+			for n := range e.Stats.Endpoints {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				label := fmt.Sprintf("server=\"%d\",endpoint=%q", e.Server, n)
+				if err := metrics.WriteHistogramLabelled(w, "ripple_fleet_rpc_latency_seconds", label, e.Stats.Endpoints[n]); err != nil {
+					return err
+				}
+			}
+		}
+		names := make([]string, 0, len(endpoints))
+		for n := range endpoints {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			label := fmt.Sprintf("server=\"all\",endpoint=%q", n)
+			if err := metrics.WriteHistogramLabelled(w, "ripple_fleet_rpc_latency_seconds", label, endpoints[n]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DumpServers drains every server's trace ring over the admin ops into
+// ServerDump values ready for Assemble, pairing each with the client's live
+// clock-offset estimate. Unreachable servers are skipped (their spans are
+// simply absent; Assemble reports the unmatched client spans).
+func (fc *Collector) DumpServers(cursors []uint64) ([]ServerDump, []uint64) {
+	if fc.Client == nil {
+		return nil, cursors
+	}
+	n := fc.Client.Servers()
+	if len(cursors) < n {
+		cursors = append(cursors, make([]uint64, n-len(cursors))...)
+	}
+	offs := fc.Client.ClockOffsets()
+	addrs := fc.Client.Addrs()
+	var dumps []ServerDump
+	for s := 0; s < n; s++ {
+		d, err := fc.Client.TraceDump(s, cursors[s])
+		if err != nil {
+			continue
+		}
+		cursors[s] = d.Cursor
+		dumps = append(dumps, ServerDump{
+			Server: s, Addr: addrs[s], Spans: d.Spans, Offset: offs[s],
+		})
+	}
+	return dumps, cursors
+}

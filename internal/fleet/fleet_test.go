@@ -1,0 +1,238 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ripple/internal/metrics"
+	"ripple/internal/netstore"
+	"ripple/internal/trace"
+)
+
+// TestFleetPrometheusGolden pins the exposition's exact label shape: per-
+// server series from the detector/clock statuses, the gauges and counters
+// from live stats entries (unreachable servers skipped), and per-server plus
+// server="all" aggregate histograms. The snapshot is synthetic, so the
+// output must be byte-stable.
+func TestFleetPrometheusGolden(t *testing.T) {
+	var hist metrics.HistogramSnapshot
+	hist.Count, hist.Sum = 2, 3 // two 1-2ns observations
+	hist.Buckets[1] = 2
+
+	snap := Snapshot{
+		Statuses: []netstore.ServerStatus{
+			{Server: 0, Addr: "127.0.0.1:1111", Up: true,
+				Clock: netstore.ClockOffset{OffsetNS: 1_500_000, ErrorNS: 250_000, Samples: 8}},
+			{Server: 1, Addr: "127.0.0.1:2222", Up: false, Cold: true,
+				Clock: netstore.ClockOffset{OffsetNS: -2_000_000, ErrorNS: 500_000, Samples: 8}},
+		},
+		Servers: []ServerEntry{
+			{Server: 1, Addr: "127.0.0.1:2222", Err: "connection refused"},
+			{Server: 0, Addr: "127.0.0.1:1111", Stats: netstore.ServerStats{
+				UptimeNS:     5_000_000_000,
+				Counters:     metrics.Snapshot{RPCCalls: 7, StoreGets: 3, StorePuts: 2},
+				Endpoints:    map[string]metrics.HistogramSnapshot{"get": hist},
+				TraceSpans:   42,
+				TraceDropped: 3,
+				WireInBytes:  1000,
+				WireOutBytes: 2000,
+				Goroutines:   12,
+				HeapBytes:    1048576,
+			}},
+		},
+	}
+
+	var sb strings.Builder
+	if err := WriteFleetPrometheus(&sb, snap); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP ripple_fleet_server_up Failure-detector verdict by server: 1 = up, 0 = down.
+# TYPE ripple_fleet_server_up gauge
+ripple_fleet_server_up{server="0",addr="127.0.0.1:1111"} 1
+ripple_fleet_server_up{server="1",addr="127.0.0.1:2222"} 0
+# HELP ripple_fleet_server_cold Server rejoined after a failure and awaits heal: 1 = cold.
+# TYPE ripple_fleet_server_cold gauge
+ripple_fleet_server_cold{server="0"} 0
+ripple_fleet_server_cold{server="1"} 1
+# HELP ripple_fleet_clock_offset_seconds Estimated server span-clock offset relative to the engine timeline.
+# TYPE ripple_fleet_clock_offset_seconds gauge
+ripple_fleet_clock_offset_seconds{server="0"} 0.0015
+ripple_fleet_clock_offset_seconds{server="1"} -0.002
+# HELP ripple_fleet_clock_error_seconds Error bound of the clock-offset estimate (half best RTT plus sample spread).
+# TYPE ripple_fleet_clock_error_seconds gauge
+ripple_fleet_clock_error_seconds{server="0"} 0.00025
+ripple_fleet_clock_error_seconds{server="1"} 0.0005
+# HELP ripple_fleet_uptime_seconds Server uptime.
+# TYPE ripple_fleet_uptime_seconds gauge
+ripple_fleet_uptime_seconds{server="0"} 5
+# HELP ripple_fleet_goroutines Goroutines on the server.
+# TYPE ripple_fleet_goroutines gauge
+ripple_fleet_goroutines{server="0"} 12
+# HELP ripple_fleet_heap_bytes Server heap bytes in use.
+# TYPE ripple_fleet_heap_bytes gauge
+ripple_fleet_heap_bytes{server="0"} 1048576
+# HELP ripple_fleet_trace_spans Spans retained in the server's trace ring.
+# TYPE ripple_fleet_trace_spans gauge
+ripple_fleet_trace_spans{server="0"} 42
+# HELP ripple_fleet_rpc_calls_total RPCs served by the server.
+# TYPE ripple_fleet_rpc_calls_total counter
+ripple_fleet_rpc_calls_total{server="0"} 7
+# HELP ripple_fleet_store_gets_total Store gets served.
+# TYPE ripple_fleet_store_gets_total counter
+ripple_fleet_store_gets_total{server="0"} 3
+# HELP ripple_fleet_store_puts_total Store puts served.
+# TYPE ripple_fleet_store_puts_total counter
+ripple_fleet_store_puts_total{server="0"} 2
+# HELP ripple_fleet_trace_dropped_total Spans lost to server trace-ring wraparound.
+# TYPE ripple_fleet_trace_dropped_total counter
+ripple_fleet_trace_dropped_total{server="0"} 3
+# HELP ripple_fleet_wire_bytes_total Bytes on the wire by server and direction, frame prefixes included.
+# TYPE ripple_fleet_wire_bytes_total counter
+ripple_fleet_wire_bytes_total{server="0",dir="in"} 1000
+ripple_fleet_wire_bytes_total{server="0",dir="out"} 2000
+# HELP ripple_fleet_rpc_latency_seconds Server-side RPC service time by server and endpoint (server="all" aggregates the fleet).
+# TYPE ripple_fleet_rpc_latency_seconds histogram
+ripple_fleet_rpc_latency_seconds_bucket{server="0",endpoint="get",le="0"} 0
+ripple_fleet_rpc_latency_seconds_bucket{server="0",endpoint="get",le="1e-09"} 2
+ripple_fleet_rpc_latency_seconds_bucket{server="0",endpoint="get",le="+Inf"} 2
+ripple_fleet_rpc_latency_seconds_sum{server="0",endpoint="get"} 3e-09
+ripple_fleet_rpc_latency_seconds_count{server="0",endpoint="get"} 2
+ripple_fleet_rpc_latency_seconds_bucket{server="all",endpoint="get",le="0"} 0
+ripple_fleet_rpc_latency_seconds_bucket{server="all",endpoint="get",le="1e-09"} 2
+ripple_fleet_rpc_latency_seconds_bucket{server="all",endpoint="get",le="+Inf"} 2
+ripple_fleet_rpc_latency_seconds_sum{server="all",endpoint="get"} 3e-09
+ripple_fleet_rpc_latency_seconds_count{server="all",endpoint="get"} 2
+`
+	if got := sb.String(); got != want {
+		t.Errorf("fleet exposition drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// clSpan builds a client rpc span; at/dur in ns on the engine clock.
+func clSpan(id uint64, job string, at, dur int64) trace.Span {
+	return trace.Span{Kind: trace.KindRPC, Job: job, Span: id, Trace: 1,
+		At: time.Duration(at), Dur: time.Duration(dur)}
+}
+
+// svSpan builds a server rpc span; at/dur in ns on the server's own clock.
+func svSpan(parent uint64, op string, at, dur int64) trace.Span {
+	return trace.Span{Kind: trace.KindRPCServer, Job: op, Parent: parent, Trace: 1,
+		At: time.Duration(at), Dur: time.Duration(dur)}
+}
+
+func TestAssembleAlignsFromPairMidpoints(t *testing.T) {
+	// Server clock runs 500µs behind the engine clock.
+	engine := []trace.Span{
+		clSpan(101, "s0/get", 1_000_000, 100_000),
+		clSpan(102, "s0/get", 2_000_000, 100_000),
+	}
+	dump := ServerDump{Server: 0, Addr: "127.0.0.1:9", Spans: []trace.Span{
+		svSpan(101, "get", 520_000, 40_000),
+		svSpan(102, "get", 1_530_000, 30_000),
+	}}
+
+	merged, rep := Assemble(engine, []ServerDump{dump})
+	if rep.Pairs != 2 || rep.UnmatchedClient != 0 || rep.UnmatchedServer != 0 || rep.Violations != 0 {
+		t.Fatalf("report %+v", rep)
+	}
+	if len(rep.Servers) != 1 {
+		t.Fatalf("%d server aligns", len(rep.Servers))
+	}
+	al := rep.Servers[0]
+	if al.Source != "pairs" {
+		t.Errorf("source %q, want pairs", al.Source)
+	}
+	// True offset is +500µs; the midpoint median lands within the spans'
+	// own geometry of it.
+	if al.OffsetNS < 400_000 || al.OffsetNS > 600_000 {
+		t.Errorf("recovered offset %d, want ~500000", al.OffsetNS)
+	}
+
+	cr := Check(merged)
+	if !cr.Ok() {
+		t.Fatalf("check failed: %+v", cr)
+	}
+	for _, s := range merged {
+		if s.Kind == trace.KindRPCServer {
+			if s.Attrs["server"] != "0" || s.Attrs["addr"] != "127.0.0.1:9" {
+				t.Errorf("server span missing labels: %v", s.Attrs)
+			}
+		}
+	}
+	// Merged stream is At-ordered and re-sequenced 1..n.
+	for i := range merged {
+		if merged[i].Seq != uint64(i+1) {
+			t.Errorf("seq[%d] = %d", i, merged[i].Seq)
+		}
+		if i > 0 && merged[i].At < merged[i-1].At {
+			t.Errorf("merged not At-ordered at %d", i)
+		}
+	}
+}
+
+func TestAssemblePrefersLiveOffsetAndClamps(t *testing.T) {
+	engine := []trace.Span{clSpan(7, "s1/put", 1_000_000, 100_000)}
+	dump := ServerDump{Server: 1, Spans: []trace.Span{svSpan(7, "put", 490_000, 40_000)},
+		// Live estimate deliberately short: 490000+490000 starts 20µs before
+		// the client span, so the residual clamp must shift it in.
+		Offset: netstore.ClockOffset{OffsetNS: 490_000, ErrorNS: 30_000, Samples: 8}}
+
+	merged, rep := Assemble(engine, []ServerDump{dump})
+	al := rep.Servers[0]
+	if al.Source != "live" || al.OffsetNS != 490_000 {
+		t.Fatalf("align %+v, want live 490000", al)
+	}
+	if al.MaxAdjustNS != 20_000 {
+		t.Errorf("residual shift %d, want 20000", al.MaxAdjustNS)
+	}
+	if cr := Check(merged); !cr.Ok() {
+		t.Fatalf("clamp failed to restore enclosure: %+v", cr)
+	}
+}
+
+func TestAssembleViolationAndUnmatched(t *testing.T) {
+	engine := []trace.Span{
+		clSpan(1, "s0/get", 1_000_000, 50_000),
+		clSpan(2, "s0/get", 3_000_000, 50_000), // no server span: timeout
+	}
+	dump := ServerDump{Server: 0, Spans: []trace.Span{
+		svSpan(1, "get", 1_000_000, 80_000),  // longer than its client span
+		svSpan(99, "get", 2_000_000, 10_000), // unknown parent: client ring loss
+	}}
+	merged, rep := Assemble(engine, []ServerDump{dump})
+	if rep.Violations != 1 || rep.UnmatchedClient != 1 || rep.UnmatchedServer != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	cr := Check(merged)
+	if cr.Ok() || len(cr.Violations) != 1 {
+		t.Fatalf("check must flag the oversized server span: %+v", cr)
+	}
+}
+
+func TestCheckRejectsPairlessTimeline(t *testing.T) {
+	spans := []trace.Span{clSpan(1, "s0/get", 0, 10)}
+	if cr := Check(spans); cr.Ok() {
+		t.Error("timeline with zero pairs passed")
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	spans := []trace.Span{
+		clSpan(1, "s0/get", 0, 100),
+		svSpan(1, "get", 20, 60),
+		clSpan(2, "s1/get", 0, 300), // unmatched: client time only
+	}
+	br := Decompose(spans)
+	if len(br) != 2 {
+		t.Fatalf("%d breakdowns", len(br))
+	}
+	// Sorted by client-observed time, worst first.
+	if br[0].Server != "s1" || br[0].Calls != 1 || br[0].Matched != 0 || br[0].ClientNS != 300 {
+		t.Errorf("br[0] = %+v", br[0])
+	}
+	if br[1].Server != "s0" || br[1].Endpoint != "get" || br[1].Matched != 1 ||
+		br[1].ClientNS != 100 || br[1].ServerNS != 60 || br[1].WireNS != 40 {
+		t.Errorf("br[1] = %+v", br[1])
+	}
+}

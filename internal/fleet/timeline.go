@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ripple/internal/netstore"
+	"ripple/internal/trace"
+)
+
+// Cross-process trace assembly. Every client KindRPC span carries a unique
+// span ID; the server records its KindRPCServer span with Parent set to that
+// ID — so matching needs no clock at all. Alignment does: each server's
+// spans sit on the server's own monotonic clock, and Assemble maps them onto
+// the engine timeline with a per-server offset, either the transport's live
+// NTP-style estimate (heartbeat RTT midpoints) or, offline, the median of
+// the matched pairs' midpoint deltas.
+//
+// A base offset cannot be exact — the one-way ambiguity is rtt/2 and clocks
+// drift between samples — so after applying it, each matched server span is
+// shifted by the minimal residual that fits it inside its client span
+// (the same correction Jaeger's clock-skew adjuster applies). The residuals
+// are the estimate's observed error and are reported; a server span longer
+// than its enclosing client span cannot be fixed by any offset and counts
+// as a violation.
+
+// ServerDump is one server's contribution to an assembly: its drained
+// spans (on its own clock) plus the client's live clock estimate for it.
+// A zero Offset (Samples == 0) makes Assemble fall back to pair midpoints.
+type ServerDump struct {
+	Server int                  `json:"server"`
+	Addr   string               `json:"addr,omitempty"`
+	Spans  []trace.Span         `json:"spans"`
+	Offset netstore.ClockOffset `json:"offset"`
+}
+
+// ServerAlign reports how one server's clock was aligned.
+type ServerAlign struct {
+	Server      int    `json:"server"`
+	Addr        string `json:"addr,omitempty"`
+	Source      string `json:"source"` // "live" (heartbeat estimate) or "pairs" (span midpoints)
+	OffsetNS    int64  `json:"offset_ns"`
+	ErrorNS     int64  `json:"error_ns"`      // a-priori bound on the estimate
+	MaxAdjustNS int64  `json:"max_adjust_ns"` // largest residual shift actually needed
+	Pairs       int    `json:"pairs"`
+	Spans       int    `json:"spans"`
+}
+
+// TimelineReport is the outcome of one assembly.
+type TimelineReport struct {
+	Servers         []ServerAlign `json:"servers"`
+	Pairs           int           `json:"pairs"`
+	UnmatchedClient int           `json:"unmatched_client"` // rpc spans with no server span (timeouts, lost dumps)
+	UnmatchedServer int           `json:"unmatched_server"` // rpc_server spans with no client span (ring loss)
+	Violations      int           `json:"violations"`       // server spans longer than their client span
+	MaxAdjustNS     int64         `json:"max_adjust_ns"`
+}
+
+// Assemble merges the engine's spans with every server's dump into one
+// clock-aligned timeline. Engine spans pass through untouched; server spans
+// come back shifted onto the engine timeline, tagged with server="<idx>"
+// (and addr) attributes, and re-sequenced into one At-ordered stream.
+func Assemble(engine []trace.Span, dumps []ServerDump) ([]trace.Span, TimelineReport) {
+	var rep TimelineReport
+
+	// Index the client RPC spans by their unique span ID.
+	clients := make(map[uint64]trace.Span)
+	for _, s := range engine {
+		if s.Kind == trace.KindRPC && s.Span != 0 {
+			clients[s.Span] = s
+		}
+	}
+	paired := make(map[uint64]bool, len(clients))
+
+	merged := make([]trace.Span, 0, len(engine)+64)
+	merged = append(merged, engine...)
+
+	for _, d := range dumps {
+		al := ServerAlign{Server: d.Server, Addr: d.Addr, Spans: len(d.Spans)}
+
+		// Matched pairs drive the offline offset and the residual check.
+		type pair struct {
+			srv int // index into d.Spans
+			cl  trace.Span
+		}
+		var pairs []pair
+		for i, s := range d.Spans {
+			if s.Kind != trace.KindRPCServer || s.Parent == 0 {
+				continue
+			}
+			cl, ok := clients[s.Parent]
+			if !ok {
+				rep.UnmatchedServer++
+				continue
+			}
+			paired[s.Parent] = true
+			pairs = append(pairs, pair{srv: i, cl: cl})
+		}
+		al.Pairs = len(pairs)
+		rep.Pairs += len(pairs)
+
+		var offset int64
+		switch {
+		case d.Offset.Samples > 0:
+			al.Source = "live"
+			offset = d.Offset.OffsetNS
+			al.ErrorNS = d.Offset.ErrorNS
+		case len(pairs) > 0:
+			// Offline: each pair's clock reading is "the server's span midpoint
+			// happened at the client's span midpoint"; the median sheds the
+			// pairs a retry or injected delay skewed.
+			al.Source = "pairs"
+			deltas := make([]int64, len(pairs))
+			for i, p := range pairs {
+				sv := d.Spans[p.srv]
+				srvMid := int64(sv.At) + int64(sv.Dur)/2
+				clMid := int64(p.cl.At) + int64(p.cl.Dur)/2
+				deltas[i] = clMid - srvMid
+			}
+			sort.Slice(deltas, func(i, j int) bool { return deltas[i] < deltas[j] })
+			offset = deltas[len(deltas)/2]
+			al.ErrorNS = deltas[len(deltas)-1] - deltas[0]
+		default:
+			al.Source = "none"
+		}
+		al.OffsetNS = offset
+
+		// Shift every span onto the engine timeline, then clamp the matched
+		// ones into their client spans, tracking the residuals.
+		residual := make(map[int]int64, len(pairs)) // d.Spans index -> extra shift
+		for _, p := range pairs {
+			sv := d.Spans[p.srv]
+			at := int64(sv.At) + offset
+			lo, hi := int64(p.cl.At), int64(p.cl.At)+int64(p.cl.Dur)
+			if int64(sv.Dur) > int64(p.cl.Dur) {
+				rep.Violations++
+				residual[p.srv] = lo - at // pin the start; the end still overhangs
+				continue
+			}
+			var adj int64
+			if at < lo {
+				adj = lo - at
+			} else if at+int64(sv.Dur) > hi {
+				adj = hi - int64(sv.Dur) - at
+			}
+			residual[p.srv] = adj
+			if a := abs64(adj); a > al.MaxAdjustNS {
+				al.MaxAdjustNS = a
+			}
+		}
+		if al.MaxAdjustNS > rep.MaxAdjustNS {
+			rep.MaxAdjustNS = al.MaxAdjustNS
+		}
+
+		label := strconv.Itoa(d.Server)
+		for i, s := range d.Spans {
+			s.At = time.Duration(int64(s.At) + offset + residual[i])
+			attrs := make(map[string]string, len(s.Attrs)+2)
+			for k, v := range s.Attrs {
+				attrs[k] = v
+			}
+			attrs["server"] = label
+			if d.Addr != "" {
+				attrs["addr"] = d.Addr
+			}
+			s.Attrs = attrs
+			merged = append(merged, s)
+		}
+		rep.Servers = append(rep.Servers, al)
+	}
+
+	for id := range clients {
+		if !paired[id] {
+			rep.UnmatchedClient++
+		}
+	}
+
+	sort.SliceStable(merged, func(i, j int) bool { return merged[i].At < merged[j].At })
+	for i := range merged {
+		merged[i].Seq = uint64(i + 1)
+	}
+	return merged, rep
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// CheckReport is the verdict of Check over a merged timeline.
+type CheckReport struct {
+	Pairs           int      `json:"pairs"`
+	Violations      []string `json:"violations,omitempty"`
+	UnmatchedClient int      `json:"unmatched_client"`
+	UnmatchedServer int      `json:"unmatched_server"`
+}
+
+// Ok reports whether the timeline passes: at least one matched pair and no
+// enclosure violations.
+func (r CheckReport) Ok() bool { return r.Pairs > 0 && len(r.Violations) == 0 }
+
+// Check validates a merged timeline's causal geometry: every rpc_server span
+// that names a parent must be enclosed by the client rpc span carrying that
+// ID. It is the acceptance gate behind `ripple-inspect -fleet -check`.
+func Check(spans []trace.Span) CheckReport {
+	var rep CheckReport
+	clients := make(map[uint64]trace.Span)
+	for _, s := range spans {
+		if s.Kind == trace.KindRPC && s.Span != 0 {
+			clients[s.Span] = s
+		}
+	}
+	paired := make(map[uint64]bool, len(clients))
+	for _, s := range spans {
+		if s.Kind != trace.KindRPCServer || s.Parent == 0 {
+			continue
+		}
+		cl, ok := clients[s.Parent]
+		if !ok {
+			rep.UnmatchedServer++
+			continue
+		}
+		paired[s.Parent] = true
+		rep.Pairs++
+		if s.At < cl.At || s.At+s.Dur > cl.At+cl.Dur {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(
+				"server span %s (server=%s at=%v dur=%v) outside client span %s (at=%v dur=%v)",
+				s.Job, s.Attrs["server"], s.At, s.Dur, cl.Job, cl.At, cl.Dur))
+		}
+	}
+	for id := range clients {
+		if !paired[id] {
+			rep.UnmatchedClient++
+		}
+	}
+	return rep
+}
+
+// Breakdown decomposes the client-observed latency of one (server, endpoint)
+// into server execution time and wire time (transport, queueing, codec —
+// everything the server handler didn't see). Unmatched client spans
+// contribute client time only, so totals stay honest under timeouts.
+type Breakdown struct {
+	Server   string `json:"server"`
+	Endpoint string `json:"endpoint"`
+	Calls    int    `json:"calls"`
+	Matched  int    `json:"matched"`
+	ClientNS int64  `json:"client_ns"`
+	ServerNS int64  `json:"server_ns"`
+	WireNS   int64  `json:"wire_ns"`
+}
+
+// Decompose aggregates a merged timeline's RPC pairs per (server, endpoint),
+// sorted by total client-observed time, worst first. The server label comes
+// from the client span's job ("s<idx>/<endpoint>"), so decomposition works
+// even on timelines whose server dumps were partial.
+func Decompose(spans []trace.Span) []Breakdown {
+	serverDur := make(map[uint64]int64) // client span ID -> matched server exec ns
+	for _, s := range spans {
+		if s.Kind == trace.KindRPCServer && s.Parent != 0 {
+			serverDur[s.Parent] += int64(s.Dur)
+		}
+	}
+	agg := make(map[string]*Breakdown)
+	for _, s := range spans {
+		if s.Kind != trace.KindRPC {
+			continue
+		}
+		server, endpoint := splitRPCJob(s.Job)
+		key := server + "\x00" + endpoint
+		b := agg[key]
+		if b == nil {
+			b = &Breakdown{Server: server, Endpoint: endpoint}
+			agg[key] = b
+		}
+		b.Calls++
+		b.ClientNS += int64(s.Dur)
+		if sd, ok := serverDur[s.Span]; ok && s.Span != 0 {
+			b.Matched++
+			b.ServerNS += sd
+			if wire := int64(s.Dur) - sd; wire > 0 {
+				b.WireNS += wire
+			}
+		}
+	}
+	out := make([]Breakdown, 0, len(agg))
+	for _, b := range agg {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ClientNS != out[j].ClientNS {
+			return out[i].ClientNS > out[j].ClientNS
+		}
+		if out[i].Server != out[j].Server {
+			return out[i].Server < out[j].Server
+		}
+		return out[i].Endpoint < out[j].Endpoint
+	})
+	return out
+}
+
+// splitRPCJob splits a client RPC span job "s1/get" into ("s1", "get").
+func splitRPCJob(job string) (server, endpoint string) {
+	if i := strings.IndexByte(job, '/'); i >= 0 {
+		return job[:i], job[i+1:]
+	}
+	return "", job
+}

@@ -154,7 +154,58 @@ func WritePrometheusTracer(w io.Writer, c *Collector, t *trace.Tracer) error {
 			}
 		}
 	}
+
+	// Per-server heartbeat RTT and failure-detector liveness, populated by
+	// the networked transport's heartbeat loop.
+	rtts := c.HeartbeatRTTSnapshots()
+	if len(rtts) > 0 {
+		servers := make([]int, 0, len(rtts))
+		for s := range rtts {
+			servers = append(servers, s)
+		}
+		sort.Ints(servers)
+		if err := writeMeta(w, "ripple_heartbeat_rtt_seconds", "Heartbeat ping round-trip time by server.", "histogram"); err != nil {
+			return err
+		}
+		for _, s := range servers {
+			if err := writeHistogramLabelled(w, "ripple_heartbeat_rtt_seconds",
+				fmt.Sprintf("server=\"%d\"", s), rtts[s]); err != nil {
+				return err
+			}
+		}
+	}
+	ups := c.ServerUpSnapshots()
+	if len(ups) > 0 {
+		servers := make([]int, 0, len(ups))
+		for s := range ups {
+			servers = append(servers, s)
+		}
+		sort.Ints(servers)
+		if err := writeMeta(w, "ripple_server_up", "Failure-detector verdict by server: 1 = up, 0 = down.", "gauge"); err != nil {
+			return err
+		}
+		for _, s := range servers {
+			if _, err := fmt.Fprintf(w, "ripple_server_up{server=\"%d\"} %d\n", s, ups[s]); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// WriteMeta emits a metric's # HELP / # TYPE header. Exported for composite
+// expositions (the fleet collector) that interleave series from several
+// collectors under one metric name.
+func WriteMeta(w io.Writer, name, help, typ string) error {
+	return writeMeta(w, name, help, typ)
+}
+
+// WriteHistogramLabelled emits one histogram's sample lines with an extra
+// label clause (e.g. `server="1"` or `server="1",endpoint="get"`) on every
+// series. The # HELP / # TYPE header must have been written once by the
+// caller via WriteMeta. Exported for composite expositions.
+func WriteHistogramLabelled(w io.Writer, name, label string, s HistogramSnapshot) error {
+	return writeHistogramLabelled(w, name, label, s)
 }
 
 // writeHistogramLabelled emits one histogram's sample lines with an extra

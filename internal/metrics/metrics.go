@@ -46,6 +46,12 @@ type Collector struct {
 	// networked transport (one per wire opcode: get, put, snapshot, ...).
 	endpoints sync.Map // string -> *Histogram
 
+	// Per-server heartbeat round-trip histograms and liveness gauges,
+	// created on first use by the transport's failure detector. Keyed by
+	// the client's server index.
+	heartbeatRTT sync.Map // int -> *Histogram
+	serverUp     sync.Map // int -> *Gauge
+
 	// Gauges.
 	queueDepth        PartGauge  // no-sync: per-part queue depth
 	enabledComponents Gauge      // sync: compute invocations in the latest step
@@ -118,6 +124,61 @@ func (c *Collector) EndpointSnapshots() map[string]HistogramSnapshot {
 	out := make(map[string]HistogramSnapshot)
 	c.endpoints.Range(func(k, v any) bool {
 		out[k.(string)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// HeartbeatRTT returns the heartbeat round-trip histogram for one server,
+// creating it on first use. A nil collector returns a nil (no-op) histogram.
+func (c *Collector) HeartbeatRTT(server int) *Histogram {
+	if c == nil {
+		return nil
+	}
+	if h, ok := c.heartbeatRTT.Load(server); ok {
+		return h.(*Histogram)
+	}
+	h, _ := c.heartbeatRTT.LoadOrStore(server, new(Histogram))
+	return h.(*Histogram)
+}
+
+// HeartbeatRTTSnapshots returns a snapshot of every per-server heartbeat RTT
+// histogram, keyed by server index. A nil collector returns nil.
+func (c *Collector) HeartbeatRTTSnapshots() map[int]HistogramSnapshot {
+	if c == nil {
+		return nil
+	}
+	out := make(map[int]HistogramSnapshot)
+	c.heartbeatRTT.Range(func(k, v any) bool {
+		out[k.(int)] = v.(*Histogram).Snapshot()
+		return true
+	})
+	return out
+}
+
+// ServerUp returns the liveness gauge for one server (1 = the failure
+// detector considers it up, 0 = down), creating it on first use. A nil
+// collector returns a nil (no-op) gauge.
+func (c *Collector) ServerUp(server int) *Gauge {
+	if c == nil {
+		return nil
+	}
+	if g, ok := c.serverUp.Load(server); ok {
+		return g.(*Gauge)
+	}
+	g, _ := c.serverUp.LoadOrStore(server, new(Gauge))
+	return g.(*Gauge)
+}
+
+// ServerUpSnapshots returns each tracked server's liveness gauge value,
+// keyed by server index. A nil collector returns nil.
+func (c *Collector) ServerUpSnapshots() map[int]int64 {
+	if c == nil {
+		return nil
+	}
+	out := make(map[int]int64)
+	c.serverUp.Range(func(k, v any) bool {
+		out[k.(int)] = v.(*Gauge).Load()
 		return true
 	})
 	return out
@@ -367,6 +428,14 @@ func (c *Collector) Reset() {
 	c.rpcRetries.Store(0)
 	c.endpoints.Range(func(k, _ any) bool {
 		c.endpoints.Delete(k)
+		return true
+	})
+	c.heartbeatRTT.Range(func(k, _ any) bool {
+		c.heartbeatRTT.Delete(k)
+		return true
+	})
+	c.serverUp.Range(func(k, _ any) bool {
+		c.serverUp.Delete(k)
 		return true
 	})
 	c.stepDuration.reset()

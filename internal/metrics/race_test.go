@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/trace"
+)
+
+// TestExpositionRace hammers WritePrometheusTracer while every instrument
+// family — counters, endpoint histograms, gauges, the per-server heartbeat
+// and up-state maps, and the tracer — is being written concurrently. Run
+// under -race this is the exposition's data-race gate; without it, it still
+// checks nothing panics when scrapes overlap recording.
+func TestExpositionRace(t *testing.T) {
+	c := &Collector{}
+	tr := trace.New(256)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	writer := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Record before checking stop: every instrument family must
+			// exist by the final scrape even on a miserly scheduler.
+			for i := 0; ; i++ {
+				fn(i)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	writer(func(i int) { c.AddSteps(1); c.AddMessagesSent(2); c.AddRPCCalls(1) })
+	writer(func(i int) { c.Endpoint("get").ObserveDuration(time.Duration(i%1000) * time.Microsecond) })
+	writer(func(i int) { c.StepDurations().Observe(int64(i % 100)) })
+	writer(func(i int) { c.QueueDepths().Set(i%8, int64(i%50)) })
+	writer(func(i int) { c.HeartbeatRTT(i % 4).ObserveDuration(time.Duration(i%500) * time.Microsecond) })
+	writer(func(i int) { c.ServerUp(i % 4).Set(int64(i % 2)) })
+	writer(func(i int) {
+		tr.RecordSpan(trace.Span{Kind: trace.KindStepEnd, Job: "hammer", N: int64(i)})
+	})
+
+	for i := 0; i < 200; i++ {
+		if err := WritePrometheusTracer(io.Discard, c, tr); err != nil {
+			t.Fatalf("scrape %d: %v", i, err)
+		}
+		if i%50 == 0 {
+			c.HeartbeatRTTSnapshots()
+			c.ServerUpSnapshots()
+			RecordStatsSpan(tr, c)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// One final scrape after the dust settles must include the per-server
+	// series the writers created.
+	var sb strings.Builder
+	if err := WritePrometheusTracer(&sb, c, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"ripple_heartbeat_rtt_seconds", "ripple_server_up"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package metrics
+
+import (
+	"fmt"
+
+	"ripple/internal/trace"
+)
+
+// RecordStatsSpan records one KindStats span carrying the collector's
+// counter snapshot as string attributes. It is the "final flush" record a
+// part-server appends to its trace dump on graceful shutdown, so a drained
+// server's counters survive next to its spans in one file; JSONL parsers
+// that don't know the kind just see another span line.
+//
+// Either argument may be nil: a nil tracer makes the call a no-op, a nil
+// collector records a span with empty attrs.
+func RecordStatsSpan(t *trace.Tracer, c *Collector) {
+	if t == nil {
+		return
+	}
+	s := c.Snapshot()
+	attrs := map[string]string{
+		"steps":            fmt.Sprintf("%d", s.Steps),
+		"barriers":         fmt.Sprintf("%d", s.Barriers),
+		"messages_sent":    fmt.Sprintf("%d", s.MessagesSent),
+		"marshalled_bytes": fmt.Sprintf("%d", s.MarshalledBytes),
+		"store_gets":       fmt.Sprintf("%d", s.StoreGets),
+		"store_puts":       fmt.Sprintf("%d", s.StorePuts),
+		"store_deletes":    fmt.Sprintf("%d", s.StoreDeletes),
+		"retries":          fmt.Sprintf("%d", s.Retries),
+		"failovers":        fmt.Sprintf("%d", s.Failovers),
+		"rpc_calls":        fmt.Sprintf("%d", s.RPCCalls),
+		"rpc_retries":      fmt.Sprintf("%d", s.RPCRetries),
+	}
+	t.RecordSpan(trace.Span{Kind: trace.KindStats, Job: "stats", Part: -1, Attrs: attrs})
+}

@@ -1,0 +1,434 @@
+package netstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"ripple/internal/metrics"
+	"ripple/internal/trace"
+)
+
+// Admin telemetry ops: opStats, opTraceDump, and opHealth ride the same
+// framed codec and connections as data, so observing a fleet needs no side
+// channel — and telemetry inherits the transport's fault tolerance (pinned
+// bounded retries) for free. Payloads are JSON in frame.Val: telemetry is
+// low-rate and its schema evolves, so self-describing wins over fast here.
+
+// ServerStats is the opStats payload: a part-server's counters, per-endpoint
+// service-time histograms, and trace-ring state, in one snapshot.
+type ServerStats struct {
+	BootID       int64                                `json:"boot_id"`
+	UptimeNS     int64                                `json:"uptime_ns"`
+	MonoNowNS    int64                                `json:"mono_now_ns"` // span-clock now, for offline alignment
+	Counters     metrics.Snapshot                     `json:"counters"`
+	Endpoints    map[string]metrics.HistogramSnapshot `json:"endpoints,omitempty"`
+	TraceSpans   int                                  `json:"trace_spans"`
+	TraceSeq     uint64                               `json:"trace_seq"`
+	TraceDropped uint64                               `json:"trace_dropped"`
+	WireInBytes  int64                                `json:"wire_in_bytes"`
+	WireOutBytes int64                                `json:"wire_out_bytes"`
+	Goroutines   int                                  `json:"goroutines"`
+	HeapBytes    uint64                               `json:"heap_bytes"`
+}
+
+// ServerHealth is the opHealth payload: boot identity and the
+// detector-relevant load state of one part-server.
+type ServerHealth struct {
+	BootID       int64    `json:"boot_id"`
+	UptimeNS     int64    `json:"uptime_ns"`
+	MonoNowNS    int64    `json:"mono_now_ns"`
+	Tables       []string `json:"tables,omitempty"`
+	QueueSets    int      `json:"queue_sets"`
+	Conns        int      `json:"conns"`
+	WireInBytes  int64    `json:"wire_in_bytes"`
+	WireOutBytes int64    `json:"wire_out_bytes"`
+	Goroutines   int      `json:"goroutines"`
+	HeapBytes    uint64   `json:"heap_bytes"`
+}
+
+// TraceDump is the opTraceDump payload: the server's trace-ring tail past
+// the request cursor. Cursor is the new cursor to pass on the next poll;
+// Dropped grows when ring wraparound lost spans between polls.
+type TraceDump struct {
+	BootID    int64        `json:"boot_id"`
+	MonoNowNS int64        `json:"mono_now_ns"`
+	Cursor    uint64       `json:"cursor"`
+	Dropped   uint64       `json:"dropped"`
+	Spans     []trace.Span `json:"spans,omitempty"`
+}
+
+// monoNow is the server's span-clock now: nanoseconds on the same monotonic
+// base its trace spans' At offsets use (the tracer's start, or the server's
+// start when untraced). Ping responses carry it so clients can estimate this
+// server's clock offset without a time protocol.
+func (s *Server) monoNow() int64 {
+	if s.tr != nil {
+		return int64(time.Since(s.tr.WallStart()))
+	}
+	return int64(time.Since(s.start))
+}
+
+func (s *Server) statsFrame() (frame, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := ServerStats{
+		BootID:       s.bootID,
+		UptimeNS:     int64(time.Since(s.start)),
+		MonoNowNS:    s.monoNow(),
+		Counters:     s.met.Snapshot(),
+		Endpoints:    s.met.EndpointSnapshots(),
+		TraceSpans:   s.tr.Len(),
+		TraceSeq:     s.tr.Seq(),
+		TraceDropped: s.tr.Dropped(),
+		WireInBytes:  s.wireIn.Load(),
+		WireOutBytes: s.wireOut.Load(),
+		Goroutines:   runtime.NumGoroutine(),
+		HeapBytes:    ms.HeapAlloc,
+	}
+	body, err := json.Marshal(st)
+	if err != nil {
+		return frame{}, err
+	}
+	return frame{Val: body}, nil
+}
+
+func (s *Server) traceDumpFrame(cursor uint64) (frame, error) {
+	spans := s.tr.SnapshotSince(cursor)
+	next := cursor
+	if n := len(spans); n > 0 {
+		next = spans[n-1].Seq
+	}
+	dump := TraceDump{
+		BootID:    s.bootID,
+		MonoNowNS: s.monoNow(),
+		Cursor:    next,
+		Dropped:   s.tr.Dropped(),
+		Spans:     spans,
+	}
+	body, err := json.Marshal(dump)
+	if err != nil {
+		return frame{}, err
+	}
+	return frame{Val: body, Aux: int64(next)}, nil
+}
+
+func (s *Server) healthFrame() (frame, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.mu.Lock()
+	tables := make([]string, len(s.order))
+	copy(tables, s.order)
+	qsets := len(s.qsets)
+	s.mu.Unlock()
+	s.lnMu.Lock()
+	conns := len(s.conns)
+	s.lnMu.Unlock()
+	h := ServerHealth{
+		BootID:       s.bootID,
+		UptimeNS:     int64(time.Since(s.start)),
+		MonoNowNS:    s.monoNow(),
+		Tables:       tables,
+		QueueSets:    qsets,
+		Conns:        conns,
+		WireInBytes:  s.wireIn.Load(),
+		WireOutBytes: s.wireOut.Load(),
+		Goroutines:   runtime.NumGoroutine(),
+		HeapBytes:    ms.HeapAlloc,
+	}
+	body, err := json.Marshal(h)
+	if err != nil {
+		return frame{}, err
+	}
+	return frame{Val: body}, nil
+}
+
+// --- client-side clock-offset estimation ---
+
+// ClockOffset is the client's live estimate of one server's span-clock
+// offset: serverAt + OffsetNS maps a server span's At onto the client
+// tracer's timeline. ErrorNS bounds the estimate: half the best round-trip
+// (the irreducible one-way ambiguity) plus the spread of the sample window
+// (clock drift and scheduling jitter).
+type ClockOffset struct {
+	OffsetNS int64 `json:"offset_ns"`
+	ErrorNS  int64 `json:"error_ns"`
+	RTTNS    int64 `json:"rtt_ns"` // best round-trip in the window
+	Samples  int   `json:"samples"`
+}
+
+// clockSamples per server retained for the offset estimate. Heartbeats are
+// frequent, so a short window tracks drift while shedding outliers.
+const clockSamples = 8
+
+type clockSample struct {
+	offset int64 // clientMid - serverMono, ns
+	rtt    int64
+}
+
+// clockEst is one server's rolling sample window. Guarded by Client.clkMu.
+type clockEst struct {
+	samples [clockSamples]clockSample
+	n, next int
+}
+
+// noteClockSample folds one heartbeat's (offset, rtt) observation into the
+// server's window.
+func (c *Client) noteClockSample(server int, offset, rtt int64) {
+	c.clkMu.Lock()
+	defer c.clkMu.Unlock()
+	if c.clks == nil {
+		c.clks = make([]clockEst, len(c.conns))
+	}
+	e := &c.clks[server]
+	e.samples[e.next] = clockSample{offset: offset, rtt: rtt}
+	e.next = (e.next + 1) % clockSamples
+	if e.n < clockSamples {
+		e.n++
+	}
+}
+
+// estimate computes the window's verdict: the offset of the minimum-RTT
+// sample (NTP's best-sample rule — the tighter the round trip, the tighter
+// the midpoint bounds the server's clock), with an error of half that RTT
+// plus the window's offset spread.
+func (e *clockEst) estimate() ClockOffset {
+	if e.n == 0 {
+		return ClockOffset{}
+	}
+	best := e.samples[0]
+	lo, hi := e.samples[0].offset, e.samples[0].offset
+	for _, s := range e.samples[:e.n] {
+		if s.rtt < best.rtt {
+			best = s
+		}
+		if s.offset < lo {
+			lo = s.offset
+		}
+		if s.offset > hi {
+			hi = s.offset
+		}
+	}
+	return ClockOffset{
+		OffsetNS: best.offset,
+		ErrorNS:  best.rtt/2 + (hi - lo),
+		RTTNS:    best.rtt,
+		Samples:  e.n,
+	}
+}
+
+// ClockOffsets reports the current per-server clock-offset estimates, indexed
+// by server. Servers with no successful heartbeat yet report zero samples.
+func (c *Client) ClockOffsets() []ClockOffset {
+	out := make([]ClockOffset, len(c.conns))
+	c.clkMu.Lock()
+	defer c.clkMu.Unlock()
+	for i := range out {
+		if c.clks != nil {
+			out[i] = c.clks[i].estimate()
+		}
+	}
+	return out
+}
+
+// clockBase is the client-side zero of the span timeline: the tracer's wall
+// start when tracing, the client's dial time otherwise.
+func (c *Client) clockBase() time.Time {
+	if c.tr != nil {
+		return c.tr.WallStart()
+	}
+	return c.started
+}
+
+// --- client-side admin calls ---
+
+// ServerStatus is the failure detector's public view of one server, plus its
+// clock-offset estimate — the row a live fleet view renders.
+type ServerStatus struct {
+	Server int         `json:"server"`
+	Addr   string      `json:"addr"`
+	Up     bool        `json:"up"`
+	Cold   bool        `json:"cold"`
+	BootID int64       `json:"boot_id"`
+	Misses int         `json:"misses"`
+	Clock  ClockOffset `json:"clock"`
+}
+
+// Addrs reports the fleet's server addresses in index order.
+func (c *Client) Addrs() []string {
+	out := make([]string, len(c.addrs))
+	copy(out, c.addrs)
+	return out
+}
+
+// ServerStatuses reports the failure detector's current verdict for every
+// server, with clock-offset estimates attached.
+func (c *Client) ServerStatuses() []ServerStatus {
+	offs := c.ClockOffsets()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ServerStatus, len(c.states))
+	for i, st := range c.states {
+		out[i] = ServerStatus{
+			Server: i, Addr: c.addrs[i],
+			Up: st.up, Cold: st.cold, BootID: st.bootID, Misses: st.misses,
+			Clock: offs[i],
+		}
+	}
+	return out
+}
+
+// ServerStats pulls one server's metrics snapshot over the admin op. The
+// call is pinned (bounded retries, no failover): stats from a different
+// server would answer a different question.
+func (c *Client) ServerStats(server int) (ServerStats, error) {
+	var st ServerStats
+	resp, err := c.pinnedRPC(server, frame{Op: opStats})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(resp.Val, &st); err != nil {
+		return st, fmt.Errorf("netstore: stats from server %d: %w", server, err)
+	}
+	return st, nil
+}
+
+// ServerHealth pulls one server's health report over the admin op.
+func (c *Client) ServerHealth(server int) (ServerHealth, error) {
+	var h ServerHealth
+	resp, err := c.pinnedRPC(server, frame{Op: opHealth})
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(resp.Val, &h); err != nil {
+		return h, fmt.Errorf("netstore: health from server %d: %w", server, err)
+	}
+	return h, nil
+}
+
+// TraceDump drains one server's trace-ring tail past cursor. Pass the
+// returned Cursor on the next poll to see each span exactly once.
+func (c *Client) TraceDump(server int, cursor uint64) (TraceDump, error) {
+	var d TraceDump
+	resp, err := c.pinnedRPC(server, frame{Op: opTraceDump, Aux: int64(cursor)})
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(resp.Val, &d); err != nil {
+		return d, fmt.Errorf("netstore: trace dump from server %d: %w", server, err)
+	}
+	return d, nil
+}
+
+// --- standalone admin client ---
+
+// AdminClient is a minimal telemetry-only client for fleet dashboards and
+// ripple-top: it dials lazily, requires no server to be up, runs no
+// heartbeats, and shares nothing with the data path. Zero values of the
+// payload structs come back with the error when a server is unreachable.
+type AdminClient struct {
+	addrs   []string
+	conns   []*serverConn
+	timeout time.Duration
+	nextID  atomic.Uint64
+}
+
+// DialAdmin prepares an admin client for the given servers. No connection is
+// made until the first call, and per-server failures are per-call errors —
+// a degraded fleet can still be observed.
+func DialAdmin(addrs []string, timeout time.Duration) *AdminClient {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	a := &AdminClient{addrs: append([]string(nil), addrs...), timeout: timeout}
+	a.conns = make([]*serverConn, len(addrs))
+	for i, addr := range addrs {
+		a.conns[i] = newServerConn(addr, i, nil)
+	}
+	return a
+}
+
+// Servers reports the fleet size.
+func (a *AdminClient) Servers() int { return len(a.conns) }
+
+// Addrs reports the server addresses in index order.
+func (a *AdminClient) Addrs() []string { return append([]string(nil), a.addrs...) }
+
+// Close tears down every connection.
+func (a *AdminClient) Close() {
+	for _, sc := range a.conns {
+		sc.close()
+	}
+}
+
+func (a *AdminClient) call(server int, req frame) (frame, error) {
+	if server < 0 || server >= len(a.conns) {
+		return frame{}, fmt.Errorf("netstore: admin: no server %d", server)
+	}
+	req.ID = a.nextID.Add(1)
+	resp, err := a.conns[server].call(req, a.timeout)
+	if err != nil {
+		return frame{}, err
+	}
+	if resp.Code != errNone {
+		return frame{}, errFromCode(resp.Code, resp.errText())
+	}
+	return resp, nil
+}
+
+// Ping round-trips one server, returning its boot identity, the measured
+// round-trip time, and the server's span-clock now.
+func (a *AdminClient) Ping(server int) (bootID int64, rtt time.Duration, monoNow int64, err error) {
+	t0 := time.Now()
+	resp, err := a.call(server, frame{Op: opPing})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rtt = time.Since(t0)
+	if len(resp.Val) == 8 {
+		monoNow = int64(binary.BigEndian.Uint64(resp.Val))
+	}
+	return resp.Aux, rtt, monoNow, nil
+}
+
+// Stats pulls one server's metrics snapshot.
+func (a *AdminClient) Stats(server int) (ServerStats, error) {
+	var st ServerStats
+	resp, err := a.call(server, frame{Op: opStats})
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(resp.Val, &st); err != nil {
+		return st, fmt.Errorf("netstore: admin stats from server %d: %w", server, err)
+	}
+	return st, nil
+}
+
+// Health pulls one server's health report.
+func (a *AdminClient) Health(server int) (ServerHealth, error) {
+	var h ServerHealth
+	resp, err := a.call(server, frame{Op: opHealth})
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(resp.Val, &h); err != nil {
+		return h, fmt.Errorf("netstore: admin health from server %d: %w", server, err)
+	}
+	return h, nil
+}
+
+// TraceDump drains one server's trace-ring tail past cursor.
+func (a *AdminClient) TraceDump(server int, cursor uint64) (TraceDump, error) {
+	var d TraceDump
+	resp, err := a.call(server, frame{Op: opTraceDump, Aux: int64(cursor)})
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(resp.Val, &d); err != nil {
+		return d, fmt.Errorf("netstore: admin trace dump from server %d: %w", server, err)
+	}
+	return d, nil
+}

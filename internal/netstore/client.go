@@ -43,6 +43,12 @@ type Client struct {
 
 	failovers atomic.Int64
 
+	started time.Time // span-clock base when no tracer is attached
+
+	// Per-server clock-offset estimators, fed by heartbeat RTT midpoints.
+	clkMu sync.Mutex
+	clks  []clockEst
+
 	mu     sync.Mutex
 	states []serverState
 	tables map[string]tableMeta
@@ -148,6 +154,7 @@ func Dial(addrs []string, opts ...Option) (*Client, error) {
 	}
 	c := &Client{
 		addrs:        addrs,
+		started:      time.Now(),
 		replicas:     2,
 		reqTimeout:   2 * time.Second,
 		hbEvery:      100 * time.Millisecond,
@@ -179,6 +186,7 @@ func Dial(addrs []string, opts ...Option) (*Client, error) {
 			return nil, fmt.Errorf("netstore: server %d (%s) unreachable: %w", i, addrs[i], err)
 		}
 		c.states[i] = serverState{up: true, everUp: true, bootID: bootID}
+		c.met.ServerUp(i).Set(1)
 	}
 	c.wg.Add(1)
 	go c.heartbeats()
@@ -187,12 +195,17 @@ func Dial(addrs []string, opts ...Option) (*Client, error) {
 
 // ping checks one server's liveness and returns its boot identity. One-way
 // partition windows starve pings without advancing the injector's data-frame
-// counters.
+// counters. A successful round-trip also feeds the per-server RTT histogram
+// and — the response carries the server's span-clock now — the NTP-style
+// clock-offset estimator: the server's clock is read at roughly the RTT
+// midpoint, so clientMid − serverNow estimates the offset to within rtt/2.
 func (c *Client) ping(server int) (int64, error) {
 	if c.inj != nil && c.inj.PingBlocked(server, true) {
 		return 0, fmt.Errorf("%w: ping partitioned to server", errTimeout)
 	}
+	t0 := time.Now()
 	resp, err := c.conns[server].call(frame{ID: c.nextID.Add(1), Op: opPing}, c.reqTimeout)
+	rtt := time.Since(t0)
 	if err != nil {
 		return 0, err
 	}
@@ -201,6 +214,12 @@ func (c *Client) ping(server int) (int64, error) {
 	}
 	if resp.Code != errNone {
 		return 0, errFromCode(resp.Code, resp.errText())
+	}
+	c.met.HeartbeatRTT(server).ObserveDuration(rtt)
+	if len(resp.Val) == 8 {
+		serverNow := int64(binary.BigEndian.Uint64(resp.Val))
+		clientMid := int64(t0.Add(rtt / 2).Sub(c.clockBase()))
+		c.noteClockSample(server, clientMid-serverNow, int64(rtt))
 	}
 	return resp.Aux, nil
 }
@@ -233,11 +252,13 @@ func (c *Client) noteHeartbeat(server int, bootID int64, err error) {
 		st.misses++
 		if st.up && st.misses >= c.hbMisses {
 			st.up = false
+			c.met.ServerUp(server).Set(0)
 			c.bumpFailoverLocked()
 		}
 		return
 	}
 	st.misses = 0
+	c.met.ServerUp(server).Set(1)
 	if !st.up {
 		// Back from the dead: usable for writes immediately, but cold (its
 		// data is stale or gone) until the engine heals. Sensed as a
@@ -284,6 +305,7 @@ func (c *Client) noteFailure(server int) {
 	}
 	if st.up && st.misses >= th {
 		st.up = false
+		c.met.ServerUp(server).Set(0)
 		c.bumpFailoverLocked()
 	}
 }
@@ -685,6 +707,7 @@ func (c *Client) forceDown(server int) {
 	st := &c.states[server]
 	if st.up {
 		st.up = false
+		c.met.ServerUp(server).Set(0)
 		c.bumpFailoverLocked()
 	}
 }

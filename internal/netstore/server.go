@@ -1,10 +1,12 @@
 package netstore
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ripple/internal/kvstore"
@@ -20,8 +22,14 @@ import (
 // lets one server binary serve any analytics job.
 type Server struct {
 	bootID int64
+	start  time.Time
 	met    *metrics.Collector
 	tr     *trace.Tracer
+
+	// Wire accounting for the telemetry ops: bytes read from and written to
+	// all client connections, length prefixes included.
+	wireIn  atomic.Int64
+	wireOut atomic.Int64
 
 	mu     sync.Mutex
 	tables map[string]*srvTable
@@ -57,6 +65,7 @@ func WithServerTracer(t *trace.Tracer) ServerOption {
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
 		bootID: time.Now().UnixNano(),
+		start:  time.Now(),
 		tables: make(map[string]*srvTable),
 		qsys:   mq.NewSystem(mq.WithoutMarshalling()),
 		qsets:  make(map[string]mq.Set),
@@ -152,10 +161,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
-		req, err := readFrame(conn)
+		req, n, err := readFrameN(conn)
 		if err != nil {
 			return
 		}
+		s.wireIn.Add(int64(n))
 		reqWG.Add(1)
 		go func(req frame) {
 			defer reqWG.Done()
@@ -171,8 +181,9 @@ func (s *Server) serveConn(conn net.Conn) {
 				})
 			}
 			wmu.Lock()
-			err := writeFrame(conn, resp)
+			n, err := writeFrameN(conn, resp)
 			wmu.Unlock()
+			s.wireOut.Add(int64(n))
 			if err != nil {
 				conn.Close()
 			}
@@ -194,7 +205,18 @@ func (s *Server) handle(req frame) frame {
 func (s *Server) dispatch(req frame) (frame, error) {
 	switch req.Op {
 	case opPing:
-		return frame{Aux: s.bootID}, nil
+		// The response also carries the server's monotonic now (8 bytes BE,
+		// same clock base as its trace spans) so clients can estimate this
+		// server's clock offset from the RTT midpoint, NTP-style.
+		var now [8]byte
+		binary.BigEndian.PutUint64(now[:], uint64(s.monoNow()))
+		return frame{Aux: s.bootID, Val: now[:]}, nil
+	case opStats:
+		return s.statsFrame()
+	case opTraceDump:
+		return s.traceDumpFrame(uint64(req.Aux))
+	case opHealth:
+		return s.healthFrame()
 	case opCreateTable:
 		return frame{}, s.createTable(req.Name, req.Part, req.Flag, req.Aux&1 != 0)
 	case opDropTable:

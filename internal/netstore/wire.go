@@ -51,6 +51,13 @@ const (
 	opMQRead                       // Name, Part = queue, Aux = timeout ns; response Val, Flag = ok
 	opMQLen                        // Name, Part = queue; response Aux = queued messages
 	opMQClose                      // Name
+
+	// Admin telemetry ops: the fleet observability plane rides the same
+	// codec and connections as data. Payloads are JSON in Val — telemetry
+	// is low-rate and schema-evolving, so self-describing beats fast here.
+	opStats     // response Val = JSON ServerStats (counters + endpoint histograms)
+	opTraceDump // Aux = span-seq cursor; response Val = JSON TraceDump (spans after cursor)
+	opHealth    // response Val = JSON ServerHealth (boot identity, uptime, load)
 )
 
 // opNames label the endpoints in metrics and trace spans.
@@ -73,6 +80,9 @@ var opNames = map[uint8]string{
 	opMQRead:      "mq_read",
 	opMQLen:       "mq_len",
 	opMQClose:     "mq_close",
+	opStats:       "stats",
+	opTraceDump:   "trace_dump",
+	opHealth:      "health",
 }
 
 func opName(op uint8) string {
@@ -321,42 +331,58 @@ var errBadFrame = errors.New("netstore: corrupt frame")
 
 // writeFrame encodes f and writes it length-prefixed.
 func writeFrame(w io.Writer, f frame) error {
+	_, err := writeFrameN(w, f)
+	return err
+}
+
+// writeFrameN is writeFrame reporting the wire bytes written (prefix
+// included), for per-server wire accounting.
+func writeFrameN(w io.Writer, f frame) (int, error) {
 	body, err := codec.Encode(f)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err = w.Write(body)
-	return err
+	if _, err := w.Write(body); err != nil {
+		return 0, err
+	}
+	return 4 + len(body), nil
 }
 
 // readFrame reads one length-prefixed frame.
 func readFrame(r io.Reader) (frame, error) {
+	f, _, err := readFrameN(r)
+	return f, err
+}
+
+// readFrameN is readFrame reporting the wire bytes consumed (prefix
+// included), for per-server wire accounting.
+func readFrameN(r io.Reader) (frame, int, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return frame{}, err
+		return frame{}, 0, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > maxFrame {
-		return frame{}, fmt.Errorf("%w: %d byte frame", errBadFrame, n)
+		return frame{}, 0, fmt.Errorf("%w: %d byte frame", errBadFrame, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return frame{}, err
+		return frame{}, 0, err
 	}
 	v, err := codec.Decode(body)
 	if err != nil {
-		return frame{}, fmt.Errorf("%w: %v", errBadFrame, err)
+		return frame{}, 0, fmt.Errorf("%w: %v", errBadFrame, err)
 	}
 	f, ok := v.(frame)
 	if !ok {
-		return frame{}, fmt.Errorf("%w: decoded a %T", errBadFrame, v)
+		return frame{}, 0, fmt.Errorf("%w: decoded a %T", errBadFrame, v)
 	}
-	return f, nil
+	return f, 4 + int(n), nil
 }
 
 // WireFault is one injected fault decision for one frame crossing the wire.

@@ -69,6 +69,9 @@ type Report struct {
 	// NoSyncParts counts step-0 (no-sync) records, which have no barrier and
 	// are excluded from the per-step skew table.
 	NoSyncParts int `json:"nosync_parts,omitempty"`
+	// Servers ranks part-servers by client-observed RPC time, worst first,
+	// filled in by AttachFleet when a merged fleet timeline is available.
+	Servers []ServerCost `json:"servers,omitempty"`
 }
 
 // TopStraggler returns the worst-ranked part, or (-1, false) when the report

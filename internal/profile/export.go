@@ -223,6 +223,17 @@ func WriteText(w io.Writer, rep *Report) error {
 		for _, k := range rep.HotKeys {
 			fmt.Fprintf(w, "  %-16s %-24s %10d\n", k.Job, k.Key, k.Count)
 		}
+		fmt.Fprintln(w)
+	}
+
+	if len(rep.Servers) > 0 {
+		fmt.Fprintf(w, "server RPC cost (client-observed time, wire vs exec from the fleet timeline):\n")
+		fmt.Fprintf(w, "  %-8s %7s %8s %12s %12s %12s\n",
+			"SERVER", "CALLS", "MATCHED", "CLIENT", "EXEC", "WIRE")
+		for _, s := range rep.Servers {
+			fmt.Fprintf(w, "  %-8s %7d %8d %12v %12v %12v\n",
+				s.Server, s.Calls, s.Matched, d(s.ClientNS), d(s.ServerNS), d(s.WireNS))
+		}
 	}
 	return nil
 }

@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"sort"
+	"strings"
+
+	"ripple/internal/trace"
+)
+
+// Fleet attribution: a merged fleet timeline (client rpc spans joined to
+// their server rpc_server spans — see internal/fleet) names which *server*
+// an RPC's time was spent on, and how much of it was wire vs execution.
+// Joining that against the skew report moves straggler blame across the
+// network boundary: a slow step whose parts all waited on one server's RPCs
+// is a server problem, not a partitioning problem.
+
+// ServerCost aggregates one server's share of a run's RPC time.
+type ServerCost struct {
+	// Server is the client-side server label ("s0", "s1", ...).
+	Server string `json:"server"`
+	// Calls counts client RPC round-trips to the server; Matched counts
+	// those whose server-side span was found in the timeline.
+	Calls   int `json:"calls"`
+	Matched int `json:"matched"`
+	// ClientNS is the total client-observed round-trip time; ServerNS the
+	// matched server-side execution time; WireNS the remainder (transport,
+	// queueing, codec) over the matched calls.
+	ClientNS int64 `json:"client_ns"`
+	ServerNS int64 `json:"server_ns"`
+	WireNS   int64 `json:"wire_ns"`
+}
+
+// AttachFleet joins a merged fleet timeline against the report: rep.Servers
+// gains one ServerCost per server, ranked by client-observed RPC time,
+// worst first. Spans without client RPC records — in-process runs, untraced
+// runs — leave the report untouched.
+func AttachFleet(rep *Report, spans []trace.Span) {
+	if rep == nil {
+		return
+	}
+	serverDur := make(map[uint64]int64)
+	for _, s := range spans {
+		if s.Kind == trace.KindRPCServer && s.Parent != 0 {
+			serverDur[s.Parent] += int64(s.Dur)
+		}
+	}
+	agg := make(map[string]*ServerCost)
+	for _, s := range spans {
+		if s.Kind != trace.KindRPC {
+			continue
+		}
+		server := s.Job
+		if i := strings.IndexByte(server, '/'); i >= 0 {
+			server = server[:i]
+		}
+		c := agg[server]
+		if c == nil {
+			c = &ServerCost{Server: server}
+			agg[server] = c
+		}
+		c.Calls++
+		c.ClientNS += int64(s.Dur)
+		if sd, ok := serverDur[s.Span]; ok && s.Span != 0 {
+			c.Matched++
+			c.ServerNS += sd
+			if wire := int64(s.Dur) - sd; wire > 0 {
+				c.WireNS += wire
+			}
+		}
+	}
+	if len(agg) == 0 {
+		return
+	}
+	costs := make([]ServerCost, 0, len(agg))
+	for _, c := range agg {
+		costs = append(costs, *c)
+	}
+	sort.Slice(costs, func(i, j int) bool {
+		if costs[i].ClientNS != costs[j].ClientNS {
+			return costs[i].ClientNS > costs[j].ClientNS
+		}
+		return costs[i].Server < costs[j].Server
+	})
+	rep.Servers = costs
+}

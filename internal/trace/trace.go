@@ -43,6 +43,7 @@ const (
 	// arrived at one (step, part) receiver (N = envelopes on the edge).
 	KindRPC       // a transport client RPC round-trip (N = attempt)
 	KindRPCServer // a part-server handled one RPC (N = request frame ID)
+	KindStats     // a metrics-snapshot flush record (counters in Attrs)
 )
 
 var kindNames = map[Kind]string{
@@ -65,6 +66,7 @@ var kindNames = map[Kind]string{
 	KindDeliver:          "deliver",
 	KindRPC:              "rpc",
 	KindRPCServer:        "rpc_server",
+	KindStats:            "stats",
 }
 
 // kindByName is the reverse of kindNames, built once at init.
@@ -224,6 +226,46 @@ func (t *Tracer) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.buf)
+}
+
+// Seq reports the last sequence number assigned, which is also the total
+// number of spans ever recorded. It is the cursor value for SnapshotSince:
+// a poller that remembers the Seq of its last drain sees each span once.
+func (t *Tracer) Seq() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// SnapshotSince copies the retained spans with Seq > cursor, oldest first.
+// It is the incremental drain behind the telemetry trace-dump op: a remote
+// collector passes the last Seq it saw and receives only the tail. Spans
+// that wrapped out of the ring before the cursor advanced past them are
+// simply gone — compare Dropped across polls to detect that loss.
+func (t *Tracer) SnapshotSince(cursor uint64) []Span {
+	if t == nil {
+		return nil
+	}
+	all := t.Snapshot()
+	// Spans are seq-ordered in the ring; binary-search the cursor boundary.
+	lo, hi := 0, len(all)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if all[mid].Seq <= cursor {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(all) {
+		return nil
+	}
+	out := make([]Span, len(all)-lo)
+	copy(out, all[lo:])
+	return out
 }
 
 // Dropped reports how many spans were overwritten by ring wraparound.

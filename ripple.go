@@ -55,6 +55,7 @@ import (
 	"ripple/internal/codec"
 	"ripple/internal/diskstore"
 	"ripple/internal/ebsp"
+	"ripple/internal/fleet"
 	"ripple/internal/graph"
 	"ripple/internal/gridstore"
 	"ripple/internal/kvstore"
@@ -495,6 +496,67 @@ var (
 	PartServerMetrics = netstore.WithServerMetrics
 	// PartServerTracer attaches a tracer to an embedded server.
 	PartServerTracer = netstore.WithServerTracer
+)
+
+// Fleet observability plane: admin telemetry ops ride the data plane's own
+// framed-TCP connections, a collector merges every server's metrics into one
+// exposition, and cross-process RPC spans assemble into a single
+// clock-aligned timeline (internal/fleet, internal/netstore admin ops).
+type (
+	// FleetCollector polls every part-server's admin telemetry plus the
+	// engine's own collector and tracer, presenting the fleet as one system.
+	FleetCollector = fleet.Collector
+	// FleetSnapshot is one poll of the whole fleet.
+	FleetSnapshot = fleet.Snapshot
+	// FleetServerDump is one server's drained trace ring plus its live
+	// clock-offset estimate, ready for AssembleFleetTimeline.
+	FleetServerDump = fleet.ServerDump
+	// FleetTimelineReport describes how an assembly aligned each server.
+	FleetTimelineReport = fleet.TimelineReport
+	// FleetCheckReport is the verdict of CheckFleetTimeline.
+	FleetCheckReport = fleet.CheckReport
+	// FleetBreakdown decomposes client-observed RPC latency per
+	// (server, endpoint) into server execution time and wire time.
+	FleetBreakdown = fleet.Breakdown
+	// PartServerStats is the stats admin op's payload.
+	PartServerStats = netstore.ServerStats
+	// PartServerHealth is the health admin op's payload.
+	PartServerHealth = netstore.ServerHealth
+	// PartServerStatus is the failure detector's view of one server, with
+	// its clock-offset estimate attached.
+	PartServerStatus = netstore.ServerStatus
+	// ClockOffset is the client's live estimate of one server's span-clock
+	// offset, with an explicit error bound.
+	ClockOffset = netstore.ClockOffset
+	// FleetAdminClient is a telemetry-only client for dashboards: lazy
+	// dials, per-call errors, no heartbeats, nothing shared with data.
+	FleetAdminClient = netstore.AdminClient
+	// ServerCost ranks a part-server by client-observed RPC time in a
+	// profile report (filled by AttachFleetCosts).
+	ServerCost = profile.ServerCost
+)
+
+var (
+	// AssembleFleetTimeline merges engine spans with per-server dumps into
+	// one clock-aligned timeline.
+	AssembleFleetTimeline = fleet.Assemble
+	// CheckFleetTimeline validates a merged timeline's causal geometry:
+	// every server span enclosed by its client span.
+	CheckFleetTimeline = fleet.Check
+	// DecomposeFleetTimeline aggregates a merged timeline's RPC pairs into
+	// per-(server, endpoint) wire-vs-exec breakdowns.
+	DecomposeFleetTimeline = fleet.Decompose
+	// WriteFleetPrometheus renders one fleet snapshot as Prometheus text
+	// with server labels and a server="all" aggregate histogram.
+	WriteFleetPrometheus = fleet.WriteFleetPrometheus
+	// DialFleetAdmin prepares a FleetAdminClient for the given servers.
+	DialFleetAdmin = netstore.DialAdmin
+	// AttachFleetCosts attaches per-server RPC costs from a merged fleet
+	// timeline to a profile report, so skew reports name the server.
+	AttachFleetCosts = profile.AttachFleet
+	// RecordStatsSpan appends a "stats" span carrying a collector snapshot
+	// to a tracer — the final record of a part-server's shutdown flush.
+	RecordStatsSpan = metrics.RecordStatsSpan
 )
 
 // NewMQSystem creates a message-queuing system (paper §III-B).

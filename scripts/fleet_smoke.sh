@@ -1,0 +1,81 @@
+#!/bin/sh
+# Fleet observability smoke: two real ripple-part-server processes over
+# loopback, a traced PageRank driven through them by ripple-bench -exp fleet,
+# the merged clock-aligned timeline pulled over the admin telemetry ops, and
+# the enclosure invariant validated offline by ripple-inspect -fleet -check.
+# Finally the servers get SIGTERM and their shutdown trace flushes must end
+# with a "stats" span carrying the final metrics snapshot.
+#
+# Usage: scripts/fleet_smoke.sh [go-binary]
+set -eu
+
+GO=${1:-go}
+WORK=$(mktemp -d /tmp/ripple_fleet_smoke.XXXXXX)
+SRV0_PID=""
+SRV1_PID=""
+
+cleanup() {
+    [ -n "$SRV0_PID" ] && kill "$SRV0_PID" 2>/dev/null || true
+    [ -n "$SRV1_PID" ] && kill "$SRV1_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "fleet smoke: building binaries"
+$GO build -o "$WORK/ripple-part-server" ./cmd/ripple-part-server
+$GO build -o "$WORK/ripple-bench" ./cmd/ripple-bench
+$GO build -o "$WORK/ripple-inspect" ./cmd/ripple-inspect
+
+# Start two part-servers on kernel-assigned ports; the harness contract is
+# one "listening <addr>" line on stdout.
+"$WORK/ripple-part-server" -addr 127.0.0.1:0 -trace "$WORK/srv0.jsonl" >"$WORK/srv0.out" &
+SRV0_PID=$!
+"$WORK/ripple-part-server" -addr 127.0.0.1:0 -trace "$WORK/srv1.jsonl" >"$WORK/srv1.out" &
+SRV1_PID=$!
+
+addr_of() {
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's/^listening //p' "$1" 2>/dev/null | head -1)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        i=$((i + 1))
+        sleep 0.1
+    done
+    echo "fleet smoke: $1 never printed a listening line" >&2
+    return 1
+}
+ADDR0=$(addr_of "$WORK/srv0.out")
+ADDR1=$(addr_of "$WORK/srv1.out")
+echo "fleet smoke: part-servers at $ADDR0 $ADDR1"
+
+# The fleet experiment: traced PageRank over the two servers, admin-op
+# telemetry poll, and the merged timeline written as OTLP.
+"$WORK/ripple-bench" -exp fleet -net-addrs "$ADDR0,$ADDR1" \
+    -scale 0.02 -pagerank-iterations 3 -fleet-out "$WORK/merged.json"
+
+# Offline validation: every client rpc span must enclose its server span.
+"$WORK/ripple-inspect" -fleet "$WORK/merged.json" -check >/dev/null
+
+# Graceful shutdown: SIGTERM, then the flushed rings must exist and end with
+# a stats span (the final metrics snapshot a dead server leaves behind).
+kill -TERM "$SRV0_PID" "$SRV1_PID"
+wait "$SRV0_PID" "$SRV1_PID" 2>/dev/null || true
+SRV0_PID=""
+SRV1_PID=""
+for f in "$WORK/srv0.jsonl" "$WORK/srv1.jsonl"; do
+    if [ ! -s "$f" ]; then
+        echo "fleet smoke: $f missing or empty after SIGTERM" >&2
+        exit 1
+    fi
+    if ! tail -1 "$f" | grep -q '"kind":"stats"'; then
+        echo "fleet smoke: $f does not end with a stats span" >&2
+        tail -3 "$f" >&2
+        exit 1
+    fi
+done
+
+echo "fleet smoke: merged timeline valid, shutdown flush intact"
