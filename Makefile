@@ -8,9 +8,9 @@ GO ?= go
 # Widen it for longer campaigns, e.g. `make soak SOAK_SEEDS=1,2,3,4,5,6,7,8`.
 SOAK_SEEDS ?= 1,2,3
 
-.PHONY: ci vet lint build test race bench codec-bench soak soak-net profile-smoke trace-validate fleet-smoke
+.PHONY: ci vet lint build test race bench codec-bench soak soak-net profile-smoke trace-validate fleet-smoke serve-smoke
 
-ci: lint build race soak soak-net profile-smoke trace-validate fleet-smoke codec-bench
+ci: lint build race soak soak-net profile-smoke trace-validate fleet-smoke serve-smoke codec-bench
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,14 @@ soak:
 # SIGTERM shutdown flush checked for the final stats span.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh $(GO)
+
+# Job-service smoke: a real ripple-serve daemon over a disk store — submit
+# PageRank over HTTP, stream SSE, SIGKILL the daemon mid-job, restart it on
+# the same data directory, and require the resumed job to finish with result
+# bytes identical to an uninterrupted control run; plus /metrics scrape, the
+# two-tenant quota 429s, and DELETE-cancel inside one barrier.
+serve-smoke:
+	$(GO) test -count=1 -run TestServeSmoke ./internal/serve/
 
 # Process-kill network soak: the SSSP full-scan workload against real
 # ripple-part-server child processes over loopback while the chaos schedule

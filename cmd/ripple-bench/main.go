@@ -77,6 +77,7 @@ import (
 	"ripple/internal/chaos"
 	"ripple/internal/ebsp"
 	"ripple/internal/gridstore"
+	"ripple/internal/httpx"
 	"ripple/internal/logring"
 	"ripple/internal/matrix"
 	"ripple/internal/memstore"
@@ -166,12 +167,18 @@ func main() {
 		obsMux.Handle("/metrics", metrics.HandlerTracer(obsMetrics, obsTracer))
 		profile.AttachDebug(obsMux, obsProfiler)
 		logring.Attach(obsMux, obsLogRing)
-		go func() {
-			if err := http.ListenAndServe(*metricsAddr, obsMux); err != nil {
-				log.Printf("metrics endpoint: %v", err)
+		// Bind synchronously so a bad or occupied -metrics-addr fails the run
+		// now instead of being logged mid-experiment; drained on exit below.
+		obsSrv, err := httpx.Serve(*metricsAddr, obsMux)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer func() {
+			if err := obsSrv.Shutdown(nil); err != nil {
+				log.Printf("metrics shutdown: %v", err)
 			}
 		}()
-		fmt.Printf("serving metrics at http://%s/metrics for the duration of the run\n\n", *metricsAddr)
+		fmt.Printf("serving metrics at http://%s/metrics for the duration of the run\n\n", obsSrv.Addr())
 	}
 
 	if *topMode {

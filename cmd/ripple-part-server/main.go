@@ -42,6 +42,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"ripple/internal/httpx"
 	"ripple/internal/metrics"
 	"ripple/internal/netstore"
 	"ripple/internal/trace"
@@ -87,14 +88,16 @@ func main() {
 	fmt.Printf("listening %s\n", ln.Addr().String())
 	logger.Info("part-server up", "addr", ln.Addr().String(), "boot_id", srv.BootID())
 
+	var metricsSrv *httpx.Server
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", metrics.HandlerTracer(collector, tracer))
-		go func() {
-			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
-				logger.Error("metrics endpoint", "err", err)
-			}
-		}()
+		// Bind synchronously: a bad or occupied -metrics-addr kills the
+		// process now, not after it has committed to serving parts.
+		metricsSrv, err = httpx.Serve(*metricsAddr, mux)
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
 	}
 
 	sigs := make(chan os.Signal, 1)
@@ -114,6 +117,12 @@ func main() {
 	case err := <-done:
 		if err != nil {
 			log.Fatalf("serve: %v", err)
+		}
+	}
+	if metricsSrv != nil {
+		// Drain scrapes in flight, then release the port before exiting.
+		if err := metricsSrv.Shutdown(nil); err != nil {
+			logger.Error("metrics shutdown", "err", err)
 		}
 	}
 

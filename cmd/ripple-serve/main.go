@@ -1,0 +1,192 @@
+// Command ripple-serve is Ripple's long-lived multi-tenant job service: a
+// daemon that accepts analytics submissions over HTTP/JSON and multiplexes
+// them onto shared engines above one store — in-process (memory or disk) or
+// a part-server fleet reached with -net-addrs.
+//
+// API (see DESIGN.md §10 for the full contract):
+//
+//	POST   /v1/jobs                submit {"workload": ..., "params": {...}}
+//	GET    /v1/jobs                list jobs
+//	GET    /v1/jobs/{id}           job status
+//	GET    /v1/jobs/{id}/result    result document (409 until finished)
+//	GET    /v1/jobs/{id}/events    SSE progress stream
+//	DELETE /v1/jobs/{id}           cancel
+//	GET    /v1/workloads           registered workload names
+//
+// Tenancy rides the X-API-Key header; each key gets an independent
+// -tenant-quota of live jobs. Job records persist through the store SPI, so
+// with -data-dir (or a part-server fleet) a restarted daemon re-lists every
+// job and resumes the ones that were mid-run from their checkpoints.
+//
+// The observability surface mounts on the same address: /metrics
+// (Prometheus text), /debug/profilez and /debug/pprof/, /debug/logz, and —
+// when fronting a fleet — /fleet/metrics, the merged fleet exposition.
+//
+// The bound address is printed on stdout as "listening <addr>" once the
+// listener is up (pass -addr 127.0.0.1:0 and parse it). SIGINT/SIGTERM shut
+// down gracefully: running jobs stop at their next barrier but stay
+// persisted as running, ready to be resumed by the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ripple/internal/diskstore"
+	"ripple/internal/ebsp"
+	"ripple/internal/fleet"
+	"ripple/internal/httpx"
+	"ripple/internal/kvstore"
+	"ripple/internal/logring"
+	"ripple/internal/memstore"
+	"ripple/internal/metrics"
+	"ripple/internal/netstore"
+	"ripple/internal/profile"
+	"ripple/internal/serve"
+	"ripple/internal/trace"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "HTTP address to serve the job API on")
+		dataDir       = flag.String("data-dir", "", "back jobs with the append-log disk store at this directory (restart-resume); empty uses the in-memory store")
+		netAddrs      = flag.String("net-addrs", "", "comma-separated part-server addresses; the daemon then fronts the fleet instead of an in-process store")
+		parts         = flag.Int("parts", 4, "default part count for the in-process store")
+		maxConcurrent = flag.Int("max-concurrent", 2, "execution slots: jobs running at once")
+		queueDepth    = flag.Int("queue-depth", 16, "bounded FIFO of admitted-but-waiting jobs")
+		tenantQuota   = flag.Int("tenant-quota", 4, "max live (queued+running) jobs per API key")
+		ckptEvery     = flag.Int("checkpoint-every", 4, "checkpoint synchronized jobs every n steps")
+		replicas      = flag.Int("net-replicas", 2, "replicas per part when fronting a fleet")
+		traceCap      = flag.Int("trace-cap", trace.DefaultCapacity, "span ring-buffer capacity")
+		profileCap    = flag.Int("profile-cap", profile.DefaultCapacity, "step-profile ring capacity")
+		logLevel      = flag.String("log-level", "info", "structured log level: off, error, warn, info, debug")
+		shutdownWait  = flag.Duration("shutdown-wait", 10*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	collector := &metrics.Collector{}
+	tracer := trace.New(*traceCap)
+	profiler := profile.New(*profileCap)
+	ring := logring.New(logring.DefaultCapacity)
+	logger := buildLogger(*logLevel, ring)
+
+	store, client, err := openStore(*dataDir, *netAddrs, *parts, *replicas, collector, tracer)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer func() { _ = store.Close() }()
+
+	svc, err := serve.New(serve.Options{
+		Store:           store,
+		MaxConcurrent:   *maxConcurrent,
+		QueueDepth:      *queueDepth,
+		TenantQuota:     *tenantQuota,
+		CheckpointEvery: *ckptEvery,
+		Metrics:         collector,
+		Tracer:          tracer,
+		Logger:          logger,
+		EngineOptions:   []ebsp.Option{ebsp.WithProfiler(profiler), ebsp.WithLogger(logger)},
+	})
+	if err != nil {
+		log.Fatalf("job service: %v", err)
+	}
+	if err := svc.Start(); err != nil {
+		log.Fatalf("job service start: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", svc.Handler())
+	mux.Handle("/metrics", metrics.HandlerTracer(collector, tracer))
+	profile.AttachDebug(mux, profiler)
+	logring.Attach(mux, ring)
+	if client != nil {
+		fc := &fleet.Collector{Client: client, Engine: collector, EngineTracer: tracer}
+		mux.Handle("/fleet/metrics", fc.Handler())
+	}
+
+	srv, err := httpx.Serve(*addr, mux)
+	if err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+	// The harness contract: one parseable line with the bound address.
+	fmt.Printf("listening %s\n", srv.Addr())
+	logger.Info("ripple-serve up", "addr", srv.Addr(), "workloads", strings.Join(serve.Workloads(), ","))
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigs:
+		logger.Info("shutting down", "signal", sig.String())
+	case err := <-srv.Done():
+		if err != nil {
+			log.Fatalf("serve loop: %v", err)
+		}
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownWait)
+	defer cancel()
+	// Stop the control plane first (no new submissions), then the jobs:
+	// running work halts at its next barrier but stays persisted as running,
+	// so the next start resumes it.
+	if err := srv.Shutdown(ctx); err != nil {
+		logger.Error("http shutdown", "err", err)
+	}
+	if err := svc.Close(ctx); err != nil {
+		logger.Error("service shutdown", "err", err)
+	}
+}
+
+// openStore builds the backing store: a part-server fleet client, the disk
+// store, or the in-memory store — the service is indifferent, which is the
+// paper's SPI argument restated as a deployment choice.
+func openStore(dataDir, netAddrs string, parts, replicas int, m *metrics.Collector, t *trace.Tracer) (kvstore.Store, *netstore.Client, error) {
+	switch {
+	case netAddrs != "":
+		addrs := strings.Split(netAddrs, ",")
+		c, err := netstore.Dial(addrs,
+			netstore.WithReplicas(replicas),
+			netstore.WithMetrics(m),
+			netstore.WithTracer(t),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c, c, nil
+	case dataDir != "":
+		ds, err := diskstore.New(dataDir,
+			diskstore.WithParts(parts),
+			diskstore.WithMetrics(m),
+			diskstore.WithTracer(t),
+		)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ds, nil, nil
+	default:
+		return memstore.New(memstore.WithParts(parts), memstore.WithMetrics(m)), nil, nil
+	}
+}
+
+// buildLogger fans structured logs out to stderr and the /debug/logz ring.
+func buildLogger(level string, ring *logring.Ring) *slog.Logger {
+	if level == "off" {
+		return slog.New(ring.Handler(slog.LevelError))
+	}
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		log.Fatalf("unknown -log-level %q (want off, error, warn, info, debug)", level)
+	}
+	return slog.New(logring.Fanout(
+		slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}),
+		ring.Handler(lvl)))
+}

@@ -377,6 +377,37 @@ func (s *Store) RunAgent(tableName string, part int, agent kvstore.Agent) (any, 
 	return agent(sv)
 }
 
+// Flush implements kvstore.Flusher: it drains every table-part's buffered
+// writer to the OS, so everything appended so far survives a process kill.
+// (Appends are buffered; without a flush only reads, compactions, and Close
+// drain the buffer, and a SIGKILLed process loses the buffered tail.) It does
+// not fsync — the durability target is process death, not power loss.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var firstErr error
+	for _, t := range s.tables {
+		parts := t.group.parts
+		if t.ubiquitous {
+			parts = 1
+		}
+		for p := 0; p < parts; p++ {
+			sh := t.group.shards[p]
+			sh.mu.Lock()
+			if pl := sh.logs[t.name]; pl != nil {
+				if err := pl.writer.Flush(); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
+	return firstErr
+}
+
 // Close implements kvstore.Store: flushes and closes every log.
 func (s *Store) Close() error {
 	s.mu.Lock()

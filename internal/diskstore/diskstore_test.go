@@ -312,3 +312,49 @@ func TestCompactMissingTable(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+// TestFlushSurvivesProcessKill simulates a SIGKILL: the first store is never
+// closed (its buffered writers are simply abandoned), so only what Flush
+// pushed out survives to the reopening store. This is the durability contract
+// ripple-serve's job records and the engine's checkpoint commits rely on.
+func TestFlushSurvivesProcessKill(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _ := s.CreateTable("t", kvstore.WithParts(2))
+	for i := 0; i < 20; i++ {
+		if err := tab.Put(i, i*3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-flush writes stay in the abandoned buffer — the "kill" loses them,
+	// and replay must shrug off any partial tail.
+	for i := 20; i < 30; i++ {
+		_ = tab.Put(i, i*3)
+	}
+	// No Close: abandon s as a killed process would.
+
+	s2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s2.Close() }()
+	tab2, err := s2.CreateTable("t", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if v, ok, _ := tab2.Get(i); !ok || v != i*3 {
+			t.Fatalf("flushed key %d = %v %v after kill", i, v, ok)
+		}
+	}
+	// The generic helper reaches the same path through the SPI.
+	if err := kvstore.Flush(s2); err != nil {
+		t.Fatal(err)
+	}
+}

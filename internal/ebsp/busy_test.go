@@ -1,0 +1,119 @@
+package ebsp
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"ripple/internal/memstore"
+)
+
+// gatedJob blocks inside its first compute invocation until release is
+// closed, guaranteeing the racing call below overlaps a live execution.
+func gatedJob(name string, started chan struct{}, release <-chan struct{}) *Job {
+	var once sync.Once
+	return &Job{
+		Name:        name,
+		StateTables: []string{name + "_state"},
+		MaxSteps:    3,
+		Compute: ComputeFunc(func(ctx *Context) bool {
+			once.Do(func() {
+				close(started)
+				<-release
+			})
+			ctx.WriteState(0, ctx.StepNum())
+			return false
+		}),
+		Loaders: []Loader{&MessageLoader{Messages: []InitialMessage{{Key: 0, Message: 1}}}},
+	}
+}
+
+// TestResumeWhileRunningReturnsBusy races Resume against a live RunContext of
+// the same job name on one engine — serve's restart-recovery path. Resume
+// must fail with ErrJobBusy rather than restore a snapshot underneath the
+// run. Run with -race: the guard is also what keeps the shared run state
+// data-race-free.
+func TestResumeWhileRunningReturnsBusy(t *testing.T) {
+	store := memstore.New(memstore.WithParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store, WithCheckpoints(1))
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := e.RunContext(context.Background(), gatedJob("busy", started, release))
+		runErr <- err
+	}()
+	<-started
+
+	// The execution is provably in flight: Resume and a second Run must both
+	// bounce with the typed busy error.
+	if _, err := e.Resume(gatedJob("busy", make(chan struct{}, 1), release)); !errors.Is(err, ErrJobBusy) {
+		t.Errorf("Resume during live run: err = %v, want ErrJobBusy", err)
+	}
+	if _, err := e.Run(gatedJob("busy", make(chan struct{}, 1), release)); !errors.Is(err, ErrJobBusy) {
+		t.Errorf("Run during live run: err = %v, want ErrJobBusy", err)
+	}
+	// A different job name is not blocked.
+	if _, err := e.Run(checkpointChainJob("busy-other", 3, nil)); err != nil {
+		t.Errorf("unrelated job during live run: %v", err)
+	}
+
+	close(release)
+	if err := <-runErr; err != nil {
+		t.Fatalf("gated run: %v", err)
+	}
+
+	// The name is released on completion: a fresh Resume now reaches the
+	// checkpoint machinery (no checkpoint survives success → ErrNoCheckpoint).
+	if _, err := e.Resume(gatedJob("busy", make(chan struct{}, 1), nil)); !errors.Is(err, ErrNoCheckpoint) {
+		t.Errorf("Resume after completion: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+// TestBusyGuardUnderChurn hammers one engine with concurrent Run/Resume of
+// the same name; exactly the winners run and every loser sees ErrJobBusy.
+// Meaningful under -race.
+func TestBusyGuardUnderChurn(t *testing.T) {
+	store := memstore.New(memstore.WithParts(2))
+	t.Cleanup(func() { _ = store.Close() })
+	e := NewEngine(store)
+
+	const attempts = 16
+	var wg sync.WaitGroup
+	var busy, ran, other int
+	var mu sync.Mutex
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var err error
+			if i%2 == 0 {
+				_, err = e.Run(checkpointChainJob("churn", 4, nil))
+			} else {
+				_, err = e.Resume(checkpointChainJob("churn", 4, nil))
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ran++
+			case errors.Is(err, ErrJobBusy):
+				busy++
+			case errors.Is(err, ErrNoCheckpoint):
+				other++ // a Resume that won the guard but had nothing to resume
+			default:
+				t.Errorf("attempt %d: unexpected error %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ran+busy+other != attempts {
+		t.Fatalf("accounted for %d of %d attempts", ran+busy+other, attempts)
+	}
+	if ran == 0 {
+		t.Error("no attempt ever ran")
+	}
+}

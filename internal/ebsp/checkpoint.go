@@ -153,7 +153,13 @@ func (run *jobRun) checkpoint(step int, pending int64) error {
 		return fmt.Errorf("ebsp: checkpoint spills: %w", err)
 	}
 
-	// Meta record last, so a complete meta implies a complete snapshot.
+	// Meta record last, so a complete meta implies a complete snapshot. On a
+	// buffered store the state and spill writes must reach the medium before
+	// the meta does, or a process kill could leave a meta that promises
+	// missing data — hence the flush on either side of the meta write.
+	if err := kvstore.Flush(store); err != nil {
+		return fmt.Errorf("ebsp: flush checkpoint state: %w", err)
+	}
 	metaName := ckptMetaTable(jobName)
 	if err := recreateTable(store, metaName, run.placement.Name()); err != nil {
 		return err
@@ -175,9 +181,12 @@ func (run *jobRun) checkpoint(step int, pending int64) error {
 	if err != nil {
 		return fmt.Errorf("ebsp: seal checkpoint meta: %w", err)
 	}
-	return run.engine.retryOp(jobName, -1, -1, func() error {
+	if err := run.engine.retryOp(jobName, -1, -1, func() error {
 		return meta.Put("meta", sealed)
-	})
+	}); err != nil {
+		return err
+	}
+	return kvstore.Flush(store)
 }
 
 // dropCheckpoint removes a job's checkpoint tables (after successful
@@ -301,10 +310,27 @@ func (run *jobRun) restoreCheckpoint(meta checkpointMeta) error {
 // execution continues from the following step. The job specification must be
 // equivalent to the one originally run (same name, step budget, state
 // tables, compute); a mismatch is rejected with ErrCheckpointMismatch.
+// If an execution of the same job name is already in flight on this engine
+// (a restart-recovery path racing a live run), Resume returns ErrJobBusy
+// instead of restoring a snapshot underneath it.
 func (e *Engine) Resume(job *Job) (*Result, error) {
+	return e.ResumeContext(context.Background(), job)
+}
+
+// ResumeContext is Resume with cancellation, mirroring RunContext: the
+// resumed job stops at the next barrier once ctx is done, and the context
+// error is returned (wrapped).
+func (e *Engine) ResumeContext(ctx context.Context, job *Job) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
+	if err := e.acquireJob(job.Name); err != nil {
+		return nil, err
+	}
+	defer e.releaseJob(job.Name)
 	meta, err := e.loadCheckpoint(job)
 	if err != nil {
 		return nil, err
@@ -324,7 +350,7 @@ func (e *Engine) Resume(job *Job) (*Result, error) {
 	run := &jobRun{
 		engine:   e,
 		job:      job,
-		ctx:      context.Background(),
+		ctx:      ctx,
 		strategy: strategy,
 		aggPrev:  make(map[string]any),
 		runID:    runSeq.Add(1),

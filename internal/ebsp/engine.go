@@ -34,6 +34,41 @@ type Engine struct {
 	retries         int   // per-part step retries under fast recovery
 	checkpointEvery int   // barrier interval between checkpoints; 0 disables
 	jitterSeed      int64 // seeds the deterministic retry-backoff jitter
+
+	// Active job names: one execution (Run or Resume) per job name at a
+	// time on one engine. Two same-named executions would fight over the
+	// job's checkpoint tables (__ckpt.<name>.*) and, for Resume, restore a
+	// snapshot into state tables another run is actively mutating; the
+	// second caller gets ErrJobBusy instead.
+	activeMu sync.Mutex
+	active   map[string]bool
+}
+
+// ErrJobBusy is returned by RunContext and Resume when an execution of the
+// same job name is already in flight on this engine. Resuming (or re-running)
+// a job that is still running would corrupt its shared checkpoint tables and
+// state; callers should wait for the running execution or cancel it first.
+var ErrJobBusy = fmt.Errorf("ebsp: an execution of this job is already in flight on this engine")
+
+// acquireJob registers a job name as executing; the matching releaseJob must
+// run when the execution ends.
+func (e *Engine) acquireJob(name string) error {
+	e.activeMu.Lock()
+	defer e.activeMu.Unlock()
+	if e.active == nil {
+		e.active = make(map[string]bool)
+	}
+	if e.active[name] {
+		return fmt.Errorf("%w: %q", ErrJobBusy, name)
+	}
+	e.active[name] = true
+	return nil
+}
+
+func (e *Engine) releaseJob(name string) {
+	e.activeMu.Lock()
+	delete(e.active, name)
+	e.activeMu.Unlock()
 }
 
 // Option configures an Engine.
@@ -206,6 +241,10 @@ func (e *Engine) RunContext(ctx context.Context, job *Job) (*Result, error) {
 	if err := job.validate(); err != nil {
 		return nil, err
 	}
+	if err := e.acquireJob(job.Name); err != nil {
+		return nil, err
+	}
+	defer e.releaseJob(job.Name)
 	derived := planFor(job)
 	strategy := derived
 	if e.override != nil {

@@ -1,0 +1,90 @@
+// Package httpx is the small HTTP serving helper shared by Ripple's
+// daemons and tools (ripple-serve, ripple-part-server, ripple-bench).
+//
+// It exists to fix a lifecycle bug the bare
+//
+//	go func() { http.ListenAndServe(addr, mux) }()
+//
+// pattern has: the bind happens inside the goroutine, so a bad address or an
+// occupied port is logged only after the process has already committed to
+// serving traffic, and there is no way to drain in-flight requests on
+// shutdown. Serve binds the listener synchronously — a bad address fails
+// fast, before the caller starts real work — and Shutdown drains gracefully,
+// ready to be wired into the caller's SIGINT/SIGTERM trap.
+package httpx
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DefaultShutdownTimeout bounds Shutdown's graceful drain when the caller
+// passes no deadline of its own.
+const DefaultShutdownTimeout = 5 * time.Second
+
+// Server is one bound-and-serving HTTP endpoint.
+type Server struct {
+	srv  *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// Serve binds addr synchronously — a bad or occupied address is returned
+// immediately, before anything serves — and then serves handler on a
+// background goroutine. The caller owns shutdown: wire Shutdown (or Close)
+// into its signal trap.
+func Serve(addr string, handler http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpx: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		srv:  &http.Server{Handler: handler},
+		ln:   ln,
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr is the bound address — with ":0" it carries the kernel-assigned port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown gracefully drains in-flight requests. A nil ctx gets
+// DefaultShutdownTimeout; on expiry remaining connections are closed hard.
+// It returns the serve loop's terminal error (nil on a clean close).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), DefaultShutdownTimeout)
+		defer cancel()
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Drain deadline hit: fall back to a hard close so Shutdown always
+		// terminates the serve loop.
+		_ = s.srv.Close()
+	}
+	return <-s.done
+}
+
+// Close shuts the server down immediately, without draining.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Done reports the serve loop's terminal error: it yields once, when the
+// listener dies (nil after Shutdown/Close). Select on it next to a signal
+// channel to notice a serve loop failing underneath a running daemon.
+func (s *Server) Done() <-chan error { return s.done }

@@ -1,0 +1,106 @@
+package httpx
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestServeFailsFastOnBadAddress(t *testing.T) {
+	if _, err := Serve("256.256.256.256:99999", http.NewServeMux()); err == nil {
+		t.Fatal("Serve on a bad address succeeded")
+	}
+	// An occupied port must fail the second bind synchronously.
+	s, err := Serve("127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = s.Close() }()
+	if _, err := Serve(s.Addr(), http.NewServeMux()); err == nil {
+		t.Fatalf("second bind of %s succeeded", s.Addr())
+	}
+}
+
+func TestServeAndGracefulShutdown(t *testing.T) {
+	mux := http.NewServeMux()
+	slow := make(chan struct{})
+	mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = io.WriteString(w, "pong")
+	})
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		<-slow
+		_, _ = io.WriteString(w, "late")
+	})
+	s, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/ping")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("ping = %q", body)
+	}
+
+	// A request in flight when Shutdown starts must still complete.
+	got := make(chan string, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/slow")
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		got <- string(b)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the slow request arrive
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(context.Background()) }()
+	time.Sleep(50 * time.Millisecond)
+	close(slow)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if body := <-got; body != "late" {
+		t.Fatalf("in-flight request during shutdown = %q", body)
+	}
+
+	// After shutdown the port no longer accepts.
+	if _, err := http.Get("http://" + s.Addr() + "/ping"); err == nil {
+		t.Fatal("request after shutdown succeeded")
+	}
+}
+
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	mux := http.NewServeMux()
+	started := make(chan struct{}, 1)
+	mux.HandleFunc("/hang", func(w http.ResponseWriter, _ *http.Request) {
+		started <- struct{}{}
+		time.Sleep(10 * time.Second) // never finishes within the test
+	})
+	s, err := Serve("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, err := http.Get("http://" + s.Addr() + "/hang")
+		_ = err // the hard close surfaces as a client error; expected
+	}()
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	doneAt := time.Now()
+	if err := s.Shutdown(ctx); err != nil && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if el := time.Since(doneAt); el > 5*time.Second {
+		t.Fatalf("shutdown with an expired deadline took %v", el)
+	}
+}

@@ -84,6 +84,25 @@ type Store interface {
 	Close() error
 }
 
+// Flusher is the optional durability extension of the Store SPI: stores that
+// buffer appends implement it to push everything written so far to the
+// underlying medium, so it survives the process dying. Callers with
+// durability points (a checkpoint commit, a job-record write) call Flush
+// through this interface; stores whose writes are already synchronous simply
+// don't implement it.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush pushes s's buffered writes to its medium when s buffers at all; on
+// stores without a buffer it is a no-op.
+func Flush(s Store) error {
+	if f, ok := s.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // Agent is mobile code dispatched by the store to run adjacent to one part's
 // data.
 type Agent func(sv ShardView) (any, error)

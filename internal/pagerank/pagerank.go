@@ -146,6 +146,11 @@ func decI32s(d *codec.Decoder) ([]int32, error) {
 
 // Config parameterizes a PageRank run.
 type Config struct {
+	// Name overrides the BSP job name ("pagerank.direct" when empty). A
+	// multi-tenant host must give concurrent runs distinct names: checkpoint
+	// tables are keyed by job name, and one engine admits only one execution
+	// per name at a time.
+	Name string
 	// GraphTable names the table holding Vertex entries keyed by int vertex
 	// ID; it is rewritten with Ranked entries when the job completes.
 	GraphTable string
@@ -304,13 +309,15 @@ func sendContributions(ctx *ebsp.Context, out []int32, rank, n float64) {
 	}
 }
 
-// RunDirect executes the direct variant: one step (one synchronization, no
-// table I/O) per iteration.
-func RunDirect(e *ebsp.Engine, cfg Config) (*ebsp.Result, error) {
+// DirectJob builds the direct variant's job spec against store without
+// running it. A host that wants to drive the job itself — RunContext for
+// cancellation, Resume after a restart — builds the identical spec through
+// here; RunDirect stays the one-call path.
+func DirectJob(store kvstore.Store, cfg Config) (*ebsp.Job, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	tab, ok := e.Store().LookupTable(cfg.GraphTable)
+	tab, ok := store.LookupTable(cfg.GraphTable)
 	if !ok {
 		return nil, fmt.Errorf("pagerank: graph table %q does not exist", cfg.GraphTable)
 	}
@@ -330,8 +337,12 @@ func RunDirect(e *ebsp.Engine, cfg Config) (*ebsp.Result, error) {
 	if cfg.Epsilon > 0 {
 		aggs[deltaAggregator] = ebsp.Float64Sum{}
 	}
-	job := &ebsp.Job{
-		Name:        "pagerank.direct",
+	name := cfg.Name
+	if name == "" {
+		name = "pagerank.direct"
+	}
+	return &ebsp.Job{
+		Name:        name,
 		StateTables: []string{cfg.GraphTable},
 		Compute:     &directCompute{cfg: cfg, numVertices: n},
 		Combiner:    cmb,
@@ -341,12 +352,21 @@ func RunDirect(e *ebsp.Engine, cfg Config) (*ebsp.Result, error) {
 		MaxSteps: cfg.Iterations + 1,
 		Loaders: []ebsp.Loader{&ebsp.TableLoader{
 			Table: cfg.GraphTable,
-			Store: e.Store(),
+			Store: store,
 			Each: func(k, _ any, lc *ebsp.LoadContext) error {
 				lc.Enable(k)
 				return nil
 			},
 		}},
+	}, nil
+}
+
+// RunDirect executes the direct variant: one step (one synchronization, no
+// table I/O) per iteration.
+func RunDirect(e *ebsp.Engine, cfg Config) (*ebsp.Result, error) {
+	job, err := DirectJob(e.Store(), cfg)
+	if err != nil {
+		return nil, err
 	}
 	return e.Run(job)
 }

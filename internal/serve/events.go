@@ -1,0 +1,95 @@
+package serve
+
+import "sync"
+
+// Event is one job-scoped notification: a status transition, a synchronized
+// step, or a no-sync progress watermark. Events are sequenced per job and
+// replayed to late subscribers, so an SSE client attaching after completion
+// still sees the whole story.
+type Event struct {
+	Seq  int64          `json:"seq"`
+	Type string         `json:"type"` // "status" | "step" | "progress"
+	Job  string         `json:"job"`
+	Data map[string]any `json:"data,omitempty"`
+}
+
+// terminal reports whether the event announces a final job status.
+func (e Event) terminal() bool {
+	if e.Type != "status" {
+		return false
+	}
+	switch e.Data["status"] {
+	case StatusDone, StatusFailed, StatusCanceled:
+		return true
+	}
+	return false
+}
+
+// maxEventHistory bounds the per-job replay buffer; the oldest events are
+// dropped first (long no-sync runs can cross many watermarks).
+const maxEventHistory = 512
+
+// hub fans job events out to SSE subscribers and keeps a bounded per-job
+// history for replay.
+type hub struct {
+	mu   sync.Mutex
+	jobs map[string]*jobStream
+}
+
+type jobStream struct {
+	nextSeq int64
+	history []Event
+	subs    map[chan Event]struct{}
+}
+
+func newHub() *hub {
+	return &hub{jobs: make(map[string]*jobStream)}
+}
+
+func (h *hub) stream(job string) *jobStream {
+	js, ok := h.jobs[job]
+	if !ok {
+		js = &jobStream{subs: make(map[chan Event]struct{})}
+		h.jobs[job] = js
+	}
+	return js
+}
+
+// publish appends one event and delivers it to current subscribers. A
+// subscriber too slow to drain its buffer loses intermediate events rather
+// than stalling the engine's observer path; the terminal status event is the
+// only one the SSE layer depends on, and the buffer is far deeper than the
+// burst between two flushes.
+func (h *hub) publish(job, typ string, data map[string]any) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	js := h.stream(job)
+	ev := Event{Seq: js.nextSeq, Type: typ, Job: job, Data: data}
+	js.nextSeq++
+	js.history = append(js.history, ev)
+	if len(js.history) > maxEventHistory {
+		js.history = js.history[len(js.history)-maxEventHistory:]
+	}
+	for ch := range js.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns the job's replayable history plus a live channel;
+// cancel unregisters (idempotent).
+func (h *hub) subscribe(job string) (replay []Event, ch chan Event, cancel func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	js := h.stream(job)
+	replay = append([]Event(nil), js.history...)
+	ch = make(chan Event, 256)
+	js.subs[ch] = struct{}{}
+	return replay, ch, func() {
+		h.mu.Lock()
+		delete(js.subs, ch)
+		h.mu.Unlock()
+	}
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the /v1 job API. Tenancy is the X-API-Key header (absent
+// means the shared "anonymous" tenant); the key is an identity for quota
+// accounting, not an authentication secret.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"workloads": Workloads()})
+	})
+	return mux
+}
+
+func tenantOf(r *http.Request) string {
+	if key := r.Header.Get("X-API-Key"); key != "" {
+		return key
+	}
+	return "anonymous"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]any{"error": err.Error()})
+}
+
+// submitRequest is POST /v1/jobs' body.
+type submitRequest struct {
+	Workload string          `json:"workload"`
+	Params   json.RawMessage `json:"params,omitempty"`
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	rec, err := s.Submit(tenantOf(r), req.Workload, req.Params)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownWorkload):
+			writeError(w, http.StatusBadRequest, err)
+		case errors.Is(err, ErrQuotaExceeded), errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case errors.Is(err, ErrClosed):
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, rec)
+}
+
+func (s *Service) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.List()})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Service) handleResult(w http.ResponseWriter, r *http.Request) {
+	raw, err := s.Result(r.PathValue("id"))
+	switch {
+	case err == nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(raw)
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrNotFinished):
+		writeError(w, http.StatusConflict, err)
+	default:
+		// Failed or canceled: the error carries the story.
+		writeError(w, http.StatusConflict, err)
+	}
+}
+
+// handleEvents streams the job's events as SSE: the buffered history first
+// (late subscribers see the whole run), then live events until the terminal
+// status event or client disconnect.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := s.Get(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("serve: streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := s.hub.subscribe(id)
+	defer cancel()
+	for _, ev := range replay {
+		if done := writeSSE(w, flusher, ev); done {
+			return
+		}
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-live:
+			if done := writeSSE(w, flusher, ev); done {
+				return
+			}
+		}
+	}
+}
+
+// writeSSE emits one event and reports whether the stream should end (the
+// event was terminal).
+func writeSSE(w http.ResponseWriter, flusher http.Flusher, ev Event) bool {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	flusher.Flush()
+	return ev.terminal()
+}

@@ -1,0 +1,280 @@
+package serve
+
+// Process-level smoke for cmd/ripple-serve — the `make serve-smoke` gate. A
+// real daemon child over a real disk store: submit PageRank over HTTP, stream
+// its SSE events, SIGKILL the daemon mid-job, restart it on the same data
+// directory, and require the job to resume and finish with the same result
+// bytes as an uninterrupted control run. Then, against the restarted daemon:
+// scrape /metrics, check the per-tenant quota as HTTP 429s, and cancel a
+// running job with DELETE inside one barrier's worth of wall clock.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func buildServe(t *testing.T, dir string) string {
+	t.Helper()
+	bin := dir + "/ripple-serve"
+	cmd := exec.Command("go", "build", "-o", bin, "ripple/cmd/ripple-serve")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build ripple-serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serveProc is one spawned ripple-serve child.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func (p *serveProc) url(path string) string { return "http://" + p.addr + path }
+
+// kill SIGKILLs the daemon — a crash, not a graceful shutdown.
+func (p *serveProc) kill() {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+}
+
+// stop shuts the daemon down gracefully (SIGTERM) and waits for exit.
+func (p *serveProc) stop(t *testing.T) {
+	t.Helper()
+	_ = p.cmd.Process.Signal(syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		p.kill()
+		t.Error("daemon did not exit on SIGTERM; killed")
+	}
+}
+
+// spawnServe starts a daemon child and waits for its "listening" banner.
+func spawnServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-log-level", "off"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start ripple-serve: %v", err)
+	}
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+		for sc.Scan() { // keep draining so the child never blocks
+		}
+	}()
+	select {
+	case line, ok := <-lines:
+		if !ok || !strings.HasPrefix(line, "listening ") {
+			_ = cmd.Process.Kill()
+			t.Fatalf("ripple-serve banner = %q", line)
+		}
+		return &serveProc{cmd: cmd, addr: strings.TrimPrefix(line, "listening ")}
+	case <-time.After(30 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatal("ripple-serve never printed its listening banner")
+		return nil
+	}
+}
+
+// httpJSON performs one request and decodes the JSON response body.
+func httpJSON(t *testing.T, method, url, apiKey string, body string) (int, map[string]any) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&m)
+	return resp.StatusCode, m
+}
+
+// pollDone polls a job until it reaches a terminal status, returning the
+// final record.
+func pollDone(t *testing.T, p *serveProc, id string, want string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, rec := httpJSON(t, "GET", p.url("/v1/jobs/"+id), "", "")
+		if code != 200 {
+			t.Fatalf("GET job %s: %d %v", id, code, rec)
+		}
+		status, _ := rec["status"].(string)
+		if status == want {
+			return rec
+		}
+		switch status {
+		case StatusDone, StatusFailed, StatusCanceled:
+			t.Fatalf("job %s reached terminal %q (err %v), want %q", id, status, rec["error"], want)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q", id, want)
+	return nil
+}
+
+func resultBytes(t *testing.T, p *serveProc, id string) string {
+	t.Helper()
+	resp, err := http.Get(p.url("/v1/jobs/" + id + "/result"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("result %s: %d %v %s", id, resp.StatusCode, err, raw)
+	}
+	return norm(t, raw)
+}
+
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level smoke; skipped in -short")
+	}
+	bin := buildServe(t, t.TempDir())
+	const jobBody = `{"workload":"pagerank","params":{"vertices":120,"edges":500,"iterations":40,"seed":42,"step_delay_ms":25}}`
+
+	// Control: the same submission on a daemon that is never interrupted.
+	// Both daemons assign it j1, so the derived seeds — and therefore the
+	// result bytes — must agree.
+	control := spawnServe(t, bin, "-data-dir", t.TempDir(), "-checkpoint-every", "3")
+	code, sub := httpJSON(t, "POST", control.url("/v1/jobs"), "", jobBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("control submit: %d %v", code, sub)
+	}
+	controlID := sub["id"].(string)
+	pollDone(t, control, controlID, StatusDone)
+	want := resultBytes(t, control, controlID)
+	control.stop(t)
+
+	// Victim daemon: same params over its own disk store.
+	dataDir := t.TempDir()
+	p1 := spawnServe(t, bin, "-data-dir", dataDir, "-checkpoint-every", "3")
+	code, sub = httpJSON(t, "POST", p1.url("/v1/jobs"), "", jobBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, sub)
+	}
+	id := sub["id"].(string)
+
+	// Stream SSE until the run is at least two checkpoint cadences in, then
+	// SIGKILL the daemon mid-stream.
+	sseResp, err := http.Get(p1.url("/v1/jobs/" + id + "/events"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	sc := bufio.NewScanner(sseResp.Body)
+	for sc.Scan() && steps < 8 {
+		if strings.HasPrefix(sc.Text(), "event: step") {
+			steps++
+		}
+	}
+	_ = sseResp.Body.Close()
+	if steps < 8 {
+		t.Fatalf("SSE delivered only %d step events before the stream ended", steps)
+	}
+	p1.kill()
+
+	// Restart on the same data directory: the job must still be listed,
+	// marked resumed, and run to completion from its checkpoint with result
+	// bytes identical to the control run.
+	p2 := spawnServe(t, bin, "-data-dir", dataDir, "-checkpoint-every", "3",
+		"-tenant-quota", "1", "-max-concurrent", "1")
+	defer p2.stop(t)
+	code, rec := httpJSON(t, "GET", p2.url("/v1/jobs/"+id), "", "")
+	if code != 200 {
+		t.Fatalf("restarted daemon lost job %s: %d %v", id, code, rec)
+	}
+	if resumed, _ := rec["resumed"].(bool); !resumed {
+		t.Errorf("recovered job not marked resumed: %v", rec)
+	}
+	done := pollDone(t, p2, id, StatusDone)
+	var res map[string]any
+	_ = json.Unmarshal([]byte(mustJSON(t, done["result"])), &res)
+	if resumed, _ := res["resumed"].(bool); !resumed {
+		t.Errorf("resumed run fell back to a full rerun: %v", res["resumed"])
+	}
+	if got := resultBytes(t, p2, id); got != want {
+		t.Errorf("resumed result diverged from the uninterrupted control run:\n%s\nvs\n%s", got, want)
+	}
+
+	// /metrics serves the engine's exposition from the same address.
+	mresp, err := http.Get(p2.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	_ = mresp.Body.Close()
+	if mresp.StatusCode != 200 || !strings.Contains(string(mbody), "ripple_barriers_total") {
+		t.Errorf("/metrics scrape: %d, ripple_ series present=%v", mresp.StatusCode,
+			strings.Contains(string(mbody), "ripple_"))
+	}
+
+	// Two-tenant quota (-tenant-quota 1): alpha's second live job is a 429;
+	// beta is unaffected.
+	slow := `{"workload":"pagerank","params":{"vertices":100,"iterations":2000,"step_delay_ms":20}}`
+	code, a1 := httpJSON(t, "POST", p2.url("/v1/jobs"), "alpha", slow)
+	if code != http.StatusAccepted {
+		t.Fatalf("alpha submit: %d %v", code, a1)
+	}
+	if code, _ := httpJSON(t, "POST", p2.url("/v1/jobs"), "alpha", slow); code != http.StatusTooManyRequests {
+		t.Errorf("alpha over quota: %d, want 429", code)
+	}
+	code, b1 := httpJSON(t, "POST", p2.url("/v1/jobs"), "beta", slow)
+	if code != http.StatusAccepted {
+		t.Fatalf("beta submit: %d %v", code, b1)
+	}
+
+	// HTTP cancel interrupts the running job within one barrier (a 20ms step
+	// delay, not the minutes its 2000 iterations would take).
+	aID := a1["id"].(string)
+	pollDone(t, p2, aID, StatusRunning)
+	start := time.Now()
+	if code, _ := httpJSON(t, "DELETE", p2.url("/v1/jobs/"+aID), "", ""); code != 200 {
+		t.Fatalf("cancel: %d", code)
+	}
+	pollDone(t, p2, aID, StatusCanceled)
+	if el := time.Since(start); el > 10*time.Second {
+		t.Errorf("cancel took %v", el)
+	}
+	if code, _ := httpJSON(t, "DELETE", p2.url("/v1/jobs/"+b1["id"].(string)), "", ""); code != 200 {
+		t.Errorf("cancel beta: %d", code)
+	}
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}

@@ -203,7 +203,7 @@ const changedAggregator = "sssp.changed"
 // the whole graph — until an aggregator counts zero changed vertices.
 func (f *FullScan) runWave(wave int) (*mapreduce.Summary, error) {
 	job := &mapreduce.IteratedJob{
-		Name:                 fmt.Sprintf("sssp.fullscan.w%d", wave),
+		Name:                 fmt.Sprintf("sssp.fullscan.%s.w%d", f.table, wave),
 		Table:                f.table,
 		Mapper:               &fsMapper{},
 		Reducer:              &fsReducer{wave: wave, source: int32(f.source)},

@@ -247,7 +247,7 @@ func cut(xs []int32, i int) []int32 {
 // vertices — and whatever their updates ripple into — are ever invoked.
 func (s *Selective) runWave(wave int, seeds []any, invalidated *ebsp.CollectExporter) (*ebsp.Result, error) {
 	job := &ebsp.Job{
-		Name:        fmt.Sprintf("sssp.selective.w%d", wave),
+		Name:        fmt.Sprintf("sssp.selective.%s.w%d", s.table, wave),
 		StateTables: []string{s.table},
 		Compute:     &selCompute{wave: wave, source: int32(s.source)},
 		Loaders:     []ebsp.Loader{&ebsp.EnableLoader{Keys: seeds}},

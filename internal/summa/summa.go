@@ -24,6 +24,7 @@
 package summa
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -44,6 +45,9 @@ var ErrBadConfig = errors.New("summa: invalid config")
 
 // Config parameterizes one SUMMA multiplication.
 type Config struct {
+	// Name overrides the BSP job name ("summa" when empty). Concurrent
+	// multiplications on one store need distinct names (and StateTables).
+	Name string
 	// Grid is G: the matrices are decomposed into G×G blocks (the paper
 	// evaluates G = 3).
 	Grid int
@@ -67,6 +71,10 @@ type Config struct {
 	MQ mq.Queuing
 	// Profiler optionally records per-part step profiles.
 	Profiler *profile.Recorder
+	// EngineOptions are appended to the options of the engine Multiply
+	// builds internally — the hook a host uses to attach its own observers
+	// (progress, step) to a workload that owns its engine.
+	EngineOptions []ebsp.Option
 }
 
 // Outcome reports one multiplication.
@@ -278,6 +286,13 @@ func (sc *compute) multsSeries(maxStep int) []int {
 
 // Multiply computes A × B on the store using the SUMMA pattern.
 func Multiply(store kvstore.Store, cfg Config, a, b matrix.Dense) (*Outcome, error) {
+	return MultiplyContext(context.Background(), store, cfg, a, b)
+}
+
+// MultiplyContext is Multiply under a cancelable context: ctx reaches the
+// internally built engine's RunContext, so a host can interrupt the
+// multiplication at a barrier (or, no-sync, at a quiescence check).
+func MultiplyContext(ctx context.Context, store kvstore.Store, cfg Config, a, b matrix.Dense) (*Outcome, error) {
 	if cfg.Grid < 2 {
 		return nil, fmt.Errorf("%w: grid %d", ErrBadConfig, cfg.Grid)
 	}
@@ -318,9 +333,13 @@ func Multiply(store kvstore.Store, cfg Config, a, b matrix.Dense) (*Outcome, err
 		}
 	}
 
+	jobName := cfg.Name
+	if jobName == "" {
+		jobName = "summa"
+	}
 	comp := &compute{g: g}
 	job := &ebsp.Job{
-		Name:        "summa",
+		Name:        jobName,
 		StateTables: []string{tableName},
 		Compute:     comp,
 		Properties: ebsp.Properties{
@@ -353,8 +372,9 @@ func Multiply(store kvstore.Store, cfg Config, a, b matrix.Dense) (*Outcome, err
 			return s
 		}))
 	}
+	opts = append(opts, cfg.EngineOptions...)
 	engine := ebsp.NewEngine(store, opts...)
-	res, err := engine.Run(job)
+	res, err := engine.RunContext(ctx, job)
 	if err != nil {
 		return nil, err
 	}

@@ -51,6 +51,8 @@
 package ripple
 
 import (
+	"net/http"
+
 	"ripple/internal/chaos"
 	"ripple/internal/codec"
 	"ripple/internal/diskstore"
@@ -58,6 +60,7 @@ import (
 	"ripple/internal/fleet"
 	"ripple/internal/graph"
 	"ripple/internal/gridstore"
+	"ripple/internal/httpx"
 	"ripple/internal/kvstore"
 	"ripple/internal/logring"
 	"ripple/internal/mapreduce"
@@ -66,6 +69,7 @@ import (
 	"ripple/internal/mq"
 	"ripple/internal/netstore"
 	"ripple/internal/profile"
+	"ripple/internal/serve"
 	"ripple/internal/tableops"
 	"ripple/internal/trace"
 )
@@ -303,6 +307,9 @@ var (
 	// ErrCheckpointMismatch is returned by Engine.Resume when the stored
 	// checkpoint does not belong to the job being resumed.
 	ErrCheckpointMismatch = ebsp.ErrCheckpointMismatch
+	// ErrJobBusy is returned by Engine.Run/Resume when a job with the same
+	// name is already executing on that engine.
+	ErrJobBusy = ebsp.ErrJobBusy
 )
 
 // Chaos engineering: deterministic, seeded fault injection behind the store
@@ -558,6 +565,46 @@ var (
 	// to a tracer — the final record of a part-server's shutdown flush.
 	RecordStatsSpan = metrics.RecordStatsSpan
 )
+
+// The multi-tenant job service (cmd/ripple-serve, DESIGN.md §10): an
+// HTTP/JSON front end multiplexing many analytics submissions onto shared
+// engines over one store, with per-tenant quotas, bounded admission, SSE
+// progress streams, and restart-resume through the store SPI.
+type (
+	// JobService hosts many concurrent analytics jobs over one store.
+	JobService = serve.Service
+	// JobServiceOptions configures a JobService.
+	JobServiceOptions = serve.Options
+	// JobRecord is one job's durable record and API representation.
+	JobRecord = serve.JobRecord
+	// JobRunEnv is what the service hands a workload runner.
+	JobRunEnv = serve.RunEnv
+)
+
+// NewJobService builds a job service over opts.Store; call Start on it, then
+// mount Handler on an HTTP server.
+func NewJobService(opts JobServiceOptions) (*JobService, error) { return serve.New(opts) }
+
+var (
+	// JobWorkloads lists the registered workload names.
+	JobWorkloads = serve.Workloads
+	// ErrUnknownWorkload rejects a submission naming no registered workload.
+	ErrUnknownWorkload = serve.ErrUnknownWorkload
+	// ErrQuotaExceeded rejects a submission over the tenant's live-job quota.
+	ErrQuotaExceeded = serve.ErrQuotaExceeded
+	// ErrQueueFull rejects a submission when the bounded FIFO is full.
+	ErrQueueFull = serve.ErrQueueFull
+)
+
+// HTTPServer is a bound-and-serving HTTP server with fail-fast bind and
+// graceful shutdown (internal/httpx); every Ripple daemon serves through it.
+type HTTPServer = httpx.Server
+
+// ServeHTTP binds addr synchronously — a bad address fails now, not inside a
+// goroutine later — and serves handler in the background.
+func ServeHTTP(addr string, handler http.Handler) (*HTTPServer, error) {
+	return httpx.Serve(addr, handler)
+}
 
 // NewMQSystem creates a message-queuing system (paper §III-B).
 func NewMQSystem(opts ...mq.SystemOption) *MQSystem { return mq.NewSystem(opts...) }
