@@ -68,10 +68,12 @@ trace-validate:
 	@echo "trace validate: causal chains complete"
 
 # Race-enabled end-to-end chaos soak: PageRank + SUMMA to their fault-free
-# answers under transient faults, duplication, jitter, and primary kills.
+# answers under transient faults, duplication, jitter, and primary kills;
+# plus the out-of-core leg — PageRank at ~30x the LSM memtable budget under
+# disk.* faults, with a mid-job kill resumed from its checkpoint.
 soak:
 	RIPPLE_SOAK_SEEDS=$(SOAK_SEEDS) $(GO) test -race -count=1 \
-		-run 'TestSoakUnderChaos|TestEngineAutoRecoversFromPrimaryKill|TestNoSyncSurvivesDuplicationAndJitter' \
+		-run 'TestSoakUnderChaos|TestOutOfCore|TestEngineAutoRecoversFromPrimaryKill|TestNoSyncSurvivesDuplicationAndJitter' \
 		./internal/chaos/ ./internal/ebsp/
 
 # Fleet observability smoke: two real part-server processes, a traced

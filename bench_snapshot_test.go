@@ -11,9 +11,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"ripple/internal/diskstore"
+	"ripple/internal/kvstore"
 	"ripple/internal/matrix"
 	"ripple/internal/memstore"
 	"ripple/internal/metrics"
@@ -22,6 +25,70 @@ import (
 	"ripple/internal/summa"
 	"ripple/internal/workload"
 )
+
+// lsmReadKeys is the dataset size behind the lsm_get_* snapshot rows; the
+// 64 KiB memtable budget pushes nearly all of it into SSTable runs.
+const lsmReadKeys = 20000
+
+func lsmReadTable(b *testing.B, col *metrics.Collector) kvstore.Table {
+	b.Helper()
+	s, err := diskstore.New(b.TempDir(), diskstore.WithMetrics(col),
+		diskstore.WithMemtableBudget(64<<10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	tab, err := s.CreateTable("t", kvstore.WithParts(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < lsmReadKeys; i++ {
+		if err := tab.Put(i, i*3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Compact("t"); err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+// durableWriters is the group-commit benchmark body: one op is 8 goroutines
+// each writing 4 fsync-acknowledged records into a single part.
+func durableWriters(b *testing.B, col *metrics.Collector, naive bool) {
+	b.Helper()
+	opts := []diskstore.Option{diskstore.WithMetrics(col), diskstore.WithSyncEvery(1)}
+	if naive {
+		opts = append(opts, diskstore.WithoutGroupCommit())
+	}
+	s, err := diskstore.New(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	tab, err := s.CreateTable("t", kvstore.WithParts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const writers, perWriter = 8, 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < perWriter; j++ {
+					if err := tab.Put(fmt.Sprintf("%d.%d.%d", i, w, j), j); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
 
 // benchRow is one workload's entry in the snapshot file.
 type benchRow struct {
@@ -127,6 +194,50 @@ func TestBenchSnapshot(t *testing.T) {
 			b.StartTimer()
 		}
 	})
+	add("lsm_put", func(b *testing.B, col *metrics.Collector) {
+		s, err := diskstore.New(b.TempDir(), diskstore.WithMetrics(col))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer func() { _ = s.Close() }()
+		tab, err := s.CreateTable("t", kvstore.WithParts(4))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tab.Put(i, "sixteen-byte-val"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("lsm_get_hit", func(b *testing.B, col *metrics.Collector) {
+		tab := lsmReadTable(b, col)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := tab.Get(i % lsmReadKeys); err != nil || !ok {
+				b.Fatalf("Get = %v, %v", ok, err)
+			}
+		}
+	})
+	add("lsm_get_miss", func(b *testing.B, col *metrics.Collector) {
+		tab := lsmReadTable(b, col)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok, err := tab.Get(lsmReadKeys + i); err != nil || ok {
+				b.Fatalf("Get(miss) = %v, %v", ok, err)
+			}
+		}
+	})
+	// The group-commit pair: identical workload (8 concurrent writers, every
+	// put fsync-acknowledged), with and without the commit loop. The ratio of
+	// the two ns/op rows is what group commit buys; the acceptance floor is 5x.
+	add("group_commit_8w", func(b *testing.B, col *metrics.Collector) {
+		durableWriters(b, col, false)
+	})
+	add("naive_commit_8w", func(b *testing.B, col *metrics.Collector) {
+		durableWriters(b, col, true)
+	})
 	add("sssp_selective", func(b *testing.B, col *metrics.Collector) {
 		g, err := workload.PowerLawUndirected(rand.New(rand.NewSource(19)), ssspVertices, ssspEdges, 1.3)
 		if err != nil {
@@ -146,6 +257,24 @@ func TestBenchSnapshot(t *testing.T) {
 			}
 		}
 	})
+
+	// Flag a group-commit regression in the snapshot run itself.
+	var gcNs, naiveNs int64
+	for _, r := range snap.Rows {
+		switch r.Workload {
+		case "group_commit_8w":
+			gcNs = r.NsPerOp
+		case "naive_commit_8w":
+			naiveNs = r.NsPerOp
+		}
+	}
+	if gcNs > 0 && naiveNs > 0 {
+		ratio := float64(naiveNs) / float64(gcNs)
+		t.Logf("group commit speedup over naive per-put fsync: %.1fx", ratio)
+		if ratio < 5 {
+			t.Errorf("group commit only %.1fx over naive, want >= 5x", ratio)
+		}
+	}
 
 	path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("20060102"))
 	data, err := json.MarshalIndent(&snap, "", "  ")

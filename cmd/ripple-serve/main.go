@@ -58,13 +58,15 @@ import (
 func main() {
 	var (
 		addr          = flag.String("addr", "127.0.0.1:8080", "HTTP address to serve the job API on")
-		dataDir       = flag.String("data-dir", "", "back jobs with the append-log disk store at this directory (restart-resume); empty uses the in-memory store")
+		dataDir       = flag.String("data-dir", "", "back jobs with the LSM disk store at this directory (restart-resume); empty uses the in-memory store")
 		netAddrs      = flag.String("net-addrs", "", "comma-separated part-server addresses; the daemon then fronts the fleet instead of an in-process store")
 		parts         = flag.Int("parts", 4, "default part count for the in-process store")
 		maxConcurrent = flag.Int("max-concurrent", 2, "execution slots: jobs running at once")
 		queueDepth    = flag.Int("queue-depth", 16, "bounded FIFO of admitted-but-waiting jobs")
 		tenantQuota   = flag.Int("tenant-quota", 4, "max live (queued+running) jobs per API key")
 		ckptEvery     = flag.Int("checkpoint-every", 4, "checkpoint synchronized jobs every n steps")
+		syncEvery     = flag.Int("sync-every", 0, "with -data-dir: fsync-acknowledge every nth write (1 = every write durable before Put returns, 0 = fsync on flush/checkpoint only)")
+		gcWindow      = flag.Duration("group-commit-window", 0, "with -data-dir: hold each WAL fsync open this long so concurrent durable writes share it (0 = adaptive batching only)")
 		replicas      = flag.Int("net-replicas", 2, "replicas per part when fronting a fleet")
 		traceCap      = flag.Int("trace-cap", trace.DefaultCapacity, "span ring-buffer capacity")
 		profileCap    = flag.Int("profile-cap", profile.DefaultCapacity, "step-profile ring capacity")
@@ -79,7 +81,7 @@ func main() {
 	ring := logring.New(logring.DefaultCapacity)
 	logger := buildLogger(*logLevel, ring)
 
-	store, client, err := openStore(*dataDir, *netAddrs, *parts, *replicas, collector, tracer)
+	store, client, err := openStore(*dataDir, *netAddrs, *parts, *replicas, *syncEvery, *gcWindow, collector, tracer)
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
@@ -149,7 +151,7 @@ func main() {
 // openStore builds the backing store: a part-server fleet client, the disk
 // store, or the in-memory store — the service is indifferent, which is the
 // paper's SPI argument restated as a deployment choice.
-func openStore(dataDir, netAddrs string, parts, replicas int, m *metrics.Collector, t *trace.Tracer) (kvstore.Store, *netstore.Client, error) {
+func openStore(dataDir, netAddrs string, parts, replicas, syncEvery int, gcWindow time.Duration, m *metrics.Collector, t *trace.Tracer) (kvstore.Store, *netstore.Client, error) {
 	switch {
 	case netAddrs != "":
 		addrs := strings.Split(netAddrs, ",")
@@ -165,6 +167,8 @@ func openStore(dataDir, netAddrs string, parts, replicas int, m *metrics.Collect
 	case dataDir != "":
 		ds, err := diskstore.New(dataDir,
 			diskstore.WithParts(parts),
+			diskstore.WithSyncEvery(syncEvery),
+			diskstore.WithGroupCommitWindow(gcWindow),
 			diskstore.WithMetrics(m),
 			diskstore.WithTracer(t),
 		)

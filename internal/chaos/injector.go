@@ -226,6 +226,46 @@ func (inj *Injector) PutFault(set string, queue int) mq.Fault {
 	return f
 }
 
+// FsyncFault implements diskstore.DiskInjector for WAL and SSTable fsyncs:
+// it may stall the fsync (disk.slow), fail it with a retryable error
+// (disk.fsync), or both decisions may pass and the fsync proceeds normally.
+func (inj *Injector) FsyncFault(table string, part int) (time.Duration, error) {
+	norm := normalizeName(table)
+	var delay time.Duration
+	if p := inj.sched.DiskSlowFsyncRate; p > 0 && inj.sched.DiskSlowFsync > 0 {
+		if n, u := inj.roll("disk.slow", norm, part); u < p {
+			inj.record("disk.slow", norm, part, n)
+			delay = inj.sched.DiskSlowFsync
+		}
+	}
+	if p := inj.sched.DiskFsyncErrRate; p > 0 {
+		if n, u := inj.roll("disk.fsync", norm, part); u < p {
+			inj.record("disk.fsync", norm, part, n)
+			return delay, fmt.Errorf("chaos: injected fsync fault on %s[%d]: %w", table, part, kvstore.ErrTransient)
+		}
+	}
+	return delay, nil
+}
+
+// TornTail implements diskstore.DiskInjector: when a part's write-ahead log
+// is opened it may report a positive clip, and the store truncates that many
+// bytes off the log's end before replay — the recovery path must then clip
+// the torn final record instead of failing.
+func (inj *Injector) TornTail(table string, part int) int {
+	p := inj.sched.DiskTornTailRate
+	if p <= 0 {
+		return 0
+	}
+	norm := normalizeName(table)
+	n, u := inj.roll("disk.torn", norm, part)
+	if u >= p {
+		return 0
+	}
+	inj.record("disk.torn", norm, part, n)
+	// Deterministic clip width in [1, 64] from the same variate.
+	return 1 + int(u/p*64)
+}
+
 // normalizeName replaces all-digit dot-segments of an engine-generated name
 // ("__ebsp.pagerank.3.transport" → "__ebsp.pagerank.#.transport") so decision
 // streams are stable across run sequence numbers.

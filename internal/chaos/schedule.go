@@ -103,6 +103,18 @@ type Schedule struct {
 	Partitions []Partition
 	// NetKills are scheduled part-server process kills (see NetKill).
 	NetKills []NetKill
+
+	// DiskFsyncErrRate fails WAL and SSTable fsyncs in the disk store with a
+	// retryable error (the write is not acknowledged as durable).
+	DiskFsyncErrRate float64
+	// DiskSlowFsync/DiskSlowFsyncRate stall fsyncs, modeling a saturated or
+	// degraded device (the fsync still succeeds).
+	DiskSlowFsync     time.Duration
+	DiskSlowFsyncRate float64
+	// DiskTornTailRate clips bytes off a write-ahead log when it is opened,
+	// simulating a torn final write from the previous crash; recovery must
+	// clip the tail at the last whole record rather than fail.
+	DiskTornTailRate float64
 }
 
 // Parse decodes the textual schedule form used by `ripple-bench -chaos`:
@@ -114,6 +126,10 @@ type Schedule struct {
 //
 //	net.conn=0.005,net.drop=0.01,net.loss=0.01,net.dup=0.05,
 //	net.delay=2ms@0.05,partition=c2s:1@50+200,netkill=1@120
+//
+// and the disk fault classes for the LSM disk store:
+//
+//	disk.fsync=0.01,disk.slow=5ms@0.02,disk.torn=0.5
 //
 // Fields are comma-separated `key=value` pairs; `kill`, `partition`, and
 // `netkill` may repeat. Rate fields take a probability; delay fields take
@@ -168,6 +184,12 @@ func Parse(s string) (Schedule, error) {
 			var nk NetKill
 			nk, err = parseNetKill(val)
 			sched.NetKills = append(sched.NetKills, nk)
+		case "disk.fsync":
+			sched.DiskFsyncErrRate, err = parseRate(val)
+		case "disk.slow":
+			sched.DiskSlowFsync, sched.DiskSlowFsyncRate, err = parseDelay(val)
+		case "disk.torn":
+			sched.DiskTornTailRate, err = parseRate(val)
 		default:
 			return Schedule{}, fmt.Errorf("chaos: unknown schedule field %q", key)
 		}
@@ -335,6 +357,15 @@ func (s Schedule) String() string {
 	sort.Slice(netKills, func(i, j int) bool { return netKills[i].AfterFrames < netKills[j].AfterFrames })
 	for _, nk := range netKills {
 		add("netkill=%d@%d", nk.Server, nk.AfterFrames)
+	}
+	if s.DiskFsyncErrRate > 0 {
+		add("disk.fsync=%g", s.DiskFsyncErrRate)
+	}
+	if s.DiskSlowFsyncRate > 0 && s.DiskSlowFsync > 0 {
+		add("disk.slow=%s@%g", s.DiskSlowFsync, s.DiskSlowFsyncRate)
+	}
+	if s.DiskTornTailRate > 0 {
+		add("disk.torn=%g", s.DiskTornTailRate)
 	}
 	return strings.Join(parts, ",")
 }

@@ -1,0 +1,112 @@
+package diskstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ripple/internal/kvstore"
+)
+
+func benchStore(b *testing.B, opts ...Option) (*Store, kvstore.Table) {
+	b.Helper()
+	s, err := New(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	tab, err := s.CreateTable("t", kvstore.WithParts(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, tab
+}
+
+func BenchmarkLSMPut(b *testing.B) {
+	_, tab := benchStore(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tab.Put(i, "sixteen-byte-val"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLSMGetHit(b *testing.B) {
+	s, tab := benchStore(b, WithMemtableBudget(64<<10))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := tab.Put(i, i*3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Compact("t"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tab.Get(i % n); err != nil || !ok {
+			b.Fatalf("Get = %v, %v", ok, err)
+		}
+	}
+}
+
+func BenchmarkLSMGetMiss(b *testing.B) {
+	s, tab := benchStore(b, WithMemtableBudget(64<<10))
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := tab.Put(i, i*3); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Compact("t"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := tab.Get(n + i); err != nil || ok {
+			b.Fatalf("Get(miss) = %v, %v", ok, err)
+		}
+	}
+}
+
+// benchDurableWriters times 8 concurrent durable writers (one op = 8
+// goroutines × 4 fsync-acknowledged puts into one part). Run with and
+// without group commit it measures exactly what the commit loop buys.
+func benchDurableWriters(b *testing.B, opts ...Option) {
+	s, err := New(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	tab, err := s.CreateTable("t", kvstore.WithParts(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const writers, perWriter = 8, 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for j := 0; j < perWriter; j++ {
+					if err := tab.Put(fmt.Sprintf("%d.%d.%d", i, w, j), j); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkGroupCommit8Writers(b *testing.B) {
+	benchDurableWriters(b, WithSyncEvery(1))
+}
+
+func BenchmarkNaiveCommit8Writers(b *testing.B) {
+	benchDurableWriters(b, WithSyncEvery(1), WithoutGroupCommit())
+}

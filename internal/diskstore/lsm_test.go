@@ -1,0 +1,229 @@
+package diskstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"ripple/internal/kvstore"
+	"ripple/internal/metrics"
+	"ripple/internal/trace"
+)
+
+// TestBloomFiltersSkipDiskOnMiss pins the bloom filters' whole point: once
+// the data lives in SSTable runs, probing for absent keys costs (almost) no
+// data-block reads — the filters reject the runs in memory.
+func TestBloomFiltersSkipDiskOnMiss(t *testing.T) {
+	col := &metrics.Collector{}
+	s := newStore(t, WithMetrics(col), WithMemtableBudget(minMemtable))
+	tab, err := s.CreateTable("t", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := tab.Put(i, i*i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact("t"); err != nil {
+		t.Fatal(err)
+	}
+	base := col.LSM().Snapshot()
+	const misses = 1000
+	for i := 0; i < misses; i++ {
+		if _, ok, err := tab.Get(1_000_000 + i); err != nil || ok {
+			t.Fatalf("Get(miss) = %v, %v", ok, err)
+		}
+	}
+	snap := col.LSM().Snapshot()
+	reads := snap.BlockReads - base.BlockReads
+	negatives := snap.BloomNegatives - base.BloomNegatives
+	if negatives == 0 {
+		t.Fatal("no bloom negatives recorded — filters not consulted")
+	}
+	// With 10 bits/key the theoretical false-positive rate is under 1%; allow
+	// generous slack and still catch a broken filter (which would read a
+	// block per miss per run).
+	if reads > misses/10 {
+		t.Errorf("misses cost %d block reads (bloom negatives %d) — filters ineffective", reads, negatives)
+	}
+	// In a miss-only probe phase every filter pass is a false positive, so
+	// rate the filter on all probes: with 10 bits/key it should reject well
+	// over 95% of them.
+	checks := snap.BloomChecks - base.BloomChecks
+	fps := snap.BloomFalsePositives - base.BloomFalsePositives
+	if float64(fps)/float64(checks) > 0.05 {
+		t.Errorf("bloom passed %d of %d miss probes, want < 5%%", fps, checks)
+	}
+}
+
+// TestGroupCommitBatchesConcurrentWriters drives concurrent durable writers
+// into one part and checks the group-commit loop coalesced their fsyncs: far
+// fewer WAL syncs than acknowledged writes, and batch sizes above 1 in the
+// histogram.
+func TestGroupCommitBatchesConcurrentWriters(t *testing.T) {
+	col := &metrics.Collector{}
+	s := newStore(t, WithMetrics(col), WithSyncEvery(1))
+	tab, err := s.CreateTable("t", kvstore.WithParts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := tab.Put(w*perWriter+i, i); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := col.LSM().Snapshot()
+	total := int64(writers * perWriter)
+	if snap.GroupCommitBatch.Count == 0 {
+		t.Fatal("no group-commit batches observed")
+	}
+	if snap.WALSyncs >= total {
+		t.Errorf("%d WAL syncs for %d durable writes — no batching", snap.WALSyncs, total)
+	}
+	// Histogram sum is the number of acknowledged writers across all batches.
+	if snap.GroupCommitBatch.Sum != total {
+		t.Errorf("batch histogram acknowledged %d writers, want %d", snap.GroupCommitBatch.Sum, total)
+	}
+	if snap.GroupCommitBatch.Sum <= snap.GroupCommitBatch.Count {
+		t.Errorf("mean batch size %.2f — every fsync carried one writer",
+			float64(snap.GroupCommitBatch.Sum)/float64(snap.GroupCommitBatch.Count))
+	}
+}
+
+// TestCleanReopenSkipsReplay pins the manifest's open-time guarantee: a
+// cleanly closed store flushed every memtable, so reopening replays zero WAL
+// bytes — open time is bounded by the manifest read, not table history.
+func TestCleanReopenSkipsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, WithMemtableBudget(minMemtable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := s.CreateTable("t", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := tab.Put(i, fmt.Sprintf("value-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Every WAL must be empty on disk: that file size bounds replay work.
+	for p := 0; p < 2; p++ {
+		st, err := os.Stat(filepath.Join(dir, fmt.Sprintf("t.%d.log", p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() != 0 {
+			t.Errorf("part %d WAL is %d bytes after clean close, want 0", p, st.Size())
+		}
+	}
+	tr := trace.New(256)
+	s2, err := New(dir, WithTracer(tr), WithMemtableBudget(minMemtable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s2.Close() })
+	tab2, err := s2.CreateTable("t", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sp := range tr.Snapshot() {
+		if sp.Kind == trace.KindLogReplay {
+			t.Fatalf("clean reopen replayed %d bytes (part %d)", sp.N, sp.Part)
+		}
+	}
+	for _, i := range []int{0, 1, 1499, 2999} {
+		v, ok, err := tab2.Get(i)
+		if err != nil || !ok || v != fmt.Sprintf("value-%d", i) {
+			t.Fatalf("Get(%d) after reopen = %v, %v, %v", i, v, ok, err)
+		}
+	}
+}
+
+// TestOutOfCoreWorkingSet writes roughly 20x the memtable budget and checks
+// the store holds the excess in runs, keeps the memtable gauge bounded, and
+// still answers point reads correctly.
+func TestOutOfCoreWorkingSet(t *testing.T) {
+	const budget = 32 << 10
+	col := &metrics.Collector{}
+	s := newStore(t, WithMetrics(col), WithMemtableBudget(budget))
+	tab, err := s.CreateTable("t", kvstore.WithParts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte(i)
+	}
+	const n = 8000 // ~8000 * (key + 64B value + overhead) >> 20x budget
+	for i := 0; i < n; i++ {
+		if err := tab.Put(i, string(val)+fmt.Sprint(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := col.LSM().Snapshot()
+	if snap.Flushes == 0 {
+		t.Fatal("no memtable flushes — data never left memory")
+	}
+	// The gauge may briefly sit at one full memtable per part plus the
+	// in-flight record; anything near the data size means flushing is broken.
+	if snap.MemtableBytes > 4*budget {
+		t.Errorf("memtable gauge %d bytes, budget %d — not bounded", snap.MemtableBytes, budget)
+	}
+	size, err := tab.Size()
+	if err != nil || size != n {
+		t.Fatalf("Size = %d, %v, want %d", size, err, n)
+	}
+	for _, i := range []int{0, n / 3, n - 1} {
+		v, ok, err := tab.Get(i)
+		if err != nil || !ok || v != string(val)+fmt.Sprint(i) {
+			t.Fatalf("Get(%d) = %v, %v", i, ok, err)
+		}
+	}
+	if snap.WriteAmplification() <= 1 {
+		t.Errorf("write amplification %.2f — WAL bytes alone should exceed 1x", snap.WriteAmplification())
+	}
+}
+
+// TestBackgroundCompactionBoundsRunCount checks that accumulating level-0
+// runs triggers the background compactor, which merges them down before the
+// run list grows without bound.
+func TestBackgroundCompactionBoundsRunCount(t *testing.T) {
+	col := &metrics.Collector{}
+	s := newStore(t, WithMetrics(col), WithMemtableBudget(minMemtable))
+	tab, err := s.CreateTable("t", kvstore.WithParts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6000; i++ {
+		if err := tab.Put(i%500, fmt.Sprintf("pad-pad-pad-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The compactor is asynchronous; give it a moment to drain its hints.
+	deadline := time.Now().Add(5 * time.Second)
+	for col.LSM().Snapshot().Compactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := col.LSM().Snapshot().Compactions; got == 0 {
+		t.Fatal("no background compactions despite dozens of flushes")
+	}
+}

@@ -1,0 +1,71 @@
+package diskstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// manifest records one table-part's durable shape: the live SSTable runs
+// (newest first) and the next run sequence number. It is rewritten — tmp,
+// fsync, atomic rename — after every memtable flush and compaction, and it
+// is the open-time source of truth: runs it lists are loaded, .sst files it
+// does not list are crash leftovers and are deleted, and the WAL is replayed
+// on top. A part whose WAL is empty therefore reopens without replaying a
+// single record.
+type manifest struct {
+	NextSeq uint64        `json:"next_seq"`
+	Runs    []manifestRun `json:"runs"`
+}
+
+type manifestRun struct {
+	Seq     uint64 `json:"seq"`
+	Level   int    `json:"level"`
+	Entries int64  `json:"entries"`
+	Bytes   int64  `json:"bytes"`
+}
+
+// writeManifest atomically replaces the manifest at path.
+func writeManifest(path string, m manifest) error {
+	buf, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readManifest loads the manifest at path; ok is false when none exists
+// (a part that has never flushed).
+func readManifest(path string) (m manifest, ok bool, err error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return manifest{}, false, nil
+	}
+	if err != nil {
+		return manifest{}, false, err
+	}
+	if err := json.Unmarshal(buf, &m); err != nil {
+		return manifest{}, false, fmt.Errorf("diskstore: manifest %s corrupt: %w", path, err)
+	}
+	return m, true, nil
+}

@@ -1,0 +1,65 @@
+package diskstore
+
+import (
+	"sort"
+
+	"ripple/internal/codec"
+)
+
+// memEntry is one memtable slot: the encoded key and value bytes plus the
+// decoded key (kept so flushes don't re-decode). A tombstone has tomb set
+// and no value.
+type memEntry struct {
+	key  any
+	kbuf []byte
+	vbuf []byte
+	tomb bool
+}
+
+// memtable is the mutable head of one part: the most recent write per key,
+// in memory, shadowing every SSTable run below it. Its byte footprint is
+// tracked so the part can flush when it exceeds its share of the store's
+// memory budget.
+type memtable struct {
+	entries map[any]*memEntry
+	bytes   int64
+}
+
+func newMemtable() *memtable {
+	return &memtable{entries: make(map[any]*memEntry)}
+}
+
+// entryOverhead approximates the map-slot bookkeeping per entry so the
+// budget reflects actual memory, not just payload bytes.
+const entryOverhead = 64
+
+// set records the newest write (or tombstone) for key and returns the change
+// in the memtable's byte footprint.
+func (m *memtable) set(key any, kbuf, vbuf []byte, tomb bool) (delta int64) {
+	if old, ok := m.entries[key]; ok {
+		delta = int64(len(vbuf)) - int64(len(old.vbuf))
+	} else {
+		delta = entryOverhead + int64(len(kbuf)+len(vbuf))
+	}
+	m.entries[key] = &memEntry{key: key, kbuf: kbuf, vbuf: vbuf, tomb: tomb}
+	m.bytes += delta
+	return delta
+}
+
+func (m *memtable) get(key any) (*memEntry, bool) {
+	e, ok := m.entries[key]
+	return e, ok
+}
+
+func (m *memtable) len() int { return len(m.entries) }
+
+// sorted returns the entries in codec.CompareKeys order, the order SSTable
+// blocks are laid out in.
+func (m *memtable) sorted() []*memEntry {
+	out := make([]*memEntry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return codec.CompareKeys(out[i].key, out[j].key) < 0 })
+	return out
+}

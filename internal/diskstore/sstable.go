@@ -1,0 +1,404 @@
+package diskstore
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"ripple/internal/codec"
+	"ripple/internal/metrics"
+)
+
+// SSTable layout (all integers big-endian):
+//
+//	data region:  [1B op][4B klen][4B vlen][key][value] ... grouped into
+//	              ~sstBlockTarget-byte blocks at record boundaries
+//	index block:  per data block: [4B klen][8B off][4B blen][first key]
+//	bloom block:  bloomFilter.marshal()
+//	footer (52B): [8B idxOff][8B idxLen][8B bloomOff][8B bloomLen]
+//	              [8B entries][4B crc of the preceding 40B][8B magic]
+//
+// Records are sorted by codec.CompareKeys. The sparse index holds one entry
+// per block (its first key), so a point read is one bloom probe, one binary
+// search in memory, and at most one block-sized disk read.
+const (
+	sstMagic       = 0x52504c5353543101 // "RPLSST" v1
+	sstFooterLen   = 52
+	sstBlockTarget = 8 << 10
+)
+
+// sstWriter streams sorted records into a new SSTable file. The caller adds
+// records in key order and then calls finish, which appends the index, bloom
+// filter, and footer and fsyncs the file.
+type sstWriter struct {
+	f         *os.File
+	w         *bufio.Writer
+	path      string
+	off       int64
+	blockAt   int64 // start offset of the open block, -1 if none
+	index     []byte
+	lastIdxAt int // offset in index of the open block's entry
+	bloom     *bloomFilter
+	entries   int64
+}
+
+func newSSTWriter(path string, expectedEntries int) (*sstWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &sstWriter{
+		f:       f,
+		w:       bufio.NewWriterSize(f, 64<<10),
+		path:    path,
+		blockAt: -1,
+		bloom:   newBloom(expectedEntries),
+	}, nil
+}
+
+func (sw *sstWriter) add(op byte, kbuf, vbuf []byte) error {
+	if sw.blockAt < 0 {
+		// Opening a new block: remember its first key in the sparse index.
+		// The block-length field is a placeholder until closeBlock
+		// backpatches it.
+		sw.blockAt = sw.off
+		sw.lastIdxAt = len(sw.index)
+		var pre [16]byte
+		binary.BigEndian.PutUint32(pre[0:4], uint32(len(kbuf)))
+		binary.BigEndian.PutUint64(pre[4:12], uint64(sw.off))
+		sw.index = append(sw.index, pre[:]...)
+		sw.index = append(sw.index, kbuf...)
+	}
+	var hdr [9]byte
+	hdr[0] = op
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(len(kbuf)))
+	binary.BigEndian.PutUint32(hdr[5:9], uint32(len(vbuf)))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(kbuf); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(vbuf); err != nil {
+		return err
+	}
+	sw.off += int64(len(hdr)) + int64(len(kbuf)) + int64(len(vbuf))
+	sw.bloom.add(kbuf)
+	sw.entries++
+	if sw.off-sw.blockAt >= sstBlockTarget {
+		sw.closeBlock()
+	}
+	return nil
+}
+
+// closeBlock backpatches the open block's length into its index entry.
+func (sw *sstWriter) closeBlock() {
+	if sw.blockAt < 0 {
+		return
+	}
+	at := sw.lastIdxAt
+	binary.BigEndian.PutUint32(sw.index[at+12:at+16], uint32(sw.off-sw.blockAt))
+	sw.blockAt = -1
+}
+
+// finish appends index, bloom, and footer, fsyncs, and returns the file's
+// total size. On error the half-written file is removed.
+func (sw *sstWriter) finish() (size int64, retErr error) {
+	defer func() {
+		if retErr != nil {
+			_ = sw.f.Close()
+			_ = os.Remove(sw.path)
+		}
+	}()
+	sw.closeBlock()
+	idxOff := sw.off
+	if _, err := sw.w.Write(sw.index); err != nil {
+		return 0, err
+	}
+	bloomOff := idxOff + int64(len(sw.index))
+	bloomBuf := sw.bloom.marshal()
+	if _, err := sw.w.Write(bloomBuf); err != nil {
+		return 0, err
+	}
+	var footer [sstFooterLen]byte
+	binary.BigEndian.PutUint64(footer[0:8], uint64(idxOff))
+	binary.BigEndian.PutUint64(footer[8:16], uint64(len(sw.index)))
+	binary.BigEndian.PutUint64(footer[16:24], uint64(bloomOff))
+	binary.BigEndian.PutUint64(footer[24:32], uint64(len(bloomBuf)))
+	binary.BigEndian.PutUint64(footer[32:40], uint64(sw.entries))
+	binary.BigEndian.PutUint32(footer[40:44], crc32.ChecksumIEEE(footer[:40]))
+	binary.BigEndian.PutUint64(footer[44:52], sstMagic)
+	if _, err := sw.w.Write(footer[:]); err != nil {
+		return 0, err
+	}
+	if err := sw.w.Flush(); err != nil {
+		return 0, err
+	}
+	if err := sw.f.Sync(); err != nil {
+		return 0, err
+	}
+	if err := sw.f.Close(); err != nil {
+		return 0, err
+	}
+	return bloomOff + int64(len(bloomBuf)) + sstFooterLen, nil
+}
+
+// idxEntry is one sparse-index slot: the decoded first key of a block plus
+// the block's extent in the data region.
+type idxEntry struct {
+	key any
+	off int64
+	len int32
+}
+
+// sstable is an open, immutable run: file handle, decoded sparse index, and
+// bloom filter. Runs are ordered newest-first in partLog.runs; level records
+// how many compaction generations deep the run is.
+type sstable struct {
+	path    string
+	file    *os.File
+	seq     uint64
+	level   int
+	entries int64
+	size    int64
+	dataLen int64
+	index   []idxEntry
+	bloom   *bloomFilter
+}
+
+// errTornSST marks an SSTable that fails structural validation; openPartLog
+// treats manifest-listed runs with this error as fatal (the manifest ordering
+// guarantees a referenced run was durable before the manifest named it).
+var errTornSST = errors.New("diskstore: torn or corrupt sstable")
+
+func openSST(path string, seq uint64, level int) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < sstFooterLen {
+		_ = f.Close()
+		return nil, fmt.Errorf("%w: %s is %d bytes", errTornSST, path, size)
+	}
+	var footer [sstFooterLen]byte
+	if _, err := f.ReadAt(footer[:], size-sstFooterLen); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if binary.BigEndian.Uint64(footer[44:52]) != sstMagic {
+		_ = f.Close()
+		return nil, fmt.Errorf("%w: %s has bad magic", errTornSST, path)
+	}
+	if binary.BigEndian.Uint32(footer[40:44]) != crc32.ChecksumIEEE(footer[:40]) {
+		_ = f.Close()
+		return nil, fmt.Errorf("%w: %s footer checksum mismatch", errTornSST, path)
+	}
+	idxOff := int64(binary.BigEndian.Uint64(footer[0:8]))
+	idxLen := int64(binary.BigEndian.Uint64(footer[8:16]))
+	bloomOff := int64(binary.BigEndian.Uint64(footer[16:24]))
+	bloomLen := int64(binary.BigEndian.Uint64(footer[24:32]))
+	entries := int64(binary.BigEndian.Uint64(footer[32:40]))
+	if idxOff < 0 || idxLen < 0 || bloomLen < 0 || bloomOff != idxOff+idxLen ||
+		bloomOff+bloomLen+sstFooterLen != size {
+		_ = f.Close()
+		return nil, fmt.Errorf("%w: %s region extents inconsistent", errTornSST, path)
+	}
+	idxBuf := make([]byte, idxLen)
+	if _, err := f.ReadAt(idxBuf, idxOff); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	index, err := decodeIndex(idxBuf)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("%w: %s: %v", errTornSST, path, err)
+	}
+	bloomBuf := make([]byte, bloomLen)
+	if _, err := f.ReadAt(bloomBuf, bloomOff); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	bloom, err := unmarshalBloom(bloomBuf)
+	if err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("%w: %s: %v", errTornSST, path, err)
+	}
+	return &sstable{
+		path:    path,
+		file:    f,
+		seq:     seq,
+		level:   level,
+		entries: entries,
+		size:    size,
+		dataLen: idxOff,
+		index:   index,
+		bloom:   bloom,
+	}, nil
+}
+
+func decodeIndex(buf []byte) ([]idxEntry, error) {
+	var out []idxEntry
+	for len(buf) > 0 {
+		if len(buf) < 16 {
+			return nil, errors.New("short index entry")
+		}
+		klen := binary.BigEndian.Uint32(buf[0:4])
+		off := int64(binary.BigEndian.Uint64(buf[4:12]))
+		blen := int32(binary.BigEndian.Uint32(buf[12:16]))
+		if int(klen) > len(buf)-16 {
+			return nil, errors.New("index key overruns block")
+		}
+		key, err := codec.Decode(buf[16 : 16+klen])
+		if err != nil {
+			return nil, fmt.Errorf("index key undecodable: %v", err)
+		}
+		out = append(out, idxEntry{key: key, off: off, len: blen})
+		buf = buf[16+klen:]
+	}
+	return out, nil
+}
+
+func (t *sstable) close() error {
+	return t.file.Close()
+}
+
+// get probes this run for key. It returns the encoded value bytes (nil for a
+// tombstone) and whether the key was present in this run at all. The encoded
+// key bytes are compared for equality — codec encoding is deterministic, so
+// byte equality matches the memtable's map-key equality.
+func (t *sstable) get(key any, kbuf []byte, lsm *metrics.LSMStats) (vbuf []byte, tomb, found bool, err error) {
+	lsm.AddBloomChecks(1)
+	if !t.bloom.mayContain(kbuf) {
+		lsm.AddBloomNegatives(1)
+		return nil, false, false, nil
+	}
+	// Binary search: the last block whose first key is <= key.
+	lo, hi := 0, len(t.index)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if codec.CompareKeys(t.index[mid].key, key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	cand := lo - 1
+	if cand < 0 {
+		lsm.AddBloomFalsePositives(1)
+		return nil, false, false, nil
+	}
+	// CompareKeys can tie for keys that are not ==; extend the scan backward
+	// over any tied boundary blocks so such a key is never missed.
+	first := cand
+	for first > 0 && codec.CompareKeys(t.index[first].key, key) == 0 {
+		first--
+	}
+	for b := cand; b >= first; b-- {
+		vbuf, tomb, found, err = t.scanBlock(t.index[b], kbuf, lsm)
+		if err != nil || found {
+			return vbuf, tomb, found, err
+		}
+	}
+	lsm.AddBloomFalsePositives(1)
+	return nil, false, false, nil
+}
+
+func (t *sstable) scanBlock(e idxEntry, kbuf []byte, lsm *metrics.LSMStats) (vbuf []byte, tomb, found bool, err error) {
+	lsm.AddBlockReads(1)
+	buf := make([]byte, e.len)
+	if _, err := t.file.ReadAt(buf, e.off); err != nil {
+		return nil, false, false, err
+	}
+	for len(buf) >= 9 {
+		op := buf[0]
+		klen := binary.BigEndian.Uint32(buf[1:5])
+		vlen := binary.BigEndian.Uint32(buf[5:9])
+		rec := 9 + int(klen) + int(vlen)
+		if rec > len(buf) {
+			return nil, false, false, fmt.Errorf("%w: %s record overruns block", errTornSST, t.path)
+		}
+		if bytes.Equal(buf[9:9+klen], kbuf) {
+			if op == opDelete {
+				return nil, true, true, nil
+			}
+			return buf[9+int(klen) : rec], false, true, nil
+		}
+		buf = buf[rec:]
+	}
+	return nil, false, false, nil
+}
+
+// sstIter streams a run's records in key order (used by compaction merges
+// and full-part scans).
+type sstIter struct {
+	r    *bufio.Reader
+	left int64
+	t    *sstable
+
+	op   byte
+	key  any
+	kbuf []byte
+	vbuf []byte
+	err  error
+}
+
+func (t *sstable) iter() *sstIter {
+	return &sstIter{
+		r:    bufio.NewReaderSize(io.NewSectionReader(t.file, 0, t.dataLen), 64<<10),
+		left: t.dataLen,
+		t:    t,
+	}
+}
+
+// next advances to the next record, decoding its key. It returns false at
+// the end of the data region or on error (recorded in it.err).
+func (it *sstIter) next() bool {
+	if it.err != nil || it.left <= 0 {
+		return false
+	}
+	var hdr [9]byte
+	if _, err := io.ReadFull(it.r, hdr[:]); err != nil {
+		it.err = fmt.Errorf("%w: %s data region truncated: %v", errTornSST, it.t.path, err)
+		return false
+	}
+	it.op = hdr[0]
+	klen := binary.BigEndian.Uint32(hdr[1:5])
+	vlen := binary.BigEndian.Uint32(hdr[5:9])
+	buf := make([]byte, int(klen)+int(vlen))
+	if _, err := io.ReadFull(it.r, buf); err != nil {
+		it.err = fmt.Errorf("%w: %s data region truncated: %v", errTornSST, it.t.path, err)
+		return false
+	}
+	it.kbuf = buf[:klen]
+	it.vbuf = buf[klen:]
+	key, err := codec.Decode(it.kbuf)
+	if err != nil {
+		it.err = fmt.Errorf("%w: %s key undecodable: %v", errTornSST, it.t.path, err)
+		return false
+	}
+	it.key = key
+	it.left -= 9 + int64(klen) + int64(vlen)
+	return true
+}
+
+// scan visits every record of the run in key order.
+func (t *sstable) scan(fn func(op byte, key any, kbuf, vbuf []byte) error) error {
+	it := t.iter()
+	for it.next() {
+		if err := fn(it.op, it.key, it.kbuf, it.vbuf); err != nil {
+			return err
+		}
+	}
+	return it.err
+}

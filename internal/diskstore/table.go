@@ -57,32 +57,42 @@ func (t *table) log(part int) (*shard, *partLog, error) {
 // Get implements kvstore.Table.
 func (t *table) Get(key any) (any, bool, error) {
 	t.store.metrics.AddStoreGets(1)
+	kbuf, err := codec.Encode(key)
+	if err != nil {
+		return nil, false, err
+	}
 	sh, pl, err := t.log(t.PartOf(key))
 	if err != nil {
 		return nil, false, err
 	}
 	defer sh.mu.Unlock()
-	e, ok := pl.index[key]
-	if !ok {
-		return nil, false, nil
-	}
-	v, err := pl.readValue(e)
-	if err != nil {
-		return nil, false, err
-	}
-	return v, true, nil
+	return pl.getLocked(key, kbuf)
 }
 
 // Put implements kvstore.Table.
 func (t *table) Put(key, value any) error {
 	t.store.metrics.AddStorePuts(1)
+	start := time.Now()
+	kbuf, err := codec.Encode(key)
+	if err != nil {
+		return err
+	}
+	vbuf, err := codec.Encode(value)
+	if err != nil {
+		return err
+	}
 	sh, pl, err := t.log(t.PartOf(key))
 	if err != nil {
 		return err
 	}
-	defer sh.mu.Unlock()
-	start := time.Now()
-	if err := pl.appendRecord(opPut, key, value); err != nil {
+	if err := pl.applyLocked(opPut, key, kbuf, vbuf); err != nil {
+		sh.mu.Unlock()
+		return err
+	}
+	sh.mu.Unlock()
+	// The durable ack (when configured) happens outside the shard lock so
+	// concurrent writers can pile into one group commit.
+	if err := t.store.ackDurable(pl); err != nil {
 		return err
 	}
 	t.store.metrics.StoreWrites().ObserveDuration(time.Since(start))
@@ -92,16 +102,21 @@ func (t *table) Put(key, value any) error {
 // Delete implements kvstore.Table.
 func (t *table) Delete(key any) error {
 	t.store.metrics.AddStoreDeletes(1)
+	start := time.Now()
+	kbuf, err := codec.Encode(key)
+	if err != nil {
+		return err
+	}
 	sh, pl, err := t.log(t.PartOf(key))
 	if err != nil {
 		return err
 	}
-	defer sh.mu.Unlock()
-	if _, ok := pl.index[key]; !ok {
-		return nil
+	if err := pl.applyLocked(opDelete, key, kbuf, nil); err != nil {
+		sh.mu.Unlock()
+		return err
 	}
-	start := time.Now()
-	if err := pl.appendRecord(opDelete, key, nil); err != nil {
+	sh.mu.Unlock()
+	if err := t.store.ackDurable(pl); err != nil {
 		return err
 	}
 	t.store.metrics.StoreWrites().ObserveDuration(time.Since(start))
@@ -116,8 +131,12 @@ func (t *table) Size() (int, error) {
 		if err != nil {
 			return 0, err
 		}
-		total += len(pl.index)
+		keys, err := pl.liveKeysLocked()
 		sh.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		total += len(keys)
 	}
 	return total, nil
 }
@@ -250,34 +269,43 @@ func (pv *partView) log() (*partLog, error) {
 // Get implements kvstore.PartView.
 func (pv *partView) Get(key any) (any, bool, error) {
 	pv.store.metrics.AddStoreGets(1)
+	kbuf, err := codec.Encode(key)
+	if err != nil {
+		return nil, false, err
+	}
 	pv.shard.mu.Lock()
 	defer pv.shard.mu.Unlock()
 	pl, err := pv.log()
 	if err != nil {
 		return nil, false, err
 	}
-	e, ok := pl.index[key]
-	if !ok {
-		return nil, false, nil
-	}
-	v, err := pl.readValue(e)
-	if err != nil {
-		return nil, false, err
-	}
-	return v, true, nil
+	return pl.getLocked(key, kbuf)
 }
 
 // Put implements kvstore.PartView.
 func (pv *partView) Put(key, value any) error {
 	pv.store.metrics.AddStorePuts(1)
-	pv.shard.mu.Lock()
-	defer pv.shard.mu.Unlock()
-	pl, err := pv.log()
+	start := time.Now()
+	kbuf, err := codec.Encode(key)
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	if err := pl.appendRecord(opPut, key, value); err != nil {
+	vbuf, err := codec.Encode(value)
+	if err != nil {
+		return err
+	}
+	pv.shard.mu.Lock()
+	pl, err := pv.log()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return err
+	}
+	if err := pl.applyLocked(opPut, key, kbuf, vbuf); err != nil {
+		pv.shard.mu.Unlock()
+		return err
+	}
+	pv.shard.mu.Unlock()
+	if err := pv.store.ackDurable(pl); err != nil {
 		return err
 	}
 	pv.store.metrics.StoreWrites().ObserveDuration(time.Since(start))
@@ -287,16 +315,22 @@ func (pv *partView) Put(key, value any) error {
 // Delete implements kvstore.PartView.
 func (pv *partView) Delete(key any) error {
 	pv.store.metrics.AddStoreDeletes(1)
-	pv.shard.mu.Lock()
-	defer pv.shard.mu.Unlock()
-	pl, err := pv.log()
+	kbuf, err := codec.Encode(key)
 	if err != nil {
 		return err
 	}
-	if _, ok := pl.index[key]; !ok {
-		return nil
+	pv.shard.mu.Lock()
+	pl, err := pv.log()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return err
 	}
-	return pl.appendRecord(opDelete, key, nil)
+	if err := pl.applyLocked(opDelete, key, kbuf, nil); err != nil {
+		pv.shard.mu.Unlock()
+		return err
+	}
+	pv.shard.mu.Unlock()
+	return pv.store.ackDurable(pl)
 }
 
 // Len implements kvstore.PartView.
@@ -307,7 +341,11 @@ func (pv *partView) Len() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return len(pl.index), nil
+	keys, err := pl.liveKeysLocked()
+	if err != nil {
+		return 0, err
+	}
+	return len(keys), nil
 }
 
 // Enumerate implements kvstore.PartView.
@@ -327,9 +365,10 @@ func (pv *partView) enumerate(fn kvstore.PairFunc, ordered bool) error {
 		pv.shard.mu.Unlock()
 		return err
 	}
-	keys := make([]any, 0, len(pl.index))
-	for k := range pl.index {
-		keys = append(keys, k)
+	keys, err := pl.liveKeysLocked()
+	if err != nil {
+		pv.shard.mu.Unlock()
+		return err
 	}
 	pv.shard.mu.Unlock()
 	if ordered {

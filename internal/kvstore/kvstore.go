@@ -14,7 +14,8 @@
 //     goroutines with marshalling across emulated partition boundaries;
 //   - gridstore: a WebSphere-eXtreme-Scale-like store with replication,
 //     per-shard ACID transactions, and failure injection;
-//   - diskstore: an append-log disk store demonstrating SPI portability.
+//   - diskstore: an LSM disk store (memtable, group-commit WAL, SSTables)
+//     demonstrating SPI portability out of core.
 package kvstore
 
 import (
@@ -85,10 +86,12 @@ type Store interface {
 }
 
 // Flusher is the optional durability extension of the Store SPI: stores that
-// buffer appends implement it to push everything written so far to the
-// underlying medium, so it survives the process dying. Callers with
-// durability points (a checkpoint commit, a job-record write) call Flush
-// through this interface; stores whose writes are already synchronous simply
+// buffer appends implement it to make everything written so far durable on
+// the underlying medium — for a disk-backed store that means fsynced, so the
+// data survives power loss, not merely the process dying with its page cache
+// intact. Callers with durability points (a checkpoint commit, a job-record
+// write) call Flush through this interface and may treat its success as a
+// hard commit point; stores whose writes are already synchronous simply
 // don't implement it.
 type Flusher interface {
 	Flush() error

@@ -190,6 +190,69 @@ func WritePrometheusTracer(w io.Writer, c *Collector, t *trace.Tracer) error {
 			}
 		}
 	}
+
+	// LSM storage-engine series (populated by diskstore). Emitted whenever a
+	// collector is present — a process without a disk store reads all-zero —
+	// so the series never appear and disappear between scrapes.
+	lsm := c.LSM().Snapshot()
+	lsmCounters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"ripple_lsm_flushes_total", "Memtables flushed to SSTable runs.", lsm.Flushes},
+		{"ripple_lsm_compactions_total", "SSTable run merges.", lsm.Compactions},
+		{"ripple_lsm_logical_bytes_total", "Key+value payload bytes accepted from callers.", lsm.LogicalBytes},
+		{"ripple_lsm_wal_bytes_total", "Bytes appended to write-ahead logs.", lsm.WALBytes},
+		{"ripple_lsm_wal_syncs_total", "WAL fsyncs (group commits, flushes).", lsm.WALSyncs},
+		{"ripple_lsm_flush_bytes_total", "SSTable bytes written by memtable flushes.", lsm.FlushBytes},
+		{"ripple_lsm_compaction_bytes_total", "SSTable bytes written by compactions.", lsm.CompactionBytes},
+		{"ripple_lsm_bloom_checks_total", "Run probes that consulted a bloom filter.", lsm.BloomChecks},
+		{"ripple_lsm_bloom_negatives_total", "Probes the bloom filter rejected without a disk read.", lsm.BloomNegatives},
+		{"ripple_lsm_bloom_false_positives_total", "Probes that passed the filter but found nothing.", lsm.BloomFalsePositives},
+		{"ripple_lsm_block_reads_total", "SSTable data-block reads.", lsm.BlockReads},
+	}
+	for _, ctr := range lsmCounters {
+		if err := writeMeta(w, ctr.name, ctr.help, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", ctr.name, ctr.v); err != nil {
+			return err
+		}
+	}
+	if err := writeMeta(w, "ripple_lsm_memtable_bytes", "Live memtable footprint across all table parts.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_lsm_memtable_bytes %d\n", lsm.MemtableBytes); err != nil {
+		return err
+	}
+	if err := writeMeta(w, "ripple_lsm_runs", "Live SSTable runs by compaction level.", "gauge"); err != nil {
+		return err
+	}
+	levels := make([]int, 0, len(lsm.RunCounts))
+	for l := range lsm.RunCounts {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	for _, l := range levels {
+		if _, err := fmt.Fprintf(w, "ripple_lsm_runs{level=\"%d\"} %d\n", l, lsm.RunCounts[l]); err != nil {
+			return err
+		}
+	}
+	if err := writeMeta(w, "ripple_lsm_write_amplification", "Physical bytes written (WAL + flush + compaction) over logical payload bytes.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_lsm_write_amplification %g\n", lsm.WriteAmplification()); err != nil {
+		return err
+	}
+	if err := writeMeta(w, "ripple_lsm_bloom_fp_rate", "Bloom-filter false positives over probes that passed the filter.", "gauge"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "ripple_lsm_bloom_fp_rate %g\n", lsm.BloomFalsePositiveRate()); err != nil {
+		return err
+	}
+	if err := writeHistogramRaw(w, "ripple_lsm_group_commit_batch", "Writers acknowledged per WAL fsync.", lsm.GroupCommitBatch); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -304,6 +367,36 @@ func writeHistogram(w io.Writer, name, help string, s HistogramSnapshot) error {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%s_sum %g\n", name, float64(s.Sum)/1e9); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+	return err
+}
+
+// writeHistogramRaw is writeHistogram for histograms whose observations are
+// plain counts rather than nanoseconds: bucket bounds and the sum stay in
+// the observed unit instead of being scaled to seconds.
+func writeHistogramRaw(w io.Writer, name, help string, s HistogramSnapshot) error {
+	if err := writeMeta(w, name, help, "histogram"); err != nil {
+		return err
+	}
+	top := 0
+	for i, n := range s.Buckets {
+		if n > 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += s.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketBound(i), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum); err != nil {
 		return err
 	}
 	_, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count)

@@ -1,0 +1,223 @@
+package metrics
+
+import "sync/atomic"
+
+// LSMStats groups the LSM storage-engine instruments: memtable footprint,
+// run counts per compaction level, WAL and SSTable write volumes (for write
+// amplification), bloom-filter effectiveness, and the group-commit batch-size
+// histogram. It hangs off Collector so the diskstore needs only the one
+// collector handle; like every other instrument a nil *LSMStats is a valid
+// no-op.
+type LSMStats struct {
+	memtableBytes Gauge
+	runCounts     PartGauge // keyed by compaction level
+
+	flushes      atomic.Int64
+	compactions  atomic.Int64
+	logicalBytes atomic.Int64 // key+value payload accepted from callers
+	walBytes     atomic.Int64 // bytes appended to write-ahead logs
+	walSyncs     atomic.Int64 // WAL fsyncs (group commits, flushes)
+	flushBytes   atomic.Int64 // SSTable bytes written by memtable flushes
+	compactBytes atomic.Int64 // SSTable bytes written by compactions
+
+	bloomChecks         atomic.Int64
+	bloomNegatives      atomic.Int64
+	bloomFalsePositives atomic.Int64
+	blockReads          atomic.Int64
+
+	groupCommitBatch Histogram // writers acknowledged per WAL fsync
+}
+
+// LSM returns the collector's LSM storage-engine instruments (nil, itself
+// no-op, for a nil collector).
+func (c *Collector) LSM() *LSMStats {
+	if c == nil {
+		return nil
+	}
+	return &c.lsm
+}
+
+// MemtableBytes is the live memtable footprint across all table parts.
+func (l *LSMStats) MemtableBytes() *Gauge {
+	if l == nil {
+		return nil
+	}
+	return &l.memtableBytes
+}
+
+// RunCounts is the number of live SSTable runs per compaction level.
+func (l *LSMStats) RunCounts() *PartGauge {
+	if l == nil {
+		return nil
+	}
+	return &l.runCounts
+}
+
+// GroupCommitBatches is the histogram of writers acknowledged per WAL fsync.
+func (l *LSMStats) GroupCommitBatches() *Histogram {
+	if l == nil {
+		return nil
+	}
+	return &l.groupCommitBatch
+}
+
+// AddFlushes counts memtable flushes.
+func (l *LSMStats) AddFlushes(n int64) {
+	if l != nil {
+		l.flushes.Add(n)
+	}
+}
+
+// AddCompactions counts run merges.
+func (l *LSMStats) AddCompactions(n int64) {
+	if l != nil {
+		l.compactions.Add(n)
+	}
+}
+
+// AddLogicalBytes counts key+value payload bytes accepted from callers — the
+// denominator of write amplification.
+func (l *LSMStats) AddLogicalBytes(n int64) {
+	if l != nil {
+		l.logicalBytes.Add(n)
+	}
+}
+
+// AddWALBytes counts bytes appended to write-ahead logs.
+func (l *LSMStats) AddWALBytes(n int64) {
+	if l != nil {
+		l.walBytes.Add(n)
+	}
+}
+
+// AddWALSyncs counts WAL fsyncs.
+func (l *LSMStats) AddWALSyncs(n int64) {
+	if l != nil {
+		l.walSyncs.Add(n)
+	}
+}
+
+// AddFlushBytes counts SSTable bytes written by memtable flushes.
+func (l *LSMStats) AddFlushBytes(n int64) {
+	if l != nil {
+		l.flushBytes.Add(n)
+	}
+}
+
+// AddCompactionBytes counts SSTable bytes written by compactions.
+func (l *LSMStats) AddCompactionBytes(n int64) {
+	if l != nil {
+		l.compactBytes.Add(n)
+	}
+}
+
+// AddBloomChecks counts run probes that consulted a bloom filter.
+func (l *LSMStats) AddBloomChecks(n int64) {
+	if l != nil {
+		l.bloomChecks.Add(n)
+	}
+}
+
+// AddBloomNegatives counts probes the bloom filter rejected (no disk read).
+func (l *LSMStats) AddBloomNegatives(n int64) {
+	if l != nil {
+		l.bloomNegatives.Add(n)
+	}
+}
+
+// AddBloomFalsePositives counts probes that passed the filter but found
+// nothing in the run.
+func (l *LSMStats) AddBloomFalsePositives(n int64) {
+	if l != nil {
+		l.bloomFalsePositives.Add(n)
+	}
+}
+
+// AddBlockReads counts SSTable data-block reads.
+func (l *LSMStats) AddBlockReads(n int64) {
+	if l != nil {
+		l.blockReads.Add(n)
+	}
+}
+
+// LSMSnapshot is a point-in-time copy of the LSM counters and gauges.
+type LSMSnapshot struct {
+	MemtableBytes       int64
+	RunCounts           map[int]int64
+	Flushes             int64
+	Compactions         int64
+	LogicalBytes        int64
+	WALBytes            int64
+	WALSyncs            int64
+	FlushBytes          int64
+	CompactionBytes     int64
+	BloomChecks         int64
+	BloomNegatives      int64
+	BloomFalsePositives int64
+	BlockReads          int64
+	GroupCommitBatch    HistogramSnapshot
+}
+
+// WriteAmplification is physical bytes written (WAL + flush + compaction)
+// over logical payload bytes; 0 when nothing was written.
+func (s LSMSnapshot) WriteAmplification() float64 {
+	if s.LogicalBytes == 0 {
+		return 0
+	}
+	return float64(s.WALBytes+s.FlushBytes+s.CompactionBytes) / float64(s.LogicalBytes)
+}
+
+// BloomFalsePositiveRate is false positives over filter hits (checks that
+// passed the filter); 0 when no probe passed.
+func (s LSMSnapshot) BloomFalsePositiveRate() float64 {
+	passed := s.BloomChecks - s.BloomNegatives
+	if passed <= 0 {
+		return 0
+	}
+	return float64(s.BloomFalsePositives) / float64(passed)
+}
+
+// Snapshot copies the current LSM instrument values. A nil receiver yields a
+// zero snapshot.
+func (l *LSMStats) Snapshot() LSMSnapshot {
+	if l == nil {
+		return LSMSnapshot{}
+	}
+	return LSMSnapshot{
+		MemtableBytes:       l.memtableBytes.Load(),
+		RunCounts:           l.runCounts.Snapshot(),
+		Flushes:             l.flushes.Load(),
+		Compactions:         l.compactions.Load(),
+		LogicalBytes:        l.logicalBytes.Load(),
+		WALBytes:            l.walBytes.Load(),
+		WALSyncs:            l.walSyncs.Load(),
+		FlushBytes:          l.flushBytes.Load(),
+		CompactionBytes:     l.compactBytes.Load(),
+		BloomChecks:         l.bloomChecks.Load(),
+		BloomNegatives:      l.bloomNegatives.Load(),
+		BloomFalsePositives: l.bloomFalsePositives.Load(),
+		BlockReads:          l.blockReads.Load(),
+		GroupCommitBatch:    l.groupCommitBatch.Snapshot(),
+	}
+}
+
+// reset zeroes the LSM instruments (Collector.Reset calls it).
+func (l *LSMStats) reset() {
+	if l == nil {
+		return
+	}
+	l.memtableBytes.Set(0)
+	l.runCounts.reset()
+	l.flushes.Store(0)
+	l.compactions.Store(0)
+	l.logicalBytes.Store(0)
+	l.walBytes.Store(0)
+	l.walSyncs.Store(0)
+	l.flushBytes.Store(0)
+	l.compactBytes.Store(0)
+	l.bloomChecks.Store(0)
+	l.bloomNegatives.Store(0)
+	l.bloomFalsePositives.Store(0)
+	l.blockReads.Store(0)
+	l.groupCommitBatch.reset()
+}

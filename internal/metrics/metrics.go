@@ -58,6 +58,9 @@ type Collector struct {
 	inFlight          Gauge      // envelopes emitted but not yet delivered
 	stepSkewRatio     FloatGauge // latest step: max/median part compute time
 	stragglerPart     Gauge      // latest step: part that set the critical path
+
+	// LSM storage-engine instruments (see lsm.go), populated by diskstore.
+	lsm LSMStats
 }
 
 // StepDurations is the whole-step latency histogram.
@@ -448,6 +451,7 @@ func (c *Collector) Reset() {
 	c.inFlight.Set(0)
 	c.stepSkewRatio.Set(0)
 	c.stragglerPart.Set(0)
+	c.lsm.reset()
 }
 
 // Sub returns the difference s - old, counter by counter.

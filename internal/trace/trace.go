@@ -44,6 +44,9 @@ const (
 	KindRPC       // a transport client RPC round-trip (N = attempt)
 	KindRPCServer // a part-server handled one RPC (N = request frame ID)
 	KindStats     // a metrics-snapshot flush record (counters in Attrs)
+	// KindMemtableFlush is appended after KindStats so persisted numeric
+	// kind values from earlier builds stay stable.
+	KindMemtableFlush // diskstore flushed a memtable to an SSTable run (N = bytes written)
 )
 
 var kindNames = map[Kind]string{
@@ -67,6 +70,7 @@ var kindNames = map[Kind]string{
 	KindRPC:              "rpc",
 	KindRPCServer:        "rpc_server",
 	KindStats:            "stats",
+	KindMemtableFlush:    "memtable_flush",
 }
 
 // kindByName is the reverse of kindNames, built once at init.

@@ -22,7 +22,8 @@
 //     portable across stores. Three stores ship with the library: an
 //     in-memory partition-emulating debugging store, a WXS-like replicated
 //     grid store with per-shard ACID transactions and failure injection, and
-//     an append-log disk store.
+//     an LSM disk store (memtable + group-commit WAL, bloom-filtered SSTables,
+//     background compaction) for out-of-core working sets.
 //
 // # Quickstart
 //
@@ -463,7 +464,7 @@ var (
 	GridLatency = gridstore.WithLatency
 )
 
-// NewDiskStore creates the append-log disk store rooted at dir.
+// NewDiskStore creates the LSM disk store rooted at dir.
 func NewDiskStore(dir string, opts ...diskstore.Option) (*diskstore.Store, error) {
 	return diskstore.New(dir, opts...)
 }
